@@ -1,0 +1,151 @@
+// Command atune-figures regenerates every table and figure of the paper
+// in one run, plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	atune-figures [-only id[,id...]] [-paper] [-seed S]
+//
+// Ids: t1 t2 f1 f2 f3 f4 f5 f6 f7 f8 a1 a2 a3 a4 a5 a6 a7 a8 a9 x1 x2 x3 x4 x5. The default runs
+// everything at quick scale; -paper switches to the paper-scale
+// configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		only  = flag.String("only", "", "comma-separated artefact ids (t1..x3); empty = all")
+		paper = flag.Bool("paper", false, "use the paper-scale configuration")
+		seed  = flag.Int64("seed", 1, "master seed")
+	)
+	flag.Parse()
+
+	cfg := exp.QuickConfig()
+	if *paper {
+		cfg = exp.PaperConfig()
+	}
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+	out := os.Stdout
+
+	if sel("t1") {
+		exp.TableI().Render(out)
+		fmt.Fprintln(out)
+	}
+	if sel("t2") {
+		exp.TableII().Render(out)
+		fmt.Fprintln(out)
+	}
+	if sel("f1") {
+		exp.RunUntunedMatchers(cfg).RenderFigure1(out)
+		fmt.Fprintln(out)
+	}
+	if sel("x1") {
+		exp.RunUntunedMatchersDNA(cfg).RenderFigureX1(out)
+		fmt.Fprintln(out)
+	}
+	if sel("x2") {
+		exp.RunPatternSweep(cfg, nil).RenderFigureX2(out)
+		fmt.Fprintln(out)
+	}
+	if sel("x4") {
+		exp.RunContextualSweep(cfg).RenderFigureX4(out)
+		fmt.Fprintln(out)
+	}
+	if sel("x5") {
+		exp.RunStructureChoice(cfg).RenderFigureX5(out)
+		fmt.Fprintln(out)
+	}
+	if sel("f2") || sel("f3") || sel("f4") {
+		res := exp.RunTunedMatchers(cfg)
+		if sel("f2") {
+			res.RenderFigure2(out)
+			fmt.Fprintln(out)
+		}
+		if sel("f3") {
+			res.RenderFigure3(out)
+			fmt.Fprintln(out)
+		}
+		if sel("f4") {
+			res.RenderFigure4(out)
+		}
+	}
+	if sel("f5") {
+		exp.RunKDTreeTimelines(cfg).RenderFigure5(out)
+		fmt.Fprintln(out)
+	}
+	if sel("f6") || sel("f7") || sel("f8") {
+		res := exp.RunTunedRaytracing(cfg)
+		if sel("f6") {
+			res.RenderFigure6(out)
+			fmt.Fprintln(out)
+		}
+		if sel("f7") {
+			res.RenderFigure7(out)
+			fmt.Fprintln(out)
+		}
+		if sel("f8") {
+			res.RenderFigure8(out)
+		}
+	}
+
+	// Ablations: deterministic synthetic-model studies.
+	aReps, aIters := 10, 400
+	if *paper {
+		aReps = 100
+	}
+	if sel("a1") {
+		exp.AblationWindowSize(out, aReps, aIters, cfg.Seed)
+		fmt.Fprintln(out)
+	}
+	if sel("a2") {
+		exp.AblationEpsilonSweep(out, aReps, aIters, cfg.Seed)
+		fmt.Fprintln(out)
+	}
+	if sel("a3") {
+		exp.AblationCrossover(out, aReps, aIters, cfg.Seed)
+		fmt.Fprintln(out)
+	}
+	if sel("a4") {
+		exp.AblationPhase1Strategies(out, aReps, aIters, cfg.Seed)
+		fmt.Fprintln(out)
+	}
+	if sel("a5") {
+		exp.AblationSoftmax(out, aReps, aIters, cfg.Seed)
+		fmt.Fprintln(out)
+	}
+	if sel("a6") {
+		exp.AblationCombined(out, aReps, aIters, cfg.Seed)
+		fmt.Fprintln(out)
+	}
+	if sel("a7") {
+		exp.AblationDrift(out, aReps, aIters, cfg.Seed)
+		fmt.Fprintln(out)
+	}
+	if sel("a8") {
+		exp.AblationNoise(out, aReps, aIters, cfg.Seed)
+		fmt.Fprintln(out)
+	}
+	if sel("x3") {
+		exp.AblationMixedNominal(out, aReps, aIters, cfg.Seed)
+		fmt.Fprintln(out)
+	}
+	if sel("a9") {
+		exp.AblationRegret(out, aReps, aIters, cfg.Seed)
+		fmt.Fprintln(out)
+	}
+}

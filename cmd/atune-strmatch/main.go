@@ -1,0 +1,97 @@
+// Command atune-strmatch runs the paper's first case study — online
+// autotuning of algorithmic choice over eight parallel string matching
+// algorithms — and prints the requested figures (1–4).
+//
+// Usage:
+//
+//	atune-strmatch [-fig 0|1|2|3|4] [-reps N] [-iters N] [-corpus BYTES]
+//	               [-workers N] [-seed S] [-paper] [-csv]
+//
+// -fig 0 (the default) prints all four figures. -paper switches to the
+// paper-scale configuration (100 repetitions, 200 iterations, 4 MiB
+// corpus); expect a long run. -csv emits the convergence curves as CSV
+// instead of ASCII charts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure to print (1-4), 0 for all")
+		reps    = flag.Int("reps", 0, "experiment repetitions (default quick config)")
+		iters   = flag.Int("iters", 0, "tuning iterations per repetition")
+		corpus  = flag.Int("corpus", 0, "corpus size in bytes")
+		workers = flag.Int("workers", 0, "matcher worker goroutines")
+		seed    = flag.Int64("seed", 1, "master seed")
+		paper   = flag.Bool("paper", false, "use the paper-scale configuration")
+		csv     = flag.Bool("csv", false, "emit curves as CSV instead of ASCII")
+		dna     = flag.Bool("dna", false, "also run extension X1: the genome-like corpus")
+	)
+	flag.Parse()
+
+	cfg := exp.QuickConfig()
+	if *paper {
+		cfg = exp.PaperConfig()
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *iters > 0 {
+		cfg.Iters = *iters
+	}
+	if *corpus > 0 {
+		cfg.CorpusSize = *corpus
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	cfg.Seed = *seed
+
+	out := os.Stdout
+	want := func(f int) bool { return *fig == 0 || *fig == f }
+
+	fmt.Fprintf(out, "Case study 1: parallel string matching (reps=%d iters=%d corpus=%d workers=%d)\n\n",
+		cfg.Reps, cfg.Iters, cfg.CorpusSize, cfg.Workers)
+
+	if want(1) {
+		res := exp.RunUntunedMatchers(cfg)
+		res.RenderFigure1(out)
+		fmt.Fprintln(out)
+	}
+	if *dna {
+		res := exp.RunUntunedMatchersDNA(cfg)
+		res.RenderFigureX1(out)
+		fmt.Fprintln(out)
+	}
+	if want(2) || want(3) || want(4) {
+		res := exp.RunTunedMatchers(cfg)
+		if want(2) {
+			if *csv {
+				res.CurvesChart(true, 25).WriteCSV(out)
+			} else {
+				res.RenderFigure2(out)
+			}
+			fmt.Fprintln(out)
+		}
+		if want(3) {
+			if *csv {
+				res.CurvesChart(false, 50).WriteCSV(out)
+			} else {
+				res.RenderFigure3(out)
+			}
+			fmt.Fprintln(out)
+		}
+		if want(4) {
+			res.RenderFigure4(out)
+			for i, label := range res.StrategyLabels {
+				fmt.Fprintf(out, "most-chosen algorithm for %-22s: %s\n", label, res.BestAlgorithm(i))
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command atune-wisdom inspects and merges wisdom files — the persisted
+// tuning results written by applications using internal/wisdom (see
+// examples/matmul).
+//
+// Usage:
+//
+//	atune-wisdom show <file>
+//	atune-wisdom merge <out> <in>...
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/wisdom"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atune-wisdom: ")
+	if len(os.Args) < 3 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "show":
+		show(os.Args[2])
+	case "merge":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		merge(os.Args[2], os.Args[3:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: atune-wisdom show <file> | atune-wisdom merge <out> <in>...")
+	os.Exit(2)
+}
+
+func show(path string) {
+	s, err := wisdom.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable(fmt.Sprintf("wisdom: %s (%d entries)", path, s.Len()),
+		"context", "algorithm", "value", "samples")
+	for _, key := range s.Keys() {
+		e, _ := s.Lookup(key)
+		t.Addf(key, e.Algorithm, e.Value, e.Samples)
+	}
+	t.Render(os.Stdout)
+}
+
+func merge(out string, ins []string) {
+	merged := wisdom.NewStore()
+	for _, in := range ins {
+		s, err := wisdom.LoadFile(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		changed := merged.Merge(s)
+		fmt.Printf("merged %s: %d entries folded in\n", in, changed)
+	}
+	if err := merged.SaveFile(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d entries)\n", out, merged.Len())
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of Pfaffe, Tillmann,
+// Walter and Tichy, "Online-Autotuning in the Presence of Algorithmic
+// Choice" (IPDPSW 2017).
+//
+// The library lives under internal/: the two-phase online autotuner
+// (internal/core), the four nominal selection strategies the paper
+// proposes (internal/nominal), the classical numeric search strategies it
+// reviews (internal/search), and the two complete case-study substrates —
+// eight parallel string matching algorithms (internal/strmatch) and a
+// raytracer with four parallel SAH kD-tree construction algorithms
+// (internal/kdtree, internal/ray, internal/scenegen).
+//
+// The executables under cmd/ regenerate every table and figure of the
+// paper's evaluation; bench_test.go in this directory holds one benchmark
+// per experiment. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,199 @@
+// Matmul: algorithmic choice over matrix-multiplication kernels — the
+// other classic motivating workload of the algorithmic-choice literature —
+// plus the wisdom store: tuning results persist across runs, FFTW-style,
+// so a restarted application starts from what the last run learned.
+//
+// Four kernels solve C = A·B: the naive i-j-k loop, the cache-friendlier
+// i-k-j reordering, a transposed-B variant, and a blocked kernel whose
+// block size the tuner optimizes with Nelder-Mead while the ε-Greedy
+// phase picks among the kernels.
+//
+// Run: go run ./examples/matmul [-n 192] [-iters 60] [-wisdom /tmp/wisdom.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nominal"
+	"repro/internal/param"
+	"repro/internal/wisdom"
+)
+
+type matrix struct {
+	n    int
+	data []float64
+}
+
+func newMatrix(n int, r *rand.Rand) matrix {
+	m := matrix{n: n, data: make([]float64, n*n)}
+	for i := range m.data {
+		m.data[i] = r.Float64()
+	}
+	return m
+}
+
+func (m matrix) at(i, j int) float64     { return m.data[i*m.n+j] }
+func (m matrix) set(i, j int, v float64) { m.data[i*m.n+j] = v }
+
+func mulNaive(a, b, c matrix) {
+	n := a.n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a.at(i, k) * b.at(k, j)
+			}
+			c.set(i, j, sum)
+		}
+	}
+}
+
+func mulIKJ(a, b, c matrix) {
+	n := a.n
+	for i := range c.data {
+		c.data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a.at(i, k)
+			for j := 0; j < n; j++ {
+				c.data[i*n+j] += aik * b.data[k*n+j]
+			}
+		}
+	}
+}
+
+func mulTransposed(a, b, c matrix) {
+	n := a.n
+	bt := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			bt[j*n+i] = b.at(i, j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a.data[i*n+k] * bt[j*n+k]
+			}
+			c.set(i, j, sum)
+		}
+	}
+}
+
+func mulBlocked(a, b, c matrix, block int) {
+	n := a.n
+	for i := range c.data {
+		c.data[i] = 0
+	}
+	for ii := 0; ii < n; ii += block {
+		for kk := 0; kk < n; kk += block {
+			for jj := 0; jj < n; jj += block {
+				iMax, kMax, jMax := min(ii+block, n), min(kk+block, n), min(jj+block, n)
+				for i := ii; i < iMax; i++ {
+					for k := kk; k < kMax; k++ {
+						aik := a.at(i, k)
+						for j := jj; j < jMax; j++ {
+							c.data[i*n+j] += aik * b.data[k*n+j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		n          = flag.Int("n", 192, "matrix dimension")
+		iters      = flag.Int("iters", 60, "tuning iterations")
+		wisdomPath = flag.String("wisdom", "", "wisdom file (optional; persists results across runs)")
+	)
+	flag.Parse()
+
+	r := rand.New(rand.NewSource(7))
+	a, b, c := newMatrix(*n, r), newMatrix(*n, r), newMatrix(*n, r)
+
+	algos := []core.Algorithm{
+		{Name: "naive-ijk"},
+		{Name: "reordered-ikj"},
+		{Name: "transposed"},
+		{
+			Name:  "blocked",
+			Space: param.NewSpace(param.NewRatioInt("block", 8, 256)),
+			Init:  param.Config{32},
+		},
+	}
+
+	// Load wisdom: if a previous run already learned this context, seed
+	// the blocked kernel's starting configuration from it.
+	key := wisdom.Key("matmul", fmt.Sprintf("n=%d", *n))
+	store := wisdom.NewStore()
+	if *wisdomPath != "" {
+		var err error
+		store, err = wisdom.LoadFile(*wisdomPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if e, ok := store.Lookup(key); ok {
+			fmt.Printf("wisdom: previous best %s (%.2f ms)\n", e.Algorithm, e.Value)
+			if e.Algorithm == "blocked" && len(e.Config) == 1 {
+				algos[3].Init = param.Config{e.Config[0]}
+			}
+		}
+	}
+
+	tuner, err := core.New(algos, nominal.NewEpsilonGreedy(0.10), nil, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure := func(algo int, cfg param.Config) float64 {
+		start := time.Now()
+		switch algo {
+		case 0:
+			mulNaive(a, b, c)
+		case 1:
+			mulIKJ(a, b, c)
+		case 2:
+			mulTransposed(a, b, c)
+		case 3:
+			mulBlocked(a, b, c, int(cfg[0]))
+		}
+		return float64(time.Since(start).Microseconds()) / 1000.0
+	}
+	for i := 0; i < *iters; i++ {
+		rec := tuner.Step(measure)
+		if i%10 == 0 {
+			fmt.Printf("iter %3d  %-14s %7.2f ms\n", i, algos[rec.Algo].Name, rec.Value)
+		}
+	}
+
+	best, cfg, val := tuner.Best()
+	fmt.Printf("\nwinner: %s (%.2f ms)", algos[best].Name, val)
+	if algos[best].Space != nil {
+		fmt.Printf("  %s", algos[best].Space.Format(cfg))
+	}
+	fmt.Println()
+
+	if *wisdomPath != "" {
+		store.Record(key, algos[best].Name, cfg, val)
+		if err := store.SaveFile(*wisdomPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wisdom saved to %s\n", *wisdomPath)
+	}
+}

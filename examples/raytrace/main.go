@@ -1,0 +1,122 @@
+// Raytrace: the paper's second case study as a runnable example.
+//
+// A raytracer renders a procedural cathedral frame by frame. Every frame
+// first builds an SAH kD-tree — and there are four construction
+// algorithms, each with its own tunable parameters (SAH costs, leaf size,
+// parallelization depth; the Lazy builder adds an eager-construction
+// cutoff). The online tuner picks the construction algorithm AND tunes the
+// chosen algorithm's parameters with Nelder-Mead, using the live frame
+// times as its measurement — the paper's combined two-phase tuning.
+//
+// Run: go run ./examples/raytrace [-frames 40] [-strategy egreedy:10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/kdtree"
+	"repro/internal/nominal"
+	"repro/internal/ray"
+	"repro/internal/scenegen"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		frames   = flag.Int("frames", 40, "frames to render (tuning iterations)")
+		detail   = flag.Int("detail", 2, "scene detail level")
+		width    = flag.Int("width", 120, "render width")
+		height   = flag.Int("height", 90, "render height")
+		workers  = flag.Int("workers", 4, "render worker goroutines")
+		strategy = flag.String("strategy", "egreedy:10", "phase-two strategy")
+		ascii    = flag.Bool("ascii", true, "print the final frame as ASCII art")
+	)
+	flag.Parse()
+
+	scene := scenegen.Cathedral(*detail)
+	fmt.Printf("scene: %s, %d triangles\n", scene.Name, len(scene.Triangles))
+
+	pl := &ray.Pipeline{
+		Tris:    scene.Triangles,
+		Cam:     ray.Camera{Eye: scene.Eye, LookAt: scene.LookAt, FOV: 65},
+		Light:   scene.Light,
+		Width:   *width,
+		Height:  *height,
+		Workers: *workers,
+	}
+
+	sel, err := nominal.NewByName(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := kdtree.BuilderNames()
+	builders := make([]kdtree.Builder, len(names))
+	algos := make([]core.Algorithm, len(names))
+	for i, n := range names {
+		b, err := kdtree.NewBuilder(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		builders[i] = b
+		space, init := exp.BuilderSpace(n)
+		algos[i] = core.Algorithm{Name: n, Space: space, Init: init}
+	}
+	tuner, err := core.New(algos, sel, core.DefaultFactory, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var lastFrame ray.Frame
+	for i := 0; i < *frames; i++ {
+		algo, cfg := tuner.Next()
+		start := time.Now()
+		frame, timing := pl.RenderFrame(builders[algo], exp.ConfigToParams(names[algo], cfg))
+		total := time.Since(start)
+		tuner.Observe(float64(total.Microseconds()) / 1000.0)
+		lastFrame = frame
+		if i%5 == 0 {
+			fmt.Printf("frame %3d  %-12s build %6.2fms render %6.2fms  cfg: %s\n",
+				i, names[algo], ms(timing.Build), ms(timing.Render),
+				algos[algo].Space.Format(cfg))
+		}
+	}
+
+	best, cfg, val := tuner.Best()
+	fmt.Printf("\nbest construction algorithm: %s (%.2f ms/frame)\n", names[best], val)
+	fmt.Printf("best configuration:          %s\n", algos[best].Space.Format(cfg))
+
+	if *ascii {
+		fmt.Println("\nfinal frame:")
+		printASCII(lastFrame)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }
+
+// printASCII downsamples the frame onto a character ramp.
+func printASCII(f ray.Frame) {
+	const ramp = " .:-=+*#%@"
+	stepY, stepX := 3, 2
+	var sb strings.Builder
+	for y := 0; y < f.Height; y += stepY {
+		for x := 0; x < f.Width; x += stepX {
+			v := f.At(x, y)
+			idx := int(v * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			sb.WriteByte(ramp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Print(sb.String())
+}

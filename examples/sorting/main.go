@@ -1,0 +1,168 @@
+// Sorting: algorithmic choice over sort algorithms — the classic
+// motivating workload of the algorithmic-choice literature (PetaBricks'
+// introductory example). Which sort wins depends on the input size and
+// shape: insertion sort on tiny or nearly-sorted slices, quicksort on
+// random data, and a tuned-threshold hybrid in between.
+//
+// The example runs the online tuner across three input regimes and shows
+// it picking a different winner per regime — the input sensitivity that
+// makes offline, one-shot choices inadequate.
+//
+// Run: go run ./examples/sorting
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nominal"
+	"repro/internal/param"
+)
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func quickSort(a []int) {
+	if len(a) < 2 {
+		return
+	}
+	pivot := a[len(a)/2]
+	lo, hi := 0, len(a)-1
+	for lo <= hi {
+		for a[lo] < pivot {
+			lo++
+		}
+		for a[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			a[lo], a[hi] = a[hi], a[lo]
+			lo++
+			hi--
+		}
+	}
+	quickSort(a[:hi+1])
+	quickSort(a[lo:])
+}
+
+// hybridSort is quicksort with a tunable insertion-sort cutoff.
+func hybridSort(a []int, cutoff int) {
+	if len(a) <= cutoff {
+		insertionSort(a)
+		return
+	}
+	pivot := a[len(a)/2]
+	lo, hi := 0, len(a)-1
+	for lo <= hi {
+		for a[lo] < pivot {
+			lo++
+		}
+		for a[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			a[lo], a[hi] = a[hi], a[lo]
+			lo++
+			hi--
+		}
+	}
+	hybridSort(a[:hi+1], cutoff)
+	hybridSort(a[lo:], cutoff)
+}
+
+// regimes produce the three input shapes.
+type regime struct {
+	name string
+	gen  func(r *rand.Rand) []int
+}
+
+func regimes() []regime {
+	return []regime{
+		{"tiny-random (n=64)", func(r *rand.Rand) []int {
+			a := make([]int, 64)
+			for i := range a {
+				a[i] = r.Int()
+			}
+			return a
+		}},
+		{"nearly-sorted (n=20000)", func(r *rand.Rand) []int {
+			a := make([]int, 20000)
+			for i := range a {
+				a[i] = i
+			}
+			for k := 0; k < 40; k++ { // a few displaced elements
+				i, j := r.Intn(len(a)), r.Intn(len(a))
+				a[i], a[j] = a[j], a[i]
+			}
+			return a
+		}},
+		{"random (n=20000)", func(r *rand.Rand) []int {
+			a := make([]int, 20000)
+			for i := range a {
+				a[i] = r.Int()
+			}
+			return a
+		}},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	algos := []core.Algorithm{
+		{Name: "insertion"},
+		{Name: "quick"},
+		{
+			Name:  "hybrid",
+			Space: param.NewSpace(param.NewRatioInt("cutoff", 4, 256)),
+			Init:  param.Config{16},
+		},
+		{Name: "stdlib"},
+	}
+
+	for _, reg := range regimes() {
+		r := rand.New(rand.NewSource(99))
+		tuner, err := core.New(algos, nominal.NewEpsilonGreedy(0.10), nil, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		measure := func(algo int, cfg param.Config) float64 {
+			data := reg.gen(r)
+			start := time.Now()
+			switch algo {
+			case 0:
+				insertionSort(data)
+			case 1:
+				quickSort(data)
+			case 2:
+				hybridSort(data, int(cfg[0]))
+			case 3:
+				sort.Ints(data)
+			}
+			elapsed := float64(time.Since(start).Microseconds())
+			if !sort.IntsAreSorted(data) {
+				log.Fatalf("%s produced an unsorted result", algos[algo].Name)
+			}
+			return elapsed
+		}
+		tuner.Run(120, measure)
+		best, cfg, val := tuner.Best()
+		fmt.Printf("%-26s → %-9s (%6.0f µs", reg.name, algos[best].Name, val)
+		if algos[best].Space != nil {
+			fmt.Printf(", %s", algos[best].Space.Format(cfg))
+		}
+		fmt.Print(")  counts:")
+		for i, c := range tuner.Counts() {
+			fmt.Printf(" %s=%d", algos[i].Name, c)
+		}
+		fmt.Println()
+	}
+}

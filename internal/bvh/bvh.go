@@ -1,0 +1,334 @@
+// Package bvh implements a binned-SAH bounding volume hierarchy — the
+// other mainstream ray-acceleration structure. It exists to pose the
+// paper's question one level up: not only which kD-tree construction
+// algorithm to use, but whether to use a kD-tree at all. Extension X5
+// hands the online tuner the choice between the four kD-tree builders and
+// this BVH, each with its own tunable parameters.
+package bvh
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
+
+// Params are the tunable construction parameters of the BVH builder.
+type Params struct {
+	// LeafSize is the primitive count at or below which a node becomes a
+	// leaf without attempting a split.
+	LeafSize int
+	// Bins is the binned-SAH bin count per axis.
+	Bins int
+	// MaxDepth caps the tree depth; 0 derives 2 + 1.2·log₂(n).
+	MaxDepth int
+	// TraversalCost and IntersectCost weigh the SAH, as in the kD-tree.
+	TraversalCost, IntersectCost float64
+}
+
+// DefaultParams returns a reasonable baseline configuration.
+func DefaultParams() Params {
+	return Params{LeafSize: 4, Bins: 16, MaxDepth: 0, TraversalCost: 1, IntersectCost: 1}
+}
+
+func (p Params) sanitize(n int) Params {
+	if p.LeafSize < 1 {
+		p.LeafSize = 1
+	}
+	if p.Bins < 2 {
+		p.Bins = 2
+	}
+	if p.Bins > 256 {
+		p.Bins = 256
+	}
+	if p.MaxDepth <= 0 {
+		d := 4
+		if n > 0 {
+			d = int(2 + 1.2*math.Log2(float64(n)+1))
+		}
+		if d < 4 {
+			d = 4
+		}
+		p.MaxDepth = d
+	}
+	if p.TraversalCost <= 0 {
+		p.TraversalCost = 1
+	}
+	if p.IntersectCost <= 0 {
+		p.IntersectCost = 1
+	}
+	return p
+}
+
+// node is one BVH node; leaves hold a range of the reordered index slice.
+type node struct {
+	bounds       geom.AABB
+	left, right  int32 // child indices; -1 for leaves
+	start, count int32 // leaf payload in Tree.order
+}
+
+// Tree is an immutable BVH over a triangle slice. Unlike the kD-tree,
+// every primitive appears in exactly one leaf (no duplication); the
+// trade is overlapping sibling volumes instead of split clipping.
+type Tree struct {
+	Tris   []geom.Triangle
+	Bounds geom.AABB
+
+	nodes []node
+	order []int32
+}
+
+// Build constructs a binned-SAH BVH.
+func Build(tris []geom.Triangle, p Params) *Tree {
+	p = p.sanitize(len(tris))
+	t := &Tree{Tris: tris}
+	t.order = make([]int32, len(tris))
+	centroids := make([]geom.Vec3, len(tris))
+	bounds := make([]geom.AABB, len(tris))
+	world := geom.EmptyAABB()
+	for i := range tris {
+		t.order[i] = int32(i)
+		bounds[i] = tris[i].Bounds()
+		centroids[i] = tris[i].Centroid()
+		world = world.Union(bounds[i])
+	}
+	t.Bounds = world
+	if len(tris) == 0 {
+		return t
+	}
+	t.build(0, int32(len(tris)), world, 0, p, centroids, bounds)
+	return t
+}
+
+// build recursively constructs the subtree over order[start:start+count]
+// and returns its node index.
+func (t *Tree) build(start, count int32, nb geom.AABB, depth int, p Params, centroids []geom.Vec3, bounds []geom.AABB) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{bounds: nb, left: -1, right: -1, start: start, count: count})
+	if int(count) <= p.LeafSize || depth >= p.MaxDepth {
+		return idx
+	}
+
+	// Bin centroids along the longest centroid-extent axis.
+	cb := geom.EmptyAABB()
+	for _, ti := range t.order[start : start+count] {
+		cb = cb.Extend(centroids[ti])
+	}
+	axis := cb.LongestAxis()
+	lo, hi := cb.Min.Axis(axis), cb.Max.Axis(axis)
+	if hi-lo <= 0 {
+		return idx // all centroids coincide: keep the leaf
+	}
+	type bin struct {
+		count  int
+		bounds geom.AABB
+	}
+	bins := make([]bin, p.Bins)
+	for i := range bins {
+		bins[i].bounds = geom.EmptyAABB()
+	}
+	inv := float64(p.Bins) / (hi - lo)
+	binOf := func(ti int32) int {
+		b := int((centroids[ti].Axis(axis) - lo) * inv)
+		if b < 0 {
+			b = 0
+		}
+		if b >= p.Bins {
+			b = p.Bins - 1
+		}
+		return b
+	}
+	for _, ti := range t.order[start : start+count] {
+		b := binOf(ti)
+		bins[b].count++
+		bins[b].bounds = bins[b].bounds.Union(bounds[ti])
+	}
+
+	// Sweep for the best SAH split between bins.
+	leftB := make([]geom.AABB, p.Bins)
+	leftN := make([]int, p.Bins)
+	acc := geom.EmptyAABB()
+	n := 0
+	for i := 0; i < p.Bins; i++ {
+		acc = acc.Union(bins[i].bounds)
+		n += bins[i].count
+		leftB[i] = acc
+		leftN[i] = n
+	}
+	sa := nb.SurfaceArea()
+	bestCost := math.Inf(1)
+	bestSplit := -1
+	rightB := geom.EmptyAABB()
+	rightN := 0
+	for i := p.Bins - 1; i >= 1; i-- {
+		rightB = rightB.Union(bins[i].bounds)
+		rightN += bins[i].count
+		nl := leftN[i-1]
+		if nl == 0 || rightN == 0 {
+			continue
+		}
+		cost := p.TraversalCost + p.IntersectCost*
+			(leftB[i-1].SurfaceArea()/sa*float64(nl)+rightB.SurfaceArea()/sa*float64(rightN))
+		if cost < bestCost {
+			bestCost = cost
+			bestSplit = i
+		}
+	}
+	if bestSplit < 0 || bestCost >= p.IntersectCost*float64(count) {
+		return idx // leaf is cheaper
+	}
+
+	// Partition order[start:start+count] by bin.
+	seg := t.order[start : start+count]
+	sort.Slice(seg, func(a, b int) bool { return binOf(seg[a]) < binOf(seg[b]) })
+	mid := start
+	for _, ti := range seg {
+		if binOf(ti) < bestSplit {
+			mid++
+		}
+	}
+	lb, rb := geom.EmptyAABB(), geom.EmptyAABB()
+	for _, ti := range t.order[start:mid] {
+		lb = lb.Union(bounds[ti])
+	}
+	for _, ti := range t.order[mid : start+count] {
+		rb = rb.Union(bounds[ti])
+	}
+	left := t.build(start, mid-start, lb, depth+1, p, centroids, bounds)
+	right := t.build(mid, start+count-mid, rb, depth+1, p, centroids, bounds)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	t.nodes[idx].count = 0
+	return idx
+}
+
+// Intersect returns the nearest intersection in (tMin, tMax). The Hit
+// type is shared with the kD-tree so both satisfy ray.Intersecter.
+func (t *Tree) Intersect(r geom.Ray, tMin, tMax float64) (kdtree.Hit, bool) {
+	return t.traverse(r, tMin, tMax, false)
+}
+
+// Occluded reports whether any triangle blocks the ray in (tMin, tMax).
+func (t *Tree) Occluded(r geom.Ray, tMin, tMax float64) bool {
+	_, hit := t.traverse(r, tMin, tMax, true)
+	return hit
+}
+
+func (t *Tree) traverse(r geom.Ray, tMin, tMax float64, anyHit bool) (kdtree.Hit, bool) {
+	if len(t.nodes) == 0 {
+		return kdtree.Hit{}, false
+	}
+	best := kdtree.Hit{T: tMax}
+	found := false
+	var stack [64]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	for sp > 0 {
+		sp--
+		n := &t.nodes[stack[sp]]
+		if _, _, ok := n.bounds.IntersectRay(r, tMin, best.T); !ok {
+			continue
+		}
+		if n.left < 0 {
+			for _, ti := range t.order[n.start : n.start+n.count] {
+				if ht, ok := t.Tris[ti].IntersectRay(r, tMin, best.T); ok {
+					best.T = ht
+					best.Tri = int(ti)
+					found = true
+					if anyHit {
+						return best, true
+					}
+				}
+			}
+			continue
+		}
+		// Push children; visiting order matters less for a BVH because
+		// the bounds test reclips against the shrinking best.T.
+		if sp+2 <= len(stack) {
+			stack[sp] = n.left
+			sp++
+			stack[sp] = n.right
+			sp++
+		} else {
+			// Depth is bounded by MaxDepth (≤ ~40 for any realistic n);
+			// degrade to direct recursion if a pathological tree exceeds
+			// the stack.
+			for _, child := range []int32{n.left, n.right} {
+				if h, ok := t.traverseFrom(child, r, tMin, best.T, anyHit); ok {
+					best = h
+					found = true
+					if anyHit {
+						return best, true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		return kdtree.Hit{T: math.Inf(1)}, false
+	}
+	return best, true
+}
+
+func (t *Tree) traverseFrom(idx int32, r geom.Ray, tMin, tMax float64, anyHit bool) (kdtree.Hit, bool) {
+	n := &t.nodes[idx]
+	if _, _, ok := n.bounds.IntersectRay(r, tMin, tMax); !ok {
+		return kdtree.Hit{}, false
+	}
+	best := kdtree.Hit{T: tMax}
+	found := false
+	if n.left < 0 {
+		for _, ti := range t.order[n.start : n.start+n.count] {
+			if ht, ok := t.Tris[ti].IntersectRay(r, tMin, best.T); ok {
+				best.T = ht
+				best.Tri = int(ti)
+				found = true
+				if anyHit {
+					return best, true
+				}
+			}
+		}
+		return best, found
+	}
+	for _, child := range []int32{n.left, n.right} {
+		if h, ok := t.traverseFrom(child, r, tMin, best.T, anyHit); ok {
+			best = h
+			found = true
+			if anyHit {
+				return best, true
+			}
+		}
+	}
+	return best, found
+}
+
+// Stats summarizes the tree shape.
+type Stats struct {
+	Nodes, Leaves, MaxDepth, Tris int
+}
+
+// Stats walks the tree and reports its shape.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	var rec func(idx int32, depth int)
+	rec = func(idx int32, depth int) {
+		s.Nodes++
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		n := &t.nodes[idx]
+		if n.left < 0 {
+			s.Leaves++
+			s.Tris += int(n.count)
+			return
+		}
+		rec(n.left, depth+1)
+		rec(n.right, depth+1)
+	}
+	if len(t.nodes) > 0 {
+		rec(0, 0)
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package bvh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+	"repro/internal/scenegen"
+)
+
+func bruteIntersect(tris []geom.Triangle, r geom.Ray, tMin, tMax float64) (kdtree.Hit, bool) {
+	best := kdtree.Hit{T: tMax}
+	found := false
+	for i, tr := range tris {
+		if t, ok := tr.IntersectRay(r, tMin, best.T); ok {
+			best = kdtree.Hit{T: t, Tri: i}
+			found = true
+		}
+	}
+	return best, found
+}
+
+func randomRays(b geom.AABB, n int, seed int64) []geom.Ray {
+	r := rand.New(rand.NewSource(seed))
+	d := b.Diagonal()
+	rays := make([]geom.Ray, n)
+	for i := range rays {
+		origin := geom.V(
+			b.Min.X+d.X*(r.Float64()*3-1),
+			b.Min.Y+d.Y*(r.Float64()*3-1),
+			b.Min.Z+d.Z*(r.Float64()*3-1),
+		)
+		target := geom.V(
+			b.Min.X+d.X*r.Float64(),
+			b.Min.Y+d.Y*r.Float64(),
+			b.Min.Z+d.Z*r.Float64(),
+		)
+		rays[i] = geom.Ray{Origin: origin, Dir: target.Sub(origin).Normalize()}
+	}
+	return rays
+}
+
+func TestBVHMatchesBruteForce(t *testing.T) {
+	tris := scenegen.Cathedral(1).Triangles
+	tree := Build(tris, DefaultParams())
+	for _, ray := range randomRays(tree.Bounds, 400, 5) {
+		want, wok := bruteIntersect(tris, ray, 1e-9, 1e9)
+		got, gok := tree.Intersect(ray, 1e-9, 1e9)
+		if wok != gok || (wok && math.Abs(want.T-got.T) > 1e-9) {
+			t.Fatalf("mismatch: %v/%v vs %v/%v", want, wok, got, gok)
+		}
+		if tree.Occluded(ray, 1e-9, 1e9) != wok {
+			t.Fatal("occlusion disagrees with intersection")
+		}
+	}
+}
+
+func TestBVHNoDuplication(t *testing.T) {
+	tris := scenegen.Cathedral(1).Triangles
+	tree := Build(tris, DefaultParams())
+	s := tree.Stats()
+	// Unlike the kD-tree, each primitive lives in exactly one leaf.
+	if s.Tris != len(tris) {
+		t.Errorf("leaves reference %d triangles, want exactly %d", s.Tris, len(tris))
+	}
+	if s.Nodes != 2*s.Leaves-1 {
+		t.Errorf("binary-tree invariant violated: %d nodes, %d leaves", s.Nodes, s.Leaves)
+	}
+	// Every index appears exactly once in the reordered slice.
+	seen := make([]bool, len(tris))
+	for _, ti := range tree.order {
+		if seen[ti] {
+			t.Fatalf("triangle %d appears twice", ti)
+		}
+		seen[ti] = true
+	}
+}
+
+func TestBVHParamsRespected(t *testing.T) {
+	tris := scenegen.Cathedral(1).Triangles
+	p := DefaultParams()
+	p.MaxDepth = 3
+	tree := Build(tris, p)
+	if s := tree.Stats(); s.MaxDepth > 3 {
+		t.Errorf("depth %d exceeds cap 3", s.MaxDepth)
+	}
+	p = DefaultParams()
+	p.LeafSize = len(tris)
+	if s := Build(tris, p).Stats(); s.Nodes != 1 {
+		t.Errorf("leaf-size cap ignored: %+v", s)
+	}
+}
+
+func TestBVHEmptyAndTiny(t *testing.T) {
+	empty := Build(nil, DefaultParams())
+	if _, hit := empty.Intersect(geom.Ray{Origin: geom.V(0, 0, -1), Dir: geom.V(0, 0, 1)}, 0, 10); hit {
+		t.Error("hit in empty scene")
+	}
+	one := []geom.Triangle{{A: geom.V(0, 0, 0), B: geom.V(1, 0, 0), C: geom.V(0, 1, 0)}}
+	tree := Build(one, DefaultParams())
+	hit, ok := tree.Intersect(geom.Ray{Origin: geom.V(0.2, 0.2, -1), Dir: geom.V(0, 0, 1)}, 0, 10)
+	if !ok || math.Abs(hit.T-1) > 1e-12 || hit.Tri != 0 {
+		t.Errorf("single triangle: %+v %v", hit, ok)
+	}
+}
+
+func TestBVHCoincidentCentroids(t *testing.T) {
+	// All centroids equal: splitting is impossible; must stay a leaf and
+	// still answer queries correctly.
+	tris := make([]geom.Triangle, 16)
+	for i := range tris {
+		tris[i] = geom.Triangle{A: geom.V(-1, -1, 0), B: geom.V(1, -1, 0), C: geom.V(0, 2, 0)}
+	}
+	tree := Build(tris, DefaultParams())
+	_, ok := tree.Intersect(geom.Ray{Origin: geom.V(0, 0, -5), Dir: geom.V(0, 0, 1)}, 0, 100)
+	if !ok {
+		t.Error("stacked triangles not hit")
+	}
+}
+
+// Property: BVH agrees with the oracle on random scenes, rays and params.
+func TestBVHOracleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(150)
+		tris := make([]geom.Triangle, n)
+		for i := range tris {
+			c := geom.V(r.Float64()*20-10, r.Float64()*20-10, r.Float64()*20-10)
+			size := 0.05 + r.Float64()*3
+			rv := func() geom.Vec3 {
+				return c.Add(geom.V((r.Float64()-0.5)*size, (r.Float64()-0.5)*size, (r.Float64()-0.5)*size))
+			}
+			tris[i] = geom.Triangle{A: rv(), B: rv(), C: rv()}
+		}
+		p := Params{
+			LeafSize: 1 + r.Intn(8),
+			Bins:     2 + r.Intn(40),
+			MaxDepth: 2 + r.Intn(20),
+		}
+		tree := Build(tris, p)
+		for k := 0; k < 40; k++ {
+			ray := geom.Ray{
+				Origin: geom.V(r.Float64()*40-20, r.Float64()*40-20, r.Float64()*40-20),
+				Dir:    geom.V(r.Float64()*2-1, r.Float64()*2-1, r.Float64()*2-1).Normalize(),
+			}
+			want, wok := bruteIntersect(tris, ray, 1e-9, 1e9)
+			got, gok := tree.Intersect(ray, 1e-9, 1e9)
+			if wok != gok || (wok && math.Abs(want.T-got.T) > 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

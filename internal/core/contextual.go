@@ -1,0 +1,86 @@
+package core
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/nominal"
+	"repro/internal/search"
+)
+
+// Contextual maintains one independent two-phase tuner per application
+// context (an input-size bucket, a data-shape class, a query category…).
+//
+// The paper's formulation fixes the context K = (K_A, K_S) for the
+// duration of tuning; the related work it builds on (PetaBricks' decision
+// trees, Nitro's feature models) exists precisely because real inputs
+// vary and the best algorithm varies with them (extension X2 measures
+// this for pattern length). Contextual is the online answer: the
+// application labels each iteration with its context key and gets a tuner
+// that has only ever seen that context — no offline training, no feature
+// model, at the cost of learning each context separately.
+type Contextual struct {
+	algos    []Algorithm
+	selector func() nominal.Selector
+	factory  search.Factory
+	seed     int64
+	opts     []Option
+
+	mu     sync.Mutex
+	tuners map[string]*Tuner
+}
+
+// NewContextual prepares a per-context tuner family. The selector
+// function builds a fresh phase-two strategy per context (selectors are
+// stateful); factory and opts are as in New. Each context's random stream
+// is derived from the seed and the context key, so runs are reproducible
+// regardless of context arrival order.
+func NewContextual(algos []Algorithm, selector func() nominal.Selector, factory search.Factory, seed int64, opts ...Option) *Contextual {
+	return &Contextual{
+		algos:    algos,
+		selector: selector,
+		factory:  factory,
+		seed:     seed,
+		opts:     opts,
+		tuners:   make(map[string]*Tuner),
+	}
+}
+
+// For returns the tuner for a context, creating it on first use.
+func (c *Contextual) For(context string) (*Tuner, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.tuners[context]; ok {
+		return t, nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(context))
+	t, err := New(c.algos, c.selector(), c.factory, c.seed^int64(h.Sum64()), c.opts...)
+	if err != nil {
+		return nil, err
+	}
+	c.tuners[context] = t
+	return t, nil
+}
+
+// Contexts returns the context keys seen so far, sorted.
+func (c *Contextual) Contexts() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.tuners))
+	for k := range c.tuners {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Step runs one tuning iteration in the given context.
+func (c *Contextual) Step(context string, m Measure) (Record, error) {
+	t, err := c.For(context)
+	if err != nil {
+		return Record{}, err
+	}
+	return t.Step(m), nil
+}

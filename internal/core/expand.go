@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/param"
+)
+
+// Expansion generalizes the two-phase tuner from algorithmic choice to
+// arbitrary nominal parameters — the paper's stated future work (§VI) —
+// by reduction: an algorithm whose own space contains nominal parameters
+// is expanded into one derived algorithm per combination of nominal
+// values, each with the purely metric residual space. The phase-two
+// selector then governs every nominal decision at once (the algorithm
+// choice and each nominal parameter value), and phase one only ever sees
+// spaces that Nelder-Mead can search.
+type Expansion struct {
+	// Algos are the derived algorithms to hand to New.
+	Algos []Algorithm
+
+	original []int          // derived index → original algorithm index
+	fixed    []param.Config // derived index → full-width config with nominal values set, NaN elsewhere
+	keep     [][]int        // derived index → indices of the metric dims in the original space
+	sources  []Algorithm
+}
+
+// MaxExpansion bounds the number of derived algorithms one original
+// algorithm may expand into; beyond it the nominal cross-product is
+// unmanageable for a bandit and ExpandNominal returns an error.
+const MaxExpansion = 512
+
+// ExpandNominal builds the expansion of the given algorithm set.
+// Algorithms without nominal parameters pass through unchanged (one
+// derived algorithm, identity mapping).
+func ExpandNominal(algos []Algorithm) (*Expansion, error) {
+	e := &Expansion{sources: algos}
+	for ai, a := range algos {
+		sp := a.space()
+		var nominalDims, metricDims []int
+		for d := 0; d < sp.Dim(); d++ {
+			if sp.Param(d).Class() == param.Nominal {
+				nominalDims = append(nominalDims, d)
+			} else {
+				metricDims = append(metricDims, d)
+			}
+		}
+		if len(nominalDims) == 0 {
+			e.Algos = append(e.Algos, a)
+			e.original = append(e.original, ai)
+			e.fixed = append(e.fixed, nil)
+			e.keep = append(e.keep, metricDims)
+			continue
+		}
+
+		combos := 1
+		for _, d := range nominalDims {
+			combos *= sp.Param(d).Cardinality()
+			if combos > MaxExpansion {
+				return nil, fmt.Errorf("core: algorithm %q expands into more than %d variants", a.Name, MaxExpansion)
+			}
+		}
+
+		// Residual metric space and the projected initial configuration.
+		var residualParams []param.Parameter
+		for _, d := range metricDims {
+			residualParams = append(residualParams, sp.Param(d))
+		}
+		residual := param.NewSpace(residualParams...)
+		var residualInit param.Config
+		if a.Init != nil {
+			residualInit = make(param.Config, len(metricDims))
+			for i, d := range metricDims {
+				residualInit[i] = a.Init[d]
+			}
+			residualInit = residual.Clamp(residualInit)
+		}
+
+		// Enumerate the nominal cross-product with an odometer.
+		counters := make([]int, len(nominalDims))
+		for {
+			full := make(param.Config, sp.Dim())
+			var label strings.Builder
+			label.WriteString(a.Name)
+			label.WriteString("[")
+			for i, d := range nominalDims {
+				p := sp.Param(d).(*param.NominalParam)
+				full[d] = float64(counters[i])
+				if i > 0 {
+					label.WriteString(",")
+				}
+				fmt.Fprintf(&label, "%s=%s", p.Name(), p.Labels()[counters[i]])
+			}
+			label.WriteString("]")
+
+			e.Algos = append(e.Algos, Algorithm{
+				Name:  label.String(),
+				Space: residual,
+				Init:  residualInit,
+			})
+			e.original = append(e.original, ai)
+			e.fixed = append(e.fixed, full)
+			e.keep = append(e.keep, metricDims)
+
+			// Increment the odometer.
+			i := len(counters) - 1
+			for i >= 0 {
+				counters[i]++
+				if counters[i] < sp.Param(nominalDims[i]).Cardinality() {
+					break
+				}
+				counters[i] = 0
+				i--
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	return e, nil
+}
+
+// Original returns the index of the original algorithm behind derived
+// algorithm i.
+func (e *Expansion) Original(i int) int { return e.original[i] }
+
+// FullConfig reconstructs the original algorithm's full configuration
+// from derived algorithm i's reduced (metric-only) configuration.
+func (e *Expansion) FullConfig(i int, reduced param.Config) param.Config {
+	if e.fixed[i] == nil {
+		return reduced.Clone()
+	}
+	full := e.fixed[i].Clone()
+	for j, d := range e.keep[i] {
+		full[d] = reduced[j]
+	}
+	return full
+}
+
+// Measure wraps a measurement function defined over the ORIGINAL
+// algorithms and configurations so it can drive a tuner built over the
+// expanded set.
+func (e *Expansion) Measure(m Measure) Measure {
+	return func(algo int, cfg param.Config) float64 {
+		return m(e.original[algo], e.FullConfig(algo, cfg))
+	}
+}
+
+// BestOriginal interprets a tuner built over this expansion: it returns
+// the original algorithm index, the full original-space configuration,
+// and the best observed value.
+func (e *Expansion) BestOriginal(t *Tuner) (algo int, cfg param.Config, value float64) {
+	derived, reduced, value := t.Best()
+	if derived < 0 {
+		return -1, nil, value
+	}
+	return e.original[derived], e.FullConfig(derived, reduced), value
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nominal"
+	"repro/internal/param"
+)
+
+func TestMedianOfK(t *testing.T) {
+	seq := []float64{10, 1000, 10, 10, 9} // one huge outlier
+	i := 0
+	m := func(int, param.Config) float64 {
+		v := seq[i%len(seq)]
+		i++
+		return v
+	}
+	med := MedianOfK(m, 5)
+	if got := med(0, nil); got != 10 {
+		t.Errorf("median of %v = %g, want 10", seq, got)
+	}
+	if i != 5 {
+		t.Errorf("k=5 should consume 5 measurements, consumed %d", i)
+	}
+	// k ≤ 1 is the identity (no extra evaluations).
+	i = 0
+	id := MedianOfK(m, 1)
+	id(0, nil)
+	if i != 1 {
+		t.Errorf("k=1 consumed %d measurements", i)
+	}
+	i = 0
+	MedianOfK(m, 0)(0, nil)
+	if i != 1 {
+		t.Errorf("k=0 should clamp to identity")
+	}
+}
+
+func TestMinOfK(t *testing.T) {
+	seq := []float64{12, 11, 10, 14}
+	i := 0
+	m := func(int, param.Config) float64 {
+		v := seq[i%len(seq)]
+		i++
+		return v
+	}
+	if got := MinOfK(m, 4)(0, nil); got != 10 {
+		t.Errorf("min of %v = %g", seq, got)
+	}
+}
+
+func TestEMA(t *testing.T) {
+	seq := []float64{10, 20, 20}
+	i := 0
+	m := func(algo int, _ param.Config) float64 {
+		v := seq[i%len(seq)]
+		i++
+		return v
+	}
+	e := EMA(m, 0.5)
+	if got := e(0, nil); got != 10 {
+		t.Errorf("first sample should pass through, got %g", got)
+	}
+	if got := e(0, nil); got != 15 {
+		t.Errorf("EMA after 10,20 = %g, want 15", got)
+	}
+	if got := e(0, nil); got != 17.5 {
+		t.Errorf("EMA after 10,20,20 = %g, want 17.5", got)
+	}
+	// Per-algorithm state: a different algo starts fresh.
+	i = 0
+	if got := e(1, nil); got != 10 {
+		t.Errorf("other algorithm's first sample = %g, want 10", got)
+	}
+	// Bad alpha degrades to identity.
+	i = 0
+	if got := EMA(m, 0)(0, nil); got != 10 {
+		t.Errorf("alpha=0 identity broken: %g", got)
+	}
+}
+
+func TestMedianOfKImprovesTuningUnderNoise(t *testing.T) {
+	// A noisy quadratic: Nelder-Mead inside the tuner should land closer
+	// to the optimum when each observation is a median-of-5.
+	run := func(m Measure, seed int64) float64 {
+		algos := []Algorithm{{
+			Name:  "noisy",
+			Space: param.NewSpace(param.NewInterval("x", 0, 10)),
+			Init:  param.Config{0},
+		}}
+		tu, err := New(algos, nominal.NewRoundRobin(), DefaultFactory, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tu.Run(120, m)
+		// Judge by the TRUE cost of the final incumbent configuration,
+		// not the (noisy) observed best value.
+		_, cfg, _ := tu.Best()
+		d := cfg[0] - 7
+		return 3 + d*d
+	}
+	sumRaw, sumMed := 0.0, 0.0
+	const trials = 6
+	for seed := int64(0); seed < trials; seed++ {
+		r1 := rand.New(rand.NewSource(seed*2 + 1))
+		noisy1 := func(_ int, cfg param.Config) float64 {
+			d := cfg[0] - 7
+			v := 3 + d*d
+			return v * (1 + 0.4*r1.NormFloat64())
+		}
+		r2 := rand.New(rand.NewSource(seed*2 + 1))
+		noisy2 := func(_ int, cfg param.Config) float64 {
+			d := cfg[0] - 7
+			v := 3 + d*d
+			return v * (1 + 0.4*r2.NormFloat64())
+		}
+		sumRaw += run(noisy1, seed)
+		sumMed += run(MedianOfK(noisy2, 5), seed)
+	}
+	if !(sumMed < sumRaw) {
+		t.Errorf("median-of-5 true cost %.3f not better than raw %.3f under 40%% noise",
+			sumMed/trials, sumRaw/trials)
+	}
+	if math.IsNaN(sumMed) || math.IsNaN(sumRaw) {
+		t.Fatal("NaN costs")
+	}
+}

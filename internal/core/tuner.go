@@ -1,0 +1,342 @@
+// Package core implements the paper's primary contribution: a two-phase
+// online autotuner for search spaces containing algorithmic choice.
+//
+// The tuning problem (Section III of Pfaffe et al.) is
+//
+//	C_opt = argmin_{A ∈ 𝒜, C ∈ T_A} m_A(C)
+//
+// where 𝒜 is a set of algorithms and T_A the (per-algorithm) numeric
+// parameter space. Each tuning iteration applies the two phases in reverse
+// order: a phase-two nominal strategy (package nominal) selects an
+// algorithm A, then that algorithm's own phase-one strategy (package
+// search; the paper uses Nelder-Mead) proposes a configuration C_i. The
+// application runs A with C_i, measures it, and reports the sample
+// m_{A,i} back through the tuner, which feeds both levels.
+//
+// Every algorithm owns an independent phase-one strategy instance, so
+// tuning progress accumulates on all algorithms simultaneously as the
+// selector switches between them — the behaviour visible in the paper's
+// Figure 6.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nominal"
+	"repro/internal/param"
+	"repro/internal/search"
+)
+
+// An Algorithm is one alternative implementation of the tuned operation,
+// together with its numeric tuning-parameter space and an optional
+// hand-crafted initial configuration (the raytracing case study starts
+// every construction algorithm from a best-practices configuration).
+type Algorithm struct {
+	// Name identifies the algorithm, e.g. "wald-havran".
+	Name string
+	// Space is the algorithm's own tuning-parameter space T_A. A nil Space
+	// is treated as the empty space (no tunable parameters), which is the
+	// string matching case study's situation.
+	Space *param.Space
+	// Init is the starting configuration; nil means the space's center.
+	Init param.Config
+}
+
+func (a Algorithm) space() *param.Space {
+	if a.Space == nil {
+		return param.NewSpace()
+	}
+	return a.Space
+}
+
+// A Record is one completed tuning iteration.
+type Record struct {
+	// Iteration is the zero-based global iteration number.
+	Iteration int
+	// Algo is the index of the selected algorithm.
+	Algo int
+	// Config is the configuration that was run.
+	Config param.Config
+	// Value is the measured value (lower is better; time in the paper).
+	Value float64
+}
+
+// Measure is the measurement function m: it runs algorithm algo with
+// configuration cfg and returns the observed value (for example the
+// wall-clock time of the operation, in milliseconds).
+type Measure func(algo int, cfg param.Config) float64
+
+// Tuner is the two-phase online autotuner. It is driven either through the
+// ask/tell pair Next/Observe — which embeds naturally into an existing
+// application loop, the paper's online-tuning setting — or through Run,
+// which owns the loop. A Tuner is not safe for concurrent use: online
+// tuning wraps one repeatedly executed operation of the application.
+type Tuner struct {
+	algos      []Algorithm
+	selector   nominal.Selector
+	strategies []search.Strategy
+	rng        *rand.Rand
+
+	history []Record
+	counts  []int
+
+	pending        bool
+	pendingAlgo    int
+	pendingCfg     param.Config
+	bestAlgo       int
+	bestCfg        param.Config
+	bestVal        float64
+	keepHistory    bool
+	perAlgoHistory [][]float64
+}
+
+// Option configures a Tuner.
+type Option func(*Tuner)
+
+// WithoutHistory disables per-iteration record keeping (the counts and
+// incumbent are still maintained). Long-running production loops use this
+// to keep memory constant.
+func WithoutHistory() Option {
+	return func(t *Tuner) { t.keepHistory = false }
+}
+
+// New creates a two-phase tuner over the given algorithms.
+//
+// The selector is the phase-two strategy choosing among algorithms; the
+// factory builds one independent phase-one strategy per algorithm. New
+// fails when an algorithm's space is not supported by the strategy the
+// factory builds (for example Nelder-Mead on a space with ordinal
+// parameters). The seed determines all stochastic choices; runs with equal
+// seeds and deterministic measurement functions are identical.
+func New(algos []Algorithm, selector nominal.Selector, factory search.Factory, seed int64, opts ...Option) (*Tuner, error) {
+	if len(algos) == 0 {
+		return nil, fmt.Errorf("core: no algorithms to tune")
+	}
+	if selector == nil {
+		return nil, fmt.Errorf("core: nil selector")
+	}
+	if factory == nil {
+		factory = DefaultFactory
+	}
+	t := &Tuner{
+		algos:       algos,
+		selector:    selector,
+		strategies:  make([]search.Strategy, len(algos)),
+		rng:         rand.New(rand.NewSource(seed)),
+		counts:      make([]int, len(algos)),
+		bestAlgo:    -1,
+		bestVal:     math.Inf(1),
+		keepHistory: true,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	for i, a := range algos {
+		s := factory()
+		sp := a.space()
+		if !s.Supports(sp) {
+			// Fall back to a strategy that can handle the space rather
+			// than failing: the pragmatic choice matches the paper's
+			// architecture, where phase one is pluggable per algorithm.
+			s = DefaultStrategyFor(sp, seed+int64(i))
+		}
+		if err := s.Start(sp, a.Init); err != nil {
+			return nil, fmt.Errorf("core: algorithm %q: %w", a.Name, err)
+		}
+		t.strategies[i] = s
+	}
+	selector.Init(len(algos))
+	t.perAlgoHistory = make([][]float64, len(algos))
+	return t, nil
+}
+
+// DefaultFactory builds the paper's phase-one strategy, Nelder-Mead.
+func DefaultFactory() search.Strategy { return search.NewNelderMead() }
+
+// DefaultStrategyFor picks a phase-one strategy that can search the given
+// space: Fixed for empty spaces, Nelder-Mead for metric spaces, hill
+// climbing for discrete ordered spaces, and a genetic algorithm otherwise
+// (the one classical method defined on nominal dimensions).
+func DefaultStrategyFor(space *param.Space, seed int64) search.Strategy {
+	switch {
+	case space.Dim() == 0:
+		return search.NewFixed()
+	case space.MetricOnly():
+		return search.NewNelderMead()
+	case !space.HasNominal():
+		return search.NewHillClimb()
+	default:
+		return search.NewGenetic(search.DefaultPopulation, seed)
+	}
+}
+
+// NumAlgorithms returns the number of algorithm alternatives.
+func (t *Tuner) NumAlgorithms() int { return len(t.algos) }
+
+// AlgorithmName returns the name of algorithm i.
+func (t *Tuner) AlgorithmName(i int) string { return t.algos[i].Name }
+
+// Next performs phase two (algorithm selection) and phase one
+// (configuration proposal) and returns what the application should run
+// this iteration. Every Next must be matched by exactly one Observe.
+func (t *Tuner) Next() (algo int, cfg param.Config) {
+	if t.pending {
+		panic("core: Next called with an observation pending")
+	}
+	algo = t.selector.Select(t.rng)
+	cfg = t.strategies[algo].Propose()
+	t.pending = true
+	t.pendingAlgo = algo
+	t.pendingCfg = cfg.Clone()
+	return algo, cfg
+}
+
+// Observe reports the measured value of the configuration returned by the
+// preceding Next, feeding both tuning phases.
+func (t *Tuner) Observe(value float64) {
+	if !t.pending {
+		panic("core: Observe called without a pending Next")
+	}
+	t.pending = false
+	algo, cfg := t.pendingAlgo, t.pendingCfg
+	t.strategies[algo].Report(cfg, value)
+	t.selector.Report(algo, value)
+	t.counts[algo]++
+	if t.keepHistory {
+		t.history = append(t.history, Record{
+			Iteration: len(t.history),
+			Algo:      algo,
+			Config:    cfg,
+			Value:     value,
+		})
+	}
+	t.perAlgoHistory[algo] = append(t.perAlgoHistory[algo], value)
+	if value < t.bestVal {
+		t.bestVal = value
+		t.bestAlgo = algo
+		t.bestCfg = cfg.Clone()
+	}
+}
+
+// Step runs one complete tuning iteration with the given measurement
+// function and returns its record.
+func (t *Tuner) Step(m Measure) Record {
+	algo, cfg := t.Next()
+	v := m(algo, cfg)
+	t.Observe(v)
+	return Record{Iteration: t.Iterations() - 1, Algo: algo, Config: cfg, Value: v}
+}
+
+// Run executes iters tuning iterations. This is the whole online tuning
+// loop for applications that let the tuner drive.
+func (t *Tuner) Run(iters int, m Measure) {
+	for i := 0; i < iters; i++ {
+		t.Step(m)
+	}
+}
+
+// RunUntil steps the tuner until stop returns true or maxIters iterations
+// have run, returning the number of iterations executed.
+func (t *Tuner) RunUntil(m Measure, stop func(*Tuner) bool, maxIters int) int {
+	n := 0
+	for n < maxIters && !stop(t) {
+		t.Step(m)
+		n++
+	}
+	return n
+}
+
+// Iterations returns the number of completed tuning iterations.
+func (t *Tuner) Iterations() int {
+	total := 0
+	for _, c := range t.counts {
+		total += c
+	}
+	return total
+}
+
+// Best returns the globally best observation so far: the optimal algorithm
+// with its configuration and value. Before any iteration it returns
+// (-1, nil, +Inf).
+func (t *Tuner) Best() (algo int, cfg param.Config, value float64) {
+	if t.bestAlgo < 0 {
+		return -1, nil, math.Inf(1)
+	}
+	return t.bestAlgo, t.bestCfg.Clone(), t.bestVal
+}
+
+// BestConfigOf returns the best observed configuration and value for one
+// specific algorithm (phase one's incumbent).
+func (t *Tuner) BestConfigOf(algo int) (param.Config, float64) {
+	return t.strategies[algo].Best()
+}
+
+// Counts returns a copy of the per-algorithm selection counts — the data
+// behind the paper's Figures 4 and 8.
+func (t *Tuner) Counts() []int {
+	c := make([]int, len(t.counts))
+	copy(c, t.counts)
+	return c
+}
+
+// History returns the per-iteration records (empty with WithoutHistory).
+func (t *Tuner) History() []Record {
+	h := make([]Record, len(t.history))
+	copy(h, t.history)
+	return h
+}
+
+// ValuesOf returns the measured values of one algorithm in observation
+// order — the per-algorithm timeline behind the paper's Figure 5.
+func (t *Tuner) ValuesOf(algo int) []float64 {
+	v := make([]float64, len(t.perAlgoHistory[algo]))
+	copy(v, t.perAlgoHistory[algo])
+	return v
+}
+
+// Strategy exposes algorithm i's phase-one strategy (for inspection).
+func (t *Tuner) Strategy(i int) search.Strategy { return t.strategies[i] }
+
+// Selector exposes the phase-two selector (for inspection).
+func (t *Tuner) Selector() nominal.Selector { return t.selector }
+
+// ConvergedAll reports whether every algorithm's phase-one strategy has
+// converged. Note that phase two never "converges" in the bandit sense;
+// the paper runs a fixed iteration budget chosen to guarantee convergence.
+func (t *Tuner) ConvergedAll() bool {
+	for _, s := range t.strategies {
+		if !s.Converged() {
+			return false
+		}
+	}
+	return true
+}
+
+// Settled returns a RunUntil predicate that is true once the tuner's best
+// value has not improved by more than tol (relative) for window
+// consecutive iterations. The paper picks its loop lengths offline "to
+// ensure tuning convergence"; Settled lets an application detect that
+// point online instead. The returned predicate is stateful: use one per
+// tuning run.
+func Settled(window int, tol float64) func(*Tuner) bool {
+	if window < 1 {
+		window = 1
+	}
+	if tol < 0 {
+		tol = 0
+	}
+	lastImproved := 0
+	refBest := math.Inf(1)
+	return func(t *Tuner) bool {
+		_, _, best := t.Best()
+		iter := t.Iterations()
+		if best < refBest*(1-tol) || math.IsInf(refBest, 1) && !math.IsInf(best, 1) {
+			refBest = best
+			lastImproved = iter
+			return false
+		}
+		return iter-lastImproved >= window
+	}
+}

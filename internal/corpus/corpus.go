@@ -1,0 +1,162 @@
+// Package corpus generates deterministic synthetic text corpora for the
+// string matching case study.
+//
+// The paper benchmarks on the English King James Bible and the human
+// genome. Neither is shipped here; instead this package synthesizes
+// corpora with the statistical properties the matchers are sensitive to —
+// alphabet size, letter/word distribution, and match density — so the
+// relative performance of the algorithms is preserved. The substitution is
+// documented in DESIGN.md.
+package corpus
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// QueryPhrase is the paper's benchmark query: a 37-character phrase from
+// the King James Bible (Revelation 21:10).
+const QueryPhrase = "the spirit to a great and high mountain"
+
+// englishWords is a small vocabulary with King-James-flavoured frequency
+// weights. It deliberately contains every word of QueryPhrase so that the
+// phrase's constituent words (though rarely the full phrase) occur
+// naturally, giving the matchers realistic partial-match work.
+var englishWords = []struct {
+	word   string
+	weight int
+}{
+	{"the", 70}, {"and", 50}, {"of", 40}, {"to", 28}, {"that", 20},
+	{"in", 19}, {"he", 18}, {"shall", 17}, {"unto", 16}, {"for", 15},
+	{"i", 14}, {"his", 13}, {"a", 13}, {"lord", 12}, {"they", 11},
+	{"be", 11}, {"is", 10}, {"him", 10}, {"not", 10}, {"them", 9},
+	{"it", 9}, {"with", 8}, {"all", 8}, {"thou", 8}, {"thy", 7},
+	{"was", 7}, {"god", 7}, {"which", 6}, {"my", 6}, {"me", 6},
+	{"said", 6}, {"but", 6}, {"ye", 5}, {"their", 5}, {"have", 5},
+	{"will", 5}, {"thee", 5}, {"from", 4}, {"as", 4}, {"are", 4},
+	{"when", 4}, {"this", 4}, {"out", 3}, {"were", 3}, {"upon", 3},
+	{"man", 3}, {"you", 3}, {"by", 3}, {"great", 3}, {"come", 3},
+	{"spirit", 2}, {"mountain", 2}, {"high", 2}, {"house", 2},
+	{"day", 2}, {"land", 2}, {"people", 2}, {"king", 2}, {"son", 2},
+	{"children", 2}, {"israel", 2}, {"came", 2}, {"went", 2},
+	{"earth", 1}, {"heaven", 1}, {"water", 1}, {"holy", 1},
+	{"city", 1}, {"behold", 1}, {"saying", 1}, {"father", 1},
+	{"hand", 1}, {"before", 1}, {"against", 1}, {"brought", 1},
+}
+
+// English returns a deterministic English-like corpus of (at least) size
+// bytes: weighted words separated by spaces, with sentence punctuation and
+// line breaks. Equal seeds produce equal corpora.
+func English(size int, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	totalWeight := 0
+	for _, w := range englishWords {
+		totalWeight += w.weight
+	}
+	var b bytes.Buffer
+	b.Grow(size + 64)
+	wordsInSentence := 0
+	lineLen := 0
+	for b.Len() < size {
+		t := r.Intn(totalWeight)
+		var word string
+		for _, w := range englishWords {
+			t -= w.weight
+			if t < 0 {
+				word = w.word
+				break
+			}
+		}
+		b.WriteString(word)
+		wordsInSentence++
+		lineLen += len(word) + 1
+		switch {
+		case wordsInSentence >= 8+r.Intn(10):
+			b.WriteString(".")
+			wordsInSentence = 0
+			if lineLen > 60 {
+				b.WriteString("\n")
+				lineLen = 0
+			} else {
+				b.WriteString(" ")
+			}
+		default:
+			b.WriteString(" ")
+		}
+	}
+	return b.Bytes()[:size]
+}
+
+// DNA returns a deterministic 4-letter (acgt) corpus of size bytes with a
+// mildly skewed base distribution, standing in for the human genome
+// benchmark.
+func DNA(size int, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	// Roughly human-like GC content (~41%).
+	bases := []byte("aaaccgggtt")
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = bases[r.Intn(len(bases))]
+	}
+	return out
+}
+
+// Plant overwrites the text with count non-overlapping occurrences of
+// pattern at deterministic pseudo-random positions, returning the sorted
+// positions used. It ensures planted occurrences do not create accidental
+// overlaps with each other. Plant panics when the pattern does not fit
+// count times.
+func Plant(text, pattern []byte, count int, seed int64) []int {
+	if len(pattern) == 0 || count <= 0 {
+		return nil
+	}
+	if count*len(pattern) > len(text) {
+		panic("corpus: pattern does not fit the requested number of times")
+	}
+	r := rand.New(rand.NewSource(seed))
+	var positions []int
+	occupied := make([]bool, len(text))
+	for len(positions) < count {
+		pos := r.Intn(len(text) - len(pattern) + 1)
+		clear := true
+		for i := pos; i < pos+len(pattern); i++ {
+			if occupied[i] {
+				clear = false
+				break
+			}
+		}
+		if !clear {
+			continue
+		}
+		copy(text[pos:], pattern)
+		for i := pos; i < pos+len(pattern); i++ {
+			occupied[i] = true
+		}
+		positions = append(positions, pos)
+	}
+	sortInts(positions)
+	return positions
+}
+
+func sortInts(xs []int) {
+	// Insertion sort: position lists here are short.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Bible returns the standard benchmark corpus used throughout the
+// experiments: an English-like text of the given size with the paper's
+// query phrase planted a realistic number of times (about one occurrence
+// per 512 KiB, mirroring the rarity of a full verse phrase).
+func Bible(size int, seed int64) []byte {
+	text := English(size, seed)
+	count := size / (512 << 10)
+	if count < 1 {
+		count = 1
+	}
+	Plant(text, []byte(QueryPhrase), count, seed+1)
+	return text
+}

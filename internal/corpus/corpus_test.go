@@ -1,0 +1,113 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEnglishDeterministicAndSized(t *testing.T) {
+	a := English(10000, 42)
+	b := English(10000, 42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal seeds produced different corpora")
+	}
+	if len(a) != 10000 {
+		t.Fatalf("size %d, want 10000", len(a))
+	}
+	c := English(10000, 43)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestEnglishLooksLikeText(t *testing.T) {
+	text := English(100000, 1)
+	spaces := bytes.Count(text, []byte(" "))
+	if spaces < 10000 {
+		t.Errorf("only %d spaces in 100k chars; not word-like", spaces)
+	}
+	if n := bytes.Count(text, []byte("the ")); n < 500 {
+		t.Errorf("only %d occurrences of 'the '; distribution off", n)
+	}
+	for _, c := range text {
+		if !(c >= 'a' && c <= 'z') && c != ' ' && c != '.' && c != '\n' {
+			t.Fatalf("unexpected byte %q in corpus", c)
+		}
+	}
+}
+
+func TestDNA(t *testing.T) {
+	d := DNA(50000, 7)
+	if len(d) != 50000 {
+		t.Fatalf("size %d", len(d))
+	}
+	counts := map[byte]int{}
+	for _, c := range d {
+		counts[c]++
+	}
+	for _, c := range []byte("acgt") {
+		if counts[c] == 0 {
+			t.Errorf("base %q never occurs", c)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("alphabet size %d, want 4", len(counts))
+	}
+	if !bytes.Equal(d, DNA(50000, 7)) {
+		t.Error("DNA not deterministic")
+	}
+}
+
+func TestPlant(t *testing.T) {
+	text := English(100000, 3)
+	pat := []byte(QueryPhrase)
+	positions := Plant(text, pat, 5, 11)
+	if len(positions) != 5 {
+		t.Fatalf("planted %d, want 5", len(positions))
+	}
+	for i, p := range positions {
+		if !bytes.Equal(text[p:p+len(pat)], pat) {
+			t.Errorf("position %d does not hold the pattern", p)
+		}
+		if i > 0 && positions[i-1] > p {
+			t.Error("positions not sorted")
+		}
+		if i > 0 && positions[i-1]+len(pat) > p {
+			t.Error("planted occurrences overlap")
+		}
+	}
+}
+
+func TestPlantEdgeCases(t *testing.T) {
+	if got := Plant(make([]byte, 10), nil, 3, 1); got != nil {
+		t.Error("empty pattern should plant nothing")
+	}
+	if got := Plant(make([]byte, 10), []byte("ab"), 0, 1); got != nil {
+		t.Error("zero count should plant nothing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overfull plant did not panic")
+		}
+	}()
+	Plant(make([]byte, 10), []byte("abcdef"), 2, 1)
+}
+
+func TestBibleContainsQuery(t *testing.T) {
+	text := Bible(1<<20, 9)
+	if n := bytes.Count(text, []byte(QueryPhrase)); n < 2 {
+		t.Errorf("query phrase occurs %d times in 1 MiB, want ≥ 2", n)
+	}
+	if len(text) != 1<<20 {
+		t.Errorf("size %d", len(text))
+	}
+}
+
+func TestQueryPhraseLength(t *testing.T) {
+	// The paper's query phrase: matchers assume it is long enough for the
+	// filter-based algorithms (≥ 15 bytes) and short enough for the
+	// bit-parallel ones (≤ 63).
+	if n := len(QueryPhrase); n < 15 || n > 63 {
+		t.Fatalf("query phrase length %d outside [15, 63]", n)
+	}
+}

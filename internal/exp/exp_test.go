@@ -1,0 +1,445 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/kdtree"
+	"repro/internal/param"
+)
+
+func TestConfigSanitize(t *testing.T) {
+	c := (Config{}).sanitize()
+	q := QuickConfig()
+	if c.Reps != q.Reps || c.Iters != q.Iters || c.CorpusSize != q.CorpusSize {
+		t.Errorf("sanitize did not fill defaults: %+v", c)
+	}
+	// Explicit values survive.
+	c = (Config{Reps: 42}).sanitize()
+	if c.Reps != 42 {
+		t.Error("sanitize clobbered explicit value")
+	}
+}
+
+func TestTableIAndII(t *testing.T) {
+	var sb strings.Builder
+	TableI().Render(&sb)
+	if !strings.Contains(sb.String(), "Nominal") || !strings.Contains(sb.String(), "Choice of algorithm") {
+		t.Error("Table I content missing")
+	}
+	sb.Reset()
+	TableII().Render(&sb)
+	if !strings.Contains(sb.String(), "GOMAXPROCS") {
+		t.Error("Table II content missing")
+	}
+}
+
+func TestStrategyNamesAndLabelsAgree(t *testing.T) {
+	if len(StrategyNames()) != len(StrategyLabels()) {
+		t.Fatal("names/labels length mismatch")
+	}
+	if len(StrategyNames()) != 6 {
+		t.Fatal("paper evaluates six strategies")
+	}
+}
+
+func TestUntunedMatchersExperiment(t *testing.T) {
+	cfg := TestConfig()
+	res := RunUntunedMatchers(cfg)
+	if len(res.Labels) != 8 || len(res.Samples) != 8 {
+		t.Fatalf("expected 8 algorithms, got %d", len(res.Labels))
+	}
+	for i, s := range res.Samples {
+		if len(s) != cfg.Reps {
+			t.Errorf("algorithm %s has %d samples, want %d", res.Labels[i], len(s), cfg.Reps)
+		}
+		for _, v := range s {
+			if v <= 0 {
+				t.Errorf("non-positive timing for %s", res.Labels[i])
+			}
+		}
+	}
+	var sb strings.Builder
+	res.RenderFigure1(&sb)
+	if !strings.Contains(sb.String(), "Figure 1") || !strings.Contains(sb.String(), "SSEF") {
+		t.Error("figure 1 rendering incomplete")
+	}
+}
+
+func TestTunedMatchersExperiment(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Reps = 2
+	cfg.Iters = 15
+	res := RunTunedMatchers(cfg)
+	if len(res.Curves) != 6 || len(res.Counts) != 6 {
+		t.Fatalf("expected 6 strategies, got %d", len(res.Curves))
+	}
+	for i, s := range res.Curves {
+		if s.Runs() != cfg.Reps {
+			t.Errorf("strategy %s has %d runs", res.StrategyLabels[i], s.Runs())
+		}
+		if s.MaxLen() != cfg.Iters {
+			t.Errorf("strategy %s run length %d, want %d", res.StrategyLabels[i], s.MaxLen(), cfg.Iters)
+		}
+	}
+	var sb strings.Builder
+	res.RenderFigure2(&sb)
+	res.RenderFigure3(&sb)
+	res.RenderFigure4(&sb)
+	out := sb.String()
+	for _, want := range []string{"Figure 2", "Figure 3", "Figure 4", "e-Greedy (10%)", "Boyer-Moore"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+	if got := res.BestAlgorithm(0); got == "" {
+		t.Error("BestAlgorithm empty")
+	}
+	if c := res.CurvesChart(true, 10); len(c.Series) != 6 {
+		t.Error("CurvesChart wrong series count")
+	}
+}
+
+func TestBuilderSpaces(t *testing.T) {
+	dims := map[string]int{
+		"Inplace": 4, "Nested": 4, "Wald-Havran": 3, "Lazy": 5,
+	}
+	for name, want := range dims {
+		space, init := BuilderSpace(name)
+		if space.Dim() != want {
+			t.Errorf("%s space has %d dims, want %d", name, space.Dim(), want)
+		}
+		if !space.Valid(init) {
+			t.Errorf("%s init config invalid", name)
+		}
+		if space.HasNominal() {
+			t.Errorf("%s space must be metric for Nelder-Mead", name)
+		}
+		p := ConfigToParams(name, init)
+		if p.TraversalCost <= 0 || p.LeafSize < 1 {
+			t.Errorf("%s params from init invalid: %+v", name, p)
+		}
+	}
+	// Round trip: a random valid config maps to in-range params.
+	space, _ := BuilderSpace("Lazy")
+	c := space.Clamp(param.Config{2.5, 16, 4, 32, 1000})
+	p := ConfigToParams("Lazy", c)
+	if p.TraversalCost != 2.5 || p.LeafSize != 16 || p.ParallelDepth != 4 || p.Bins != 32 || p.EagerCutoff != 1000 {
+		t.Errorf("round trip lost values: %+v", p)
+	}
+	if def := kdtree.DefaultParams(); def.IntersectCost <= 0 {
+		t.Error("default params broken")
+	}
+}
+
+func TestKDTreeTimelinesExperiment(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Reps = 2
+	cfg.Frames = 6
+	res := RunKDTreeTimelines(cfg)
+	if len(res.Labels) != 4 {
+		t.Fatalf("expected 4 builders")
+	}
+	for i, s := range res.Curves {
+		if s.Runs() != cfg.Reps || s.MaxLen() != cfg.Frames {
+			t.Errorf("builder %s: runs=%d len=%d", res.Labels[i], s.Runs(), s.MaxLen())
+		}
+	}
+	var sb strings.Builder
+	res.RenderFigure5(&sb)
+	if !strings.Contains(sb.String(), "Figure 5") || !strings.Contains(sb.String(), "Wald-Havran") {
+		t.Error("figure 5 rendering incomplete")
+	}
+}
+
+func TestTunedRaytracingExperiment(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Reps = 1
+	cfg.Frames = 8
+	res := RunTunedRaytracing(cfg)
+	if len(res.Curves) != 6 {
+		t.Fatalf("expected 6 strategies")
+	}
+	var sb strings.Builder
+	res.RenderFigure6(&sb)
+	res.RenderFigure7(&sb)
+	res.RenderFigure8(&sb)
+	out := sb.String()
+	for _, want := range []string{"Figure 6", "Figure 7", "Figure 8", "Inplace", "Lazy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	var sb strings.Builder
+	if tb := AblationWindowSize(&sb, 2, 120, 1); len(tb.Rows) != 10 {
+		t.Errorf("A1 rows = %d, want 10", len(tb.Rows))
+	}
+	if tb := AblationEpsilonSweep(&sb, 2, 120, 1); len(tb.Rows) != 6 {
+		t.Errorf("A2 rows = %d", len(tb.Rows))
+	}
+	if tb := AblationCrossover(&sb, 2, 200, 1); len(tb.Rows) != 6 {
+		t.Errorf("A3 rows = %d", len(tb.Rows))
+	}
+	if tb := AblationPhase1Strategies(&sb, 2, 120, 1); len(tb.Rows) != 8 {
+		t.Errorf("A4 rows = %d", len(tb.Rows))
+	}
+	if tb := AblationSoftmax(&sb, 2, 120, 1); len(tb.Rows) != 3 {
+		t.Errorf("A5 rows = %d", len(tb.Rows))
+	}
+	out := sb.String()
+	for _, want := range []string{"Ablation A1", "Ablation A2", "Ablation A3", "Ablation A4", "Ablation A5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestCrossoverFoundByGradientWeighted(t *testing.T) {
+	// The crossover ablation reproduces the paper's §IV-C threat to
+	// validity: ε-Greedy starves the improving algorithm (it may or may
+	// not find the crossover), while Gradient Weighted — proposed as the
+	// mitigation — keeps sampling all algorithms and must find it.
+	tb := AblationCrossover(nil, 3, 400, 5)
+	rows := map[string]string{}
+	for _, row := range tb.Rows {
+		rows[row[0]] = row[1] // found-crossover percentage
+	}
+	if rows["gradient"] != "100" {
+		t.Errorf("gradient found the crossover in %s%% of runs, want 100", rows["gradient"])
+	}
+	if rows["optimum"] == "0" {
+		t.Errorf("optimum-weighted never found the crossover")
+	}
+}
+
+func TestSynthModelShape(t *testing.T) {
+	// The synthetic model must embody its design: static-good constant at
+	// 8, tunable-best reaching ~4 at its optimum, static-bad worst.
+	if v := synthSet[0].cost(param.Config{0, 0}); v != 8 {
+		t.Errorf("static-good at init = %g", v)
+	}
+	if v := synthSet[1].cost(param.Config{7, 7}); v != 4 {
+		t.Errorf("tunable-best at optimum = %g", v)
+	}
+	if v := synthSet[1].cost(param.Config{0, 0}); v <= 8 {
+		t.Errorf("tunable-best must start worse than static-good, got %g", v)
+	}
+	if v := synthSet[3].cost(param.Config{5, 5}); v != 30 {
+		t.Errorf("static-bad = %g", v)
+	}
+}
+
+func TestAblationCombined(t *testing.T) {
+	var sb strings.Builder
+	tb := AblationCombined(&sb, 3, 400, 5)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("A6 rows = %d, want 5", len(tb.Rows))
+	}
+	if !strings.Contains(sb.String(), "Ablation A6") {
+		t.Error("A6 title missing")
+	}
+	rows := map[string]float64{}
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable found-crossover cell %q", row[1])
+		}
+		rows[row[0]] = v
+	}
+	// The combined strategy must find the crossover at least as reliably
+	// as its ε-Greedy parent at the same ε.
+	if rows["greedygradient:10"] < rows["egreedy:10"] {
+		t.Errorf("combined (%g%%) worse than ε-Greedy (%g%%) at finding the crossover",
+			rows["greedygradient:10"], rows["egreedy:10"])
+	}
+}
+
+func TestAblationDrift(t *testing.T) {
+	tb := AblationDrift(nil, 4, 200, 9)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("A7 rows = %d, want 5", len(tb.Rows))
+	}
+	vals := map[string]float64{}
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable tail cell %q", row[1])
+		}
+		vals[row[0]] = v
+	}
+	// The windowed ε-Greedy must adapt to the drift; the plain one must
+	// not (it stays loyal to the stale all-time best).
+	if !(vals["egreedy(10%) windowed"] < vals["egreedy(10%)"]) {
+		t.Errorf("windowed ε-Greedy (%g) not better than plain (%g) under drift",
+			vals["egreedy(10%) windowed"], vals["egreedy(10%)"])
+	}
+	// The sliding-window AUC, judging by recent samples, must also beat
+	// the stale plain ε-Greedy.
+	if !(vals["sliding-window-auc"] < vals["egreedy(10%)"]) {
+		t.Errorf("AUC (%g) not better than stale ε-Greedy (%g) under drift",
+			vals["sliding-window-auc"], vals["egreedy(10%)"])
+	}
+}
+
+func TestUntunedMatchersDNA(t *testing.T) {
+	cfg := TestConfig()
+	res := RunUntunedMatchersDNA(cfg)
+	if len(res.Samples) != 8 {
+		t.Fatalf("expected 8 algorithms")
+	}
+	for i, s := range res.Samples {
+		if len(s) != cfg.Reps {
+			t.Errorf("algorithm %s: %d samples", res.Labels[i], len(s))
+		}
+	}
+	var sb strings.Builder
+	res.RenderFigureX1(&sb)
+	if !strings.Contains(sb.String(), "X1") || !strings.Contains(sb.String(), "genome") {
+		t.Error("X1 rendering incomplete")
+	}
+}
+
+func TestAblationNoise(t *testing.T) {
+	var sb strings.Builder
+	tb := AblationNoise(&sb, 3, 300, 1)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("A8 rows = %d, want 5", len(tb.Rows))
+	}
+	if !strings.Contains(sb.String(), "Ablation A8") {
+		t.Error("A8 title missing")
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:] {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				t.Errorf("unparseable cell %q", cell)
+			}
+		}
+	}
+}
+
+func TestPatternSweep(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Iters = 20
+	res := RunPatternSweep(cfg, []int{4, 37})
+	if len(res.Winner) != 2 || len(res.TunerChoice) != 2 || len(res.MedianMS) != 2 {
+		t.Fatalf("sweep shape wrong: %+v", res)
+	}
+	for i := range res.MedianMS {
+		if len(res.MedianMS[i]) != 8 {
+			t.Errorf("length %d has %d medians", res.Lengths[i], len(res.MedianMS[i]))
+		}
+	}
+	var sb strings.Builder
+	tb := res.RenderFigureX2(&sb)
+	if len(tb.Rows) != 2 || !strings.Contains(sb.String(), "X2") {
+		t.Error("X2 rendering incomplete")
+	}
+	// Default lengths kick in when none given.
+	if got := RunPatternSweep(Config{Reps: 1, Iters: 1, CorpusSize: 64 << 10, Workers: 1, Seed: 1, Frames: 1, SceneDetail: 1, FrameW: 8, FrameH: 8, RenderWorkers: 1}, nil); len(got.Lengths) != 6 {
+		t.Errorf("default lengths = %v", got.Lengths)
+	}
+}
+
+func TestAblationMixedNominal(t *testing.T) {
+	var sb strings.Builder
+	tb := AblationMixedNominal(&sb, 4, 600, 3)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("X3 rows = %d", len(tb.Rows))
+	}
+	if !strings.Contains(sb.String(), "Extension X3") {
+		t.Error("X3 title missing")
+	}
+	// At a generous budget both treatments must find the best branch in
+	// every run.
+	for _, row := range tb.Rows {
+		if row[1] != "100" {
+			t.Errorf("%s found the best branch in %s%% of runs at generous budget, want 100", row[0], row[1])
+		}
+	}
+}
+
+func TestAblationRegret(t *testing.T) {
+	var sb strings.Builder
+	tb := AblationRegret(&sb, 4, 300, 3)
+	if len(tb.Rows) != 9 {
+		t.Fatalf("A9 rows = %d, want 9", len(tb.Rows))
+	}
+	vals := map[string]float64{}
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable regret %q", row[1])
+		}
+		if v < 0 {
+			t.Errorf("%s has negative regret %g", row[0], v)
+		}
+		vals[row[0]] = v
+	}
+	// Every informed strategy must beat uniform random.
+	for _, s := range []string{"egreedy:10", "egreedy:20", "optimum", "auc", "greedygradient:10", "ucb1"} {
+		if vals[s] >= vals["random"] {
+			t.Errorf("%s regret %g not below random's %g", s, vals[s], vals["random"])
+		}
+	}
+}
+
+func TestContextualSweep(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Iters = 30
+	res := RunContextualSweep(cfg)
+	if res.GlobalTotalMS <= 0 || res.ContextualTotalMS <= 0 {
+		t.Fatal("totals not measured")
+	}
+	if res.GlobalChoice == "" || res.ContextChoice["short"] == "" || res.ContextChoice["long"] == "" {
+		t.Fatal("choices missing")
+	}
+	var sb strings.Builder
+	tb := res.RenderFigureX4(&sb)
+	if len(tb.Rows) != 2 || !strings.Contains(sb.String(), "Extension X4") {
+		t.Error("X4 rendering incomplete")
+	}
+}
+
+func TestSceneNameSelection(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Frames = 2
+	cfg.Reps = 1
+	for _, name := range []string{"cathedral", "sphereflake", "boxgrid", ""} {
+		cfg.SceneName = name
+		res := RunKDTreeTimelines(cfg)
+		if len(res.Curves) != 4 || res.Curves[0].MaxLen() != 2 {
+			t.Errorf("scene %q: experiment did not run", name)
+		}
+	}
+}
+
+func TestStructureChoice(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Reps = 1
+	cfg.Frames = 10
+	res := RunStructureChoice(cfg)
+	if len(res.SelectorLabels) != 2 || len(res.ArmLabels) != 5 {
+		t.Fatalf("X5 shape wrong: %v %v", res.SelectorLabels, res.ArmLabels)
+	}
+	for i := range res.SelectorLabels {
+		total := 0.0
+		for _, c := range res.Counts[i] {
+			total += c
+		}
+		if int(total+0.5) != cfg.Frames {
+			t.Errorf("%s counts sum to %g, want %d", res.SelectorLabels[i], total, cfg.Frames)
+		}
+		if res.TailMS[i] <= 0 {
+			t.Errorf("%s tail not measured", res.SelectorLabels[i])
+		}
+	}
+	var sb strings.Builder
+	tb := res.RenderFigureX5(&sb)
+	if len(tb.Rows) != 2 || !strings.Contains(sb.String(), "BVH") {
+		t.Error("X5 rendering incomplete")
+	}
+}

@@ -1,0 +1,243 @@
+// Package geom provides the vector, ray, bounding-box and triangle
+// primitives underlying the raytracing case study: a right-handed 3-D
+// space with float64 coordinates, slab-method ray/box tests and
+// Möller–Trumbore ray/triangle intersection.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-D vector (also used for points and RGB colors).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V constructs a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s·v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns |v|.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v/|v|; the zero vector normalizes to itself.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Axis returns component i (0 = X, 1 = Y, 2 = Z).
+func (v Vec3) Axis(i int) float64 {
+	switch i {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	case 2:
+		return v.Z
+	default:
+		panic(fmt.Sprintf("geom: axis %d", i))
+	}
+}
+
+// SetAxis returns a copy of v with component i replaced.
+func (v Vec3) SetAxis(i int, x float64) Vec3 {
+	switch i {
+	case 0:
+		v.X = x
+	case 1:
+		v.Y = x
+	case 2:
+		v.Z = x
+	default:
+		panic(fmt.Sprintf("geom: axis %d", i))
+	}
+	return v
+}
+
+// MinV returns the componentwise minimum.
+func MinV(a, b Vec3) Vec3 {
+	return Vec3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)}
+}
+
+// MaxV returns the componentwise maximum.
+func MaxV(a, b Vec3) Vec3 {
+	return Vec3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)}
+}
+
+// A Ray is an origin with a direction. Directions need not be normalized
+// for intersection tests; t parameters are in units of the direction.
+type Ray struct {
+	Origin, Dir Vec3
+}
+
+// At returns the point Origin + t·Dir.
+func (r Ray) At(t float64) Vec3 { return r.Origin.Add(r.Dir.Scale(t)) }
+
+// An AABB is an axis-aligned bounding box.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// EmptyAABB returns the identity for Union: an inverted box.
+func EmptyAABB() AABB {
+	inf := math.Inf(1)
+	return AABB{Min: Vec3{inf, inf, inf}, Max: Vec3{-inf, -inf, -inf}}
+}
+
+// Empty reports whether the box contains no points.
+func (b AABB) Empty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// Union returns the smallest box containing both.
+func (b AABB) Union(o AABB) AABB {
+	return AABB{Min: MinV(b.Min, o.Min), Max: MaxV(b.Max, o.Max)}
+}
+
+// Extend returns the smallest box containing b and point p.
+func (b AABB) Extend(p Vec3) AABB {
+	return AABB{Min: MinV(b.Min, p), Max: MaxV(b.Max, p)}
+}
+
+// SurfaceArea returns the box's surface area (0 for empty boxes); it is
+// the quantity the SAH cost model weighs child nodes by.
+func (b AABB) SurfaceArea() float64 {
+	if b.Empty() {
+		return 0
+	}
+	d := b.Max.Sub(b.Min)
+	return 2 * (d.X*d.Y + d.Y*d.Z + d.Z*d.X)
+}
+
+// Diagonal returns Max − Min.
+func (b AABB) Diagonal() Vec3 { return b.Max.Sub(b.Min) }
+
+// LongestAxis returns the axis index of the largest extent.
+func (b AABB) LongestAxis() int {
+	d := b.Diagonal()
+	if d.X >= d.Y && d.X >= d.Z {
+		return 0
+	}
+	if d.Y >= d.Z {
+		return 1
+	}
+	return 2
+}
+
+// Contains reports whether p lies inside the (closed) box.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// IntersectRay returns the parametric interval in which the ray overlaps
+// the box, clipped to [tMin, tMax], and whether that interval is nonempty
+// (the slab method).
+func (b AABB) IntersectRay(r Ray, tMin, tMax float64) (t0, t1 float64, hit bool) {
+	t0, t1 = tMin, tMax
+	for axis := 0; axis < 3; axis++ {
+		o, d := r.Origin.Axis(axis), r.Dir.Axis(axis)
+		lo, hi := b.Min.Axis(axis), b.Max.Axis(axis)
+		if d == 0 {
+			if o < lo || o > hi {
+				return 0, 0, false
+			}
+			continue
+		}
+		inv := 1 / d
+		tn, tf := (lo-o)*inv, (hi-o)*inv
+		if tn > tf {
+			tn, tf = tf, tn
+		}
+		if tn > t0 {
+			t0 = tn
+		}
+		if tf < t1 {
+			t1 = tf
+		}
+		if t0 > t1 {
+			return 0, 0, false
+		}
+	}
+	return t0, t1, true
+}
+
+// A Triangle is the scene primitive of the raytracer.
+type Triangle struct {
+	A, B, C Vec3
+}
+
+// Bounds returns the triangle's bounding box.
+func (t Triangle) Bounds() AABB {
+	return AABB{
+		Min: MinV(t.A, MinV(t.B, t.C)),
+		Max: MaxV(t.A, MaxV(t.B, t.C)),
+	}
+}
+
+// Centroid returns the triangle's centroid.
+func (t Triangle) Centroid() Vec3 {
+	return t.A.Add(t.B).Add(t.C).Scale(1.0 / 3.0)
+}
+
+// Normal returns the (unnormalized) geometric normal.
+func (t Triangle) Normal() Vec3 {
+	return t.B.Sub(t.A).Cross(t.C.Sub(t.A))
+}
+
+// rayEpsilon guards against self-intersection and degenerate determinants.
+const rayEpsilon = 1e-12
+
+// IntersectRay performs the Möller–Trumbore test, returning the hit
+// parameter and whether the ray hits the triangle within (tMin, tMax).
+func (t Triangle) IntersectRay(r Ray, tMin, tMax float64) (float64, bool) {
+	e1 := t.B.Sub(t.A)
+	e2 := t.C.Sub(t.A)
+	p := r.Dir.Cross(e2)
+	det := e1.Dot(p)
+	if det > -rayEpsilon && det < rayEpsilon {
+		return 0, false // parallel or degenerate
+	}
+	inv := 1 / det
+	s := r.Origin.Sub(t.A)
+	u := s.Dot(p) * inv
+	if u < 0 || u > 1 {
+		return 0, false
+	}
+	q := s.Cross(e1)
+	v := r.Dir.Dot(q) * inv
+	if v < 0 || u+v > 1 {
+		return 0, false
+	}
+	tt := e2.Dot(q) * inv
+	if tt <= tMin || tt >= tMax {
+		return 0, false
+	}
+	return tt, true
+}

@@ -1,0 +1,225 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func veq(a, b Vec3) bool {
+	return math.Abs(a.X-b.X) < 1e-12 && math.Abs(a.Y-b.Y) < 1e-12 && math.Abs(a.Z-b.Z) < 1e-12
+}
+
+func TestVecOps(t *testing.T) {
+	a, b := V(1, 2, 3), V(4, 5, 6)
+	if !veq(a.Add(b), V(5, 7, 9)) {
+		t.Error("Add")
+	}
+	if !veq(b.Sub(a), V(3, 3, 3)) {
+		t.Error("Sub")
+	}
+	if !veq(a.Scale(2), V(2, 4, 6)) {
+		t.Error("Scale")
+	}
+	if a.Dot(b) != 32 {
+		t.Error("Dot")
+	}
+	if !veq(V(1, 0, 0).Cross(V(0, 1, 0)), V(0, 0, 1)) {
+		t.Error("Cross handedness")
+	}
+	if V(3, 4, 0).Len() != 5 {
+		t.Error("Len")
+	}
+	if !veq(V(0, 3, 4).Normalize(), V(0, 0.6, 0.8)) {
+		t.Error("Normalize")
+	}
+	if !veq(V(0, 0, 0).Normalize(), V(0, 0, 0)) {
+		t.Error("zero Normalize")
+	}
+}
+
+func TestAxisAccess(t *testing.T) {
+	v := V(1, 2, 3)
+	for i, want := range []float64{1, 2, 3} {
+		if v.Axis(i) != want {
+			t.Errorf("Axis(%d) = %g", i, v.Axis(i))
+		}
+	}
+	if got := v.SetAxis(1, 9); got.Y != 9 || v.Y != 2 {
+		t.Error("SetAxis should copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Axis(3) did not panic")
+		}
+	}()
+	v.Axis(3)
+}
+
+func TestMinMaxV(t *testing.T) {
+	a, b := V(1, 5, 3), V(2, 4, 3)
+	if !veq(MinV(a, b), V(1, 4, 3)) || !veq(MaxV(a, b), V(2, 5, 3)) {
+		t.Error("MinV/MaxV")
+	}
+}
+
+func TestRayAt(t *testing.T) {
+	r := Ray{Origin: V(1, 0, 0), Dir: V(0, 2, 0)}
+	if !veq(r.At(1.5), V(1, 3, 0)) {
+		t.Error("Ray.At")
+	}
+}
+
+func TestAABBBasics(t *testing.T) {
+	e := EmptyAABB()
+	if !e.Empty() || e.SurfaceArea() != 0 {
+		t.Error("EmptyAABB not empty")
+	}
+	b := AABB{Min: V(0, 0, 0), Max: V(2, 3, 4)}
+	if b.Empty() {
+		t.Error("nonempty box reported empty")
+	}
+	if b.SurfaceArea() != 2*(6+12+8) {
+		t.Errorf("SurfaceArea = %g", b.SurfaceArea())
+	}
+	if b.LongestAxis() != 2 {
+		t.Error("LongestAxis")
+	}
+	u := e.Union(b)
+	if !veq(u.Min, b.Min) || !veq(u.Max, b.Max) {
+		t.Error("Union with empty is identity")
+	}
+	x := b.Extend(V(-1, 1, 5))
+	if !veq(x.Min, V(-1, 0, 0)) || !veq(x.Max, V(2, 3, 5)) {
+		t.Error("Extend")
+	}
+	if !b.Contains(V(1, 1, 1)) || b.Contains(V(3, 0, 0)) {
+		t.Error("Contains")
+	}
+	if !veq(b.Diagonal(), V(2, 3, 4)) {
+		t.Error("Diagonal")
+	}
+}
+
+func TestAABBIntersectRay(t *testing.T) {
+	b := AABB{Min: V(0, 0, 0), Max: V(1, 1, 1)}
+	// Straight through the middle.
+	t0, t1, hit := b.IntersectRay(Ray{V(-1, 0.5, 0.5), V(1, 0, 0)}, 0, 100)
+	if !hit || math.Abs(t0-1) > 1e-12 || math.Abs(t1-2) > 1e-12 {
+		t.Errorf("through: %g %g %v", t0, t1, hit)
+	}
+	// Miss.
+	if _, _, hit := b.IntersectRay(Ray{V(-1, 2, 0.5), V(1, 0, 0)}, 0, 100); hit {
+		t.Error("miss reported as hit")
+	}
+	// Parallel to an axis, inside the slab.
+	if _, _, hit := b.IntersectRay(Ray{V(0.5, 0.5, -1), V(0, 0, 1)}, 0, 100); !hit {
+		t.Error("axis-parallel hit missed")
+	}
+	// Parallel to an axis, outside the slab (zero direction component).
+	if _, _, hit := b.IntersectRay(Ray{V(5, 0.5, -1), V(0, 0, 1)}, 0, 100); hit {
+		t.Error("axis-parallel miss reported as hit")
+	}
+	// Clipped by tMax.
+	if _, _, hit := b.IntersectRay(Ray{V(-1, 0.5, 0.5), V(1, 0, 0)}, 0, 0.5); hit {
+		t.Error("tMax clipping failed")
+	}
+	// Origin inside the box.
+	t0, _, hit = b.IntersectRay(Ray{V(0.5, 0.5, 0.5), V(1, 0, 0)}, 0, 100)
+	if !hit || t0 != 0 {
+		t.Errorf("inside origin: t0 = %g, hit %v", t0, hit)
+	}
+}
+
+func TestTriangleBasics(t *testing.T) {
+	tr := Triangle{A: V(0, 0, 0), B: V(2, 0, 0), C: V(0, 2, 0)}
+	b := tr.Bounds()
+	if !veq(b.Min, V(0, 0, 0)) || !veq(b.Max, V(2, 2, 0)) {
+		t.Error("Bounds")
+	}
+	if !veq(tr.Centroid(), V(2.0/3, 2.0/3, 0)) {
+		t.Error("Centroid")
+	}
+	if !veq(tr.Normal().Normalize(), V(0, 0, 1)) {
+		t.Error("Normal")
+	}
+}
+
+func TestTriangleIntersect(t *testing.T) {
+	tr := Triangle{A: V(0, 0, 0), B: V(1, 0, 0), C: V(0, 1, 0)}
+	// Straight hit at the centroid.
+	hitT, ok := tr.IntersectRay(Ray{V(0.25, 0.25, -1), V(0, 0, 1)}, 0, 100)
+	if !ok || math.Abs(hitT-1) > 1e-12 {
+		t.Errorf("hit t = %g, ok %v", hitT, ok)
+	}
+	// Outside the triangle but inside the bounding box diagonal.
+	if _, ok := tr.IntersectRay(Ray{V(0.9, 0.9, -1), V(0, 0, 1)}, 0, 100); ok {
+		t.Error("hit outside barycentric range")
+	}
+	// Ray parallel to the plane.
+	if _, ok := tr.IntersectRay(Ray{V(0, 0, 1), V(1, 0, 0)}, 0, 100); ok {
+		t.Error("parallel ray hit")
+	}
+	// Behind the origin.
+	if _, ok := tr.IntersectRay(Ray{V(0.25, 0.25, 1), V(0, 0, 1)}, 0, 100); ok {
+		t.Error("backward hit")
+	}
+	// tMax clipping.
+	if _, ok := tr.IntersectRay(Ray{V(0.25, 0.25, -1), V(0, 0, 1)}, 0, 0.5); ok {
+		t.Error("tMax clip failed")
+	}
+	// Hits from both sides (no backface culling).
+	if _, ok := tr.IntersectRay(Ray{V(0.25, 0.25, 1), V(0, 0, -1)}, 0, 100); !ok {
+		t.Error("backface hit culled")
+	}
+}
+
+// Property: a ray from a random origin through a random interior point of
+// the triangle always hits.
+func TestTriangleInteriorHitsProperty(t *testing.T) {
+	tr := Triangle{A: V(0, 0, 0), B: V(3, 0, 1), C: V(1, 2, -1)}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := r.Float64() * 0.9
+		v := r.Float64() * (0.9 - u)
+		interior := tr.A.Add(tr.B.Sub(tr.A).Scale(u + 0.03)).Add(tr.C.Sub(tr.A).Scale(v + 0.03))
+		origin := V(r.Float64()*10-5, r.Float64()*10-5, 5+r.Float64()*5)
+		dir := interior.Sub(origin)
+		_, ok := tr.IntersectRay(Ray{origin, dir}, 0, 2)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a triangle's bounds always contain its centroid, and the union
+// of two boxes contains both.
+func TestBoundsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rv := func() Vec3 { return V(r.Float64()*10-5, r.Float64()*10-5, r.Float64()*10-5) }
+		tr := Triangle{A: rv(), B: rv(), C: rv()}
+		b := tr.Bounds()
+		if !b.Contains(tr.Centroid()) {
+			return false
+		}
+		b2 := Triangle{A: rv(), B: rv(), C: rv()}.Bounds()
+		u := b.Union(b2)
+		return u.Contains(b.Min) && u.Contains(b.Max) && u.Contains(b2.Min) && u.Contains(b2.Max) &&
+			u.SurfaceArea() >= b.SurfaceArea()-1e-9 && u.SurfaceArea() >= b2.SurfaceArea()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAxisPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetAxis(5) did not panic")
+		}
+	}()
+	V(1, 2, 3).SetAxis(5, 0)
+}

@@ -1,0 +1,234 @@
+package kdtree
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// A Builder constructs a kD-tree over a triangle slice. Builders are
+// stateless; their Build methods are safe for concurrent use.
+type Builder interface {
+	// Name identifies the construction algorithm as in the paper's
+	// figures: Inplace, Lazy, Nested, Wald-Havran.
+	Name() string
+	// Build constructs the tree.
+	Build(tris []geom.Triangle, p Params) *Tree
+}
+
+// NewBuilder returns the named builder: Inplace, Lazy, Nested, or
+// Wald-Havran.
+func NewBuilder(name string) (Builder, error) {
+	switch name {
+	case "Inplace":
+		return InplaceBuilder{}, nil
+	case "Lazy":
+		return LazyBuilder{}, nil
+	case "Nested":
+		return NestedBuilder{}, nil
+	case "Wald-Havran":
+		return WaldHavranBuilder{}, nil
+	default:
+		return nil, fmt.Errorf("kdtree: unknown builder %q", name)
+	}
+}
+
+// BuilderNames lists the four construction algorithms in the paper's
+// order.
+func BuilderNames() []string {
+	return []string{"Inplace", "Lazy", "Nested", "Wald-Havran"}
+}
+
+// AllBuilders returns one instance of each builder in BuilderNames order.
+func AllBuilders() []Builder {
+	return []Builder{InplaceBuilder{}, LazyBuilder{}, NestedBuilder{}, WaldHavranBuilder{}}
+}
+
+// newTree sets up the shared tree skeleton.
+func newTree(builder string, tris []geom.Triangle, p Params) (*Tree, []int32) {
+	t := &Tree{Builder: builder, Tris: tris, params: p.sanitize(len(tris))}
+	idx := make([]int32, len(tris))
+	b := geom.EmptyAABB()
+	for i := range tris {
+		idx[i] = int32(i)
+		b = b.Union(tris[i].Bounds())
+	}
+	t.Bounds = b
+	return t, idx
+}
+
+// buildOpts selects the parallelization/deferral behaviour of the shared
+// binned recursion.
+type buildOpts struct {
+	// tasks enables node-task parallelism down to Params.ParallelDepth.
+	tasks bool
+	// dataParallel enables parallel binning inside a node.
+	dataParallel bool
+	// lazyCutoff > 0 defers subtrees holding at most that many primitives.
+	lazyCutoff int
+}
+
+// buildBinnedInto builds a binned-SAH subtree into node n.
+func buildBinnedInto(n *Node, tris []geom.Triangle, idx []int32, nb geom.AABB, depth int, p Params, o buildOpts) {
+	if len(idx) <= p.LeafSize || depth >= p.MaxDepth {
+		makeLeaf(n, idx)
+		return
+	}
+	if o.lazyCutoff > 0 && depth > 0 && len(idx) <= o.lazyCutoff {
+		n.lazy = true
+		n.pending = idx
+		n.bounds = nb
+		n.depth = depth
+		n.Axis = -1
+		return
+	}
+	workers := 1
+	if o.dataParallel {
+		workers = p.Workers
+	}
+	s, ok := bestSplitBinned(tris, idx, nb, p, workers)
+	if !ok || s.cost >= leafCost(len(idx), p) {
+		makeLeaf(n, idx)
+		return
+	}
+	left, right := partition(tris, idx, s)
+	if len(left) == len(idx) && len(right) == len(idx) {
+		makeLeaf(n, idx)
+		return
+	}
+	lb, rb := nb, nb
+	lb.Max = lb.Max.SetAxis(s.axis, s.pos)
+	rb.Min = rb.Min.SetAxis(s.axis, s.pos)
+
+	n.Axis = s.axis
+	n.Split = s.pos
+	n.Left = &Node{}
+	n.Right = &Node{}
+	if o.tasks && depth < p.ParallelDepth {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buildBinnedInto(n.Left, tris, left, lb, depth+1, p, o)
+		}()
+		buildBinnedInto(n.Right, tris, right, rb, depth+1, p, o)
+		wg.Wait()
+	} else {
+		buildBinnedInto(n.Left, tris, left, lb, depth+1, p, o)
+		buildBinnedInto(n.Right, tris, right, rb, depth+1, p, o)
+	}
+}
+
+func makeLeaf(n *Node, idx []int32) {
+	n.Axis = -1
+	n.Tris = idx
+}
+
+// InplaceBuilder is the paper's "Inplace" construction algorithm: a
+// binned-SAH build whose parallelism comes from data parallelism inside
+// each node (parallel binning over primitive chunks), not from node tasks.
+// The recursion itself is sequential, mirroring the original's in-place,
+// data-parallel design.
+type InplaceBuilder struct{}
+
+// Name returns "Inplace".
+func (InplaceBuilder) Name() string { return "Inplace" }
+
+// Build constructs the tree.
+func (InplaceBuilder) Build(tris []geom.Triangle, p Params) *Tree {
+	t, idx := newTree("Inplace", tris, p)
+	t.Root = &Node{}
+	buildBinnedInto(t.Root, tris, idx, t.Bounds, 0, t.params, buildOpts{dataParallel: true})
+	return t
+}
+
+// LazyBuilder is the paper's "Lazy" construction algorithm: the top of the
+// tree is built eagerly (with node tasks), but subtrees at or below the
+// EagerCutoff primitive count are deferred and constructed on first
+// traversal. The tuner's measured frame time therefore includes whatever
+// lazy construction the frame's rays actually trigger.
+type LazyBuilder struct{}
+
+// Name returns "Lazy".
+func (LazyBuilder) Name() string { return "Lazy" }
+
+// Build constructs the (partially deferred) tree.
+func (LazyBuilder) Build(tris []geom.Triangle, p Params) *Tree {
+	t, idx := newTree("Lazy", tris, p)
+	t.Root = &Node{}
+	buildBinnedInto(t.Root, tris, idx, t.Bounds, 0, t.params,
+		buildOpts{tasks: true, lazyCutoff: t.params.EagerCutoff})
+	return t
+}
+
+// NestedBuilder is the paper's "Nested" construction algorithm: nested
+// parallelism combining node tasks (like Wald-Havran) with data-parallel
+// binning inside large nodes (like Inplace).
+type NestedBuilder struct{}
+
+// Name returns "Nested".
+func (NestedBuilder) Name() string { return "Nested" }
+
+// Build constructs the tree.
+func (NestedBuilder) Build(tris []geom.Triangle, p Params) *Tree {
+	t, idx := newTree("Nested", tris, p)
+	t.Root = &Node{}
+	buildBinnedInto(t.Root, tris, idx, t.Bounds, 0, t.params,
+		buildOpts{tasks: true, dataParallel: true})
+	return t
+}
+
+// WaldHavranBuilder is the paper's "Wald-Havran" construction algorithm:
+// the exact O(n log n) sweep-SAH build, parallelized by mapping tree nodes
+// to tasks (goroutines) down to the tunable parallelization depth.
+type WaldHavranBuilder struct{}
+
+// Name returns "Wald-Havran".
+func (WaldHavranBuilder) Name() string { return "Wald-Havran" }
+
+// Build constructs the tree.
+func (WaldHavranBuilder) Build(tris []geom.Triangle, p Params) *Tree {
+	t, idx := newTree("Wald-Havran", tris, p)
+	t.Root = &Node{}
+	buildSweepInto(t.Root, tris, idx, t.Bounds, 0, t.params)
+	return t
+}
+
+func buildSweepInto(n *Node, tris []geom.Triangle, idx []int32, nb geom.AABB, depth int, p Params) {
+	if len(idx) <= p.LeafSize || depth >= p.MaxDepth {
+		makeLeaf(n, idx)
+		return
+	}
+	s, ok := bestSplitSweep(tris, idx, nb, p)
+	if !ok || s.cost >= leafCost(len(idx), p) {
+		makeLeaf(n, idx)
+		return
+	}
+	left, right := partition(tris, idx, s)
+	if len(left) == len(idx) && len(right) == len(idx) {
+		makeLeaf(n, idx)
+		return
+	}
+	lb, rb := nb, nb
+	lb.Max = lb.Max.SetAxis(s.axis, s.pos)
+	rb.Min = rb.Min.SetAxis(s.axis, s.pos)
+
+	n.Axis = s.axis
+	n.Split = s.pos
+	n.Left = &Node{}
+	n.Right = &Node{}
+	if depth < p.ParallelDepth {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buildSweepInto(n.Left, tris, left, lb, depth+1, p)
+		}()
+		buildSweepInto(n.Right, tris, right, rb, depth+1, p)
+		wg.Wait()
+	} else {
+		buildSweepInto(n.Left, tris, left, lb, depth+1, p)
+		buildSweepInto(n.Right, tris, right, rb, depth+1, p)
+	}
+}

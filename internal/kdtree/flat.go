@@ -1,0 +1,167 @@
+package kdtree
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// FlatTree is a pointer-free encoding of a fully built kD-tree: nodes in
+// one contiguous slice (left child adjacent to its parent, right child
+// indexed), leaf triangle references in a second. Production raytracers
+// ship this layout for cache locality and trivial serialization; the
+// BenchmarkFlatVsPointerTraversal ablation quantifies the difference.
+// FlatTree is immutable and safe for concurrent use.
+type FlatTree struct {
+	Tris   []geom.Triangle
+	Bounds geom.AABB
+
+	nodes    []flatNode
+	leafTris []int32
+}
+
+// flatNode is 24 bytes: split plane, right-child index (interior) or leaf
+// payload, and the axis tag (-1 for leaves).
+type flatNode struct {
+	split        float64
+	right        int32 // interior: right child index (left is self+1)
+	start, count int32 // leaf: range in leafTris
+	axis         int8
+}
+
+// Flatten converts a tree to the flat encoding, forcing construction of
+// any deferred (lazy) subtrees first.
+func (t *Tree) Flatten() *FlatTree {
+	t.ExpandAll()
+	f := &FlatTree{Tris: t.Tris, Bounds: t.Bounds}
+	if t.Root != nil {
+		f.emit(t.Root)
+	}
+	return f
+}
+
+// emit appends the subtree rooted at n depth-first and returns its index.
+func (f *FlatTree) emit(n *Node) int32 {
+	idx := int32(len(f.nodes))
+	f.nodes = append(f.nodes, flatNode{})
+	if n.Leaf() {
+		f.nodes[idx] = flatNode{
+			axis:  -1,
+			start: int32(len(f.leafTris)),
+			count: int32(len(n.Tris)),
+		}
+		f.leafTris = append(f.leafTris, n.Tris...)
+		return idx
+	}
+	f.emit(n.Left) // left lands at idx+1
+	right := f.emit(n.Right)
+	f.nodes[idx] = flatNode{
+		axis:  int8(n.Axis),
+		split: n.Split,
+		right: right,
+	}
+	return idx
+}
+
+// NodeCount returns the number of encoded nodes.
+func (f *FlatTree) NodeCount() int { return len(f.nodes) }
+
+// flatStackItem is one deferred subtree during iterative traversal.
+type flatStackItem struct {
+	node   int32
+	t0, t1 float64
+}
+
+// Intersect returns the nearest intersection in (tMin, tMax), equivalent
+// to Tree.Intersect.
+func (f *FlatTree) Intersect(r geom.Ray, tMin, tMax float64) (Hit, bool) {
+	return f.traverse(r, tMin, tMax, false)
+}
+
+// Occluded reports whether any triangle blocks the ray in (tMin, tMax).
+func (f *FlatTree) Occluded(r geom.Ray, tMin, tMax float64) bool {
+	_, hit := f.traverse(r, tMin, tMax, true)
+	return hit
+}
+
+func (f *FlatTree) traverse(r geom.Ray, tMin, tMax float64, anyHit bool) (Hit, bool) {
+	if len(f.nodes) == 0 {
+		return Hit{}, false
+	}
+	t0, t1, ok := f.Bounds.IntersectRay(r, tMin, tMax)
+	if !ok {
+		return Hit{}, false
+	}
+	best := Hit{T: tMax}
+	found := false
+	var stack [64]flatStackItem
+	sp := 0
+	cur := flatStackItem{node: 0, t0: t0, t1: t1}
+	for {
+		n := &f.nodes[cur.node]
+		if cur.t0 > best.T {
+			// Everything in this subtree is behind the incumbent.
+			if sp == 0 {
+				break
+			}
+			sp--
+			cur = stack[sp]
+			continue
+		}
+		if n.axis < 0 {
+			for _, ti := range f.leafTris[n.start : n.start+n.count] {
+				if ht, ok := f.Tris[ti].IntersectRay(r, cur.t0-1e-9, best.T); ok {
+					best.T = ht
+					best.Tri = int(ti)
+					found = true
+					if anyHit {
+						return best, true
+					}
+				}
+			}
+			if sp == 0 {
+				break
+			}
+			sp--
+			cur = stack[sp]
+			continue
+		}
+
+		axis := int(n.axis)
+		o, d := r.Origin.Axis(axis), r.Dir.Axis(axis)
+		near, far := cur.node+1, n.right
+		if o > n.split || (o == n.split && d < 0) {
+			near, far = far, near
+		}
+		if d == 0 {
+			cur = flatStackItem{node: near, t0: cur.t0, t1: cur.t1}
+			continue
+		}
+		tSplit := (n.split - o) / d
+		switch {
+		case tSplit >= cur.t1 || tSplit < 0:
+			cur = flatStackItem{node: near, t0: cur.t0, t1: cur.t1}
+		case tSplit <= cur.t0:
+			cur = flatStackItem{node: far, t0: cur.t0, t1: cur.t1}
+		default:
+			if sp < len(stack) {
+				stack[sp] = flatStackItem{node: far, t0: tSplit, t1: cur.t1}
+				sp++
+			} else {
+				// Stack exhaustion cannot happen: depth is bounded by
+				// MaxDepth ≤ 8 + 1.3·log₂(n) < 64 for any realistic n,
+				// but degrade safely rather than corrupt state.
+				h2, f2 := f.traverse(geom.Ray{Origin: r.At(tSplit), Dir: r.Dir}, 0, cur.t1-tSplit, anyHit)
+				if f2 && h2.T+tSplit < best.T {
+					best = Hit{T: h2.T + tSplit, Tri: h2.Tri}
+					found = true
+				}
+			}
+			cur = flatStackItem{node: near, t0: cur.t0, t1: tSplit}
+		}
+	}
+	if !found {
+		return Hit{T: math.Inf(1)}, false
+	}
+	return best, true
+}

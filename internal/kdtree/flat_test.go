@@ -1,0 +1,102 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/scenegen"
+)
+
+func TestFlattenPreservesStructure(t *testing.T) {
+	tris := scenegen.Cathedral(1).Triangles
+	tree := NestedBuilder{}.Build(tris, DefaultParams())
+	flat := tree.Flatten()
+	s := tree.Stats()
+	if flat.NodeCount() != s.Nodes {
+		t.Errorf("flat has %d nodes, tree has %d", flat.NodeCount(), s.Nodes)
+	}
+	if len(flat.leafTris) != s.Tris {
+		t.Errorf("flat has %d leaf refs, tree has %d", len(flat.leafTris), s.Tris)
+	}
+}
+
+func TestFlatTraversalMatchesPointerTree(t *testing.T) {
+	tris := scenegen.Cathedral(1).Triangles
+	for _, b := range AllBuilders() {
+		tree := b.Build(tris, DefaultParams())
+		flat := tree.Flatten()
+		rays := randomRays(tree.Bounds, 400, 11)
+		for _, ray := range rays {
+			want, wok := tree.Intersect(ray, 1e-9, 1e9)
+			got, gok := flat.Intersect(ray, 1e-9, 1e9)
+			if wok != gok || (wok && math.Abs(want.T-got.T) > 1e-9) {
+				t.Fatalf("%s: flat traversal disagrees: %v/%v vs %v/%v",
+					b.Name(), want, wok, got, gok)
+			}
+			if tree.Occluded(ray, 1e-9, 1e9) != flat.Occluded(ray, 1e-9, 1e9) {
+				t.Fatalf("%s: occlusion disagrees", b.Name())
+			}
+		}
+	}
+}
+
+func TestFlattenForcesLazyExpansion(t *testing.T) {
+	tris := scenegen.Cathedral(1).Triangles
+	p := DefaultParams()
+	p.EagerCutoff = 128
+	tree := LazyBuilder{}.Build(tris, p)
+	if tree.Stats().Pending == 0 {
+		t.Skip("lazy tree fully built at this size")
+	}
+	flat := tree.Flatten()
+	if tree.Stats().Pending != 0 {
+		t.Error("Flatten left pending subtrees")
+	}
+	// Flat traversal agrees with brute force.
+	rays := randomRays(tree.Bounds, 100, 3)
+	for _, ray := range rays {
+		want, wok := bruteIntersect(tris, ray, 1e-9, 1e9)
+		got, gok := flat.Intersect(ray, 1e-9, 1e9)
+		if wok != gok || (wok && math.Abs(want.T-got.T) > 1e-9) {
+			t.Fatal("flat lazy traversal mismatch")
+		}
+	}
+}
+
+func TestFlatEmptyScene(t *testing.T) {
+	flat := (WaldHavranBuilder{}.Build(nil, DefaultParams())).Flatten()
+	if _, hit := flat.Intersect(geom.Ray{Origin: geom.V(0, 0, 0), Dir: geom.V(1, 0, 0)}, 0, 10); hit {
+		t.Error("hit in empty flat tree")
+	}
+	if flat.Occluded(geom.Ray{Origin: geom.V(0, 0, 0), Dir: geom.V(1, 0, 0)}, 0, 10) {
+		t.Error("occlusion in empty flat tree")
+	}
+}
+
+// Property: flat and pointer traversal agree on random scenes and rays.
+func TestFlatEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tris := randomTriangles(r, 20+r.Intn(120))
+		tree := InplaceBuilder{}.Build(tris, DefaultParams())
+		flat := tree.Flatten()
+		for k := 0; k < 30; k++ {
+			ray := geom.Ray{
+				Origin: geom.V(r.Float64()*40-20, r.Float64()*40-20, r.Float64()*40-20),
+				Dir:    geom.V(r.Float64()*2-1, r.Float64()*2-1, r.Float64()*2-1).Normalize(),
+			}
+			want, wok := tree.Intersect(ray, 1e-9, 1e9)
+			got, gok := flat.Intersect(ray, 1e-9, 1e9)
+			if wok != gok || (wok && math.Abs(want.T-got.T) > 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package kdtree implements the SAH kD-tree at the heart of the paper's
+// second case study, with the four parallel construction algorithms of
+// Tillmann et al. ("Online-Autotuning of Parallel SAH kD-Trees", IPDPS
+// 2016): Inplace, Lazy, Nested, and Wald-Havran.
+//
+// All four builders share the surface-area-heuristic cost model; they
+// differ in how they find splits (exact sweep vs. binned) and in how they
+// map work to threads (goroutines here, OpenMP in the original): node
+// tasks in Wald-Havran, data parallelism in Inplace, both in Nested, and
+// deferred on-demand construction in Lazy. The SAH parameters and the
+// parallelization depth are the tunable parameters exposed to the
+// autotuner; Lazy adds the eager-construction cutoff.
+package kdtree
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// Params are the tunable construction parameters. The zero value is not
+// valid; use DefaultParams as a baseline (it is the "hand-crafted
+// best-practices configuration" the paper's tuner starts from).
+type Params struct {
+	// TraversalCost is the SAH cost of traversing an interior node,
+	// relative to IntersectCost.
+	TraversalCost float64
+	// IntersectCost is the SAH cost of one ray/triangle test.
+	IntersectCost float64
+	// LeafSize is the primitive count at or below which a node becomes a
+	// leaf without attempting a split.
+	LeafSize int
+	// MaxDepth caps the tree depth; 0 derives the usual 8 + 1.3·log₂(n).
+	MaxDepth int
+	// ParallelDepth is the tree depth above which builders may run child
+	// subtrees as parallel tasks (0 disables task parallelism).
+	ParallelDepth int
+	// Bins is the bin count of the binned-SAH builders (Inplace, Nested,
+	// Lazy); the Wald-Havran sweep ignores it.
+	Bins int
+	// Workers bounds data-parallel helpers inside a node (Inplace,
+	// Nested); 0 means GOMAXPROCS.
+	Workers int
+	// EagerCutoff is used by the Lazy builder only: subtrees holding at
+	// most this many primitives are deferred and built on first traversal.
+	EagerCutoff int
+}
+
+// DefaultParams returns the hand-crafted baseline configuration.
+func DefaultParams() Params {
+	return Params{
+		TraversalCost: 1.0,
+		IntersectCost: 1.5,
+		LeafSize:      8,
+		MaxDepth:      0,
+		ParallelDepth: 3,
+		Bins:          32,
+		Workers:       0,
+		EagerCutoff:   512,
+	}
+}
+
+// sanitize clamps parameters to safe values.
+func (p Params) sanitize(n int) Params {
+	if p.TraversalCost <= 0 {
+		p.TraversalCost = 1
+	}
+	if p.IntersectCost <= 0 {
+		p.IntersectCost = 1
+	}
+	if p.LeafSize < 1 {
+		p.LeafSize = 1
+	}
+	if p.MaxDepth <= 0 {
+		d := 8
+		if n > 0 {
+			d = int(8 + 1.3*math.Log2(float64(n)))
+		}
+		p.MaxDepth = d
+	}
+	if p.Bins < 2 {
+		p.Bins = 2
+	}
+	if p.Bins > 256 {
+		p.Bins = 256
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	if p.ParallelDepth < 0 {
+		p.ParallelDepth = 0
+	}
+	if p.EagerCutoff < 0 {
+		p.EagerCutoff = 0
+	}
+	return p
+}
+
+// Node is one kD-tree node. Interior nodes split space at Split along
+// Axis; leaves hold triangle indices. A node built by the Lazy builder may
+// instead hold a deferred primitive set that is expanded on first use.
+type Node struct {
+	// Axis is 0, 1, or 2 for interior nodes and -1 for leaves.
+	Axis int
+	// Split is the splitting plane coordinate (interior nodes).
+	Split float64
+	// Left and Right are the children (interior nodes).
+	Left, Right *Node
+	// Tris holds the leaf's triangle indices.
+	Tris []int32
+
+	// Deferred state for the Lazy builder. lazy is immutable after
+	// construction; all access to a deferred node's contents goes through
+	// once.Do, whose memory ordering makes the expansion visible to every
+	// traversing goroutine.
+	lazy    bool
+	pending []int32
+	bounds  geom.AABB
+	depth   int
+	once    sync.Once
+}
+
+// Leaf reports whether the node is (currently) a leaf.
+func (n *Node) Leaf() bool { return n.Axis < 0 }
+
+// Tree is an immutable (after construction, except for lazy expansion)
+// kD-tree over a triangle slice. The triangle slice is referenced, not
+// copied; it must not be mutated while the tree is in use.
+type Tree struct {
+	// Builder is the name of the algorithm that built the tree.
+	Builder string
+	Tris    []geom.Triangle
+	Bounds  geom.AABB
+	Root    *Node
+
+	params Params // retained for lazy expansion
+}
+
+// Hit is a successful ray/scene intersection.
+type Hit struct {
+	// T is the ray parameter of the nearest intersection.
+	T float64
+	// Tri is the index of the intersected triangle.
+	Tri int
+}
+
+// Intersect returns the nearest intersection of the ray with the scene in
+// (tMin, tMax). It is safe for concurrent use, including on lazily built
+// trees (expansion is synchronized per node).
+func (t *Tree) Intersect(r geom.Ray, tMin, tMax float64) (Hit, bool) {
+	t0, t1, ok := t.Bounds.IntersectRay(r, tMin, tMax)
+	if !ok || t.Root == nil {
+		return Hit{}, false
+	}
+	best := Hit{T: tMax}
+	found := t.walk(t.Root, r, t0, t1, &best, false)
+	return best, found
+}
+
+// Occluded reports whether any triangle blocks the ray in (tMin, tMax) —
+// the cheap any-hit query used for ambient-occlusion rays.
+func (t *Tree) Occluded(r geom.Ray, tMin, tMax float64) bool {
+	t0, t1, ok := t.Bounds.IntersectRay(r, tMin, tMax)
+	if !ok || t.Root == nil {
+		return false
+	}
+	h := Hit{T: tMax}
+	return t.walk(t.Root, r, t0, t1, &h, true)
+}
+
+// walk recursively traverses the node over the ray interval [t0, t1].
+// With anyHit it returns on the first intersection found.
+func (t *Tree) walk(n *Node, r geom.Ray, t0, t1 float64, best *Hit, anyHit bool) bool {
+	if t0 > best.T {
+		return false
+	}
+	n = t.expand(n)
+	if n.Leaf() {
+		found := false
+		for _, ti := range n.Tris {
+			if ht, ok := t.Tris[ti].IntersectRay(r, t0-1e-9, best.T); ok {
+				best.T = ht
+				best.Tri = int(ti)
+				found = true
+				if anyHit {
+					return true
+				}
+			}
+		}
+		return found
+	}
+
+	o := r.Origin.Axis(n.Axis)
+	d := r.Dir.Axis(n.Axis)
+	near, far := n.Left, n.Right
+	if o > n.Split || (o == n.Split && d < 0) {
+		near, far = far, near
+	}
+	if d == 0 {
+		// The ray never crosses the plane: only the near side matters.
+		return t.walk(near, r, t0, t1, best, anyHit)
+	}
+	tSplit := (n.Split - o) / d
+	switch {
+	case tSplit >= t1 || tSplit < 0:
+		return t.walk(near, r, t0, t1, best, anyHit)
+	case tSplit <= t0:
+		return t.walk(far, r, t0, t1, best, anyHit)
+	default:
+		found := t.walk(near, r, t0, tSplit, best, anyHit)
+		if anyHit && found {
+			return true
+		}
+		if best.T >= tSplit {
+			if t.walk(far, r, tSplit, t1, best, anyHit) {
+				found = true
+			}
+		}
+		return found
+	}
+}
+
+// expand builds a deferred (lazy) subtree on first touch and returns the
+// node to traverse. Expansion is idempotent and goroutine safe.
+func (t *Tree) expand(n *Node) *Node {
+	if !n.lazy {
+		return n
+	}
+	n.once.Do(func() {
+		buildBinnedInto(n, t.Tris, n.pending, n.bounds, n.depth, t.params, buildOpts{})
+		n.pending = nil
+	})
+	return n
+}
+
+// Stats summarizes a tree's shape; FullyBuilt is false while a lazy tree
+// still has deferred subtrees.
+type Stats struct {
+	Nodes, Leaves, Pending int
+	MaxDepth               int
+	Tris                   int // total leaf references (with duplication)
+	FullyBuilt             bool
+}
+
+// Stats walks the tree and reports its shape without expanding deferred
+// subtrees.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		if n == nil {
+			return
+		}
+		s.Nodes++
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		if n.lazy && n.pending != nil {
+			s.Pending++
+			return
+		}
+		if n.Leaf() {
+			s.Leaves++
+			s.Tris += len(n.Tris)
+			return
+		}
+		rec(n.Left, depth+1)
+		rec(n.Right, depth+1)
+	}
+	rec(t.Root, 0)
+	s.FullyBuilt = s.Pending == 0
+	return s
+}
+
+// ExpandAll forces construction of every deferred subtree (lazy trees).
+func (t *Tree) ExpandAll() {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n == nil {
+			return
+		}
+		n = t.expand(n)
+		if !n.Leaf() {
+			rec(n.Left)
+			rec(n.Right)
+		}
+	}
+	rec(t.Root)
+}

@@ -1,0 +1,145 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// randomTriangles builds a small random scene: clusters of triangles with
+// varied sizes, including degenerate-ish slivers, to stress SAH splits.
+func randomTriangles(r *rand.Rand, n int) []geom.Triangle {
+	tris := make([]geom.Triangle, n)
+	for i := range tris {
+		center := geom.V(r.Float64()*20-10, r.Float64()*20-10, r.Float64()*20-10)
+		size := 0.05 + r.Float64()*3
+		rv := func() geom.Vec3 {
+			return center.Add(geom.V(
+				(r.Float64()-0.5)*size,
+				(r.Float64()-0.5)*size,
+				(r.Float64()-0.5)*size,
+			))
+		}
+		tris[i] = geom.Triangle{A: rv(), B: rv(), C: rv()}
+	}
+	return tris
+}
+
+// Property: for random scenes, random parameters, and random rays, every
+// builder agrees with the brute-force oracle on the nearest hit distance.
+func TestBuildersAgreeWithOracleProperty(t *testing.T) {
+	builders := AllBuilders()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tris := randomTriangles(r, 20+r.Intn(150))
+		p := Params{
+			TraversalCost: 0.2 + r.Float64()*3,
+			IntersectCost: 0.5 + r.Float64()*2,
+			LeafSize:      1 + r.Intn(12),
+			MaxDepth:      3 + r.Intn(15),
+			ParallelDepth: r.Intn(4),
+			Bins:          4 + r.Intn(40),
+			EagerCutoff:   r.Intn(64),
+		}
+		b := builders[r.Intn(len(builders))]
+		tree := b.Build(tris, p)
+		for k := 0; k < 40; k++ {
+			ray := geom.Ray{
+				Origin: geom.V(r.Float64()*40-20, r.Float64()*40-20, r.Float64()*40-20),
+				Dir: geom.V(r.Float64()*2-1, r.Float64()*2-1, r.Float64()*2-1).
+					Normalize(),
+			}
+			if ray.Dir.Len() == 0 {
+				continue
+			}
+			want, wok := bruteIntersect(tris, ray, 1e-9, 1e9)
+			got, gok := tree.Intersect(ray, 1e-9, 1e9)
+			if wok != gok {
+				t.Logf("seed %d builder %s: hit disagreement", seed, b.Name())
+				return false
+			}
+			if wok && math.Abs(want.T-got.T) > 1e-9 {
+				t.Logf("seed %d builder %s: t %g vs %g", seed, b.Name(), want.T, got.T)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tree stats satisfy structural invariants for any parameters.
+func TestTreeInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tris := randomTriangles(r, 10+r.Intn(100))
+		p := Params{
+			LeafSize:    1 + r.Intn(8),
+			MaxDepth:    2 + r.Intn(12),
+			Bins:        4 + r.Intn(28),
+			EagerCutoff: r.Intn(32),
+		}
+		for _, b := range AllBuilders() {
+			tree := b.Build(tris, p)
+			tree.ExpandAll()
+			s := tree.Stats()
+			// Binary tree: nodes = 2·leaves − 1; depth bounded; every
+			// triangle referenced at least once.
+			if s.Nodes != 2*s.Leaves-1 {
+				return false
+			}
+			if s.MaxDepth > p.sanitize(len(tris)).MaxDepth {
+				return false
+			}
+			if s.Tris < len(tris) {
+				return false
+			}
+			if !s.FullyBuilt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every triangle index stored in any leaf is valid and the
+// triangle's bounds overlap the leaf's region (no stray references).
+func TestLeafReferencesValidProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	tris := randomTriangles(r, 200)
+	tree := NestedBuilder{}.Build(tris, DefaultParams())
+	var walk func(n *Node, bounds geom.AABB) bool
+	walk = func(n *Node, bounds geom.AABB) bool {
+		if n.Leaf() {
+			for _, ti := range n.Tris {
+				if ti < 0 || int(ti) >= len(tris) {
+					return false
+				}
+				tb := tris[ti].Bounds()
+				// Overlap test with slack for boundary straddlers.
+				for a := 0; a < 3; a++ {
+					if tb.Min.Axis(a) > bounds.Max.Axis(a)+1e-9 ||
+						tb.Max.Axis(a) < bounds.Min.Axis(a)-1e-9 {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		lb, rb := bounds, bounds
+		lb.Max = lb.Max.SetAxis(n.Axis, n.Split)
+		rb.Min = rb.Min.SetAxis(n.Axis, n.Split)
+		return walk(n.Left, lb) && walk(n.Right, rb)
+	}
+	if !walk(tree.Root, tree.Bounds) {
+		t.Error("leaf references escape their node regions")
+	}
+}

@@ -1,0 +1,241 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// A split is a chosen SAH splitting plane.
+type split struct {
+	axis int
+	pos  float64
+	cost float64
+}
+
+// leafCost is the SAH cost of making the node a leaf.
+func leafCost(n int, p Params) float64 { return p.IntersectCost * float64(n) }
+
+// sahCost evaluates the SAH for a candidate plane given the node bounds
+// and the left/right primitive counts.
+func sahCost(nb geom.AABB, axis int, pos float64, nL, nR int, p Params) float64 {
+	sa := nb.SurfaceArea()
+	if sa == 0 {
+		return math.Inf(1)
+	}
+	lb, rb := nb, nb
+	lb.Max = lb.Max.SetAxis(axis, pos)
+	rb.Min = rb.Min.SetAxis(axis, pos)
+	cost := p.TraversalCost + p.IntersectCost*
+		(lb.SurfaceArea()/sa*float64(nL)+rb.SurfaceArea()/sa*float64(nR))
+	// Slightly favor splits that cut off empty space, as real SAH builders
+	// do (Wald & Havran's empty-space bonus).
+	if nL == 0 || nR == 0 {
+		cost *= 0.8
+	}
+	return cost
+}
+
+// sweepEvent is one primitive boundary on an axis.
+type sweepEvent struct {
+	pos   float64
+	start bool
+}
+
+// bestSplitSweep finds the exact SAH-optimal plane by sorting primitive
+// boundaries per axis and sweeping — the O(n log n)-per-level strategy of
+// the Wald-Havran builder.
+func bestSplitSweep(tris []geom.Triangle, idx []int32, nb geom.AABB, p Params) (split, bool) {
+	best := split{cost: math.Inf(1)}
+	n := len(idx)
+	events := make([]sweepEvent, 0, 2*n)
+	for axis := 0; axis < 3; axis++ {
+		lo, hi := nb.Min.Axis(axis), nb.Max.Axis(axis)
+		if hi-lo <= 0 {
+			continue
+		}
+		events = events[:0]
+		for _, i := range idx {
+			b := tris[i].Bounds()
+			bmin := math.Max(b.Min.Axis(axis), lo)
+			bmax := math.Min(b.Max.Axis(axis), hi)
+			events = append(events, sweepEvent{bmin, true}, sweepEvent{bmax, false})
+		}
+		// Sort by position; at equal positions, end events first so a
+		// primitive ending exactly at a plane is not counted on the right.
+		sort.Slice(events, func(a, b int) bool {
+			if events[a].pos != events[b].pos {
+				return events[a].pos < events[b].pos
+			}
+			return !events[a].start && events[b].start
+		})
+		nL, nR := 0, n
+		for k := 0; k < len(events); {
+			pos := events[k].pos
+			endsHere, startsHere := 0, 0
+			for k < len(events) && events[k].pos == pos && !events[k].start {
+				endsHere++
+				k++
+			}
+			for k < len(events) && events[k].pos == pos && events[k].start {
+				startsHere++
+				k++
+			}
+			nR -= endsHere
+			if pos > lo && pos < hi {
+				c := sahCost(nb, axis, pos, nL, nR, p)
+				if c < best.cost && !(nL == n && nR == n) {
+					best = split{axis: axis, pos: pos, cost: c}
+				}
+			}
+			nL += startsHere
+		}
+	}
+	return best, !math.IsInf(best.cost, 1)
+}
+
+// binHists holds per-axis start/end histograms for binned SAH.
+type binHists struct {
+	start, end [3][]int
+}
+
+func newBinHists(bins int) *binHists {
+	var h binHists
+	for a := 0; a < 3; a++ {
+		h.start[a] = make([]int, bins)
+		h.end[a] = make([]int, bins)
+	}
+	return &h
+}
+
+func (h *binHists) add(o *binHists) {
+	for a := 0; a < 3; a++ {
+		for b := range h.start[a] {
+			h.start[a][b] += o.start[a][b]
+			h.end[a][b] += o.end[a][b]
+		}
+	}
+}
+
+// binIndex maps a coordinate to a bin in [0, bins).
+func binIndex(x, lo, inv float64, bins int) int {
+	b := int((x - lo) * inv)
+	if b < 0 {
+		b = 0
+	}
+	if b >= bins {
+		b = bins - 1
+	}
+	return b
+}
+
+// binRange fills the histograms for idx[from:to].
+func binTris(h *binHists, tris []geom.Triangle, idx []int32, nb geom.AABB, bins int) {
+	var inv [3]float64
+	for a := 0; a < 3; a++ {
+		ext := nb.Max.Axis(a) - nb.Min.Axis(a)
+		if ext > 0 {
+			inv[a] = float64(bins) / ext
+		}
+	}
+	for _, i := range idx {
+		b := tris[i].Bounds()
+		for a := 0; a < 3; a++ {
+			if inv[a] == 0 {
+				continue
+			}
+			lo := nb.Min.Axis(a)
+			h.start[a][binIndex(b.Min.Axis(a), lo, inv[a], bins)]++
+			h.end[a][binIndex(b.Max.Axis(a), lo, inv[a], bins)]++
+		}
+	}
+}
+
+// bestSplitBinned finds the best SAH plane among bin boundaries. With
+// workers > 1 and enough primitives, the binning pass runs data-parallel —
+// the Inplace builder's parallelization strategy.
+func bestSplitBinned(tris []geom.Triangle, idx []int32, nb geom.AABB, p Params, workers int) (split, bool) {
+	bins := p.Bins
+	h := newBinHists(bins)
+	const parallelThreshold = 8192
+	if workers > 1 && len(idx) >= parallelThreshold {
+		chunk := (len(idx) + workers - 1) / workers
+		locals := make([]*binHists, 0, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			from := w * chunk
+			if from >= len(idx) {
+				break
+			}
+			to := from + chunk
+			if to > len(idx) {
+				to = len(idx)
+			}
+			lh := newBinHists(bins)
+			locals = append(locals, lh)
+			wg.Add(1)
+			go func(lh *binHists, sub []int32) {
+				defer wg.Done()
+				binTris(lh, tris, sub, nb, bins)
+			}(lh, idx[from:to])
+		}
+		wg.Wait()
+		for _, lh := range locals {
+			h.add(lh)
+		}
+	} else {
+		binTris(h, tris, idx, nb, bins)
+	}
+
+	n := len(idx)
+	best := split{cost: math.Inf(1)}
+	for a := 0; a < 3; a++ {
+		lo, hi := nb.Min.Axis(a), nb.Max.Axis(a)
+		ext := hi - lo
+		if ext <= 0 {
+			continue
+		}
+		// Prefix sums over bins: a boundary after bin b−1 has
+		// nL = Σ start[<b], nR = Σ end[≥b].
+		nL := 0
+		nR := n
+		for b := 1; b < bins; b++ {
+			nL += h.start[a][b-1]
+			nR -= h.end[a][b-1]
+			pos := lo + ext*float64(b)/float64(bins)
+			c := sahCost(nb, a, pos, nL, nR, p)
+			if c < best.cost && !(nL == n && nR == n) {
+				best = split{axis: a, pos: pos, cost: c}
+			}
+		}
+	}
+	return best, !math.IsInf(best.cost, 1)
+}
+
+// partition splits idx into left/right lists for the plane. Primitives
+// strictly left go left, strictly right go right, straddlers go to both.
+// A primitive lying exactly on the plane with zero extent goes left.
+func partition(tris []geom.Triangle, idx []int32, s split) (left, right []int32) {
+	for _, i := range idx {
+		b := tris[i].Bounds()
+		bmin, bmax := b.Min.Axis(s.axis), b.Max.Axis(s.axis)
+		switch {
+		case bmax < s.pos:
+			left = append(left, i)
+		case bmin > s.pos:
+			right = append(right, i)
+		case bmin == s.pos && bmax == s.pos:
+			left = append(left, i)
+		default:
+			if bmin < s.pos {
+				left = append(left, i)
+			}
+			if bmax > s.pos {
+				right = append(right, i)
+			}
+		}
+	}
+	return left, right
+}

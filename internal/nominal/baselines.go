@@ -1,0 +1,257 @@
+package nominal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// UniformRandom selects an arm uniformly at random each iteration. It is
+// the behaviour the paper predicts for Gradient Weighted after all
+// algorithms converge, and serves as the no-information baseline.
+type UniformRandom struct {
+	history
+}
+
+// NewUniformRandom creates a uniform random selector.
+func NewUniformRandom() *UniformRandom { return &UniformRandom{} }
+
+// Name returns "uniform-random".
+func (u *UniformRandom) Name() string { return "uniform-random" }
+
+// Init prepares the selector for n arms.
+func (u *UniformRandom) Init(n int) { u.history.init(n) }
+
+// Select returns a uniformly random arm.
+func (u *UniformRandom) Select(r *rand.Rand) int {
+	u.mustInit("UniformRandom.Select")
+	return r.Intn(u.n())
+}
+
+// Report records the measurement.
+func (u *UniformRandom) Report(arm int, v float64) {
+	u.mustInit("UniformRandom.Report")
+	u.report(arm, v)
+}
+
+// RoundRobin cycles deterministically through the arms. Over N·k
+// iterations every arm runs exactly k times; it corresponds to exhaustive
+// search repeated forever, which the paper notes "will also always select
+// the worst configuration".
+type RoundRobin struct {
+	history
+	next int
+}
+
+// NewRoundRobin creates a round-robin selector.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name returns "round-robin".
+func (rr *RoundRobin) Name() string { return "round-robin" }
+
+// Init prepares the selector for n arms.
+func (rr *RoundRobin) Init(n int) {
+	rr.history.init(n)
+	rr.next = 0
+}
+
+// Select returns the next arm in cyclic order.
+func (rr *RoundRobin) Select(*rand.Rand) int {
+	rr.mustInit("RoundRobin.Select")
+	a := rr.next
+	rr.next = (rr.next + 1) % rr.n()
+	return a
+}
+
+// Report records the measurement.
+func (rr *RoundRobin) Report(arm int, v float64) {
+	rr.mustInit("RoundRobin.Report")
+	rr.report(arm, v)
+}
+
+// Softmax is the Gibbs/Boltzmann action-selection policy that the paper
+// discusses as the common alternative to ε-Greedy in reinforcement
+// learning, and explicitly chooses NOT to use: by suppressing bad
+// algorithms it prevents them from improving through phase-one tuning.
+// It is included as ablation A5. Arms are drawn with probability
+// proportional to exp(−(best_A − best_min)/Temp).
+type Softmax struct {
+	history
+	// Temp is the Gibbs temperature relative to the spread of best values;
+	// smaller is greedier.
+	Temp float64
+}
+
+// NewSoftmax creates a softmax selector with the given temperature.
+func NewSoftmax(temp float64) *Softmax {
+	if temp <= 0 || math.IsNaN(temp) {
+		panic(fmt.Sprintf("nominal: softmax temperature %g must be positive", temp))
+	}
+	return &Softmax{Temp: temp}
+}
+
+// Name returns e.g. "softmax(0.1)".
+func (s *Softmax) Name() string {
+	return "softmax(" + strconv.FormatFloat(s.Temp, 'g', -1, 64) + ")"
+}
+
+// Init prepares the selector for n arms.
+func (s *Softmax) Init(n int) { s.history.init(n) }
+
+// Select draws an arm from the Gibbs distribution over best observed
+// values; unvisited arms are treated as ties with the current best.
+func (s *Softmax) Select(r *rand.Rand) int {
+	s.mustInit("Softmax.Select")
+	minBest := math.Inf(1)
+	for i := range s.best {
+		if s.best[i] < minBest {
+			minBest = s.best[i]
+		}
+	}
+	if math.IsInf(minBest, 1) {
+		return r.Intn(s.n())
+	}
+	w := make([]float64, s.n())
+	for i := range w {
+		b := s.best[i]
+		if math.IsInf(b, 1) {
+			b = minBest // optimistic: unvisited ties the best
+		}
+		// Scale the gap by the best value so Temp is unitless.
+		gap := (b - minBest) / math.Max(minBest, 1e-12)
+		w[i] = math.Exp(-gap / s.Temp)
+	}
+	return weightedDraw(r, w)
+}
+
+// Report records the measurement.
+func (s *Softmax) Report(arm int, v float64) {
+	s.mustInit("Softmax.Report")
+	s.report(arm, v)
+}
+
+// NewByName builds a selector from a name. Recognized names:
+//
+//	egreedy:<pct>  (e.g. egreedy:5, egreedy:10, egreedy:20)
+//	greedygradient:<pct>  (the combined strategy of the paper's conclusion)
+//	gradient, optimum, auc, random, roundrobin, ucb1, softmax:<temp>
+func NewByName(name string) (Selector, error) {
+	switch {
+	case strings.HasPrefix(name, "egreedy:"):
+		pct, err := strconv.ParseFloat(strings.TrimPrefix(name, "egreedy:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("nominal: bad ε in %q: %v", name, err)
+		}
+		return NewEpsilonGreedy(pct / 100), nil
+	case strings.HasPrefix(name, "greedygradient:"):
+		pct, err := strconv.ParseFloat(strings.TrimPrefix(name, "greedygradient:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("nominal: bad ε in %q: %v", name, err)
+		}
+		return NewGreedyGradient(pct / 100), nil
+	case name == "gradient":
+		return NewGradientWeighted(), nil
+	case name == "optimum":
+		return NewOptimumWeighted(), nil
+	case name == "auc":
+		return NewSlidingWindowAUC(), nil
+	case name == "random":
+		return NewUniformRandom(), nil
+	case name == "roundrobin":
+		return NewRoundRobin(), nil
+	case name == "ucb1":
+		return NewUCB1(), nil
+	case strings.HasPrefix(name, "softmax:"):
+		temp, err := strconv.ParseFloat(strings.TrimPrefix(name, "softmax:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("nominal: bad temperature in %q: %v", name, err)
+		}
+		return NewSoftmax(temp), nil
+	default:
+		return nil, fmt.Errorf("nominal: unknown selector %q", name)
+	}
+}
+
+// PaperSet returns fresh instances of the six strategies evaluated in the
+// paper's figures, in the paper's legend order: ε-Greedy (5%, 10%, 20%),
+// Gradient Weighted, Optimum Weighted, Sliding-Window AUC.
+func PaperSet() []Selector {
+	return []Selector{
+		NewEpsilonGreedy(0.05),
+		NewEpsilonGreedy(0.10),
+		NewEpsilonGreedy(0.20),
+		NewGradientWeighted(),
+		NewOptimumWeighted(),
+		NewSlidingWindowAUC(),
+	}
+}
+
+// UCB1 is the classical upper-confidence-bound bandit (Auer et al. 2002),
+// included as the standard baseline from the reinforcement-learning
+// literature the paper frames its strategies against. Costs are
+// normalized into rewards on the observed [min, max] range (UCB1 assumes
+// bounded rewards); each selection maximizes mean reward plus the
+// exploration bonus C·sqrt(2·ln N / n_arm). Unvisited arms are selected
+// first, in index order.
+type UCB1 struct {
+	history
+	sums []float64
+	// C scales the exploration bonus; 1 is the textbook value.
+	C float64
+}
+
+// NewUCB1 creates a UCB1 selector with the textbook exploration constant.
+func NewUCB1() *UCB1 { return &UCB1{C: 1} }
+
+// Name returns "ucb1".
+func (u *UCB1) Name() string { return "ucb1" }
+
+// Init prepares the selector for n arms.
+func (u *UCB1) Init(n int) {
+	u.history.init(n)
+	u.sums = make([]float64, n)
+}
+
+// Select returns the arm with the highest upper confidence bound.
+func (u *UCB1) Select(r *rand.Rand) int {
+	u.mustInit("UCB1.Select")
+	for i := 0; i < u.n(); i++ {
+		if u.visits(i) == 0 {
+			return i
+		}
+	}
+	// Observed cost range for normalization.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	total := 0
+	for i := 0; i < u.n(); i++ {
+		total += u.visits(i)
+		mean := u.sums[i] / float64(u.visits(i))
+		lo = math.Min(lo, mean)
+		hi = math.Max(hi, mean)
+	}
+	span := hi - lo
+	if span <= 0 {
+		return r.Intn(u.n())
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for i := 0; i < u.n(); i++ {
+		n := float64(u.visits(i))
+		mean := u.sums[i] / n
+		reward := (hi - mean) / span // lower cost ⇒ higher reward in [0,1]
+		score := reward + u.C*math.Sqrt(2*math.Log(float64(total))/n)
+		if score > bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	return best
+}
+
+// Report records the measurement.
+func (u *UCB1) Report(arm int, v float64) {
+	u.mustInit("UCB1.Report")
+	u.report(arm, v)
+	u.sums[arm] += v
+}

@@ -1,0 +1,113 @@
+package nominal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GreedyGradient is the combination the paper's conclusion anticipates
+// ("we anticipate to be able to mitigate this drawback by combining the
+// strategies we have presented here, in particular with the
+// Gradient-Weighted method"): ε-Greedy exploitation, with the exploration
+// draw biased toward algorithms whose performance is still improving
+// instead of uniform.
+//
+// The effect addresses the §IV-C threat to validity directly: with
+// probability 1−ε the incumbent runs (fast convergence, like ε-Greedy);
+// the remaining ε of iterations flow preferentially to algorithms still
+// making tuning progress, so an algorithm that would cross over after
+// more tuning keeps receiving tuning budget instead of starving.
+//
+// The exploration weight deliberately differs from the paper's
+// w = G + 2: that formula's constant offset swamps the gradient signal
+// whenever improvements are small on the absolute 1/time scale (which is
+// the common case — see GradientWeighted.Relative). Here the gradient is
+// (a) relative (scale invariant) and (b) normalized per own sample of the
+// arm rather than per global iteration (an arm must not look flat merely
+// because it rarely runs), and the weight is exp(G/Tau), which amplifies
+// small but persistent improvement into a clear selection bias while
+// keeping every weight strictly positive — no algorithm is ever excluded,
+// preserving the property the paper insists on.
+type GreedyGradient struct {
+	history
+	// Eps is the exploration probability.
+	Eps float64
+	// Window is the per-arm sample window for the gradient; default 16.
+	Window int
+	// Tau is the exponential temperature for exploration weights; the
+	// default 0.01 means "1% relative improvement per run doubles-ish an
+	// arm's exploration odds".
+	Tau float64
+}
+
+// NewGreedyGradient creates the combined strategy with the given ε, the
+// paper's window size of 16, and Tau = 0.01.
+func NewGreedyGradient(eps float64) *GreedyGradient {
+	if eps < 0 || eps > 1 || math.IsNaN(eps) {
+		panic(fmt.Sprintf("nominal: ε = %g outside [0,1]", eps))
+	}
+	return &GreedyGradient{Eps: eps, Window: DefaultWindow, Tau: 0.01}
+}
+
+// Name returns e.g. "greedy-gradient(10%)".
+func (g *GreedyGradient) Name() string {
+	return fmt.Sprintf("greedy-gradient(%g%%)", g.Eps*100)
+}
+
+// Init prepares the selector for n arms.
+func (g *GreedyGradient) Init(n int) { g.history.init(n) }
+
+// SetWindow adjusts the gradient window size.
+func (g *GreedyGradient) SetWindow(w int) { g.Window = w }
+
+// exploreWeight is exp(G/Tau) with G the relative improvement per own
+// sample over the arm's window.
+func (g *GreedyGradient) exploreWeight(arm int) float64 {
+	win := g.window(arm, g.Window)
+	if len(win) < 2 {
+		return 1 // unvisited or fresh arms explore at baseline odds
+	}
+	first, last := win[0].value, win[len(win)-1].value
+	if first <= 0 || last <= 0 {
+		return 1
+	}
+	grad := (first/last - 1) / float64(len(win)-1)
+	// Clamp the exponent so one noisy sample cannot monopolize
+	// exploration.
+	e := grad / g.Tau
+	if e > 6 {
+		e = 6
+	}
+	if e < -6 {
+		e = -6
+	}
+	return math.Exp(e)
+}
+
+// Select returns the incumbent with probability 1−ε; otherwise it draws
+// proportionally to the exploration weights. Initialization visits every
+// arm once in deterministic order, as in ε-Greedy.
+func (g *GreedyGradient) Select(r *rand.Rand) int {
+	g.mustInit("GreedyGradient.Select")
+	if r.Float64() < g.Eps {
+		w := make([]float64, g.n())
+		for i := range w {
+			w[i] = g.exploreWeight(i)
+		}
+		return weightedDraw(r, w)
+	}
+	for i := 0; i < g.n(); i++ {
+		if g.visits(i) == 0 {
+			return i
+		}
+	}
+	arm, _ := g.bestArm()
+	return arm
+}
+
+// Report records the measurement.
+func (g *GreedyGradient) Report(arm int, v float64) {
+	g.mustInit("GreedyGradient.Report")
+	g.report(arm, v)
+}

@@ -1,0 +1,196 @@
+package nominal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGreedyGradientInitialization(t *testing.T) {
+	// ε = 0: pure exploitation — deterministic init order, then incumbent.
+	s := NewGreedyGradient(0)
+	r := rand.New(rand.NewSource(1))
+	s.Init(4)
+	costs := []float64{9, 3, 7, 5}
+	for want := 0; want < 4; want++ {
+		got := s.Select(r)
+		if got != want {
+			t.Fatalf("init selection %d = %d, want %d", want, got, want)
+		}
+		s.Report(got, costs[got])
+	}
+	for i := 0; i < 30; i++ {
+		if got := s.Select(r); got != 1 {
+			t.Fatalf("post-init selection = %d, want 1", got)
+		}
+		s.Report(1, 3)
+	}
+}
+
+func TestGreedyGradientExploresImprovingArm(t *testing.T) {
+	// Arm 0 is the static incumbent (cost 8); arm 1 improves 2% per own
+	// sample from 30 toward 4. Uniform ε-Greedy at ε=0.2 gives arm 1 only
+	// ~ε/n of the budget; GreedyGradient's exploration should concentrate
+	// on it because its relative gradient is the only nonzero one.
+	run := func(mk func() Selector, seed int64) (armShare float64, bestVal float64) {
+		s := mk()
+		s.Init(3)
+		r := rand.New(rand.NewSource(seed))
+		cost1 := 30.0
+		best := math.Inf(1)
+		counts := make([]int, 3)
+		for i := 0; i < 300; i++ {
+			a := s.Select(r)
+			counts[a]++
+			var v float64
+			switch a {
+			case 0:
+				v = 8
+			case 1:
+				v = cost1
+				if cost1 > 4 {
+					cost1 *= 0.98
+				}
+			default:
+				v = 20
+			}
+			if v < best {
+				best = v
+			}
+			s.Report(a, v)
+		}
+		return float64(counts[1]) / 300, best
+	}
+
+	var ggShares, egShares []float64
+	foundGG, foundEG := 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		gg, bestGG := run(func() Selector { return NewGreedyGradient(0.2) }, seed)
+		eg, bestEG := run(func() Selector { return NewEpsilonGreedy(0.2) }, seed)
+		ggShares = append(ggShares, gg)
+		egShares = append(egShares, eg)
+		if bestGG < 8 {
+			foundGG++
+		}
+		if bestEG < 8 {
+			foundEG++
+		}
+	}
+	meanGG, meanEG := 0.0, 0.0
+	for i := range ggShares {
+		meanGG += ggShares[i]
+		meanEG += egShares[i]
+	}
+	meanGG /= float64(len(ggShares))
+	meanEG /= float64(len(egShares))
+	if meanGG <= meanEG {
+		t.Errorf("greedy-gradient explored the improving arm %.3f of the time vs ε-Greedy %.3f; want more",
+			meanGG, meanEG)
+	}
+	if foundGG < foundEG {
+		t.Errorf("greedy-gradient found the crossover in %d/10 runs vs ε-Greedy %d/10", foundGG, foundEG)
+	}
+}
+
+func TestGreedyGradientName(t *testing.T) {
+	if got := NewGreedyGradient(0.1).Name(); got != "greedy-gradient(10%)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestGreedyGradientPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad ε did not panic")
+		}
+	}()
+	NewGreedyGradient(1.5)
+}
+
+func TestGreedyGradientBeforeInitPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Select before Init did not panic")
+		}
+	}()
+	NewGreedyGradient(0.1).Select(r)
+}
+
+func TestGreedyGradientSetWindow(t *testing.T) {
+	g := NewGreedyGradient(0.1)
+	g.SetWindow(4)
+	if g.Window != 4 {
+		t.Error("SetWindow ignored")
+	}
+}
+
+func TestGreedyGradientExploreWeights(t *testing.T) {
+	g := NewGreedyGradient(0.5)
+	g.Init(3)
+	// Arm 0: improving 10%/sample; arm 1: static; arm 2: unvisited.
+	for i, v := range []float64{100, 90, 81, 72.9} {
+		_ = i
+		g.Report(0, v)
+		g.Report(1, 50)
+	}
+	w0, w1, w2 := g.exploreWeight(0), g.exploreWeight(1), g.exploreWeight(2)
+	if !(w0 > w1) {
+		t.Errorf("improving arm weight %g not above static %g", w0, w1)
+	}
+	if w2 != 1 {
+		t.Errorf("unvisited arm weight %g, want baseline 1", w2)
+	}
+	if w1 <= 0 || w0 <= 0 {
+		t.Error("weights must stay strictly positive")
+	}
+	// A worsening arm still gets positive (but reduced) odds.
+	g2 := NewGreedyGradient(0.5)
+	g2.Init(1)
+	g2.Report(0, 10)
+	g2.Report(0, 100)
+	if w := g2.exploreWeight(0); w <= 0 || w >= 1 {
+		t.Errorf("worsening arm weight %g, want in (0, 1)", w)
+	}
+}
+
+func TestGreedyGradientByName(t *testing.T) {
+	s, err := NewByName("greedygradient:15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "greedy-gradient(15%)" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if _, err := NewByName("greedygradient:x"); err == nil {
+		t.Error("bad ε did not error")
+	}
+}
+
+func TestRelativeGradientScaleInvariance(t *testing.T) {
+	// The relative gradient must produce the same weight whether times are
+	// in microseconds or hours.
+	weightFor := func(scale float64) float64 {
+		g := NewGradientWeighted()
+		g.Relative = true
+		g.Init(1)
+		g.Report(0, 10*scale)
+		g.Report(0, 5*scale)
+		return g.weight(0)
+	}
+	small, big := weightFor(1e-6), weightFor(3600)
+	if math.Abs(small-big) > 1e-9 {
+		t.Errorf("relative gradient not scale invariant: %g vs %g", small, big)
+	}
+	// The absolute (paper) gradient is scale sensitive by construction.
+	absFor := func(scale float64) float64 {
+		g := NewGradientWeighted()
+		g.Init(1)
+		g.Report(0, 10*scale)
+		g.Report(0, 5*scale)
+		return g.weight(0)
+	}
+	if math.Abs(absFor(1e-3)-absFor(1e3)) < 1e-9 {
+		t.Error("absolute gradient unexpectedly scale invariant")
+	}
+}

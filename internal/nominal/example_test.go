@@ -1,0 +1,38 @@
+package nominal_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nominal"
+)
+
+// Example demonstrates the bandit-style selector loop that phase two of
+// the tuner runs: select an algorithm, observe its time, report it.
+func Example() {
+	sel := nominal.NewEpsilonGreedy(0) // ε = 0: deterministic for the example
+	sel.Init(3)
+	times := []float64{12, 7, 30}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		a := sel.Select(r)
+		sel.Report(a, times[a])
+	}
+	// After trying everything once, ε-Greedy exploits algorithm 1.
+	fmt.Println(sel.Select(r))
+	// Output:
+	// 1
+}
+
+// ExampleGradientWeighted shows the paper's weight formula on a single
+// improving algorithm.
+func ExampleGradientWeighted() {
+	g := nominal.NewGradientWeighted()
+	g.Init(1)
+	g.Report(0, 2.0) // performance 1/2
+	g.Report(0, 1.0) // performance 1 → gradient +0.5 per iteration
+	r := rand.New(rand.NewSource(1))
+	fmt.Println(g.Select(r)) // only one arm, but the weight is w = G+2 = 2.5
+	// Output:
+	// 0
+}

@@ -1,0 +1,514 @@
+package nominal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// runBandit drives a selector for iters iterations against a fixed cost
+// vector (plus optional noise) and returns the selection counts.
+func runBandit(s Selector, costs []float64, iters int, seed int64, noise float64) []int {
+	r := rand.New(rand.NewSource(seed))
+	s.Init(len(costs))
+	counts := make([]int, len(costs))
+	for i := 0; i < iters; i++ {
+		a := s.Select(r)
+		counts[a]++
+		v := costs[a]
+		if noise > 0 {
+			v += r.NormFloat64() * noise * v
+			if v <= 0 {
+				v = costs[a] * 0.01
+			}
+		}
+		s.Report(a, v)
+	}
+	return counts
+}
+
+func argmax(xs []int) int {
+	m := 0
+	for i := range xs {
+		if xs[i] > xs[m] {
+			m = i
+		}
+	}
+	return m
+}
+
+var fixedCosts = []float64{50, 20, 80, 35, 120} // arm 1 is optimal
+
+func TestEpsilonGreedyInitializationOrder(t *testing.T) {
+	// With ε = 0 the first n selections must be 0, 1, …, n−1 in order.
+	s := NewEpsilonGreedy(0)
+	r := rand.New(rand.NewSource(1))
+	s.Init(5)
+	for want := 0; want < 5; want++ {
+		got := s.Select(r)
+		if got != want {
+			t.Fatalf("initialization selection %d = arm %d, want %d", want, got, want)
+		}
+		s.Report(got, fixedCosts[got])
+	}
+	// After initialization with ε = 0 only the best arm is selected.
+	for i := 0; i < 50; i++ {
+		got := s.Select(r)
+		if got != 1 {
+			t.Fatalf("post-init selection = arm %d, want 1", got)
+		}
+		s.Report(got, fixedCosts[got])
+	}
+}
+
+func TestEpsilonGreedyConvergesToBest(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.10, 0.20} {
+		s := NewEpsilonGreedy(eps)
+		counts := runBandit(s, fixedCosts, 1000, 42, 0.02)
+		if m := argmax(counts); m != 1 {
+			t.Errorf("ε=%g: most selected arm %d (counts %v), want 1", eps, m, counts)
+		}
+		// Exploitation share should be roughly ≥ 1−ε minus init overhead.
+		share := float64(counts[1]) / 1000
+		if share < 1-eps-0.1 {
+			t.Errorf("ε=%g: best-arm share %.2f too low", eps, share)
+		}
+	}
+}
+
+func TestEpsilonGreedyExploresAllArms(t *testing.T) {
+	s := NewEpsilonGreedy(0.2)
+	counts := runBandit(s, fixedCosts, 2000, 7, 0)
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("arm %d never selected with ε=0.2", i)
+		}
+	}
+}
+
+func TestEpsilonGreedyName(t *testing.T) {
+	if got := NewEpsilonGreedy(0.05).Name(); got != "egreedy(5%)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestEpsilonGreedyPanicsOnBadEps(t *testing.T) {
+	for _, eps := range []float64{-0.1, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ε=%g did not panic", eps)
+				}
+			}()
+			NewEpsilonGreedy(eps)
+		}()
+	}
+}
+
+func TestGradientWeightedPrefersImproving(t *testing.T) {
+	// Arm 0 improves steadily, arm 1 is static. Gradient Weighted must
+	// select the improving arm more often.
+	// The weight formula operates on performance = 1/time, so it reacts to
+	// improvements that are large relative to the absolute scale — the
+	// paper observes (§IV-C) that similar tuning profiles make it unable
+	// to differentiate. Here arm 0 improves geometrically (performance
+	// keeps growing), arm 1 is static: the gradient of arm 0 dominates.
+	s := NewGradientWeighted()
+	r := rand.New(rand.NewSource(5))
+	s.Init(2)
+	cost0 := 1.0
+	counts := make([]int, 2)
+	for i := 0; i < 300; i++ {
+		a := s.Select(r)
+		counts[a]++
+		if a == 0 {
+			s.Report(0, cost0)
+			cost0 *= 0.9 // keeps improving
+		} else {
+			s.Report(1, 1.0)
+		}
+	}
+	if counts[0] <= counts[1]*2 {
+		t.Errorf("improving arm selected %d times vs static %d; want a strong preference", counts[0], counts[1])
+	}
+}
+
+func TestGradientWeightedDegeneratesToUniform(t *testing.T) {
+	// With all arms static the gradients vanish and selection must be
+	// (roughly) uniform — the paper's Section IV-C observation.
+	s := NewGradientWeighted()
+	counts := runBandit(s, []float64{50, 50, 50, 50}, 4000, 3, 0)
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("static arms: arm %d selected %d of 4000, want ≈1000", i, c)
+		}
+	}
+}
+
+func TestGradientWeightedWeightFormula(t *testing.T) {
+	g := NewGradientWeighted()
+	g.Init(1)
+	// Two samples at iterations 0 and 1: m goes 2 → 1, so performance goes
+	// 0.5 → 1, G = 0.5, w = 2.5.
+	g.Report(0, 2)
+	g.Report(0, 1)
+	if w := g.weight(0); math.Abs(w-2.5) > 1e-12 {
+		t.Errorf("weight = %g, want 2.5", w)
+	}
+	// Worsening: m goes 0.2 → 10 over one step: G = 1/10 − 1/0.2 = −4.9 <
+	// −1, so w = −1/G = 1/4.9.
+	g2 := NewGradientWeighted()
+	g2.Init(1)
+	g2.Report(0, 0.2)
+	g2.Report(0, 10)
+	if w := g2.weight(0); math.Abs(w-1/4.9) > 1e-12 {
+		t.Errorf("worsening weight = %g, want %g", w, 1/4.9)
+	}
+	// Single sample: zero gradient, w = 2.
+	g3 := NewGradientWeighted()
+	g3.Init(1)
+	g3.Report(0, 42)
+	if w := g3.weight(0); w != 2 {
+		t.Errorf("single-sample weight = %g, want 2", w)
+	}
+	// Unvisited: w = 2 as well (always positive, never excluded).
+	g4 := NewGradientWeighted()
+	g4.Init(2)
+	if w := g4.weight(1); w != 2 {
+		t.Errorf("unvisited weight = %g, want 2", w)
+	}
+}
+
+func TestGradientWeightedWindowLimit(t *testing.T) {
+	g := NewGradientWeighted()
+	g.Window = 4
+	g.Init(1)
+	// Long worsening history followed by a short improving window: only
+	// the window counts, so the weight must reflect improvement (> 2).
+	for i := 0; i < 20; i++ {
+		g.Report(0, float64(10+i))
+	}
+	for _, v := range []float64{10, 8, 6, 4} {
+		g.Report(0, v)
+	}
+	if w := g.weight(0); w <= 2 {
+		t.Errorf("windowed weight = %g, want > 2 (improvement inside window)", w)
+	}
+}
+
+func TestOptimumWeightedProportions(t *testing.T) {
+	// With best values 10 and 30, weights are 1/10 and 1/30: arm 0 should
+	// be drawn about 75% of the time.
+	s := NewOptimumWeighted()
+	r := rand.New(rand.NewSource(9))
+	s.Init(2)
+	s.Report(0, 10)
+	s.Report(1, 30)
+	counts := make([]int, 2)
+	for i := 0; i < 10000; i++ {
+		counts[s.Select(r)]++
+	}
+	share := float64(counts[0]) / 10000
+	if share < 0.72 || share > 0.78 {
+		t.Errorf("arm-0 share %.3f, want ≈ 0.75", share)
+	}
+}
+
+func TestOptimumWeightedVisitsAllArms(t *testing.T) {
+	s := NewOptimumWeighted()
+	counts := runBandit(s, fixedCosts, 500, 21, 0)
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("arm %d never visited", i)
+		}
+	}
+	if m := argmax(counts); m != 1 {
+		t.Errorf("most selected arm %d, want 1 (counts %v)", m, counts)
+	}
+}
+
+func TestSlidingWindowAUCTracksRecentPerformance(t *testing.T) {
+	// Arm 0 was good historically but turned bad; arm 1 is now better.
+	// With a small window the AUC strategy must prefer arm 1.
+	s := NewSlidingWindowAUC()
+	s.Window = 4
+	s.Init(2)
+	for i := 0; i < 10; i++ {
+		s.Report(0, 10) // good history…
+	}
+	for i := 0; i < 4; i++ {
+		s.Report(0, 1000) // …but the window now holds only bad samples
+		s.Report(1, 50)
+	}
+	r := rand.New(rand.NewSource(2))
+	counts := make([]int, 2)
+	for i := 0; i < 2000; i++ {
+		counts[s.Select(r)]++
+	}
+	if counts[1] <= counts[0] {
+		t.Errorf("AUC ignored the window: counts %v", counts)
+	}
+}
+
+func TestSlidingWindowAUCConvergesToBest(t *testing.T) {
+	s := NewSlidingWindowAUC()
+	counts := runBandit(s, fixedCosts, 1000, 13, 0.02)
+	if m := argmax(counts); m != 1 {
+		t.Errorf("most selected arm %d (counts %v), want 1", m, counts)
+	}
+}
+
+func TestUniformRandomIsUniform(t *testing.T) {
+	s := NewUniformRandom()
+	counts := runBandit(s, fixedCosts, 5000, 99, 0)
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("arm %d selected %d of 5000, want ≈1000", i, c)
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	s := NewRoundRobin()
+	s.Init(3)
+	r := rand.New(rand.NewSource(1))
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := s.Select(r); got != w {
+			t.Fatalf("selection %d = %d, want %d", i, got, w)
+		}
+		s.Report(w, 1)
+	}
+}
+
+func TestSoftmaxGreedyAtLowTemperature(t *testing.T) {
+	s := NewSoftmax(0.01)
+	counts := runBandit(s, fixedCosts, 1000, 17, 0)
+	// Low temperature ⇒ near-greedy on the best arm.
+	if float64(counts[1])/1000 < 0.9 {
+		t.Errorf("low-temp softmax best-arm share %v too low (counts %v)", counts[1], counts)
+	}
+}
+
+func TestSoftmaxExploresAtHighTemperature(t *testing.T) {
+	s := NewSoftmax(100)
+	counts := runBandit(s, fixedCosts, 4000, 23, 0)
+	for i, c := range counts {
+		if c < 500 {
+			t.Errorf("high-temp softmax arm %d selected only %d times (counts %v)", i, c, counts)
+		}
+	}
+}
+
+func TestSoftmaxPanicsOnBadTemp(t *testing.T) {
+	for _, temp := range []float64{0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("temperature %g did not panic", temp)
+				}
+			}()
+			NewSoftmax(temp)
+		}()
+	}
+}
+
+func TestSelectorsPanicBeforeInit(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, s := range []Selector{
+		NewEpsilonGreedy(0.1), NewGradientWeighted(), NewOptimumWeighted(),
+		NewSlidingWindowAUC(), NewUniformRandom(), NewRoundRobin(), NewSoftmax(1),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s.Select before Init did not panic", s.Name())
+				}
+			}()
+			s.Select(r)
+		}()
+	}
+}
+
+func TestInitPanicsOnZeroArms(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Init(0) did not panic")
+		}
+	}()
+	NewEpsilonGreedy(0.1).Init(0)
+}
+
+func TestReportPanicsOnBadArm(t *testing.T) {
+	s := NewEpsilonGreedy(0.1)
+	s.Init(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Report(7) did not panic")
+		}
+	}()
+	s.Report(7, 1)
+}
+
+func TestNewByName(t *testing.T) {
+	cases := map[string]string{
+		"egreedy:5":   "egreedy(5%)",
+		"egreedy:10":  "egreedy(10%)",
+		"egreedy:20":  "egreedy(20%)",
+		"gradient":    "gradient-weighted",
+		"optimum":     "optimum-weighted",
+		"auc":         "sliding-window-auc",
+		"random":      "uniform-random",
+		"roundrobin":  "round-robin",
+		"softmax:0.5": "softmax(0.5)",
+	}
+	for arg, want := range cases {
+		s, err := NewByName(arg)
+		if err != nil {
+			t.Errorf("NewByName(%q): %v", arg, err)
+			continue
+		}
+		if s.Name() != want {
+			t.Errorf("NewByName(%q).Name() = %q, want %q", arg, s.Name(), want)
+		}
+	}
+	for _, bad := range []string{"nope", "egreedy:x", "softmax:y"} {
+		if _, err := NewByName(bad); err == nil {
+			t.Errorf("NewByName(%q) did not error", bad)
+		}
+	}
+}
+
+func TestPaperSet(t *testing.T) {
+	set := PaperSet()
+	wantNames := []string{
+		"egreedy(5%)", "egreedy(10%)", "egreedy(20%)",
+		"gradient-weighted", "optimum-weighted", "sliding-window-auc",
+	}
+	if len(set) != len(wantNames) {
+		t.Fatalf("PaperSet has %d strategies, want %d", len(set), len(wantNames))
+	}
+	for i, s := range set {
+		if s.Name() != wantNames[i] {
+			t.Errorf("PaperSet[%d] = %q, want %q", i, s.Name(), wantNames[i])
+		}
+	}
+}
+
+func TestWeightedDrawDegenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	// All-zero, NaN, and Inf weights must fall back to uniform without
+	// panicking.
+	for _, w := range [][]float64{
+		{0, 0, 0},
+		{math.NaN(), math.NaN()},
+		{math.Inf(1), 1},
+	} {
+		for i := 0; i < 100; i++ {
+			got := weightedDraw(r, w)
+			if got < 0 || got >= len(w) {
+				t.Fatalf("weightedDraw out of range: %d for %v", got, w)
+			}
+		}
+	}
+}
+
+func TestWeightedDrawProportions(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	w := []float64{1, 3}
+	counts := make([]int, 2)
+	for i := 0; i < 10000; i++ {
+		counts[weightedDraw(r, w)]++
+	}
+	share := float64(counts[1]) / 10000
+	if share < 0.72 || share > 0.78 {
+		t.Errorf("weight-3 share %.3f, want ≈ 0.75", share)
+	}
+}
+
+// Property-style check: every selector, under any of several seeds, only
+// returns arms in range and never gets stuck on an unvisited-arm panic.
+func TestSelectorsStayInRange(t *testing.T) {
+	mk := func() []Selector {
+		return append(PaperSet(), NewUniformRandom(), NewRoundRobin(), NewSoftmax(0.5))
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		for _, s := range mk() {
+			r := rand.New(rand.NewSource(seed))
+			s.Init(3)
+			for i := 0; i < 200; i++ {
+				a := s.Select(r)
+				if a < 0 || a >= 3 {
+					t.Fatalf("%s returned arm %d", s.Name(), a)
+				}
+				s.Report(a, 1+float64(a))
+			}
+		}
+	}
+}
+
+func TestEpsilonGreedyRecencyWindow(t *testing.T) {
+	// Arm 0 was once fast (5) but turned slow (50); arm 1 is now the
+	// faster one (10). With a recency window the stale record must not
+	// keep arm 0 in power.
+	feed := func(e *EpsilonGreedy) {
+		e.Init(2)
+		e.Report(0, 5) // stale record
+		for i := 0; i < 20; i++ {
+			e.Report(0, 50)
+			e.Report(1, 10)
+		}
+	}
+	r := rand.New(rand.NewSource(3))
+	plain := NewEpsilonGreedy(0)
+	feed(plain)
+	if got := plain.Select(r); got != 0 {
+		t.Errorf("plain ε-Greedy should exploit the stale record (arm 0), got %d", got)
+	}
+	windowed := NewEpsilonGreedy(0)
+	windowed.RecencyWindow = 8
+	feed(windowed)
+	if got := windowed.Select(r); got != 1 {
+		t.Errorf("windowed ε-Greedy should exploit the recent best (arm 1), got %d", got)
+	}
+}
+
+func TestUCB1VisitsAllThenConverges(t *testing.T) {
+	s := NewUCB1()
+	r := rand.New(rand.NewSource(1))
+	s.Init(5)
+	// First n selections visit every arm once in order.
+	for want := 0; want < 5; want++ {
+		got := s.Select(r)
+		if got != want {
+			t.Fatalf("initial selection %d = %d", want, got)
+		}
+		s.Report(got, fixedCosts[got])
+	}
+	counts := runBandit(NewUCB1(), fixedCosts, 2000, 11, 0.02)
+	if m := argmax(counts); m != 1 {
+		t.Errorf("UCB1 most-selected arm %d (counts %v), want 1", m, counts)
+	}
+	// The exploration bonus guarantees every arm keeps being sampled.
+	for i, c := range counts {
+		if c < 5 {
+			t.Errorf("arm %d sampled only %d times", i, c)
+		}
+	}
+}
+
+func TestUCB1DegenerateEqualCosts(t *testing.T) {
+	counts := runBandit(NewUCB1(), []float64{5, 5, 5}, 900, 3, 0)
+	for i, c := range counts {
+		if c < 200 {
+			t.Errorf("equal costs: arm %d selected %d of 900", i, c)
+		}
+	}
+}
+
+func TestUCB1ByName(t *testing.T) {
+	s, err := NewByName("ucb1")
+	if err != nil || s.Name() != "ucb1" {
+		t.Fatalf("NewByName(ucb1): %v %v", s, err)
+	}
+}

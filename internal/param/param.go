@@ -1,0 +1,359 @@
+// Package param models tunable parameters following Stevens' typology of
+// scales of measurement, as used by Pfaffe et al. to classify autotuning
+// parameters (Table I of the paper): Nominal, Ordinal, Interval, and Ratio.
+//
+// Every class is characterized by a distinguishing property and subsumes the
+// properties of all previous classes:
+//
+//	Nominal:  labels only (e.g. choice of algorithm)
+//	Ordinal:  labels with an order (e.g. buffer size in {small, medium, large})
+//	Interval: order plus a notion of distance (e.g. percentage of a maximum)
+//	Ratio:    distance plus a natural zero (e.g. number of threads)
+//
+// Internally every parameter value is represented as a float64. For Nominal
+// and Ordinal parameters the value is an index into the label list; for
+// Interval and Ratio parameters it is the numeric value itself, optionally
+// snapped to integers. The crucial semantic difference is surfaced through
+// the HasDistance and HasOrder predicates: search strategies that require a
+// metric (Nelder-Mead, particle swarm, differential evolution, hill
+// climbing, simulated annealing) must refuse spaces containing parameters
+// without one. This is the paper's central observation about why the
+// classical autotuning toolbox cannot manipulate algorithmic choice.
+package param
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Class identifies one of Stevens' four scales of measurement.
+type Class int
+
+// The four parameter classes, in subsumption order.
+const (
+	Nominal Class = iota
+	Ordinal
+	Interval
+	Ratio
+)
+
+// String returns the conventional name of the class.
+func (c Class) String() string {
+	switch c {
+	case Nominal:
+		return "nominal"
+	case Ordinal:
+		return "ordinal"
+	case Interval:
+		return "interval"
+	case Ratio:
+		return "ratio"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// HasOrder reports whether values of this class are ordered.
+func (c Class) HasOrder() bool { return c >= Ordinal }
+
+// HasDistance reports whether a meaningful distance exists between values.
+func (c Class) HasDistance() bool { return c >= Interval }
+
+// HasNaturalZero reports whether the scale has a natural zero point, making
+// ratios of values meaningful.
+func (c Class) HasNaturalZero() bool { return c >= Ratio }
+
+// A Parameter is a single tunable dimension of a search space.
+type Parameter interface {
+	// Name identifies the parameter within its space.
+	Name() string
+	// Class returns the Stevens class of the parameter.
+	Class() Class
+	// Lo and Hi bound the internal float64 representation (inclusive).
+	Lo() float64
+	Hi() float64
+	// Clamp maps an arbitrary float64 onto a valid internal value, snapping
+	// to indices or integers where the parameter is discrete.
+	Clamp(x float64) float64
+	// Cardinality returns the number of distinct values, or 0 when the
+	// parameter is continuous.
+	Cardinality() int
+	// FormatValue renders an internal value for humans (e.g. the label of a
+	// nominal value, or the number for numeric classes).
+	FormatValue(x float64) string
+}
+
+// NominalParam is an unordered, label-valued parameter. Algorithmic choice
+// is the canonical instance. It intentionally offers no notion of order or
+// distance; its internal representation is the label index.
+type NominalParam struct {
+	name   string
+	labels []string
+}
+
+// NewNominal creates a nominal parameter over the given labels.
+// It panics if no labels are supplied, as an empty choice is meaningless.
+func NewNominal(name string, labels ...string) *NominalParam {
+	if len(labels) == 0 {
+		panic("param: nominal parameter needs at least one label")
+	}
+	ls := make([]string, len(labels))
+	copy(ls, labels)
+	return &NominalParam{name: name, labels: ls}
+}
+
+// Name returns the parameter name.
+func (p *NominalParam) Name() string { return p.name }
+
+// Class returns Nominal.
+func (p *NominalParam) Class() Class { return Nominal }
+
+// Lo returns 0, the first label index.
+func (p *NominalParam) Lo() float64 { return 0 }
+
+// Hi returns the last label index.
+func (p *NominalParam) Hi() float64 { return float64(len(p.labels) - 1) }
+
+// Cardinality returns the number of labels.
+func (p *NominalParam) Cardinality() int { return len(p.labels) }
+
+// Clamp rounds to the nearest valid label index.
+func (p *NominalParam) Clamp(x float64) float64 {
+	return clampIndex(x, len(p.labels))
+}
+
+// Labels returns a copy of the label list.
+func (p *NominalParam) Labels() []string {
+	ls := make([]string, len(p.labels))
+	copy(ls, p.labels)
+	return ls
+}
+
+// Index returns the index of the given label, or -1 when absent.
+func (p *NominalParam) Index(label string) int {
+	for i, l := range p.labels {
+		if l == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// FormatValue returns the label at the (clamped) index x.
+func (p *NominalParam) FormatValue(x float64) string {
+	return p.labels[int(p.Clamp(x))]
+}
+
+// OrdinalParam is an ordered, label-valued parameter, such as a buffer size
+// drawn from {small, medium, large}. Order is meaningful, distance is not.
+type OrdinalParam struct {
+	name   string
+	labels []string
+}
+
+// NewOrdinal creates an ordinal parameter whose labels are given in
+// ascending order. It panics if no labels are supplied.
+func NewOrdinal(name string, ascending ...string) *OrdinalParam {
+	if len(ascending) == 0 {
+		panic("param: ordinal parameter needs at least one label")
+	}
+	ls := make([]string, len(ascending))
+	copy(ls, ascending)
+	return &OrdinalParam{name: name, labels: ls}
+}
+
+// Name returns the parameter name.
+func (p *OrdinalParam) Name() string { return p.name }
+
+// Class returns Ordinal.
+func (p *OrdinalParam) Class() Class { return Ordinal }
+
+// Lo returns 0, the first label index.
+func (p *OrdinalParam) Lo() float64 { return 0 }
+
+// Hi returns the last label index.
+func (p *OrdinalParam) Hi() float64 { return float64(len(p.labels) - 1) }
+
+// Cardinality returns the number of labels.
+func (p *OrdinalParam) Cardinality() int { return len(p.labels) }
+
+// Clamp rounds to the nearest valid label index.
+func (p *OrdinalParam) Clamp(x float64) float64 {
+	return clampIndex(x, len(p.labels))
+}
+
+// Labels returns a copy of the label list in ascending order.
+func (p *OrdinalParam) Labels() []string {
+	ls := make([]string, len(p.labels))
+	copy(ls, p.labels)
+	return ls
+}
+
+// FormatValue returns the label at the (clamped) index x.
+func (p *OrdinalParam) FormatValue(x float64) string {
+	return p.labels[int(p.Clamp(x))]
+}
+
+// IntervalParam is a numeric parameter with meaningful distances but no
+// natural zero, such as "percentage of a maximum buffer size".
+type IntervalParam struct {
+	name    string
+	lo, hi  float64
+	integer bool
+}
+
+// NewInterval creates a continuous interval parameter on [lo, hi].
+// It panics when the bounds are inverted or not finite.
+func NewInterval(name string, lo, hi float64) *IntervalParam {
+	checkBounds(lo, hi)
+	return &IntervalParam{name: name, lo: lo, hi: hi}
+}
+
+// NewIntervalInt creates an integer-valued interval parameter on [lo, hi].
+func NewIntervalInt(name string, lo, hi int) *IntervalParam {
+	checkBounds(float64(lo), float64(hi))
+	return &IntervalParam{name: name, lo: float64(lo), hi: float64(hi), integer: true}
+}
+
+// Name returns the parameter name.
+func (p *IntervalParam) Name() string { return p.name }
+
+// Class returns Interval.
+func (p *IntervalParam) Class() Class { return Interval }
+
+// Lo returns the lower bound.
+func (p *IntervalParam) Lo() float64 { return p.lo }
+
+// Hi returns the upper bound.
+func (p *IntervalParam) Hi() float64 { return p.hi }
+
+// Integer reports whether values snap to integers.
+func (p *IntervalParam) Integer() bool { return p.integer }
+
+// Cardinality returns the number of integers in range, or 0 if continuous.
+func (p *IntervalParam) Cardinality() int {
+	if !p.integer {
+		return 0
+	}
+	return int(p.hi-p.lo) + 1
+}
+
+// Clamp restricts x to [lo, hi], rounding to an integer when applicable.
+func (p *IntervalParam) Clamp(x float64) float64 {
+	return clampNumeric(x, p.lo, p.hi, p.integer)
+}
+
+// FormatValue renders the (clamped) numeric value.
+func (p *IntervalParam) FormatValue(x float64) string {
+	return formatNumeric(p.Clamp(x), p.integer)
+}
+
+// RatioParam is a numeric parameter with a natural zero, such as a thread
+// count or a cost weight. It behaves like IntervalParam but additionally
+// requires a non-negative lower bound so ratios of values stay meaningful.
+type RatioParam struct {
+	name    string
+	lo, hi  float64
+	integer bool
+}
+
+// NewRatio creates a continuous ratio parameter on [lo, hi], lo ≥ 0.
+func NewRatio(name string, lo, hi float64) *RatioParam {
+	checkBounds(lo, hi)
+	if lo < 0 {
+		panic("param: ratio parameter requires a non-negative lower bound")
+	}
+	return &RatioParam{name: name, lo: lo, hi: hi}
+}
+
+// NewRatioInt creates an integer-valued ratio parameter on [lo, hi], lo ≥ 0.
+func NewRatioInt(name string, lo, hi int) *RatioParam {
+	if lo < 0 {
+		panic("param: ratio parameter requires a non-negative lower bound")
+	}
+	checkBounds(float64(lo), float64(hi))
+	return &RatioParam{name: name, lo: float64(lo), hi: float64(hi), integer: true}
+}
+
+// Name returns the parameter name.
+func (p *RatioParam) Name() string { return p.name }
+
+// Class returns Ratio.
+func (p *RatioParam) Class() Class { return Ratio }
+
+// Lo returns the lower bound.
+func (p *RatioParam) Lo() float64 { return p.lo }
+
+// Hi returns the upper bound.
+func (p *RatioParam) Hi() float64 { return p.hi }
+
+// Integer reports whether values snap to integers.
+func (p *RatioParam) Integer() bool { return p.integer }
+
+// Cardinality returns the number of integers in range, or 0 if continuous.
+func (p *RatioParam) Cardinality() int {
+	if !p.integer {
+		return 0
+	}
+	return int(p.hi-p.lo) + 1
+}
+
+// Clamp restricts x to [lo, hi], rounding to an integer when applicable.
+func (p *RatioParam) Clamp(x float64) float64 {
+	return clampNumeric(x, p.lo, p.hi, p.integer)
+}
+
+// FormatValue renders the (clamped) numeric value.
+func (p *RatioParam) FormatValue(x float64) string {
+	return formatNumeric(p.Clamp(x), p.integer)
+}
+
+func clampIndex(x float64, n int) float64 {
+	i := int(math.Round(x))
+	if i < 0 || math.IsNaN(x) {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return float64(i)
+}
+
+func clampNumeric(x, lo, hi float64, integer bool) float64 {
+	if math.IsNaN(x) {
+		x = lo
+	}
+	if x < lo {
+		x = lo
+	}
+	if x > hi {
+		x = hi
+	}
+	if integer {
+		x = math.Round(x)
+		if x < lo {
+			x = math.Ceil(lo)
+		}
+		if x > hi {
+			x = math.Floor(hi)
+		}
+	}
+	return x
+}
+
+func formatNumeric(x float64, integer bool) string {
+	if integer {
+		return strconv.FormatInt(int64(x), 10)
+	}
+	return strconv.FormatFloat(x, 'g', 6, 64)
+}
+
+func checkBounds(lo, hi float64) {
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		panic("param: bounds must be finite")
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("param: inverted bounds [%g, %g]", lo, hi))
+	}
+}

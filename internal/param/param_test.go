@@ -1,0 +1,400 @@
+package param
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		class                    Class
+		order, distance, natZero bool
+		name                     string
+	}{
+		{Nominal, false, false, false, "nominal"},
+		{Ordinal, true, false, false, "ordinal"},
+		{Interval, true, true, false, "interval"},
+		{Ratio, true, true, true, "ratio"},
+	}
+	for _, c := range cases {
+		if c.class.HasOrder() != c.order {
+			t.Errorf("%v.HasOrder() = %v, want %v", c.class, c.class.HasOrder(), c.order)
+		}
+		if c.class.HasDistance() != c.distance {
+			t.Errorf("%v.HasDistance() = %v, want %v", c.class, c.class.HasDistance(), c.distance)
+		}
+		if c.class.HasNaturalZero() != c.natZero {
+			t.Errorf("%v.HasNaturalZero() = %v, want %v", c.class, c.class.HasNaturalZero(), c.natZero)
+		}
+		if c.class.String() != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.class, c.class.String(), c.name)
+		}
+	}
+	if got := Class(99).String(); got != "Class(99)" {
+		t.Errorf("unknown class String() = %q", got)
+	}
+}
+
+func TestNominalParam(t *testing.T) {
+	p := NewNominal("algo", "a", "b", "c")
+	if p.Name() != "algo" || p.Class() != Nominal {
+		t.Fatalf("basic accessors wrong: %q %v", p.Name(), p.Class())
+	}
+	if p.Lo() != 0 || p.Hi() != 2 || p.Cardinality() != 3 {
+		t.Fatalf("bounds/cardinality wrong: %g %g %d", p.Lo(), p.Hi(), p.Cardinality())
+	}
+	if p.Index("b") != 1 || p.Index("zzz") != -1 {
+		t.Fatalf("Index lookup wrong")
+	}
+	if got := p.FormatValue(1.4); got != "b" {
+		t.Errorf("FormatValue(1.4) = %q, want b", got)
+	}
+	if got := p.Clamp(-3); got != 0 {
+		t.Errorf("Clamp(-3) = %g, want 0", got)
+	}
+	if got := p.Clamp(17); got != 2 {
+		t.Errorf("Clamp(17) = %g, want 2", got)
+	}
+	if got := p.Clamp(math.NaN()); got != 0 {
+		t.Errorf("Clamp(NaN) = %g, want 0", got)
+	}
+	ls := p.Labels()
+	ls[0] = "mutated"
+	if p.Labels()[0] != "a" {
+		t.Errorf("Labels() exposed internal slice")
+	}
+}
+
+func TestNominalPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewNominal with no labels did not panic")
+		}
+	}()
+	NewNominal("empty")
+}
+
+func TestOrdinalParam(t *testing.T) {
+	p := NewOrdinal("size", "small", "medium", "large")
+	if p.Class() != Ordinal || !p.Class().HasOrder() || p.Class().HasDistance() {
+		t.Fatalf("ordinal class properties wrong")
+	}
+	if p.Cardinality() != 3 || p.FormatValue(2) != "large" {
+		t.Fatalf("ordinal basics wrong")
+	}
+	if got := p.Clamp(0.6); got != 1 {
+		t.Errorf("Clamp(0.6) = %g, want 1", got)
+	}
+	if p.Labels()[1] != "medium" {
+		t.Errorf("Labels order wrong")
+	}
+}
+
+func TestIntervalParam(t *testing.T) {
+	p := NewInterval("pct", 0.0, 100.0)
+	if p.Class() != Interval || p.Integer() {
+		t.Fatalf("interval basics wrong")
+	}
+	if p.Cardinality() != 0 {
+		t.Fatalf("continuous cardinality should be 0, got %d", p.Cardinality())
+	}
+	if got := p.Clamp(55.5); got != 55.5 {
+		t.Errorf("Clamp inside range changed value: %g", got)
+	}
+	if got := p.Clamp(-1); got != 0 {
+		t.Errorf("Clamp(-1) = %g, want 0", got)
+	}
+	if got := p.Clamp(1e9); got != 100 {
+		t.Errorf("Clamp(1e9) = %g, want 100", got)
+	}
+
+	q := NewIntervalInt("depth", 2, 6)
+	if q.Cardinality() != 5 {
+		t.Fatalf("integer interval cardinality = %d, want 5", q.Cardinality())
+	}
+	if got := q.Clamp(3.6); got != 4 {
+		t.Errorf("Clamp(3.6) = %g, want 4", got)
+	}
+	if got := q.FormatValue(4.2); got != "4" {
+		t.Errorf("FormatValue(4.2) = %q, want 4", got)
+	}
+}
+
+func TestRatioParam(t *testing.T) {
+	p := NewRatioInt("threads", 1, 8)
+	if p.Class() != Ratio || !p.Class().HasNaturalZero() {
+		t.Fatalf("ratio basics wrong")
+	}
+	if got := p.Clamp(0); got != 1 {
+		t.Errorf("Clamp(0) = %g, want 1", got)
+	}
+	if got := p.Clamp(100); got != 8 {
+		t.Errorf("Clamp(100) = %g, want 8", got)
+	}
+	c := NewRatio("weight", 0.5, 2.0)
+	if c.Integer() || c.Cardinality() != 0 {
+		t.Fatalf("continuous ratio basics wrong")
+	}
+}
+
+func TestRatioPanicsOnNegativeLo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRatio with negative lo did not panic")
+		}
+	}()
+	NewRatio("bad", -1, 1)
+}
+
+func TestBoundsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewInterval("x", 2, 1) },
+		func() { NewInterval("x", math.NaN(), 1) },
+		func() { NewInterval("x", 0, math.Inf(1)) },
+		func() { NewRatioInt("x", 5, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad bounds did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Clamp is idempotent and always lands in [Lo, Hi] for every
+// parameter kind and any input, including pathological floats.
+func TestClampProperties(t *testing.T) {
+	params := []Parameter{
+		NewNominal("n", "a", "b", "c", "d"),
+		NewOrdinal("o", "x", "y", "z"),
+		NewInterval("i", -3.5, 12.25),
+		NewIntervalInt("ii", -4, 9),
+		NewRatio("r", 0, 7.5),
+		NewRatioInt("ri", 2, 20),
+	}
+	for _, p := range params {
+		p := p
+		f := func(x float64) bool {
+			v := p.Clamp(x)
+			return v >= p.Lo() && v <= p.Hi() && p.Clamp(v) == v
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("parameter %q: %v", p.Name(), err)
+		}
+		// Explicit pathological cases quick.Check may not generate.
+		for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.0} {
+			v := p.Clamp(x)
+			if math.IsNaN(v) || v < p.Lo() || v > p.Hi() {
+				t.Errorf("parameter %q: Clamp(%v) = %v out of range", p.Name(), x, v)
+			}
+		}
+	}
+}
+
+func testSpace() *Space {
+	return NewSpace(
+		NewNominal("algo", "bm", "kmp", "ssef"),
+		NewRatioInt("threads", 1, 4),
+		NewInterval("alpha", 0, 1),
+	)
+}
+
+func TestSpaceBasics(t *testing.T) {
+	s := testSpace()
+	if s.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", s.Dim())
+	}
+	if !s.HasNominal() {
+		t.Errorf("HasNominal should be true")
+	}
+	if s.MetricOnly() {
+		t.Errorf("MetricOnly should be false with a nominal dimension")
+	}
+	if s.IndexOf("threads") != 1 || s.IndexOf("nope") != -1 {
+		t.Errorf("IndexOf wrong")
+	}
+	if s.Cardinality() != 0 {
+		t.Errorf("continuous space cardinality should be 0")
+	}
+	if s.Param(0).Name() != "algo" {
+		t.Errorf("Param(0) wrong")
+	}
+	if len(s.Params()) != 3 {
+		t.Errorf("Params() wrong length")
+	}
+}
+
+func TestSpaceDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate parameter name did not panic")
+		}
+	}()
+	NewSpace(NewRatioInt("x", 0, 1), NewInterval("x", 0, 1))
+}
+
+func TestSpaceClampAndValid(t *testing.T) {
+	s := testSpace()
+	c := s.Clamp(Config{-5, 99, 0.5})
+	want := Config{0, 4, 0.5}
+	if !c.Equal(want) {
+		t.Fatalf("Clamp = %v, want %v", c, want)
+	}
+	if !s.Valid(c) {
+		t.Errorf("clamped config should be valid")
+	}
+	if s.Valid(Config{0, 1}) {
+		t.Errorf("wrong arity should be invalid")
+	}
+	if s.Valid(Config{0.5, 1, 0.5}) {
+		t.Errorf("non-snapped nominal index should be invalid")
+	}
+	if s.Valid(Config{0, 1, math.NaN()}) {
+		t.Errorf("NaN should be invalid")
+	}
+}
+
+func TestSpaceClampArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	testSpace().Clamp(Config{1})
+}
+
+func TestSpaceCenterAndRandom(t *testing.T) {
+	s := testSpace()
+	c := s.Center()
+	if !s.Valid(c) {
+		t.Fatalf("Center() invalid: %v", c)
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		c := s.Random(r)
+		if !s.Valid(c) {
+			t.Fatalf("Random() produced invalid config %v", c)
+		}
+	}
+}
+
+func TestSpaceEnumerate(t *testing.T) {
+	s := NewSpace(
+		NewNominal("a", "x", "y"),
+		NewRatioInt("b", 0, 2),
+	)
+	if s.Cardinality() != 6 {
+		t.Fatalf("Cardinality = %d, want 6", s.Cardinality())
+	}
+	var got []Config
+	if err := s.Enumerate(func(c Config) bool {
+		got = append(got, c.Clone())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("enumerated %d configs, want 6", len(got))
+	}
+	// Lexicographic order, last dimension fastest.
+	want := []Config{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("config %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	count := 0
+	if err := s.Enumerate(func(Config) bool { count++; return count < 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("early stop after %d, want 3", count)
+	}
+	// Continuous space refuses.
+	if err := testSpace().Enumerate(func(Config) bool { return true }); err == nil {
+		t.Errorf("Enumerate on continuous space should error")
+	}
+}
+
+func TestSpaceFormat(t *testing.T) {
+	s := testSpace()
+	got := s.Format(Config{1, 2, 0.25})
+	want := "algo=kmp threads=2 alpha=0.25"
+	if got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+	if s.Format(Config{1}) == want {
+		t.Errorf("arity mismatch should not format normally")
+	}
+}
+
+func TestSpaceNeighbors(t *testing.T) {
+	s := NewSpace(NewRatioInt("a", 0, 3), NewInterval("b", 0, 1))
+	c := s.Clamp(Config{1, 0.5})
+	ns, err := s.Neighbors(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: 0 and 2; b: 0.49 and 0.51 → 4 neighbours.
+	if len(ns) != 4 {
+		t.Fatalf("got %d neighbours, want 4: %v", len(ns), ns)
+	}
+	for _, n := range ns {
+		if !s.Valid(n) {
+			t.Errorf("invalid neighbour %v", n)
+		}
+		if n.Equal(c) {
+			t.Errorf("neighbour equals origin")
+		}
+	}
+	// At a boundary fewer neighbours exist.
+	ns, err = s.Neighbors(s.Clamp(Config{0, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 2 {
+		t.Errorf("boundary config should have 2 neighbours, got %d", len(ns))
+	}
+	// Nominal dimension refuses.
+	if _, err := testSpace().Neighbors(testSpace().Center()); err == nil {
+		t.Errorf("Neighbors on nominal space should error")
+	}
+	// Invalid config refuses.
+	if _, err := s.Neighbors(Config{0.5, 0.5}); err == nil {
+		t.Errorf("Neighbors of invalid config should error")
+	}
+}
+
+func TestConfigCloneEqual(t *testing.T) {
+	c := Config{1, 2, 3}
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Fatalf("clone not equal")
+	}
+	d[0] = 9
+	if c.Equal(d) || c[0] != 1 {
+		t.Fatalf("clone aliases original")
+	}
+	if c.Equal(Config{1, 2}) {
+		t.Errorf("different lengths should not be equal")
+	}
+}
+
+// Property: Space.Clamp is idempotent and produces valid configs for
+// arbitrary inputs.
+func TestSpaceClampProperty(t *testing.T) {
+	s := testSpace()
+	f := func(a, b, c float64) bool {
+		cfg := s.Clamp(Config{a, b, c})
+		return s.Valid(cfg) && cfg.Equal(s.Clamp(cfg))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

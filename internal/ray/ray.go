@@ -1,0 +1,196 @@
+// Package ray implements the raytracing application of the paper's second
+// case study: a two-stage rendering pipeline. Stage one constructs an SAH
+// kD-tree over the scene with one of the four tunable construction
+// algorithms (package kdtree); stage two casts one primary ray per pixel
+// and, on a hit, a secondary ray toward the light source to test for
+// occlusion, exactly as described in Section IV-B. Rendering rows are
+// distributed over a goroutine pool.
+//
+// The render loop is the paper's tuning loop: every frame the online tuner
+// picks a construction algorithm and a parameter configuration, and the
+// measured frame time feeds the tuner.
+package ray
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
+
+// Camera is a simple pinhole camera.
+type Camera struct {
+	// Eye is the camera position, LookAt the point it faces.
+	Eye, LookAt geom.Vec3
+	// Up is the world up direction; the zero value means +Y.
+	Up geom.Vec3
+	// FOV is the vertical field of view in degrees; 0 means 60.
+	FOV float64
+}
+
+// basis returns the orthonormal camera frame.
+func (c Camera) basis() (right, up, forward geom.Vec3) {
+	forward = c.LookAt.Sub(c.Eye).Normalize()
+	worldUp := c.Up
+	if worldUp.Len() == 0 {
+		worldUp = geom.V(0, 1, 0)
+	}
+	right = forward.Cross(worldUp).Normalize()
+	if right.Len() == 0 {
+		// Degenerate: forward parallel to up; pick another up.
+		right = forward.Cross(geom.V(1, 0, 0)).Normalize()
+	}
+	up = right.Cross(forward)
+	return right, up, forward
+}
+
+// Ray returns the primary ray through pixel (px, py) of a w×h image.
+func (c Camera) Ray(px, py, w, h int) geom.Ray {
+	right, up, forward := c.basis()
+	fov := c.FOV
+	if fov <= 0 {
+		fov = 60
+	}
+	halfH := math.Tan(fov * math.Pi / 360)
+	halfW := halfH * float64(w) / float64(h)
+	// Pixel centers, y growing downward in image space.
+	u := (2*(float64(px)+0.5)/float64(w) - 1) * halfW
+	v := (1 - 2*(float64(py)+0.5)/float64(h)) * halfH
+	dir := forward.Add(right.Scale(u)).Add(up.Scale(v)).Normalize()
+	return geom.Ray{Origin: c.Eye, Dir: dir}
+}
+
+// Frame is a rendered grayscale image.
+type Frame struct {
+	Width, Height int
+	// Pix holds Width*Height intensities in [0, 1], row major.
+	Pix []float64
+}
+
+// At returns the intensity at (x, y).
+func (f Frame) At(x, y int) float64 { return f.Pix[y*f.Width+x] }
+
+// MeanIntensity returns the average pixel intensity.
+func (f Frame) MeanIntensity() float64 {
+	if len(f.Pix) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range f.Pix {
+		s += p
+	}
+	return s / float64(len(f.Pix))
+}
+
+// Intersecter is any ray-acceleration structure usable by the renderer;
+// both *kdtree.Tree (and its flat encoding via an adapter) and *bvh.Tree
+// satisfy it. The shared Hit type carries the triangle index that the
+// accompanying triangle slice resolves.
+type Intersecter interface {
+	Intersect(r geom.Ray, tMin, tMax float64) (kdtree.Hit, bool)
+	Occluded(r geom.Ray, tMin, tMax float64) bool
+}
+
+// Render casts one primary ray per pixel into the tree and shades hits
+// with Lambert shading plus a shadow ray toward the light. workers ≤ 0
+// falls back to 1.
+func Render(tree *kdtree.Tree, cam Camera, light geom.Vec3, w, h, workers int) Frame {
+	return RenderWith(tree, tree.Tris, cam, light, w, h, workers)
+}
+
+// RenderWith renders through any acceleration structure; tris must be the
+// triangle slice the structure's hit indices refer to. This is the entry
+// point extension X5 uses to make the acceleration structure itself an
+// algorithmic choice.
+func RenderWith(acc Intersecter, tris []geom.Triangle, cam Camera, light geom.Vec3, w, h, workers int) Frame {
+	if workers < 1 {
+		workers = 1
+	}
+	f := Frame{Width: w, Height: h, Pix: make([]float64, w*h)}
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for y := range rows {
+				renderRow(acc, tris, cam, light, w, h, y, f.Pix[y*w:(y+1)*w])
+			}
+		}()
+	}
+	for y := 0; y < h; y++ {
+		rows <- y
+	}
+	close(rows)
+	wg.Wait()
+	return f
+}
+
+func renderRow(acc Intersecter, tris []geom.Triangle, cam Camera, light geom.Vec3, w, h, y int, out []float64) {
+	const shadowBias = 1e-6
+	for x := 0; x < w; x++ {
+		r := cam.Ray(x, y, w, h)
+		hit, ok := acc.Intersect(r, 1e-9, math.Inf(1))
+		if !ok {
+			out[x] = 0
+			continue
+		}
+		p := r.At(hit.T)
+		n := tris[hit.Tri].Normal().Normalize()
+		// Face the normal toward the viewer.
+		if n.Dot(r.Dir) > 0 {
+			n = n.Scale(-1)
+		}
+		toLight := light.Sub(p)
+		dist := toLight.Len()
+		l := toLight.Normalize()
+		intensity := 0.2 + 0.8*math.Max(0, n.Dot(l))
+		// Secondary ray: ambient-occlusion/shadow test toward the light.
+		shadow := geom.Ray{Origin: p.Add(n.Scale(shadowBias)), Dir: l}
+		if acc.Occluded(shadow, shadowBias, dist) {
+			intensity *= 0.3
+		}
+		out[x] = math.Min(1, intensity)
+	}
+}
+
+// Pipeline is the complete two-stage rendering application: per frame it
+// builds the acceleration structure with a chosen construction algorithm
+// and configuration, then renders. This is the repeatedly executed,
+// performance-central operation the online tuner wraps.
+type Pipeline struct {
+	// Tris is the scene geometry.
+	Tris []geom.Triangle
+	// Cam is the camera; Light the point light for secondary rays.
+	Cam   Camera
+	Light geom.Vec3
+	// Width and Height set the image resolution.
+	Width, Height int
+	// Workers is the render goroutine count (≥ 1).
+	Workers int
+}
+
+// Timing breaks a frame's cost into the two pipeline stages.
+type Timing struct {
+	Build, Render, Total time.Duration
+}
+
+// RenderFrame executes one frame: stage one builds the kD-tree with the
+// given builder and parameters, stage two renders. It returns the frame
+// and the stage timings. Note that for the Lazy builder part of the
+// construction cost is incurred inside the render stage — exactly the
+// trade the algorithm makes.
+func (pl *Pipeline) RenderFrame(b kdtree.Builder, p kdtree.Params) (Frame, Timing) {
+	start := time.Now()
+	tree := b.Build(pl.Tris, p)
+	afterBuild := time.Now()
+	f := Render(tree, pl.Cam, pl.Light, pl.Width, pl.Height, pl.Workers)
+	end := time.Now()
+	return f, Timing{
+		Build:  afterBuild.Sub(start),
+		Render: end.Sub(afterBuild),
+		Total:  end.Sub(start),
+	}
+}

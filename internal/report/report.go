@@ -1,0 +1,303 @@
+// Package report renders experiment results as aligned ASCII tables,
+// terminal line charts, boxplot rows, and CSV — the textual equivalents of
+// the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; missing cells render empty.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a row of formatted cells, alternating format/value pairs is
+// not supported — it simply applies fmt.Sprint to each value.
+func (t *Table) Addf(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case math.IsNaN(x):
+		return "-"
+	case x == math.Trunc(x) && math.Abs(x) < 1e9:
+		return fmt.Sprintf("%.0f", x)
+	case math.Abs(x) >= 100:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < len(widths); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(widths))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// WriteCSV renders the table as CSV (simple quoting: cells containing
+// commas or quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) {
+	writeCSVRow(w, t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			fmt.Fprintf(w, `"%s"`, strings.ReplaceAll(c, `"`, `""`))
+		} else {
+			fmt.Fprint(w, c)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// Series is one named curve of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a set of curves over a shared integer x axis (iterations).
+type Chart struct {
+	Title, XLabel, YLabel string
+	Series                []Series
+}
+
+// NewChart creates an empty chart.
+func NewChart(title, xLabel, yLabel string) *Chart {
+	return &Chart{Title: title, XLabel: xLabel, YLabel: yLabel}
+}
+
+// Add appends a named series.
+func (c *Chart) Add(name string, values []float64) {
+	vs := make([]float64, len(values))
+	copy(vs, values)
+	c.Series = append(c.Series, Series{Name: name, Values: vs})
+}
+
+// seriesMarks are the glyphs assigned to series in order.
+const seriesMarks = "123456789abcdef"
+
+// WriteASCII renders the chart as a width×height character grid with a
+// y-axis scale and a legend. NaN values are skipped.
+func (c *Chart) WriteASCII(w io.Writer, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	maxLen := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for x, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			col := 0
+			if maxLen > 1 {
+				col = x * (width - 1) / (maxLen - 1)
+			}
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+	for i, line := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.1f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%9.1f ", lo)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%9.1f ", (hi+lo)/2)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s0 .. %d (%s)\n", strings.Repeat(" ", 11), maxLen-1, c.XLabel)
+	for si, s := range c.Series {
+		fmt.Fprintf(w, "  [%c] %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+}
+
+// WriteCSV renders the chart as CSV: one column per series, one row per x.
+func (c *Chart) WriteCSV(w io.Writer) {
+	headers := []string{c.XLabel}
+	maxLen := 0
+	for _, s := range c.Series {
+		headers = append(headers, s.Name)
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	writeCSVRow(w, headers)
+	for x := 0; x < maxLen; x++ {
+		row := []string{fmt.Sprint(x)}
+		for _, s := range c.Series {
+			if x < len(s.Values) && !math.IsNaN(s.Values[x]) {
+				row = append(row, fmt.Sprintf("%g", s.Values[x]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		writeCSVRow(w, row)
+	}
+}
+
+// BoxRow renders one boxplot as a fixed-width row spanning [lo, hi]:
+// whiskers as '-', the box as '=', the median as '#'.
+func BoxRow(label string, b stats.BoxPlot, lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	line := []byte(strings.Repeat(" ", width))
+	if b.N > 0 && hi > lo {
+		col := func(x float64) int {
+			c := int((x - lo) / (hi - lo) * float64(width-1))
+			if c < 0 {
+				c = 0
+			}
+			if c >= width {
+				c = width - 1
+			}
+			return c
+		}
+		for i := col(b.LowWhisker); i <= col(b.HighWhisker); i++ {
+			line[i] = '-'
+		}
+		for i := col(b.Q1); i <= col(b.Q3); i++ {
+			line[i] = '='
+		}
+		line[col(b.Median)] = '#'
+	}
+	return fmt.Sprintf("%-22s |%s| n=%d med=%s", label, string(line), b.N, formatFloat(b.Median))
+}
+
+// BoxTable renders a labeled set of boxplots on a shared scale.
+func BoxTable(w io.Writer, title string, labels []string, boxes []stats.BoxPlot, unit string) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range boxes {
+		if b.N == 0 {
+			continue
+		}
+		lo = math.Min(lo, b.Min)
+		hi = math.Max(hi, b.Max)
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	for i, b := range boxes {
+		fmt.Fprintln(w, BoxRow(labels[i], b, lo, hi, 50))
+	}
+	fmt.Fprintf(w, "%-22s  %-50s\n", "", fmt.Sprintf("scale: %s .. %s %s", formatFloat(lo), formatFloat(hi), unit))
+}

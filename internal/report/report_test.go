@@ -1,0 +1,139 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.Add("short", "1")
+	tb.Add("a-much-longer-name", "22")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("separator width mismatch")
+	}
+	if !strings.Contains(lines[3], "short") || !strings.Contains(lines[4], "22") {
+		t.Error("rows missing")
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("", "a", "b", "c", "d")
+	tb.Addf("x", 3.14159, 200.0, math.NaN())
+	if got := tb.Rows[0]; got[1] != "3.142" || got[2] != "200" || got[3] != "-" {
+		t.Errorf("Addf formatting: %v", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add("plain", `has "quotes", and comma`)
+	var sb strings.Builder
+	tb.WriteCSV(&sb)
+	want := "a,b\nplain,\"has \"\"quotes\"\", and comma\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestChartASCII(t *testing.T) {
+	c := NewChart("conv", "iteration", "ms")
+	c.Add("fast", []float64{10, 5, 2, 1, 1, 1})
+	c.Add("slow", []float64{10, 9, 8, 7, 6, 5})
+	var sb strings.Builder
+	c.WriteASCII(&sb, 30, 8)
+	out := sb.String()
+	if !strings.Contains(out, "conv") || !strings.Contains(out, "[1] fast") || !strings.Contains(out, "[2] slow") {
+		t.Errorf("chart output missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "10.0") || !strings.Contains(out, "1.0") {
+		t.Errorf("y-axis labels missing:\n%s", out)
+	}
+	// Marks of both series must appear in the grid.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Error("series marks missing")
+	}
+}
+
+func TestChartEmptyAndFlat(t *testing.T) {
+	var sb strings.Builder
+	NewChart("x", "i", "v").WriteASCII(&sb, 20, 5)
+	if !strings.Contains(sb.String(), "(no data)") {
+		t.Error("empty chart should say no data")
+	}
+	sb.Reset()
+	c := NewChart("flat", "i", "v")
+	c.Add("s", []float64{5, 5, 5})
+	c.WriteASCII(&sb, 20, 5) // must not divide by zero
+	if !strings.Contains(sb.String(), "[1] s") {
+		t.Error("flat chart broken")
+	}
+	sb.Reset()
+	c2 := NewChart("nan", "i", "v")
+	c2.Add("s", []float64{math.NaN(), 1, math.NaN(), 3})
+	c2.WriteASCII(&sb, 20, 5)
+	if strings.Contains(sb.String(), "NaN") {
+		t.Error("NaN leaked into chart")
+	}
+}
+
+func TestChartCSV(t *testing.T) {
+	c := NewChart("t", "iter", "ms")
+	c.Add("a", []float64{1, 2})
+	c.Add("b", []float64{3, math.NaN(), 5})
+	var sb strings.Builder
+	c.WriteCSV(&sb)
+	want := "iter,a,b\n0,1,3\n1,2,\n2,,5\n"
+	if sb.String() != want {
+		t.Errorf("chart CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestBoxRow(t *testing.T) {
+	b := stats.NewBoxPlot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	row := BoxRow("algo", b, 0, 10, 40)
+	if !strings.Contains(row, "algo") || !strings.Contains(row, "#") ||
+		!strings.Contains(row, "=") || !strings.Contains(row, "n=9") {
+		t.Errorf("box row malformed: %q", row)
+	}
+	// Median mark sits right of the box start.
+	if strings.Index(row, "#") <= strings.Index(row, "=") {
+		t.Errorf("median left of box start: %q", row)
+	}
+	empty := BoxRow("none", stats.BoxPlot{}, 0, 1, 20)
+	if !strings.Contains(empty, "n=0") {
+		t.Errorf("empty box row: %q", empty)
+	}
+}
+
+func TestBoxTable(t *testing.T) {
+	var sb strings.Builder
+	boxes := []stats.BoxPlot{
+		stats.NewBoxPlot([]float64{1, 2, 3}),
+		stats.NewBoxPlot([]float64{7, 8, 9}),
+	}
+	BoxTable(&sb, "Figure 1", []string{"a", "b"}, boxes, "ms")
+	out := sb.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "scale: 1 .. 9 ms") {
+		t.Errorf("box table:\n%s", out)
+	}
+	sb.Reset()
+	BoxTable(&sb, "empty", []string{}, nil, "ms")
+	if !strings.Contains(sb.String(), "(no data)") {
+		t.Error("empty box table should say no data")
+	}
+}

@@ -1,0 +1,113 @@
+package scenegen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// LoadOBJ parses the triangle geometry of a Wavefront OBJ stream: `v`
+// vertex positions and `f` faces (triangulated with a fan for polygons
+// with more than three vertices). Texture/normal indices, materials,
+// groups and all other statements are ignored — this is a geometry
+// loader, not an asset pipeline. Negative (relative) indices are
+// supported per the OBJ specification.
+//
+// The paper's raytracing case study renders the Sibenik cathedral; this
+// repository substitutes a procedural stand-in (Cathedral), but users
+// with the original mesh can load it here and run the identical
+// experiments on it.
+func LoadOBJ(r io.Reader) ([]geom.Triangle, error) {
+	var verts []geom.Vec3
+	var tris []geom.Triangle
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "v":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("scenegen: line %d: vertex needs 3 coordinates", lineNo)
+			}
+			var xyz [3]float64
+			for i := 0; i < 3; i++ {
+				x, err := strconv.ParseFloat(fields[1+i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("scenegen: line %d: %v", lineNo, err)
+				}
+				xyz[i] = x
+			}
+			verts = append(verts, geom.V(xyz[0], xyz[1], xyz[2]))
+		case "f":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("scenegen: line %d: face needs at least 3 vertices", lineNo)
+			}
+			idx := make([]int, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				// "v", "v/vt", "v//vn", "v/vt/vn" — the vertex index is
+				// the first component.
+				head := f
+				if k := strings.IndexByte(f, '/'); k >= 0 {
+					head = f[:k]
+				}
+				i, err := strconv.Atoi(head)
+				if err != nil {
+					return nil, fmt.Errorf("scenegen: line %d: face index %q: %v", lineNo, f, err)
+				}
+				switch {
+				case i > 0:
+					i-- // OBJ is 1-based
+				case i < 0:
+					i += len(verts) // relative to the end
+				default:
+					return nil, fmt.Errorf("scenegen: line %d: face index 0 is invalid", lineNo)
+				}
+				if i < 0 || i >= len(verts) {
+					return nil, fmt.Errorf("scenegen: line %d: face references vertex %d of %d", lineNo, i+1, len(verts))
+				}
+				idx = append(idx, i)
+			}
+			// Fan triangulation.
+			for k := 1; k+1 < len(idx); k++ {
+				tris = append(tris, geom.Triangle{
+					A: verts[idx[0]], B: verts[idx[k]], C: verts[idx[k+1]],
+				})
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("scenegen: %v", err)
+	}
+	return tris, nil
+}
+
+// SceneFromOBJ loads OBJ geometry and derives a camera placement from the
+// bounds: eye offset along the diagonal, looking at the centroid, light
+// above.
+func SceneFromOBJ(name string, r io.Reader) (Scene, error) {
+	tris, err := LoadOBJ(r)
+	if err != nil {
+		return Scene{}, err
+	}
+	s := Scene{Name: name, Triangles: tris}
+	b := s.Bounds()
+	if b.Empty() {
+		return s, nil
+	}
+	center := b.Min.Add(b.Max).Scale(0.5)
+	d := b.Diagonal()
+	s.LookAt = center
+	s.Eye = center.Add(geom.V(d.X*0.8, d.Y*0.4, d.Z*0.8))
+	s.Light = center.Add(geom.V(0, d.Y*0.45, 0))
+	return s, nil
+}

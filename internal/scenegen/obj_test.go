@@ -1,0 +1,138 @@
+package scenegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+const cubeOBJ = `
+# a unit cube
+v 0 0 0
+v 1 0 0
+v 1 1 0
+v 0 1 0
+v 0 0 1
+v 1 0 1
+v 1 1 1
+v 0 1 1
+f 1 2 3 4
+f 5 8 7 6
+f 1 5 6 2
+f 2 6 7 3
+f 3 7 8 4
+f 5 1 4 8
+`
+
+func TestLoadOBJCube(t *testing.T) {
+	tris, err := LoadOBJ(strings.NewReader(cubeOBJ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 quads fan into 12 triangles.
+	if len(tris) != 12 {
+		t.Fatalf("loaded %d triangles, want 12", len(tris))
+	}
+	b := geom.EmptyAABB()
+	for _, tr := range tris {
+		b = b.Union(tr.Bounds())
+	}
+	if b.Min != geom.V(0, 0, 0) || b.Max != geom.V(1, 1, 1) {
+		t.Errorf("cube bounds %v", b)
+	}
+}
+
+func TestLoadOBJIndexForms(t *testing.T) {
+	obj := `
+v 0 0 0
+v 1 0 0
+v 0 1 0
+f 1/2/3 2//1 3/4
+`
+	tris, err := LoadOBJ(strings.NewReader(obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 1 {
+		t.Fatalf("got %d triangles", len(tris))
+	}
+	if tris[0].B != geom.V(1, 0, 0) {
+		t.Errorf("v/vt/vn parsing wrong: %+v", tris[0])
+	}
+}
+
+func TestLoadOBJNegativeIndices(t *testing.T) {
+	obj := `
+v 0 0 0
+v 1 0 0
+v 0 1 0
+f -3 -2 -1
+`
+	tris, err := LoadOBJ(strings.NewReader(obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 1 || tris[0].A != geom.V(0, 0, 0) || tris[0].C != geom.V(0, 1, 0) {
+		t.Errorf("negative indices wrong: %+v", tris)
+	}
+}
+
+func TestLoadOBJErrors(t *testing.T) {
+	cases := []string{
+		"v 1 2",            // too few coordinates
+		"v a b c",          // bad float
+		"v 0 0 0\nf 1 2",   // face too short
+		"v 0 0 0\nf 1 1 9", // index out of range
+		"v 0 0 0\nf 0 1 1", // zero index
+		"v 0 0 0\nf 1 x 1", // bad index
+	}
+	for _, c := range cases {
+		if _, err := LoadOBJ(strings.NewReader(c)); err == nil {
+			t.Errorf("no error for %q", c)
+		}
+	}
+}
+
+func TestLoadOBJIgnoresOtherStatements(t *testing.T) {
+	obj := `
+mtllib scene.mtl
+o Cube
+v 0 0 0
+v 1 0 0
+v 0 1 0
+vn 0 0 1
+vt 0 0
+usemtl stone
+s off
+f 1 2 3
+`
+	tris, err := LoadOBJ(strings.NewReader(obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 1 {
+		t.Errorf("got %d triangles", len(tris))
+	}
+}
+
+func TestSceneFromOBJ(t *testing.T) {
+	s, err := SceneFromOBJ("cube", strings.NewReader(cubeOBJ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "cube" || len(s.Triangles) != 12 {
+		t.Fatalf("scene wrong: %s, %d tris", s.Name, len(s.Triangles))
+	}
+	if s.Eye == s.LookAt {
+		t.Error("camera not derived")
+	}
+	if !(s.Light.Y > s.LookAt.Y) {
+		t.Error("light should sit above the centroid")
+	}
+	// Empty stream: valid, empty scene.
+	empty, err := SceneFromOBJ("none", strings.NewReader(""))
+	if err != nil || len(empty.Triangles) != 0 {
+		t.Errorf("empty OBJ: %v, %d tris", err, len(empty.Triangles))
+	}
+}

@@ -1,0 +1,265 @@
+// Package scenegen procedurally generates triangle scenes for the
+// raytracing case study.
+//
+// The paper renders the Sibenik cathedral model. That mesh is not shipped
+// here; Cathedral generates an architecturally similar stand-in — a nave
+// with a floor, walls, two colonnades and vaulted ribs — whose triangle
+// count and spatially non-uniform distribution give the SAH kD-tree
+// builders comparable work. Additional generators (SphereFlake, BoxGrid)
+// provide differently shaped distributions for tests and ablations.
+package scenegen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Quad appends the two triangles of quad (a, b, c, d), given in winding
+// order.
+func Quad(out []geom.Triangle, a, b, c, d geom.Vec3) []geom.Triangle {
+	out = append(out, geom.Triangle{A: a, B: b, C: c})
+	out = append(out, geom.Triangle{A: a, B: c, C: d})
+	return out
+}
+
+// Box appends the 12 triangles of the axis-aligned box [min, max].
+func Box(out []geom.Triangle, min, max geom.Vec3) []geom.Triangle {
+	v := func(x, y, z float64) geom.Vec3 { return geom.V(x, y, z) }
+	x0, y0, z0 := min.X, min.Y, min.Z
+	x1, y1, z1 := max.X, max.Y, max.Z
+	out = Quad(out, v(x0, y0, z0), v(x1, y0, z0), v(x1, y1, z0), v(x0, y1, z0)) // back
+	out = Quad(out, v(x0, y0, z1), v(x0, y1, z1), v(x1, y1, z1), v(x1, y0, z1)) // front
+	out = Quad(out, v(x0, y0, z0), v(x0, y1, z0), v(x0, y1, z1), v(x0, y0, z1)) // left
+	out = Quad(out, v(x1, y0, z0), v(x1, y0, z1), v(x1, y1, z1), v(x1, y1, z0)) // right
+	out = Quad(out, v(x0, y0, z0), v(x0, y0, z1), v(x1, y0, z1), v(x1, y0, z0)) // bottom
+	out = Quad(out, v(x0, y1, z0), v(x1, y1, z0), v(x1, y1, z1), v(x0, y1, z1)) // top
+	return out
+}
+
+// Column appends a vertical prism with `sides` faces, closed with a cap
+// fan top and bottom.
+func Column(out []geom.Triangle, center geom.Vec3, radius, height float64, sides int) []geom.Triangle {
+	if sides < 3 {
+		sides = 3
+	}
+	ring := func(y float64) []geom.Vec3 {
+		ps := make([]geom.Vec3, sides)
+		for i := 0; i < sides; i++ {
+			a := 2 * math.Pi * float64(i) / float64(sides)
+			ps[i] = geom.V(center.X+radius*math.Cos(a), y, center.Z+radius*math.Sin(a))
+		}
+		return ps
+	}
+	bot, top := ring(center.Y), ring(center.Y+height)
+	for i := 0; i < sides; i++ {
+		j := (i + 1) % sides
+		out = Quad(out, bot[i], bot[j], top[j], top[i])
+		// caps
+		out = append(out, geom.Triangle{A: geom.V(center.X, center.Y, center.Z), B: bot[j], C: bot[i]})
+		out = append(out, geom.Triangle{A: geom.V(center.X, center.Y+height, center.Z), B: top[i], C: top[j]})
+	}
+	return out
+}
+
+// Arch appends a semicircular ribbon (a vault rib) spanning from x0 to x1
+// at depth z, with the given rise and ribbon width.
+func Arch(out []geom.Triangle, x0, x1, baseY, rise, z, width float64, segments int) []geom.Triangle {
+	if segments < 2 {
+		segments = 2
+	}
+	cx := (x0 + x1) / 2
+	r := (x1 - x0) / 2
+	pt := func(i int, dz float64) geom.Vec3 {
+		a := math.Pi * float64(i) / float64(segments)
+		return geom.V(cx-r*math.Cos(a), baseY+rise*math.Sin(a), z+dz)
+	}
+	for i := 0; i < segments; i++ {
+		out = Quad(out, pt(i, -width/2), pt(i+1, -width/2), pt(i+1, width/2), pt(i, width/2))
+	}
+	return out
+}
+
+// Scene is a generated triangle soup with a suggested camera.
+type Scene struct {
+	// Name identifies the generator and detail level.
+	Name string
+	// Triangles is the scene geometry.
+	Triangles []geom.Triangle
+	// Eye and LookAt suggest a camera placement covering the scene.
+	Eye, LookAt geom.Vec3
+	// Light is a point light position for ambient-occlusion rays.
+	Light geom.Vec3
+}
+
+// Cathedral generates the Sibenik stand-in. detail ≥ 1 scales tessellation
+// (column sides, arch segments, clutter count); detail 4 yields roughly
+// 8.7k triangles, detail 8 roughly 33k.
+func Cathedral(detail int) Scene {
+	if detail < 1 {
+		detail = 1
+	}
+	r := rand.New(rand.NewSource(1214)) // fixed: the scene is part of the benchmark
+	var tris []geom.Triangle
+
+	const (
+		length = 40.0 // x extent (nave axis)
+		width  = 16.0 // z extent
+		height = 14.0
+	)
+
+	// Floor and ceiling slabs, walls.
+	tris = Box(tris, geom.V(-1, -1, -width/2-1), geom.V(length+1, 0, width/2+1))            // floor
+	tris = Box(tris, geom.V(-1, height, -width/2-1), geom.V(length+1, height+1, width/2+1)) // roof slab
+	tris = Box(tris, geom.V(-1, 0, -width/2-1), geom.V(0, height, width/2+1))               // west wall
+	tris = Box(tris, geom.V(length, 0, -width/2-1), geom.V(length+1, height, width/2+1))    // east wall
+	tris = Box(tris, geom.V(-1, 0, -width/2-1), geom.V(length+1, height, -width/2))         // south wall
+	tris = Box(tris, geom.V(-1, 0, width/2), geom.V(length+1, height, width/2+1))           // north wall
+
+	// Two colonnades along the nave.
+	sides := 4 * detail
+	nCols := 2 + 2*detail
+	for i := 0; i < nCols; i++ {
+		x := length * (float64(i) + 0.5) / float64(nCols)
+		for _, z := range []float64{-width / 4, width / 4} {
+			tris = Column(tris, geom.V(x, 0, z), 0.7, height*0.6, sides)
+			// Capital block on top of each column.
+			tris = Box(tris,
+				geom.V(x-1, height*0.6, z-1),
+				geom.V(x+1, height*0.6+0.8, z+1))
+		}
+	}
+
+	// Vault ribs between opposite columns and along the nave.
+	segs := 6 * detail
+	for i := 0; i < nCols; i++ {
+		x := length * (float64(i) + 0.5) / float64(nCols)
+		tris = Arch(tris, x-width/4, x+width/4, height*0.64, height*0.3, 0, 0.6, segs)
+	}
+	for _, z := range []float64{-width / 4, width / 4} {
+		for i := 0; i+1 < nCols; i++ {
+			x0 := length * (float64(i) + 0.5) / float64(nCols)
+			x1 := length * (float64(i) + 1.5) / float64(nCols)
+			tris = Arch(tris, x0, x1, height*0.64, height*0.25, z, 0.6, segs)
+		}
+	}
+
+	// Clutter: pews and debris boxes with a non-uniform distribution —
+	// the spatially uneven primitive density that makes SAH splits earn
+	// their keep.
+	nClutter := 30 * detail * detail
+	for i := 0; i < nClutter; i++ {
+		x := r.Float64() * length
+		z := (r.Float64() - 0.5) * width * 0.8
+		// Cluster the clutter toward the nave center.
+		z *= 0.4 + 0.6*r.Float64()
+		w := 0.2 + r.Float64()*0.8
+		h := 0.2 + r.Float64()*1.2
+		d := 0.2 + r.Float64()*0.8
+		tris = Box(tris, geom.V(x-w/2, 0, z-d/2), geom.V(x+w/2, h, z+d/2))
+	}
+
+	return Scene{
+		Name:      "cathedral",
+		Triangles: tris,
+		Eye:       geom.V(2, height*0.45, 0),
+		LookAt:    geom.V(length*0.8, height*0.3, 0),
+		Light:     geom.V(length*0.5, height*0.9, 0),
+	}
+}
+
+// SphereFlake generates a recursive sphere-flake: a central tessellated
+// sphere with child spheres on its surface, recursing to the given depth.
+// It produces a highly clustered primitive distribution.
+func SphereFlake(depth, tessellation int) Scene {
+	if tessellation < 4 {
+		tessellation = 4
+	}
+	var tris []geom.Triangle
+	var recurse func(center geom.Vec3, radius float64, depth int)
+	recurse = func(center geom.Vec3, radius float64, d int) {
+		tris = appendSphere(tris, center, radius, tessellation)
+		if d <= 0 {
+			return
+		}
+		dirs := []geom.Vec3{
+			geom.V(1, 0, 0), geom.V(-1, 0, 0),
+			geom.V(0, 1, 0), geom.V(0, -1, 0),
+			geom.V(0, 0, 1), geom.V(0, 0, -1),
+		}
+		for _, dir := range dirs {
+			recurse(center.Add(dir.Scale(radius*1.5)), radius*0.45, d-1)
+		}
+	}
+	recurse(geom.V(0, 0, 0), 1, depth)
+	return Scene{
+		Name:      "sphereflake",
+		Triangles: tris,
+		Eye:       geom.V(3.5, 2.5, 3.5),
+		LookAt:    geom.V(0, 0, 0),
+		Light:     geom.V(5, 8, 5),
+	}
+}
+
+func appendSphere(out []geom.Triangle, c geom.Vec3, r float64, tess int) []geom.Triangle {
+	// Latitude/longitude tessellation.
+	pt := func(i, j int) geom.Vec3 {
+		theta := math.Pi * float64(i) / float64(tess)
+		phi := 2 * math.Pi * float64(j) / float64(tess)
+		return geom.V(
+			c.X+r*math.Sin(theta)*math.Cos(phi),
+			c.Y+r*math.Cos(theta),
+			c.Z+r*math.Sin(theta)*math.Sin(phi),
+		)
+	}
+	for i := 0; i < tess; i++ {
+		for j := 0; j < tess; j++ {
+			a, b := pt(i, j), pt(i+1, j)
+			cc, d := pt(i+1, j+1), pt(i, j+1)
+			// Row tess is the bottom pole (b == cc), row 0 the top pole
+			// (a == d); skip the triangle that would collapse.
+			if i < tess-1 {
+				out = append(out, geom.Triangle{A: a, B: b, C: cc})
+			}
+			if i > 0 {
+				out = append(out, geom.Triangle{A: a, B: cc, C: d})
+			}
+		}
+	}
+	return out
+}
+
+// BoxGrid generates an n×n×n grid of unit boxes — a uniform distribution
+// that SAH splits cannot improve much, useful as an ablation contrast.
+func BoxGrid(n int) Scene {
+	if n < 1 {
+		n = 1
+	}
+	var tris []geom.Triangle
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				min := geom.V(float64(x)*2, float64(y)*2, float64(z)*2)
+				tris = Box(tris, min, min.Add(geom.V(1, 1, 1)))
+			}
+		}
+	}
+	fn := float64(n)
+	return Scene{
+		Name:      "boxgrid",
+		Triangles: tris,
+		Eye:       geom.V(-2*fn, 3*fn, -2*fn),
+		LookAt:    geom.V(fn, fn, fn),
+		Light:     geom.V(fn, 6*fn, fn),
+	}
+}
+
+// Bounds returns the bounding box of all triangles in the scene.
+func (s Scene) Bounds() geom.AABB {
+	b := geom.EmptyAABB()
+	for _, t := range s.Triangles {
+		b = b.Union(t.Bounds())
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package scenegen
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func validTriangles(t *testing.T, tris []geom.Triangle) {
+	t.Helper()
+	degenerate := 0
+	for _, tr := range tris {
+		if tr.Normal().Len() == 0 {
+			degenerate++
+		}
+	}
+	// Cap fans can produce the odd degenerate triangle at poles; more than
+	// 1% signals a generator bug.
+	if degenerate*100 > len(tris) {
+		t.Errorf("%d of %d triangles degenerate", degenerate, len(tris))
+	}
+}
+
+func TestBoxTriangles(t *testing.T) {
+	tris := Box(nil, geom.V(0, 0, 0), geom.V(1, 2, 3))
+	if len(tris) != 12 {
+		t.Fatalf("box has %d triangles, want 12", len(tris))
+	}
+	b := geom.EmptyAABB()
+	for _, tr := range tris {
+		b = b.Union(tr.Bounds())
+	}
+	if b.Min != geom.V(0, 0, 0) || b.Max != geom.V(1, 2, 3) {
+		t.Errorf("box bounds %v", b)
+	}
+	validTriangles(t, tris)
+}
+
+func TestQuad(t *testing.T) {
+	tris := Quad(nil, geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(1, 1, 0), geom.V(0, 1, 0))
+	if len(tris) != 2 {
+		t.Fatalf("quad has %d triangles", len(tris))
+	}
+}
+
+func TestColumn(t *testing.T) {
+	tris := Column(nil, geom.V(0, 0, 0), 1, 5, 8)
+	// 8 side quads (2 tris) + 16 cap triangles.
+	if len(tris) != 32 {
+		t.Fatalf("column has %d triangles, want 32", len(tris))
+	}
+	b := geom.EmptyAABB()
+	for _, tr := range tris {
+		b = b.Union(tr.Bounds())
+	}
+	if b.Max.Y != 5 || b.Min.Y != 0 {
+		t.Errorf("column height bounds %v", b)
+	}
+	// Degenerate side count clamps to 3.
+	if got := Column(nil, geom.V(0, 0, 0), 1, 1, 1); len(got) != 12 {
+		t.Errorf("clamped column has %d triangles, want 12", len(got))
+	}
+}
+
+func TestArch(t *testing.T) {
+	tris := Arch(nil, 0, 10, 2, 3, 0, 1, 8)
+	if len(tris) != 16 {
+		t.Fatalf("arch has %d triangles, want 16", len(tris))
+	}
+	b := geom.EmptyAABB()
+	for _, tr := range tris {
+		b = b.Union(tr.Bounds())
+	}
+	if b.Max.Y < 4.9 || b.Max.Y > 5.1 {
+		t.Errorf("arch apex %g, want ≈ 5", b.Max.Y)
+	}
+}
+
+func TestCathedralScales(t *testing.T) {
+	small := Cathedral(1)
+	large := Cathedral(4)
+	if len(small.Triangles) < 500 {
+		t.Errorf("detail-1 cathedral only %d triangles", len(small.Triangles))
+	}
+	if len(large.Triangles) <= 2*len(small.Triangles) {
+		t.Errorf("detail scaling weak: %d vs %d", len(small.Triangles), len(large.Triangles))
+	}
+	validTriangles(t, large.Triangles)
+	// Deterministic.
+	again := Cathedral(4)
+	if len(again.Triangles) != len(large.Triangles) {
+		t.Fatal("cathedral not deterministic")
+	}
+	for i := range again.Triangles {
+		if again.Triangles[i] != large.Triangles[i] {
+			t.Fatal("cathedral triangles differ between runs")
+		}
+	}
+	// Camera inside the scene bounds (it is an interior scene).
+	if !large.Bounds().Contains(large.Eye) {
+		t.Errorf("camera %v outside bounds %v", large.Eye, large.Bounds())
+	}
+}
+
+func TestSphereFlake(t *testing.T) {
+	s := SphereFlake(1, 6)
+	// 1 + 6 spheres.
+	if len(s.Triangles) < 7*30 {
+		t.Errorf("sphereflake has %d triangles", len(s.Triangles))
+	}
+	validTriangles(t, s.Triangles)
+	if s.Bounds().Empty() {
+		t.Error("empty bounds")
+	}
+}
+
+func TestBoxGrid(t *testing.T) {
+	s := BoxGrid(3)
+	if len(s.Triangles) != 27*12 {
+		t.Fatalf("boxgrid has %d triangles, want %d", len(s.Triangles), 27*12)
+	}
+	if got := BoxGrid(0); len(got.Triangles) != 12 {
+		t.Errorf("clamped grid has %d triangles", len(got.Triangles))
+	}
+}

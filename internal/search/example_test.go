@@ -1,0 +1,36 @@
+package search_test
+
+import (
+	"fmt"
+
+	"repro/internal/param"
+	"repro/internal/search"
+)
+
+// Example shows the ask/tell loop on the paper's phase-one strategy.
+func Example() {
+	space := param.NewSpace(param.NewInterval("x", 0, 10))
+	nm := search.NewNelderMead()
+	if err := nm.Start(space, param.Config{0}); err != nil {
+		panic(err)
+	}
+	obj := func(c param.Config) float64 { d := c[0] - 7; return 2 + d*d }
+	for i := 0; i < 80; i++ {
+		c := nm.Propose()
+		nm.Report(c, obj(c))
+	}
+	best, val := nm.Best()
+	fmt.Printf("x=%.1f value=%.1f\n", best[0], val)
+	// Output:
+	// x=7.0 value=2.0
+}
+
+// Example_nominalRejection demonstrates the paper's §II-B point: metric
+// strategies refuse spaces containing nominal parameters.
+func Example_nominalRejection() {
+	space := param.NewSpace(param.NewNominal("algo", "a", "b", "c"))
+	err := search.NewNelderMead().Start(space, nil)
+	fmt.Println(err)
+	// Output:
+	// search: nelder-mead cannot search space with nominal parameters (no order, distance, or neighbourhood)
+}

@@ -1,0 +1,218 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/param"
+)
+
+// HillClimb is steepest-ascent hill climbing (descent, since we minimize):
+// it evaluates all axis-aligned unit-step neighbours of the current point
+// and greedily moves to the best improving one, converging when no
+// neighbour improves. It requires a neighbourhood, so spaces with nominal
+// parameters are rejected, exactly as the paper argues.
+type HillClimb struct {
+	recorder
+	space     *param.Space
+	cur       param.Config
+	curVal    float64
+	neighbors []param.Config
+	idx       int
+	bestN     param.Config
+	bestNVal  float64
+	done      bool
+	curKnown  bool
+}
+
+// NewHillClimb creates an unstarted hill-climbing strategy.
+func NewHillClimb() *HillClimb { return &HillClimb{} }
+
+// Name returns "hillclimb".
+func (h *HillClimb) Name() string { return "hillclimb" }
+
+// Supports accepts spaces without nominal parameters.
+func (h *HillClimb) Supports(space *param.Space) bool {
+	return space != nil && !space.HasNominal()
+}
+
+// Start begins climbing from the initial configuration.
+func (h *HillClimb) Start(space *param.Space, init param.Config) error {
+	c, err := prepStart(space, init)
+	if err != nil {
+		return err
+	}
+	if !h.Supports(space) {
+		return errUnsupported(h, space)
+	}
+	h.reset()
+	h.space = space
+	h.cur = c
+	h.curKnown = false
+	h.done = false
+	h.neighbors = nil
+	return nil
+}
+
+// Propose returns the current point if unevaluated, otherwise the next
+// neighbour in the ring; after convergence it repeats the best point.
+func (h *HillClimb) Propose() param.Config {
+	h.mustStarted("HillClimb.Propose")
+	if !h.curKnown {
+		return h.cur.Clone()
+	}
+	if h.done || h.space.Dim() == 0 {
+		return h.cur.Clone()
+	}
+	if h.neighbors == nil {
+		h.loadNeighbors()
+		if h.done {
+			return h.cur.Clone()
+		}
+	}
+	return h.neighbors[h.idx].Clone()
+}
+
+// Report consumes a measurement for the current point or a neighbour.
+func (h *HillClimb) Report(c param.Config, v float64) {
+	h.mustStarted("HillClimb.Report")
+	h.record(c, v)
+	if !h.curKnown {
+		h.curVal = v
+		h.curKnown = true
+		if h.space.Dim() == 0 {
+			h.done = true
+		}
+		return
+	}
+	if h.done {
+		return
+	}
+	if v < h.bestNVal {
+		h.bestNVal = v
+		h.bestN = c.Clone()
+	}
+	h.idx++
+	if h.idx >= len(h.neighbors) {
+		// Ring complete: move or converge.
+		if h.bestN != nil && h.bestNVal < h.curVal {
+			h.cur = h.bestN
+			h.curVal = h.bestNVal
+			h.neighbors = nil
+		} else {
+			h.done = true
+		}
+	}
+}
+
+// Converged reports whether no neighbour improved on the current point.
+func (h *HillClimb) Converged() bool { return h.done }
+
+func (h *HillClimb) loadNeighbors() {
+	ns, err := h.space.Neighbors(h.cur)
+	if err != nil || len(ns) == 0 {
+		h.done = true
+		return
+	}
+	h.neighbors = ns
+	h.idx = 0
+	h.bestN = nil
+	h.bestNVal = math.Inf(1)
+}
+
+// Anneal is simulated annealing: a random neighbour is proposed each step
+// and accepted when better, or with probability exp(−Δ/T) when worse, the
+// temperature T decaying geometrically. Like hill climbing it needs a
+// neighbourhood, so nominal spaces are rejected.
+type Anneal struct {
+	recorder
+	space  *param.Space
+	rng    *rand.Rand
+	seed   int64
+	cur    param.Config
+	curVal float64
+	known  bool
+
+	// Temp is the current temperature; Cooling the geometric decay factor
+	// applied after every acceptance decision; MinTemp the convergence
+	// threshold.
+	Temp    float64
+	Cooling float64
+	MinTemp float64
+
+	initTemp float64
+	pending  param.Config
+}
+
+// NewAnneal creates an annealing strategy with temperature 1.0, cooling
+// 0.95 and minimum temperature 1e-3.
+func NewAnneal(seed int64) *Anneal {
+	return &Anneal{seed: seed, Temp: 1.0, Cooling: 0.95, MinTemp: 1e-3}
+}
+
+// Name returns "anneal".
+func (a *Anneal) Name() string { return "anneal" }
+
+// Supports accepts spaces without nominal parameters.
+func (a *Anneal) Supports(space *param.Space) bool {
+	return space != nil && !space.HasNominal()
+}
+
+// Start begins annealing from the initial configuration at full
+// temperature.
+func (a *Anneal) Start(space *param.Space, init param.Config) error {
+	c, err := prepStart(space, init)
+	if err != nil {
+		return err
+	}
+	if !a.Supports(space) {
+		return errUnsupported(a, space)
+	}
+	a.reset()
+	a.space = space
+	a.rng = newRand(a.seed)
+	a.cur = c
+	a.known = false
+	if a.initTemp == 0 {
+		a.initTemp = a.Temp
+	}
+	a.Temp = a.initTemp
+	return nil
+}
+
+// Propose returns the current point if unevaluated, otherwise a uniformly
+// chosen neighbour.
+func (a *Anneal) Propose() param.Config {
+	a.mustStarted("Anneal.Propose")
+	if !a.known || a.space.Dim() == 0 || a.Converged() {
+		a.pending = a.cur.Clone()
+		return a.cur.Clone()
+	}
+	ns, err := a.space.Neighbors(a.cur)
+	if err != nil || len(ns) == 0 {
+		a.pending = a.cur.Clone()
+		return a.cur.Clone()
+	}
+	a.pending = ns[a.rng.Intn(len(ns))]
+	return a.pending.Clone()
+}
+
+// Report applies the Metropolis acceptance rule and cools the temperature.
+func (a *Anneal) Report(c param.Config, v float64) {
+	a.mustStarted("Anneal.Report")
+	a.record(c, v)
+	if !a.known {
+		a.curVal = v
+		a.known = true
+		return
+	}
+	delta := v - a.curVal
+	if delta <= 0 || (a.Temp > 0 && a.rng.Float64() < math.Exp(-delta/a.Temp)) {
+		a.cur = c.Clone()
+		a.curVal = v
+	}
+	a.Temp *= a.Cooling
+}
+
+// Converged reports whether the temperature has cooled below MinTemp.
+func (a *Anneal) Converged() bool { return a.known && a.Temp < a.MinTemp }

@@ -1,0 +1,187 @@
+package search
+
+import (
+	"repro/internal/param"
+)
+
+// HookeJeeves is Hooke & Jeeves pattern search (1961), a staple of the
+// autotuning literature (Active Harmony's PRO descends from it): an
+// exploratory move probes ± step along each axis in turn; a successful
+// round is followed by a pattern move that doubles down in the improving
+// direction; failed rounds halve the step. It needs distances but no
+// derivatives, so it accepts exactly the spaces Nelder-Mead accepts.
+type HookeJeeves struct {
+	recorder
+	space *param.Space
+
+	base     param.Config // best point of the previous round
+	baseVal  float64
+	cur      param.Config // working point of this round
+	curVal   float64
+	step     []float64
+	axis     int
+	dir      float64 // +1 then −1 per axis
+	pending  param.Config
+	havePat  bool
+	pattern  param.Config // pattern-move candidate
+	baseKnow bool
+
+	// InitialStepFrac is the starting step as a fraction of each
+	// dimension's range; Shrink the per-failure step multiplier; MinStep
+	// the convergence threshold (fraction of range).
+	InitialStepFrac float64
+	Shrink          float64
+	MinStepFrac     float64
+}
+
+// NewHookeJeeves creates a pattern-search strategy with steps starting at
+// 25% of each range, halving on failure, converging below 0.1%.
+func NewHookeJeeves() *HookeJeeves {
+	return &HookeJeeves{InitialStepFrac: 0.25, Shrink: 0.5, MinStepFrac: 1e-3}
+}
+
+// Name returns "hooke-jeeves".
+func (h *HookeJeeves) Name() string { return "hooke-jeeves" }
+
+// Supports accepts only metric spaces.
+func (h *HookeJeeves) Supports(space *param.Space) bool {
+	return space != nil && space.MetricOnly()
+}
+
+// Start begins the search at the initial configuration.
+func (h *HookeJeeves) Start(space *param.Space, init param.Config) error {
+	c, err := prepStart(space, init)
+	if err != nil {
+		return err
+	}
+	if !h.Supports(space) {
+		return errUnsupported(h, space)
+	}
+	h.reset()
+	h.space = space
+	h.base = c.Clone()
+	h.cur = c.Clone()
+	h.baseKnow = false
+	h.step = make([]float64, space.Dim())
+	for i := range h.step {
+		p := space.Param(i)
+		h.step[i] = (p.Hi() - p.Lo()) * h.InitialStepFrac
+		if h.step[i] == 0 {
+			h.step[i] = 1
+		}
+	}
+	h.axis = 0
+	h.dir = 1
+	h.havePat = false
+	return nil
+}
+
+// Propose returns the next probe point.
+func (h *HookeJeeves) Propose() param.Config {
+	h.mustStarted("HookeJeeves.Propose")
+	if h.space.Dim() == 0 {
+		return param.Config{}
+	}
+	if !h.baseKnow {
+		h.pending = h.cur.Clone()
+		return h.pending.Clone()
+	}
+	if h.havePat {
+		h.pending = h.pattern.Clone()
+		return h.pending.Clone()
+	}
+	probe := h.cur.Clone()
+	probe[h.axis] = h.space.Param(h.axis).Clamp(probe[h.axis] + h.dir*h.step[h.axis])
+	h.pending = probe
+	return probe.Clone()
+}
+
+// Report consumes the probe's value and advances the exploratory /
+// pattern state machine.
+func (h *HookeJeeves) Report(c param.Config, v float64) {
+	h.mustStarted("HookeJeeves.Report")
+	h.record(c, v)
+	if h.space.Dim() == 0 {
+		return
+	}
+	if !h.baseKnow {
+		h.baseKnow = true
+		h.curVal = v
+		h.baseVal = v
+		return
+	}
+	if h.havePat {
+		// Pattern move evaluated: accept as new working point when it
+		// improves, else fall back to the exploratory result.
+		h.havePat = false
+		if v < h.curVal {
+			h.cur = c.Clone()
+			h.curVal = v
+		}
+		return
+	}
+	// Exploratory probe.
+	if v < h.curVal && !c.Equal(h.cur) {
+		h.cur = c.Clone()
+		h.curVal = v
+		h.advanceAxis()
+		return
+	}
+	if h.dir > 0 {
+		h.dir = -1 // try the other direction on the same axis
+		return
+	}
+	h.dir = 1
+	h.advanceAxis()
+}
+
+// advanceAxis moves to the next axis; a completed round either launches a
+// pattern move (round improved) or shrinks the step (round failed).
+func (h *HookeJeeves) advanceAxis() {
+	h.axis++
+	if h.axis < h.space.Dim() {
+		return
+	}
+	h.axis = 0
+	h.dir = 1
+	if h.curVal < h.baseVal {
+		// Pattern move: cur + (cur − base), clamped.
+		pat := make(param.Config, h.space.Dim())
+		for i := range pat {
+			pat[i] = h.cur[i] + (h.cur[i] - h.base[i])
+		}
+		h.pattern = h.space.Clamp(pat)
+		h.havePat = !h.pattern.Equal(h.cur)
+		h.base = h.cur.Clone()
+		h.baseVal = h.curVal
+		return
+	}
+	for i := range h.step {
+		h.step[i] *= h.Shrink
+	}
+}
+
+// Converged reports whether every step has shrunk below MinStepFrac of
+// its dimension's range.
+func (h *HookeJeeves) Converged() bool {
+	if !h.hasSpace {
+		return false
+	}
+	if h.space.Dim() == 0 {
+		return h.evals > 0
+	}
+	if !h.baseKnow {
+		return false
+	}
+	for i, s := range h.step {
+		p := h.space.Param(i)
+		span := p.Hi() - p.Lo()
+		if span == 0 {
+			continue
+		}
+		if s/span > h.MinStepFrac {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,486 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/param"
+)
+
+// Default population sizes for the population-based strategies.
+const (
+	DefaultSwarmSize  = 10
+	DefaultPopulation = 12
+)
+
+// ParticleSwarm is particle swarm optimization (Kennedy & Eberhart 1995):
+// a set of particles moves through the space, each attracted to its own
+// best and the global best position. Velocity arithmetic requires distance
+// and direction, so nominal spaces are rejected.
+type ParticleSwarm struct {
+	recorder
+	space *param.Space
+	rng   *rand.Rand
+	seed  int64
+	size  int
+
+	pos, vel   []param.Config
+	pBest      []param.Config
+	pBestVal   []float64
+	gBest      param.Config
+	gBestVal   float64
+	sweepBest  float64 // global best at the start of the current sweep
+	idx        int     // particle awaiting evaluation
+	stagnation int
+
+	// Inertia, Cognitive and Social are the standard PSO coefficients.
+	Inertia   float64
+	Cognitive float64
+	Social    float64
+	// StagnationLimit is the number of full sweeps without global
+	// improvement after which the swarm is considered converged.
+	StagnationLimit int
+}
+
+// NewParticleSwarm creates a swarm of the given size (minimum 2) with
+// standard coefficients ω=0.72, c1=c2=1.49.
+func NewParticleSwarm(size int, seed int64) *ParticleSwarm {
+	if size < 2 {
+		size = 2
+	}
+	return &ParticleSwarm{
+		size: size, seed: seed,
+		Inertia: 0.72, Cognitive: 1.49, Social: 1.49,
+		StagnationLimit: 8,
+	}
+}
+
+// Name returns "pso".
+func (p *ParticleSwarm) Name() string { return "pso" }
+
+// Supports accepts only metric spaces.
+func (p *ParticleSwarm) Supports(space *param.Space) bool {
+	return space != nil && space.MetricOnly()
+}
+
+// Start scatters the swarm uniformly, placing particle 0 on the initial
+// configuration.
+func (p *ParticleSwarm) Start(space *param.Space, init param.Config) error {
+	c, err := prepStart(space, init)
+	if err != nil {
+		return err
+	}
+	if !p.Supports(space) {
+		return errUnsupported(p, space)
+	}
+	p.reset()
+	p.space = space
+	p.rng = newRand(p.seed)
+	d := space.Dim()
+	p.pos = make([]param.Config, p.size)
+	p.vel = make([]param.Config, p.size)
+	p.pBest = make([]param.Config, p.size)
+	p.pBestVal = make([]float64, p.size)
+	for i := range p.pos {
+		if i == 0 {
+			p.pos[i] = c.Clone()
+		} else {
+			p.pos[i] = space.Random(p.rng)
+		}
+		p.vel[i] = make(param.Config, d)
+		for j := 0; j < d; j++ {
+			pr := space.Param(j)
+			span := pr.Hi() - pr.Lo()
+			p.vel[i][j] = (p.rng.Float64()*2 - 1) * span * 0.1
+		}
+		p.pBestVal[i] = math.Inf(1)
+	}
+	p.gBest = nil
+	p.gBestVal = math.Inf(1)
+	p.sweepBest = math.Inf(1)
+	p.idx = 0
+	p.stagnation = 0
+	return nil
+}
+
+// Propose returns the position of the particle currently awaiting
+// evaluation.
+func (p *ParticleSwarm) Propose() param.Config {
+	p.mustStarted("ParticleSwarm.Propose")
+	if p.space.Dim() == 0 {
+		return param.Config{}
+	}
+	return p.pos[p.idx].Clone()
+}
+
+// Report records a particle's value; when the sweep completes, all
+// velocities and positions update.
+func (p *ParticleSwarm) Report(c param.Config, v float64) {
+	p.mustStarted("ParticleSwarm.Report")
+	p.record(c, v)
+	if p.space.Dim() == 0 {
+		return
+	}
+	i := p.idx
+	if v < p.pBestVal[i] {
+		p.pBestVal[i] = v
+		p.pBest[i] = c.Clone()
+	}
+	if v < p.gBestVal {
+		p.gBestVal = v
+		p.gBest = c.Clone()
+	}
+	p.idx++
+	if p.idx >= p.size {
+		p.advance()
+		p.idx = 0
+	}
+}
+
+func (p *ParticleSwarm) advance() {
+	d := p.space.Dim()
+	for i := 0; i < p.size; i++ {
+		for j := 0; j < d; j++ {
+			r1, r2 := p.rng.Float64(), p.rng.Float64()
+			cog := p.Cognitive * r1 * (p.pBest[i][j] - p.pos[i][j])
+			soc := p.Social * r2 * (p.gBest[j] - p.pos[i][j])
+			p.vel[i][j] = p.Inertia*p.vel[i][j] + cog + soc
+			p.pos[i][j] += p.vel[i][j]
+		}
+		p.pos[i] = p.space.Clamp(p.pos[i])
+	}
+	if p.gBestVal >= p.sweepBest {
+		p.stagnation++
+	} else {
+		p.stagnation = 0
+	}
+	p.sweepBest = p.gBestVal
+}
+
+// Converged reports whether the swarm has stagnated for StagnationLimit
+// consecutive sweeps.
+func (p *ParticleSwarm) Converged() bool {
+	return p.hasSpace && p.stagnation >= p.StagnationLimit
+}
+
+// Genetic is a generational genetic algorithm with tournament selection,
+// single-point crossover, and per-gene mutation. As the paper notes,
+// genetic algorithms are the one classical method that can manipulate
+// nominal parameters, because mutation and crossover need no order or
+// distance — so Supports accepts every space. The paper equally notes
+// that on a space consisting of one nominal parameter the method decays
+// into random search.
+type Genetic struct {
+	recorder
+	space *param.Space
+	rng   *rand.Rand
+	seed  int64
+	size  int
+
+	pop    []param.Config
+	vals   []float64
+	idx    int
+	gen    int
+	stale  int
+	prevTV float64
+
+	// MutationRate is the per-gene mutation probability; CrossoverRate the
+	// probability of crossover (vs. cloning); Elite the number of top
+	// individuals copied unchanged; StagnationLimit the number of
+	// generations without improvement considered converged.
+	MutationRate    float64
+	CrossoverRate   float64
+	Elite           int
+	StagnationLimit int
+}
+
+// NewGenetic creates a genetic algorithm with the given population size
+// (minimum 4).
+func NewGenetic(size int, seed int64) *Genetic {
+	if size < 4 {
+		size = 4
+	}
+	return &Genetic{
+		size: size, seed: seed,
+		MutationRate: 0.15, CrossoverRate: 0.9, Elite: 1, StagnationLimit: 10,
+		prevTV: math.Inf(1),
+	}
+}
+
+// Name returns "genetic".
+func (g *Genetic) Name() string { return "genetic" }
+
+// Supports accepts every space: mutation and crossover are defined on all
+// parameter classes.
+func (g *Genetic) Supports(space *param.Space) bool { return space != nil }
+
+// Start seeds the population with the initial configuration plus uniform
+// random individuals.
+func (g *Genetic) Start(space *param.Space, init param.Config) error {
+	c, err := prepStart(space, init)
+	if err != nil {
+		return err
+	}
+	g.reset()
+	g.space = space
+	g.rng = newRand(g.seed)
+	g.pop = make([]param.Config, g.size)
+	g.vals = make([]float64, g.size)
+	for i := range g.pop {
+		if i == 0 {
+			g.pop[i] = c.Clone()
+		} else {
+			g.pop[i] = space.Random(g.rng)
+		}
+		g.vals[i] = math.NaN()
+	}
+	g.idx = 0
+	g.gen = 0
+	g.stale = 0
+	g.prevTV = math.Inf(1)
+	return nil
+}
+
+// Propose returns the next unevaluated individual.
+func (g *Genetic) Propose() param.Config {
+	g.mustStarted("Genetic.Propose")
+	if g.space.Dim() == 0 {
+		return param.Config{}
+	}
+	return g.pop[g.idx].Clone()
+}
+
+// Report records an individual's fitness; when the generation is fully
+// evaluated, selection, crossover and mutation build the next one.
+func (g *Genetic) Report(c param.Config, v float64) {
+	g.mustStarted("Genetic.Report")
+	g.record(c, v)
+	if g.space.Dim() == 0 {
+		return
+	}
+	g.vals[g.idx] = v
+	g.idx++
+	if g.idx >= g.size {
+		g.evolve()
+		g.idx = 0
+		g.gen++
+	}
+}
+
+func (g *Genetic) evolve() {
+	d := g.space.Dim()
+	// Track stagnation on the generation's best value.
+	genBest := math.Inf(1)
+	for _, v := range g.vals {
+		genBest = math.Min(genBest, v)
+	}
+	if genBest < g.prevTV {
+		g.prevTV = genBest
+		g.stale = 0
+	} else {
+		g.stale++
+	}
+
+	order := make([]int, g.size)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.vals[order[a]] < g.vals[order[b]] })
+
+	next := make([]param.Config, 0, g.size)
+	for e := 0; e < g.Elite && e < g.size; e++ {
+		next = append(next, g.pop[order[e]].Clone())
+	}
+	for len(next) < g.size {
+		a := g.tournament()
+		child := a.Clone()
+		if g.rng.Float64() < g.CrossoverRate && d > 1 {
+			b := g.tournament()
+			// Single-point crossover at a random interior point.
+			cut := 1 + g.rng.Intn(d-1)
+			for j := cut; j < d; j++ {
+				child[j] = b[j]
+			}
+		}
+		for j := 0; j < d; j++ {
+			if g.rng.Float64() < g.MutationRate {
+				p := g.space.Param(j)
+				child[j] = p.Clamp(p.Lo() + g.rng.Float64()*(p.Hi()-p.Lo()))
+			}
+		}
+		next = append(next, g.space.Clamp(child))
+	}
+	g.pop = next
+	for i := range g.vals {
+		g.vals[i] = math.NaN()
+	}
+}
+
+// tournament returns the better of two random individuals.
+func (g *Genetic) tournament() param.Config {
+	a, b := g.rng.Intn(g.size), g.rng.Intn(g.size)
+	if g.vals[a] <= g.vals[b] {
+		return g.pop[a]
+	}
+	return g.pop[b]
+}
+
+// Converged reports whether StagnationLimit generations passed without
+// improvement.
+func (g *Genetic) Converged() bool { return g.hasSpace && g.stale >= g.StagnationLimit }
+
+// DiffEvo is differential evolution (Storn & Price 1997), scheme
+// DE/rand/1/bin: each agent is challenged by a trial vector built from the
+// scaled difference of two random agents added to a third. The difference
+// arithmetic requires a metric, so nominal spaces are rejected.
+type DiffEvo struct {
+	recorder
+	space *param.Space
+	rng   *rand.Rand
+	seed  int64
+	size  int
+
+	pop          []param.Config
+	vals         []float64
+	trial        param.Config
+	idx          int
+	seeded       int // agents evaluated during initialization
+	stale        int
+	best         float64
+	passImproved bool
+
+	// F is the differential weight; CR the crossover probability;
+	// StagnationLimit the number of full passes without improvement
+	// considered converged.
+	F               float64
+	CR              float64
+	StagnationLimit int
+}
+
+// NewDiffEvo creates a differential-evolution strategy with the given
+// population size (minimum 4) and standard parameters F=0.8, CR=0.9.
+func NewDiffEvo(size int, seed int64) *DiffEvo {
+	if size < 4 {
+		size = 4
+	}
+	return &DiffEvo{size: size, seed: seed, F: 0.8, CR: 0.9, StagnationLimit: 10, best: math.Inf(1)}
+}
+
+// Name returns "diffevo".
+func (d *DiffEvo) Name() string { return "diffevo" }
+
+// Supports accepts only metric spaces.
+func (d *DiffEvo) Supports(space *param.Space) bool {
+	return space != nil && space.MetricOnly()
+}
+
+// Start scatters the population, placing agent 0 on the initial
+// configuration.
+func (d *DiffEvo) Start(space *param.Space, init param.Config) error {
+	c, err := prepStart(space, init)
+	if err != nil {
+		return err
+	}
+	if !d.Supports(space) {
+		return errUnsupported(d, space)
+	}
+	d.reset()
+	d.space = space
+	d.rng = newRand(d.seed)
+	d.pop = make([]param.Config, d.size)
+	d.vals = make([]float64, d.size)
+	for i := range d.pop {
+		if i == 0 {
+			d.pop[i] = c.Clone()
+		} else {
+			d.pop[i] = space.Random(d.rng)
+		}
+		d.vals[i] = math.NaN()
+	}
+	d.idx = 0
+	d.seeded = 0
+	d.stale = 0
+	d.best = math.Inf(1)
+	d.trial = nil
+	return nil
+}
+
+// Propose returns an unevaluated agent during initialization, afterwards
+// the trial vector challenging the current agent.
+func (d *DiffEvo) Propose() param.Config {
+	d.mustStarted("DiffEvo.Propose")
+	if d.space.Dim() == 0 {
+		return param.Config{}
+	}
+	if d.seeded < d.size {
+		return d.pop[d.seeded].Clone()
+	}
+	d.trial = d.makeTrial(d.idx)
+	return d.trial.Clone()
+}
+
+// Report records agent values during initialization; afterwards the trial
+// vector replaces the challenged agent when it is at least as good.
+func (d *DiffEvo) Report(c param.Config, v float64) {
+	d.mustStarted("DiffEvo.Report")
+	d.record(c, v)
+	if d.space.Dim() == 0 {
+		return
+	}
+	if d.seeded < d.size {
+		d.vals[d.seeded] = v
+		d.seeded++
+		return
+	}
+	if v < d.best {
+		d.best = v
+		d.passImproved = true
+	}
+	if v <= d.vals[d.idx] {
+		d.pop[d.idx] = c.Clone()
+		d.vals[d.idx] = v
+	}
+	d.idx++
+	if d.idx >= d.size {
+		d.idx = 0
+		if d.passImproved {
+			d.stale = 0
+		} else {
+			d.stale++
+		}
+		d.passImproved = false
+	}
+}
+
+func (d *DiffEvo) makeTrial(target int) param.Config {
+	dim := d.space.Dim()
+	// Three distinct agents, all different from the target.
+	pick := func(exclude map[int]bool) int {
+		for {
+			i := d.rng.Intn(d.size)
+			if !exclude[i] {
+				return i
+			}
+		}
+	}
+	ex := map[int]bool{target: true}
+	a := pick(ex)
+	ex[a] = true
+	b := pick(ex)
+	ex[b] = true
+	c := pick(ex)
+
+	trial := d.pop[target].Clone()
+	jrand := d.rng.Intn(dim)
+	for j := 0; j < dim; j++ {
+		if d.rng.Float64() < d.CR || j == jrand {
+			trial[j] = d.pop[a][j] + d.F*(d.pop[b][j]-d.pop[c][j])
+		}
+	}
+	return d.space.Clamp(trial)
+}
+
+// Converged reports whether StagnationLimit passes completed without a new
+// global best.
+func (d *DiffEvo) Converged() bool { return d.hasSpace && d.stale >= d.StagnationLimit }

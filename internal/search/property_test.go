@@ -1,0 +1,125 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/param"
+)
+
+// randomMetricSpace builds a random 1–4 dimensional metric space.
+func randomMetricSpace(r *rand.Rand) *param.Space {
+	dims := 1 + r.Intn(4)
+	ps := make([]param.Parameter, dims)
+	for i := range ps {
+		name := string(rune('a' + i))
+		lo := r.Float64()*20 - 10
+		hi := lo + 0.5 + r.Float64()*20
+		if r.Intn(2) == 0 {
+			ps[i] = param.NewInterval(name, lo, hi)
+		} else {
+			ilo := r.Intn(10)
+			ps[i] = param.NewRatioInt(name, ilo, ilo+1+r.Intn(30))
+		}
+	}
+	return param.NewSpace(ps...)
+}
+
+// Property: on any random metric space, every metric strategy proposes
+// only valid configurations and its Best never exceeds the minimum
+// reported value.
+func TestStrategiesProposeValidConfigsProperty(t *testing.T) {
+	mks := []func(seed int64) Strategy{
+		func(int64) Strategy { return NewNelderMead() },
+		func(s int64) Strategy { return NewParticleSwarm(6, s) },
+		func(s int64) Strategy { return NewDiffEvo(6, s) },
+		func(s int64) Strategy { return NewGenetic(6, s) },
+		func(s int64) Strategy { return NewRandom(s) },
+		func(s int64) Strategy { return NewRestarting(func() Strategy { return NewNelderMead() }, s) },
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		space := randomMetricSpace(r)
+		obj := func(c param.Config) float64 {
+			sum := 0.0
+			for i, x := range c {
+				d := x - space.Param(i).Lo()
+				sum += d * d
+			}
+			return sum
+		}
+		s := mks[r.Intn(len(mks))](seed)
+		if err := s.Start(space, space.Random(r)); err != nil {
+			return false
+		}
+		minReported := math.Inf(1)
+		for i := 0; i < 60; i++ {
+			c := s.Propose()
+			if !space.Valid(c) {
+				t.Logf("seed %d: %s proposed invalid %v", seed, s.Name(), c)
+				return false
+			}
+			v := obj(c)
+			if v < minReported {
+				minReported = v
+			}
+			s.Report(c, v)
+			_, best := s.Best()
+			if best > minReported+1e-12 {
+				t.Logf("seed %d: %s Best %g exceeds min reported %g", seed, s.Name(), best, minReported)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hill climbing and annealing on random fully-discrete ordered
+// spaces always terminate at a point no worse than the start and propose
+// only valid configurations.
+func TestDiscreteStrategiesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := 1 + r.Intn(3)
+		ps := make([]param.Parameter, dims)
+		for i := range ps {
+			ps[i] = param.NewRatioInt(string(rune('a'+i)), 0, 3+r.Intn(8))
+		}
+		space := param.NewSpace(ps...)
+		target := space.Random(r)
+		obj := func(c param.Config) float64 {
+			sum := 0.0
+			for i := range c {
+				d := c[i] - target[i]
+				sum += d * d
+			}
+			return sum
+		}
+		for _, s := range []Strategy{NewHillClimb(), NewAnneal(seed)} {
+			start := space.Random(r)
+			if err := s.Start(space, start); err != nil {
+				return false
+			}
+			startVal := obj(start)
+			for i := 0; i < 150; i++ {
+				c := s.Propose()
+				if !space.Valid(c) {
+					return false
+				}
+				s.Report(c, obj(c))
+			}
+			if _, best := s.Best(); best > startVal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

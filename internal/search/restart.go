@@ -1,0 +1,119 @@
+package search
+
+import (
+	"math/rand"
+
+	"repro/internal/param"
+)
+
+// Restarting wraps another strategy and restarts it whenever it
+// converges, alternating between restarting from a jittered copy of the
+// global best (local refinement) and from a uniformly random point
+// (global exploration).
+//
+// Online tuning runs indefinitely — "we repeat this process indefinitely
+// or until a user-defined termination criterion is met" (§III) — but the
+// classical strategies it wraps do converge and would then propose the
+// same point forever, blind to context drift (changing inputs, machine
+// load). Restarting turns any of them into an anytime strategy: the
+// incumbent is never lost (Best tracks the global best across restarts),
+// and every convergence buys a fresh probe of the space.
+type Restarting struct {
+	recorder
+	factory Factory
+	inner   Strategy
+	space   *param.Space
+	rng     *rand.Rand
+	seed    int64
+
+	restarts int
+	fromBest bool // next restart style
+	// JitterFrac scales the jitter applied to the best point when
+	// restarting locally, as a fraction of each dimension's range.
+	JitterFrac float64
+}
+
+// NewRestarting wraps the factory's strategy. The wrapper builds a fresh
+// inner strategy at Start and after every inner convergence.
+func NewRestarting(factory Factory, seed int64) *Restarting {
+	if factory == nil {
+		panic("search: NewRestarting with nil factory")
+	}
+	return &Restarting{factory: factory, seed: seed, JitterFrac: 0.05}
+}
+
+// Name returns "restarting(<inner>)".
+func (r *Restarting) Name() string {
+	inner := r.inner
+	if inner == nil {
+		inner = r.factory()
+	}
+	return "restarting(" + inner.Name() + ")"
+}
+
+// Supports defers to the wrapped strategy.
+func (r *Restarting) Supports(space *param.Space) bool {
+	return r.factory().Supports(space)
+}
+
+// Start initializes the first inner strategy.
+func (r *Restarting) Start(space *param.Space, init param.Config) error {
+	inner := r.factory()
+	if err := inner.Start(space, init); err != nil {
+		return err
+	}
+	r.reset()
+	r.inner = inner
+	r.space = space
+	r.rng = newRand(r.seed)
+	r.restarts = 0
+	r.fromBest = true
+	return nil
+}
+
+// Propose restarts the inner strategy if it has converged, then forwards.
+func (r *Restarting) Propose() param.Config {
+	r.mustStarted("Restarting.Propose")
+	if r.inner.Converged() && r.space.Dim() > 0 {
+		r.restart()
+	}
+	return r.inner.Propose()
+}
+
+func (r *Restarting) restart() {
+	var init param.Config
+	best, _ := r.Best()
+	if r.fromBest && best != nil {
+		init = best.Clone()
+		for i := 0; i < r.space.Dim(); i++ {
+			p := r.space.Param(i)
+			span := p.Hi() - p.Lo()
+			init[i] += (r.rng.Float64()*2 - 1) * span * r.JitterFrac
+		}
+		init = r.space.Clamp(init)
+	} else {
+		init = r.space.Random(r.rng)
+	}
+	inner := r.factory()
+	if err := inner.Start(r.space, init); err != nil {
+		// The space was accepted at Start, so a failure here is a
+		// programming error in the wrapped strategy.
+		panic("search: restart failed: " + err.Error())
+	}
+	r.inner = inner
+	r.restarts++
+	r.fromBest = !r.fromBest
+}
+
+// Report forwards the measurement and tracks the global best.
+func (r *Restarting) Report(c param.Config, v float64) {
+	r.mustStarted("Restarting.Report")
+	r.record(c, v)
+	r.inner.Report(c, v)
+}
+
+// Converged is always false: the wrapper is an anytime strategy.
+func (r *Restarting) Converged() bool { return false }
+
+// Restarts returns how many times the inner strategy has been restarted.
+func (r *Restarting) Restarts() int { return r.restarts }

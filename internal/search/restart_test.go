@@ -1,0 +1,120 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/param"
+)
+
+func TestRestartingNeverConverges(t *testing.T) {
+	r := NewRestarting(func() Strategy { return NewNelderMead() }, 1)
+	space := quadSpace()
+	if err := r.Start(space, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		c := r.Propose()
+		r.Report(c, quad(c))
+		if r.Converged() {
+			t.Fatal("restarting wrapper claimed convergence")
+		}
+	}
+	if r.Restarts() == 0 {
+		t.Error("inner Nelder-Mead never converged/restarted in 500 iterations")
+	}
+	_, val := r.Best()
+	if val > 1.05 {
+		t.Errorf("best value %g, want ≤ 1.05", val)
+	}
+}
+
+func TestRestartingKeepsGlobalBestAcrossRestarts(t *testing.T) {
+	r := NewRestarting(func() Strategy { return NewNelderMead() }, 3)
+	space := quadSpace()
+	if err := r.Start(space, param.Config{-8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	bestSeen := func() float64 { _, v := r.Best(); return v }
+	prev := bestSeen()
+	for i := 0; i < 600; i++ {
+		c := r.Propose()
+		r.Report(c, quad(c))
+		if v := bestSeen(); v > prev+1e-12 {
+			t.Fatalf("global best regressed at iteration %d: %g → %g", i, prev, v)
+		} else {
+			prev = v
+		}
+	}
+	if r.Restarts() < 2 {
+		t.Errorf("expected several restarts, got %d", r.Restarts())
+	}
+}
+
+func TestRestartingEscapesLocalMinimum(t *testing.T) {
+	// Two basins: a shallow local minimum (value 5 near x=-7) and the
+	// global one (value 1 near x=7). Hill climbing from the left basin
+	// converges locally; the restarting wrapper's random restarts must
+	// eventually find the right basin.
+	space := param.NewSpace(param.NewRatioInt("x", 0, 140))
+	obj := func(c param.Config) float64 {
+		x := c[0]/10 - 7 // map onto [-7, 7]
+		a := 5 + (x+7)*(x+7)
+		b := 1 + (x-7)*(x-7)
+		if a < b {
+			return a
+		}
+		return b
+	}
+	r := NewRestarting(func() Strategy { return NewHillClimb() }, 5)
+	if err := r.Start(space, param.Config{0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		c := r.Propose()
+		r.Report(c, obj(c))
+	}
+	_, val := r.Best()
+	if val > 1 {
+		t.Errorf("stuck at local minimum: best %g, want 1", val)
+	}
+}
+
+func TestRestartingName(t *testing.T) {
+	r := NewRestarting(func() Strategy { return NewNelderMead() }, 1)
+	if got := r.Name(); got != "restarting(nelder-mead)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestRestartingSupportsDefers(t *testing.T) {
+	r := NewRestarting(func() Strategy { return NewNelderMead() }, 1)
+	if r.Supports(nominalSpace()) {
+		t.Error("restarting(nelder-mead) should not support nominal spaces")
+	}
+	if !r.Supports(quadSpace()) {
+		t.Error("restarting(nelder-mead) should support metric spaces")
+	}
+}
+
+func TestRestartingNilFactoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil factory did not panic")
+		}
+	}()
+	NewRestarting(nil, 1)
+}
+
+func TestRestartingEmptySpace(t *testing.T) {
+	r := NewRestarting(func() Strategy { return NewFixed() }, 1)
+	if err := r.Start(param.NewSpace(), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c := r.Propose()
+		r.Report(c, 3)
+	}
+	if r.Restarts() != 0 {
+		t.Errorf("empty space should never restart, got %d", r.Restarts())
+	}
+}

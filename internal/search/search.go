@@ -1,0 +1,164 @@
+// Package search implements the classical numeric ("phase one") search
+// strategies reviewed in Section II of Pfaffe et al.: hill climbing,
+// downhill simplex (Nelder-Mead), particle swarm, genetic algorithms,
+// differential evolution, simulated annealing, and exhaustive and random
+// search.
+//
+// All strategies share an ask/tell interface tailored to online autotuning:
+// the application owns the tuning loop, repeatedly asking the strategy for
+// the next configuration to try (Propose) and telling it the measured value
+// (Report). The strategies minimize the reported value, which in the paper
+// is a time measurement.
+//
+// Strategies that rely on a notion of distance, direction, or neighbourhood
+// refuse to start on search spaces containing nominal parameters; their
+// Supports method encodes the paper's Section II-B analysis of which
+// methods can manipulate which parameter classes.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/param"
+)
+
+// A Strategy is an ask/tell minimizer over a parameter space.
+//
+// The calling contract is a strict alternation: after Start, each call to
+// Propose must be followed by exactly one Report carrying the proposed
+// configuration and its measured value before the next Propose. Configs
+// returned by Propose are always valid points of the space.
+type Strategy interface {
+	// Name identifies the strategy (e.g. "nelder-mead").
+	Name() string
+	// Supports reports whether the strategy can search the given space.
+	Supports(space *param.Space) bool
+	// Start initializes the strategy on a space with an initial
+	// configuration (clamped if necessary). It returns an error when the
+	// space is unsupported.
+	Start(space *param.Space, init param.Config) error
+	// Propose returns the next configuration to evaluate.
+	Propose() param.Config
+	// Report supplies the measured value for a proposed configuration.
+	// Lower is better.
+	Report(c param.Config, value float64)
+	// Converged reports whether the strategy considers the search finished.
+	// Online tuners may keep calling Propose regardless; strategies then
+	// keep proposing their best known configuration.
+	Converged() bool
+	// Best returns the best configuration observed so far and its value.
+	// Before any Report it returns (nil, +Inf).
+	Best() (param.Config, float64)
+	// Evaluations returns the number of Report calls since Start.
+	Evaluations() int
+}
+
+// recorder tracks the incumbent and evaluation count; strategies embed it.
+type recorder struct {
+	bestCfg  param.Config
+	bestVal  float64
+	evals    int
+	hasSpace bool
+}
+
+func (r *recorder) reset() {
+	r.bestCfg = nil
+	r.bestVal = math.Inf(1)
+	r.evals = 0
+	r.hasSpace = true
+}
+
+func (r *recorder) record(c param.Config, v float64) {
+	r.evals++
+	if v < r.bestVal {
+		r.bestVal = v
+		r.bestCfg = c.Clone()
+	}
+}
+
+// Best returns the incumbent configuration and value.
+func (r *recorder) Best() (param.Config, float64) {
+	if r.bestCfg == nil {
+		return nil, math.Inf(1)
+	}
+	return r.bestCfg.Clone(), r.bestVal
+}
+
+// Evaluations returns the number of reported measurements.
+func (r *recorder) Evaluations() int { return r.evals }
+
+func (r *recorder) mustStarted(name string) {
+	if !r.hasSpace {
+		panic(fmt.Sprintf("search: %s used before Start", name))
+	}
+}
+
+// prepStart validates and clamps the initial configuration.
+func prepStart(space *param.Space, init param.Config) (param.Config, error) {
+	if space == nil {
+		return nil, fmt.Errorf("search: nil space")
+	}
+	if init == nil {
+		init = space.Center()
+	}
+	if len(init) != space.Dim() {
+		return nil, fmt.Errorf("search: init config has %d values for a %d-dimensional space", len(init), space.Dim())
+	}
+	return space.Clamp(init), nil
+}
+
+// Factory constructs a fresh, unstarted strategy instance. The two-phase
+// tuner uses factories to give every algorithm an independent optimizer.
+type Factory func() Strategy
+
+// NewByName returns a factory for the named strategy with its default
+// settings, or an error for unknown names. Recognized names: fixed, random,
+// exhaustive, hillclimb, nelder-mead, hooke-jeeves, anneal, pso, genetic,
+// diffevo.
+func NewByName(name string, seed int64) (Factory, error) {
+	switch name {
+	case "fixed":
+		return func() Strategy { return NewFixed() }, nil
+	case "random":
+		return func() Strategy { return NewRandom(seed) }, nil
+	case "exhaustive":
+		return func() Strategy { return NewExhaustive() }, nil
+	case "hillclimb":
+		return func() Strategy { return NewHillClimb() }, nil
+	case "nelder-mead":
+		return func() Strategy { return NewNelderMead() }, nil
+	case "hooke-jeeves":
+		return func() Strategy { return NewHookeJeeves() }, nil
+	case "anneal":
+		return func() Strategy { return NewAnneal(seed) }, nil
+	case "pso":
+		return func() Strategy { return NewParticleSwarm(DefaultSwarmSize, seed) }, nil
+	case "genetic":
+		return func() Strategy { return NewGenetic(DefaultPopulation, seed) }, nil
+	case "diffevo":
+		return func() Strategy { return NewDiffEvo(DefaultPopulation, seed) }, nil
+	default:
+		return nil, fmt.Errorf("search: unknown strategy %q", name)
+	}
+}
+
+// NewByNameMust is NewByName with seed 0, panicking on unknown names; it
+// exists for call sites whose name is a compile-time constant.
+func NewByNameMust(name string) Factory {
+	f, err := NewByName(name, 0)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Names lists the strategy names understood by NewByName.
+func Names() []string {
+	return []string{"fixed", "random", "exhaustive", "hillclimb", "nelder-mead", "hooke-jeeves", "anneal", "pso", "genetic", "diffevo"}
+}
+
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,206 @@
+package search
+
+import (
+	"math/rand"
+
+	"repro/internal/param"
+)
+
+// Fixed is the degenerate strategy that always proposes its initial
+// configuration. It exists for algorithms that expose no tunable
+// parameters (the string matching case study) and as a baseline.
+type Fixed struct {
+	recorder
+	cfg param.Config
+}
+
+// NewFixed creates an unstarted Fixed strategy.
+func NewFixed() *Fixed { return &Fixed{} }
+
+// Name returns "fixed".
+func (f *Fixed) Name() string { return "fixed" }
+
+// Supports accepts every space, including the empty one.
+func (f *Fixed) Supports(*param.Space) bool { return true }
+
+// Start pins the strategy to the clamped initial configuration.
+func (f *Fixed) Start(space *param.Space, init param.Config) error {
+	c, err := prepStart(space, init)
+	if err != nil {
+		return err
+	}
+	f.reset()
+	f.cfg = c
+	return nil
+}
+
+// Propose returns the fixed configuration.
+func (f *Fixed) Propose() param.Config {
+	f.mustStarted("Fixed.Propose")
+	return f.cfg.Clone()
+}
+
+// Report records the measurement.
+func (f *Fixed) Report(c param.Config, v float64) {
+	f.mustStarted("Fixed.Report")
+	f.record(c, v)
+}
+
+// Converged is true once a single measurement exists; there is nothing to
+// search.
+func (f *Fixed) Converged() bool { return f.evals > 0 }
+
+// Random is uniform random search: every proposal is an independent
+// uniformly distributed point. The paper notes it is rarely used in
+// practice but it remains the honest baseline.
+type Random struct {
+	recorder
+	space *param.Space
+	rng   *rand.Rand
+	seed  int64
+}
+
+// NewRandom creates a random-search strategy with a deterministic seed.
+func NewRandom(seed int64) *Random { return &Random{seed: seed} }
+
+// Name returns "random".
+func (r *Random) Name() string { return "random" }
+
+// Supports accepts every space: sampling needs no order or distance.
+func (r *Random) Supports(*param.Space) bool { return true }
+
+// Start binds the space and resets the random stream.
+func (r *Random) Start(space *param.Space, init param.Config) error {
+	if _, err := prepStart(space, init); err != nil {
+		return err
+	}
+	r.reset()
+	r.space = space
+	r.rng = newRand(r.seed)
+	return nil
+}
+
+// Propose returns a uniformly random configuration.
+func (r *Random) Propose() param.Config {
+	r.mustStarted("Random.Propose")
+	return r.space.Random(r.rng)
+}
+
+// Report records the measurement.
+func (r *Random) Report(c param.Config, v float64) {
+	r.mustStarted("Random.Report")
+	r.record(c, v)
+}
+
+// Converged is always false: random search never finishes on its own.
+func (r *Random) Converged() bool { return false }
+
+// Exhaustive systematically tries every configuration of a fully discrete
+// space, then repeats its best. The paper observes this is optimal when the
+// space is entirely nominal (one sample carries no information about other
+// configurations) but inadequate for online tuning of mixed spaces because
+// it is guaranteed to also select the worst configuration.
+type Exhaustive struct {
+	recorder
+	space   *param.Space
+	configs []param.Config
+	next    int
+}
+
+// NewExhaustive creates an unstarted exhaustive-search strategy.
+func NewExhaustive() *Exhaustive { return &Exhaustive{} }
+
+// Name returns "exhaustive".
+func (e *Exhaustive) Name() string { return "exhaustive" }
+
+// Supports accepts any fully discrete space.
+func (e *Exhaustive) Supports(space *param.Space) bool {
+	return space != nil && (space.Dim() == 0 || space.Cardinality() > 0)
+}
+
+// Start enumerates the space up front. The sweep starts at the initial
+// configuration's position so the caller-provided prior is evaluated first.
+func (e *Exhaustive) Start(space *param.Space, init param.Config) error {
+	c, err := prepStart(space, init)
+	if err != nil {
+		return err
+	}
+	if !e.Supports(space) {
+		return errUnsupported(e, space)
+	}
+	e.reset()
+	e.space = space
+	e.configs = e.configs[:0]
+	if err := space.Enumerate(func(cfg param.Config) bool {
+		e.configs = append(e.configs, cfg.Clone())
+		return true
+	}); err != nil {
+		return err
+	}
+	e.next = 0
+	for i, cfg := range e.configs {
+		if cfg.Equal(c) {
+			e.next = i
+			break
+		}
+	}
+	// Rotate so the sweep begins at the initial configuration.
+	if e.next > 0 {
+		rot := make([]param.Config, 0, len(e.configs))
+		rot = append(rot, e.configs[e.next:]...)
+		rot = append(rot, e.configs[:e.next]...)
+		e.configs = rot
+		e.next = 0
+	}
+	return nil
+}
+
+// Propose returns the next unvisited configuration, or the incumbent once
+// the sweep is complete.
+func (e *Exhaustive) Propose() param.Config {
+	e.mustStarted("Exhaustive.Propose")
+	if e.next < len(e.configs) {
+		return e.configs[e.next].Clone()
+	}
+	if best, _ := e.Best(); best != nil {
+		return best
+	}
+	return e.space.Center()
+}
+
+// Report records the measurement and advances the sweep.
+func (e *Exhaustive) Report(c param.Config, v float64) {
+	e.mustStarted("Exhaustive.Report")
+	e.record(c, v)
+	if e.next < len(e.configs) && c.Equal(e.configs[e.next]) {
+		e.next++
+	}
+}
+
+// Converged is true once every configuration has been visited.
+func (e *Exhaustive) Converged() bool { return e.hasSpace && e.next >= len(e.configs) }
+
+// Remaining returns the number of configurations not yet visited.
+func (e *Exhaustive) Remaining() int { return len(e.configs) - e.next }
+
+func errUnsupported(s Strategy, space *param.Space) error {
+	reason := "space"
+	if space != nil && space.HasNominal() {
+		reason = "space with nominal parameters (no order, distance, or neighbourhood)"
+	} else if space != nil && space.Cardinality() == 0 {
+		reason = "space with continuous dimensions"
+	}
+	return &UnsupportedSpaceError{Strategy: s.Name(), Reason: reason}
+}
+
+// UnsupportedSpaceError reports that a strategy cannot search a space,
+// typically because the space contains nominal parameters — the central
+// inadequacy of the classical toolbox that the paper addresses.
+type UnsupportedSpaceError struct {
+	Strategy string
+	Reason   string
+}
+
+func (e *UnsupportedSpaceError) Error() string {
+	return "search: " + e.Strategy + " cannot search " + e.Reason
+}

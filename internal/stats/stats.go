@@ -1,0 +1,260 @@
+// Package stats provides the descriptive statistics the paper's evaluation
+// relies on: means, medians, quantiles, standard deviations, five-number
+// boxplot summaries (Figures 1, 4, 8), and per-iteration aggregation of
+// repeated experiment runs (Figures 2, 3, 5, 6, 7).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the minimum, or NaN for an empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum, or NaN for an empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator), or NaN
+// for fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation, or NaN for fewer than two
+// samples.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics (type-7, the R default). It
+// returns NaN for an empty input; the input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile, or NaN for an empty input.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// BoxPlot is a Tukey five-number summary with 1.5·IQR whiskers, the
+// rendering unit of the paper's Figures 1, 4, and 8.
+type BoxPlot struct {
+	// Min and Max are the extreme observations.
+	Min, Max float64
+	// Q1, Median, Q3 are the quartiles.
+	Q1, Median, Q3 float64
+	// LowWhisker and HighWhisker are the most extreme observations within
+	// 1.5·IQR of the box.
+	LowWhisker, HighWhisker float64
+	// Outliers are observations beyond the whiskers.
+	Outliers []float64
+	// N is the sample size.
+	N int
+}
+
+// NewBoxPlot summarizes the samples. It returns a zero-valued summary with
+// N == 0 for an empty input; the input is not modified.
+func NewBoxPlot(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		return BoxPlot{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	b := BoxPlot{
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		N:      len(s),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence, hiFence := b.Q1-1.5*iqr, b.Q3+1.5*iqr
+	b.LowWhisker, b.HighWhisker = b.Max, b.Min
+	for _, x := range s {
+		if x >= loFence && x < b.LowWhisker {
+			b.LowWhisker = x
+		}
+		if x <= hiFence && x > b.HighWhisker {
+			b.HighWhisker = x
+		}
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+		}
+	}
+	return b
+}
+
+// Series is a collection of repeated runs of the same experiment: one
+// []float64 per repetition, each indexed by tuning iteration. Runs may
+// have different lengths; aggregation at iteration i uses every run that
+// reached i.
+type Series struct {
+	runs [][]float64
+}
+
+// NewSeries creates an empty series collection.
+func NewSeries() *Series { return &Series{} }
+
+// Add appends one repetition's per-iteration values. The slice is copied.
+func (s *Series) Add(run []float64) {
+	r := make([]float64, len(run))
+	copy(r, run)
+	s.runs = append(s.runs, r)
+}
+
+// Runs returns the number of repetitions added.
+func (s *Series) Runs() int { return len(s.runs) }
+
+// MaxLen returns the longest repetition length.
+func (s *Series) MaxLen() int {
+	m := 0
+	for _, r := range s.runs {
+		if len(r) > m {
+			m = len(r)
+		}
+	}
+	return m
+}
+
+// At returns the values of all runs at iteration i (runs shorter than i+1
+// are skipped).
+func (s *Series) At(i int) []float64 {
+	var xs []float64
+	for _, r := range s.runs {
+		if i < len(r) {
+			xs = append(xs, r[i])
+		}
+	}
+	return xs
+}
+
+// Aggregate maps every iteration through f (e.g. Median or Mean),
+// producing the per-iteration curve of the paper's convergence figures.
+// Iterations beyond limit are dropped when limit > 0.
+func (s *Series) Aggregate(f func([]float64) float64, limit int) []float64 {
+	n := s.MaxLen()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = f(s.At(i))
+	}
+	return out
+}
+
+// MedianCurve is Aggregate(Median): the paper's Figures 2 and 6.
+func (s *Series) MedianCurve(limit int) []float64 { return s.Aggregate(Median, limit) }
+
+// MeanCurve is Aggregate(Mean): the paper's Figures 3, 5, and 7.
+func (s *Series) MeanCurve(limit int) []float64 { return s.Aggregate(Mean, limit) }
+
+// CountMatrix collects per-repetition selection counts for a set of
+// labeled categories — the data shape behind the choice-frequency
+// histograms (Figures 4 and 8): for each category, one count per
+// repetition, summarized as a boxplot.
+type CountMatrix struct {
+	labels []string
+	counts [][]float64 // [category][repetition]
+}
+
+// NewCountMatrix creates a count matrix over the given category labels.
+func NewCountMatrix(labels []string) *CountMatrix {
+	ls := make([]string, len(labels))
+	copy(ls, labels)
+	cm := &CountMatrix{labels: ls, counts: make([][]float64, len(labels))}
+	return cm
+}
+
+// AddRun records one repetition's per-category counts.
+func (c *CountMatrix) AddRun(counts []int) {
+	if len(counts) != len(c.labels) {
+		panic("stats: count vector arity mismatch")
+	}
+	for i, n := range counts {
+		c.counts[i] = append(c.counts[i], float64(n))
+	}
+}
+
+// Labels returns the category labels.
+func (c *CountMatrix) Labels() []string {
+	ls := make([]string, len(c.labels))
+	copy(ls, c.labels)
+	return ls
+}
+
+// Box returns the boxplot of category i's counts across repetitions.
+func (c *CountMatrix) Box(i int) BoxPlot { return NewBoxPlot(c.counts[i]) }
+
+// MeanOf returns the mean count of category i across repetitions.
+func (c *CountMatrix) MeanOf(i int) float64 { return Mean(c.counts[i]) }

@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Errorf("Mean = %g", Mean([]float64{1, 2, 3, 4}))
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if Mean([]float64{7}) != 7 {
+		t.Error("Mean of singleton")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty Min/Max should be NaN")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic set is 32/7.
+	if !almost(Variance(xs), 32.0/7.0) {
+		t.Errorf("Variance = %g, want %g", Variance(xs), 32.0/7.0)
+	}
+	if !almost(StdDev(xs), math.Sqrt(32.0/7.0)) {
+		t.Errorf("StdDev = %g", StdDev(xs))
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of one sample should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Out-of-range q clamps.
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 5 {
+		t.Error("quantile clamping failed")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, math.NaN())) {
+		t.Error("NaN handling failed")
+	}
+	if Quantile([]float64{9}, 0.73) != 9 {
+		t.Error("singleton quantile")
+	}
+	// Input must not be reordered.
+	orig := []float64{5, 1, 3}
+	Quantile(orig, 0.5)
+	if orig[0] != 5 || orig[1] != 1 || orig[2] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMedianEvenOdd(t *testing.T) {
+	if Median([]float64{1, 3, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if !almost(Median([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("even median")
+	}
+}
+
+func TestBoxPlotBasic(t *testing.T) {
+	b := NewBoxPlot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if b.N != 9 || b.Min != 1 || b.Max != 9 || b.Median != 5 {
+		t.Errorf("boxplot basics: %+v", b)
+	}
+	if b.Q1 != 3 || b.Q3 != 7 {
+		t.Errorf("quartiles: Q1=%g Q3=%g", b.Q1, b.Q3)
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("no outliers expected, got %v", b.Outliers)
+	}
+	if b.LowWhisker != 1 || b.HighWhisker != 9 {
+		t.Errorf("whiskers: %g/%g", b.LowWhisker, b.HighWhisker)
+	}
+}
+
+func TestBoxPlotOutliers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	b := NewBoxPlot(xs)
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.HighWhisker == 100 {
+		t.Error("whisker should exclude the outlier")
+	}
+	if b.Max != 100 {
+		t.Error("Max should include the outlier")
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	b := NewBoxPlot(nil)
+	if b.N != 0 {
+		t.Errorf("empty boxplot N = %d", b.N)
+	}
+}
+
+// Property: the five numbers are ordered and whiskers bracket the box for
+// arbitrary positive data.
+func TestBoxPlotOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		b := NewBoxPlot(xs)
+		// Note: in degenerate skewed samples a whisker may land inside the
+		// box (e.g. [0,10,10,10] has Q1=7.5 but low whisker 10), so the
+		// property asserts only the universally valid orderings.
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 &&
+			b.Q3 <= b.Max && b.Min <= b.LowWhisker &&
+			b.LowWhisker <= b.HighWhisker && b.HighWhisker <= b.Max &&
+			b.N == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 31)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	f := func(q1, q2 float64) bool {
+		a, b := math.Abs(math.Mod(q1, 1)), math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesAggregation(t *testing.T) {
+	s := NewSeries()
+	s.Add([]float64{10, 20, 30})
+	s.Add([]float64{20, 40, 60})
+	s.Add([]float64{30, 60}) // shorter run
+	if s.Runs() != 3 || s.MaxLen() != 3 {
+		t.Fatalf("Runs/MaxLen = %d/%d", s.Runs(), s.MaxLen())
+	}
+	med := s.MedianCurve(0)
+	if len(med) != 3 {
+		t.Fatalf("median curve length %d", len(med))
+	}
+	if med[0] != 20 || med[1] != 40 {
+		t.Errorf("median curve %v", med)
+	}
+	// Iteration 2 only has two runs: median of {30, 60} = 45.
+	if med[2] != 45 {
+		t.Errorf("median at truncated iteration = %g, want 45", med[2])
+	}
+	mean := s.MeanCurve(2)
+	if len(mean) != 2 || mean[0] != 20 || !almost(mean[1], 40) {
+		t.Errorf("mean curve %v", mean)
+	}
+}
+
+func TestSeriesAddCopies(t *testing.T) {
+	s := NewSeries()
+	run := []float64{1, 2}
+	s.Add(run)
+	run[0] = 99
+	if s.At(0)[0] != 1 {
+		t.Error("Add did not copy the run")
+	}
+}
+
+func TestCountMatrix(t *testing.T) {
+	cm := NewCountMatrix([]string{"a", "b"})
+	cm.AddRun([]int{10, 190})
+	cm.AddRun([]int{20, 180})
+	cm.AddRun([]int{30, 170})
+	if got := cm.Labels(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("labels %v", got)
+	}
+	if m := cm.MeanOf(0); m != 20 {
+		t.Errorf("MeanOf(0) = %g, want 20", m)
+	}
+	b := cm.Box(1)
+	if b.Median != 180 || b.N != 3 {
+		t.Errorf("Box(1) = %+v", b)
+	}
+}
+
+func TestCountMatrixArityPanics(t *testing.T) {
+	cm := NewCountMatrix([]string{"a", "b"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	cm.AddRun([]int{1})
+}
+
+// Property: for any data, Median equals the middle order statistic
+// definition.
+func TestMedianAgainstSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		s := make([]float64, n)
+		copy(s, xs)
+		sort.Float64s(s)
+		var want float64
+		if n%2 == 1 {
+			want = s[n/2]
+		} else {
+			want = (s[n/2-1] + s[n/2]) / 2
+		}
+		return almost(Median(xs), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

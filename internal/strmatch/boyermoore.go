@@ -1,0 +1,148 @@
+package strmatch
+
+// BoyerMoore is the classic Boyer-Moore algorithm with both the
+// bad-character and good-suffix rules. It scans the window right-to-left
+// and skips ahead by the larger of the two rules' shifts.
+type BoyerMoore struct {
+	pattern []byte
+	badChar [256]int
+	goodSfx []int
+}
+
+// NewBoyerMoore creates an unprepared Boyer-Moore matcher.
+func NewBoyerMoore() *BoyerMoore { return &BoyerMoore{} }
+
+// Name returns "Boyer-Moore".
+func (b *BoyerMoore) Name() string { return "Boyer-Moore" }
+
+// Precompute builds the bad-character and good-suffix tables.
+func (b *BoyerMoore) Precompute(pattern []byte) {
+	p := checkPattern(pattern)
+	b.pattern = p
+	m := len(p)
+
+	// Bad character: rightmost occurrence of each byte.
+	for i := range b.badChar {
+		b.badChar[i] = -1
+	}
+	for i, c := range p {
+		b.badChar[c] = i
+	}
+
+	// Good suffix via the border/suffix construction (Crochemore/Lecroq).
+	suff := make([]int, m)
+	suff[m-1] = m
+	g := m - 1
+	f := 0
+	for i := m - 2; i >= 0; i-- {
+		if i > g && suff[i+m-1-f] < i-g {
+			suff[i] = suff[i+m-1-f]
+		} else {
+			if i < g {
+				g = i
+			}
+			f = i
+			for g >= 0 && p[g] == p[g+m-1-f] {
+				g--
+			}
+			suff[i] = f - g
+		}
+	}
+	gs := make([]int, m)
+	for i := range gs {
+		gs[i] = m
+	}
+	j := 0
+	for i := m - 1; i >= 0; i-- {
+		if suff[i] == i+1 {
+			for ; j < m-1-i; j++ {
+				if gs[j] == m {
+					gs[j] = m - 1 - i
+				}
+			}
+		}
+	}
+	for i := 0; i <= m-2; i++ {
+		gs[m-1-suff[i]] = m - 1 - i
+	}
+	b.goodSfx = gs
+}
+
+// Search returns all match positions.
+func (b *BoyerMoore) Search(text []byte) []int {
+	p, m, n := b.pattern, len(b.pattern), len(text)
+	var out []int
+	if m > n {
+		return nil
+	}
+	j := 0
+	for j <= n-m {
+		i := m - 1
+		for i >= 0 && p[i] == text[j+i] {
+			i--
+		}
+		if i < 0 {
+			out = append(out, j)
+			j += b.goodSfx[0]
+		} else {
+			gsShift := b.goodSfx[i]
+			bcShift := i - b.badChar[text[j+i]]
+			if gsShift > bcShift {
+				j += gsShift
+			} else {
+				j += bcShift
+			}
+		}
+	}
+	return out
+}
+
+// KMP is the Knuth-Morris-Pratt algorithm: a linear left-to-right scan
+// driven by the pattern's failure function. It never skips text bytes,
+// which is why the paper's Figure 1 shows it among the slowest on natural
+// language — but its worst case is unbeatable.
+type KMP struct {
+	pattern []byte
+	fail    []int
+}
+
+// NewKMP creates an unprepared Knuth-Morris-Pratt matcher.
+func NewKMP() *KMP { return &KMP{} }
+
+// Name returns "Knuth-Morris-Pratt".
+func (k *KMP) Name() string { return "Knuth-Morris-Pratt" }
+
+// Precompute builds the failure function.
+func (k *KMP) Precompute(pattern []byte) {
+	p := checkPattern(pattern)
+	k.pattern = p
+	m := len(p)
+	fail := make([]int, m+1)
+	fail[0] = -1
+	cand := -1
+	for i := 1; i <= m; i++ {
+		for cand >= 0 && p[cand] != p[i-1] {
+			cand = fail[cand]
+		}
+		cand++
+		fail[i] = cand
+	}
+	k.fail = fail
+}
+
+// Search returns all match positions.
+func (k *KMP) Search(text []byte) []int {
+	p, m := k.pattern, len(k.pattern)
+	var out []int
+	q := 0
+	for i := 0; i < len(text); i++ {
+		for q >= 0 && (q == m || p[q] != text[i]) {
+			q = k.fail[q]
+		}
+		q++
+		if q == m {
+			out = append(out, i-m+1)
+		}
+	}
+	return out
+}

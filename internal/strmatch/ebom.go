@@ -1,0 +1,125 @@
+package strmatch
+
+// EBOM is the Extended Backward Oracle Matching algorithm (Faro & Lecroq):
+// a factor oracle of the reversed pattern is read right-to-left inside the
+// current window; when the oracle dies, everything scanned so far cannot
+// be a pattern factor and the window skips past it. The "extended" part is
+// a two-byte transition table that jumps over the first two window bytes
+// in one lookup, which is where most windows die on natural-language text.
+type EBOM struct {
+	pattern []byte
+	// trans[state*256 + c] is the oracle transition, -1 when undefined.
+	// State 0 is the oracle's initial state; there are m+1 states.
+	trans []int32
+	// two[c1<<8|c2] is the state after reading window bytes
+	// (…, c2, c1) — i.e. last byte c1 then c2 — from the initial state,
+	// -1 when the oracle dies within those two bytes.
+	two []int32
+}
+
+// NewEBOM creates an unprepared EBOM matcher.
+func NewEBOM() *EBOM { return &EBOM{} }
+
+// Name returns "EBOM".
+func (e *EBOM) Name() string { return "EBOM" }
+
+// Precompute builds the factor oracle of the reversed pattern and the
+// two-byte fast-entry table.
+func (e *EBOM) Precompute(pattern []byte) {
+	p := checkPattern(pattern)
+	e.pattern = p
+	m := len(p)
+
+	// Reversed pattern.
+	rev := make([]byte, m)
+	for i, c := range p {
+		rev[m-1-i] = c
+	}
+
+	// Factor oracle construction (Allauzen, Crochemore, Raffinot).
+	states := m + 1
+	if cap(e.trans) < states*256 {
+		e.trans = make([]int32, states*256)
+	} else {
+		e.trans = e.trans[:states*256]
+	}
+	for i := range e.trans {
+		e.trans[i] = -1
+	}
+	supply := make([]int32, states)
+	supply[0] = -1
+	for i := 1; i <= m; i++ {
+		c := rev[i-1]
+		e.trans[(i-1)*256+int(c)] = int32(i)
+		down := supply[i-1]
+		for down > -1 && e.trans[int(down)*256+int(c)] == -1 {
+			e.trans[int(down)*256+int(c)] = int32(i)
+			down = supply[down]
+		}
+		if down == -1 {
+			supply[i] = 0
+		} else {
+			supply[i] = e.trans[int(down)*256+int(c)]
+		}
+	}
+
+	// Two-byte entry table: state after reading c1 then c2.
+	if m >= 2 {
+		if cap(e.two) < 1<<16 {
+			e.two = make([]int32, 1<<16)
+		} else {
+			e.two = e.two[:1<<16]
+		}
+		for c1 := 0; c1 < 256; c1++ {
+			s1 := e.trans[0*256+c1]
+			for c2 := 0; c2 < 256; c2++ {
+				idx := c1<<8 | c2
+				if s1 == -1 {
+					e.two[idx] = -1
+				} else {
+					e.two[idx] = e.trans[int(s1)*256+c2]
+				}
+			}
+		}
+	}
+}
+
+// Search returns all match positions.
+func (e *EBOM) Search(text []byte) []int {
+	p, m, n := e.pattern, len(e.pattern), len(text)
+	if m > n {
+		return nil
+	}
+	var out []int
+	if m == 1 {
+		c := p[0]
+		for i := 0; i < n; i++ {
+			if text[i] == c {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	j := 0
+	for j <= n-m {
+		// Fast two-byte entry on the window's last two bytes.
+		state := e.two[int(text[j+m-1])<<8|int(text[j+m-2])]
+		i := m - 3
+		for state != -1 && i >= 0 {
+			state = e.trans[int(state)*256+int(text[j+i])]
+			i--
+		}
+		if state != -1 {
+			// The whole window was read by the oracle of the reversed
+			// pattern, which accepts exactly one string of length m: the
+			// pattern itself.
+			out = append(out, j)
+			j++
+		} else {
+			// The suffix text[j+i+2 .. j+m-1] plus the failing byte is not
+			// a factor; no match can cover it.
+			j += i + 2
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package strmatch
+
+// FSBNDM is the Forward Simplified BNDM algorithm (Faro & Lecroq): a
+// bit-parallel backward scan over the nondeterministic suffix automaton,
+// entered through a forward-looking two-byte state so that most windows
+// are discarded with two loads and one AND. Patterns must fit the machine
+// word minus the forward bit (m ≤ 63 here); longer patterns filter on a
+// 63-byte prefix and verify the rest.
+type FSBNDM struct {
+	pattern []byte
+	masks   [256]uint64
+	flen    int // filter length: min(m, 63)
+}
+
+// NewFSBNDM creates an unprepared FSBNDM matcher.
+func NewFSBNDM() *FSBNDM { return &FSBNDM{} }
+
+// Name returns "FSBNDM".
+func (f *FSBNDM) Name() string { return "FSBNDM" }
+
+// Precompute builds the (m+1)-bit masks: bit 0 is always set (the forward
+// bit), bit m−i marks pattern byte i.
+func (f *FSBNDM) Precompute(pattern []byte) {
+	p := checkPattern(pattern)
+	f.pattern = p
+	f.flen = len(p)
+	if f.flen > 63 {
+		f.flen = 63
+	}
+	for i := range f.masks {
+		f.masks[i] = 1
+	}
+	for i := 0; i < f.flen; i++ {
+		f.masks[p[i]] |= 1 << uint(f.flen-i)
+	}
+}
+
+// Search returns all match positions.
+func (f *FSBNDM) Search(text []byte) []int {
+	p, n := f.pattern, len(text)
+	m := f.flen
+	full := len(p)
+	if full > n {
+		return nil
+	}
+	var out []int
+	report := func(pos int) {
+		if full == m {
+			out = append(out, pos)
+			return
+		}
+		// Long pattern: the first m bytes matched; verify the tail.
+		if pos+full <= n && matchAt(p[m:], text, pos+m) {
+			out = append(out, pos)
+		}
+	}
+	// Window ends at j; the main loop looks one byte ahead, so the last
+	// text byte is handled separately.
+	if matchAt(p[:m], text, 0) {
+		report(0)
+	}
+	j := m
+	for j < n-1 {
+		d := (f.masks[text[j+1]] << 1) & f.masks[text[j]]
+		if d != 0 {
+			pos := j
+			for {
+				d = (d << 1) & f.masks[text[j-1]]
+				if d == 0 {
+					break
+				}
+				j--
+			}
+			j += m - 1
+			if j == pos {
+				report(j - m + 1)
+				j++
+			}
+		} else {
+			j += m
+		}
+	}
+	// Final window, ending exactly at the last byte: the main loop's
+	// lookahead never reaches it (and may even have jumped past it), so it
+	// is always checked directly. n−m == 0 was already checked up front.
+	if n-m > 0 && matchAt(p[:m], text, n-m) {
+		report(n - m)
+	}
+	return out
+}

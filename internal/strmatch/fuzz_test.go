@@ -1,0 +1,32 @@
+package strmatch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMatchersAgainstBrute cross-validates every matcher against the
+// brute-force oracle on fuzzer-chosen pattern/text pairs. Run with
+// `go test -fuzz FuzzMatchersAgainstBrute ./internal/strmatch` to explore;
+// the seed corpus runs as a regular test.
+func FuzzMatchersAgainstBrute(f *testing.F) {
+	f.Add([]byte("ab"), []byte("abababab"))
+	f.Add([]byte("aaa"), []byte("aaaaaaa"))
+	f.Add([]byte("xyz"), []byte("no match"))
+	f.Add([]byte("the spirit"), []byte("the spirit to a great and high mountain"))
+	f.Add([]byte{0, 1, 0}, []byte{0, 1, 0, 1, 0, 1, 0})
+	f.Add(bytes.Repeat([]byte("q"), 70), bytes.Repeat([]byte("q"), 200)) // long pattern fallbacks
+	f.Fuzz(func(t *testing.T, pattern, text []byte) {
+		if len(pattern) == 0 || len(pattern) > 300 || len(text) > 1<<16 {
+			t.Skip()
+		}
+		want := bruteSearch(pattern, text)
+		for _, m := range All() {
+			m.Precompute(pattern)
+			got := m.Search(text)
+			if !positionsEqual(got, want) {
+				t.Fatalf("%s: pattern %q: got %v, want %v", m.Name(), pattern, trim(got), trim(want))
+			}
+		}
+	})
+}

@@ -1,0 +1,178 @@
+// Package strmatch implements the seven parallel exact string matching
+// algorithms of the paper's first case study — Boyer-Moore, EBOM, FSBNDM,
+// Hash3, Knuth-Morris-Pratt, ShiftOr, and SSEF — plus the pattern-length
+// Hybrid heuristic matcher, following Pfaffe et al., "Parallel String
+// Matching" (2016).
+//
+// All algorithms follow the same two-phase pattern: a precomputation on the
+// pattern, then an iterated skip-ahead heuristic over the text that
+// discards infeasible chunks, checking only the remaining candidates.
+// Parallelization partitions the input text; each partition is processed by
+// one goroutine (one thread in the paper).
+//
+// The original SSEF and the bit-parallel inner loops use SSE intrinsics;
+// Go has no stdlib SIMD, so this package substitutes 64-bit word-level
+// parallelism (uint64 fingerprints and state vectors), which preserves the
+// filter-then-verify character of the algorithms. See DESIGN.md for the
+// substitution table.
+package strmatch
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// A Matcher is one exact string matching algorithm. Precompute runs the
+// pattern preprocessing; Search reports all (possibly overlapping) match
+// positions in ascending order. After Precompute, Search is safe for
+// concurrent use from multiple goroutines — that property underlies the
+// text-partitioned parallel driver.
+type Matcher interface {
+	// Name identifies the algorithm as labeled in the paper's figures.
+	Name() string
+	// Precompute performs the pattern preprocessing. It panics when the
+	// pattern is empty: matching the empty pattern is undefined here.
+	Precompute(pattern []byte)
+	// Search returns all match positions in text, ascending.
+	Search(text []byte) []int
+}
+
+// checkPattern enforces the shared precondition.
+func checkPattern(p []byte) []byte {
+	if len(p) == 0 {
+		panic("strmatch: empty pattern")
+	}
+	c := make([]byte, len(p))
+	copy(c, p)
+	return c
+}
+
+// bruteSearch is the obviously correct reference implementation used by
+// the long-pattern fallbacks and the test oracle.
+func bruteSearch(pattern, text []byte) []int {
+	var out []int
+	for i := 0; i+len(pattern) <= len(text); i++ {
+		if bytes.Equal(text[i:i+len(pattern)], pattern) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// New returns a fresh matcher by paper name. Recognized names (case
+// sensitive): Boyer-Moore, EBOM, FSBNDM, Hash3, Knuth-Morris-Pratt,
+// ShiftOr, SSEF, Hybrid.
+func New(name string) (Matcher, error) {
+	switch name {
+	case "Boyer-Moore":
+		return NewBoyerMoore(), nil
+	case "EBOM":
+		return NewEBOM(), nil
+	case "FSBNDM":
+		return NewFSBNDM(), nil
+	case "Hash3":
+		return NewHash3(), nil
+	case "Knuth-Morris-Pratt":
+		return NewKMP(), nil
+	case "ShiftOr":
+		return NewShiftOr(), nil
+	case "SSEF":
+		return NewSSEF(), nil
+	case "Hybrid":
+		return NewHybrid(), nil
+	default:
+		return nil, fmt.Errorf("strmatch: unknown matcher %q", name)
+	}
+}
+
+// Names lists the eight matchers in the paper's Figure 1/4 order.
+func Names() []string {
+	return []string{
+		"Boyer-Moore", "EBOM", "FSBNDM", "Hash3",
+		"Hybrid", "Knuth-Morris-Pratt", "ShiftOr", "SSEF",
+	}
+}
+
+// All returns fresh instances of all eight matchers in Names() order.
+func All() []Matcher {
+	ms := make([]Matcher, 0, 8)
+	for _, n := range Names() {
+		m, err := New(n)
+		if err != nil {
+			panic(err) // unreachable: Names and New agree
+		}
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+// ParallelSearch partitions the text into workers chunks, overlapping each
+// by len(pattern)−1 bytes, searches the chunks concurrently with the
+// (already precomputed) matcher, and merges the sorted results. Matches
+// are attributed to the chunk in which they start, so each is reported
+// exactly once. workers < 1 is treated as 1.
+func ParallelSearch(m Matcher, text []byte, pattern []byte, workers int) []int {
+	if workers < 1 {
+		workers = 1
+	}
+	n, pl := len(text), len(pattern)
+	if pl == 0 || pl > n {
+		return nil
+	}
+	if workers > n/pl {
+		// Never more workers than could possibly hold a match each.
+		workers = n / pl
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	if workers == 1 {
+		return m.Search(text)
+	}
+	chunk := n / workers
+	results := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if w == workers-1 {
+			end = n
+		}
+		// Extend by the overlap so matches straddling the boundary are
+		// seen, but only keep those starting before end.
+		ext := end + pl - 1
+		if ext > n {
+			ext = n
+		}
+		wg.Add(1)
+		go func(w, start, end, ext int) {
+			defer wg.Done()
+			local := m.Search(text[start:ext])
+			var keep []int
+			for _, pos := range local {
+				abs := start + pos
+				if abs < end {
+					keep = append(keep, abs)
+				}
+			}
+			results[w] = keep
+		}(w, start, end, ext)
+	}
+	wg.Wait()
+	var out []int
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sort.Ints(out) // chunks are ordered, but keep the guarantee explicit
+	return out
+}
+
+// Run precomputes the pattern and performs a parallel search; this is the
+// complete measured operation of the paper's tuning loop ("any
+// precomputation is part of the algorithm's runtime").
+func Run(m Matcher, pattern, text []byte, workers int) []int {
+	m.Precompute(pattern)
+	return ParallelSearch(m, text, pattern, workers)
+}

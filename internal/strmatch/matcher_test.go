@@ -1,0 +1,331 @@
+package strmatch
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func positionsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkAgainstBrute(t *testing.T, m Matcher, pattern, text []byte) {
+	t.Helper()
+	want := bruteSearch(pattern, text)
+	m.Precompute(pattern)
+	got := m.Search(text)
+	if !positionsEqual(got, want) {
+		t.Errorf("%s: pattern %q text[%d]: got %v, want %v",
+			m.Name(), pattern, len(text), trim(got), trim(want))
+	}
+}
+
+func trim(xs []int) []int {
+	if len(xs) > 20 {
+		return xs[:20]
+	}
+	return xs
+}
+
+func TestAllMatchersOnSimpleCases(t *testing.T) {
+	cases := []struct{ pattern, text string }{
+		{"abc", "abcabcabc"},
+		{"aaa", "aaaaaa"}, // overlapping matches
+		{"a", "banana"},
+		{"xyz", "no match here"},
+		{"hello", "hello"},                     // pattern == text
+		{"needle", "needle in the haystack"},   // match at start
+		{"haystack", "needle in the haystack"}, // match at end
+		{"ab", "ababababab"},
+		{"the spirit to a great and high mountain", "x" + corpus.QueryPhrase + "y" + corpus.QueryPhrase},
+		{"mississippi", "mississippimississippi"},
+		{"aab", "aaaaaaaaab"},
+	}
+	for _, m := range All() {
+		for _, c := range cases {
+			checkAgainstBrute(t, m, []byte(c.pattern), []byte(c.text))
+		}
+	}
+}
+
+func TestAllMatchersPatternLongerThanText(t *testing.T) {
+	for _, m := range All() {
+		m.Precompute([]byte("longpatternhere"))
+		if got := m.Search([]byte("short")); got != nil {
+			t.Errorf("%s: pattern > text returned %v", m.Name(), got)
+		}
+	}
+}
+
+func TestAllMatchersEmptyPatternPanics(t *testing.T) {
+	for _, m := range All() {
+		m := m
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: empty pattern did not panic", m.Name())
+				}
+			}()
+			m.Precompute(nil)
+		}()
+	}
+}
+
+// Property: every matcher agrees with the brute-force oracle on random
+// small-alphabet texts (small alphabets maximize overlaps and collisions).
+func TestAllMatchersRandomizedCrossValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	alphabets := []string{"ab", "abcd", "abcdefghijklmnopqrstuvwxyz "}
+	for trial := 0; trial < 120; trial++ {
+		alpha := alphabets[trial%len(alphabets)]
+		n := 50 + r.Intn(500)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = alpha[r.Intn(len(alpha))]
+		}
+		plen := 1 + r.Intn(40)
+		var pattern []byte
+		if r.Intn(2) == 0 && plen < n {
+			// Sample the pattern from the text to guarantee matches.
+			start := r.Intn(n - plen)
+			pattern = append(pattern, text[start:start+plen]...)
+		} else {
+			pattern = make([]byte, plen)
+			for i := range pattern {
+				pattern[i] = alpha[r.Intn(len(alpha))]
+			}
+		}
+		for _, m := range All() {
+			checkAgainstBrute(t, m, pattern, text)
+		}
+	}
+}
+
+// Long patterns exercise the ShiftOr (>64) and FSBNDM (>63) filter
+// fallbacks.
+func TestLongPatternFallbacks(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	text := make([]byte, 4000)
+	for i := range text {
+		text[i] = byte('a' + r.Intn(3))
+	}
+	for _, plen := range []int{63, 64, 65, 100, 150} {
+		start := 1000
+		pattern := append([]byte(nil), text[start:start+plen]...)
+		for _, m := range All() {
+			checkAgainstBrute(t, m, pattern, text)
+		}
+	}
+}
+
+func TestMatchersOnBibleCorpus(t *testing.T) {
+	text := corpus.Bible(1<<20, 5)
+	pattern := []byte(corpus.QueryPhrase)
+	want := bruteSearch(pattern, text)
+	if len(want) < 2 {
+		t.Fatalf("corpus should contain the phrase at least twice, found %d", len(want))
+	}
+	for _, m := range All() {
+		m.Precompute(pattern)
+		if got := m.Search(text); !positionsEqual(got, want) {
+			t.Errorf("%s found %d matches, want %d", m.Name(), len(got), len(want))
+		}
+	}
+}
+
+func TestMatchersOnDNACorpus(t *testing.T) {
+	text := corpus.DNA(1<<19, 8)
+	pattern := append([]byte(nil), text[12345:12345+24]...)
+	want := bruteSearch(pattern, text)
+	for _, m := range All() {
+		m.Precompute(pattern)
+		if got := m.Search(text); !positionsEqual(got, want) {
+			t.Errorf("%s on DNA: got %d matches, want %d", m.Name(), len(got), len(want))
+		}
+	}
+}
+
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	text := corpus.Bible(1<<20, 17)
+	pattern := []byte(corpus.QueryPhrase)
+	want := bruteSearch(pattern, text)
+	for _, m := range All() {
+		m.Precompute(pattern)
+		for _, workers := range []int{1, 2, 3, 4, 8, 16} {
+			got := ParallelSearch(m, text, pattern, workers)
+			if !positionsEqual(got, want) {
+				t.Errorf("%s workers=%d: got %d matches, want %d",
+					m.Name(), workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestParallelSearchBoundaryMatches(t *testing.T) {
+	// Matches exactly straddling chunk boundaries must be found once.
+	pattern := []byte("boundary")
+	text := bytes.Repeat([]byte("x"), 1000)
+	// With 4 workers chunk = 250; plant across the 250 and 500 boundaries.
+	copy(text[246:], pattern)
+	copy(text[497:], pattern)
+	want := bruteSearch(pattern, text)
+	if len(want) != 2 {
+		t.Fatalf("setup wrong: %d matches", len(want))
+	}
+	for _, m := range All() {
+		m.Precompute(pattern)
+		got := ParallelSearch(m, text, pattern, 4)
+		if !positionsEqual(got, want) {
+			t.Errorf("%s: boundary matches %v, want %v", m.Name(), got, want)
+		}
+	}
+}
+
+func TestParallelSearchDegenerateWorkerCounts(t *testing.T) {
+	pattern := []byte("abc")
+	text := []byte("abcabc")
+	m := NewKMP()
+	m.Precompute(pattern)
+	for _, workers := range []int{-1, 0, 1, 100} {
+		got := ParallelSearch(m, text, pattern, workers)
+		if !positionsEqual(got, []int{0, 3}) {
+			t.Errorf("workers=%d: got %v", workers, got)
+		}
+	}
+	if got := ParallelSearch(m, []byte("ab"), pattern, 2); got != nil {
+		t.Errorf("pattern > text with workers: %v", got)
+	}
+}
+
+func TestRunCombinesPrecomputeAndSearch(t *testing.T) {
+	text := []byte("abc abc abc")
+	got := Run(NewBoyerMoore(), []byte("abc"), text, 2)
+	if !positionsEqual(got, []int{0, 4, 8}) {
+		t.Errorf("Run = %v", got)
+	}
+}
+
+func TestNewAndNames(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("Names() has %d entries", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		m, err := New(n)
+		if err != nil {
+			t.Errorf("New(%q): %v", n, err)
+			continue
+		}
+		if m.Name() != n {
+			t.Errorf("New(%q).Name() = %q", n, m.Name())
+		}
+		if seen[n] {
+			t.Errorf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+	if _, err := New("Rabin-Karp"); err == nil {
+		t.Error("unknown matcher did not error")
+	}
+}
+
+func TestHybridDelegation(t *testing.T) {
+	h := NewHybrid()
+	cases := []struct {
+		plen int
+		want string
+	}{
+		{1, "ShiftOr"}, {8, "ShiftOr"},
+		{9, "EBOM"}, {14, "EBOM"},
+		{15, "SSEF"}, {37, "SSEF"}, {100, "SSEF"},
+	}
+	for _, c := range cases {
+		h.Precompute(bytes.Repeat([]byte("ab"), (c.plen+1)/2)[:c.plen])
+		if got := h.Delegate(); got != c.want {
+			t.Errorf("pattern length %d delegates to %q, want %q", c.plen, got, c.want)
+		}
+	}
+	if NewHybrid().Delegate() != "" {
+		t.Error("Delegate before Precompute should be empty")
+	}
+}
+
+func TestHybridSearchBeforePrecomputePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHybrid().Search([]byte("x"))
+}
+
+func TestSSEFShortPatternFallback(t *testing.T) {
+	s := NewSSEF()
+	s.Precompute([]byte("ab"))
+	got := s.Search([]byte("ababab"))
+	if !positionsEqual(got, []int{0, 2, 4}) {
+		t.Errorf("short-pattern fallback: %v", got)
+	}
+}
+
+func TestFingerprint8(t *testing.T) {
+	block := []byte{0x01, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x01}
+	// Bit 0 of byte j lands at result bit 7−j: 0b10101001 = 0xA9.
+	if got := fingerprint8(block, 0); got != 0xA9 {
+		t.Errorf("fingerprint8 = %#x, want 0xA9", got)
+	}
+	block2 := []byte{0x80, 0, 0, 0, 0, 0, 0, 0}
+	if got := fingerprint8(block2, 7); got != 0x80 {
+		t.Errorf("fingerprint8 bit7 = %#x, want 0x80", got)
+	}
+}
+
+func TestPrecomputeReuse(t *testing.T) {
+	// Matchers must be reusable: a second Precompute fully replaces the
+	// first pattern's state.
+	for _, m := range All() {
+		m.Precompute([]byte("first-pattern"))
+		_ = m.Search([]byte("text with first-pattern inside"))
+		checkAgainstBrute(t, m, []byte("zq"), []byte("zqzq first zq"))
+	}
+}
+
+func TestSearchIsReadOnlyAfterPrecompute(t *testing.T) {
+	// Concurrent Search calls over one precomputed matcher must agree —
+	// the contract ParallelSearch relies on. Run with -race to verify.
+	text := corpus.Bible(1<<18, 2)
+	pattern := []byte(corpus.QueryPhrase)
+	want := bruteSearch(pattern, text)
+	for _, m := range All() {
+		m.Precompute(pattern)
+		done := make(chan []int, 4)
+		for i := 0; i < 4; i++ {
+			go func() { done <- m.Search(text) }()
+		}
+		for i := 0; i < 4; i++ {
+			if got := <-done; !positionsEqual(got, want) {
+				t.Errorf("%s: concurrent search mismatch", m.Name())
+			}
+		}
+	}
+}
+
+func TestBruteSearchOracle(t *testing.T) {
+	got := bruteSearch([]byte("aa"), []byte("aaaa"))
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("bruteSearch oracle broken: %v", got)
+	}
+}

@@ -1,0 +1,115 @@
+package strmatch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property (testing/quick): every matcher agrees with the brute-force
+// oracle for arbitrary seeds driving random text/pattern generation,
+// including patterns sampled from the text (guaranteed matches), binary
+// alphabets (maximum overlap), and lengths crossing every fast-path
+// boundary (8, 14, 15, 63, 64).
+func TestMatchersOracleQuickProperty(t *testing.T) {
+	matchers := All()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		alphaSize := 2 + r.Intn(26)
+		n := 30 + r.Intn(800)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + r.Intn(alphaSize))
+		}
+		// Pattern lengths biased toward the implementation boundaries.
+		boundaries := []int{1, 2, 7, 8, 9, 14, 15, 16, 37, 62, 63, 64, 65}
+		plen := boundaries[r.Intn(len(boundaries))]
+		if plen >= n {
+			plen = 1 + r.Intn(n/2)
+		}
+		var pattern []byte
+		if r.Intn(2) == 0 {
+			start := r.Intn(n - plen + 1)
+			pattern = append(pattern, text[start:start+plen]...)
+		} else {
+			pattern = make([]byte, plen)
+			for i := range pattern {
+				pattern[i] = byte('a' + r.Intn(alphaSize))
+			}
+		}
+		want := bruteSearch(pattern, text)
+		m := matchers[r.Intn(len(matchers))]
+		m.Precompute(pattern)
+		got := m.Search(text)
+		if !positionsEqual(got, want) {
+			t.Logf("seed %d: %s plen=%d alpha=%d: got %d matches, want %d",
+				seed, m.Name(), plen, alphaSize, len(got), len(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ParallelSearch with a random worker count equals the
+// sequential result.
+func TestParallelSearchEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 200 + r.Intn(2000)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + r.Intn(3))
+		}
+		plen := 1 + r.Intn(20)
+		start := r.Intn(n - plen)
+		pattern := append([]byte(nil), text[start:start+plen]...)
+		m := All()[r.Intn(8)]
+		m.Precompute(pattern)
+		want := m.Search(text)
+		workers := 1 + r.Intn(9)
+		got := ParallelSearch(m, text, pattern, workers)
+		return positionsEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all reported positions are genuine matches and are strictly
+// increasing (sorted, no duplicates).
+func TestPositionsSortedAndGenuineProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 100 + r.Intn(500)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + r.Intn(2))
+		}
+		plen := 1 + r.Intn(10)
+		pattern := make([]byte, plen)
+		for i := range pattern {
+			pattern[i] = byte('a' + r.Intn(2))
+		}
+		for _, m := range All() {
+			m.Precompute(pattern)
+			got := m.Search(text)
+			prev := -1
+			for _, pos := range got {
+				if pos <= prev {
+					return false
+				}
+				prev = pos
+				if !matchAt(pattern, text, pos) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

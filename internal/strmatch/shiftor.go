@@ -1,0 +1,172 @@
+package strmatch
+
+// ShiftOr is the bit-parallel Shift-Or (bitap) algorithm of Baeza-Yates
+// and Gonnet: the nondeterministic prefix automaton is simulated in a
+// machine word, one shift-or per text byte. The paper's implementation
+// uses SSE bit parallelism; this one uses a 64-bit word, so patterns up to
+// 64 bytes run in the fast path. Longer patterns are matched by filtering
+// on their 64-byte prefix and verifying the remainder.
+type ShiftOr struct {
+	pattern []byte
+	masks   [256]uint64
+	lim     uint64 // bit at position min(m,64)-1
+	flen    int    // filter length: min(m, 64)
+}
+
+// NewShiftOr creates an unprepared Shift-Or matcher.
+func NewShiftOr() *ShiftOr { return &ShiftOr{} }
+
+// Name returns "ShiftOr".
+func (s *ShiftOr) Name() string { return "ShiftOr" }
+
+// Precompute builds the per-byte bit masks.
+func (s *ShiftOr) Precompute(pattern []byte) {
+	p := checkPattern(pattern)
+	s.pattern = p
+	s.flen = len(p)
+	if s.flen > 64 {
+		s.flen = 64
+	}
+	for i := range s.masks {
+		s.masks[i] = ^uint64(0)
+	}
+	for i := 0; i < s.flen; i++ {
+		s.masks[p[i]] &^= 1 << uint(i)
+	}
+	s.lim = 1 << uint(s.flen-1)
+}
+
+// Search returns all match positions.
+func (s *ShiftOr) Search(text []byte) []int {
+	m, n := len(s.pattern), len(text)
+	var out []int
+	if m > n {
+		return nil
+	}
+	state := ^uint64(0)
+	needVerify := m > 64
+	for i := 0; i < n; i++ {
+		state = (state << 1) | s.masks[text[i]]
+		if state&s.lim == 0 {
+			pos := i - s.flen + 1
+			if !needVerify {
+				out = append(out, pos)
+			} else if pos+m <= n && equalSuffix(s.pattern, text, pos) {
+				out = append(out, pos)
+			}
+		}
+	}
+	return out
+}
+
+// equalSuffix verifies pattern[64:] against text starting at pos+64,
+// assuming the first 64 bytes already matched via the bit filter.
+func equalSuffix(pattern, text []byte, pos int) bool {
+	for i := 64; i < len(pattern); i++ {
+		if text[pos+i] != pattern[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash3 is Lecroq's HASHq algorithm for q = 3 (a Wu-Manber-style single
+// pattern matcher): a shift table indexed by a hash of the last three
+// window bytes yields long skips; zero-shift windows are verified.
+// It requires patterns of at least 3 bytes; shorter patterns fall back to
+// the reference scan.
+type Hash3 struct {
+	pattern []byte
+	shift   []int
+	shift0  int // shift applied after a candidate window
+}
+
+const hash3TableBits = 13 // 8192-entry shift table
+
+// NewHash3 creates an unprepared Hash3 matcher.
+func NewHash3() *Hash3 { return &Hash3{} }
+
+// Name returns "Hash3".
+func (h *Hash3) Name() string { return "Hash3" }
+
+func hash3(a, b, c byte) int {
+	const mask = 1<<hash3TableBits - 1
+	return ((int(a)<<5 ^ int(b)<<3 ^ int(c)) * 0x9E37) & mask
+}
+
+// Precompute builds the 3-gram shift table.
+func (h *Hash3) Precompute(pattern []byte) {
+	p := checkPattern(pattern)
+	h.pattern = p
+	m := len(p)
+	if m < 3 {
+		h.shift = nil
+		return
+	}
+	size := 1 << hash3TableBits
+	if h.shift == nil {
+		h.shift = make([]int, size)
+	}
+	for i := range h.shift {
+		h.shift[i] = m - 2
+	}
+	h.shift0 = m - 2
+	// The 3-gram ending at pattern position i (i = 2..m-1) allows a shift
+	// of m-1-i; the last one (i = m-1) defines the zero-shift bucket.
+	for i := 2; i < m; i++ {
+		hv := hash3(p[i-2], p[i-1], p[i])
+		sh := m - 1 - i
+		if sh == 0 {
+			h.shift0 = h.shift[hv]
+			if h.shift0 == 0 {
+				// The same hash occurred for the final 3-gram earlier in
+				// the pattern; fall back to a safe shift of 1.
+				h.shift0 = 1
+			}
+			h.shift[hv] = 0
+		} else if sh < h.shift[hv] {
+			h.shift[hv] = sh
+		}
+	}
+	if h.shift0 < 1 {
+		h.shift0 = 1
+	}
+}
+
+// Search returns all match positions.
+func (h *Hash3) Search(text []byte) []int {
+	p, m, n := h.pattern, len(h.pattern), len(text)
+	if m > n {
+		return nil
+	}
+	if h.shift == nil {
+		return bruteSearch(p, text)
+	}
+	var out []int
+	j := m - 1
+	for j < n {
+		sh := h.shift[hash3(text[j-2], text[j-1], text[j])]
+		if sh == 0 {
+			pos := j - m + 1
+			if matchAt(p, text, pos) {
+				out = append(out, pos)
+			}
+			j += h.shift0
+		} else {
+			j += sh
+		}
+	}
+	return out
+}
+
+func matchAt(pattern, text []byte, pos int) bool {
+	if pos < 0 || pos+len(pattern) > len(text) {
+		return false
+	}
+	for i, c := range pattern {
+		if text[pos+i] != c {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+package strmatch
+
+// SSEF is Külekci's SSE filter algorithm: the original extracts one chosen
+// bit from each of 16 text bytes with SSE2 (pmovmskb), uses the resulting
+// 16-bit fingerprint to look up candidate alignments in a precomputed
+// filter table, and verifies candidates byte-wise. It excels on long
+// patterns because whole 16-byte blocks are discarded with a couple of
+// instructions.
+//
+// Go has no stdlib SIMD, so this implementation packs 8 text bytes into a
+// uint64 and extracts the chosen bit of each byte with two multiplies and
+// a shift — the same filter-then-verify structure on half the register
+// width. The filtered block width K is 8; patterns must satisfy
+// m ≥ 2·K−1 = 15 so that every occurrence fully contains an aligned
+// block. Shorter patterns fall back to the reference scan (the paper's
+// SSEF likewise requires long patterns; the Hybrid matcher routes short
+// patterns elsewhere).
+type SSEF struct {
+	pattern []byte
+	bit     uint       // which bit of each byte feeds the fingerprint
+	buckets [256][]int // fingerprint → candidate alignment offsets d
+	short   bool
+}
+
+const ssefK = 8 // filter block width (16 in the SSE original)
+
+// NewSSEF creates an unprepared SSEF matcher.
+func NewSSEF() *SSEF { return &SSEF{} }
+
+// Name returns "SSEF".
+func (s *SSEF) Name() string { return "SSEF" }
+
+// MinPatternLen is the shortest pattern the SSEF fast path supports.
+const MinPatternLen = 2*ssefK - 1
+
+// Precompute chooses the most discriminative bit position and builds the
+// fingerprint → alignment table.
+func (s *SSEF) Precompute(pattern []byte) {
+	p := checkPattern(pattern)
+	s.pattern = p
+	m := len(p)
+	s.short = m < MinPatternLen
+	if s.short {
+		return
+	}
+
+	// Pick the bit with frequency closest to 50% across pattern bytes —
+	// the analogue of SSEF's per-pattern shift selection — so fingerprints
+	// spread evenly.
+	bestBit, bestScore := uint(0), -1.0
+	for b := uint(0); b < 8; b++ {
+		ones := 0
+		for _, c := range p {
+			if c>>b&1 == 1 {
+				ones++
+			}
+		}
+		frac := float64(ones) / float64(m)
+		score := -((frac - 0.5) * (frac - 0.5))
+		if bestScore == -1 || score > bestScore {
+			bestScore = score
+			bestBit = b
+		}
+	}
+	s.bit = bestBit
+
+	for i := range s.buckets {
+		s.buckets[i] = nil
+	}
+	// An occurrence starting at text position t covers the aligned block
+	// beginning at t+d for d = (K − t mod K) mod K ∈ [0, K). The block
+	// then holds pattern bytes p[d..d+K); its fingerprint indexes the
+	// candidate list.
+	for d := 0; d < ssefK; d++ {
+		fp := 0
+		for j := 0; j < ssefK; j++ {
+			// fingerprint8 gathers byte j into bit K−1−j.
+			fp |= int(p[d+j]>>s.bit&1) << uint(ssefK-1-j)
+		}
+		s.buckets[fp] = append(s.buckets[fp], d)
+	}
+}
+
+// Search returns all match positions.
+func (s *SSEF) Search(text []byte) []int {
+	p, m, n := s.pattern, len(s.pattern), len(text)
+	if m > n {
+		return nil
+	}
+	if s.short {
+		return bruteSearch(p, text)
+	}
+	var out []int
+	// Scan aligned 8-byte blocks. A match starting at t has its first
+	// fully-contained aligned block at B = ceil(t/K)·K with B+K ≤ t+m
+	// (guaranteed by m ≥ 2K−1), so every occurrence is found exactly once
+	// through that block.
+	for b := 0; b+ssefK <= n; b += ssefK {
+		fp := fingerprint8(text[b:b+ssefK], s.bit)
+		for _, d := range s.buckets[fp] {
+			t := b - d
+			if t >= 0 && t+m <= n && t > b-ssefK && matchAt(p, text, t) {
+				out = append(out, t)
+			}
+		}
+	}
+	sortPositions(out)
+	return out
+}
+
+// fingerprint8 extracts the chosen bit of each of the 8 bytes into an
+// 8-bit value — the word-parallel stand-in for pmovmskb. The multiply
+// gather places byte j's bit at result bit 7−j.
+func fingerprint8(block []byte, bit uint) int {
+	// Load the 8 bytes into a word (little-endian byte j at bits 8j..).
+	w := uint64(block[0]) | uint64(block[1])<<8 | uint64(block[2])<<16 |
+		uint64(block[3])<<24 | uint64(block[4])<<32 | uint64(block[5])<<40 |
+		uint64(block[6])<<48 | uint64(block[7])<<56
+	// Isolate the chosen bit of every byte…
+	w = (w >> bit) & 0x0101010101010101
+	// …and gather the eight isolated bits into the low byte.
+	return int((w * 0x8040201008040201 >> 56) & 0xFF)
+}
+
+// sortPositions sorts a small, mostly-sorted position list in place.
+func sortPositions(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Hybrid is the heuristic matcher of the paper's first case study: it
+// inspects the pattern length and delegates to the expected-best of the
+// seven algorithms — bit-parallel ShiftOr for very short patterns, EBOM
+// for the midrange, and the SSEF filter once patterns are long enough for
+// block filtering to pay off.
+type Hybrid struct {
+	inner Matcher
+}
+
+// NewHybrid creates an unprepared Hybrid matcher.
+func NewHybrid() *Hybrid { return &Hybrid{} }
+
+// Name returns "Hybrid".
+func (h *Hybrid) Name() string { return "Hybrid" }
+
+// Precompute selects and prepares the delegate.
+func (h *Hybrid) Precompute(pattern []byte) {
+	p := checkPattern(pattern)
+	switch {
+	case len(p) <= 8:
+		h.inner = NewShiftOr()
+	case len(p) < MinPatternLen:
+		h.inner = NewEBOM()
+	default:
+		h.inner = NewSSEF()
+	}
+	h.inner.Precompute(p)
+}
+
+// Search delegates to the selected algorithm.
+func (h *Hybrid) Search(text []byte) []int {
+	if h.inner == nil {
+		panic("strmatch: Hybrid.Search before Precompute")
+	}
+	return h.inner.Search(text)
+}
+
+// Delegate returns the name of the algorithm Hybrid selected, or "" before
+// Precompute.
+func (h *Hybrid) Delegate() string {
+	if h.inner == nil {
+		return ""
+	}
+	return h.inner.Name()
+}

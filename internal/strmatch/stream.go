@@ -1,0 +1,66 @@
+package strmatch
+
+import (
+	"fmt"
+	"io"
+)
+
+// DefaultChunkSize is the streaming read granularity of SearchReader.
+const DefaultChunkSize = 1 << 20
+
+// SearchReader searches a stream with an already precomputed matcher,
+// returning absolute match positions. The text is processed in chunks of
+// chunkSize bytes (DefaultChunkSize when ≤ 0) with a len(pattern)−1
+// overlap carried between chunks, so corpora larger than memory — the
+// realistic setting for the paper's string matching workload — stream
+// through a constant-size window. Matches are reported exactly once, in
+// ascending order.
+func SearchReader(m Matcher, r io.Reader, pattern []byte, chunkSize int) ([]int, error) {
+	pl := len(pattern)
+	if pl == 0 {
+		return nil, fmt.Errorf("strmatch: empty pattern")
+	}
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if chunkSize < pl {
+		chunkSize = pl
+	}
+	// The window holds the previous chunk's tail (pl−1 bytes) plus the
+	// current chunk.
+	buf := make([]byte, 0, chunkSize+pl-1)
+	var out []int
+	base := 0 // absolute offset of buf[0]
+	eof := false
+	for !eof {
+		// Fill up to capacity.
+		space := cap(buf) - len(buf)
+		n, err := io.ReadFull(r, buf[len(buf):len(buf)+space])
+		buf = buf[:len(buf)+n]
+		switch err {
+		case nil:
+		case io.EOF, io.ErrUnexpectedEOF:
+			eof = true
+		default:
+			return out, err
+		}
+
+		// Search reports only complete matches, and a complete match
+		// cannot start inside the last pl−1 bytes, so reporting everything
+		// neither duplicates (the carried tail alone is too short to hold
+		// a match) nor loses matches (one straddling the read boundary
+		// completes in the next window).
+		for _, pos := range m.Search(buf) {
+			out = append(out, base+pos)
+		}
+		if eof {
+			break
+		}
+		// Carry the tail.
+		carry := pl - 1
+		base += len(buf) - carry
+		copy(buf, buf[len(buf)-carry:])
+		buf = buf[:carry]
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package strmatch
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+)
+
+func TestSearchReaderMatchesInMemory(t *testing.T) {
+	text := corpus.Bible(1<<19, 4)
+	pattern := []byte(corpus.QueryPhrase)
+	want := bruteSearch(pattern, text)
+	for _, m := range All() {
+		m.Precompute(pattern)
+		for _, chunk := range []int{64, 1024, 1 << 16, 0 /* default */} {
+			got, err := SearchReader(m, bytes.NewReader(text), pattern, chunk)
+			if err != nil {
+				t.Fatalf("%s chunk %d: %v", m.Name(), chunk, err)
+			}
+			if !positionsEqual(got, want) {
+				t.Errorf("%s chunk %d: got %d matches, want %d", m.Name(), chunk, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestSearchReaderBoundaryStraddle(t *testing.T) {
+	// Pattern straddling every possible chunk boundary offset.
+	pattern := []byte("needle")
+	m := NewKMP()
+	m.Precompute(pattern)
+	for offset := 0; offset < 12; offset++ {
+		text := append(bytes.Repeat([]byte("x"), 60+offset), pattern...)
+		text = append(text, bytes.Repeat([]byte("y"), 40)...)
+		got, err := SearchReader(m, bytes.NewReader(text), pattern, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteSearch(pattern, text)
+		if !positionsEqual(got, want) {
+			t.Errorf("offset %d: got %v, want %v", offset, got, want)
+		}
+	}
+}
+
+func TestSearchReaderEdgeCases(t *testing.T) {
+	m := NewBoyerMoore()
+	m.Precompute([]byte("ab"))
+	// Empty stream.
+	got, err := SearchReader(m, bytes.NewReader(nil), []byte("ab"), 16)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty stream: %v %v", got, err)
+	}
+	// Stream shorter than the pattern.
+	got, err = SearchReader(m, bytes.NewReader([]byte("a")), []byte("ab"), 16)
+	if err != nil || len(got) != 0 {
+		t.Errorf("short stream: %v %v", got, err)
+	}
+	// Empty pattern errors.
+	if _, err := SearchReader(m, bytes.NewReader([]byte("x")), nil, 16); err == nil {
+		t.Error("empty pattern did not error")
+	}
+	// Chunk smaller than the pattern is bumped up.
+	m.Precompute([]byte("abcdef"))
+	got, err = SearchReader(m, bytes.NewReader([]byte("xxabcdefxx")), []byte("abcdef"), 2)
+	if err != nil || !positionsEqual(got, []int{2}) {
+		t.Errorf("tiny chunk: %v %v", got, err)
+	}
+}
+
+type failingReader struct{ after int }
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk on fire")
+	}
+	n := f.after
+	if n > len(p) {
+		n = len(p)
+	}
+	for i := 0; i < n; i++ {
+		p[i] = 'x'
+	}
+	f.after -= n
+	return n, nil
+}
+
+func TestSearchReaderPropagatesErrors(t *testing.T) {
+	m := NewKMP()
+	m.Precompute([]byte("zz"))
+	_, err := SearchReader(m, &failingReader{after: 100}, []byte("zz"), 32)
+	if err == nil || err.Error() != "disk on fire" {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+// Property: streaming equals in-memory for random texts, patterns and
+// chunk sizes.
+func TestSearchReaderEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(3000)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + r.Intn(3))
+		}
+		plen := 1 + r.Intn(15)
+		start := r.Intn(n - plen)
+		pattern := append([]byte(nil), text[start:start+plen]...)
+		m := All()[r.Intn(8)]
+		m.Precompute(pattern)
+		want := m.Search(text)
+		chunk := plen + r.Intn(200)
+		got, err := SearchReader(m, bytes.NewReader(text), pattern, chunk)
+		return err == nil && positionsEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

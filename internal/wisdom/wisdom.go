@@ -1,0 +1,182 @@
+// Package wisdom persists tuning results across application runs, in the
+// spirit of FFTW's wisdom files (the first system the paper's related-work
+// section cites): once the online tuner has learned the best algorithm and
+// configuration for a context, the next run starts from that knowledge
+// instead of from scratch.
+//
+// A Store maps context keys — application-defined strings describing the
+// tuned operation, its input regime, and the machine — to the best known
+// (algorithm, configuration, value) triple. Stores merge monotonically:
+// an entry only ever improves. The JSON encoding is stable and
+// human-inspectable.
+package wisdom
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/param"
+)
+
+// An Entry is the best known tuning result for one context.
+type Entry struct {
+	// Algorithm is the winning algorithm's name.
+	Algorithm string `json:"algorithm"`
+	// Config is the winning configuration (internal representation).
+	Config []float64 `json:"config,omitempty"`
+	// Value is the measured value of the winner (lower is better).
+	Value float64 `json:"value"`
+	// Samples counts how many observations back this entry.
+	Samples int `json:"samples"`
+}
+
+// Store is a concurrency-safe wisdom store.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]Entry
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{entries: make(map[string]Entry)}
+}
+
+// Key builds a canonical context key from free-form parts, appending the
+// machine signature (GOOS/GOARCH/GOMAXPROCS) so wisdom learned on one
+// machine is not silently applied to another — the paper's context
+// K = (K_A, K_S) made concrete.
+func Key(parts ...string) string {
+	all := append([]string{}, parts...)
+	all = append(all, fmt.Sprintf("%s/%s/p%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)))
+	return strings.Join(all, "|")
+}
+
+// Lookup returns the entry for a context key.
+func (s *Store) Lookup(key string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+// Record offers a result for a context; it is kept only if it improves on
+// the stored value. It returns true when the entry was updated.
+func (s *Store) Record(key, algorithm string, cfg param.Config, value float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.entries[key]
+	if ok && old.Value <= value {
+		old.Samples++
+		s.entries[key] = old
+		return false
+	}
+	samples := 1
+	if ok {
+		samples = old.Samples + 1
+	}
+	var c []float64
+	if cfg != nil {
+		c = append([]float64{}, cfg...)
+	}
+	s.entries[key] = Entry{Algorithm: algorithm, Config: c, Value: value, Samples: samples}
+	return true
+}
+
+// Keys returns all context keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Merge folds another store's entries in, keeping the better value per
+// key. It returns the number of entries that changed.
+func (s *Store) Merge(o *Store) int {
+	o.mu.Lock()
+	other := make(map[string]Entry, len(o.entries))
+	for k, v := range o.entries {
+		other[k] = v
+	}
+	o.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := 0
+	for k, v := range other {
+		if old, ok := s.entries[k]; !ok || v.Value < old.Value {
+			s.entries[k] = v
+			changed++
+		}
+	}
+	return changed
+}
+
+// Save writes the store as indented JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	snapshot := make(map[string]Entry, len(s.entries))
+	for k, v := range s.entries {
+		snapshot[k] = v
+	}
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snapshot)
+}
+
+// Load reads a store previously written by Save, replacing the contents.
+func Load(r io.Reader) (*Store, error) {
+	var entries map[string]Entry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("wisdom: decode: %w", err)
+	}
+	if entries == nil {
+		entries = make(map[string]Entry)
+	}
+	return &Store{entries: entries}, nil
+}
+
+// SaveFile writes the store to a file (0644), creating or truncating it.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a store from a file; a missing file yields an empty
+// store, so first runs need no special casing.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return NewStore(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

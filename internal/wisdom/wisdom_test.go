@@ -1,0 +1,164 @@
+package wisdom
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/param"
+)
+
+func TestKeyIncludesMachineSignature(t *testing.T) {
+	k := Key("matmul", "n=1024")
+	if !strings.HasPrefix(k, "matmul|n=1024|") {
+		t.Errorf("key prefix wrong: %q", k)
+	}
+	if !strings.Contains(k, "/p") {
+		t.Errorf("key lacks machine signature: %q", k)
+	}
+}
+
+func TestRecordKeepsOnlyImprovements(t *testing.T) {
+	s := NewStore()
+	if !s.Record("k", "a", param.Config{1}, 10) {
+		t.Fatal("first record rejected")
+	}
+	if s.Record("k", "b", param.Config{2}, 12) {
+		t.Fatal("worse record accepted")
+	}
+	e, ok := s.Lookup("k")
+	if !ok || e.Algorithm != "a" || e.Value != 10 || e.Samples != 2 {
+		t.Fatalf("entry after worse offer: %+v", e)
+	}
+	if !s.Record("k", "b", param.Config{2}, 8) {
+		t.Fatal("better record rejected")
+	}
+	e, _ = s.Lookup("k")
+	if e.Algorithm != "b" || e.Value != 8 || e.Samples != 3 {
+		t.Fatalf("entry after improvement: %+v", e)
+	}
+}
+
+func TestRecordCopiesConfig(t *testing.T) {
+	s := NewStore()
+	cfg := param.Config{1, 2}
+	s.Record("k", "a", cfg, 5)
+	cfg[0] = 99
+	e, _ := s.Lookup("k")
+	if e.Config[0] != 1 {
+		t.Error("Record aliased the caller's config")
+	}
+	// Nil config is allowed (parameterless algorithms).
+	s.Record("k2", "plain", nil, 1)
+	if e, _ := s.Lookup("k2"); e.Config != nil {
+		t.Error("nil config should stay nil")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Record("k1", "a", param.Config{1.5, 2}, 10)
+	s.Record("k2", "b", nil, 3)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d entries", loaded.Len())
+	}
+	e, ok := loaded.Lookup("k1")
+	if !ok || e.Algorithm != "a" || e.Config[0] != 1.5 || e.Value != 10 {
+		t.Fatalf("round trip lost data: %+v", e)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON did not error")
+	}
+	s, err := Load(strings.NewReader("null"))
+	if err != nil || s.Len() != 0 {
+		t.Error("null JSON should yield an empty store")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewStore()
+	a.Record("shared", "x", nil, 10)
+	a.Record("only-a", "x", nil, 1)
+	b := NewStore()
+	b.Record("shared", "y", nil, 5) // better
+	b.Record("only-b", "y", nil, 2)
+	if changed := a.Merge(b); changed != 2 {
+		t.Fatalf("Merge changed %d entries, want 2 (shared improved + only-b added)", changed)
+	}
+	if e, _ := a.Lookup("shared"); e.Algorithm != "y" || e.Value != 5 {
+		t.Errorf("merge kept worse entry: %+v", e)
+	}
+	if a.Len() != 3 {
+		t.Errorf("merged store has %d entries", a.Len())
+	}
+	// Merging back only adds only-a; equal values do not churn.
+	if changed := b.Merge(a); changed != 1 {
+		t.Errorf("reverse merge changed %d, want 1 (only-a)", changed)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewStore()
+	s.Record("zebra", "a", nil, 1)
+	s.Record("alpha", "a", nil, 1)
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "alpha" || keys[1] != "zebra" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wisdom.json")
+	// Missing file loads empty.
+	s, err := LoadFile(path)
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("missing file: %v, %d entries", err, s.Len())
+	}
+	s.Record("k", "a", param.Config{4}, 7)
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := again.Lookup("k"); !ok || e.Value != 7 {
+		t.Fatalf("file round trip lost entry: %+v ok=%v", e, ok)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Record("k", "a", param.Config{float64(g)}, float64(100-i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	e, ok := s.Lookup("k")
+	if !ok || e.Value != 1 {
+		t.Fatalf("concurrent best lost: %+v", e)
+	}
+	if e.Samples != 800 {
+		t.Errorf("samples = %d, want 800", e.Samples)
+	}
+}
