@@ -1,0 +1,27 @@
+# Tier-1 gate: `make check` must pass before any change lands.
+GO ?= go
+
+.PHONY: check vet build test race bench figures
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The guard layer's deadline goroutines and quarantine bookkeeping must be
+# race-clean; -race over internal/ covers them plus the parallel matchers
+# and builders.
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/atune-figures

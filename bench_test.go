@@ -247,6 +247,12 @@ func BenchmarkAnalysisA9Regret(b *testing.B) {
 	}
 }
 
+func BenchmarkAblationA10FaultInjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.RunFaultInjection(benchConfig(), exp.DefaultFaultRates(), 500).RenderFigureA10(io.Discard)
+	}
+}
+
 func BenchmarkExtensionX3MixedNominal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		exp.AblationMixedNominal(io.Discard, 3, 300, 1)

@@ -5,19 +5,29 @@
 //
 // Usage:
 //
-//	atune-demo [-strategy name] [-iters N] [-seed S]
+//	atune-demo [-strategy name] [-iters N] [-seed S] [-faults] [-guard]
 //
 // Strategy names: egreedy:5, egreedy:10, egreedy:20, gradient, optimum,
 // auc, random, roundrobin, softmax:<temp>.
+//
+// -faults makes the plainly-bad algorithm fail three out of every four
+// runs, cycling panic → NaN → hang → ok. Without -guard that crashes the
+// loop on the very first visit to the bad arm — run with both flags to
+// watch the fault-tolerant measurement layer (guard + quarantine +
+// degradation watchdog) absorb the failures and still converge.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/nominal"
 	"repro/internal/param"
 )
@@ -29,6 +39,8 @@ func main() {
 		strategy = flag.String("strategy", "egreedy:10", "phase-two selection strategy")
 		iters    = flag.Int("iters", 120, "tuning iterations")
 		seed     = flag.Int64("seed", 1, "seed")
+		faults   = flag.Bool("faults", false, "make the plainly-bad algorithm fail 3 of 4 runs (panic/NaN/hang cycle)")
+		guarded  = flag.Bool("guard", false, "enable the fault-tolerant measurement layer (guard + quarantine)")
 	)
 	flag.Parse()
 
@@ -65,7 +77,47 @@ func main() {
 		}
 	}
 
-	tuner, err := core.New(algos, sel, nil, *seed)
+	const faultyAlgo = 2
+	if *faults {
+		// The mutex matters under -guard: a hung measurement is abandoned
+		// by the deadline and its goroutine would otherwise race the next
+		// call on the visit counter.
+		var mu sync.Mutex
+		visits := 0
+		inner := measure
+		measure = func(algo int, cfg param.Config) float64 {
+			if algo == faultyAlgo {
+				mu.Lock()
+				v := visits
+				visits++
+				mu.Unlock()
+				switch v % 4 {
+				case 0:
+					panic("injected fault in plainly-bad")
+				case 1:
+					return math.NaN()
+				case 2:
+					time.Sleep(250 * time.Millisecond)
+					return math.NaN()
+				}
+			}
+			return inner(algo, cfg)
+		}
+		if !*guarded {
+			fmt.Println("injecting faults WITHOUT -guard: expect a crash")
+		}
+	}
+
+	var q *guard.Quarantine
+	var opts []core.Option
+	if *guarded {
+		q = guard.NewQuarantine(sel)
+		q.K = 2
+		sel = q
+		opts = append(opts, core.WithGuard(guard.WithTimeout(50*time.Millisecond)))
+	}
+
+	tuner, err := core.New(algos, sel, nil, *seed, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,8 +126,12 @@ func main() {
 	for i := 0; i < *iters; i++ {
 		rec := tuner.Step(measure)
 		if i < 10 || i%10 == 0 {
-			fmt.Printf("iter %3d  ran %-15s cost %6.2f\n",
-				rec.Iteration, algos[rec.Algo].Name, rec.Value)
+			status := ""
+			if rec.Failed {
+				status = "  [failed: penalized]"
+			}
+			fmt.Printf("iter %3d  ran %-15s cost %6.2f%s\n",
+				rec.Iteration, algos[rec.Algo].Name, rec.Value, status)
 		}
 	}
 
@@ -93,6 +149,13 @@ func main() {
 		fmt.Printf("%s=%d", algos[i].Name, c)
 	}
 	fmt.Println()
+	if *guarded {
+		fs := tuner.FailureStats()
+		fmt.Printf("failures       : %d total (%d panics, %d timeouts, %d invalid)\n",
+			fs.Total, fs.Panics, fs.Timeouts, fs.Invalids)
+		fmt.Printf("quarantine     : %s tripped %d times; degraded=%v, pinned iters=%d\n",
+			algos[faultyAlgo].Name, q.Trips(faultyAlgo), tuner.Degraded(), fs.PinnedIterations)
+	}
 	if best != 1 {
 		fmt.Fprintln(os.Stderr, "note: the tunable algorithm was not identified as best; try more iterations")
 		os.Exit(1)

@@ -14,10 +14,11 @@ import (
 // tuning phases.
 
 // MedianOfK wraps a measurement function so each observation is the
-// median of k runs. Odd k uses the true middle sample; the decorator
-// multiplies the cost of every tuning iteration by k, so it only pays off
-// when the noise is comparable to the differences the tuner must resolve
-// (ablation A8 quantifies the trade).
+// median of k runs: the true middle sample for odd k, the mean of the two
+// middle samples for even k. The decorator multiplies the cost of every
+// tuning iteration by k, so it only pays off when the noise is comparable
+// to the differences the tuner must resolve (ablation A8 quantifies the
+// trade).
 func MedianOfK(m Measure, k int) Measure {
 	if k < 1 {
 		k = 1
@@ -31,6 +32,9 @@ func MedianOfK(m Measure, k int) Measure {
 			vals[i] = m(algo, cfg)
 		}
 		sort.Float64s(vals)
+		if k%2 == 0 {
+			return (vals[k/2-1] + vals[k/2]) / 2
+		}
 		return vals[k/2]
 	}
 }

@@ -24,6 +24,25 @@ func TestMedianOfK(t *testing.T) {
 	if i != 5 {
 		t.Errorf("k=5 should consume 5 measurements, consumed %d", i)
 	}
+	// Even k averages the two middle samples instead of returning the
+	// upper one.
+	evens := []float64{1, 2, 10, 100}
+	i = 0
+	mEven := func(int, param.Config) float64 {
+		v := evens[i%len(evens)]
+		i++
+		return v
+	}
+	if got := MedianOfK(mEven, 4)(0, nil); got != 6 {
+		t.Errorf("median of %v = %g, want (2+10)/2 = 6", evens, got)
+	}
+	if i != 4 {
+		t.Errorf("k=4 should consume 4 measurements, consumed %d", i)
+	}
+	i = 0
+	if got := MedianOfK(mEven, 2)(0, nil); got != 1.5 {
+		t.Errorf("median of first two = %g, want 1.5", got)
+	}
 	// k ≤ 1 is the identity (no extra evaluations).
 	i = 0
 	id := MedianOfK(m, 1)

@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/guard"
 	"repro/internal/nominal"
 	"repro/internal/param"
 	"repro/internal/search"
@@ -60,7 +61,11 @@ type Record struct {
 	// Config is the configuration that was run.
 	Config param.Config
 	// Value is the measured value (lower is better; time in the paper).
+	// For failed iterations it is the substituted penalty.
 	Value float64
+	// Failed reports that the measurement failed (panic, timeout, or
+	// invalid sample) and Value is a penalty, not an observation.
+	Failed bool
 }
 
 // Measure is the measurement function m: it runs algorithm algo with
@@ -90,6 +95,29 @@ type Tuner struct {
 	bestVal        float64
 	keepHistory    bool
 	perAlgoHistory [][]float64
+
+	// Fault tolerance (see WithGuard / WithWatchdog and FailureStats).
+	guard       *guard.Guard
+	worstVal    float64 // worst valid observation, for the no-guard penalty
+	failTotal   int
+	failPanics  int
+	failTimeout int
+	failInvalid int
+	failPerAlgo []int
+	lastValue   float64 // value recorded by the most recent observation
+	lastFailed  bool
+
+	// Failure-rate watchdog ring buffer and degradation state.
+	watchWindow int
+	degradeAt   float64
+	recoverAt   float64
+	recent      []bool
+	recentIdx   int
+	recentFill  int
+	recentFails int
+	degraded    bool
+	pinned      bool // the pending observation is a pinned (degraded) run
+	pinnedIters int
 }
 
 // Option configures a Tuner.
@@ -100,6 +128,34 @@ type Option func(*Tuner)
 // to keep memory constant.
 func WithoutHistory() Option {
 	return func(t *Tuner) { t.keepHistory = false }
+}
+
+// WithGuard installs a fault-tolerance guard built from the given
+// options (see package guard): Step/Run route every measurement through
+// it, so panics are recovered, deadlines enforced (guard.WithTimeout),
+// and invalid samples rejected — each failure feeding a penalty to both
+// tuning phases instead of crashing or poisoning the loop. Ask/tell
+// callers wrap their measurement with Tuner.Guard().SafeMeasure (or call
+// ObserveFailure directly). Combine with a guard.Quarantine selector to
+// also suspend persistently failing algorithms.
+func WithGuard(opts ...guard.Option) Option {
+	return func(t *Tuner) { t.guard = guard.New(opts...) }
+}
+
+// WithWatchdog tunes the failure-rate watchdog behind the degradation
+// mode: when the failure rate over the last window completed iterations
+// reaches threshold (in (0, 1]), the tuner stops exploring and pins the
+// known-good incumbent until the rate falls back below threshold/2.
+// The default is window 32, threshold 0.5. A window of 0 disables the
+// watchdog entirely.
+func WithWatchdog(window int, threshold float64) Option {
+	return func(t *Tuner) {
+		t.watchWindow = window
+		if threshold > 0 && threshold <= 1 {
+			t.degradeAt = threshold
+			t.recoverAt = threshold / 2
+		}
+	}
 }
 
 // New creates a two-phase tuner over the given algorithms.
@@ -129,6 +185,10 @@ func New(algos []Algorithm, selector nominal.Selector, factory search.Factory, s
 		bestAlgo:    -1,
 		bestVal:     math.Inf(1),
 		keepHistory: true,
+		failPerAlgo: make([]int, len(algos)),
+		watchWindow: DefaultWatchWindow,
+		degradeAt:   DefaultDegradeThreshold,
+		recoverAt:   DefaultDegradeThreshold / 2,
 	}
 	for _, o := range opts {
 		o(t)
@@ -151,6 +211,16 @@ func New(algos []Algorithm, selector nominal.Selector, factory search.Factory, s
 	t.perAlgoHistory = make([][]float64, len(algos))
 	return t, nil
 }
+
+// Watchdog defaults (see WithWatchdog).
+const (
+	// DefaultWatchWindow is the number of recent iterations over which
+	// the failure rate is computed.
+	DefaultWatchWindow = 32
+	// DefaultDegradeThreshold is the recent failure rate at which the
+	// tuner enters degradation mode; it exits at half this rate.
+	DefaultDegradeThreshold = 0.5
+)
 
 // DefaultFactory builds the paper's phase-one strategy, Nelder-Mead.
 func DefaultFactory() search.Strategy { return search.NewNelderMead() }
@@ -180,10 +250,20 @@ func (t *Tuner) AlgorithmName(i int) string { return t.algos[i].Name }
 
 // Next performs phase two (algorithm selection) and phase one
 // (configuration proposal) and returns what the application should run
-// this iteration. Every Next must be matched by exactly one Observe.
+// this iteration. Every Next must be matched by exactly one Observe (or
+// ObserveFailure). In degradation mode — the recent failure rate crossed
+// the watchdog threshold — Next stops exploring and returns the pinned
+// known-good incumbent instead.
 func (t *Tuner) Next() (algo int, cfg param.Config) {
 	if t.pending {
 		panic("core: Next called with an observation pending")
+	}
+	if t.degraded && t.bestAlgo >= 0 {
+		t.pending = true
+		t.pinned = true
+		t.pendingAlgo = t.bestAlgo
+		t.pendingCfg = t.bestCfg.Clone()
+		return t.bestAlgo, t.bestCfg.Clone()
 	}
 	algo = t.selector.Select(t.rng)
 	cfg = t.strategies[algo].Propose()
@@ -195,14 +275,68 @@ func (t *Tuner) Next() (algo int, cfg param.Config) {
 
 // Observe reports the measured value of the configuration returned by the
 // preceding Next, feeding both tuning phases.
+//
+// Non-finite values (NaN, ±Inf) are never accepted as observations, even
+// without WithGuard: a NaN sample would silently poison every comparison
+// in both phases. The policy is penalty, never incumbent — the iteration
+// is recorded as an Invalid failure whose value is the penalty (the worst
+// valid observation × guard.DefaultPenaltyFactor, or
+// guard.DefaultFallbackPenalty before any), so the strategies steer away,
+// and Best() is never contaminated.
 func (t *Tuner) Observe(value float64) {
 	if !t.pending {
 		panic("core: Observe called without a pending Next")
 	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		t.observe(t.penalty(), &guard.Failure{
+			Kind: guard.Invalid,
+			Algo: t.pendingAlgo,
+			Err:  fmt.Errorf("core: non-finite measurement %v", value),
+		})
+		return
+	}
+	t.observe(value, nil)
+}
+
+// ObserveFailure reports that the pending measurement failed. Ask/tell
+// loops running their measurement through guard.(*Guard).Invoke use this
+// to complete the iteration: the failure's penalty (or the tuner's, when
+// unset) is fed to both phases, the incumbent is left untouched, and the
+// failure is counted in FailureStats.
+func (t *Tuner) ObserveFailure(f guard.Failure) {
+	if !t.pending {
+		panic("core: ObserveFailure called without a pending Next")
+	}
+	p := f.Penalty
+	if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+		p = t.penalty()
+		f.Penalty = p
+	}
+	t.observe(p, &f)
+}
+
+// observe completes the pending iteration with the recorded value and an
+// optional failure. Pinned (degradation-mode) iterations bypass both
+// tuning phases: the incumbent configuration was not proposed by its
+// strategy, so reporting it would corrupt the ask/tell state machines.
+func (t *Tuner) observe(value float64, fail *guard.Failure) {
 	t.pending = false
+	pinned := t.pinned
+	t.pinned = false
 	algo, cfg := t.pendingAlgo, t.pendingCfg
-	t.strategies[algo].Report(cfg, value)
-	t.selector.Report(algo, value)
+	failed := fail != nil
+
+	if pinned {
+		t.pinnedIters++
+	} else {
+		if failed {
+			if fa, ok := t.selector.(guard.FailureAware); ok {
+				fa.ReportFailure(algo, *fail)
+			}
+		}
+		t.strategies[algo].Report(cfg, value)
+		t.selector.Report(algo, value)
+	}
 	t.counts[algo]++
 	if t.keepHistory {
 		t.history = append(t.history, Record{
@@ -210,23 +344,95 @@ func (t *Tuner) Observe(value float64) {
 			Algo:      algo,
 			Config:    cfg,
 			Value:     value,
+			Failed:    failed,
 		})
 	}
 	t.perAlgoHistory[algo] = append(t.perAlgoHistory[algo], value)
-	if value < t.bestVal {
-		t.bestVal = value
-		t.bestAlgo = algo
-		t.bestCfg = cfg.Clone()
+	if failed {
+		t.failTotal++
+		t.failPerAlgo[algo]++
+		switch fail.Kind {
+		case guard.Panic:
+			t.failPanics++
+		case guard.Timeout:
+			t.failTimeout++
+		default:
+			t.failInvalid++
+		}
+	} else {
+		if value > t.worstVal {
+			t.worstVal = value
+		}
+		if value < t.bestVal {
+			t.bestVal = value
+			t.bestAlgo = algo
+			t.bestCfg = cfg.Clone()
+		}
+	}
+	t.lastValue, t.lastFailed = value, failed
+	t.watch(failed)
+}
+
+// penalty returns the value substituted for a failed observation.
+func (t *Tuner) penalty() float64 {
+	if t.guard != nil {
+		return t.guard.Penalty()
+	}
+	if t.worstVal > 0 {
+		return t.worstVal * guard.DefaultPenaltyFactor
+	}
+	return guard.DefaultFallbackPenalty
+}
+
+// watch feeds the failure-rate watchdog and toggles degradation mode.
+func (t *Tuner) watch(failed bool) {
+	if t.watchWindow <= 0 {
+		return
+	}
+	if t.recent == nil {
+		t.recent = make([]bool, t.watchWindow)
+	}
+	if t.recentFill == t.watchWindow {
+		if t.recent[t.recentIdx] {
+			t.recentFails--
+		}
+	} else {
+		t.recentFill++
+	}
+	t.recent[t.recentIdx] = failed
+	if failed {
+		t.recentFails++
+	}
+	t.recentIdx = (t.recentIdx + 1) % t.watchWindow
+	rate := float64(t.recentFails) / float64(t.recentFill)
+	if !t.degraded {
+		// Enter only with a half-full window (one early failure is not a
+		// trend) and a known-good incumbent to pin.
+		if t.recentFill >= (t.watchWindow+1)/2 && rate >= t.degradeAt && t.bestAlgo >= 0 {
+			t.degraded = true
+		}
+	} else if rate <= t.recoverAt {
+		t.degraded = false
 	}
 }
 
 // Step runs one complete tuning iteration with the given measurement
-// function and returns its record.
+// function and returns its record. With WithGuard installed the
+// measurement runs under the guard: panics, deadline overruns, and
+// invalid samples become penalized failures instead of crashes.
 func (t *Tuner) Step(m Measure) Record {
 	algo, cfg := t.Next()
-	v := m(algo, cfg)
-	t.Observe(v)
-	return Record{Iteration: t.Iterations() - 1, Algo: algo, Config: cfg, Value: v}
+	if t.guard != nil {
+		v, fail := t.guard.Invoke(m, algo, cfg)
+		if fail != nil {
+			t.ObserveFailure(*fail)
+		} else {
+			t.Observe(v)
+		}
+	} else {
+		t.Observe(m(algo, cfg))
+	}
+	return Record{Iteration: t.Iterations() - 1, Algo: algo, Config: cfg, Value: t.lastValue, Failed: t.lastFailed}
 }
 
 // Run executes iters tuning iterations. This is the whole online tuning
@@ -272,6 +478,53 @@ func (t *Tuner) Best() (algo int, cfg param.Config, value float64) {
 func (t *Tuner) BestConfigOf(algo int) (param.Config, float64) {
 	return t.strategies[algo].Best()
 }
+
+// FailureStats summarizes the failures seen by a tuner (see
+// Tuner.FailureStats).
+type FailureStats struct {
+	// Total counts failed iterations; Panics, Timeouts and Invalids break
+	// them down by guard.Kind.
+	Total, Panics, Timeouts, Invalids int
+	// PerAlgo counts failed iterations per algorithm.
+	PerAlgo []int
+	// RecentRate is the failure fraction over the watchdog window
+	// (0 before any iteration).
+	RecentRate float64
+	// Degraded reports that the tuner is currently pinning the incumbent
+	// instead of exploring; PinnedIterations counts iterations spent so.
+	Degraded         bool
+	PinnedIterations int
+}
+
+// FailureStats returns the failure counters maintained alongside
+// Counts(). Failures are counted whether they arrive through a guard
+// (Step with WithGuard), through ObserveFailure, or through Observe's
+// non-finite-sample sanitizing.
+func (t *Tuner) FailureStats() FailureStats {
+	s := FailureStats{
+		Total:            t.failTotal,
+		Panics:           t.failPanics,
+		Timeouts:         t.failTimeout,
+		Invalids:         t.failInvalid,
+		PerAlgo:          make([]int, len(t.failPerAlgo)),
+		Degraded:         t.degraded,
+		PinnedIterations: t.pinnedIters,
+	}
+	copy(s.PerAlgo, t.failPerAlgo)
+	if t.recentFill > 0 {
+		s.RecentRate = float64(t.recentFails) / float64(t.recentFill)
+	}
+	return s
+}
+
+// Guard exposes the guard installed by WithGuard (nil without it), e.g.
+// so ask/tell loops can wrap their measurement with SafeMeasure or
+// Invoke.
+func (t *Tuner) Guard() *guard.Guard { return t.guard }
+
+// Degraded reports whether the tuner is currently in degradation mode,
+// pinning the known-good incumbent instead of exploring.
+func (t *Tuner) Degraded() bool { return t.degraded }
 
 // Counts returns a copy of the per-algorithm selection counts — the data
 // behind the paper's Figures 4 and 8.
@@ -332,7 +585,14 @@ func Settled(window int, tol float64) func(*Tuner) bool {
 	return func(t *Tuner) bool {
 		_, _, best := t.Best()
 		iter := t.Iterations()
-		if best < refBest*(1-tol) || math.IsInf(refBest, 1) && !math.IsInf(best, 1) {
+		if math.IsInf(best, 1) {
+			// No finite best exists (every iteration failed so far): the
+			// tuner cannot have converged on anything, however long the
+			// plateau. The window starts counting from the first success.
+			lastImproved = iter
+			return false
+		}
+		if math.IsInf(refBest, 1) || best < refBest*(1-tol) {
 			refBest = best
 			lastImproved = iter
 			return false

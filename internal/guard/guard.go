@@ -1,0 +1,351 @@
+// Package guard is the fault-tolerance layer of the autotuner. The paper
+// (§II-A) assumes the tuned operation always returns a valid measurement;
+// a production tuning loop cannot: algorithms crash on edge-case inputs,
+// hang on pathological ones, and instrumentation occasionally emits
+// NaN/Inf. Without protection a single panicking Measure call kills the
+// whole loop, and one NaN sample silently poisons the phase-one
+// strategies' comparisons forever.
+//
+// The package provides two composable pieces:
+//
+//   - Guard / SafeMeasure: a measurement decorator that recovers panics,
+//     enforces a per-call deadline, validates samples, and converts every
+//     failure into a typed Failure plus a finite penalty value, so the
+//     search strategies steer away from crashing configurations instead
+//     of dying.
+//   - Quarantine: a nominal.Selector decorator implementing a per-arm
+//     circuit breaker with exponential backoff and forced re-probes, so
+//     persistently failing algorithms stop being run — without ever being
+//     permanently excluded (the paper's strictly-positive-weight
+//     invariant, extended to the failure domain).
+//
+// core.Tuner integrates both through its WithGuard option and a
+// failure-rate watchdog (degradation mode); see core.FailureStats.
+package guard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/param"
+)
+
+// Kind classifies a measurement failure.
+type Kind uint8
+
+const (
+	// Panic: the measurement function panicked and was recovered.
+	Panic Kind = iota
+	// Timeout: the measurement exceeded the guard's per-call deadline.
+	Timeout
+	// Invalid: the measurement returned but its sample failed validation
+	// (NaN, ±Inf, or negative under the default validator).
+	Invalid
+
+	numKinds
+)
+
+// String returns "panic", "timeout" or "invalid".
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Timeout:
+		return "timeout"
+	case Invalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// A Failure describes one failed measurement. It implements error.
+type Failure struct {
+	// Kind is the failure class.
+	Kind Kind
+	// Algo is the algorithm whose measurement failed.
+	Algo int
+	// Err carries the recovered panic value, the deadline, or the
+	// validation error.
+	Err error
+	// Penalty is the finite value substituted for the failed sample.
+	Penalty float64
+}
+
+// Error formats the failure.
+func (f Failure) Error() string {
+	return fmt.Sprintf("guard: algorithm %d %s: %v", f.Algo, f.Kind, f.Err)
+}
+
+// Default penalty policy constants.
+const (
+	// DefaultPenaltyFactor scales the worst valid observation into the
+	// penalty substituted for failed measurements.
+	DefaultPenaltyFactor = 10.0
+	// DefaultFallbackPenalty is the penalty used before any valid
+	// observation exists to scale from.
+	DefaultFallbackPenalty = 1e6
+)
+
+// A Guard wraps raw measurement calls with panic recovery, an optional
+// per-call deadline, and sample validation. Failed calls yield a penalty
+// value instead of a valid sample: large enough that every strategy ranks
+// the failing configuration last, finite so that no comparison is
+// poisoned. A Guard is safe for concurrent use.
+type Guard struct {
+	timeout   time.Duration
+	factor    float64
+	fallback  float64
+	validate  func(float64) error
+	onFailure func(Failure)
+
+	mu       sync.Mutex
+	worst    float64
+	total    int
+	failures int
+	kinds    [numKinds]int
+	perAlgo  []algoStats
+}
+
+type algoStats struct{ total, failed int }
+
+// Option configures a Guard.
+type Option func(*Guard)
+
+// WithTimeout sets the per-call deadline. Zero (the default) disables the
+// deadline: a timed-out measurement cannot be killed — its goroutine keeps
+// running detached until it returns on its own — so deadlines are opt-in.
+func WithTimeout(d time.Duration) Option {
+	return func(g *Guard) { g.timeout = d }
+}
+
+// WithPenaltyFactor sets the multiple of the worst valid observation used
+// as the penalty for failed measurements. Values ≤ 1 are clamped to the
+// default: a penalty below the worst observation would make failing
+// configurations look competitive.
+func WithPenaltyFactor(f float64) Option {
+	return func(g *Guard) {
+		if f > 1 && !math.IsInf(f, 0) && !math.IsNaN(f) {
+			g.factor = f
+		}
+	}
+}
+
+// WithFallbackPenalty sets the penalty used before any valid observation
+// exists. It must be positive and finite.
+func WithFallbackPenalty(v float64) Option {
+	return func(g *Guard) {
+		if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
+			g.fallback = v
+		}
+	}
+}
+
+// WithValidator replaces the default sample validator (reject NaN, ±Inf,
+// negative). The validator returns a non-nil error for invalid samples.
+func WithValidator(fn func(float64) error) Option {
+	return func(g *Guard) {
+		if fn != nil {
+			g.validate = fn
+		}
+	}
+}
+
+// OnFailure installs a callback invoked (outside the guard's lock) for
+// every failure, e.g. for logging.
+func OnFailure(fn func(Failure)) Option {
+	return func(g *Guard) { g.onFailure = fn }
+}
+
+// New creates a Guard with the default penalty policy.
+func New(opts ...Option) *Guard {
+	g := &Guard{
+		factor:   DefaultPenaltyFactor,
+		fallback: DefaultFallbackPenalty,
+		validate: ValidateSample,
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// ValidateSample is the default validator: a sample must be finite and
+// non-negative (the tuner minimizes a time-like quantity).
+func ValidateSample(v float64) error {
+	switch {
+	case math.IsNaN(v):
+		return fmt.Errorf("NaN sample")
+	case math.IsInf(v, 0):
+		return fmt.Errorf("infinite sample %g", v)
+	case v < 0:
+		return fmt.Errorf("negative sample %g", v)
+	}
+	return nil
+}
+
+// Invoke runs one measurement under the guard. On success it returns the
+// sample and a nil Failure; on any failure it returns the penalty value
+// and the Failure describing what happened (with Penalty filled in).
+func (g *Guard) Invoke(m func(algo int, cfg param.Config) float64, algo int, cfg param.Config) (float64, *Failure) {
+	v, fail := g.execute(m, algo, cfg)
+
+	g.mu.Lock()
+	g.grow(algo)
+	g.total++
+	if algo >= 0 {
+		g.perAlgo[algo].total++
+	}
+	if fail == nil {
+		if v > g.worst {
+			g.worst = v
+		}
+		g.mu.Unlock()
+		return v, nil
+	}
+	fail.Penalty = g.penaltyLocked()
+	g.failures++
+	g.kinds[fail.Kind]++
+	if algo >= 0 {
+		g.perAlgo[algo].failed++
+	}
+	cb := g.onFailure
+	g.mu.Unlock()
+
+	if cb != nil {
+		cb(*fail)
+	}
+	return fail.Penalty, fail
+}
+
+// execute runs the raw measurement with panic recovery and the optional
+// deadline, returning the raw sample or a Failure (without Penalty).
+func (g *Guard) execute(m func(int, param.Config) float64, algo int, cfg param.Config) (float64, *Failure) {
+	if g.timeout <= 0 {
+		v, fail := call(m, algo, cfg)
+		if fail != nil {
+			return 0, fail
+		}
+		return g.check(algo, v)
+	}
+
+	type outcome struct {
+		v    float64
+		fail *Failure
+	}
+	// Buffer 1 so an abandoned (timed-out) measurement goroutine can
+	// still complete its send and be collected instead of leaking blocked.
+	ch := make(chan outcome, 1)
+	go func() {
+		v, fail := call(m, algo, cfg)
+		ch <- outcome{v: v, fail: fail}
+	}()
+	timer := time.NewTimer(g.timeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		if out.fail != nil {
+			return 0, out.fail
+		}
+		return g.check(algo, out.v)
+	case <-timer.C:
+		return 0, &Failure{
+			Kind: Timeout,
+			Algo: algo,
+			Err:  fmt.Errorf("measurement exceeded %v", g.timeout),
+		}
+	}
+}
+
+// call runs m with panic recovery.
+func call(m func(int, param.Config) float64, algo int, cfg param.Config) (v float64, fail *Failure) {
+	defer func() {
+		if r := recover(); r != nil {
+			fail = &Failure{Kind: Panic, Algo: algo, Err: fmt.Errorf("recovered panic: %v", r)}
+		}
+	}()
+	return m(algo, cfg), nil
+}
+
+// check validates a returned sample.
+func (g *Guard) check(algo int, v float64) (float64, *Failure) {
+	if err := g.validate(v); err != nil {
+		return 0, &Failure{Kind: Invalid, Algo: algo, Err: err}
+	}
+	return v, nil
+}
+
+// Penalty returns the value currently substituted for a failed
+// measurement: the worst valid observation times the penalty factor, or
+// the fallback penalty before any valid observation exists.
+func (g *Guard) Penalty() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.penaltyLocked()
+}
+
+func (g *Guard) penaltyLocked() float64 {
+	if g.worst > 0 {
+		return g.worst * g.factor
+	}
+	return g.fallback
+}
+
+func (g *Guard) grow(algo int) {
+	for algo >= 0 && len(g.perAlgo) <= algo {
+		g.perAlgo = append(g.perAlgo, algoStats{})
+	}
+}
+
+// Stats summarizes everything the guard has seen.
+type Stats struct {
+	// Total and Failures count guarded measurement calls.
+	Total, Failures int
+	// Panics, Timeouts, Invalids break the failures down by kind.
+	Panics, Timeouts, Invalids int
+	// Worst is the worst (largest) valid observation, 0 before any.
+	Worst float64
+	// PerAlgoMeasurements and PerAlgoFailures are indexed by algorithm.
+	PerAlgoMeasurements, PerAlgoFailures []int
+}
+
+// Stats returns a snapshot of the guard's counters.
+func (g *Guard) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := Stats{
+		Total:    g.total,
+		Failures: g.failures,
+		Panics:   g.kinds[Panic],
+		Timeouts: g.kinds[Timeout],
+		Invalids: g.kinds[Invalid],
+		Worst:    g.worst,
+	}
+	s.PerAlgoMeasurements = make([]int, len(g.perAlgo))
+	s.PerAlgoFailures = make([]int, len(g.perAlgo))
+	for i, a := range g.perAlgo {
+		s.PerAlgoMeasurements[i] = a.total
+		s.PerAlgoFailures[i] = a.failed
+	}
+	return s
+}
+
+// SafeMeasure wraps a raw measurement function so it can never crash or
+// poison the tuning loop: failures come back as the guard's penalty
+// value. The function type is assignable to core.Measure; ask/tell loops
+// that need the failure itself (to call Tuner.ObserveFailure) should use
+// Invoke instead.
+func (g *Guard) SafeMeasure(m func(algo int, cfg param.Config) float64) func(algo int, cfg param.Config) float64 {
+	return func(algo int, cfg param.Config) float64 {
+		v, _ := g.Invoke(m, algo, cfg)
+		return v
+	}
+}
+
+// SafeMeasure is the package-level convenience: wrap m with a fresh Guard
+// configured by opts.
+func SafeMeasure(m func(algo int, cfg param.Config) float64, opts ...Option) func(algo int, cfg param.Config) float64 {
+	return New(opts...).SafeMeasure(m)
+}

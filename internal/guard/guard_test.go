@@ -1,0 +1,226 @@
+package guard
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/param"
+)
+
+func TestInvokeRecoversPanic(t *testing.T) {
+	g := New()
+	m := func(int, param.Config) float64 { panic("boom") }
+	v, fail := g.Invoke(m, 2, nil)
+	if fail == nil {
+		t.Fatal("panic not converted into a Failure")
+	}
+	if fail.Kind != Panic || fail.Algo != 2 {
+		t.Errorf("failure = %+v, want Kind=Panic Algo=2", fail)
+	}
+	if !strings.Contains(fail.Error(), "panic") {
+		t.Errorf("Error() = %q", fail.Error())
+	}
+	if v != DefaultFallbackPenalty || fail.Penalty != v {
+		t.Errorf("penalty before any valid sample = %g, want fallback %g", v, DefaultFallbackPenalty)
+	}
+}
+
+func TestInvokeTimeout(t *testing.T) {
+	g := New(WithTimeout(10 * time.Millisecond))
+	m := func(int, param.Config) float64 {
+		time.Sleep(200 * time.Millisecond)
+		return 1
+	}
+	start := time.Now()
+	_, fail := g.Invoke(m, 0, nil)
+	if fail == nil || fail.Kind != Timeout {
+		t.Fatalf("failure = %+v, want Timeout", fail)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("Invoke blocked %v despite the 10ms deadline", elapsed)
+	}
+	// The abandoned goroutine must neither crash nor race when it later
+	// completes while new measurements run (the race detector checks).
+	for i := 0; i < 3; i++ {
+		if v, fail := g.Invoke(func(int, param.Config) float64 { return 5 }, 0, nil); fail != nil || v != 5 {
+			t.Fatalf("follow-up measurement = (%g, %v)", v, fail)
+		}
+	}
+	time.Sleep(250 * time.Millisecond) // let the abandoned goroutine finish
+}
+
+func TestInvokeTimeoutPanicInGoroutine(t *testing.T) {
+	// A panic inside the deadline goroutine must be recovered there, not
+	// crash the process.
+	g := New(WithTimeout(time.Second))
+	_, fail := g.Invoke(func(int, param.Config) float64 { panic("async boom") }, 1, nil)
+	if fail == nil || fail.Kind != Panic {
+		t.Fatalf("failure = %+v, want Panic", fail)
+	}
+}
+
+func TestInvokeValidatesSamples(t *testing.T) {
+	cases := []struct {
+		name string
+		v    float64
+		bad  bool
+	}{
+		{"nan", math.NaN(), true},
+		{"+inf", math.Inf(1), true},
+		{"-inf", math.Inf(-1), true},
+		{"negative", -1, true},
+		{"zero", 0, false},
+		{"positive", 3.5, false},
+	}
+	for _, c := range cases {
+		g := New()
+		v, fail := g.Invoke(func(int, param.Config) float64 { return c.v }, 0, nil)
+		if c.bad {
+			if fail == nil || fail.Kind != Invalid {
+				t.Errorf("%s: failure = %+v, want Invalid", c.name, fail)
+			}
+		} else {
+			if fail != nil || v != c.v {
+				t.Errorf("%s: (%g, %v), want (%g, nil)", c.name, v, fail, c.v)
+			}
+		}
+	}
+}
+
+func TestPenaltyTracksWorstObservation(t *testing.T) {
+	g := New()
+	obs := func(v float64) {
+		if _, fail := g.Invoke(func(int, param.Config) float64 { return v }, 0, nil); fail != nil {
+			t.Fatalf("valid sample %g rejected: %v", v, fail)
+		}
+	}
+	obs(10)
+	obs(50)
+	obs(20)
+	if p := g.Penalty(); p != 50*DefaultPenaltyFactor {
+		t.Errorf("penalty = %g, want worst(50) × %g", p, DefaultPenaltyFactor)
+	}
+	v, fail := g.Invoke(func(int, param.Config) float64 { panic("x") }, 0, nil)
+	if fail == nil || v != 500 || fail.Penalty != 500 {
+		t.Errorf("failed call returned (%g, %+v), want penalty 500", v, fail)
+	}
+}
+
+func TestPenaltyOptions(t *testing.T) {
+	g := New(WithPenaltyFactor(3), WithFallbackPenalty(42))
+	if p := g.Penalty(); p != 42 {
+		t.Errorf("fallback penalty = %g, want 42", p)
+	}
+	g.Invoke(func(int, param.Config) float64 { return 7 }, 0, nil)
+	if p := g.Penalty(); p != 21 {
+		t.Errorf("penalty = %g, want 7×3", p)
+	}
+	// Degenerate options are clamped to the defaults.
+	d := New(WithPenaltyFactor(0.5), WithFallbackPenalty(-1))
+	if d.factor != DefaultPenaltyFactor || d.fallback != DefaultFallbackPenalty {
+		t.Errorf("degenerate options not clamped: factor=%g fallback=%g", d.factor, d.fallback)
+	}
+}
+
+func TestCustomValidator(t *testing.T) {
+	g := New(WithValidator(func(v float64) error {
+		if v > 100 {
+			return errOverBudget
+		}
+		return nil
+	}))
+	if _, fail := g.Invoke(func(int, param.Config) float64 { return 1000 }, 0, nil); fail == nil || fail.Kind != Invalid {
+		t.Errorf("custom validator not applied: %+v", fail)
+	}
+	// The default rejections no longer apply once replaced.
+	if _, fail := g.Invoke(func(int, param.Config) float64 { return -5 }, 0, nil); fail != nil {
+		t.Errorf("replaced validator still rejects negatives: %v", fail)
+	}
+}
+
+var errOverBudget = timeoutErr("over budget")
+
+type timeoutErr string
+
+func (e timeoutErr) Error() string { return string(e) }
+
+func TestStatsAndOnFailure(t *testing.T) {
+	var seen []Failure
+	g := New(OnFailure(func(f Failure) { seen = append(seen, f) }))
+	g.Invoke(func(int, param.Config) float64 { return 4 }, 0, nil)
+	g.Invoke(func(int, param.Config) float64 { panic("p") }, 1, nil)
+	g.Invoke(func(int, param.Config) float64 { return math.NaN() }, 1, nil)
+
+	s := g.Stats()
+	if s.Total != 3 || s.Failures != 2 || s.Panics != 1 || s.Invalids != 1 || s.Timeouts != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Worst != 4 {
+		t.Errorf("worst = %g, want 4", s.Worst)
+	}
+	if len(s.PerAlgoMeasurements) != 2 || s.PerAlgoMeasurements[1] != 2 || s.PerAlgoFailures[1] != 2 {
+		t.Errorf("per-algo stats = %v / %v", s.PerAlgoMeasurements, s.PerAlgoFailures)
+	}
+	if len(seen) != 2 {
+		t.Errorf("OnFailure saw %d failures, want 2", len(seen))
+	}
+}
+
+func TestSafeMeasureNeverPanics(t *testing.T) {
+	calls := 0
+	m := SafeMeasure(func(algo int, _ param.Config) float64 {
+		calls++
+		if algo == 1 {
+			panic("injected")
+		}
+		return float64(algo)
+	})
+	if v := m(0, nil); v != 0 {
+		t.Errorf("pass-through = %g", v)
+	}
+	if v := m(1, nil); v != DefaultFallbackPenalty {
+		t.Errorf("panicking call = %g, want fallback penalty", v)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d", calls)
+	}
+}
+
+func TestGuardConcurrentUse(t *testing.T) {
+	// The guard itself must be race-clean under concurrent Invoke.
+	g := New(WithTimeout(50 * time.Millisecond))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 3 {
+				case 0:
+					g.Invoke(func(int, param.Config) float64 { return float64(i) }, w, nil)
+				case 1:
+					g.Invoke(func(int, param.Config) float64 { panic("c") }, w, nil)
+				default:
+					g.Invoke(func(int, param.Config) float64 { return math.NaN() }, w, nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := g.Stats()
+	if s.Total != 200 {
+		t.Errorf("total = %d, want 200", s.Total)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Panic.String() != "panic" || Timeout.String() != "timeout" || Invalid.String() != "invalid" {
+		t.Error("Kind.String labels wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind must still format")
+	}
+}

@@ -1,0 +1,204 @@
+package guard
+
+import (
+	"math/rand"
+
+	"repro/internal/nominal"
+)
+
+// FailureAware is implemented by selectors that want to be told about
+// measurement failures in addition to the plain value reports of the
+// nominal.Selector interface. core.Tuner calls ReportFailure (before the
+// matching Report, which carries the penalty value) whenever a guarded or
+// sanitized measurement fails.
+type FailureAware interface {
+	ReportFailure(arm int, f Failure)
+}
+
+// Quarantine default tuning.
+const (
+	// DefaultQuarantineK is the consecutive-failure count that opens an
+	// arm's circuit.
+	DefaultQuarantineK = 3
+	// DefaultMaxBackoffExp caps the exponential backoff: an arm is never
+	// suspended for more than 2^DefaultMaxBackoffExp iterations, which
+	// bounds the re-probe interval and guarantees no permanent exclusion.
+	DefaultMaxBackoffExp = 8
+)
+
+// Quarantine decorates a nominal.Selector with a per-arm circuit breaker.
+//
+// State machine per arm:
+//
+//	closed    — selections flow through the inner selector unchanged.
+//	open      — after K consecutive failures the arm is suspended for
+//	            2^level iterations (level = consecutive circuit openings,
+//	            capped at MaxExponent) and masked from the inner selector.
+//	half-open — once the suspension elapses, the next Select force-probes
+//	            the arm exactly once. A successful probe closes the
+//	            circuit (level resets); a failed probe re-opens it with
+//	            the backoff doubled.
+//
+// The cap on the backoff preserves the paper's strictly-positive-weight
+// invariant in the failure domain: no arm is ever permanently excluded —
+// a persistently failing arm is still probed every 2^MaxExponent
+// iterations, so an algorithm whose crashes were environmental (e.g. a
+// transient resource exhaustion) can rejoin.
+//
+// Quarantine only reacts to ReportFailure; used without a guard it is a
+// transparent pass-through.
+type Quarantine struct {
+	// K is the number of consecutive failures that open an arm's circuit.
+	K int
+	// MaxExponent caps the backoff exponent (suspension ≤ 2^MaxExponent
+	// iterations).
+	MaxExponent int
+
+	inner nominal.Selector
+	iter  int
+	arms  []qarm
+}
+
+type qarm struct {
+	consecutive    int  // consecutive failures, reset by any success
+	level          int  // current backoff exponent, reset by any success
+	trips          int  // cumulative circuit openings (never reset)
+	open           bool // circuit open
+	suspendedUntil int  // masked while iter <= suspendedUntil
+	failurePending bool // ReportFailure seen, next Report carries its penalty
+}
+
+// NewQuarantine decorates inner with the default circuit-breaker
+// parameters. Adjust K / MaxExponent before Init.
+func NewQuarantine(inner nominal.Selector) *Quarantine {
+	if inner == nil {
+		panic("guard: NewQuarantine with nil inner selector")
+	}
+	return &Quarantine{K: DefaultQuarantineK, MaxExponent: DefaultMaxBackoffExp, inner: inner}
+}
+
+// Name returns e.g. "quarantine(egreedy(10%))".
+func (q *Quarantine) Name() string { return "quarantine(" + q.inner.Name() + ")" }
+
+// Inner exposes the wrapped selector.
+func (q *Quarantine) Inner() nominal.Selector { return q.inner }
+
+// Init prepares the decorator and the inner selector for n arms.
+func (q *Quarantine) Init(n int) {
+	if q.K < 1 {
+		q.K = DefaultQuarantineK
+	}
+	if q.MaxExponent < 1 {
+		q.MaxExponent = DefaultMaxBackoffExp
+	}
+	q.inner.Init(n)
+	q.arms = make([]qarm, n)
+	q.iter = 0
+}
+
+// suspended reports whether arm is currently masked.
+func (q *Quarantine) suspended(arm int) bool {
+	a := &q.arms[arm]
+	return a.open && q.iter <= a.suspendedUntil
+}
+
+// Select returns the arm to run: a due re-probe if one exists, otherwise
+// the inner selector's choice with suspended arms masked out.
+func (q *Quarantine) Select(r *rand.Rand) int {
+	if q.arms == nil {
+		panic("guard: Quarantine used before Init")
+	}
+	q.iter++
+
+	// A suspension that has elapsed forces exactly one probe of that arm
+	// (earliest-due first), making the re-probe schedule deterministic.
+	probe, probeDue := -1, 0
+	for i := range q.arms {
+		a := &q.arms[i]
+		if a.open && q.iter > a.suspendedUntil && (probe < 0 || a.suspendedUntil < probeDue) {
+			probe, probeDue = i, a.suspendedUntil
+		}
+	}
+	if probe >= 0 {
+		return probe
+	}
+
+	// Mask suspended arms from the inner selector by redrawing.
+	attempts := 2*len(q.arms) + 2
+	for i := 0; i < attempts; i++ {
+		if a := q.inner.Select(r); !q.suspended(a) {
+			return a
+		}
+	}
+	// The inner selector is stuck on suspended arms (e.g. a greedy
+	// incumbent under suspension): pick uniformly among healthy arms.
+	healthy := make([]int, 0, len(q.arms))
+	for i := range q.arms {
+		if !q.suspended(i) {
+			healthy = append(healthy, i)
+		}
+	}
+	if len(healthy) > 0 {
+		return healthy[r.Intn(len(healthy))]
+	}
+	// Every arm is suspended: run the one whose suspension expires
+	// soonest (liveness — the loop must measure something).
+	soonest := 0
+	for i := range q.arms {
+		if q.arms[i].suspendedUntil < q.arms[soonest].suspendedUntil {
+			soonest = i
+		}
+	}
+	return soonest
+}
+
+// Report records a measurement. A report not preceded by ReportFailure is
+// a success and closes the arm's circuit; either way the value (the
+// penalty, for failures) is forwarded to the inner selector so it also
+// learns to avoid failing arms.
+func (q *Quarantine) Report(arm int, v float64) {
+	if q.arms == nil {
+		panic("guard: Quarantine used before Init")
+	}
+	a := &q.arms[arm]
+	if a.failurePending {
+		a.failurePending = false
+	} else {
+		a.consecutive = 0
+		a.level = 0
+		a.open = false
+		a.suspendedUntil = 0
+	}
+	q.inner.Report(arm, v)
+}
+
+// ReportFailure records that arm's pending measurement failed. After K
+// consecutive failures the arm's circuit opens (or re-opens, from a
+// failed probe) with exponentially growing suspension.
+func (q *Quarantine) ReportFailure(arm int, _ Failure) {
+	if q.arms == nil {
+		panic("guard: Quarantine used before Init")
+	}
+	a := &q.arms[arm]
+	a.failurePending = true
+	a.consecutive++
+	if a.consecutive < q.K {
+		return
+	}
+	a.open = true
+	a.trips++
+	if a.level < q.MaxExponent {
+		a.level++
+	}
+	a.suspendedUntil = q.iter + (1 << a.level)
+}
+
+// Suspended reports whether arm is currently masked from selection.
+func (q *Quarantine) Suspended(arm int) bool { return q.suspended(arm) }
+
+// Trips returns the cumulative number of times arm's circuit has opened.
+func (q *Quarantine) Trips(arm int) int { return q.arms[arm].trips }
+
+// Open reports whether arm's circuit is currently open (suspended or
+// awaiting its re-probe).
+func (q *Quarantine) Open(arm int) bool { return q.arms[arm].open }

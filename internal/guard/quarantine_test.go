@@ -1,0 +1,216 @@
+package guard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nominal"
+)
+
+// stubSelector always proposes the same arm and records every report —
+// the worst case for masking (a greedy selector stuck on a quarantined
+// incumbent).
+type stubSelector struct {
+	favourite int
+	n         int
+	reports   []float64
+	arms      []int
+}
+
+func (s *stubSelector) Name() string          { return "stub" }
+func (s *stubSelector) Init(n int)            { s.n = n }
+func (s *stubSelector) Select(*rand.Rand) int { return s.favourite }
+func (s *stubSelector) Report(arm int, v float64) {
+	s.arms = append(s.arms, arm)
+	s.reports = append(s.reports, v)
+}
+
+func TestQuarantineBackoffAndReprobeSchedule(t *testing.T) {
+	inner := &stubSelector{favourite: 1}
+	q := NewQuarantine(inner)
+	q.K = 2
+	q.Init(2)
+	r := rand.New(rand.NewSource(1))
+
+	fail := func(arm int) {
+		q.ReportFailure(arm, Failure{Kind: Panic, Algo: arm})
+		q.Report(arm, 100) // the penalty report that follows every failure
+	}
+	ok := func(arm int) { q.Report(arm, 1) }
+
+	// Scripted schedule with K=2 and the inner selector pinned on arm 1,
+	// which fails until the second probe:
+	//
+	//	iter  1: arm 1, fail (1 consecutive)
+	//	iter  2: arm 1, fail → trip #1, suspended 2^1 = 2 iterations
+	//	iter  3: arm 0 (1 masked)      iter 4: arm 0 (1 masked)
+	//	iter  5: forced re-probe of 1, fail → trip #2, suspended 2^2 = 4
+	//	iter  6–9: arm 0 (1 masked)
+	//	iter 10: forced re-probe of 1, success → circuit closes
+	//	iter 11: arm 1 again (inner's favourite, no longer masked)
+	want := []int{1, 1, 0, 0, 1, 0, 0, 0, 0, 1, 1}
+	outcome := map[int]func(int){ // iteration → reporter
+		1: fail, 2: fail, 5: fail,
+	}
+	for i, w := range want {
+		iter := i + 1
+		got := q.Select(r)
+		if got != w {
+			t.Fatalf("iteration %d selected arm %d, want %d", iter, got, w)
+		}
+		if rep, special := outcome[iter]; special {
+			rep(got)
+		} else {
+			ok(got)
+		}
+	}
+	if q.Trips(1) != 2 {
+		t.Errorf("arm 1 tripped %d times, want 2", q.Trips(1))
+	}
+	if q.Open(1) || q.Suspended(1) {
+		t.Error("successful probe did not close the circuit")
+	}
+	// Every report (including penalties) must reach the inner selector.
+	if len(inner.reports) != len(want) {
+		t.Errorf("inner selector saw %d reports, want %d", len(inner.reports), len(want))
+	}
+}
+
+func TestQuarantineTransparentWithoutFailures(t *testing.T) {
+	q := NewQuarantine(nominal.NewRoundRobin())
+	q.Init(3)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 9; i++ {
+		arm := q.Select(r)
+		if arm != i%3 {
+			t.Fatalf("iteration %d: arm %d, want round-robin %d", i, arm, i%3)
+		}
+		q.Report(arm, float64(arm+1))
+	}
+	if q.Name() != "quarantine(round-robin)" {
+		t.Errorf("Name = %q", q.Name())
+	}
+	if q.Inner().Name() != "round-robin" {
+		t.Errorf("Inner = %q", q.Inner().Name())
+	}
+}
+
+func TestQuarantineNoPermanentExclusion(t *testing.T) {
+	// The paper's invariant, extended to failures: even an arm that fails
+	// on every single measurement keeps being probed — with gaps bounded
+	// by the backoff cap — so it is never permanently excluded.
+	inner := nominal.NewEpsilonGreedy(0.10)
+	q := NewQuarantine(inner)
+	q.K = 1
+	q.MaxExponent = 4 // cap: suspensions of at most 16 iterations
+	q.Init(3)
+	r := rand.New(rand.NewSource(7))
+
+	const iters = 2000
+	const faulty = 2
+	last, maxGap, selections := 0, 0, 0
+	for i := 1; i <= iters; i++ {
+		arm := q.Select(r)
+		if arm == faulty {
+			if gap := i - last; gap > maxGap {
+				maxGap = gap
+			}
+			last = i
+			selections++
+			q.ReportFailure(faulty, Failure{Kind: Timeout, Algo: faulty})
+			q.Report(faulty, 1000)
+			continue
+		}
+		q.Report(arm, float64(arm+1))
+	}
+	if selections == 0 {
+		t.Fatal("always-failing arm was never selected")
+	}
+	// Gap bound: suspension ≤ 2^4 = 16, probe on the following iteration.
+	if maxGap > 17 {
+		t.Errorf("max gap between selections of the failing arm = %d, want ≤ 17", maxGap)
+	}
+	if min := iters / 20; selections < min {
+		t.Errorf("failing arm selected %d times in %d iterations, want ≥ %d (cap-bounded probing)", selections, iters, min)
+	}
+	if q.Trips(faulty) != selections {
+		t.Errorf("with K=1 every selection must trip: trips=%d selections=%d", q.Trips(faulty), selections)
+	}
+	// The healthy arms keep the bulk of the traffic.
+	if selections > iters/4 {
+		t.Errorf("failing arm got %d of %d selections — quarantine not suppressing", selections, iters)
+	}
+}
+
+func TestQuarantineAllArmsSuspended(t *testing.T) {
+	// When every arm is suspended the loop must still run something: the
+	// arm whose suspension expires soonest.
+	q := NewQuarantine(nominal.NewRoundRobin())
+	q.K = 1
+	q.Init(2)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2; i++ {
+		arm := q.Select(r)
+		q.ReportFailure(arm, Failure{Kind: Panic, Algo: arm})
+		q.Report(arm, 100)
+	}
+	// Both circuits are now open; Select must still return a valid arm.
+	arm := q.Select(r)
+	if arm < 0 || arm > 1 {
+		t.Fatalf("Select returned %d with all arms suspended", arm)
+	}
+	q.Report(arm, 1)
+}
+
+func TestQuarantineGreedyInnerMasked(t *testing.T) {
+	// A greedy inner selector stuck on a suspended favourite must be
+	// redirected to a healthy arm, not loop forever.
+	inner := &stubSelector{favourite: 0}
+	q := NewQuarantine(inner)
+	q.K = 1
+	q.MaxExponent = 6
+	q.Init(3)
+	r := rand.New(rand.NewSource(3))
+
+	arm := q.Select(r)
+	q.ReportFailure(arm, Failure{Kind: Panic, Algo: arm})
+	q.Report(arm, 100)
+	if !q.Suspended(0) {
+		t.Fatal("arm 0 not suspended after K=1 failure")
+	}
+	for i := 0; i < 2; i++ { // within the 2-iteration suspension window
+		if got := q.Select(r); got == 0 {
+			t.Fatalf("suspended arm selected while masked (iteration %d)", i)
+		} else {
+			q.Report(got, 1)
+		}
+	}
+}
+
+func TestQuarantineMisusePanics(t *testing.T) {
+	q := NewQuarantine(nominal.NewRoundRobin())
+	for name, fn := range map[string]func(){
+		"Select": func() { q.Select(rand.New(rand.NewSource(1))) },
+		"Report": func() { q.Report(0, 1) },
+		"ReportFailure": func() {
+			q.ReportFailure(0, Failure{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s before Init did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewQuarantine(nil) did not panic")
+			}
+		}()
+		NewQuarantine(nil)
+	}()
+}
