@@ -1,7 +1,7 @@
 # Tier-1 gate: `make check` must pass before any change lands.
 GO ?= go
 
-.PHONY: check vet build test race bench figures
+.PHONY: check vet build test race bench figures fuzz
 
 check: vet build test race
 
@@ -14,11 +14,16 @@ build:
 test:
 	$(GO) test ./...
 
-# The guard layer's deadline goroutines and quarantine bookkeeping must be
-# race-clean; -race over internal/ covers them plus the parallel matchers
-# and builders.
+# The guard layer's deadline goroutines, the quarantine bookkeeping and
+# the checkpoint I/O must be race-clean; -race runs the full module —
+# commands and the top-level benchmark package included.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
+
+# Fuzz the snapshot decoder: arbitrary bytes must never panic it or slip
+# a payload past the checksum.
+fuzz:
+	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/checkpoint
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -253,6 +253,16 @@ func BenchmarkAblationA10FaultInjection(b *testing.B) {
 	}
 }
 
+func BenchmarkAblationA11CheckpointCrash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunCheckpointCrash(benchConfig(), 500, 10, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.RenderFigureA11(io.Discard)
+	}
+}
+
 func BenchmarkExtensionX3MixedNominal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		exp.AblationMixedNominal(io.Discard, 3, 300, 1)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	atune-demo [-strategy name] [-iters N] [-seed S] [-faults] [-guard]
+//	           [-checkpoint dir] [-snap-every N] [-resume]
 //
 // Strategy names: egreedy:5, egreedy:10, egreedy:20, gradient, optimum,
 // auc, random, roundrobin, softmax:<temp>.
@@ -15,6 +16,14 @@
 // loop on the very first visit to the bad arm — run with both flags to
 // watch the fault-tolerant measurement layer (guard + quarantine +
 // degradation watchdog) absorb the failures and still converge.
+//
+// -checkpoint makes the tuner durable: its state is snapshotted to dir
+// every -snap-every iterations and journaled in between. Kill the demo at
+// any point (Ctrl-C, kill -9) and run it again with -resume to watch the
+// tuner pick up where it left off, losing at most one iteration:
+//
+//	atune-demo -checkpoint /tmp/demo-ckpt            # interrupt this...
+//	atune-demo -checkpoint /tmp/demo-ckpt -resume    # ...then warm-restart
 package main
 
 import (
@@ -41,6 +50,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed")
 		faults   = flag.Bool("faults", false, "make the plainly-bad algorithm fail 3 of 4 runs (panic/NaN/hang cycle)")
 		guarded  = flag.Bool("guard", false, "enable the fault-tolerant measurement layer (guard + quarantine)")
+		ckptDir  = flag.String("checkpoint", "", "directory for crash-safe tuner snapshots + journal (empty = off)")
+		snapEach = flag.Int("snap-every", 20, "snapshot cadence in iterations (with -checkpoint)")
+		resume   = flag.Bool("resume", false, "warm-restart from the -checkpoint directory instead of starting fresh")
 	)
 	flag.Parse()
 
@@ -117,9 +129,27 @@ func main() {
 		opts = append(opts, core.WithGuard(guard.WithTimeout(50*time.Millisecond)))
 	}
 
-	tuner, err := core.New(algos, sel, nil, *seed, opts...)
-	if err != nil {
-		log.Fatal(err)
+	var tuner *core.Tuner
+	switch {
+	case *resume:
+		// Resume enables checkpointing on the directory itself; passing
+		// WithCheckpoint again would snapshot before the restore.
+		if *ckptDir == "" {
+			log.Fatal("-resume requires -checkpoint <dir>")
+		}
+		tuner, err = core.Resume(*ckptDir, *snapEach, algos, sel, nil, *seed, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resumed from %s at iteration %d\n", *ckptDir, tuner.Iterations())
+	default:
+		if *ckptDir != "" {
+			opts = append(opts, core.WithCheckpoint(*ckptDir, *snapEach))
+		}
+		tuner, err = core.New(algos, sel, nil, *seed, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("online-autotuning %d algorithms with %s\n\n", len(algos), sel.Name())
@@ -132,6 +162,12 @@ func main() {
 			}
 			fmt.Printf("iter %3d  ran %-15s cost %6.2f%s\n",
 				rec.Iteration, algos[rec.Algo].Name, rec.Value, status)
+		}
+	}
+
+	if *ckptDir != "" {
+		if err := tuner.CheckpointErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "warning: checkpointing degraded:", err)
 		}
 	}
 

@@ -1,18 +1,28 @@
 // Command atune-wisdom inspects and merges wisdom files — the persisted
 // tuning results written by applications using internal/wisdom (see
-// examples/matmul).
+// examples/matmul) — and inspects tuner checkpoint state.
 //
 // Usage:
 //
 //	atune-wisdom show <file>
 //	atune-wisdom merge <out> <in>...
+//	atune-wisdom inspect <checkpoint-dir | snap-*.ckpt | wal-*.log>
+//
+// inspect validates a checkpoint directory (every snapshot's frame and
+// checksum, every journal's records) or pretty-prints a single snapshot
+// or journal file.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/report"
 	"repro/internal/wisdom"
 )
@@ -31,13 +41,15 @@ func main() {
 			usage()
 		}
 		merge(os.Args[2], os.Args[3:])
+	case "inspect":
+		inspect(os.Args[2])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: atune-wisdom show <file> | atune-wisdom merge <out> <in>...")
+	fmt.Fprintln(os.Stderr, "usage: atune-wisdom show <file> | atune-wisdom merge <out> <in>... | atune-wisdom inspect <path>")
 	os.Exit(2)
 }
 
@@ -53,6 +65,108 @@ func show(path string) {
 		t.Addf(key, e.Algorithm, e.Value, e.Samples)
 	}
 	t.Render(os.Stdout)
+}
+
+func inspect(path string) {
+	info, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if info.IsDir() {
+		inspectDir(path)
+		return
+	}
+	base := filepath.Base(path)
+	switch {
+	case strings.HasPrefix(base, "snap-"):
+		inspectSnapshot(path)
+	case strings.HasPrefix(base, "wal-"):
+		inspectJournal(path)
+	default:
+		log.Fatalf("inspect: %s is neither a checkpoint directory, a snap-*.ckpt, nor a wal-*.log", path)
+	}
+}
+
+// inspectDir validates every snapshot and journal generation in a
+// checkpoint directory and summarizes them.
+func inspectDir(dir string) {
+	snaps := checkpoint.Generations(dir)
+	wals := checkpoint.JournalGenerations(dir)
+	if len(snaps) == 0 && len(wals) == 0 {
+		log.Fatalf("inspect: %s contains no checkpoint state", dir)
+	}
+	t := report.NewTable(fmt.Sprintf("checkpoint: %s", dir),
+		"file", "kind", "iteration", "status")
+	for _, g := range snaps {
+		p := checkpoint.SnapPath(dir, g)
+		status := "ok"
+		data, err := os.ReadFile(p)
+		if err != nil {
+			status = err.Error()
+		} else if _, err := checkpoint.DecodeSnapshot(data); err != nil {
+			status = err.Error()
+		}
+		t.Addf(filepath.Base(p), "snapshot", g, status)
+	}
+	for _, g := range wals {
+		p := checkpoint.WalPath(dir, g)
+		recs, err := checkpoint.ReadJournal(p)
+		status := fmt.Sprintf("%d records", len(recs))
+		if n := len(recs); n > 0 {
+			status = fmt.Sprintf("%d records, iterations %d..%d", n, recs[0].Iter, recs[n-1].Iter)
+		}
+		if err != nil {
+			status += fmt.Sprintf(" (%v)", err)
+		}
+		t.Addf(filepath.Base(p), "journal", g, status)
+	}
+	t.Render(os.Stdout)
+
+	payload, iter, err := checkpoint.LoadLatest(dir)
+	if err != nil {
+		log.Fatalf("inspect: no loadable snapshot: %v", err)
+	}
+	fmt.Printf("\nnewest valid snapshot (iteration %d):\n", iter)
+	printJSON(payload)
+}
+
+// inspectSnapshot validates one snapshot file and pretty-prints its
+// payload.
+func inspectSnapshot(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload, err := checkpoint.DecodeSnapshot(data)
+	if err != nil {
+		log.Fatalf("inspect: %s: %v", path, err)
+	}
+	fmt.Printf("%s: valid (version %d, %d payload bytes)\n", path, checkpoint.Version, len(payload))
+	printJSON(payload)
+}
+
+// inspectJournal prints every valid record of one journal file.
+func inspectJournal(path string) {
+	recs, rerr := checkpoint.ReadJournal(path)
+	fmt.Printf("%s: %d valid records\n", path, len(recs))
+	if rerr != nil {
+		fmt.Printf("  (read stopped early: %v)\n", rerr)
+	}
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", line)
+	}
+}
+
+func printJSON(payload []byte) {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, payload, "", "  "); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(buf.String())
 }
 
 func merge(out string, ins []string) {

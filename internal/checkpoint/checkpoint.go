@@ -1,0 +1,150 @@
+// Package checkpoint implements crash-safe persistence for tuner state:
+// versioned, checksummed snapshots plus a write-ahead journal of the
+// iterations completed since the last snapshot.
+//
+// The durability contract is the classical snapshot+WAL design. A
+// snapshot captures everything needed to resume tuning — search-strategy
+// state, selector state, quarantine circuits, incumbent, RNG stream
+// position — and is written atomically (temp file in the same directory,
+// fsync, rename), so a crash mid-write can never destroy the previous
+// snapshot. Between snapshots every completed iteration is appended to a
+// line-delimited journal and fsynced, so on restart the journal can be
+// replayed through the tuner's normal Observe/ObserveFailure path and at
+// most the in-flight iteration is lost.
+//
+// Corruption is expected, not exceptional: every snapshot carries a
+// CRC32 over its payload and every journal line a CRC32 over its record,
+// and the loader falls back — to the previous snapshot when the newest
+// fails its checksum, and to a truncated replay when a journal line is
+// damaged — instead of failing the resume.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// F is a float64 whose JSON encoding round-trips the non-finite values
+// that tuner state legitimately contains (NaN simplex vertices awaiting
+// evaluation, +Inf "no best yet" sentinels), which encoding/json
+// rejects. Finite values encode as ordinary JSON numbers; NaN and ±Inf
+// encode as the strings "NaN", "+Inf", "-Inf".
+type F float64
+
+// MarshalJSON encodes non-finite values as strings.
+func (f F) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts numbers and the three non-finite strings.
+func (f *F) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = F(math.NaN())
+		case "+Inf":
+			*f = F(math.Inf(1))
+		case "-Inf":
+			*f = F(math.Inf(-1))
+		default:
+			return fmt.Errorf("checkpoint: bad float %q", s)
+		}
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return fmt.Errorf("checkpoint: bad float %s: %v", data, err)
+	}
+	*f = F(v)
+	return nil
+}
+
+// Floats converts a value slice to its JSON-safe form.
+func Floats(xs []float64) []F {
+	if xs == nil {
+		return nil
+	}
+	out := make([]F, len(xs))
+	for i, x := range xs {
+		out[i] = F(x)
+	}
+	return out
+}
+
+// Unfloats converts a JSON-safe slice back to float64s.
+func Unfloats(xs []F) []float64 {
+	if xs == nil {
+		return nil
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// WriteFileAtomic writes data to path so that a crash at any point
+// leaves either the previous file contents or the new ones, never a
+// truncated mix: the data goes to a temp file in the same directory
+// (rename is only atomic within a filesystem), is fsynced, and is
+// renamed over the target. The directory is fsynced afterwards so the
+// rename itself survives a crash.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename is durable. Some
+// platforms refuse to fsync directories; that is a durability hint lost,
+// not an error worth failing the checkpoint over.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+)
+
+// Record is one completed tuning iteration in the write-ahead journal.
+// Value carries the measurement for successes and the penalty value the
+// tuner observed for failures; FailKind distinguishes the two (empty for
+// success) so replay can route the record through ObserveFailure.
+type Record struct {
+	Iter     int    `json:"iter"`
+	Algo     string `json:"algo"`
+	Config   []F    `json:"config"`
+	Value    F      `json:"value"`
+	FailKind string `json:"fail,omitempty"`
+}
+
+// Journal is an append-only, fsync-per-append record of iterations
+// completed since the last snapshot. Each line is
+//
+//	crc32hex <space> json-record <newline>
+//
+// so a torn final line (the common crash artifact) is detected and
+// dropped by the reader rather than corrupting the replay.
+type Journal struct {
+	f *os.File
+}
+
+// OpenJournal opens (creating if absent) the journal for the generation
+// starting at iteration iter, positioned for appending.
+func OpenJournal(dir string, iter int) (*Journal, error) {
+	f, err := os.OpenFile(WalPath(dir, iter), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append writes one record and fsyncs, so an iteration acknowledged to
+// the journal survives an immediate crash.
+func (j *Journal) Append(rec Record) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(body), body)
+	if _, err := j.f.WriteString(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// ReadJournal returns the valid records of one journal file in order.
+// Reading stops at the first damaged line — a bad checksum, unparsable
+// JSON, or a missing CRC prefix — because everything after a torn write
+// is untrustworthy. Blank lines are skipped (they can appear when an
+// append was cut before the body). A missing file is an empty journal.
+func ReadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var sum uint32
+		sp := strings.IndexByte(line, ' ')
+		if sp != 8 {
+			break
+		}
+		if _, err := fmt.Sscanf(line[:sp], "%08x", &sum); err != nil {
+			break
+		}
+		body := line[sp+1:]
+		if crc32.ChecksumIEEE([]byte(body)) != sum {
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(body), &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// ReadJournalsSince collects the records of every journal generation
+// starting at or after iter, in generation order, dropping records below
+// iter. Chaining generations this way means a fallback to an older
+// snapshot still replays the full tail: the journals between the old
+// snapshot and the crash are all still on disk (pruning only removes
+// journals older than the oldest kept snapshot).
+func ReadJournalsSince(dir string, iter int) []Record {
+	var recs []Record
+	for _, g := range JournalGenerations(dir) {
+		if g < iter {
+			// An older generation can still contain records >= iter
+			// when iter's own snapshot was corrupt and we fell back:
+			// include its tail.
+			rs, err := ReadJournal(WalPath(dir, g))
+			if err != nil {
+				continue
+			}
+			for _, r := range rs {
+				if r.Iter >= iter {
+					recs = append(recs, r)
+				}
+			}
+			continue
+		}
+		rs, err := ReadJournal(WalPath(dir, g))
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rs...)
+	}
+	// Defensive: records must be strictly increasing in Iter across the
+	// chain; clip anything out of order (overlapping generations after
+	// a partial prune).
+	out := recs[:0]
+	last := iter - 1
+	for _, r := range recs {
+		if r.Iter > last {
+			out = append(out, r)
+			last = r.Iter
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Version is the current snapshot format version. A loader refuses
+// snapshots from a future version rather than misinterpreting them.
+const Version = 1
+
+// ErrNoSnapshot is returned by LoadLatest when the directory holds no
+// readable snapshot at all.
+var ErrNoSnapshot = errors.New("checkpoint: no valid snapshot")
+
+// envelope is the on-disk frame around a snapshot payload. The CRC is
+// computed over the raw payload bytes exactly as they appear in the
+// file, so any torn write or bit flip inside the payload is detected.
+type envelope struct {
+	Version int             `json:"version"`
+	CRC32   uint32          `json:"crc32"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// EncodeSnapshot frames payload (already-marshaled JSON) in a versioned,
+// checksummed envelope ready for WriteFileAtomic.
+func EncodeSnapshot(payload []byte) ([]byte, error) {
+	if !json.Valid(payload) {
+		return nil, errors.New("checkpoint: snapshot payload is not valid JSON")
+	}
+	env := envelope{
+		Version: Version,
+		CRC32:   crc32.ChecksumIEEE(payload),
+		Payload: json.RawMessage(payload),
+	}
+	return json.Marshal(env)
+}
+
+// DecodeSnapshot verifies the envelope and returns the payload bytes.
+// It fails on malformed JSON, a version newer than this code, and any
+// checksum mismatch.
+func DecodeSnapshot(data []byte) ([]byte, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("checkpoint: snapshot frame: %v", err)
+	}
+	if env.Version <= 0 || env.Version > Version {
+		return nil, fmt.Errorf("checkpoint: unsupported snapshot version %d", env.Version)
+	}
+	// An absent payload must not sneak through the checksum: the CRC of
+	// zero bytes is zero, which a payload-less frame trivially "matches".
+	if len(env.Payload) == 0 {
+		return nil, errors.New("checkpoint: snapshot has no payload")
+	}
+	if got := crc32.ChecksumIEEE(env.Payload); got != env.CRC32 {
+		return nil, fmt.Errorf("checkpoint: snapshot checksum mismatch (want %08x, got %08x)", env.CRC32, got)
+	}
+	return env.Payload, nil
+}
+
+// Snapshot and journal files are named by the iteration at which the
+// snapshot was taken, zero-padded so lexical order is numeric order.
+// wal-N.log records iterations completed at or after iteration N, i.e.
+// since snap-N.ckpt was written.
+const (
+	snapPattern = "snap-%012d.ckpt"
+	walPattern  = "wal-%012d.log"
+	// keepSnapshots is how many snapshot generations survive pruning.
+	// Two generations make the newest snapshot expendable: if it is
+	// corrupt the loader falls back to the previous one and re-replays
+	// the intervening journal.
+	keepSnapshots = 2
+)
+
+// SnapPath returns the snapshot filename for a given iteration.
+func SnapPath(dir string, iter int) string {
+	return filepath.Join(dir, fmt.Sprintf(snapPattern, iter))
+}
+
+// WalPath returns the journal filename for the generation starting at
+// the given iteration.
+func WalPath(dir string, iter int) string {
+	return filepath.Join(dir, fmt.Sprintf(walPattern, iter))
+}
+
+// WriteSnapshot frames payload and writes it atomically as the snapshot
+// for iteration iter, then prunes generations beyond keepSnapshots. A
+// journal for the new generation is NOT created here; the journal opens
+// lazily on the first append.
+func WriteSnapshot(dir string, iter int, payload []byte) error {
+	data, err := EncodeSnapshot(payload)
+	if err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(SnapPath(dir, iter), data, 0o644); err != nil {
+		return err
+	}
+	prune(dir, iter)
+	return nil
+}
+
+// listGenerations returns the snapshot iterations present in dir in
+// ascending order. Files that do not match the naming pattern are
+// ignored.
+func listGenerations(dir string, pattern string) []int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var iters []int
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), pattern, &n); err == nil {
+			iters = append(iters, n)
+		}
+	}
+	sort.Ints(iters)
+	return iters
+}
+
+// Generations returns the snapshot iterations present in dir, ascending.
+func Generations(dir string) []int { return listGenerations(dir, snapPattern) }
+
+// JournalGenerations returns the journal-file start iterations in dir,
+// ascending.
+func JournalGenerations(dir string) []int { return listGenerations(dir, walPattern) }
+
+// prune removes snapshot generations older than the keepSnapshots most
+// recent, along with journal files older than the oldest kept snapshot
+// (their contents are fully covered by newer snapshots).
+func prune(dir string, newest int) {
+	snaps := Generations(dir)
+	if len(snaps) <= keepSnapshots {
+		return
+	}
+	cut := snaps[len(snaps)-keepSnapshots] // oldest kept generation
+	for _, n := range snaps {
+		if n < cut {
+			os.Remove(SnapPath(dir, n))
+		}
+	}
+	for _, n := range JournalGenerations(dir) {
+		if n < cut {
+			os.Remove(WalPath(dir, n))
+		}
+	}
+}
+
+// LoadLatest returns the payload and iteration of the newest snapshot in
+// dir that passes validation, falling back through older generations
+// when the newest is truncated or fails its checksum. The error is
+// ErrNoSnapshot when nothing loads; otherwise the error from the newest
+// failed candidate is folded into the message for diagnosis.
+func LoadLatest(dir string) (payload []byte, iter int, err error) {
+	snaps := Generations(dir)
+	var firstErr error
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, rerr := os.ReadFile(SnapPath(dir, snaps[i]))
+		if rerr != nil {
+			if firstErr == nil {
+				firstErr = rerr
+			}
+			continue
+		}
+		p, derr := DecodeSnapshot(data)
+		if derr != nil {
+			if firstErr == nil {
+				firstErr = derr
+			}
+			continue
+		}
+		return p, snaps[i], nil
+	}
+	if firstErr != nil {
+		return nil, 0, fmt.Errorf("%w (newest candidate: %v)", ErrNoSnapshot, firstErr)
+	}
+	return nil, 0, ErrNoSnapshot
+}

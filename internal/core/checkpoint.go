@@ -1,0 +1,387 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/checkpoint"
+	"repro/internal/guard"
+	"repro/internal/nominal"
+	"repro/internal/param"
+	"repro/internal/search"
+	"repro/internal/xrand"
+)
+
+// WithCheckpoint enables crash-safe persistence: the tuner writes a
+// snapshot of its complete state to dir every `every` completed
+// iterations, and journals every iteration in between, so Resume can
+// reconstruct the tuner losing at most the in-flight iteration. An
+// `every` of 0 disables periodic snapshots (the journal alone still
+// makes every completed iteration recoverable from the initial
+// snapshot).
+//
+// Checkpoint I/O failures after construction never interrupt tuning;
+// they are recorded and exposed through CheckpointErr.
+func WithCheckpoint(dir string, every int) Option {
+	return func(t *Tuner) {
+		t.ckptDir = dir
+		t.ckptEvery = every
+	}
+}
+
+// CheckpointErr returns the most recent checkpoint I/O error, or nil.
+// A non-nil value means durability is degraded (tuning continues, but a
+// crash may lose more than one iteration). The error is sticky: it is
+// cleared only when a subsequent periodic snapshot completes, because a
+// snapshot is the only operation that proves the directory is writable
+// again (journal appends keep "succeeding" against an unlinked file).
+func (t *Tuner) CheckpointErr() error { return t.ckptErr }
+
+// CheckpointDir returns the checkpoint directory ("" when disabled).
+func (t *Tuner) CheckpointDir() string { return t.ckptDir }
+
+// tunerState is the snapshot payload: everything needed to resume the
+// tuner mid-search. Full iteration history and per-algorithm timelines
+// are intentionally not persisted (only a bounded tail is) — they are
+// diagnostics, not decision state, and would make snapshots O(run
+// length).
+type tunerState struct {
+	Algos    []string       `json:"algos"`
+	RngSeed  int64          `json:"rng_seed"`
+	RngDrawn uint64         `json:"rng_drawn"`
+	Counts   []int          `json:"counts"`
+	BestAlgo int            `json:"best_algo"`
+	BestCfg  []checkpoint.F `json:"best_cfg,omitempty"`
+	BestVal  checkpoint.F   `json:"best_val"`
+	WorstVal checkpoint.F   `json:"worst_val"`
+
+	Selector   json.RawMessage   `json:"selector"`
+	Strategies []json.RawMessage `json:"strategies"`
+	Guard      json.RawMessage   `json:"guard,omitempty"`
+
+	FailTotal   int   `json:"fail_total"`
+	FailPanics  int   `json:"fail_panics"`
+	FailTimeout int   `json:"fail_timeout"`
+	FailInvalid int   `json:"fail_invalid"`
+	FailPerAlgo []int `json:"fail_per_algo"`
+
+	LastValue  checkpoint.F `json:"last_value"`
+	LastFailed bool         `json:"last_failed"`
+
+	Recent      []bool `json:"recent,omitempty"`
+	RecentIdx   int    `json:"recent_idx"`
+	RecentFill  int    `json:"recent_fill"`
+	RecentFails int    `json:"recent_fails"`
+	Degraded    bool   `json:"degraded"`
+	PinnedIters int    `json:"pinned_iters"`
+
+	HistoryTail []recState `json:"history_tail,omitempty"`
+}
+
+type recState struct {
+	Iteration int            `json:"iteration"`
+	Algo      int            `json:"algo"`
+	Config    []checkpoint.F `json:"config"`
+	Value     checkpoint.F   `json:"value"`
+	Failed    bool           `json:"failed"`
+}
+
+// stateHistoryTail bounds how many iteration records a snapshot keeps.
+const stateHistoryTail = 64
+
+// ExportState serializes the tuner's complete resumable state. It must
+// be called at an iteration boundary (no observation pending).
+func (t *Tuner) ExportState() ([]byte, error) {
+	if t.pending {
+		return nil, fmt.Errorf("core: ExportState with an observation pending")
+	}
+	seed, drawn := t.src.State()
+	st := tunerState{
+		Algos:       make([]string, len(t.algos)),
+		RngSeed:     seed,
+		RngDrawn:    drawn,
+		Counts:      append([]int(nil), t.counts...),
+		BestAlgo:    t.bestAlgo,
+		BestCfg:     checkpoint.Floats(t.bestCfg),
+		BestVal:     checkpoint.F(t.bestVal),
+		WorstVal:    checkpoint.F(t.worstVal),
+		Strategies:  make([]json.RawMessage, len(t.strategies)),
+		FailTotal:   t.failTotal,
+		FailPanics:  t.failPanics,
+		FailTimeout: t.failTimeout,
+		FailInvalid: t.failInvalid,
+		FailPerAlgo: append([]int(nil), t.failPerAlgo...),
+		LastValue:   checkpoint.F(t.lastValue),
+		LastFailed:  t.lastFailed,
+		Recent:      append([]bool(nil), t.recent...),
+		RecentIdx:   t.recentIdx,
+		RecentFill:  t.recentFill,
+		RecentFails: t.recentFails,
+		Degraded:    t.degraded,
+		PinnedIters: t.pinnedIters,
+	}
+	for i, a := range t.algos {
+		st.Algos[i] = a.Name
+	}
+	sel, ok := t.selector.(nominal.Stateful)
+	if !ok {
+		return nil, fmt.Errorf("core: selector %s is not checkpointable", t.selector.Name())
+	}
+	raw, err := sel.Export()
+	if err != nil {
+		return nil, fmt.Errorf("core: exporting selector: %w", err)
+	}
+	st.Selector = raw
+	for i, s := range t.strategies {
+		ss, ok := s.(search.Stateful)
+		if !ok {
+			return nil, fmt.Errorf("core: strategy %s is not checkpointable", s.Name())
+		}
+		raw, err := ss.Export()
+		if err != nil {
+			return nil, fmt.Errorf("core: exporting strategy for %q: %w", t.algos[i].Name, err)
+		}
+		st.Strategies[i] = raw
+	}
+	if t.guard != nil {
+		raw, err := t.guard.Export()
+		if err != nil {
+			return nil, fmt.Errorf("core: exporting guard: %w", err)
+		}
+		st.Guard = raw
+	}
+	tail := t.history
+	if len(tail) > stateHistoryTail {
+		tail = tail[len(tail)-stateHistoryTail:]
+	}
+	st.HistoryTail = make([]recState, len(tail))
+	for i, r := range tail {
+		st.HistoryTail[i] = recState{
+			Iteration: r.Iteration, Algo: r.Algo,
+			Config: checkpoint.Floats(r.Config),
+			Value:  checkpoint.F(r.Value), Failed: r.Failed,
+		}
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState overwrites a freshly constructed tuner's state with a
+// snapshot payload. The tuner must have been built by New with the same
+// algorithms, selector type, strategy factory and options as the one
+// that wrote the snapshot.
+func (t *Tuner) RestoreState(payload []byte) error {
+	if t.pending {
+		return fmt.Errorf("core: RestoreState with an observation pending")
+	}
+	var st tunerState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return fmt.Errorf("core: snapshot payload: %v", err)
+	}
+	if len(st.Algos) != len(t.algos) {
+		return fmt.Errorf("core: snapshot has %d algorithms, tuner has %d", len(st.Algos), len(t.algos))
+	}
+	for i, name := range st.Algos {
+		if name != t.algos[i].Name {
+			return fmt.Errorf("core: snapshot algorithm %d is %q, tuner has %q", i, name, t.algos[i].Name)
+		}
+	}
+	if len(st.Counts) != len(t.algos) || len(st.FailPerAlgo) != len(t.algos) || len(st.Strategies) != len(t.algos) {
+		return fmt.Errorf("core: snapshot per-algorithm state does not match %d algorithms", len(t.algos))
+	}
+	if st.BestAlgo < -1 || st.BestAlgo >= len(t.algos) {
+		return fmt.Errorf("core: snapshot best algorithm %d out of range", st.BestAlgo)
+	}
+	sel, ok := t.selector.(nominal.Stateful)
+	if !ok {
+		return fmt.Errorf("core: selector %s is not checkpointable", t.selector.Name())
+	}
+	if err := sel.Restore(st.Selector); err != nil {
+		return fmt.Errorf("core: restoring selector: %w", err)
+	}
+	for i, s := range t.strategies {
+		ss, ok := s.(search.Stateful)
+		if !ok {
+			return fmt.Errorf("core: strategy %s is not checkpointable", s.Name())
+		}
+		if err := ss.Restore(st.Strategies[i]); err != nil {
+			return fmt.Errorf("core: restoring strategy for %q: %w", t.algos[i].Name, err)
+		}
+	}
+	if t.guard != nil && st.Guard != nil {
+		if err := t.guard.Restore(st.Guard); err != nil {
+			return fmt.Errorf("core: restoring guard: %w", err)
+		}
+	}
+	t.src = xrand.Restore(st.RngSeed, st.RngDrawn)
+	t.rng = t.src.Rand()
+	t.seed = st.RngSeed
+	copy(t.counts, st.Counts)
+	t.bestAlgo = st.BestAlgo
+	t.bestCfg = param.Config(checkpoint.Unfloats(st.BestCfg))
+	t.bestVal = float64(st.BestVal)
+	t.worstVal = float64(st.WorstVal)
+	t.failTotal = st.FailTotal
+	t.failPanics = st.FailPanics
+	t.failTimeout = st.FailTimeout
+	t.failInvalid = st.FailInvalid
+	copy(t.failPerAlgo, st.FailPerAlgo)
+	t.lastValue = float64(st.LastValue)
+	t.lastFailed = st.LastFailed
+	// The watchdog ring is only restored when its geometry matches the
+	// tuner's configuration; a changed window starts the watchdog fresh.
+	if t.watchWindow > 0 && len(st.Recent) == t.watchWindow {
+		t.recent = append([]bool(nil), st.Recent...)
+		t.recentIdx = st.RecentIdx
+		t.recentFill = st.RecentFill
+		t.recentFails = st.RecentFails
+		t.degraded = st.Degraded
+	} else {
+		t.recent = nil
+		t.recentIdx, t.recentFill, t.recentFails = 0, 0, 0
+		t.degraded = st.Degraded && st.RecentFill > 0
+	}
+	t.pinnedIters = st.PinnedIters
+	if t.keepHistory {
+		t.history = t.history[:0]
+		for _, r := range st.HistoryTail {
+			t.history = append(t.history, Record{
+				Iteration: r.Iteration, Algo: r.Algo,
+				Config: param.Config(checkpoint.Unfloats(r.Config)),
+				Value:  float64(r.Value), Failed: r.Failed,
+			})
+		}
+	}
+	return nil
+}
+
+// initCheckpoint creates the checkpoint directory and writes the
+// initial snapshot; called from New when WithCheckpoint is set. Unlike
+// later periodic snapshots, a failure here is fatal: a tuner that was
+// asked to be durable but cannot write its directory should not start.
+func (t *Tuner) initCheckpoint() error {
+	if err := os.MkdirAll(t.ckptDir, 0o755); err != nil {
+		return fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	return t.snapshotNow()
+}
+
+// snapshotNow writes a snapshot at the current iteration and starts a
+// new journal generation.
+func (t *Tuner) snapshotNow() error {
+	payload, err := t.ExportState()
+	if err != nil {
+		return err
+	}
+	iter := t.Iterations()
+	if err := checkpoint.WriteSnapshot(t.ckptDir, iter, payload); err != nil {
+		return err
+	}
+	t.journal.Close()
+	t.journal = nil // reopened lazily at the new generation
+	t.ckptGen = iter
+	return nil
+}
+
+// checkpointObserve is called from observe for every completed
+// iteration: it journals the record and takes the periodic snapshot.
+// Failures are absorbed into ckptErr — persistence must never take the
+// tuning loop down with it.
+func (t *Tuner) checkpointObserve(iter, algo int, cfg param.Config, value float64, fail *guard.Failure) {
+	if t.journal == nil {
+		j, err := checkpoint.OpenJournal(t.ckptDir, t.ckptGen)
+		if err != nil {
+			t.ckptErr = err
+			return
+		}
+		t.journal = j
+	}
+	rec := checkpoint.Record{
+		Iter:   iter,
+		Algo:   t.algos[algo].Name,
+		Config: checkpoint.Floats(cfg),
+		Value:  checkpoint.F(value),
+	}
+	if fail != nil {
+		rec.FailKind = fail.Kind.String()
+	}
+	if err := t.journal.Append(rec); err != nil {
+		t.ckptErr = err
+		return
+	}
+	if t.ckptEvery > 0 && (iter+1)%t.ckptEvery == 0 {
+		if err := t.snapshotNow(); err != nil {
+			t.ckptErr = err
+			return
+		}
+		// Only a fully written snapshot clears a degraded flag: journal
+		// appends can "succeed" against an unlinked file long after the
+		// checkpoint directory is gone.
+		t.ckptErr = nil
+	}
+}
+
+// Resume reconstructs a checkpointed tuner from dir: it builds a fresh
+// tuner exactly as New would (same algorithms, selector, factory, seed
+// and options), loads the newest valid snapshot — falling back to the
+// previous generation when the newest is truncated or corrupt — and
+// replays the write-ahead journal through the normal Next/Observe path,
+// so the resumed tuner is in the exact state of the crashed one up to
+// its last journaled iteration. At most the single in-flight iteration
+// of the crashed process is lost.
+//
+// The returned tuner has checkpointing enabled on dir with the given
+// cadence and has written a fresh snapshot, so a corrupted newest
+// snapshot is healed by the resume itself.
+func Resume(dir string, every int, algos []Algorithm, selector nominal.Selector, factory search.Factory, seed int64, opts ...Option) (*Tuner, error) {
+	payload, snapIter, err := checkpoint.LoadLatest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: resume from %s: %w", dir, err)
+	}
+	t, err := New(algos, selector, factory, seed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.RestoreState(payload); err != nil {
+		return nil, err
+	}
+	records := checkpoint.ReadJournalsSince(dir, snapIter)
+	t.replaying = true
+	for _, rec := range records {
+		if rec.Iter < t.Iterations() {
+			continue // already inside the snapshot
+		}
+		if rec.Iter > t.Iterations() {
+			t.replaying = false
+			return nil, fmt.Errorf("core: resume from %s: journal gap at iteration %d (tuner at %d)", dir, rec.Iter, t.Iterations())
+		}
+		algo, cfg := t.Next()
+		if t.algos[algo].Name != rec.Algo || !cfg.Equal(param.Config(checkpoint.Unfloats(rec.Config))) {
+			t.replaying = false
+			return nil, fmt.Errorf("core: resume from %s: journal iteration %d proposes %s, tuner proposes %s — checkpoint was written by a different configuration",
+				dir, rec.Iter, rec.Algo, t.algos[algo].Name)
+		}
+		if rec.FailKind != "" {
+			kind, ok := guard.KindFromString(rec.FailKind)
+			if !ok {
+				kind = guard.Invalid
+			}
+			t.ObserveFailure(guard.Failure{
+				Kind:    kind,
+				Algo:    algo,
+				Err:     errors.New("replayed failure"),
+				Penalty: float64(rec.Value),
+			})
+		} else {
+			t.Observe(float64(rec.Value))
+		}
+	}
+	t.replaying = false
+	t.ckptDir = dir
+	t.ckptEvery = every
+	if err := t.snapshotNow(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/guard"
+	"repro/internal/nominal"
+	"repro/internal/param"
+)
+
+// runRef runs an uncheckpointed tuner to iters and returns it.
+func runRef(t *testing.T, seed int64, iters int) *Tuner {
+	t.Helper()
+	algos, m := syntheticAlgos()
+	tu := mustNew(t, algos, nominal.NewEpsilonGreedy(0.2), DefaultFactory, seed)
+	tu.Run(iters, m)
+	return tu
+}
+
+// resumeSynthetic is Resume with the syntheticAlgos setup.
+func resumeSynthetic(t *testing.T, dir string, every int, seed int64) (*Tuner, error) {
+	t.Helper()
+	algos, _ := syntheticAlgos()
+	return Resume(dir, every, algos, nominal.NewEpsilonGreedy(0.2), DefaultFactory, seed)
+}
+
+// TestCheckpointResumeMatchesUninterrupted is the core acceptance
+// property: kill the tuner mid-iteration at several points, resume each
+// time, and the stitched run must match an uninterrupted run decision for
+// decision.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	const iters, seed, every = 300, 3, 20
+	ref := runRef(t, seed, iters)
+	refBest, refCfg, refVal := ref.Best()
+
+	dir := t.TempDir()
+	algos, m := syntheticAlgos()
+	tu := mustNew(t, algos, nominal.NewEpsilonGreedy(0.2), DefaultFactory, seed,
+		WithCheckpoint(dir, every))
+	for _, kill := range []int{1, 17, 20, 59, 155, 156, 299} {
+		for tu.Iterations() < kill {
+			tu.Step(m)
+		}
+		if err := tu.CheckpointErr(); err != nil {
+			t.Fatalf("checkpointing degraded before kill at %d: %v", kill, err)
+		}
+		tu.Next() // in-flight proposal dies with the process
+		tu = nil
+
+		var err error
+		tu, err = resumeSynthetic(t, dir, every, seed)
+		if err != nil {
+			t.Fatalf("resume after kill at %d: %v", kill, err)
+		}
+		if got := tu.Iterations(); got != kill {
+			t.Fatalf("resume after kill at %d recovered %d iterations", kill, got)
+		}
+	}
+	for tu.Iterations() < iters {
+		tu.Step(m)
+	}
+	best, cfg, val := tu.Best()
+	if best != refBest || !cfg.Equal(refCfg) || val != refVal {
+		t.Errorf("resumed run diverged: best %d %v %g, want %d %v %g",
+			best, cfg, val, refBest, refCfg, refVal)
+	}
+	if c, rc := tu.Counts(), ref.Counts(); len(c) == len(rc) {
+		for i := range c {
+			if c[i] != rc[i] {
+				t.Errorf("algorithm %d selected %d times, reference %d", i, c[i], rc[i])
+			}
+		}
+	}
+}
+
+// TestResumeAfterCleanStop: no in-flight proposal, nothing lost.
+func TestResumeAfterCleanStop(t *testing.T) {
+	const seed, every = 5, 10
+	dir := t.TempDir()
+	algos, m := syntheticAlgos()
+	tu := mustNew(t, algos, nominal.NewEpsilonGreedy(0.2), DefaultFactory, seed,
+		WithCheckpoint(dir, every))
+	tu.Run(47, m)
+	tu = nil
+
+	re, err := resumeSynthetic(t, dir, every, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Iterations() != 47 {
+		t.Errorf("recovered %d iterations, want 47", re.Iterations())
+	}
+	re.Run(53, m)
+	ref := runRef(t, seed, 100)
+	b1, _, v1 := re.Best()
+	b2, _, v2 := ref.Best()
+	if b1 != b2 || v1 != v2 {
+		t.Errorf("resumed best (%d, %g) differs from reference (%d, %g)", b1, v1, b2, v2)
+	}
+}
+
+// TestResumeCorruptNewestSnapshot: flipping a byte in the newest snapshot
+// must silently fall back to the previous generation plus chained
+// journals — same state, no error.
+func TestResumeCorruptNewestSnapshot(t *testing.T) {
+	const seed, every = 7, 10
+	dir := t.TempDir()
+	algos, m := syntheticAlgos()
+	tu := mustNew(t, algos, nominal.NewEpsilonGreedy(0.2), DefaultFactory, seed,
+		WithCheckpoint(dir, every))
+	tu.Run(35, m)
+	tu = nil
+
+	gens := checkpoint.Generations(dir)
+	if len(gens) < 2 {
+		t.Fatalf("want ≥ 2 snapshot generations, have %v", gens)
+	}
+	path := checkpoint.SnapPath(dir, gens[len(gens)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := resumeSynthetic(t, dir, every, seed)
+	if err != nil {
+		t.Fatalf("resume with corrupt newest snapshot: %v", err)
+	}
+	if re.Iterations() != 35 {
+		t.Errorf("recovered %d iterations, want 35", re.Iterations())
+	}
+	// Resume writes a fresh snapshot, healing the directory: a second
+	// resume must load it directly.
+	re = nil
+	re2, err := resumeSynthetic(t, dir, every, seed)
+	if err != nil {
+		t.Fatalf("second resume: %v", err)
+	}
+	if re2.Iterations() != 35 {
+		t.Errorf("second resume recovered %d iterations, want 35", re2.Iterations())
+	}
+}
+
+// TestResumeTornJournalLine: a torn final journal line (the classic
+// crash artifact) costs exactly that iteration, nothing more.
+func TestResumeTornJournalLine(t *testing.T) {
+	const seed, every = 11, 100 // no periodic snapshot: everything in one journal
+	dir := t.TempDir()
+	algos, m := syntheticAlgos()
+	tu := mustNew(t, algos, nominal.NewEpsilonGreedy(0.2), DefaultFactory, seed,
+		WithCheckpoint(dir, every))
+	tu.Run(20, m)
+	tu = nil
+
+	wal := checkpoint.WalPath(dir, 0)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := resumeSynthetic(t, dir, every, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Iterations() != 19 {
+		t.Errorf("recovered %d iterations after torn line, want 19", re.Iterations())
+	}
+}
+
+// TestResumeRejectsDifferentConfiguration: a checkpoint written by one
+// algorithm set must not silently resume into another.
+func TestResumeRejectsDifferentConfiguration(t *testing.T) {
+	const seed, every = 13, 10
+	dir := t.TempDir()
+	algos, m := syntheticAlgos()
+	tu := mustNew(t, algos, nominal.NewEpsilonGreedy(0.2), DefaultFactory, seed,
+		WithCheckpoint(dir, every))
+	tu.Run(15, m)
+	tu = nil
+
+	other := []Algorithm{{Name: "impostor-a"}, {Name: "impostor-b"}, {Name: "impostor-c"}}
+	if _, err := Resume(dir, every, other, nominal.NewEpsilonGreedy(0.2), DefaultFactory, seed); err == nil {
+		t.Error("resuming with renamed algorithms succeeded")
+	}
+	if _, err := Resume(dir, every, algos[:2], nominal.NewEpsilonGreedy(0.2), DefaultFactory, seed); err == nil {
+		t.Error("resuming with fewer algorithms succeeded")
+	}
+}
+
+// TestResumeEmptyDir: nothing to resume from is an error, not a fresh
+// start — silently losing a run's history would defeat the feature.
+func TestResumeEmptyDir(t *testing.T) {
+	_, err := resumeSynthetic(t, t.TempDir(), 10, 1)
+	if err == nil {
+		t.Fatal("resuming from an empty directory succeeded")
+	}
+	if !strings.Contains(err.Error(), "no valid snapshot") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestCheckpointWithGuardAndFailures: failed iterations journal their
+// kind and penalty and replay through ObserveFailure, reconstructing the
+// guard's counters and the quarantine's circuit state.
+func TestCheckpointWithGuardAndFailures(t *testing.T) {
+	const seed, every, iters = 17, 25, 120
+	algos, m := syntheticAlgos()
+	const faulty = 2
+	inject := func(algo int, cfg param.Config) float64 {
+		if algo == faulty {
+			return math.NaN() // always invalid
+		}
+		return m(algo, cfg)
+	}
+	mkSel := func() *guard.Quarantine {
+		q := guard.NewQuarantine(nominal.NewEpsilonGreedy(0.2))
+		q.K = 2
+		return q
+	}
+	opts := func() []Option {
+		return []Option{WithGuard(guard.WithTimeout(time.Second))}
+	}
+
+	ref := mustNew(t, algos, mkSel(), DefaultFactory, seed, opts()...)
+	ref.Run(iters, inject)
+
+	dir := t.TempDir()
+	tu := mustNew(t, algos, mkSel(), DefaultFactory, seed,
+		append(opts(), WithCheckpoint(dir, every))...)
+	for tu.Iterations() < 60 {
+		tu.Step(inject)
+	}
+	tu.Next()
+	tu = nil
+
+	re, err := Resume(dir, every, algos, mkSel(), DefaultFactory, seed, opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Iterations() != 60 {
+		t.Fatalf("recovered %d iterations, want 60", re.Iterations())
+	}
+	for re.Iterations() < iters {
+		re.Step(inject)
+	}
+
+	fs, rfs := re.FailureStats(), ref.FailureStats()
+	if fs.Total != rfs.Total || fs.Invalids != rfs.Invalids {
+		t.Errorf("failure stats diverged: %+v vs %+v", fs, rfs)
+	}
+	b1, _, v1 := re.Best()
+	b2, _, v2 := ref.Best()
+	if b1 != b2 || v1 != v2 {
+		t.Errorf("resumed best (%d, %g) differs from reference (%d, %g)", b1, v1, b2, v2)
+	}
+	if c, rc := re.Counts(), ref.Counts(); c[faulty] != rc[faulty] {
+		t.Errorf("faulty arm selected %d times, reference %d", c[faulty], rc[faulty])
+	}
+}
+
+// TestExportStateWithPendingObservationFails: snapshots only happen at
+// iteration boundaries.
+func TestExportStateWithPendingObservationFails(t *testing.T) {
+	algos, _ := syntheticAlgos()
+	tu := mustNew(t, algos, nominal.NewEpsilonGreedy(0.2), DefaultFactory, 1)
+	tu.Next()
+	if _, err := tu.ExportState(); err == nil {
+		t.Error("ExportState with a pending observation succeeded")
+	}
+}
+
+// TestCheckpointErrAbsorbed: post-construction I/O failure degrades
+// durability but never the tuning loop.
+func TestCheckpointErrAbsorbed(t *testing.T) {
+	dir := t.TempDir()
+	algos, m := syntheticAlgos()
+	tu := mustNew(t, algos, nominal.NewEpsilonGreedy(0.2), DefaultFactory, 1,
+		WithCheckpoint(dir, 5))
+	tu.Run(7, m)
+	if err := tu.CheckpointErr(); err != nil {
+		t.Fatalf("healthy run has checkpoint error: %v", err)
+	}
+	// Yank the directory out from under the tuner.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	tu.Run(20, m) // must not panic or stop
+	if tu.Iterations() != 27 {
+		t.Errorf("tuning stopped at %d iterations", tu.Iterations())
+	}
+	if tu.CheckpointErr() == nil {
+		t.Error("expected a checkpoint error after losing the directory")
+	}
+}

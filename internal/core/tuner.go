@@ -24,10 +24,12 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/checkpoint"
 	"repro/internal/guard"
 	"repro/internal/nominal"
 	"repro/internal/param"
 	"repro/internal/search"
+	"repro/internal/xrand"
 )
 
 // An Algorithm is one alternative implementation of the tuned operation,
@@ -83,6 +85,8 @@ type Tuner struct {
 	selector   nominal.Selector
 	strategies []search.Strategy
 	rng        *rand.Rand
+	src        *xrand.Source
+	seed       int64
 
 	history []Record
 	counts  []int
@@ -118,6 +122,14 @@ type Tuner struct {
 	degraded    bool
 	pinned      bool // the pending observation is a pinned (degraded) run
 	pinnedIters int
+
+	// Crash-safe persistence (see WithCheckpoint / Resume).
+	ckptDir   string
+	ckptEvery int
+	ckptGen   int // iteration of the current snapshot generation
+	journal   *checkpoint.Journal
+	ckptErr   error
+	replaying bool
 }
 
 // Option configures a Tuner.
@@ -176,11 +188,14 @@ func New(algos []Algorithm, selector nominal.Selector, factory search.Factory, s
 	if factory == nil {
 		factory = DefaultFactory
 	}
+	src := xrand.New(seed)
 	t := &Tuner{
 		algos:       algos,
 		selector:    selector,
 		strategies:  make([]search.Strategy, len(algos)),
-		rng:         rand.New(rand.NewSource(seed)),
+		rng:         src.Rand(),
+		src:         src,
+		seed:        seed,
 		counts:      make([]int, len(algos)),
 		bestAlgo:    -1,
 		bestVal:     math.Inf(1),
@@ -209,6 +224,11 @@ func New(algos []Algorithm, selector nominal.Selector, factory search.Factory, s
 	}
 	selector.Init(len(algos))
 	t.perAlgoHistory = make([][]float64, len(algos))
+	if t.ckptDir != "" {
+		if err := t.initCheckpoint(); err != nil {
+			return nil, err
+		}
+	}
 	return t, nil
 }
 
@@ -325,6 +345,7 @@ func (t *Tuner) observe(value float64, fail *guard.Failure) {
 	t.pinned = false
 	algo, cfg := t.pendingAlgo, t.pendingCfg
 	failed := fail != nil
+	iter := t.Iterations() // zero-based index of the completing iteration
 
 	if pinned {
 		t.pinnedIters++
@@ -340,7 +361,7 @@ func (t *Tuner) observe(value float64, fail *guard.Failure) {
 	t.counts[algo]++
 	if t.keepHistory {
 		t.history = append(t.history, Record{
-			Iteration: len(t.history),
+			Iteration: iter,
 			Algo:      algo,
 			Config:    cfg,
 			Value:     value,
@@ -371,6 +392,9 @@ func (t *Tuner) observe(value float64, fail *guard.Failure) {
 	}
 	t.lastValue, t.lastFailed = value, failed
 	t.watch(failed)
+	if t.ckptDir != "" && !t.replaying {
+		t.checkpointObserve(iter, algo, cfg, value, fail)
+	}
 }
 
 // penalty returns the value substituted for a failed observation.

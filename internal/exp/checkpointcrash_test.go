@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// Acceptance: hard-kill the checkpointed tuner at 10 random iterations,
+// resume each time, and the stitched run must reach the same winning
+// algorithm as the uninterrupted reference, losing at most one iteration
+// per crash; a corrupted newest snapshot must fall back to the previous
+// generation without error.
+func TestCheckpointCrashRecoversExactly(t *testing.T) {
+	cfg := TestConfig()
+	res, err := RunCheckpointCrash(cfg, 800, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WinnersAgree {
+		t.Errorf("resumed winner %q differs from reference winner %q",
+			res.ResumedWinner, res.ReferenceWinner)
+	}
+	if res.ResumedBest != res.ReferenceBest {
+		t.Errorf("resumed best value %g differs from reference %g",
+			res.ResumedBest, res.ReferenceBest)
+	}
+	if len(res.KillPoints) != 10 {
+		t.Errorf("%d kill points, want 10", len(res.KillPoints))
+	}
+	if res.MaxLossPerCrash > 1 {
+		t.Errorf("a crash lost %d iterations, bound is 1", res.MaxLossPerCrash)
+	}
+	if !res.FallbackOK {
+		t.Errorf("corrupt-newest-snapshot fallback failed (winner %q)", res.FallbackWinner)
+	}
+	if res.ReplayedIterations == 0 {
+		t.Error("no journal records were replayed — the kill points never exercised the WAL")
+	}
+
+	var sb strings.Builder
+	res.RenderFigureA11(&sb)
+	for _, want := range []string{"crash/resume", res.ReferenceWinner, "fallback"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("A11 table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package guard
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/nominal"
+)
+
+// guardState is the serialized form of a Guard's counters. The worst
+// valid observation is the load-bearing field: it determines the penalty
+// substituted for failed measurements, so a restored tuner must compute
+// the same penalties the crashed one would have.
+type guardState struct {
+	Worst    checkpoint.F `json:"worst"`
+	Total    int          `json:"total"`
+	Failures int          `json:"failures"`
+	Kinds    []int        `json:"kinds"`
+	PerAlgo  [][2]int     `json:"per_algo"` // [total, failed] per algorithm
+}
+
+// Export serializes the guard's penalty state and counters.
+func (g *Guard) Export() ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := guardState{
+		Worst:    checkpoint.F(g.worst),
+		Total:    g.total,
+		Failures: g.failures,
+		Kinds:    make([]int, numKinds),
+		PerAlgo:  make([][2]int, len(g.perAlgo)),
+	}
+	for i := range g.kinds {
+		st.Kinds[i] = g.kinds[i]
+	}
+	for i, a := range g.perAlgo {
+		st.PerAlgo[i] = [2]int{a.total, a.failed}
+	}
+	return json.Marshal(st)
+}
+
+// Restore overwrites the guard's penalty state and counters.
+func (g *Guard) Restore(data []byte) error {
+	var st guardState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.Kinds) > int(numKinds) {
+		return fmt.Errorf("guard: Restore has %d failure kinds, this build knows %d", len(st.Kinds), numKinds)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.worst = float64(st.Worst)
+	g.total = st.Total
+	g.failures = st.Failures
+	g.kinds = [numKinds]int{}
+	copy(g.kinds[:], st.Kinds)
+	g.perAlgo = make([]algoStats, len(st.PerAlgo))
+	for i, a := range st.PerAlgo {
+		g.perAlgo[i] = algoStats{total: a[0], failed: a[1]}
+	}
+	return nil
+}
+
+// KindFromString parses the String() form of a failure Kind, as stored
+// in checkpoint journal records.
+func KindFromString(s string) (Kind, bool) {
+	switch s {
+	case "panic":
+		return Panic, true
+	case "timeout":
+		return Timeout, true
+	case "invalid":
+		return Invalid, true
+	}
+	return 0, false
+}
+
+// quarantineState is the serialized form of the circuit breaker,
+// including the inner selector's state (which must be Stateful).
+type quarantineState struct {
+	Iter  int             `json:"iter"`
+	Arms  []qarmState     `json:"arms"`
+	Inner json.RawMessage `json:"inner"`
+}
+
+type qarmState struct {
+	Consecutive    int  `json:"consecutive"`
+	Level          int  `json:"level"`
+	Trips          int  `json:"trips"`
+	Open           bool `json:"open"`
+	SuspendedUntil int  `json:"suspended_until"`
+	FailurePending bool `json:"failure_pending"`
+}
+
+// Export serializes the circuit-breaker state and chains the inner
+// selector's export.
+func (q *Quarantine) Export() ([]byte, error) {
+	if q.arms == nil {
+		return nil, fmt.Errorf("guard: Quarantine.Export before Init")
+	}
+	s, ok := q.inner.(nominal.Stateful)
+	if !ok {
+		return nil, fmt.Errorf("guard: quarantined selector %s is not Stateful", q.inner.Name())
+	}
+	inner, err := s.Export()
+	if err != nil {
+		return nil, err
+	}
+	st := quarantineState{Iter: q.iter, Arms: make([]qarmState, len(q.arms)), Inner: inner}
+	for i, a := range q.arms {
+		st.Arms[i] = qarmState{
+			Consecutive: a.consecutive, Level: a.level, Trips: a.trips,
+			Open: a.open, SuspendedUntil: a.suspendedUntil, FailurePending: a.failurePending,
+		}
+	}
+	return json.Marshal(st)
+}
+
+// Restore overwrites the state of an Init'ed Quarantine, including the
+// inner selector.
+func (q *Quarantine) Restore(data []byte) error {
+	if q.arms == nil {
+		return fmt.Errorf("guard: Quarantine.Restore before Init")
+	}
+	var st quarantineState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.Arms) != len(q.arms) {
+		return fmt.Errorf("guard: Quarantine.Restore has %d arms, selector has %d", len(st.Arms), len(q.arms))
+	}
+	s, ok := q.inner.(nominal.Stateful)
+	if !ok {
+		return fmt.Errorf("guard: quarantined selector %s is not Stateful", q.inner.Name())
+	}
+	if err := s.Restore(st.Inner); err != nil {
+		return err
+	}
+	q.iter = st.Iter
+	for i, a := range st.Arms {
+		q.arms[i] = qarm{
+			consecutive: a.Consecutive, level: a.Level, trips: a.Trips,
+			open: a.Open, suspendedUntil: a.SuspendedUntil, failurePending: a.FailurePending,
+		}
+	}
+	return nil
+}

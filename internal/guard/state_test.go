@@ -1,0 +1,157 @@
+package guard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/nominal"
+	"repro/internal/param"
+)
+
+// buildGuardState drives a guard through successes and every failure
+// kind so all counters are non-trivial.
+func buildGuardState(t *testing.T) *Guard {
+	t.Helper()
+	g := New(WithTimeout(20 * time.Millisecond))
+	good := func(algo int, _ param.Config) float64 { return float64(10 + algo) }
+	for algo := 0; algo < 3; algo++ {
+		if _, f := g.Invoke(good, algo, nil); f != nil {
+			t.Fatalf("clean call failed: %v", f)
+		}
+	}
+	g.Invoke(func(int, param.Config) float64 { panic("boom") }, 1, nil)
+	g.Invoke(func(int, param.Config) float64 { return math.NaN() }, 2, nil)
+	g.Invoke(func(int, param.Config) float64 {
+		time.Sleep(100 * time.Millisecond)
+		return 1
+	}, 0, nil)
+	return g
+}
+
+func TestGuardStateRoundTrip(t *testing.T) {
+	a := buildGuardState(t)
+	data, err := a.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(WithTimeout(20 * time.Millisecond))
+	if err := b.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Total != sb.Total || sa.Failures != sb.Failures ||
+		sa.Panics != sb.Panics || sa.Timeouts != sb.Timeouts || sa.Invalids != sb.Invalids ||
+		sa.Worst != sb.Worst {
+		t.Errorf("stats diverged: %+v vs %+v", sa, sb)
+	}
+	if len(sa.PerAlgoMeasurements) != len(sb.PerAlgoMeasurements) {
+		t.Fatalf("per-algo sizes diverged: %d vs %d", len(sa.PerAlgoMeasurements), len(sb.PerAlgoMeasurements))
+	}
+	for i := range sa.PerAlgoMeasurements {
+		if sa.PerAlgoMeasurements[i] != sb.PerAlgoMeasurements[i] || sa.PerAlgoFailures[i] != sb.PerAlgoFailures[i] {
+			t.Errorf("algo %d counters diverged", i)
+		}
+	}
+	// The penalty is derived from worst — the load-bearing field.
+	if a.Penalty() != b.Penalty() {
+		t.Errorf("penalty diverged: %g vs %g", a.Penalty(), b.Penalty())
+	}
+}
+
+func TestGuardRestoreRejectsBadState(t *testing.T) {
+	g := New()
+	if err := g.Restore([]byte(`{`)); err == nil {
+		t.Error("restoring truncated JSON succeeded")
+	}
+	if err := g.Restore([]byte(`{"kinds":[1,2,3,4,5,6,7]}`)); err == nil {
+		t.Error("restoring more failure kinds than this build knows succeeded")
+	}
+}
+
+func TestKindFromString(t *testing.T) {
+	for _, k := range []Kind{Panic, Timeout, Invalid} {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindFromString("meteor"); ok {
+		t.Error("unknown kind parsed")
+	}
+}
+
+func TestQuarantineStateRoundTrip(t *testing.T) {
+	const arms = 3
+	mkQ := func() *Quarantine {
+		q := NewQuarantine(nominal.NewEpsilonGreedy(0.2))
+		q.K = 2
+		q.Init(arms)
+		return q
+	}
+	a := mkQ()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		arm := a.Select(rng)
+		if arm == 2 {
+			a.ReportFailure(arm, Failure{Kind: Panic, Algo: arm})
+			a.Report(arm, 100) // penalty value, as the tuner reports it
+		} else {
+			a.Report(arm, float64(arm+1))
+		}
+	}
+	data, err := a.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := mkQ()
+	if err := b.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	for arm := 0; arm < arms; arm++ {
+		if a.Open(arm) != b.Open(arm) || a.Trips(arm) != b.Trips(arm) || a.Suspended(arm) != b.Suspended(arm) {
+			t.Errorf("arm %d circuit state diverged", arm)
+		}
+	}
+	// Same streams, same future decisions — including backoff expiry and
+	// re-probes of the tripped arm.
+	rngA := rand.New(rand.NewSource(11))
+	rngB := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		armA, armB := a.Select(rngA), b.Select(rngB)
+		if armA != armB {
+			t.Fatalf("selection %d diverged: %d vs %d", i, armA, armB)
+		}
+		if armA == 2 {
+			a.ReportFailure(armA, Failure{Kind: Timeout, Algo: armA})
+			b.ReportFailure(armB, Failure{Kind: Timeout, Algo: armB})
+			a.Report(armA, 100)
+			b.Report(armB, 100)
+		} else {
+			a.Report(armA, float64(armA+1))
+			b.Report(armB, float64(armB+1))
+		}
+	}
+}
+
+func TestQuarantineRestoreRejectsBadState(t *testing.T) {
+	q := NewQuarantine(nominal.NewEpsilonGreedy(0.2))
+	if err := q.Restore([]byte(`{}`)); err == nil {
+		t.Error("Restore before Init succeeded")
+	}
+	q.Init(3)
+	if err := q.Restore([]byte(`{`)); err == nil {
+		t.Error("restoring truncated JSON succeeded")
+	}
+	big := NewQuarantine(nominal.NewEpsilonGreedy(0.2))
+	big.Init(5)
+	data, err := big.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Restore(data); err == nil {
+		t.Error("restoring a 5-arm quarantine into 3 arms succeeded")
+	}
+}

@@ -46,8 +46,13 @@ type sample struct {
 }
 
 // history is the per-arm observation store shared by the selectors.
+// seen counts reports per arm independently of the stored samples, so a
+// checkpoint can persist only a bounded tail of each arm's samples (the
+// selectors look at most DefaultWindow-sized windows back) without
+// corrupting visit counts.
 type history struct {
 	arms [][]sample
+	seen []int
 	iter int
 	best []float64 // per-arm minimum value, +Inf when unvisited
 }
@@ -57,6 +62,7 @@ func (h *history) init(n int) {
 		panic(fmt.Sprintf("nominal: selector initialized with %d arms", n))
 	}
 	h.arms = make([][]sample, n)
+	h.seen = make([]int, n)
 	h.best = make([]float64, n)
 	for i := range h.best {
 		h.best[i] = math.Inf(1)
@@ -71,13 +77,14 @@ func (h *history) report(arm int, v float64) {
 		panic(fmt.Sprintf("nominal: report for arm %d of %d", arm, len(h.arms)))
 	}
 	h.arms[arm] = append(h.arms[arm], sample{iter: h.iter, value: v})
+	h.seen[arm]++
 	h.iter++
 	if v < h.best[arm] {
 		h.best[arm] = v
 	}
 }
 
-func (h *history) visits(arm int) int { return len(h.arms[arm]) }
+func (h *history) visits(arm int) int { return h.seen[arm] }
 
 // window returns the last w samples of an arm.
 func (h *history) window(arm, w int) []sample {

@@ -1,0 +1,154 @@
+package nominal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var stateSelectorNames = []string{
+	"egreedy:10", "greedygradient:10", "gradient", "optimum", "auc",
+	"random", "roundrobin", "ucb1", "softmax:0.5",
+}
+
+// syntheticValue is a deterministic per-(arm, visit) measurement: arm 0
+// is best, every arm improves slowly so gradient selectors see signal.
+func syntheticValue(arm, visit int) float64 {
+	return float64(arm+1)*10 - 0.05*float64(visit)
+}
+
+// TestSelectorStateRoundTrip: export mid-run, restore into a fresh
+// Init'ed instance, and require identical selections forever after when
+// both copies draw from identically seeded streams.
+func TestSelectorStateRoundTrip(t *testing.T) {
+	const arms = 4
+	for _, name := range stateSelectorNames {
+		for _, warm := range []int{0, 1, 5, 40, 200} {
+			a, err := NewByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Init(arms)
+			visits := make([]int, arms)
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < warm; i++ {
+				arm := a.Select(rng)
+				a.Report(arm, syntheticValue(arm, visits[arm]))
+				visits[arm]++
+			}
+			data, err := a.(Stateful).Export()
+			if err != nil {
+				t.Fatalf("%s@%d: Export: %v", name, warm, err)
+			}
+
+			b, err := NewByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Init(arms)
+			if err := b.(Stateful).Restore(data); err != nil {
+				t.Fatalf("%s@%d: Restore: %v", name, warm, err)
+			}
+
+			// Selection randomness is external; identical streams must
+			// yield identical decisions.
+			rngA := rand.New(rand.NewSource(77))
+			rngB := rand.New(rand.NewSource(77))
+			for i := 0; i < 100; i++ {
+				armA, armB := a.Select(rngA), b.Select(rngB)
+				if armA != armB {
+					t.Fatalf("%s@%d: selection %d diverged: %d vs %d", name, warm, i, armA, armB)
+				}
+				v := syntheticValue(armA, visits[armA])
+				visits[armA]++
+				a.Report(armA, v)
+				b.Report(armB, v)
+			}
+		}
+	}
+}
+
+// TestSelectorRestoreRejectsBadState: corruption errors, never panics.
+func TestSelectorRestoreRejectsBadState(t *testing.T) {
+	for _, name := range stateSelectorNames {
+		s, err := NewByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Init(3)
+		st := s.(Stateful)
+		if err := st.Restore([]byte(`{`)); err == nil {
+			t.Errorf("%s: restoring truncated JSON succeeded", name)
+		}
+		if err := st.Restore([]byte(`[1,2,3]`)); err == nil {
+			t.Errorf("%s: restoring a non-object succeeded", name)
+		}
+	}
+}
+
+// TestSelectorRestoreRejectsArmMismatch: a snapshot from a different arm
+// count must be refused, not half-applied.
+func TestSelectorRestoreRejectsArmMismatch(t *testing.T) {
+	for _, name := range stateSelectorNames {
+		a, _ := NewByName(name)
+		a.Init(5)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 10; i++ {
+			arm := a.Select(rng)
+			a.Report(arm, float64(arm))
+		}
+		data, err := a.(Stateful).Export()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := NewByName(name)
+		b.Init(3)
+		if err := b.(Stateful).Restore(data); err == nil {
+			t.Errorf("%s: restoring a 5-arm snapshot into 3 arms succeeded", name)
+		}
+	}
+}
+
+// TestSelectorExportBeforeInitFails and restore likewise.
+func TestSelectorStateBeforeInitFails(t *testing.T) {
+	for _, name := range stateSelectorNames {
+		s, _ := NewByName(name)
+		if _, err := s.(Stateful).Export(); err == nil {
+			t.Errorf("%s: Export before Init succeeded", name)
+		}
+		s2, _ := NewByName(name)
+		if err := s2.(Stateful).Restore([]byte(`{}`)); err == nil {
+			t.Errorf("%s: Restore before Init succeeded", name)
+		}
+	}
+}
+
+// TestHistoryTailPreservesVisitCounts: exports bound the stored samples
+// per arm, but the visit counters must survive exactly — ε-greedy's
+// unvisited-arm probing and UCB1's confidence terms depend on them.
+func TestHistoryTailPreservesVisitCounts(t *testing.T) {
+	a := NewEpsilonGreedy(0.1)
+	a.Init(2)
+	rng := rand.New(rand.NewSource(1))
+	const runs = historyTail * 3
+	for i := 0; i < runs; i++ {
+		arm := a.Select(rng)
+		a.Report(arm, float64(arm))
+	}
+	data, err := a.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewEpsilonGreedy(0.1)
+	b.Init(2)
+	if err := b.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	for arm := 0; arm < 2; arm++ {
+		if got, want := b.visits(arm), a.visits(arm); got != want {
+			t.Errorf("arm %d: restored %d visits, want %d", arm, got, want)
+		}
+		if len(b.arms[arm]) > historyTail {
+			t.Errorf("arm %d: restored %d samples, tail bound is %d", arm, len(b.arms[arm]), historyTail)
+		}
+	}
+}

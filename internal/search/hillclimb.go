@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/param"
+	"repro/internal/xrand"
 )
 
 // HillClimb is steepest-ascent hill climbing (descent, since we minimize):
@@ -128,6 +129,7 @@ type Anneal struct {
 	recorder
 	space  *param.Space
 	rng    *rand.Rand
+	src    *xrand.Source
 	seed   int64
 	cur    param.Config
 	curVal float64
@@ -170,7 +172,8 @@ func (a *Anneal) Start(space *param.Space, init param.Config) error {
 	}
 	a.reset()
 	a.space = space
-	a.rng = newRand(a.seed)
+	a.src = xrand.New(a.seed)
+	a.rng = a.src.Rand()
 	a.cur = c
 	a.known = false
 	if a.initTemp == 0 {

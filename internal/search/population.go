@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/param"
+	"repro/internal/xrand"
 )
 
 // Default population sizes for the population-based strategies.
@@ -22,6 +23,7 @@ type ParticleSwarm struct {
 	recorder
 	space *param.Space
 	rng   *rand.Rand
+	src   *xrand.Source
 	seed  int64
 	size  int
 
@@ -76,7 +78,8 @@ func (p *ParticleSwarm) Start(space *param.Space, init param.Config) error {
 	}
 	p.reset()
 	p.space = space
-	p.rng = newRand(p.seed)
+	p.src = xrand.New(p.seed)
+	p.rng = p.src.Rand()
 	d := space.Dim()
 	p.pos = make([]param.Config, p.size)
 	p.vel = make([]param.Config, p.size)
@@ -175,6 +178,7 @@ type Genetic struct {
 	recorder
 	space *param.Space
 	rng   *rand.Rand
+	src   *xrand.Source
 	seed  int64
 	size  int
 
@@ -224,7 +228,8 @@ func (g *Genetic) Start(space *param.Space, init param.Config) error {
 	}
 	g.reset()
 	g.space = space
-	g.rng = newRand(g.seed)
+	g.src = xrand.New(g.seed)
+	g.rng = g.src.Rand()
 	g.pop = make([]param.Config, g.size)
 	g.vals = make([]float64, g.size)
 	for i := range g.pop {
@@ -338,6 +343,7 @@ type DiffEvo struct {
 	recorder
 	space *param.Space
 	rng   *rand.Rand
+	src   *xrand.Source
 	seed  int64
 	size  int
 
@@ -387,7 +393,8 @@ func (d *DiffEvo) Start(space *param.Space, init param.Config) error {
 	}
 	d.reset()
 	d.space = space
-	d.rng = newRand(d.seed)
+	d.src = xrand.New(d.seed)
+	d.rng = d.src.Rand()
 	d.pop = make([]param.Config, d.size)
 	d.vals = make([]float64, d.size)
 	for i := range d.pop {

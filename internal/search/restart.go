@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/param"
+	"repro/internal/xrand"
 )
 
 // Restarting wraps another strategy and restarts it whenever it
@@ -24,6 +25,7 @@ type Restarting struct {
 	inner   Strategy
 	space   *param.Space
 	rng     *rand.Rand
+	src     *xrand.Source
 	seed    int64
 
 	restarts int
@@ -65,7 +67,8 @@ func (r *Restarting) Start(space *param.Space, init param.Config) error {
 	r.reset()
 	r.inner = inner
 	r.space = space
-	r.rng = newRand(r.seed)
+	r.src = xrand.New(r.seed)
+	r.rng = r.src.Rand()
 	r.restarts = 0
 	r.fromBest = true
 	return nil

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/param"
+	"repro/internal/xrand"
 )
 
 // Fixed is the degenerate strategy that always proposes its initial
@@ -57,6 +58,7 @@ type Random struct {
 	recorder
 	space *param.Space
 	rng   *rand.Rand
+	src   *xrand.Source
 	seed  int64
 }
 
@@ -76,7 +78,8 @@ func (r *Random) Start(space *param.Space, init param.Config) error {
 	}
 	r.reset()
 	r.space = space
-	r.rng = newRand(r.seed)
+	r.src = xrand.New(r.seed)
+	r.rng = r.src.Rand()
 	return nil
 }
 

@@ -1,0 +1,700 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/param"
+	"repro/internal/xrand"
+)
+
+// Stateful is the optional interface for strategies whose internal state
+// can be checkpointed. Export serializes the complete search state —
+// enough that a Restore on a fresh instance reproduces the exact
+// decision sequence of the original. Restore must be called on an
+// instance that has already been Start()ed on the same space (with the
+// same initial configuration); it overwrites the started state.
+//
+// Checkpoints are taken at iteration boundaries only (after a Report,
+// before the next Propose), so transient proposal bookkeeping need not
+// survive — with the exception of values that span Report boundaries,
+// such as Nelder-Mead's centroid and reflection point, which are
+// exported.
+//
+// All strategies constructed by NewByName implement Stateful.
+type Stateful interface {
+	Export() ([]byte, error)
+	Restore([]byte) error
+}
+
+// recState is the serialized form of the embedded recorder.
+type recState struct {
+	BestCfg param.Config `json:"best_cfg,omitempty"`
+	BestVal checkpoint.F `json:"best_val"`
+	Evals   int          `json:"evals"`
+}
+
+func (r *recorder) exportRec() recState {
+	return recState{BestCfg: cloneCfg(r.bestCfg), BestVal: checkpoint.F(r.bestVal), Evals: r.evals}
+}
+
+func (r *recorder) restoreRec(s recState) {
+	r.bestCfg = cloneCfg(s.BestCfg)
+	r.bestVal = float64(s.BestVal)
+	r.evals = s.Evals
+}
+
+func cloneCfg(c param.Config) param.Config {
+	if c == nil {
+		return nil
+	}
+	return c.Clone()
+}
+
+func cloneCfgs(cs []param.Config) []param.Config {
+	if cs == nil {
+		return nil
+	}
+	out := make([]param.Config, len(cs))
+	for i, c := range cs {
+		out[i] = cloneCfg(c)
+	}
+	return out
+}
+
+func mustStartedState(r *recorder, name string) error {
+	if !r.hasSpace {
+		return fmt.Errorf("search: %s.Restore before Start", name)
+	}
+	return nil
+}
+
+func mustStartedExport(r *recorder, name string) error {
+	if !r.hasSpace {
+		return fmt.Errorf("search: %s.Export before Start", name)
+	}
+	return nil
+}
+
+// ---- Fixed ----
+
+type fixedState struct {
+	Cfg param.Config `json:"cfg"`
+	Rec recState     `json:"rec"`
+}
+
+// Export serializes the strategy state for checkpointing.
+func (f *Fixed) Export() ([]byte, error) {
+	if err := mustStartedExport(&f.recorder, "Fixed"); err != nil {
+		return nil, err
+	}
+	return json.Marshal(fixedState{Cfg: cloneCfg(f.cfg), Rec: f.exportRec()})
+}
+
+// Restore overwrites the state of a started instance.
+func (f *Fixed) Restore(data []byte) error {
+	if err := mustStartedState(&f.recorder, "Fixed"); err != nil {
+		return err
+	}
+	var st fixedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	f.cfg = cloneCfg(st.Cfg)
+	f.restoreRec(st.Rec)
+	return nil
+}
+
+// ---- Random ----
+
+type randomState struct {
+	Seed  int64    `json:"seed"`
+	Drawn uint64   `json:"drawn"`
+	Rec   recState `json:"rec"`
+}
+
+// Export serializes the strategy state for checkpointing.
+func (r *Random) Export() ([]byte, error) {
+	if err := mustStartedExport(&r.recorder, "Random"); err != nil {
+		return nil, err
+	}
+	seed, drawn := r.src.State()
+	return json.Marshal(randomState{Seed: seed, Drawn: drawn, Rec: r.exportRec()})
+}
+
+// Restore overwrites the state of a started instance.
+func (r *Random) Restore(data []byte) error {
+	if err := mustStartedState(&r.recorder, "Random"); err != nil {
+		return err
+	}
+	var st randomState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	r.seed = st.Seed
+	r.src = xrand.Restore(st.Seed, st.Drawn)
+	r.rng = r.src.Rand()
+	r.restoreRec(st.Rec)
+	return nil
+}
+
+// ---- Exhaustive ----
+
+type exhaustiveState struct {
+	// Start is the first configuration of the rotated sweep, so a
+	// restored instance can re-rotate its own enumeration to match even
+	// if it was Start()ed with a different initial configuration (as
+	// happens under the Restarting wrapper).
+	Start param.Config `json:"start,omitempty"`
+	Next  int          `json:"next"`
+	Rec   recState     `json:"rec"`
+}
+
+// Export serializes the strategy state for checkpointing.
+func (e *Exhaustive) Export() ([]byte, error) {
+	if err := mustStartedExport(&e.recorder, "Exhaustive"); err != nil {
+		return nil, err
+	}
+	st := exhaustiveState{Next: e.next, Rec: e.exportRec()}
+	if len(e.configs) > 0 {
+		st.Start = cloneCfg(e.configs[0])
+	}
+	return json.Marshal(st)
+}
+
+// Restore overwrites the state of a started instance.
+func (e *Exhaustive) Restore(data []byte) error {
+	if err := mustStartedState(&e.recorder, "Exhaustive"); err != nil {
+		return err
+	}
+	var st exhaustiveState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(e.configs) > 0 && st.Start != nil {
+		at := -1
+		for i, cfg := range e.configs {
+			if cfg.Equal(st.Start) {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			return fmt.Errorf("search: Exhaustive.Restore: start config not in space")
+		}
+		if at > 0 {
+			rot := make([]param.Config, 0, len(e.configs))
+			rot = append(rot, e.configs[at:]...)
+			rot = append(rot, e.configs[:at]...)
+			e.configs = rot
+		}
+	}
+	if st.Next < 0 || st.Next > len(e.configs) {
+		return fmt.Errorf("search: Exhaustive.Restore: next index %d out of range", st.Next)
+	}
+	e.next = st.Next
+	e.restoreRec(st.Rec)
+	return nil
+}
+
+// ---- HillClimb ----
+
+type hillClimbState struct {
+	Cur       param.Config   `json:"cur"`
+	CurVal    checkpoint.F   `json:"cur_val"`
+	Neighbors []param.Config `json:"neighbors,omitempty"`
+	HaveN     bool           `json:"have_n"`
+	Idx       int            `json:"idx"`
+	BestN     param.Config   `json:"best_n,omitempty"`
+	BestNVal  checkpoint.F   `json:"best_n_val"`
+	Done      bool           `json:"done"`
+	CurKnown  bool           `json:"cur_known"`
+	Rec       recState       `json:"rec"`
+}
+
+// Export serializes the strategy state for checkpointing.
+func (h *HillClimb) Export() ([]byte, error) {
+	if err := mustStartedExport(&h.recorder, "HillClimb"); err != nil {
+		return nil, err
+	}
+	return json.Marshal(hillClimbState{
+		Cur: cloneCfg(h.cur), CurVal: checkpoint.F(h.curVal),
+		Neighbors: cloneCfgs(h.neighbors), HaveN: h.neighbors != nil,
+		Idx: h.idx, BestN: cloneCfg(h.bestN), BestNVal: checkpoint.F(h.bestNVal),
+		Done: h.done, CurKnown: h.curKnown, Rec: h.exportRec(),
+	})
+}
+
+// Restore overwrites the state of a started instance.
+func (h *HillClimb) Restore(data []byte) error {
+	if err := mustStartedState(&h.recorder, "HillClimb"); err != nil {
+		return err
+	}
+	var st hillClimbState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	h.cur = cloneCfg(st.Cur)
+	h.curVal = float64(st.CurVal)
+	if st.HaveN {
+		h.neighbors = cloneCfgs(st.Neighbors)
+		if h.neighbors == nil {
+			h.neighbors = []param.Config{}
+		}
+	} else {
+		h.neighbors = nil
+	}
+	if st.Idx < 0 || (st.HaveN && st.Idx > len(st.Neighbors)) {
+		return fmt.Errorf("search: HillClimb.Restore: neighbour index %d out of range", st.Idx)
+	}
+	h.idx = st.Idx
+	h.bestN = cloneCfg(st.BestN)
+	h.bestNVal = float64(st.BestNVal)
+	h.done = st.Done
+	h.curKnown = st.CurKnown
+	h.restoreRec(st.Rec)
+	return nil
+}
+
+// ---- Anneal ----
+
+type annealState struct {
+	Seed   int64        `json:"seed"`
+	Drawn  uint64       `json:"drawn"`
+	Cur    param.Config `json:"cur"`
+	CurVal checkpoint.F `json:"cur_val"`
+	Known  bool         `json:"known"`
+	Temp   checkpoint.F `json:"temp"`
+	Rec    recState     `json:"rec"`
+}
+
+// Export serializes the strategy state for checkpointing.
+func (a *Anneal) Export() ([]byte, error) {
+	if err := mustStartedExport(&a.recorder, "Anneal"); err != nil {
+		return nil, err
+	}
+	seed, drawn := a.src.State()
+	return json.Marshal(annealState{
+		Seed: seed, Drawn: drawn,
+		Cur: cloneCfg(a.cur), CurVal: checkpoint.F(a.curVal), Known: a.known,
+		Temp: checkpoint.F(a.Temp), Rec: a.exportRec(),
+	})
+}
+
+// Restore overwrites the state of a started instance.
+func (a *Anneal) Restore(data []byte) error {
+	if err := mustStartedState(&a.recorder, "Anneal"); err != nil {
+		return err
+	}
+	var st annealState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	a.seed = st.Seed
+	a.src = xrand.Restore(st.Seed, st.Drawn)
+	a.rng = a.src.Rand()
+	a.cur = cloneCfg(st.Cur)
+	a.curVal = float64(st.CurVal)
+	a.known = st.Known
+	a.Temp = float64(st.Temp)
+	a.restoreRec(st.Rec)
+	return nil
+}
+
+// ---- HookeJeeves ----
+
+type hookeJeevesState struct {
+	Base     param.Config `json:"base"`
+	BaseVal  checkpoint.F `json:"base_val"`
+	Cur      param.Config `json:"cur"`
+	CurVal   checkpoint.F `json:"cur_val"`
+	Step     []float64    `json:"step"`
+	Axis     int          `json:"axis"`
+	Dir      float64      `json:"dir"`
+	HavePat  bool         `json:"have_pat"`
+	Pattern  param.Config `json:"pattern,omitempty"`
+	BaseKnow bool         `json:"base_know"`
+	Rec      recState     `json:"rec"`
+}
+
+// Export serializes the strategy state for checkpointing.
+func (h *HookeJeeves) Export() ([]byte, error) {
+	if err := mustStartedExport(&h.recorder, "HookeJeeves"); err != nil {
+		return nil, err
+	}
+	step := make([]float64, len(h.step))
+	copy(step, h.step)
+	return json.Marshal(hookeJeevesState{
+		Base: cloneCfg(h.base), BaseVal: checkpoint.F(h.baseVal),
+		Cur: cloneCfg(h.cur), CurVal: checkpoint.F(h.curVal),
+		Step: step, Axis: h.axis, Dir: h.dir,
+		HavePat: h.havePat, Pattern: cloneCfg(h.pattern),
+		BaseKnow: h.baseKnow, Rec: h.exportRec(),
+	})
+}
+
+// Restore overwrites the state of a started instance.
+func (h *HookeJeeves) Restore(data []byte) error {
+	if err := mustStartedState(&h.recorder, "HookeJeeves"); err != nil {
+		return err
+	}
+	var st hookeJeevesState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.Step) != h.space.Dim() {
+		return fmt.Errorf("search: HookeJeeves.Restore: %d steps for a %d-dimensional space", len(st.Step), h.space.Dim())
+	}
+	if st.Axis < 0 || (h.space.Dim() > 0 && st.Axis >= h.space.Dim()) {
+		return fmt.Errorf("search: HookeJeeves.Restore: axis %d out of range", st.Axis)
+	}
+	h.base = cloneCfg(st.Base)
+	h.baseVal = float64(st.BaseVal)
+	h.cur = cloneCfg(st.Cur)
+	h.curVal = float64(st.CurVal)
+	h.step = make([]float64, len(st.Step))
+	copy(h.step, st.Step)
+	h.axis = st.Axis
+	h.dir = st.Dir
+	h.havePat = st.HavePat
+	h.pattern = cloneCfg(st.Pattern)
+	h.baseKnow = st.BaseKnow
+	h.restoreRec(st.Rec)
+	return nil
+}
+
+// ---- NelderMead ----
+
+type nmVertexState struct {
+	X param.Config `json:"x"`
+	F checkpoint.F `json:"f"`
+}
+
+type nelderMeadState struct {
+	Simplex []nmVertexState `json:"simplex"`
+	Phase   int             `json:"phase"`
+	Idx     int             `json:"idx"`
+	// Centroid, XR and FR span Report boundaries: they are computed
+	// during the reflection Propose and consumed by contraction steps
+	// several Reports later, so they must survive a checkpoint.
+	Centroid param.Config `json:"centroid,omitempty"`
+	XR       param.Config `json:"xr,omitempty"`
+	FR       checkpoint.F `json:"fr"`
+	Rec      recState     `json:"rec"`
+}
+
+// Export serializes the strategy state for checkpointing.
+func (n *NelderMead) Export() ([]byte, error) {
+	if err := mustStartedExport(&n.recorder, "NelderMead"); err != nil {
+		return nil, err
+	}
+	vs := make([]nmVertexState, len(n.simplex))
+	for i, v := range n.simplex {
+		vs[i] = nmVertexState{X: cloneCfg(v.x), F: checkpoint.F(v.f)}
+	}
+	return json.Marshal(nelderMeadState{
+		Simplex: vs, Phase: int(n.phase), Idx: n.idx,
+		Centroid: cloneCfg(n.centroid), XR: cloneCfg(n.xr), FR: checkpoint.F(n.fr),
+		Rec: n.exportRec(),
+	})
+}
+
+// Restore overwrites the state of a started instance.
+func (n *NelderMead) Restore(data []byte) error {
+	if err := mustStartedState(&n.recorder, "NelderMead"); err != nil {
+		return err
+	}
+	var st nelderMeadState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if d := n.space.Dim(); d > 0 && len(st.Simplex) != d+1 {
+		return fmt.Errorf("search: NelderMead.Restore: %d vertices for a %d-dimensional space", len(st.Simplex), d)
+	}
+	if st.Phase < int(nmInit) || st.Phase > int(nmShrink) {
+		return fmt.Errorf("search: NelderMead.Restore: bad phase %d", st.Phase)
+	}
+	if st.Idx < 0 || st.Idx > len(st.Simplex) {
+		return fmt.Errorf("search: NelderMead.Restore: vertex index %d out of range", st.Idx)
+	}
+	sim := make([]nmVertex, len(st.Simplex))
+	for i, v := range st.Simplex {
+		sim[i] = nmVertex{x: cloneCfg(v.X), f: float64(v.F)}
+	}
+	n.simplex = sim
+	n.phase = nmPhase(st.Phase)
+	n.idx = st.Idx
+	n.centroid = cloneCfg(st.Centroid)
+	n.xr = cloneCfg(st.XR)
+	n.fr = float64(st.FR)
+	n.pending = nil
+	n.restoreRec(st.Rec)
+	return nil
+}
+
+// ---- ParticleSwarm ----
+
+type psoState struct {
+	Seed       int64          `json:"seed"`
+	Drawn      uint64         `json:"drawn"`
+	Pos        []param.Config `json:"pos"`
+	Vel        []param.Config `json:"vel"`
+	PBest      []param.Config `json:"p_best"`
+	PBestVal   []checkpoint.F `json:"p_best_val"`
+	GBest      param.Config   `json:"g_best,omitempty"`
+	GBestVal   checkpoint.F   `json:"g_best_val"`
+	SweepBest  checkpoint.F   `json:"sweep_best"`
+	Idx        int            `json:"idx"`
+	Stagnation int            `json:"stagnation"`
+	Rec        recState       `json:"rec"`
+}
+
+// Export serializes the strategy state for checkpointing.
+func (p *ParticleSwarm) Export() ([]byte, error) {
+	if err := mustStartedExport(&p.recorder, "ParticleSwarm"); err != nil {
+		return nil, err
+	}
+	vals := make([]checkpoint.F, len(p.pBestVal))
+	for i, v := range p.pBestVal {
+		vals[i] = checkpoint.F(v)
+	}
+	return json.Marshal(psoState{
+		Seed: p.seed, Drawn: drawnOf(p.src),
+		Pos: cloneCfgs(p.pos), Vel: cloneCfgs(p.vel),
+		PBest: cloneCfgs(p.pBest), PBestVal: vals,
+		GBest: cloneCfg(p.gBest), GBestVal: checkpoint.F(p.gBestVal),
+		SweepBest: checkpoint.F(p.sweepBest),
+		Idx:       p.idx, Stagnation: p.stagnation, Rec: p.exportRec(),
+	})
+}
+
+// Restore overwrites the state of a started instance.
+func (p *ParticleSwarm) Restore(data []byte) error {
+	if err := mustStartedState(&p.recorder, "ParticleSwarm"); err != nil {
+		return err
+	}
+	var st psoState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.Pos) != p.size || len(st.Vel) != p.size || len(st.PBest) != p.size || len(st.PBestVal) != p.size {
+		return fmt.Errorf("search: ParticleSwarm.Restore: population size mismatch (want %d)", p.size)
+	}
+	if st.Idx < 0 || st.Idx >= p.size {
+		return fmt.Errorf("search: ParticleSwarm.Restore: particle index %d out of range", st.Idx)
+	}
+	p.seed = st.Seed
+	p.src = xrand.Restore(st.Seed, st.Drawn)
+	p.rng = p.src.Rand()
+	p.pos = cloneCfgs(st.Pos)
+	p.vel = cloneCfgs(st.Vel)
+	p.pBest = cloneCfgs(st.PBest)
+	p.pBestVal = make([]float64, p.size)
+	for i, v := range st.PBestVal {
+		p.pBestVal[i] = float64(v)
+	}
+	p.gBest = cloneCfg(st.GBest)
+	p.gBestVal = float64(st.GBestVal)
+	p.sweepBest = float64(st.SweepBest)
+	p.idx = st.Idx
+	p.stagnation = st.Stagnation
+	p.restoreRec(st.Rec)
+	return nil
+}
+
+// ---- Genetic ----
+
+type geneticState struct {
+	Seed   int64          `json:"seed"`
+	Drawn  uint64         `json:"drawn"`
+	Pop    []param.Config `json:"pop"`
+	Vals   []checkpoint.F `json:"vals"`
+	Idx    int            `json:"idx"`
+	Gen    int            `json:"gen"`
+	Stale  int            `json:"stale"`
+	PrevTV checkpoint.F   `json:"prev_tv"`
+	Rec    recState       `json:"rec"`
+}
+
+// Export serializes the strategy state for checkpointing.
+func (g *Genetic) Export() ([]byte, error) {
+	if err := mustStartedExport(&g.recorder, "Genetic"); err != nil {
+		return nil, err
+	}
+	vals := make([]checkpoint.F, len(g.vals))
+	for i, v := range g.vals {
+		vals[i] = checkpoint.F(v)
+	}
+	return json.Marshal(geneticState{
+		Seed: g.seed, Drawn: drawnOf(g.src),
+		Pop: cloneCfgs(g.pop), Vals: vals,
+		Idx: g.idx, Gen: g.gen, Stale: g.stale, PrevTV: checkpoint.F(g.prevTV),
+		Rec: g.exportRec(),
+	})
+}
+
+// Restore overwrites the state of a started instance.
+func (g *Genetic) Restore(data []byte) error {
+	if err := mustStartedState(&g.recorder, "Genetic"); err != nil {
+		return err
+	}
+	var st geneticState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.Pop) != g.size || len(st.Vals) != g.size {
+		return fmt.Errorf("search: Genetic.Restore: population size mismatch (want %d)", g.size)
+	}
+	if st.Idx < 0 || st.Idx >= g.size {
+		return fmt.Errorf("search: Genetic.Restore: individual index %d out of range", st.Idx)
+	}
+	g.seed = st.Seed
+	g.src = xrand.Restore(st.Seed, st.Drawn)
+	g.rng = g.src.Rand()
+	g.pop = cloneCfgs(st.Pop)
+	g.vals = make([]float64, g.size)
+	for i, v := range st.Vals {
+		g.vals[i] = float64(v)
+	}
+	g.idx = st.Idx
+	g.gen = st.Gen
+	g.stale = st.Stale
+	g.prevTV = float64(st.PrevTV)
+	g.restoreRec(st.Rec)
+	return nil
+}
+
+// ---- DiffEvo ----
+
+type diffEvoState struct {
+	Seed         int64          `json:"seed"`
+	Drawn        uint64         `json:"drawn"`
+	Pop          []param.Config `json:"pop"`
+	Vals         []checkpoint.F `json:"vals"`
+	Idx          int            `json:"idx"`
+	Seeded       int            `json:"seeded"`
+	Stale        int            `json:"stale"`
+	Best         checkpoint.F   `json:"best"`
+	PassImproved bool           `json:"pass_improved"`
+	Rec          recState       `json:"rec"`
+}
+
+// Export serializes the strategy state for checkpointing.
+func (d *DiffEvo) Export() ([]byte, error) {
+	if err := mustStartedExport(&d.recorder, "DiffEvo"); err != nil {
+		return nil, err
+	}
+	vals := make([]checkpoint.F, len(d.vals))
+	for i, v := range d.vals {
+		vals[i] = checkpoint.F(v)
+	}
+	return json.Marshal(diffEvoState{
+		Seed: d.seed, Drawn: drawnOf(d.src),
+		Pop: cloneCfgs(d.pop), Vals: vals,
+		Idx: d.idx, Seeded: d.seeded, Stale: d.stale,
+		Best: checkpoint.F(d.best), PassImproved: d.passImproved,
+		Rec: d.exportRec(),
+	})
+}
+
+// Restore overwrites the state of a started instance.
+func (d *DiffEvo) Restore(data []byte) error {
+	if err := mustStartedState(&d.recorder, "DiffEvo"); err != nil {
+		return err
+	}
+	var st diffEvoState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.Pop) != d.size || len(st.Vals) != d.size {
+		return fmt.Errorf("search: DiffEvo.Restore: population size mismatch (want %d)", d.size)
+	}
+	if st.Idx < 0 || st.Idx >= d.size || st.Seeded < 0 || st.Seeded > d.size {
+		return fmt.Errorf("search: DiffEvo.Restore: index out of range")
+	}
+	d.seed = st.Seed
+	d.src = xrand.Restore(st.Seed, st.Drawn)
+	d.rng = d.src.Rand()
+	d.pop = cloneCfgs(st.Pop)
+	d.vals = make([]float64, d.size)
+	for i, v := range st.Vals {
+		d.vals[i] = float64(v)
+	}
+	d.idx = st.Idx
+	d.seeded = st.Seeded
+	d.stale = st.Stale
+	d.best = float64(st.Best)
+	d.passImproved = st.PassImproved
+	d.trial = nil
+	d.restoreRec(st.Rec)
+	return nil
+}
+
+// ---- Restarting ----
+
+type restartingState struct {
+	Seed     int64           `json:"seed"`
+	Drawn    uint64          `json:"drawn"`
+	Restarts int             `json:"restarts"`
+	FromBest bool            `json:"from_best"`
+	Inner    json.RawMessage `json:"inner"`
+	Rec      recState        `json:"rec"`
+}
+
+// Export serializes the wrapper and its current inner strategy. The
+// inner strategy must itself be Stateful.
+func (r *Restarting) Export() ([]byte, error) {
+	if err := mustStartedExport(&r.recorder, "Restarting"); err != nil {
+		return nil, err
+	}
+	s, ok := r.inner.(Stateful)
+	if !ok {
+		return nil, fmt.Errorf("search: Restarting inner strategy %s is not Stateful", r.inner.Name())
+	}
+	inner, err := s.Export()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(restartingState{
+		Seed: r.seed, Drawn: drawnOf(r.src),
+		Restarts: r.restarts, FromBest: r.fromBest,
+		Inner: inner, Rec: r.exportRec(),
+	})
+}
+
+// Restore overwrites the state of a started instance, including the
+// inner strategy (which Start has already created and started).
+func (r *Restarting) Restore(data []byte) error {
+	if err := mustStartedState(&r.recorder, "Restarting"); err != nil {
+		return err
+	}
+	var st restartingState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	s, ok := r.inner.(Stateful)
+	if !ok {
+		return fmt.Errorf("search: Restarting inner strategy %s is not Stateful", r.inner.Name())
+	}
+	if err := s.Restore(st.Inner); err != nil {
+		return err
+	}
+	r.seed = st.Seed
+	r.src = xrand.Restore(st.Seed, st.Drawn)
+	r.rng = r.src.Rand()
+	r.restarts = st.Restarts
+	r.fromBest = st.FromBest
+	r.restoreRec(st.Rec)
+	return nil
+}
+
+// drawnOf reads a source's position, tolerating a nil source (strategy
+// exported before Start would have failed earlier anyway).
+func drawnOf(src *xrand.Source) uint64 {
+	if src == nil {
+		return 0
+	}
+	_, drawn := src.State()
+	return drawn
+}

@@ -1,0 +1,186 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/param"
+)
+
+// stateCases enumerates every NewByName strategy plus the Restarting
+// wrapper, each with a space it supports.
+func stateCases() []struct {
+	name  string
+	make  func() Strategy
+	space *param.Space
+	init  param.Config
+	obj   func(param.Config) float64
+} {
+	return []struct {
+		name  string
+		make  func() Strategy
+		space *param.Space
+		init  param.Config
+		obj   func(param.Config) float64
+	}{
+		{"fixed", func() Strategy { return NewFixed() }, quadSpace(), param.Config{1, 1}, quad},
+		{"random", func() Strategy { return NewRandom(42) }, quadSpace(), nil, quad},
+		{"exhaustive", func() Strategy { return NewExhaustive() }, discreteSpace(), param.Config{2, 3}, discreteObj},
+		{"hillclimb", func() Strategy { return NewHillClimb() }, discreteSpace(), nil, discreteObj},
+		{"nelder-mead", func() Strategy { return NewNelderMead() }, quadSpace(), nil, quad},
+		{"hooke-jeeves", func() Strategy { return NewHookeJeeves() }, quadSpace(), nil, quad},
+		{"anneal", func() Strategy { return NewAnneal(42) }, quadSpace(), nil, quad},
+		{"pso", func() Strategy { return NewParticleSwarm(DefaultSwarmSize, 42) }, quadSpace(), nil, quad},
+		{"genetic", func() Strategy { return NewGenetic(DefaultPopulation, 42) }, quadSpace(), nil, quad},
+		{"diffevo", func() Strategy { return NewDiffEvo(DefaultPopulation, 42) }, quadSpace(), nil, quad},
+		{"restarting", func() Strategy {
+			return NewRestarting(func() Strategy { return NewAnneal(7) }, 13)
+		}, quadSpace(), nil, quad},
+	}
+}
+
+// TestStateRoundTrip is the property test of the checkpoint contract: for
+// every strategy and several interruption points, exporting mid-run and
+// restoring into a fresh Start'ed instance must leave both copies
+// proposing identical configurations forever after.
+func TestStateRoundTrip(t *testing.T) {
+	for _, c := range stateCases() {
+		for _, warm := range []int{0, 1, 3, 7, 23, 60} {
+			a := c.make()
+			if err := a.Start(c.space, c.init); err != nil {
+				t.Fatalf("%s: Start: %v", c.name, err)
+			}
+			for i := 0; i < warm; i++ {
+				p := a.Propose()
+				a.Report(p, c.obj(p))
+			}
+			sa, ok := a.(Stateful)
+			if !ok {
+				t.Fatalf("%s is not Stateful", c.name)
+			}
+			data, err := sa.Export()
+			if err != nil {
+				t.Fatalf("%s: Export after %d iters: %v", c.name, warm, err)
+			}
+
+			b := c.make()
+			if err := b.Start(c.space, c.init); err != nil {
+				t.Fatalf("%s: Start b: %v", c.name, err)
+			}
+			if err := b.(Stateful).Restore(data); err != nil {
+				t.Fatalf("%s: Restore after %d iters: %v", c.name, warm, err)
+			}
+
+			if a.Evaluations() != b.Evaluations() {
+				t.Fatalf("%s@%d: evaluations %d vs %d", c.name, warm, a.Evaluations(), b.Evaluations())
+			}
+			for i := 0; i < 40; i++ {
+				pa, pb := a.Propose(), b.Propose()
+				if !pa.Equal(pb) {
+					t.Fatalf("%s@%d: proposal %d diverged: %v vs %v", c.name, warm, i, pa, pb)
+				}
+				v := c.obj(pa)
+				a.Report(pa, v)
+				b.Report(pb, v)
+			}
+			ca, va := a.Best()
+			cb, vb := b.Best()
+			if va != vb || !ca.Equal(cb) {
+				t.Fatalf("%s@%d: best diverged: %v=%g vs %v=%g", c.name, warm, ca, va, cb, vb)
+			}
+			if a.Converged() != b.Converged() {
+				t.Fatalf("%s@%d: convergence flags diverged", c.name, warm)
+			}
+		}
+	}
+}
+
+// TestRestoreAlsoRestoresIncumbent verifies the recorder travels with the
+// state: a restored strategy knows the best point found before the crash.
+func TestRestoreAlsoRestoresIncumbent(t *testing.T) {
+	a := NewHookeJeeves()
+	if err := a.Start(quadSpace(), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		p := a.Propose()
+		a.Report(p, quad(p))
+	}
+	data, err := a.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewHookeJeeves()
+	if err := b.Start(quadSpace(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	ca, va := a.Best()
+	cb, vb := b.Best()
+	if math.IsInf(vb, 1) || !ca.Equal(cb) || va != vb {
+		t.Fatalf("incumbent lost: %v=%g vs %v=%g", ca, va, cb, vb)
+	}
+}
+
+// TestRestoreRejectsBadState: damage must produce an error, not a panic
+// or a silently corrupted strategy.
+func TestRestoreRejectsBadState(t *testing.T) {
+	for _, c := range stateCases() {
+		s := c.make()
+		if err := s.Start(c.space, c.init); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		st := s.(Stateful)
+		if err := st.Restore([]byte(`{`)); err == nil {
+			t.Errorf("%s: restoring truncated JSON succeeded", c.name)
+		}
+		if err := st.Restore([]byte(`nope`)); err == nil {
+			t.Errorf("%s: restoring garbage succeeded", c.name)
+		}
+	}
+}
+
+// TestExportBeforeStartFails: there is no meaningful state before Start.
+func TestExportBeforeStartFails(t *testing.T) {
+	for _, c := range stateCases() {
+		if _, err := c.make().(Stateful).Export(); err == nil {
+			t.Errorf("%s: Export before Start succeeded", c.name)
+		}
+	}
+}
+
+// TestRestoreAcrossDifferentInit: Exhaustive rotates its sweep around the
+// starting configuration, so a restore into an instance started elsewhere
+// must re-anchor to the exported sweep.
+func TestRestoreAcrossDifferentInit(t *testing.T) {
+	a := NewExhaustive()
+	if err := a.Start(discreteSpace(), param.Config{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 11; i++ {
+		p := a.Propose()
+		a.Report(p, discreteObj(p))
+	}
+	data, err := a.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewExhaustive()
+	if err := b.Start(discreteSpace(), param.Config{6, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		pa, pb := a.Propose(), b.Propose()
+		if !pa.Equal(pb) {
+			t.Fatalf("proposal %d diverged after re-anchoring: %v vs %v", i, pa, pb)
+		}
+		v := discreteObj(pa)
+		a.Report(pa, v)
+		b.Report(pb, v)
+	}
+}

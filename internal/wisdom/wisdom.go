@@ -12,15 +12,18 @@
 package wisdom
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/param"
 )
 
@@ -143,10 +146,25 @@ func (s *Store) Save(w io.Writer) error {
 }
 
 // Load reads a store previously written by Save, replacing the contents.
+// Entries are validated on the way in: a non-finite value, a negative
+// sample count, or an empty algorithm name mark a corrupt or hand-mangled
+// file, and admitting them would poison every later comparison (a NaN
+// value, for instance, never loses a Record comparison), so Load rejects
+// the whole file with a descriptive error instead.
 func Load(r io.Reader) (*Store, error) {
 	var entries map[string]Entry
 	if err := json.NewDecoder(r).Decode(&entries); err != nil {
 		return nil, fmt.Errorf("wisdom: decode: %w", err)
+	}
+	for k, e := range entries {
+		switch {
+		case math.IsNaN(e.Value) || math.IsInf(e.Value, 0):
+			return nil, fmt.Errorf("wisdom: entry %q has non-finite value %v", k, e.Value)
+		case e.Samples < 0:
+			return nil, fmt.Errorf("wisdom: entry %q has negative sample count %d", k, e.Samples)
+		case e.Algorithm == "":
+			return nil, fmt.Errorf("wisdom: entry %q has no algorithm name", k)
+		}
 	}
 	if entries == nil {
 		entries = make(map[string]Entry)
@@ -154,17 +172,15 @@ func Load(r io.Reader) (*Store, error) {
 	return &Store{entries: entries}, nil
 }
 
-// SaveFile writes the store to a file (0644), creating or truncating it.
+// SaveFile writes the store to a file (0644) atomically: the JSON goes
+// to a temp file in the same directory, is fsynced, and renamed over the
+// target, so a crash mid-save can never destroy the previous wisdom.
 func (s *Store) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := s.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return checkpoint.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
 // LoadFile reads a store from a file; a missing file yields an empty
