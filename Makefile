@@ -25,8 +25,11 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/checkpoint
 
+# Micro-benchmarks plus the trial-engine throughput sweep; the latter
+# lands in BENCH_trial_engine.json for trend tracking.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/atune-bench -out BENCH_trial_engine.json
 
 figures:
 	$(GO) run ./cmd/atune-figures

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/bvh"
+	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/exp"
 	"repro/internal/geom"
@@ -263,6 +264,12 @@ func BenchmarkAblationA11CheckpointCrash(b *testing.B) {
 	}
 }
 
+func BenchmarkAblationA12ConcurrentTuning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.RunConcurrentTuning(benchConfig(), 500).RenderFigureA12(io.Discard)
+	}
+}
+
 func BenchmarkExtensionX3MixedNominal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		exp.AblationMixedNominal(io.Discard, 3, 300, 1)
@@ -364,6 +371,35 @@ func BenchmarkNelderMeadStep(b *testing.B) {
 
 // newBenchRand returns a deterministic rand for the selector benchmark.
 func newBenchRand() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+// BenchmarkTrialEngineLeaseComplete measures the trial engine's per-trial
+// bookkeeping (lease + complete + publish, no measurement cost) — the
+// concurrent counterpart of BenchmarkNelderMeadStep, and the fixed
+// overhead under the throughput numbers of cmd/atune-bench.
+func BenchmarkTrialEngineLeaseComplete(b *testing.B) {
+	algos := []core.Algorithm{
+		{Name: "plain"},
+		{Name: "tuned", Space: param.NewSpace(param.NewInterval("x", 0, 10))},
+	}
+	tuner, err := core.New(algos, nominal.NewEpsilonGreedy(0.10), nil, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := core.NewConcurrentTuner(tuner)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := ct.Lease()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ct.Complete(tr.ID, float64(tr.Algo+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkFlatVsPointerTraversal contrasts the pointer-tree recursive
 // traversal against the flat-array iterative one on identical rays — the

@@ -1,0 +1,86 @@
+// Command atune-bench measures the trial engine's lease throughput and
+// writes the result as a small JSON document, the shape CI trend
+// dashboards ingest.
+//
+// Usage:
+//
+//	atune-bench [-out file] [-trials N] [-sleep d] [-workers list]
+//
+// The workload is synthetic: every trial costs a fixed -sleep of wall
+// clock and nothing else, so the numbers isolate the engine's lease/
+// complete overhead and its scaling across worker pools rather than any
+// particular tuned operation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+type result struct {
+	Name         string    `json:"name"`
+	Workers      []int     `json:"workers"`
+	LeasesPerSec []float64 `json:"leases_per_sec"`
+	Speedup      []float64 `json:"speedup"`
+	Trials       int       `json:"trials_per_run"`
+	SleepMS      float64   `json:"sleep_ms_per_trial"`
+	Timestamp    string    `json:"timestamp"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atune-bench: ")
+	var (
+		out     = flag.String("out", "BENCH_trial_engine.json", "output file (- for stdout)")
+		trials  = flag.Int("trials", 96, "trials completed per worker count")
+		sleep   = flag.Duration("sleep", 2*time.Millisecond, "fixed wall-clock cost per trial")
+		workers = flag.String("workers", "1,4,16", "comma-separated worker counts")
+	)
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			log.Fatalf("bad -workers entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+
+	lps := exp.TrialEngineThroughput(counts, *trials, *sleep)
+	res := result{
+		Name:    "trial_engine_throughput",
+		Workers: counts,
+		Trials:  *trials,
+		SleepMS: float64(sleep.Nanoseconds()) / 1e6,
+		// RFC 3339 so the trend ingester sorts runs lexically.
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for i, v := range lps {
+		res.LeasesPerSec = append(res.LeasesPerSec, v)
+		res.Speedup = append(res.Speedup, v/lps[0])
+		fmt.Printf("workers=%-3d  %8.0f leases/sec  (%.1fx)\n", counts[i], v, v/lps[0])
+	}
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

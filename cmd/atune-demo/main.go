@@ -6,7 +6,7 @@
 // Usage:
 //
 //	atune-demo [-strategy name] [-iters N] [-seed S] [-faults] [-guard]
-//	           [-checkpoint dir] [-snap-every N] [-resume]
+//	           [-checkpoint dir] [-snap-every N] [-resume] [-workers N]
 //
 // Strategy names: egreedy:5, egreedy:10, egreedy:20, gradient, optimum,
 // auc, random, roundrobin, softmax:<temp>.
@@ -24,6 +24,13 @@
 //
 //	atune-demo -checkpoint /tmp/demo-ckpt            # interrupt this...
 //	atune-demo -checkpoint /tmp/demo-ckpt -resume    # ...then warm-restart
+//
+// -workers N > 1 switches from the sequential Step loop to the lease-based
+// trial engine: N goroutines lease trials, measure them concurrently, and
+// complete them out of order (per-iteration progress lines are then
+// suppressed — completions have no single order to print them in). All
+// other flags compose; -resume with -workers replays the journal through
+// the concurrent path.
 package main
 
 import (
@@ -53,6 +60,7 @@ func main() {
 		ckptDir  = flag.String("checkpoint", "", "directory for crash-safe tuner snapshots + journal (empty = off)")
 		snapEach = flag.Int("snap-every", 20, "snapshot cadence in iterations (with -checkpoint)")
 		resume   = flag.Bool("resume", false, "warm-restart from the -checkpoint directory instead of starting fresh")
+		workers  = flag.Int("workers", 1, "concurrent measurement workers (>1 uses the lease-based trial engine)")
 	)
 	flag.Parse()
 
@@ -129,31 +137,113 @@ func main() {
 		opts = append(opts, core.WithGuard(guard.WithTimeout(50*time.Millisecond)))
 	}
 
-	var tuner *core.Tuner
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint <dir>")
+	}
+
+	// The trial engine exposes the tuner's whole read-side surface, so
+	// the summary below works off either loop.
+	var state interface {
+		Best() (int, param.Config, float64)
+		Counts() []int
+		FailureStats() core.FailureStats
+		Degraded() bool
+		CheckpointErr() error
+	}
+
 	switch {
+	case *workers > 1:
+		var ct *core.ConcurrentTuner
+		if *resume {
+			// ResumeConcurrent enables checkpointing on the directory
+			// itself and replays interleaved trial IDs; it also accepts a
+			// journal written by the sequential loop.
+			ct, err = core.ResumeConcurrent(*ckptDir, *snapEach, algos, sel, nil, *seed, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("resumed from %s at iteration %d\n", *ckptDir, ct.Iterations())
+		} else {
+			if *ckptDir != "" {
+				opts = append(opts, core.WithCheckpoint(*ckptDir, *snapEach))
+			}
+			tuner, err := core.New(algos, sel, nil, *seed, opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ct, err = core.NewConcurrentTuner(tuner); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("online-autotuning %d algorithms with %s across %d workers\n\n",
+			len(algos), sel.Name(), *workers)
+		ct.RunPool(*workers, *iters, measure)
+		s := ct.Stats()
+		fmt.Printf("leased %d trials: %d completed, %d failed, %d expired\n",
+			s.Leased, s.Completed, s.Failed, s.Expired)
+		state = ct
+
 	case *resume:
 		// Resume enables checkpointing on the directory itself; passing
 		// WithCheckpoint again would snapshot before the restore.
-		if *ckptDir == "" {
-			log.Fatal("-resume requires -checkpoint <dir>")
-		}
-		tuner, err = core.Resume(*ckptDir, *snapEach, algos, sel, nil, *seed, opts...)
+		tuner, err := core.Resume(*ckptDir, *snapEach, algos, sel, nil, *seed, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("resumed from %s at iteration %d\n", *ckptDir, tuner.Iterations())
+		runSequential(tuner, algos, sel, measure, *iters)
+		state = tuner
+
 	default:
 		if *ckptDir != "" {
 			opts = append(opts, core.WithCheckpoint(*ckptDir, *snapEach))
 		}
-		tuner, err = core.New(algos, sel, nil, *seed, opts...)
+		tuner, err := core.New(algos, sel, nil, *seed, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
+		runSequential(tuner, algos, sel, measure, *iters)
+		state = tuner
 	}
 
+	if *ckptDir != "" {
+		if err := state.CheckpointErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "warning: checkpointing degraded:", err)
+		}
+	}
+
+	best, cfg, val := state.Best()
+	fmt.Printf("\nbest algorithm : %s\n", algos[best].Name)
+	if algos[best].Space != nil {
+		fmt.Printf("best config    : %s\n", algos[best].Space.Format(cfg))
+	}
+	fmt.Printf("best cost      : %.3f\n", val)
+	fmt.Printf("selection count: ")
+	for i, c := range state.Counts() {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s=%d", algos[i].Name, c)
+	}
+	fmt.Println()
+	if *guarded {
+		fs := state.FailureStats()
+		fmt.Printf("failures       : %d total (%d panics, %d timeouts, %d invalid)\n",
+			fs.Total, fs.Panics, fs.Timeouts, fs.Invalids)
+		fmt.Printf("quarantine     : %s tripped %d times; degraded=%v, pinned iters=%d\n",
+			algos[faultyAlgo].Name, q.Trips(faultyAlgo), state.Degraded(), fs.PinnedIterations)
+	}
+	if best != 1 {
+		fmt.Fprintln(os.Stderr, "note: the tunable algorithm was not identified as best; try more iterations")
+		os.Exit(1)
+	}
+}
+
+// runSequential is the classic strictly alternating tuning loop with
+// per-iteration progress lines.
+func runSequential(tuner *core.Tuner, algos []core.Algorithm, sel nominal.Selector, measure core.Measure, iters int) {
 	fmt.Printf("online-autotuning %d algorithms with %s\n\n", len(algos), sel.Name())
-	for i := 0; i < *iters; i++ {
+	for i := 0; i < iters; i++ {
 		rec := tuner.Step(measure)
 		if i < 10 || i%10 == 0 {
 			status := ""
@@ -163,37 +253,5 @@ func main() {
 			fmt.Printf("iter %3d  ran %-15s cost %6.2f%s\n",
 				rec.Iteration, algos[rec.Algo].Name, rec.Value, status)
 		}
-	}
-
-	if *ckptDir != "" {
-		if err := tuner.CheckpointErr(); err != nil {
-			fmt.Fprintln(os.Stderr, "warning: checkpointing degraded:", err)
-		}
-	}
-
-	best, cfg, val := tuner.Best()
-	fmt.Printf("\nbest algorithm : %s\n", algos[best].Name)
-	if algos[best].Space != nil {
-		fmt.Printf("best config    : %s\n", algos[best].Space.Format(cfg))
-	}
-	fmt.Printf("best cost      : %.3f\n", val)
-	fmt.Printf("selection count: ")
-	for i, c := range tuner.Counts() {
-		if i > 0 {
-			fmt.Print(", ")
-		}
-		fmt.Printf("%s=%d", algos[i].Name, c)
-	}
-	fmt.Println()
-	if *guarded {
-		fs := tuner.FailureStats()
-		fmt.Printf("failures       : %d total (%d panics, %d timeouts, %d invalid)\n",
-			fs.Total, fs.Panics, fs.Timeouts, fs.Invalids)
-		fmt.Printf("quarantine     : %s tripped %d times; degraded=%v, pinned iters=%d\n",
-			algos[faultyAlgo].Name, q.Trips(faultyAlgo), tuner.Degraded(), fs.PinnedIterations)
-	}
-	if best != 1 {
-		fmt.Fprintln(os.Stderr, "note: the tunable algorithm was not identified as best; try more iterations")
-		os.Exit(1)
 	}
 }

@@ -13,12 +13,23 @@ import (
 // Value carries the measurement for successes and the penalty value the
 // tuner observed for failures; FailKind distinguishes the two (empty for
 // success) so replay can route the record through ObserveFailure.
+//
+// Trial, Spec and Pinned were added for the concurrent trial engine
+// (format version 2): Trial is the engine's lease ticket (0 for
+// sequential tuners, whose journals have no ticket concept), Spec marks
+// a speculative proposal that must not be replayed into the phase-one
+// strategy, and Pinned marks a degradation-mode incumbent run that
+// bypassed both phases. All three decode as zero values from version-1
+// journals, which is exactly their sequential meaning.
 type Record struct {
 	Iter     int    `json:"iter"`
 	Algo     string `json:"algo"`
 	Config   []F    `json:"config"`
 	Value    F      `json:"value"`
 	FailKind string `json:"fail,omitempty"`
+	Trial    uint64 `json:"trial,omitempty"`
+	Spec     bool   `json:"spec,omitempty"`
+	Pinned   bool   `json:"pinned,omitempty"`
 }
 
 // Journal is an append-only, fsync-per-append record of iterations

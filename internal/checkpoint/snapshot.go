@@ -11,8 +11,11 @@ import (
 )
 
 // Version is the current snapshot format version. A loader refuses
-// snapshots from a future version rather than misinterpreting them.
-const Version = 1
+// snapshots from a future version rather than misinterpreting them;
+// older versions decode fine (every format change so far is additive).
+// Version 2 added the trial-engine journal fields (Record.Trial/Spec/
+// Pinned) and the quarantine failure-depth counter.
+const Version = 2
 
 // ErrNoSnapshot is returned by LoadLatest when the directory holds no
 // readable snapshot at all.

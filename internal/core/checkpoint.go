@@ -284,11 +284,11 @@ func (t *Tuner) snapshotNow() error {
 	return nil
 }
 
-// checkpointObserve is called from observe for every completed
+// checkpointObserve is called from applyCompletion for every completed
 // iteration: it journals the record and takes the periodic snapshot.
 // Failures are absorbed into ckptErr — persistence must never take the
 // tuning loop down with it.
-func (t *Tuner) checkpointObserve(iter, algo int, cfg param.Config, value float64, fail *guard.Failure) {
+func (t *Tuner) checkpointObserve(iter int, c completion) {
 	if t.journal == nil {
 		j, err := checkpoint.OpenJournal(t.ckptDir, t.ckptGen)
 		if err != nil {
@@ -299,12 +299,15 @@ func (t *Tuner) checkpointObserve(iter, algo int, cfg param.Config, value float6
 	}
 	rec := checkpoint.Record{
 		Iter:   iter,
-		Algo:   t.algos[algo].Name,
-		Config: checkpoint.Floats(cfg),
-		Value:  checkpoint.F(value),
+		Algo:   t.algos[c.algo].Name,
+		Config: checkpoint.Floats(c.cfg),
+		Value:  checkpoint.F(c.value),
+		Trial:  c.trial,
+		Spec:   c.spec,
+		Pinned: c.pinned,
 	}
-	if fail != nil {
-		rec.FailKind = fail.Kind.String()
+	if c.fail != nil {
+		rec.FailKind = c.fail.Kind.String()
 	}
 	if err := t.journal.Append(rec); err != nil {
 		t.ckptErr = err
@@ -347,6 +350,11 @@ func Resume(dir string, every int, algos []Algorithm, selector nominal.Selector,
 		return nil, err
 	}
 	records := checkpoint.ReadJournalsSince(dir, snapIter)
+	for _, rec := range records {
+		if rec.Trial != 0 {
+			return nil, fmt.Errorf("core: resume from %s: journal holds trial-engine records (trial %d) — use ResumeConcurrent", dir, rec.Trial)
+		}
+	}
 	t.replaying = true
 	for _, rec := range records {
 		if rec.Iter < t.Iterations() {
@@ -384,4 +392,86 @@ func Resume(dir string, every int, algos []Algorithm, selector nominal.Selector,
 		return nil, err
 	}
 	return t, nil
+}
+
+// ResumeConcurrent reconstructs a checkpointed ConcurrentTuner from dir.
+// It mirrors Resume — fresh tuner, newest valid snapshot, journal tail —
+// but replays the tail the only way a concurrent journal can be
+// replayed: by applying the journaled completions directly to the
+// decision state. A concurrent run's interleaving of selector draws,
+// speculative proposals and out-of-order completions is not reproducible
+// from the seed, so unlike Resume there is no proposal-by-proposal
+// verification; instead each record routes exactly as it did live —
+// primary completions re-report to their algorithm's strategy in journal
+// order (the order the strategy originally saw), speculative and pinned
+// completions bypass phase one. Trials leased but never completed before
+// the crash are lost by design: they were never journaled.
+//
+// opts configure the underlying Tuner exactly as in New; eopts configure
+// the engine. The returned engine has checkpointing enabled on dir with
+// the given cadence, has written a fresh snapshot, and issues trial IDs
+// above every journaled one.
+func ResumeConcurrent(dir string, every int, algos []Algorithm, selector nominal.Selector, factory search.Factory, seed int64, opts []Option, eopts ...EngineOption) (*ConcurrentTuner, error) {
+	payload, snapIter, err := checkpoint.LoadLatest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: resume from %s: %w", dir, err)
+	}
+	t, err := New(algos, selector, factory, seed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.RestoreState(payload); err != nil {
+		return nil, err
+	}
+	records := checkpoint.ReadJournalsSince(dir, snapIter)
+	var maxTrial uint64
+	t.replaying = true
+	for _, rec := range records {
+		if rec.Trial > maxTrial {
+			maxTrial = rec.Trial
+		}
+		if rec.Iter < t.Iterations() {
+			continue // already inside the snapshot
+		}
+		if rec.Iter > t.Iterations() {
+			t.replaying = false
+			return nil, fmt.Errorf("core: resume from %s: journal gap at iteration %d (tuner at %d)", dir, rec.Iter, t.Iterations())
+		}
+		algo := t.algoIndex(rec.Algo)
+		if algo < 0 {
+			t.replaying = false
+			return nil, fmt.Errorf("core: resume from %s: journal iteration %d names unknown algorithm %q", dir, rec.Iter, rec.Algo)
+		}
+		cfg := param.Config(checkpoint.Unfloats(rec.Config))
+		value := float64(rec.Value)
+		var fail *guard.Failure
+		if rec.FailKind != "" {
+			kind, ok := guard.KindFromString(rec.FailKind)
+			if !ok {
+				kind = guard.Invalid
+			}
+			fail = &guard.Failure{Kind: kind, Algo: algo, Err: errors.New("replayed failure"), Penalty: value}
+		}
+		var report func(param.Config, float64)
+		if !rec.Pinned && !rec.Spec {
+			s := t.strategies[algo]
+			report = func(cf param.Config, v float64) { s.Report(cf, v) }
+		}
+		t.applyCompletion(completion{
+			algo: algo, cfg: cfg, value: value, fail: fail,
+			pinned: rec.Pinned, trial: rec.Trial, spec: rec.Spec,
+		}, report)
+	}
+	t.replaying = false
+	t.ckptDir = dir
+	t.ckptEvery = every
+	ct, err := NewConcurrentTuner(t, eopts...)
+	if err != nil {
+		return nil, err
+	}
+	ct.nextID = maxTrial
+	if err := t.snapshotNow(); err != nil {
+		return nil, err
+	}
+	return ct, nil
 }

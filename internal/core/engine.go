@@ -1,0 +1,579 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/nominal"
+	"repro/internal/param"
+	"repro/internal/search"
+)
+
+// Trial engine errors.
+var (
+	// ErrUnknownTrial is returned by Complete/Fail for a trial ID that
+	// was never leased, already completed, or reclaimed after its lease
+	// expired (a late completion of an expired trial is dropped: the
+	// engine already charged the trial as a timeout).
+	ErrUnknownTrial = errors.New("core: unknown, completed, or expired trial")
+	// ErrTooManyInFlight is returned by Lease when WithMaxInFlight's
+	// limit is reached; the caller should complete or wait, not spin.
+	ErrTooManyInFlight = errors.New("core: in-flight trial limit reached")
+)
+
+// DefaultLeaseTimeout is the lease deadline applied by NewConcurrentTuner
+// unless WithLeaseTimeout overrides it.
+const DefaultLeaseTimeout = time.Minute
+
+// A Trial is one leased tuning iteration: a ticket the engine hands to a
+// worker, to be completed out of order via Complete or Fail.
+type Trial struct {
+	// ID is the engine-unique ticket; it completes exactly once.
+	ID uint64
+	// Algo and Config are what the worker should run, as in Tuner.Next.
+	Algo   int
+	Config param.Config
+	// Deadline is when the lease expires and the engine reclaims the
+	// trial as a timeout failure (zero with WithLeaseTimeout(0)).
+	Deadline time.Time
+	// Speculative marks a configuration fabricated by the proposal layer
+	// while the strategy's genuine proposal was already leased out; its
+	// result feeds the selector and the global best, not phase one.
+	Speculative bool
+	// Pinned marks a degradation-mode incumbent run that bypasses both
+	// tuning phases (see WithWatchdog).
+	Pinned bool
+}
+
+// lease is the engine's record of an outstanding trial. trial.Config is
+// the engine's private copy (the caller got its own clone).
+type lease struct {
+	trial Trial
+	prop  search.Proposal
+}
+
+// bestSnap is the copy-on-write snapshot behind the lock-free Best.
+type bestSnap struct {
+	algo int
+	cfg  param.Config
+	val  float64
+}
+
+// EngineStats counts trial-engine events since construction.
+type EngineStats struct {
+	// Leased counts tickets handed out; Completed, Failed and Expired
+	// count how they ended (Leased − the others = currently in flight).
+	Leased, Completed, Failed, Expired uint64
+	// InFlight is the number of currently outstanding leases.
+	InFlight int
+}
+
+// ConcurrentTuner is the lease-based trial engine over a Tuner: it turns
+// the strict Next/Observe alternation into a ticketed, multi-in-flight
+// service safe for concurrent use. Workers call Lease to draw a Trial
+// and Complete/Fail (in any order, from any goroutine) to report it;
+// leases outliving their deadline are reclaimed as timeout failures, so
+// a worker that dies never wedges the tuner.
+//
+// Internally one mutex guards the decision state (selector, strategies,
+// counters, checkpoint journal); Best, Counts and Iterations are
+// lock-free reads of copy-on-write snapshots refreshed at every
+// completion. Phase one is served through a per-algorithm
+// search.Proposer, which hands the strategy's genuine proposal to the
+// first taker and incumbent-perturbed speculative configurations to
+// every concurrent one; phase two goes through
+// nominal.InFlightAware.SelectInFlight when the selector supports it, so
+// concurrent leases spread across arms instead of piling onto one.
+//
+// The engine owns the wrapped Tuner: using the Tuner directly after
+// NewConcurrentTuner is a data race. For single-threaded callers the
+// engine itself offers the classic Next/Observe/Step/Run surface as a
+// thin single-lease adapter.
+type ConcurrentTuner struct {
+	mu        sync.Mutex
+	t         *Tuner
+	proposers []*search.Proposer
+	leases    map[uint64]*lease
+	inFlight  []int // per-algorithm outstanding leases
+	nextID    uint64
+	adapterID uint64 // outstanding single-lease-adapter trial, 0 = none
+
+	leaseTTL    time.Duration
+	maxInFlight int
+	now         func() time.Time // injectable clock for expiry tests
+
+	nLeased, nCompleted, nFailed, nExpired uint64
+
+	best   atomic.Pointer[bestSnap]
+	counts atomic.Pointer[[]int]
+	iters  atomic.Uint64
+}
+
+// EngineOption configures a ConcurrentTuner.
+type EngineOption func(*ConcurrentTuner)
+
+// WithLeaseTimeout sets the lease deadline (default DefaultLeaseTimeout).
+// A d ≤ 0 disables expiry entirely: a lost worker then wedges its trial
+// forever, so only disable it when completions are guaranteed.
+func WithLeaseTimeout(d time.Duration) EngineOption {
+	return func(c *ConcurrentTuner) { c.leaseTTL = d }
+}
+
+// WithMaxInFlight bounds the number of simultaneously outstanding
+// leases; Lease returns ErrTooManyInFlight beyond it. Zero (the
+// default) means unlimited.
+func WithMaxInFlight(n int) EngineOption {
+	return func(c *ConcurrentTuner) { c.maxInFlight = n }
+}
+
+// NewConcurrentTuner wraps a freshly built (or resumed) Tuner in the
+// trial engine. The tuner must be at an iteration boundary — no
+// Next/Observe pending — and must not be used directly afterwards.
+func NewConcurrentTuner(t *Tuner, opts ...EngineOption) (*ConcurrentTuner, error) {
+	if t == nil {
+		return nil, errors.New("core: NewConcurrentTuner with nil tuner")
+	}
+	if t.pending {
+		return nil, errors.New("core: NewConcurrentTuner with an observation pending")
+	}
+	c := &ConcurrentTuner{
+		t:         t,
+		proposers: make([]*search.Proposer, len(t.strategies)),
+		leases:    make(map[uint64]*lease),
+		inFlight:  make([]int, len(t.algos)),
+		leaseTTL:  DefaultLeaseTimeout,
+		now:       time.Now,
+	}
+	for i, s := range t.strategies {
+		// Each proposer gets its own speculation stream, decorrelated
+		// from the tuner's RNG (which concurrency already makes
+		// non-replayable) and from the other proposers'.
+		c.proposers[i] = search.NewProposer(s, t.algos[i].space(), t.seed^(0x9e3779b9*int64(i+1)))
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.publishLocked()
+	return c, nil
+}
+
+// Lease draws the next trial: phase two picks the algorithm (in-flight
+// aware when the selector supports it), phase one's proposal layer picks
+// the configuration without ever blocking. The returned Trial must be
+// finished with Complete or Fail before its Deadline, or the engine
+// reclaims it as a timeout.
+func (c *ConcurrentTuner) Lease() (Trial, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leaseLocked()
+}
+
+func (c *ConcurrentTuner) leaseLocked() (Trial, error) {
+	c.reclaimLocked()
+	if c.maxInFlight > 0 && len(c.leases) >= c.maxInFlight {
+		return Trial{}, ErrTooManyInFlight
+	}
+	t := c.t
+	c.nextID++
+	tr := Trial{ID: c.nextID}
+	var prop search.Proposal
+	if t.degraded && t.bestAlgo >= 0 {
+		tr.Algo = t.bestAlgo
+		tr.Config = t.bestCfg.Clone()
+		tr.Pinned = true
+	} else {
+		tr.Algo = c.selectLocked()
+		prop = c.proposers[tr.Algo].Propose()
+		tr.Config = prop.Config.Clone()
+		tr.Speculative = !prop.Primary
+	}
+	if c.leaseTTL > 0 {
+		tr.Deadline = c.now().Add(c.leaseTTL)
+	}
+	stored := tr
+	stored.Config = tr.Config.Clone() // callers may mutate their copy
+	c.leases[tr.ID] = &lease{trial: stored, prop: prop}
+	c.inFlight[tr.Algo]++
+	c.nLeased++
+	return tr, nil
+}
+
+// selectLocked runs phase two under the engine lock.
+func (c *ConcurrentTuner) selectLocked() int {
+	if ia, ok := c.t.selector.(nominal.InFlightAware); ok {
+		return ia.SelectInFlight(c.t.rng, c.inFlight)
+	}
+	return c.t.selector.Select(c.t.rng)
+}
+
+// Complete finishes a leased trial with its measured value, feeding both
+// tuning phases exactly as Tuner.Observe would. Non-finite values are
+// converted to Invalid failures with the tuner's penalty. Completions
+// arrive in any order; a trial already completed, failed, or reclaimed
+// returns ErrUnknownTrial.
+func (c *ConcurrentTuner) Complete(id uint64, value float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked()
+	return c.completeLocked(id, value)
+}
+
+func (c *ConcurrentTuner) completeLocked(id uint64, value float64) error {
+	l, ok := c.takeLocked(id)
+	if !ok {
+		return ErrUnknownTrial
+	}
+	c.nCompleted++
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		f := &guard.Failure{
+			Kind:    guard.Invalid,
+			Algo:    l.trial.Algo,
+			Err:     fmt.Errorf("core: non-finite measurement %v", value),
+			Penalty: c.t.penalty(),
+		}
+		c.finishLocked(l, f.Penalty, f)
+		return nil
+	}
+	c.finishLocked(l, value, nil)
+	return nil
+}
+
+// Fail finishes a leased trial as a measurement failure (panic, timeout,
+// invalid sample), feeding the failure's penalty — or the tuner's, when
+// unset — to both phases, as Tuner.ObserveFailure would.
+func (c *ConcurrentTuner) Fail(id uint64, f guard.Failure) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked()
+	return c.failLocked(id, f)
+}
+
+func (c *ConcurrentTuner) failLocked(id uint64, f guard.Failure) error {
+	l, ok := c.takeLocked(id)
+	if !ok {
+		return ErrUnknownTrial
+	}
+	c.nFailed++
+	f.Algo = l.trial.Algo
+	if f.Penalty <= 0 || math.IsNaN(f.Penalty) || math.IsInf(f.Penalty, 0) {
+		f.Penalty = c.t.penalty()
+	}
+	c.finishLocked(l, f.Penalty, &f)
+	return nil
+}
+
+// takeLocked removes an outstanding lease, maintaining in-flight counts.
+func (c *ConcurrentTuner) takeLocked(id uint64) (*lease, bool) {
+	l, ok := c.leases[id]
+	if !ok {
+		return nil, false
+	}
+	delete(c.leases, id)
+	c.inFlight[l.trial.Algo]--
+	return l, true
+}
+
+// reclaimLocked sweeps expired leases, completing each as a timeout
+// failure: the penalty reaches the selector, the proposer (releasing a
+// wedged primary proposal back to its strategy), and the failure
+// counters, so a crashed worker costs one penalized iteration instead of
+// a stuck engine. Called at the top of every engine entry point.
+func (c *ConcurrentTuner) reclaimLocked() {
+	if c.leaseTTL <= 0 || len(c.leases) == 0 {
+		return
+	}
+	now := c.now()
+	for id, l := range c.leases {
+		if !l.trial.Deadline.IsZero() && now.After(l.trial.Deadline) {
+			delete(c.leases, id)
+			c.inFlight[l.trial.Algo]--
+			c.nExpired++
+			f := &guard.Failure{
+				Kind:    guard.Timeout,
+				Algo:    l.trial.Algo,
+				Err:     fmt.Errorf("core: trial %d lease expired", id),
+				Penalty: c.t.penalty(),
+			}
+			c.finishLocked(l, f.Penalty, f)
+		}
+	}
+}
+
+// ReclaimExpired sweeps expired leases immediately (the sweep otherwise
+// piggybacks on Lease/Complete/Fail calls) and returns how many trials
+// it reclaimed as timeouts.
+func (c *ConcurrentTuner) ReclaimExpired() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.nExpired
+	c.reclaimLocked()
+	return int(c.nExpired - before)
+}
+
+// finishLocked routes one taken lease through the shared completion
+// path and refreshes the lock-free snapshots.
+func (c *ConcurrentTuner) finishLocked(l *lease, value float64, fail *guard.Failure) {
+	var report func(param.Config, float64)
+	if !l.trial.Pinned {
+		algo, prop := l.trial.Algo, l.prop
+		// The proposer routes: primary reports reach the strategy,
+		// speculative ones only the proposer-local incumbent.
+		report = func(param.Config, float64) { c.proposers[algo].Report(prop, value) }
+	}
+	c.t.applyCompletion(completion{
+		algo:   l.trial.Algo,
+		cfg:    l.trial.Config,
+		value:  value,
+		fail:   fail,
+		pinned: l.trial.Pinned,
+		trial:  l.trial.ID,
+		spec:   l.trial.Speculative,
+	}, report)
+	c.publishLocked()
+}
+
+// publishLocked refreshes the copy-on-write snapshots read lock-free by
+// Best, Counts and Iterations.
+func (c *ConcurrentTuner) publishLocked() {
+	t := c.t
+	if t.bestAlgo >= 0 {
+		c.best.Store(&bestSnap{algo: t.bestAlgo, cfg: t.bestCfg.Clone(), val: t.bestVal})
+	}
+	counts := make([]int, len(t.counts))
+	copy(counts, t.counts)
+	c.counts.Store(&counts)
+	c.iters.Store(uint64(t.Iterations()))
+}
+
+// Best returns the globally best observation so far — (-1, nil, +Inf)
+// before any — without taking the engine lock.
+func (c *ConcurrentTuner) Best() (algo int, cfg param.Config, value float64) {
+	b := c.best.Load()
+	if b == nil {
+		return -1, nil, math.Inf(1)
+	}
+	return b.algo, b.cfg.Clone(), b.val
+}
+
+// Counts returns a copy of the per-algorithm completion counts without
+// taking the engine lock.
+func (c *ConcurrentTuner) Counts() []int {
+	p := c.counts.Load()
+	if p == nil {
+		return nil
+	}
+	out := make([]int, len(*p))
+	copy(out, *p)
+	return out
+}
+
+// Iterations returns the number of completed trials without taking the
+// engine lock.
+func (c *ConcurrentTuner) Iterations() int { return int(c.iters.Load()) }
+
+// Stats returns the trial-engine event counters.
+func (c *ConcurrentTuner) Stats() EngineStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return EngineStats{
+		Leased:    c.nLeased,
+		Completed: c.nCompleted,
+		Failed:    c.nFailed,
+		Expired:   c.nExpired,
+		InFlight:  len(c.leases),
+	}
+}
+
+// InFlight returns the number of currently outstanding leases.
+func (c *ConcurrentTuner) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.leases)
+}
+
+// NumAlgorithms returns the number of algorithm alternatives.
+func (c *ConcurrentTuner) NumAlgorithms() int { return len(c.t.algos) }
+
+// AlgorithmName returns the name of algorithm i.
+func (c *ConcurrentTuner) AlgorithmName(i int) string { return c.t.algos[i].Name }
+
+// Guard exposes the guard installed by WithGuard (nil without it); the
+// guard is internally synchronized, so workers may Invoke it directly.
+func (c *ConcurrentTuner) Guard() *guard.Guard { return c.t.guard }
+
+// FailureStats returns the failure counters (see Tuner.FailureStats).
+func (c *ConcurrentTuner) FailureStats() FailureStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.FailureStats()
+}
+
+// Degraded reports whether the watchdog currently pins the incumbent.
+func (c *ConcurrentTuner) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.degraded
+}
+
+// History returns the per-iteration records, in completion order.
+func (c *ConcurrentTuner) History() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.History()
+}
+
+// ValuesOf returns the completed values of one algorithm in completion
+// order (see Tuner.ValuesOf for the WithoutHistory bound).
+func (c *ConcurrentTuner) ValuesOf(algo int) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.ValuesOf(algo)
+}
+
+// BestConfigOf returns phase one's incumbent for one algorithm.
+func (c *ConcurrentTuner) BestConfigOf(algo int) (param.Config, float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.proposers[algo].Best()
+}
+
+// CheckpointErr returns the most recent checkpoint I/O error, or nil.
+func (c *ConcurrentTuner) CheckpointErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.ckptErr
+}
+
+// Next is the single-lease adapter for Tuner.Next: it leases one trial
+// and remembers it for the following Observe/ObserveFailure. Like
+// Tuner.Next it panics on a pending observation; unlike raw leases the
+// adapter's trial is what Observe completes, so sequential callers can
+// switch a *Tuner for a *ConcurrentTuner without other changes.
+func (c *ConcurrentTuner) Next() (algo int, cfg param.Config) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.adapterID != 0 {
+		panic("core: Next called with an observation pending")
+	}
+	tr, err := c.leaseLocked()
+	if err != nil {
+		panic(err)
+	}
+	c.adapterID = tr.ID
+	return tr.Algo, tr.Config
+}
+
+// Observe completes the adapter trial leased by the preceding Next.
+func (c *ConcurrentTuner) Observe(value float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.adapterID
+	if id == 0 {
+		panic("core: Observe called without a pending Next")
+	}
+	c.adapterID = 0
+	if err := c.completeLocked(id, value); err != nil {
+		panic(err)
+	}
+}
+
+// ObserveFailure fails the adapter trial leased by the preceding Next.
+func (c *ConcurrentTuner) ObserveFailure(f guard.Failure) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.adapterID
+	if id == 0 {
+		panic("core: ObserveFailure called without a pending Next")
+	}
+	c.adapterID = 0
+	if err := c.failLocked(id, f); err != nil {
+		panic(err)
+	}
+}
+
+// Step runs one complete trial with the given measurement function,
+// releasing the engine lock while m runs so concurrent workers proceed.
+// With WithGuard installed the measurement runs under the guard.
+func (c *ConcurrentTuner) Step(m Measure) Record {
+	tr, err := c.Lease()
+	if err != nil {
+		panic(err)
+	}
+	if g := c.t.guard; g != nil {
+		v, fail := g.Invoke(m, tr.Algo, tr.Config)
+		if fail != nil {
+			c.Fail(tr.ID, *fail)
+		} else {
+			c.Complete(tr.ID, v)
+		}
+	} else {
+		c.Complete(tr.ID, m(tr.Algo, tr.Config))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Record{
+		Iteration: c.t.Iterations() - 1,
+		Algo:      tr.Algo,
+		Config:    tr.Config.Clone(),
+		Value:     c.t.lastValue,
+		Failed:    c.t.lastFailed,
+	}
+}
+
+// Run executes iters trials sequentially (see RunPool for the
+// multi-worker driver).
+func (c *ConcurrentTuner) Run(iters int, m Measure) {
+	for i := 0; i < iters; i++ {
+		c.Step(m)
+	}
+}
+
+// RunPool drives the engine with a pool of worker goroutines until total
+// trials have been leased, blocking until all complete. Each worker
+// loops lease → measure → complete; with WithGuard installed every
+// measurement runs under the guard. When WithMaxInFlight is below the
+// worker count, workers briefly back off on ErrTooManyInFlight.
+func (c *ConcurrentTuner) RunPool(workers, total int, m Measure) {
+	if workers < 1 {
+		workers = 1
+	}
+	g := c.t.guard
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(total) {
+				var tr Trial
+				for {
+					var err error
+					tr, err = c.Lease()
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrTooManyInFlight) {
+						panic(err)
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+				if g != nil {
+					v, fail := g.Invoke(m, tr.Algo, tr.Config)
+					if fail != nil {
+						c.Fail(tr.ID, *fail)
+					} else {
+						c.Complete(tr.ID, v)
+					}
+				} else {
+					c.Complete(tr.ID, m(tr.Algo, tr.Config))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/nominal"
+	"repro/internal/param"
+)
+
+// engineAlgos is a mixed set for engine tests: tunable and
+// parameterless algorithms.
+func engineAlgos() []Algorithm {
+	return []Algorithm{
+		{Name: "plain"},
+		{Name: "tuned", Space: param.NewSpace(param.NewRatio("alpha", 1, 10), param.NewRatioInt("block", 8, 512))},
+		{Name: "other", Space: param.NewSpace(param.NewRatio("beta", 0, 1))},
+		{Name: "spare"},
+	}
+}
+
+// engineMeasure is a deterministic synthetic measurement.
+func engineMeasure(algo int, cfg param.Config) float64 {
+	v := float64(4 + 3*algo)
+	for _, x := range cfg {
+		v += 0.01 * math.Abs(x-5)
+	}
+	return v
+}
+
+func newEngine(t *testing.T, seed int64, opts ...EngineOption) *ConcurrentTuner {
+	t.Helper()
+	tn, err := New(engineAlgos(), nominal.NewEpsilonGreedy(0.10), nil, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := NewConcurrentTuner(tn, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+// TestConcurrentTunerStress hammers the engine from 32 goroutines with
+// interleaved lease/complete/fail/expire and asserts that no iteration
+// is lost or double-counted. Run under -race this is the engine's
+// synchronization proof.
+func TestConcurrentTunerStress(t *testing.T) {
+	const (
+		workers   = 32
+		perWorker = 100
+		total     = workers * perWorker
+	)
+	ct := newEngine(t, 1, WithLeaseTimeout(40*time.Millisecond))
+
+	var wg sync.WaitGroup
+	var abandoned atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr, err := ct.Lease()
+				if err != nil {
+					t.Errorf("worker %d: Lease: %v", w, err)
+					return
+				}
+				switch i % 5 {
+				case 3:
+					// Failure path; the lease may have expired first.
+					err := ct.Fail(tr.ID, guard.Failure{Kind: guard.Panic, Err: errors.New("boom")})
+					if err != nil && !errors.Is(err, ErrUnknownTrial) {
+						t.Errorf("worker %d: Fail: %v", w, err)
+					}
+				case 4:
+					// Abandon: the engine must reclaim it as a timeout.
+					abandoned.Add(1)
+				default:
+					err := ct.Complete(tr.ID, engineMeasure(tr.Algo, tr.Config))
+					if err != nil && !errors.Is(err, ErrUnknownTrial) {
+						t.Errorf("worker %d: Complete: %v", w, err)
+					}
+				}
+				if i%7 == 0 {
+					// Lock-free fast paths, read concurrently with writes.
+					ct.Best()
+					ct.Counts()
+					ct.Iterations()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Drain: every abandoned lease must expire and be reclaimed.
+	deadline := time.Now().Add(5 * time.Second)
+	for ct.InFlight() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d leases still in flight after drain deadline", ct.InFlight())
+		}
+		time.Sleep(10 * time.Millisecond)
+		ct.ReclaimExpired()
+	}
+
+	st := ct.Stats()
+	if st.Leased != total {
+		t.Fatalf("leased %d trials, want %d", st.Leased, total)
+	}
+	if got := st.Completed + st.Failed + st.Expired; got != total {
+		t.Fatalf("completed %d + failed %d + expired %d = %d, want %d (no lost or double-counted trials)",
+			st.Completed, st.Failed, st.Expired, got, total)
+	}
+	if st.Expired < uint64(abandoned.Load()) {
+		t.Fatalf("expired %d < abandoned %d", st.Expired, abandoned.Load())
+	}
+	if ct.Iterations() != total {
+		t.Fatalf("Iterations() = %d, want %d", ct.Iterations(), total)
+	}
+	sum := 0
+	for _, c := range ct.Counts() {
+		sum += c
+	}
+	if sum != total {
+		t.Fatalf("sum of Counts() = %d, want %d", sum, total)
+	}
+	fs := ct.FailureStats()
+	if got := uint64(fs.Total); got != st.Failed+st.Expired {
+		t.Fatalf("FailureStats.Total = %d, want failed %d + expired %d", got, st.Failed, st.Expired)
+	}
+	if algo, cfg, val := ct.Best(); algo < 0 || cfg == nil || math.IsInf(val, 1) {
+		t.Fatalf("no best after %d trials: (%d, %v, %v)", total, algo, cfg, val)
+	}
+}
+
+// TestLeaseExpiryReclaimedAsTimeout drives expiry with an injected
+// clock: an unreported lease must complete as a Timeout failure exactly
+// once, and its late Complete must be rejected.
+func TestLeaseExpiryReclaimedAsTimeout(t *testing.T) {
+	ct := newEngine(t, 2, WithLeaseTimeout(time.Second))
+	now := time.Unix(1000, 0)
+	ct.now = func() time.Time { return now }
+
+	tr, err := ct.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Deadline != now.Add(time.Second) {
+		t.Fatalf("deadline = %v, want %v", tr.Deadline, now.Add(time.Second))
+	}
+	if n := ct.ReclaimExpired(); n != 0 {
+		t.Fatalf("reclaimed %d before the deadline", n)
+	}
+	now = now.Add(2 * time.Second)
+	if n := ct.ReclaimExpired(); n != 1 {
+		t.Fatalf("reclaimed %d at the deadline, want 1", n)
+	}
+	if err := ct.Complete(tr.ID, 1.0); !errors.Is(err, ErrUnknownTrial) {
+		t.Fatalf("late Complete after expiry: err = %v, want ErrUnknownTrial", err)
+	}
+	fs := ct.FailureStats()
+	if fs.Timeouts != 1 || fs.Total != 1 {
+		t.Fatalf("failure stats after expiry: %+v, want exactly one timeout", fs)
+	}
+	if ct.Iterations() != 1 {
+		t.Fatalf("Iterations() = %d, want 1 (the reclaimed trial)", ct.Iterations())
+	}
+}
+
+// TestUnknownTrialRejected covers the remaining ticket-misuse paths.
+func TestUnknownTrialRejected(t *testing.T) {
+	ct := newEngine(t, 3)
+	if err := ct.Complete(999, 1.0); !errors.Is(err, ErrUnknownTrial) {
+		t.Fatalf("Complete(unknown) = %v", err)
+	}
+	tr, _ := ct.Lease()
+	if err := ct.Complete(tr.ID, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Complete(tr.ID, 1.0); !errors.Is(err, ErrUnknownTrial) {
+		t.Fatalf("double Complete = %v", err)
+	}
+	if err := ct.Fail(tr.ID, guard.Failure{Kind: guard.Panic}); !errors.Is(err, ErrUnknownTrial) {
+		t.Fatalf("Fail after Complete = %v", err)
+	}
+}
+
+// TestMaxInFlight checks the lease bound.
+func TestMaxInFlight(t *testing.T) {
+	ct := newEngine(t, 4, WithMaxInFlight(2))
+	a, err := ct.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.Lease(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.Lease(); !errors.Is(err, ErrTooManyInFlight) {
+		t.Fatalf("third lease = %v, want ErrTooManyInFlight", err)
+	}
+	if err := ct.Complete(a.ID, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.Lease(); err != nil {
+		t.Fatalf("lease after completion = %v", err)
+	}
+}
+
+// TestAdapterMatchesSequentialTuner checks the acceptance criterion that
+// the classic API is a drop-in: a single-threaded caller driving the
+// engine through Next/Observe sees the exact decision sequence of a bare
+// Tuner with the same seed.
+func TestAdapterMatchesSequentialTuner(t *testing.T) {
+	seq, err := New(engineAlgos(), nominal.NewEpsilonGreedy(0.10), nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := newEngine(t, 42)
+
+	const iters = 300
+	for i := 0; i < iters; i++ {
+		sa, sc := seq.Next()
+		ca, cc := ct.Next()
+		if sa != ca || !sc.Equal(cc) {
+			t.Fatalf("iteration %d: sequential proposes (%d, %v), adapter (%d, %v)", i, sa, sc, ca, cc)
+		}
+		v := engineMeasure(sa, sc)
+		seq.Observe(v)
+		ct.Observe(v)
+	}
+	if sHist, cHist := seq.History(), ct.History(); len(sHist) != len(cHist) {
+		t.Fatalf("history lengths: %d vs %d", len(sHist), len(cHist))
+	}
+	sA, sC, sV := seq.Best()
+	cA, cC, cV := ct.Best()
+	if sA != cA || sV != cV || !sC.Equal(cC) {
+		t.Fatalf("best diverged: (%d,%v,%v) vs (%d,%v,%v)", sA, sC, sV, cA, cC, cV)
+	}
+	for i := range engineAlgos() {
+		if sq, eg := seq.Counts()[i], ct.Counts()[i]; sq != eg {
+			t.Fatalf("counts[%d]: %d vs %d", i, sq, eg)
+		}
+	}
+}
+
+// TestAdapterPanicsMirrorTuner checks the adapter keeps the Tuner's
+// misuse contract.
+func TestAdapterPanicsMirrorTuner(t *testing.T) {
+	ct := newEngine(t, 5)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Observe without Next", func() { ct.Observe(1.0) })
+	ct.Next()
+	mustPanic("double Next", func() { ct.Next() })
+	ct.Observe(1.0)
+	mustPanic("ObserveFailure without Next", func() { ct.ObserveFailure(guard.Failure{Kind: guard.Panic}) })
+}
+
+// TestEngineStepRunAndGuard exercises Step/Run/RunPool with a guard
+// installed: panicking measurements become failures, never crashes.
+func TestEngineStepRunAndGuard(t *testing.T) {
+	tn, err := New(engineAlgos(), guard.NewQuarantine(nominal.NewEpsilonGreedy(0.10)), nil, 6, WithGuard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := NewConcurrentTuner(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	m := func(algo int, cfg param.Config) float64 {
+		if calls.Add(1)%9 == 0 {
+			panic("synthetic measurement crash")
+		}
+		return engineMeasure(algo, cfg)
+	}
+	rec := ct.Step(m)
+	if rec.Iteration != 0 {
+		t.Fatalf("first Step iteration = %d", rec.Iteration)
+	}
+	ct.Run(19, m)
+	ct.RunPool(8, 80, m)
+	if got := ct.Iterations(); got != 100 {
+		t.Fatalf("Iterations() = %d, want 100", got)
+	}
+	fs := ct.FailureStats()
+	if fs.Panics == 0 {
+		t.Fatal("guard saw no panics")
+	}
+	if fs.Total != fs.Panics {
+		t.Fatalf("unexpected non-panic failures: %+v", fs)
+	}
+}
+
+// TestSpeculativeLeasesMarked checks that holding several leases on one
+// algorithm yields speculative trials, and that speculative completions
+// still reach the global best.
+func TestSpeculativeLeasesMarked(t *testing.T) {
+	// Round-robin across 1 tunable algorithm forces same-algo leases.
+	tn, err := New([]Algorithm{{Name: "only", Space: param.NewSpace(param.NewRatio("x", 0, 10))}},
+		nominal.NewEpsilonGreedy(0), nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := NewConcurrentTuner(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := make([]Trial, 4)
+	spec := 0
+	for i := range trials {
+		tr, err := ct.Lease()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Speculative {
+			spec++
+		}
+		trials[i] = tr
+	}
+	if spec != 3 {
+		t.Fatalf("4 concurrent leases on one algorithm: %d speculative, want 3", spec)
+	}
+	// Complete the speculative ones with a great value: the engine's
+	// global best must capture it even though phase one never sees it.
+	for _, tr := range trials[1:] {
+		if err := ct.Complete(tr.ID, 0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ct.Complete(trials[0].ID, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, v := ct.Best(); v != 0.25 {
+		t.Fatalf("global best = %v, want the speculative 0.25", v)
+	}
+}

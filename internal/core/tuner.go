@@ -80,6 +80,9 @@ type Measure func(algo int, cfg param.Config) float64
 // application loop, the paper's online-tuning setting — or through Run,
 // which owns the loop. A Tuner is not safe for concurrent use: online
 // tuning wraps one repeatedly executed operation of the application.
+// Applications measuring from many goroutines wrap it in a
+// ConcurrentTuner, whose lease-based trial engine serves multiple trials
+// in flight.
 type Tuner struct {
 	algos      []Algorithm
 	selector   nominal.Selector
@@ -344,35 +347,62 @@ func (t *Tuner) observe(value float64, fail *guard.Failure) {
 	pinned := t.pinned
 	t.pinned = false
 	algo, cfg := t.pendingAlgo, t.pendingCfg
-	failed := fail != nil
+	t.applyCompletion(completion{algo: algo, cfg: cfg, value: value, fail: fail, pinned: pinned},
+		func(cf param.Config, v float64) { t.strategies[algo].Report(cf, v) })
+}
+
+// completion describes one finished trial, however it was driven:
+// sequential Observe, the trial engine's Complete/Fail/expiry, or
+// journal replay on resume.
+type completion struct {
+	algo   int
+	cfg    param.Config
+	value  float64
+	fail   *guard.Failure
+	pinned bool
+	trial  uint64 // engine trial ID; 0 for sequential completions
+	spec   bool   // speculative proposal: phase one must not learn it
+}
+
+// applyCompletion feeds one finished trial into both tuning phases and
+// every counter the tuner maintains, returning the iteration index it
+// completed. reportPhase1 routes the phase-one report — the sequential
+// path reports straight to the strategy, the trial engine through the
+// algorithm's Proposer — and is skipped entirely for pinned completions
+// (and nil callbacks), whose configuration was never proposed by any
+// strategy.
+func (t *Tuner) applyCompletion(c completion, reportPhase1 func(param.Config, float64)) int {
+	failed := c.fail != nil
 	iter := t.Iterations() // zero-based index of the completing iteration
 
-	if pinned {
+	if c.pinned {
 		t.pinnedIters++
 	} else {
 		if failed {
 			if fa, ok := t.selector.(guard.FailureAware); ok {
-				fa.ReportFailure(algo, *fail)
+				fa.ReportFailure(c.algo, *c.fail)
 			}
 		}
-		t.strategies[algo].Report(cfg, value)
-		t.selector.Report(algo, value)
+		if reportPhase1 != nil {
+			reportPhase1(c.cfg, c.value)
+		}
+		t.selector.Report(c.algo, c.value)
 	}
-	t.counts[algo]++
+	t.counts[c.algo]++
 	if t.keepHistory {
 		t.history = append(t.history, Record{
 			Iteration: iter,
-			Algo:      algo,
-			Config:    cfg,
-			Value:     value,
+			Algo:      c.algo,
+			Config:    c.cfg,
+			Value:     c.value,
 			Failed:    failed,
 		})
 	}
-	t.perAlgoHistory[algo] = append(t.perAlgoHistory[algo], value)
+	t.appendValue(c.algo, c.value)
 	if failed {
 		t.failTotal++
-		t.failPerAlgo[algo]++
-		switch fail.Kind {
+		t.failPerAlgo[c.algo]++
+		switch c.fail.Kind {
 		case guard.Panic:
 			t.failPanics++
 		case guard.Timeout:
@@ -381,20 +411,50 @@ func (t *Tuner) observe(value float64, fail *guard.Failure) {
 			t.failInvalid++
 		}
 	} else {
-		if value > t.worstVal {
-			t.worstVal = value
+		if c.value > t.worstVal {
+			t.worstVal = c.value
 		}
-		if value < t.bestVal {
-			t.bestVal = value
-			t.bestAlgo = algo
-			t.bestCfg = cfg.Clone()
+		if c.value < t.bestVal {
+			t.bestVal = c.value
+			t.bestAlgo = c.algo
+			t.bestCfg = c.cfg.Clone()
 		}
 	}
-	t.lastValue, t.lastFailed = value, failed
+	t.lastValue, t.lastFailed = c.value, failed
 	t.watch(failed)
 	if t.ckptDir != "" && !t.replaying {
-		t.checkpointObserve(iter, algo, cfg, value, fail)
+		t.checkpointObserve(iter, c)
 	}
+	return iter
+}
+
+// DefaultValuesTail bounds each per-algorithm value timeline of a tuner
+// running WithoutHistory. Timelines are compacted amortizedly: a
+// timeline grows to at most 2×DefaultValuesTail values before its oldest
+// half is dropped, so memory stays constant over unbounded runs while
+// appends remain O(1) amortized.
+const DefaultValuesTail = 1024
+
+// appendValue records a value on an algorithm's timeline, bounding the
+// timeline when history keeping is off (with history on, the timeline is
+// already O(run length) by request).
+func (t *Tuner) appendValue(algo int, v float64) {
+	h := append(t.perAlgoHistory[algo], v)
+	if !t.keepHistory && len(h) > 2*DefaultValuesTail {
+		copy(h, h[len(h)-DefaultValuesTail:])
+		h = h[:DefaultValuesTail]
+	}
+	t.perAlgoHistory[algo] = h
+}
+
+// algoIndex returns the index of the named algorithm, or -1.
+func (t *Tuner) algoIndex(name string) int {
+	for i, a := range t.algos {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // penalty returns the value substituted for a failed observation.
@@ -456,7 +516,7 @@ func (t *Tuner) Step(m Measure) Record {
 	} else {
 		t.Observe(m(algo, cfg))
 	}
-	return Record{Iteration: t.Iterations() - 1, Algo: algo, Config: cfg, Value: t.lastValue, Failed: t.lastFailed}
+	return Record{Iteration: t.Iterations() - 1, Algo: algo, Config: cfg.Clone(), Value: t.lastValue, Failed: t.lastFailed}
 }
 
 // Run executes iters tuning iterations. This is the whole online tuning
@@ -559,14 +619,22 @@ func (t *Tuner) Counts() []int {
 }
 
 // History returns the per-iteration records (empty with WithoutHistory).
+// The records are deep copies: mutating a returned Record's Config does
+// not touch the tuner's log.
 func (t *Tuner) History() []Record {
 	h := make([]Record, len(t.history))
 	copy(h, t.history)
+	for i := range h {
+		h[i].Config = h[i].Config.Clone()
+	}
 	return h
 }
 
 // ValuesOf returns the measured values of one algorithm in observation
-// order — the per-algorithm timeline behind the paper's Figure 5.
+// order — the per-algorithm timeline behind the paper's Figure 5. With
+// WithoutHistory the timeline is bounded: only the most recent values
+// (between DefaultValuesTail and 2×DefaultValuesTail of them) are
+// retained.
 func (t *Tuner) ValuesOf(algo int) []float64 {
 	v := make([]float64, len(t.perAlgoHistory[algo]))
 	copy(v, t.perAlgoHistory[algo])

@@ -1,0 +1,70 @@
+package guard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nominal"
+)
+
+// TestQuarantineInterleavedFailureDepth checks the concurrent-completion
+// fix: when several failed trials of the same arm are in flight, their
+// ReportFailure/Report pairs interleave. The depth counter must consume
+// one outstanding failure per Report — with the old boolean flag the
+// second Report was misread as a success and reset the consecutive
+// count, so the circuit never opened.
+func TestQuarantineInterleavedFailureDepth(t *testing.T) {
+	q := NewQuarantine(nominal.NewUniformRandom())
+	q.K = 3
+	q.Init(2)
+	r := rand.New(rand.NewSource(1))
+
+	// Three failed trials of arm 0 in flight at once: failures land
+	// first, the penalty reports trail behind.
+	for i := 0; i < 3; i++ {
+		q.Select(r)
+		q.ReportFailure(0, Failure{Kind: Panic})
+	}
+	for i := 0; i < 3; i++ {
+		q.Report(0, 1e6) // penalty reports, none of them a success
+	}
+	if !q.Open(0) {
+		t.Fatal("circuit did not open after 3 interleaved consecutive failures")
+	}
+	if q.Trips(0) != 1 {
+		t.Fatalf("trips = %d, want 1", q.Trips(0))
+	}
+	// A real success after the penalties closes the circuit as usual.
+	q.Report(0, 2.0)
+	if q.Open(0) {
+		t.Fatal("success did not close the circuit")
+	}
+}
+
+// TestQuarantineSelectInFlightMasksSuspended checks the in-flight-aware
+// draw path applies the same probe/mask logic as Select.
+func TestQuarantineSelectInFlightMasksSuspended(t *testing.T) {
+	q := NewQuarantine(nominal.NewEpsilonGreedy(0))
+	q.K = 1
+	q.Init(3)
+	r := rand.New(rand.NewSource(2))
+	inFlight := make([]int, 3)
+
+	// Visit every arm once so the inner selector has an incumbent.
+	for arm := 0; arm < 3; arm++ {
+		q.SelectInFlight(r, inFlight)
+		q.Report(arm, float64(1+arm))
+	}
+	// Make arm 0 (the incumbent) fail: its circuit opens immediately.
+	q.SelectInFlight(r, inFlight)
+	q.ReportFailure(0, Failure{Kind: Timeout})
+	q.Report(0, 1e6)
+	if !q.Suspended(0) {
+		t.Fatal("arm 0 not suspended after K=1 failure")
+	}
+	for i := 0; i < 10; i++ {
+		if arm := q.SelectInFlight(r, inFlight); q.Suspended(arm) {
+			t.Fatalf("draw %d returned suspended arm %d", i, arm)
+		}
+	}
+}

@@ -65,7 +65,7 @@ type qarm struct {
 	trips          int  // cumulative circuit openings (never reset)
 	open           bool // circuit open
 	suspendedUntil int  // masked while iter <= suspendedUntil
-	failurePending bool // ReportFailure seen, next Report carries its penalty
+	failureDepth   int  // ReportFailure calls whose penalty Report is still due
 }
 
 // NewQuarantine decorates inner with the default circuit-breaker
@@ -105,6 +105,26 @@ func (q *Quarantine) suspended(arm int) bool {
 // Select returns the arm to run: a due re-probe if one exists, otherwise
 // the inner selector's choice with suspended arms masked out.
 func (q *Quarantine) Select(r *rand.Rand) int {
+	return q.selectWith(r, func() int { return q.inner.Select(r) })
+}
+
+// SelectInFlight is Select with the inner selector's draw made in-flight
+// aware (when it supports nominal.InFlightAware); the circuit-breaker
+// probe and masking logic is identical. The concurrent trial engine
+// calls this under its lock — Quarantine itself has no internal
+// synchronization.
+func (q *Quarantine) SelectInFlight(r *rand.Rand, inFlight []int) int {
+	return q.selectWith(r, func() int {
+		if ia, ok := q.inner.(nominal.InFlightAware); ok {
+			return ia.SelectInFlight(r, inFlight)
+		}
+		return q.inner.Select(r)
+	})
+}
+
+// selectWith implements the circuit-breaker selection around an
+// arbitrary inner draw.
+func (q *Quarantine) selectWith(r *rand.Rand, draw func() int) int {
 	if q.arms == nil {
 		panic("guard: Quarantine used before Init")
 	}
@@ -126,7 +146,7 @@ func (q *Quarantine) Select(r *rand.Rand) int {
 	// Mask suspended arms from the inner selector by redrawing.
 	attempts := 2*len(q.arms) + 2
 	for i := 0; i < attempts; i++ {
-		if a := q.inner.Select(r); !q.suspended(a) {
+		if a := draw(); !q.suspended(a) {
 			return a
 		}
 	}
@@ -156,13 +176,19 @@ func (q *Quarantine) Select(r *rand.Rand) int {
 // a success and closes the arm's circuit; either way the value (the
 // penalty, for failures) is forwarded to the inner selector so it also
 // learns to avoid failing arms.
+//
+// The failure bookkeeping is a depth counter, not a flag: under the
+// concurrent trial engine several failed trials of the same arm can be
+// in flight at once, so their ReportFailure/Report pairs interleave —
+// each Report consumes exactly one outstanding failure, and only a
+// Report with none outstanding is a success.
 func (q *Quarantine) Report(arm int, v float64) {
 	if q.arms == nil {
 		panic("guard: Quarantine used before Init")
 	}
 	a := &q.arms[arm]
-	if a.failurePending {
-		a.failurePending = false
+	if a.failureDepth > 0 {
+		a.failureDepth--
 	} else {
 		a.consecutive = 0
 		a.level = 0
@@ -180,7 +206,7 @@ func (q *Quarantine) ReportFailure(arm int, _ Failure) {
 		panic("guard: Quarantine used before Init")
 	}
 	a := &q.arms[arm]
-	a.failurePending = true
+	a.failureDepth++
 	a.consecutive++
 	if a.consecutive < q.K {
 		return

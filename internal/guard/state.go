@@ -85,6 +85,12 @@ type quarantineState struct {
 	Inner json.RawMessage `json:"inner"`
 }
 
+// qarmState keeps both failure-bookkeeping encodings: FailureDepth is
+// the current counter (format version 2, supports multiple failed trials
+// in flight); FailurePending is the version-1 flag, still written so old
+// readers decode new snapshots, and still read so new code restores old
+// snapshots (a true flag becomes depth 1 — a sequential tuner never had
+// more than one outstanding).
 type qarmState struct {
 	Consecutive    int  `json:"consecutive"`
 	Level          int  `json:"level"`
@@ -92,6 +98,7 @@ type qarmState struct {
 	Open           bool `json:"open"`
 	SuspendedUntil int  `json:"suspended_until"`
 	FailurePending bool `json:"failure_pending"`
+	FailureDepth   int  `json:"failure_depth,omitempty"`
 }
 
 // Export serializes the circuit-breaker state and chains the inner
@@ -112,7 +119,8 @@ func (q *Quarantine) Export() ([]byte, error) {
 	for i, a := range q.arms {
 		st.Arms[i] = qarmState{
 			Consecutive: a.consecutive, Level: a.level, Trips: a.trips,
-			Open: a.open, SuspendedUntil: a.suspendedUntil, FailurePending: a.failurePending,
+			Open: a.open, SuspendedUntil: a.suspendedUntil,
+			FailurePending: a.failureDepth > 0, FailureDepth: a.failureDepth,
 		}
 	}
 	return json.Marshal(st)
@@ -140,9 +148,13 @@ func (q *Quarantine) Restore(data []byte) error {
 	}
 	q.iter = st.Iter
 	for i, a := range st.Arms {
+		depth := a.FailureDepth
+		if depth == 0 && a.FailurePending {
+			depth = 1
+		}
 		q.arms[i] = qarm{
 			consecutive: a.Consecutive, level: a.Level, trips: a.Trips,
-			open: a.Open, suspendedUntil: a.SuspendedUntil, failurePending: a.FailurePending,
+			open: a.Open, suspendedUntil: a.SuspendedUntil, failureDepth: depth,
 		}
 	}
 	return nil

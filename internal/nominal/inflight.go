@@ -1,0 +1,159 @@
+package nominal
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// InFlightAware is implemented by selectors that can account for trials
+// currently leased but not yet reported. Under the concurrent trial
+// engine, Select alone systematically misbehaves: visit counts and
+// windows only advance on Report, so a burst of concurrent leases all
+// see the same statistics and pile onto one arm (ε-Greedy's
+// deterministic initialization round is the worst case — sixteen workers
+// would all probe arm 0). SelectInFlight receives the per-arm count of
+// outstanding leases and spreads concurrent draws accordingly.
+//
+// inFlight is read-only and has exactly n entries; the engine calls
+// SelectInFlight under its lock, so implementations need no internal
+// synchronization beyond what Select already has.
+type InFlightAware interface {
+	Selector
+	SelectInFlight(r *rand.Rand, inFlight []int) int
+}
+
+// checkInFlight validates the in-flight slice arity against the
+// selector's arm count.
+func checkInFlight(name string, n int, inFlight []int) {
+	if len(inFlight) != n {
+		panic(fmt.Sprintf("nominal: %s.SelectInFlight with %d in-flight counts for %d arms", name, len(inFlight), n))
+	}
+}
+
+// leastLoaded returns the arm with the fewest in-flight trials, breaking
+// ties uniformly at random. It is the fallback when no arm has any
+// observed data to weight by.
+func leastLoaded(r *rand.Rand, inFlight []int) int {
+	minLoad := inFlight[0]
+	ties := 1
+	for _, f := range inFlight[1:] {
+		if f < minLoad {
+			minLoad = f
+			ties = 1
+		} else if f == minLoad {
+			ties++
+		}
+	}
+	pick := r.Intn(ties)
+	for i, f := range inFlight {
+		if f == minLoad {
+			if pick == 0 {
+				return i
+			}
+			pick--
+		}
+	}
+	return 0 // unreachable
+}
+
+// discountInFlight scales each weight by 1/(1+inFlight), so an arm
+// already holding k outstanding leases is proportionally less likely to
+// receive another before any of them reports.
+func discountInFlight(w []float64, inFlight []int) {
+	for i := range w {
+		w[i] /= float64(1 + inFlight[i])
+	}
+}
+
+// SelectInFlight is Select with outstanding leases counted as visits
+// during the initialization round, so concurrent workers probe distinct
+// arms instead of all starting on arm 0. After initialization the
+// incumbent logic is unchanged: exploitation deliberately concentrates
+// on the best arm regardless of load.
+func (e *EpsilonGreedy) SelectInFlight(r *rand.Rand, inFlight []int) int {
+	e.mustInit("EpsilonGreedy.SelectInFlight")
+	checkInFlight("EpsilonGreedy", e.n(), inFlight)
+	if r.Float64() < e.Eps {
+		return r.Intn(e.n())
+	}
+	for i := 0; i < e.n(); i++ {
+		if e.visits(i)+inFlight[i] == 0 {
+			return i
+		}
+	}
+	if e.RecencyWindow > 0 {
+		return e.bestArmWindowed(e.RecencyWindow)
+	}
+	if arm, ok := e.bestArm(); ok {
+		return arm
+	}
+	// Every arm is leased out but none has reported yet: spread the load.
+	return leastLoaded(r, inFlight)
+}
+
+// SelectInFlight draws with the gradient weights discounted by each
+// arm's outstanding leases.
+func (g *GradientWeighted) SelectInFlight(r *rand.Rand, inFlight []int) int {
+	g.mustInit("GradientWeighted.SelectInFlight")
+	checkInFlight("GradientWeighted", g.n(), inFlight)
+	w := make([]float64, g.n())
+	for i := range w {
+		w[i] = g.weight(i)
+	}
+	discountInFlight(w, inFlight)
+	return weightedDraw(r, w)
+}
+
+// SelectInFlight draws with the optimum weights discounted by each arm's
+// outstanding leases; before any report it spreads across the least
+// loaded arms instead of drawing uniformly.
+func (o *OptimumWeighted) SelectInFlight(r *rand.Rand, inFlight []int) int {
+	o.mustInit("OptimumWeighted.SelectInFlight")
+	checkInFlight("OptimumWeighted", o.n(), inFlight)
+	w := make([]float64, o.n())
+	maxW := 0.0
+	for i := range w {
+		if b := o.best[i]; b > 0 && o.visits(i) > 0 {
+			w[i] = 1 / b
+			if w[i] > maxW {
+				maxW = w[i]
+			}
+		}
+	}
+	if maxW == 0 {
+		return leastLoaded(r, inFlight)
+	}
+	for i := range w {
+		if o.visits(i) == 0 {
+			w[i] = maxW
+		}
+	}
+	discountInFlight(w, inFlight)
+	return weightedDraw(r, w)
+}
+
+// SelectInFlight draws with the windowed-AUC weights discounted by each
+// arm's outstanding leases; before any report it spreads across the
+// least loaded arms instead of drawing uniformly.
+func (s *SlidingWindowAUC) SelectInFlight(r *rand.Rand, inFlight []int) int {
+	s.mustInit("SlidingWindowAUC.SelectInFlight")
+	checkInFlight("SlidingWindowAUC", s.n(), inFlight)
+	w := make([]float64, s.n())
+	maxW := 0.0
+	for i := range w {
+		w[i] = s.weight(i)
+		if w[i] > maxW {
+			maxW = w[i]
+		}
+	}
+	if maxW == 0 {
+		return leastLoaded(r, inFlight)
+	}
+	for i := range w {
+		if s.visits(i) == 0 {
+			w[i] = maxW
+		}
+	}
+	discountInFlight(w, inFlight)
+	return weightedDraw(r, w)
+}

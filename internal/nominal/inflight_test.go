@@ -1,0 +1,114 @@
+package nominal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEpsilonGreedyInFlightSpreadsInit checks the concurrent fix for
+// ε-Greedy's deterministic initialization round: with outstanding leases
+// counted, n concurrent draws before any report probe n distinct arms
+// instead of all landing on arm 0.
+func TestEpsilonGreedyInFlightSpreadsInit(t *testing.T) {
+	const n = 8
+	e := NewEpsilonGreedy(0) // no exploration noise: isolate the init round
+	e.Init(n)
+	r := rand.New(rand.NewSource(1))
+	inFlight := make([]int, n)
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		arm := e.SelectInFlight(r, inFlight)
+		if seen[arm] {
+			t.Fatalf("draw %d repeated arm %d before every arm was leased", i, arm)
+		}
+		seen[arm] = true
+		inFlight[arm]++
+	}
+	// Every arm leased, none reported: the fallback spreads by load.
+	arm := e.SelectInFlight(r, inFlight)
+	if arm < 0 || arm >= n {
+		t.Fatalf("post-init draw returned %d", arm)
+	}
+}
+
+// TestEpsilonGreedyInFlightMatchesSelectWhenIdle checks the adapter
+// guarantee: with zero trials in flight, SelectInFlight is the same
+// decision function as Select (same RNG consumption, same arm).
+func TestEpsilonGreedyInFlightMatchesSelectWhenIdle(t *testing.T) {
+	mk := func() *EpsilonGreedy {
+		e := NewEpsilonGreedy(0.2)
+		e.Init(4)
+		return e
+	}
+	a, b := mk(), mk()
+	ra := rand.New(rand.NewSource(7))
+	rb := rand.New(rand.NewSource(7))
+	idle := make([]int, 4)
+	for i := 0; i < 200; i++ {
+		x := a.Select(ra)
+		y := b.SelectInFlight(rb, idle)
+		if x != y {
+			t.Fatalf("iteration %d: Select = %d, idle SelectInFlight = %d", i, x, y)
+		}
+		v := float64(1 + x)
+		a.Report(x, v)
+		b.Report(y, v)
+	}
+}
+
+// TestWeightedInFlightDiscount checks that a heavily leased arm receives
+// proportionally fewer concurrent draws than an idle one with identical
+// statistics.
+func TestWeightedInFlightDiscount(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() InFlightAware
+	}{
+		{"gradient", func() InFlightAware { g := NewGradientWeighted(); g.Init(2); return g }},
+		{"optimum", func() InFlightAware { o := NewOptimumWeighted(); o.Init(2); return o }},
+		{"auc", func() InFlightAware { s := NewSlidingWindowAUC(); s.Init(2); return s }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sel := tc.mk()
+			// Identical statistics on both arms.
+			for i := 0; i < 8; i++ {
+				sel.Report(0, 2.0)
+				sel.Report(1, 2.0)
+			}
+			r := rand.New(rand.NewSource(42))
+			inFlight := []int{9, 0} // arm 0 saturated, arm 1 idle
+			picks := [2]int{}
+			for i := 0; i < 2000; i++ {
+				picks[sel.SelectInFlight(r, inFlight)]++
+			}
+			// Weights are w and w/10: arm 1 should get ~10× arm 0.
+			if picks[1] < 5*picks[0] {
+				t.Fatalf("loaded arm still drawn heavily: picks = %v", picks)
+			}
+		})
+	}
+}
+
+// TestInFlightBeforeAnyReport checks the all-unvisited fallback of the
+// weighted selectors: no data at all must spread by load, not crash or
+// pile up.
+func TestInFlightBeforeAnyReport(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() InFlightAware
+	}{
+		{"optimum", func() InFlightAware { o := NewOptimumWeighted(); o.Init(3); return o }},
+		{"auc", func() InFlightAware { s := NewSlidingWindowAUC(); s.Init(3); return s }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sel := tc.mk()
+			r := rand.New(rand.NewSource(3))
+			inFlight := []int{2, 0, 2}
+			for i := 0; i < 50; i++ {
+				if arm := sel.SelectInFlight(r, inFlight); arm != 1 {
+					t.Fatalf("draw %d picked arm %d; want the only idle arm 1", i, arm)
+				}
+			}
+		})
+	}
+}
