@@ -20,16 +20,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Fuzz the snapshot decoder: arbitrary bytes must never panic it or slip
-# a payload past the checksum.
+# Fuzz the two frame decoders: arbitrary bytes must never panic them or
+# slip a payload past the checksum — neither from a snapshot file nor
+# from the network.
 fuzz:
 	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/checkpoint
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire
 
-# Micro-benchmarks plus the trial-engine throughput sweep; the latter
-# lands in BENCH_trial_engine.json for trend tracking.
+# Micro-benchmarks plus the trial-engine and wire throughput sweeps;
+# the sweeps land in BENCH_*.json for trend tracking.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/atune-bench -out BENCH_trial_engine.json
+	$(GO) run ./cmd/atune-bench -wire -out BENCH_wire.json
 
 figures:
 	$(GO) run ./cmd/atune-figures

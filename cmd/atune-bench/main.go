@@ -5,11 +5,18 @@
 // Usage:
 //
 //	atune-bench [-out file] [-trials N] [-sleep d] [-workers list]
+//	atune-bench -wire [-out file] [-trials N] [-workers list] [-batches list]
 //
-// The workload is synthetic: every trial costs a fixed -sleep of wall
-// clock and nothing else, so the numbers isolate the engine's lease/
-// complete overhead and its scaling across worker pools rather than any
-// particular tuned operation.
+// The default mode benchmarks the in-process engine: every trial costs
+// a fixed -sleep of wall clock and nothing else, so the numbers isolate
+// the engine's lease/complete overhead and its scaling across worker
+// pools rather than any particular tuned operation.
+//
+// -wire benchmarks the distributed path instead: a tuning server on
+// loopback TCP driven by remote worker clients, swept over worker
+// counts and LeaseN/CompleteN batch sizes. Here the measurement is
+// free, so leases/sec is purely protocol round-trip overhead — the
+// batch-size columns show what wire batching buys.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/tuned"
 )
 
 type result struct {
@@ -35,24 +43,49 @@ type result struct {
 	Timestamp    string    `json:"timestamp"`
 }
 
+// wireResult is the -wire document: one row per worker count, one
+// leases/sec column per batch size, plus the headline ratio of the
+// last batch column over the first, per row.
+type wireResult struct {
+	Name         string      `json:"name"`
+	Workers      []int       `json:"workers"`
+	Batches      []int       `json:"batch_sizes"`
+	LeasesPerSec [][]float64 `json:"leases_per_sec"`
+	BatchSpeedup []float64   `json:"batch_speedup"`
+	Trials       int         `json:"trials_per_run"`
+	Timestamp    string      `json:"timestamp"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("atune-bench: ")
 	var (
-		out     = flag.String("out", "BENCH_trial_engine.json", "output file (- for stdout)")
-		trials  = flag.Int("trials", 96, "trials completed per worker count")
+		out     = flag.String("out", "", "output file (- for stdout; default depends on mode)")
+		trials  = flag.Int("trials", 0, "trials completed per run (default depends on mode)")
 		sleep   = flag.Duration("sleep", 2*time.Millisecond, "fixed wall-clock cost per trial")
 		workers = flag.String("workers", "1,4,16", "comma-separated worker counts")
+		wire    = flag.Bool("wire", false, "benchmark the loopback TCP wire path instead of the in-process engine")
+		batches = flag.String("batches", "1,16", "comma-separated LeaseN batch sizes (with -wire)")
 	)
 	flag.Parse()
 
-	var counts []int
-	for _, f := range strings.Split(*workers, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n <= 0 {
-			log.Fatalf("bad -workers entry %q", f)
+	counts := parseInts("-workers", *workers)
+
+	if *wire {
+		if *out == "" {
+			*out = "BENCH_wire.json"
 		}
-		counts = append(counts, n)
+		if *trials <= 0 {
+			*trials = 2000
+		}
+		runWire(*out, *trials, counts, parseInts("-batches", *batches))
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_trial_engine.json"
+	}
+	if *trials <= 0 {
+		*trials = 96
 	}
 
 	lps := exp.TrialEngineThroughput(counts, *trials, *sleep)
@@ -74,13 +107,57 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	buf = append(buf, '\n')
-	if *out == "-" {
+	writeDoc(*out, append(buf, '\n'))
+}
+
+// runWire sweeps the loopback wire benchmark and writes BENCH_wire.json.
+func runWire(out string, trials int, counts, batches []int) {
+	lps, err := tuned.LoopbackThroughput(counts, batches, trials)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := wireResult{
+		Name:         "wire_loopback_throughput",
+		Workers:      counts,
+		Batches:      batches,
+		LeasesPerSec: lps,
+		Trials:       trials,
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}
+	for wi, w := range counts {
+		speedup := lps[wi][len(batches)-1] / lps[wi][0]
+		res.BatchSpeedup = append(res.BatchSpeedup, speedup)
+		for bi, b := range batches {
+			fmt.Printf("workers=%-3d batch=%-3d  %9.0f leases/sec\n", w, b, lps[wi][bi])
+		}
+		fmt.Printf("workers=%-3d batch=%d/%d speedup %.1fx\n", w, batches[len(batches)-1], batches[0], speedup)
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeDoc(out, append(buf, '\n'))
+}
+
+func parseInts(flagName, list string) []int {
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			log.Fatalf("bad %s entry %q", flagName, f)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func writeDoc(out string, buf []byte) {
+	if out == "-" {
 		os.Stdout.Write(buf)
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", out)
 }

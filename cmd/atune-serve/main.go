@@ -1,0 +1,178 @@
+// Command atune-serve runs the distributed tuning service: the
+// sequential tuner wrapped in the lease-based trial engine, exposed
+// over TCP to remote atune-worker processes. All tuning decisions stay
+// here; workers only measure.
+//
+// Usage:
+//
+//	atune-serve [-addr host:port] [-workload strmatch|sleep] [-seed S]
+//	            [-epsilon PCT] [-target N] [-checkpoint dir] [-every N]
+//	            [-lease-timeout D] [-max-inflight N] [-stats D]
+//
+// The workload flag selects the algorithm roster the service tunes
+// over; workers must be started with the same workload so their
+// config hash matches the server's (a mismatched worker is rejected at
+// the handshake). "strmatch" is the paper's eight parallel string
+// matching algorithms; "sleep" is a small synthetic roster for smoke
+// tests and benchmarks.
+//
+// With -checkpoint the session is durable: state is snapshotted every
+// -every trials and journaled in between. Restarting atune-serve with
+// the same -checkpoint directory resumes the session where it left
+// off — workers reconnect on their own and keep going; reports for
+// leases issued by the previous incarnation are acknowledged and
+// dropped (see DESIGN.md, "distributed tuning").
+//
+// The server stops leasing once -target trials have been decided
+// (0 = run forever); SIGINT/SIGTERM close it gracefully either way,
+// printing the final best.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/nominal"
+	"repro/internal/param"
+	"repro/internal/strmatch"
+	"repro/internal/tuned"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atune-serve: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7714", "listen address")
+		workload = flag.String("workload", "strmatch", "algorithm roster: strmatch or sleep")
+		seed     = flag.Int64("seed", 1, "tuner seed")
+		epsilon  = flag.Float64("epsilon", 10, "epsilon-greedy exploration rate in percent")
+		target   = flag.Int("target", 0, "stop leasing after this many trials (0 = run forever)")
+		ckptDir  = flag.String("checkpoint", "", "directory for crash-safe snapshots + journal (empty = off)")
+		every    = flag.Int("every", 100, "snapshot interval in trials (with -checkpoint)")
+		leaseTTL = flag.Duration("lease-timeout", 30*time.Second, "lease TTL; a worker silent this long forfeits its trials")
+		maxInFl  = flag.Int("max-inflight", 64, "maximum concurrently leased trials")
+		statsIvl = flag.Duration("stats", 5*time.Second, "progress log interval (0 = quiet)")
+	)
+	flag.Parse()
+
+	algos := roster(*workload)
+	selector := nominal.NewEpsilonGreedy(*epsilon / 100)
+	eopts := []core.EngineOption{
+		core.WithLeaseTimeout(*leaseTTL),
+		core.WithMaxInFlight(*maxInFl),
+	}
+
+	var (
+		eng *core.ConcurrentTuner
+		err error
+	)
+	if *ckptDir != "" && len(checkpoint.Generations(*ckptDir)) > 0 {
+		// A previous incarnation left a session behind: resume it. The
+		// new process gets a fresh epoch, so stale reports from leases
+		// the old process issued are dropped, not misapplied.
+		eng, err = core.ResumeConcurrent(*ckptDir, *every, algos, selector, nil, *seed, nil, eopts...)
+		if err != nil {
+			log.Fatalf("resume from %s: %v", *ckptDir, err)
+		}
+		log.Printf("resumed session from %s at trial %d", *ckptDir, eng.Iterations())
+	} else {
+		var opts []core.Option
+		if *ckptDir != "" {
+			opts = append(opts, core.WithCheckpoint(*ckptDir, *every))
+		}
+		tn, err := core.New(algos, selector, nil, *seed, opts...)
+		if err != nil {
+			log.Fatalf("tuner: %v", err)
+		}
+		eng, err = core.NewConcurrentTuner(tn, eopts...)
+		if err != nil {
+			log.Fatalf("engine: %v", err)
+		}
+	}
+
+	srv := tuned.NewServer(eng, tuned.WithTrialTarget(*target))
+	log.Printf("workload %s (%d algorithms, hash %08x), listening on %s",
+		*workload, len(algos), srv.Hash(), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("shutting down")
+		srv.Close()
+	}()
+
+	if *statsIvl > 0 {
+		go func() {
+			t := time.NewTicker(*statsIvl)
+			defer t.Stop()
+			for range t.C {
+				eng.ReclaimExpired()
+				st := eng.Stats()
+				algo, _, val := eng.Best()
+				name := "(none)"
+				if algo >= 0 {
+					name = algos[algo].Name
+				}
+				log.Printf("trials=%d inflight=%d completed=%d failed=%d expired=%d best=%s (%.4g)",
+					eng.Iterations(), st.InFlight, st.Completed, st.Failed, st.Expired, name, val)
+			}
+		}()
+	}
+
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Closed (signal or caller): report the session's verdict.
+	algo, cfg, val := eng.Best()
+	if algo < 0 {
+		log.Printf("no trials completed")
+		return
+	}
+	counts := eng.Counts()
+	type pick struct {
+		name string
+		n    int
+	}
+	picks := make([]pick, len(algos))
+	for i, a := range algos {
+		picks[i] = pick{a.Name, counts[i]}
+	}
+	sort.Slice(picks, func(i, j int) bool { return picks[i].n > picks[j].n })
+	log.Printf("best after %d trials: %s cfg=%v value=%.4g", eng.Iterations(), algos[algo].Name, cfg, val)
+	for _, p := range picks {
+		log.Printf("  %-20s %6d trials", p.name, p.n)
+	}
+}
+
+// roster builds the algorithm set for a named workload. atune-worker
+// builds its measurement table from the same names, delivered in the
+// handshake, so the two sides only have to agree on this flag.
+func roster(workload string) []core.Algorithm {
+	switch workload {
+	case "strmatch":
+		names := strmatch.Names()
+		algos := make([]core.Algorithm, len(names))
+		for i, n := range names {
+			algos[i] = core.Algorithm{Name: n}
+		}
+		return algos
+	case "sleep":
+		return []core.Algorithm{
+			{Name: "sleep-steady"},
+			{Name: "sleep-tuned", Space: param.NewSpace(param.NewRatio("alpha", 1, 10))},
+			{Name: "sleep-laggard"},
+		}
+	default:
+		log.Fatalf("unknown workload %q (want strmatch or sleep)", workload)
+		return nil
+	}
+}

@@ -1,0 +1,174 @@
+// Command atune-worker is the remote measurement half of the
+// distributed tuning service: it connects to an atune-serve process,
+// leases trial batches, measures them locally, and reports the
+// results. Run as many as the machine park allows — the server's
+// lease engine keeps them consistent, and a worker that dies simply
+// forfeits its outstanding leases.
+//
+// Usage:
+//
+//	atune-worker [-addr host:port] [-workload strmatch|sleep]
+//	             [-batch N] [-heartbeat D] [-max-trials N]
+//	             [-corpus BYTES] [-pattern STR] [-threads N]
+//	             [-sleep D] [-seed S]
+//
+// The workload must match the server's: the handshake carries a hash
+// of the algorithm roster and a mismatch is rejected before any trial
+// is leased. The roster names themselves also arrive in the
+// handshake, so the worker builds its measurement table from what the
+// server actually runs — ordering disagreements are impossible.
+//
+// -batch > 1 amortizes the network round trip over several trials per
+// lease (see BENCH_wire.json for the effect); -heartbeat keeps long
+// measurements alive past the server's lease TTL.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/param"
+	"repro/internal/strmatch"
+	"repro/internal/tuned"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atune-worker: ")
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7714", "tuning server address")
+		workload  = flag.String("workload", "strmatch", "measurement workload: strmatch or sleep")
+		batch     = flag.Int("batch", 8, "trials leased and reported per round trip")
+		heartbeat = flag.Duration("heartbeat", 5*time.Second, "lease-extension interval while measuring (0 = off)")
+		maxTrials = flag.Int("max-trials", 0, "stop after this many trials (0 = until the server is done)")
+		corpusSz  = flag.Int("corpus", 1<<20, "strmatch corpus size in bytes")
+		pattern   = flag.String("pattern", "the spirit to a great and high mountain", "strmatch search pattern")
+		threads   = flag.Int("threads", 2, "strmatch search goroutines")
+		sleepFor  = flag.Duration("sleep", time.Millisecond, "sleep workload: simulated measurement time")
+		seed      = flag.Int64("seed", 1, "corpus generation seed")
+	)
+	flag.Parse()
+
+	c, err := tuned.Dial(*addr, tuned.WithClientName(hostname()))
+	if err != nil {
+		log.Fatalf("dial %s: %v", *addr, err)
+	}
+	defer c.Close()
+	names := c.Algos()
+	log.Printf("connected to %s: %d algorithms, lease TTL %v", *addr, len(names), c.LeaseTTL())
+
+	measure, err := buildMeasure(*workload, names, measureConfig{
+		corpusSize: *corpusSz,
+		pattern:    []byte(*pattern),
+		threads:    *threads,
+		sleep:      *sleepFor,
+		seed:       *seed,
+	})
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		// Abrupt by design: outstanding leases are abandoned and expire
+		// on the server — the same path a crashed worker takes.
+		cancel()
+	}()
+
+	w := &tuned.Worker{
+		Client:         c,
+		Measure:        measure,
+		Batch:          *batch,
+		MaxTrials:      *maxTrials,
+		HeartbeatEvery: *heartbeat,
+	}
+	start := time.Now()
+	n, err := w.Run(ctx)
+	if err != nil && ctx.Err() == nil {
+		log.Fatalf("after %d trials: %v", n, err)
+	}
+	log.Printf("done: %d trials in %v", n, time.Since(start).Round(time.Millisecond))
+}
+
+type measureConfig struct {
+	corpusSize int
+	pattern    []byte
+	threads    int
+	sleep      time.Duration
+	seed       int64
+}
+
+// buildMeasure maps the server's roster (by name, as delivered in the
+// handshake) to a local measurement function.
+func buildMeasure(workload string, names []string, mc measureConfig) (core.Measure, error) {
+	switch workload {
+	case "strmatch":
+		// One matcher instance per roster slot; Precompute is re-run
+		// inside the measured operation, as in the paper ("any
+		// precomputation is part of the algorithm's runtime").
+		matchers := make([]strmatch.Matcher, len(names))
+		for i, n := range names {
+			m, err := strmatch.New(n)
+			if err != nil {
+				return nil, err
+			}
+			matchers[i] = m
+		}
+		text := corpus.Bible(mc.corpusSize, mc.seed)
+		return func(algo int, _ param.Config) float64 {
+			start := time.Now()
+			strmatch.Run(matchers[algo], mc.pattern, text, mc.threads)
+			return float64(time.Since(start)) / float64(time.Millisecond)
+		}, nil
+	case "sleep":
+		// Synthetic roster for smoke tests and the wire benchmark: the
+		// value is a deterministic function of the arm (and, for the
+		// tunable arm, its config), so every worker agrees on the
+		// landscape and the server converges regardless of which worker
+		// measures what.
+		return func(algo int, cfg param.Config) float64 {
+			if mc.sleep > 0 {
+				time.Sleep(mc.sleep)
+			}
+			switch {
+			case algo < len(names) && names[algo] == "sleep-tuned":
+				alpha := 7.0
+				if len(cfg) > 0 {
+					alpha = cfg[0]
+				}
+				return 1 + math.Abs(alpha-7) // best arm, at alpha = 7
+			case algo < len(names) && names[algo] == "sleep-laggard":
+				return 9
+			default:
+				return 5
+			}
+		}, nil
+	default:
+		return nil, &unknownWorkload{workload}
+	}
+}
+
+type unknownWorkload struct{ name string }
+
+func (e *unknownWorkload) Error() string {
+	return "unknown workload \"" + e.name + "\" (want strmatch or sleep)"
+}
+
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return "atune-worker"
+	}
+	return "atune-worker@" + h
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// TestBatchSequentialParity is the LeaseN/CompleteN/FailN contract: a
+// batch call must be observationally identical to the same sequence of
+// single calls. Two engines with equal seeds run the same schedule —
+// lease k, complete/fail k — one through the slice APIs, one through
+// repeated Lease/Complete/Fail, and every piece of decision state they
+// expose must match.
+func TestBatchSequentialParity(t *testing.T) {
+	const rounds, batch = 40, 8
+	single := newEngine(t, 11)
+	batched := newEngine(t, 11)
+
+	for r := 0; r < rounds; r++ {
+		var sTrials []Trial
+		for i := 0; i < batch; i++ {
+			tr, err := single.Lease()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sTrials = append(sTrials, tr)
+		}
+		bTrials, err := batched.LeaseN(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bTrials) != batch {
+			t.Fatalf("round %d: LeaseN leased %d trials, want %d", r, len(bTrials), batch)
+		}
+		for i := range bTrials {
+			if bTrials[i].Algo != sTrials[i].Algo || !bTrials[i].Config.Equal(sTrials[i].Config) ||
+				bTrials[i].Speculative != sTrials[i].Speculative {
+				t.Fatalf("round %d slot %d: batch leased (%d, %v, spec=%v), single leased (%d, %v, spec=%v)",
+					r, i, bTrials[i].Algo, bTrials[i].Config, bTrials[i].Speculative,
+					sTrials[i].Algo, sTrials[i].Config, sTrials[i].Speculative)
+			}
+		}
+
+		// Every 4th round fails the last slot; the rest complete.
+		failLast := r%4 == 3
+		var results []TrialResult
+		var fails []TrialFailure
+		for i, tr := range bTrials {
+			if failLast && i == batch-1 {
+				fails = append(fails, TrialFailure{ID: tr.ID, Failure: guard.Failure{Kind: guard.Panic, Err: errors.New("boom")}})
+				continue
+			}
+			results = append(results, TrialResult{ID: tr.ID, Value: engineMeasure(tr.Algo, tr.Config)})
+		}
+		for i, tr := range sTrials {
+			if failLast && i == batch-1 {
+				if err := single.Fail(tr.ID, guard.Failure{Kind: guard.Panic, Err: errors.New("boom")}); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if err := single.Complete(tr.ID, engineMeasure(tr.Algo, tr.Config)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, err := range batched.CompleteN(results) {
+			if err != nil {
+				t.Fatalf("round %d: CompleteN[%d]: %v", r, i, err)
+			}
+		}
+		for i, err := range batched.FailN(fails) {
+			if err != nil {
+				t.Fatalf("round %d: FailN[%d]: %v", r, i, err)
+			}
+		}
+	}
+
+	if a, b := single.Iterations(), batched.Iterations(); a != b {
+		t.Fatalf("iterations diverge: single %d, batched %d", a, b)
+	}
+	sc, bc := single.Counts(), batched.Counts()
+	for i := range sc {
+		if sc[i] != bc[i] {
+			t.Fatalf("counts diverge at algo %d: single %v, batched %v", i, sc, bc)
+		}
+	}
+	sa, scfg, sv := single.Best()
+	ba, bcfg, bv := batched.Best()
+	if sa != ba || sv != bv || !scfg.Equal(bcfg) {
+		t.Fatalf("best diverges: single (%d, %v, %v), batched (%d, %v, %v)", sa, scfg, sv, ba, bcfg, bv)
+	}
+	ss, bs := single.Stats(), batched.Stats()
+	if ss != bs {
+		t.Fatalf("stats diverge: single %+v, batched %+v", ss, bs)
+	}
+	sh, bh := single.History(), batched.History()
+	if len(sh) != len(bh) {
+		t.Fatalf("history lengths diverge: %d vs %d", len(sh), len(bh))
+	}
+	for i := range sh {
+		if sh[i].Algo != bh[i].Algo || sh[i].Value != bh[i].Value || sh[i].Failed != bh[i].Failed {
+			t.Fatalf("history diverges at %d: %+v vs %+v", i, sh[i], bh[i])
+		}
+	}
+}
+
+// TestLeaseNPartialUnderMaxInFlight: the batch is cut at the in-flight
+// cap, and an empty batch surfaces ErrTooManyInFlight.
+func TestLeaseNPartialUnderMaxInFlight(t *testing.T) {
+	ct := newEngine(t, 12, WithMaxInFlight(3))
+	trials, err := ct.LeaseN(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 3 {
+		t.Fatalf("LeaseN(8) leased %d under a cap of 3", len(trials))
+	}
+	if _, err := ct.LeaseN(2); !errors.Is(err, ErrTooManyInFlight) {
+		t.Fatalf("LeaseN at the cap = %v, want ErrTooManyInFlight", err)
+	}
+	if trials, err := ct.LeaseN(0); trials != nil || err != nil {
+		t.Fatalf("LeaseN(0) = (%v, %v), want (nil, nil)", trials, err)
+	}
+	if err := ct.Complete(trials[0].ID, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeartbeatExtendsLease: a heartbeat pushes the deadline out, so a
+// slow-but-alive worker is never reclaimed; a trial that was already
+// finished reports dead.
+func TestHeartbeatExtendsLease(t *testing.T) {
+	ct := newEngine(t, 13, WithLeaseTimeout(time.Second))
+	now := time.Unix(5000, 0)
+	ct.now = func() time.Time { return now }
+
+	trials, err := ct.LeaseN(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 heartbeat periods of 0.6s each: without extension the 1s lease
+	// would expire at the second period.
+	for i := 0; i < 10; i++ {
+		now = now.Add(600 * time.Millisecond)
+		alive := ct.Heartbeat([]uint64{trials[0].ID, trials[1].ID, 999})
+		if !alive[0] || !alive[1] {
+			t.Fatalf("period %d: live leases reported dead: %v", i, alive)
+		}
+		if alive[2] {
+			t.Fatal("unknown trial reported alive")
+		}
+	}
+	if st := ct.Stats(); st.Expired != 0 {
+		t.Fatalf("heartbeated leases expired: %+v", st)
+	}
+	// Stop heartbeating: the next sweep past deadline reclaims both.
+	now = now.Add(2 * time.Second)
+	if n := ct.ReclaimExpired(); n != 2 {
+		t.Fatalf("reclaimed %d after heartbeats stopped, want 2", n)
+	}
+	alive := ct.Heartbeat([]uint64{trials[0].ID})
+	if alive[0] {
+		t.Fatal("reclaimed trial reported alive by Heartbeat")
+	}
+}
+
+// TestLateBatchCompletionDropped is the reclaim/complete race contract:
+// a CompleteN (or FailN) arriving after its trial's lease was reclaimed
+// is acknowledged per entry as ErrUnknownTrial and dropped — the batch
+// itself succeeds, live entries still apply, and the reclaimed trial is
+// charged exactly once (as a timeout).
+func TestLateBatchCompletionDropped(t *testing.T) {
+	ct := newEngine(t, 14, WithLeaseTimeout(time.Second))
+	now := time.Unix(9000, 0)
+	ct.now = func() time.Time { return now }
+
+	trials, err := ct.LeaseN(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heartbeat only the second trial; the first expires.
+	now = now.Add(700 * time.Millisecond)
+	ct.Heartbeat([]uint64{trials[1].ID})
+	now = now.Add(700 * time.Millisecond)
+
+	errs := ct.CompleteN([]TrialResult{
+		{ID: trials[0].ID, Value: 1.0},
+		{ID: trials[1].ID, Value: 2.0},
+	})
+	if !errors.Is(errs[0], ErrUnknownTrial) {
+		t.Fatalf("late completion of the expired trial = %v, want ErrUnknownTrial", errs[0])
+	}
+	if errs[1] != nil {
+		t.Fatalf("live completion in the same batch = %v", errs[1])
+	}
+	st := ct.Stats()
+	if st.Expired != 1 || st.Completed != 1 || st.Failed != 0 {
+		t.Fatalf("stats after late batch: %+v, want 1 expired + 1 completed", st)
+	}
+	if ct.Iterations() != 2 {
+		t.Fatalf("Iterations() = %d, want 2 (each trial charged exactly once)", ct.Iterations())
+	}
+
+	// FailN of an already-reclaimed trial is likewise a drop.
+	if errs := ct.FailN([]TrialFailure{{ID: trials[0].ID, Failure: guard.Failure{Kind: guard.Panic}}}); !errors.Is(errs[0], ErrUnknownTrial) {
+		t.Fatalf("late FailN = %v, want ErrUnknownTrial", errs[0])
+	}
+}
+
+// TestReclaimCompleteRace races heartbeat-less expired leases against
+// in-flight CompleteN batches from many goroutines. Whatever the
+// interleaving, every trial must finish exactly once: completed when the
+// batch won the race, expired when the reclaimer did, never both and
+// never neither.
+func TestReclaimCompleteRace(t *testing.T) {
+	const rounds, batch = 60, 4
+	ct := newEngine(t, 15, WithLeaseTimeout(time.Millisecond))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Aggressive reclaimer, sweeping concurrently with completions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ct.ReclaimExpired()
+			}
+		}
+	}()
+
+	var dropped, applied int
+	for r := 0; r < rounds; r++ {
+		trials, err := ct.LeaseN(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Half the rounds dawdle past the 1ms deadline so the reclaimer
+		// wins some races; the other half complete immediately.
+		if r%2 == 1 {
+			time.Sleep(3 * time.Millisecond)
+		}
+		results := make([]TrialResult, len(trials))
+		for i, tr := range trials {
+			results[i] = TrialResult{ID: tr.ID, Value: engineMeasure(tr.Algo, tr.Config)}
+		}
+		for i, err := range ct.CompleteN(results) {
+			switch {
+			case err == nil:
+				applied++
+			case errors.Is(err, ErrUnknownTrial):
+				dropped++
+			default:
+				t.Fatalf("round %d slot %d: CompleteN: %v", r, i, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Drain any leases the reclaimer has not swept yet.
+	deadline := time.Now().Add(5 * time.Second)
+	for ct.InFlight() > 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		ct.ReclaimExpired()
+	}
+
+	const total = rounds * batch
+	st := ct.Stats()
+	if st.Leased != total {
+		t.Fatalf("leased %d, want %d", st.Leased, total)
+	}
+	if got := st.Completed + st.Expired; got != total {
+		t.Fatalf("completed %d + expired %d = %d, want %d (every trial exactly once)",
+			st.Completed, st.Expired, got, total)
+	}
+	if uint64(applied) != st.Completed {
+		t.Fatalf("CompleteN applied %d, engine counted %d completions", applied, st.Completed)
+	}
+	if uint64(dropped) != st.Expired {
+		t.Fatalf("CompleteN dropped %d, engine expired %d", dropped, st.Expired)
+	}
+	if ct.Iterations() != total {
+		t.Fatalf("Iterations() = %d, want %d", ct.Iterations(), total)
+	}
+	if algo, _, val := ct.Best(); algo < 0 || math.IsInf(val, 1) {
+		t.Fatalf("no best after %d trials", total)
+	}
+}

@@ -50,6 +50,20 @@ type Trial struct {
 	Pinned bool
 }
 
+// TrialResult is one entry of a CompleteN batch: the measured value of a
+// leased trial.
+type TrialResult struct {
+	ID    uint64
+	Value float64
+}
+
+// TrialFailure is one entry of a FailN batch: a leased trial that failed
+// to measure.
+type TrialFailure struct {
+	ID      uint64
+	Failure guard.Failure
+}
+
 // lease is the engine's record of an outstanding trial. trial.Config is
 // the engine's private copy (the caller got its own clone).
 type lease struct {
@@ -175,6 +189,12 @@ func (c *ConcurrentTuner) Lease() (Trial, error) {
 
 func (c *ConcurrentTuner) leaseLocked() (Trial, error) {
 	c.reclaimLocked()
+	return c.leaseOneLocked()
+}
+
+// leaseOneLocked draws one trial without sweeping expired leases; batch
+// callers sweep once and then call this per slot.
+func (c *ConcurrentTuner) leaseOneLocked() (Trial, error) {
 	if c.maxInFlight > 0 && len(c.leases) >= c.maxInFlight {
 		return Trial{}, ErrTooManyInFlight
 	}
@@ -265,6 +285,102 @@ func (c *ConcurrentTuner) failLocked(id uint64, f guard.Failure) error {
 	}
 	c.finishLocked(l, f.Penalty, &f)
 	return nil
+}
+
+// LeaseN draws up to n trials under a single acquisition of the decision
+// mutex — the batch amortization of Lease's per-trial lock round-trip
+// (and, through the wire layer, of a remote worker's network round-trip).
+// It returns fewer than n trials when WithMaxInFlight caps the batch; it
+// returns ErrTooManyInFlight only when not even one trial could be
+// leased. Batch contents are exactly what n repeated Lease calls would
+// have drawn.
+func (c *ConcurrentTuner) LeaseN(n int) ([]Trial, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked()
+	out := make([]Trial, 0, n)
+	for i := 0; i < n; i++ {
+		tr, err := c.leaseOneLocked()
+		if err != nil {
+			if len(out) > 0 && errors.Is(err, ErrTooManyInFlight) {
+				return out, nil
+			}
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// CompleteN finishes a batch of leased trials under a single acquisition
+// of the decision mutex, in slice order. The returned slice is aligned
+// with results: a nil entry means the completion was applied, and
+// ErrUnknownTrial means it was acknowledged but dropped — the trial was
+// already completed, failed, or reclaimed after its lease expired. A
+// dropped late completion is not an error condition for distributed
+// callers: retrying a batch whose first attempt was applied is safe,
+// which is what makes Complete idempotent per trial ID.
+func (c *ConcurrentTuner) CompleteN(results []TrialResult) []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked()
+	errs := make([]error, len(results))
+	for i, r := range results {
+		errs[i] = c.completeLocked(r.ID, r.Value)
+	}
+	return errs
+}
+
+// FailN fails a batch of leased trials under a single acquisition of the
+// decision mutex, with the same alignment and idempotency semantics as
+// CompleteN.
+func (c *ConcurrentTuner) FailN(fails []TrialFailure) []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked()
+	errs := make([]error, len(fails))
+	for i, f := range fails {
+		errs[i] = c.failLocked(f.ID, f.Failure)
+	}
+	return errs
+}
+
+// Heartbeat extends the lease deadline of each still-outstanding trial
+// to now + the lease timeout and reports, aligned with ids, which ones
+// are still alive. A false entry means the trial is no longer leased —
+// completed, failed, or already reclaimed — and the worker holding it
+// should abandon the measurement rather than complete it. With
+// WithLeaseTimeout(0) heartbeats only report liveness; there is no
+// deadline to extend.
+func (c *ConcurrentTuner) Heartbeat(ids []uint64) []bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked()
+	alive := make([]bool, len(ids))
+	var deadline time.Time
+	if c.leaseTTL > 0 {
+		deadline = c.now().Add(c.leaseTTL)
+	}
+	for i, id := range ids {
+		l, ok := c.leases[id]
+		if !ok {
+			continue
+		}
+		alive[i] = true
+		if c.leaseTTL > 0 {
+			l.trial.Deadline = deadline
+		}
+	}
+	return alive
+}
+
+// LeaseTimeout returns the engine's lease deadline duration (zero when
+// expiry is disabled).
+func (c *ConcurrentTuner) LeaseTimeout() time.Duration {
+	return c.leaseTTL
 }
 
 // takeLocked removes an outstanding lease, maintaining in-flight counts.

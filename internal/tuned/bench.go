@@ -1,0 +1,104 @@
+package tuned
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nominal"
+	"repro/internal/param"
+)
+
+// LoopbackThroughput measures wire-protocol trial throughput over
+// loopback TCP. For each (workers, batch) cell a fresh server is
+// started on 127.0.0.1, the given number of worker clients drive it
+// until total trials are decided with the given LeaseN/CompleteN batch
+// size, and the cell records completed trials per second. The
+// measurement function costs nothing, so the numbers isolate the
+// protocol round trips — exactly the overhead batching is meant to
+// amortize. Cells are [len(workerCounts)][len(batchSizes)].
+func LoopbackThroughput(workerCounts, batchSizes []int, total int) ([][]float64, error) {
+	out := make([][]float64, len(workerCounts))
+	for wi, workers := range workerCounts {
+		out[wi] = make([]float64, len(batchSizes))
+		for bi, batch := range batchSizes {
+			lps, err := loopbackCell(workers, batch, total)
+			if err != nil {
+				return nil, fmt.Errorf("tuned: bench cell workers=%d batch=%d: %w", workers, batch, err)
+			}
+			out[wi][bi] = lps
+		}
+	}
+	return out, nil
+}
+
+// benchAlgos mirrors the trial-engine benchmark's synthetic roster: a
+// parameterless arm and a tunable one, so both the nominal and the
+// numeric tuning paths run.
+func benchAlgos() []core.Algorithm {
+	return []core.Algorithm{
+		{Name: "a"},
+		{Name: "b", Space: param.NewSpace(param.NewRatio("x", 1, 2))},
+	}
+}
+
+func loopbackCell(workers, batch, total int) (float64, error) {
+	tn, err := core.New(benchAlgos(), nominal.NewEpsilonGreedy(0.10), nil, 1)
+	if err != nil {
+		return 0, err
+	}
+	eng, err := core.NewConcurrentTuner(tn)
+	if err != nil {
+		return 0, err
+	}
+	srv := NewServer(eng, WithTrialTarget(total))
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+
+	measure := func(algo int, cfg param.Config) float64 {
+		if algo == 0 {
+			return 2
+		}
+		return 1 + cfg[0]
+	}
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			defer c.Close()
+			w := &Worker{Client: c, Measure: measure, Batch: batch}
+			if _, err := w.Run(context.Background()); err != nil {
+				errOnce.Do(func() { firstErr = err })
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if got := eng.Iterations(); got < total {
+		return 0, fmt.Errorf("finished at %d/%d trials", got, total)
+	}
+	return float64(eng.Iterations()) / elapsed.Seconds(), nil
+}

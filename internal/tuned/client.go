@@ -1,0 +1,417 @@
+package tuned
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/param"
+	"repro/internal/wire"
+)
+
+// Client defaults.
+const (
+	DefaultPoolSize       = 4
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultRetries        = 6
+	DefaultBackoffBase    = 25 * time.Millisecond
+	DefaultBackoffMax     = time.Second
+)
+
+// ErrClosed is returned by requests on a closed client.
+var ErrClosed = errors.New("tuned: client closed")
+
+// RemoteError is a request-level error the server answered explicitly
+// (wire.ErrorResp). Config mismatches and bad requests are permanent:
+// the client does not retry them.
+type RemoteError struct {
+	Code int
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("tuned: server error %d: %s", e.Code, e.Msg)
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithPoolSize bounds the number of idle pooled connections (default
+// DefaultPoolSize). Concurrent requests beyond the pool dial extra
+// connections that are closed instead of pooled when they return.
+func WithPoolSize(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.poolSize = n
+		}
+	}
+}
+
+// WithRequestTimeout sets the per-attempt deadline covering dial, send
+// and receive (default DefaultRequestTimeout).
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithRetry sets the reconnect policy: up to retries additional
+// attempts per request, sleeping an exponentially doubling backoff
+// (base, capped at max) between attempts. Requests are safe to retry by
+// protocol design: completion is idempotent per trial ID, and a LeaseN
+// whose response was lost only costs leases that expire on their
+// deadlines.
+func WithRetry(retries int, base, max time.Duration) ClientOption {
+	return func(c *Client) {
+		if retries >= 0 {
+			c.retries = retries
+		}
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if max > 0 {
+			c.backoffMax = max
+		}
+	}
+}
+
+// WithExpectedHash pins the config hash the server must present; zero
+// (the default) accepts any server and pins its hash on first contact.
+func WithExpectedHash(h uint32) ClientOption {
+	return func(c *Client) { c.hash.Store(h) }
+}
+
+// WithClientName labels this client in the server's handshake (purely
+// diagnostic).
+func WithClientName(name string) ClientOption {
+	return func(c *Client) { c.name = name }
+}
+
+// Client is a connection-pooled client of one tuning server. It is safe
+// for concurrent use; every method retries transient transport failures
+// with exponential backoff and fresh connections, so a server restart
+// within the retry budget is invisible to callers except through the
+// changed epoch.
+type Client struct {
+	addr string
+	name string
+
+	poolSize    int
+	timeout     time.Duration
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	pool   chan *clientConn
+	hash   atomic.Uint32 // expected/pinned config hash (0 = unpinned)
+	epoch  atomic.Int64  // most recent epoch seen in a handshake
+	algos  atomic.Pointer[[]string]
+	ttlMS  atomic.Int64
+	closed atomic.Bool
+}
+
+// clientConn is one pooled connection with its handshake result.
+type clientConn struct {
+	conn  net.Conn
+	epoch int64
+}
+
+// Dial connects to a tuning server, performing an eager handshake so a
+// config mismatch or dead address fails construction rather than the
+// first request.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		addr:        addr,
+		poolSize:    DefaultPoolSize,
+		timeout:     DefaultRequestTimeout,
+		retries:     DefaultRetries,
+		backoffBase: DefaultBackoffBase,
+		backoffMax:  DefaultBackoffMax,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.pool = make(chan *clientConn, c.poolSize)
+	cc, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.put(cc)
+	return c, nil
+}
+
+// dial opens and handshakes one connection.
+func (c *Client) dial() (*clientConn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(c.timeout))
+	defer conn.SetDeadline(time.Time{})
+	hello := wire.Hello{Proto: wire.Version, Hash: c.hash.Load(), Name: c.name}
+	if err := wire.WriteMsg(conn, wire.THello, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if typ == wire.TError {
+		defer conn.Close()
+		var e wire.ErrorResp
+		if err := wire.Unmarshal(payload, &e); err != nil {
+			return nil, err
+		}
+		return nil, &RemoteError{Code: e.Code, Msg: e.Msg}
+	}
+	if typ != wire.THelloAck {
+		conn.Close()
+		return nil, fmt.Errorf("tuned: handshake answered with %s", typ)
+	}
+	var ack wire.HelloAck
+	if err := wire.Unmarshal(payload, &ack); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// Pin the hash on first contact; a later server presenting another
+	// hash is a different run and must be refused, not silently joined.
+	if !c.hash.CompareAndSwap(0, ack.Hash) && c.hash.Load() != ack.Hash {
+		conn.Close()
+		return nil, &RemoteError{Code: wire.CodeConfigMismatch,
+			Msg: fmt.Sprintf("server now runs config %08x, client pinned %08x", ack.Hash, c.hash.Load())}
+	}
+	algos := append([]string(nil), ack.Algos...)
+	c.algos.Store(&algos)
+	c.epoch.Store(ack.Epoch)
+	c.ttlMS.Store(ack.LeaseTTLMS)
+	return &clientConn{conn: conn, epoch: ack.Epoch}, nil
+}
+
+// get returns a pooled connection or dials a new one.
+func (c *Client) get() (*clientConn, error) {
+	select {
+	case cc := <-c.pool:
+		return cc, nil
+	default:
+		return c.dial()
+	}
+}
+
+// put returns a connection to the pool, closing it when the pool is
+// full.
+func (c *Client) put(cc *clientConn) {
+	if c.closed.Load() {
+		cc.conn.Close()
+		return
+	}
+	select {
+	case c.pool <- cc:
+	default:
+		cc.conn.Close()
+	}
+}
+
+// Close closes the client and its pooled connections. In-flight
+// requests on borrowed connections finish; their connections are closed
+// on return.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for {
+		select {
+		case cc := <-c.pool:
+			cc.conn.Close()
+		default:
+			return nil
+		}
+	}
+}
+
+// Epoch returns the session epoch from the most recent handshake. A
+// change between two calls means the server restarted in between.
+func (c *Client) Epoch() int64 { return c.epoch.Load() }
+
+// Algos returns the server's algorithm roster (index = algorithm index
+// in leased trials).
+func (c *Client) Algos() []string {
+	p := c.algos.Load()
+	if p == nil {
+		return nil
+	}
+	return append([]string(nil), (*p)...)
+}
+
+// LeaseTTL returns the server's lease deadline duration (zero when
+// expiry is disabled); workers should heartbeat well inside it.
+func (c *Client) LeaseTTL() time.Duration {
+	return time.Duration(c.ttlMS.Load()) * time.Millisecond
+}
+
+// roundTrip sends one request and reads its response, retrying
+// transport failures on fresh connections with exponential backoff.
+// Server-side errors (wire.TError) are permanent and returned as
+// *RemoteError without retry.
+func (c *Client) roundTrip(reqType wire.Type, req any, respType wire.Type, resp any) error {
+	var lastErr error
+	backoff := c.backoffBase
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > c.backoffMax {
+				backoff = c.backoffMax
+			}
+		}
+		if c.closed.Load() {
+			return ErrClosed
+		}
+		cc, err := c.get()
+		if err != nil {
+			var re *RemoteError
+			if errors.As(err, &re) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		err = c.attempt(cc, reqType, req, respType, resp)
+		if err == nil {
+			c.put(cc)
+			return nil
+		}
+		cc.conn.Close()
+		var re *RemoteError
+		if errors.As(err, &re) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("tuned: %s to %s failed after %d attempts: %w", reqType, c.addr, c.retries+1, lastErr)
+}
+
+// attempt performs one request/response exchange on one connection.
+func (c *Client) attempt(cc *clientConn, reqType wire.Type, req any, respType wire.Type, resp any) error {
+	cc.conn.SetDeadline(time.Now().Add(c.timeout))
+	defer cc.conn.SetDeadline(time.Time{})
+	if err := wire.WriteMsg(cc.conn, reqType, req); err != nil {
+		return err
+	}
+	typ, payload, err := wire.ReadFrame(cc.conn)
+	if err != nil {
+		return err
+	}
+	if typ == wire.TError {
+		var e wire.ErrorResp
+		if err := wire.Unmarshal(payload, &e); err != nil {
+			return err
+		}
+		return &RemoteError{Code: e.Code, Msg: e.Msg}
+	}
+	if typ != respType {
+		return fmt.Errorf("tuned: %s answered with %s, want %s", reqType, typ, respType)
+	}
+	if resp == nil {
+		return nil
+	}
+	return wire.Unmarshal(payload, resp)
+}
+
+// LeaseBatch is the result of one LeaseN round trip. Epoch stamps the
+// server process that issued the trials and must be echoed when they
+// are completed or failed.
+type LeaseBatch struct {
+	Trials []core.Trial
+	Epoch  int64
+	Done   bool
+	Retry  time.Duration // backoff hint when Trials is empty
+}
+
+// LeaseN leases up to n trials in one round trip.
+func (c *Client) LeaseN(n int) (LeaseBatch, error) {
+	var resp wire.LeaseNResp
+	if err := c.roundTrip(wire.TLeaseN, wire.LeaseNReq{N: n}, wire.TTrials, &resp); err != nil {
+		return LeaseBatch{}, err
+	}
+	lb := LeaseBatch{Epoch: resp.Epoch, Done: resp.Done, Retry: time.Duration(resp.RetryMS) * time.Millisecond}
+	for _, wt := range resp.Trials {
+		tr := core.Trial{
+			ID:          wt.ID,
+			Algo:        wt.Algo,
+			Config:      param.Config(wt.Config),
+			Speculative: wt.Speculative,
+			Pinned:      wt.Pinned,
+		}
+		if wt.DeadlineMS != 0 {
+			tr.Deadline = time.UnixMilli(wt.DeadlineMS)
+		}
+		lb.Trials = append(lb.Trials, tr)
+	}
+	return lb, nil
+}
+
+// CompleteN reports a batch of measured values for trials leased under
+// epoch, returning the trial IDs applied and dropped. Dropped IDs are
+// not failures: the engine had already charged those trials (expired
+// lease, duplicate report, or older epoch).
+func (c *Client) CompleteN(epoch int64, results []core.TrialResult) (applied, dropped []uint64, err error) {
+	req := wire.CompleteNReq{Epoch: epoch, Results: make([]wire.Result, len(results))}
+	for i, r := range results {
+		req.Results[i] = wire.Result{ID: r.ID, Value: r.Value}
+	}
+	var ack wire.AckResp
+	if err := c.roundTrip(wire.TCompleteN, req, wire.TAck, &ack); err != nil {
+		return nil, nil, err
+	}
+	return ack.Applied, ack.Dropped, nil
+}
+
+// FailN reports a batch of measurement failures for trials leased under
+// epoch.
+func (c *Client) FailN(epoch int64, fails []core.TrialFailure) (applied, dropped []uint64, err error) {
+	req := wire.FailNReq{Epoch: epoch, Fails: make([]wire.Fail, len(fails))}
+	for i, f := range fails {
+		wf := wire.Fail{ID: f.ID, Kind: f.Failure.Kind.String(), Penalty: f.Failure.Penalty}
+		if f.Failure.Err != nil {
+			wf.Msg = f.Failure.Err.Error()
+		}
+		req.Fails[i] = wf
+	}
+	var ack wire.AckResp
+	if err := c.roundTrip(wire.TFailN, req, wire.TAck, &ack); err != nil {
+		return nil, nil, err
+	}
+	return ack.Applied, ack.Dropped, nil
+}
+
+// Heartbeat extends the leases of the given trials, returning the IDs
+// still alive. Trials missing from the result were reclaimed (or
+// belong to a dead epoch) and should be abandoned.
+func (c *Client) Heartbeat(epoch int64, ids []uint64) ([]uint64, error) {
+	var resp wire.HeartbeatResp
+	if err := c.roundTrip(wire.THeartbeat, wire.HeartbeatReq{Epoch: epoch, IDs: ids}, wire.THeartbeatAck, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Alive, nil
+}
+
+// Best returns the server's globally best observation so far.
+func (c *Client) Best() (wire.BestResp, error) {
+	var resp wire.BestResp
+	err := c.roundTrip(wire.TBest, nil, wire.TBestAck, &resp)
+	return resp, err
+}
+
+// Stats returns the server's engine counters and selection counts.
+func (c *Client) Stats() (wire.StatsResp, error) {
+	var resp wire.StatsResp
+	err := c.roundTrip(wire.TStats, nil, wire.TStatsAck, &resp)
+	return resp, err
+}

@@ -1,0 +1,435 @@
+// Package tuned is the distributed tuning service: a TCP front-end over
+// the lease-based trial engine (core.ConcurrentTuner), so trials can be
+// evaluated by worker processes on other machines while one server owns
+// the decision state.
+//
+// The division of labour mirrors the in-process engine exactly. The
+// server runs both tuning phases and the crash-safe journal; workers
+// are pure measurement loops — lease a batch, run it, report a batch —
+// with no tuning state of their own. Every failure mode reduces to one
+// the engine already handles:
+//
+//   - A worker that dies holding leases is a missed deadline; the
+//     engine reclaims the trials as Timeout failures. Long measurements
+//     stay alive by heartbeating.
+//   - A duplicate or late report (client retry, reclaimed lease) is
+//     acknowledged and dropped — completion is idempotent per trial ID.
+//   - A server restart resumes from snapshot + journal
+//     (core.ResumeConcurrent) under a fresh session epoch; reports for
+//     leases issued by the dead process carry the old epoch and are
+//     dropped, never misapplied to a re-issued trial ID.
+package tuned
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+	"repro/internal/wire"
+)
+
+// DefaultMaxBatch caps the batch size a single LeaseN request may ask
+// for; larger requests are clamped, not rejected.
+const DefaultMaxBatch = 64
+
+// ConfigHash summarizes a tuning run's algorithm roster for the
+// handshake: workers refuse to feed measurements into a run whose
+// algorithm indices mean something else.
+func ConfigHash(algos []string) uint32 {
+	h := crc32.NewIEEE()
+	for _, a := range algos {
+		h.Write([]byte(a))
+		h.Write([]byte{0})
+	}
+	return h.Sum32()
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithTrialTarget makes LeaseN responses report Done once the engine
+// has completed n trials, telling workers to exit. Zero (the default)
+// serves leases indefinitely.
+func WithTrialTarget(n int) ServerOption {
+	return func(s *Server) { s.target = n }
+}
+
+// WithMaxBatch overrides DefaultMaxBatch.
+func WithMaxBatch(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
+}
+
+// WithConfigHash overrides the hash derived from the algorithm names,
+// for deployments whose compatibility contract covers more than the
+// roster (corpus version, measurement units, …).
+func WithConfigHash(h uint32) ServerOption {
+	return func(s *Server) { s.hash = h }
+}
+
+// Server serves one ConcurrentTuner over TCP. It owns no tuning state
+// itself: every request maps onto one engine call, so the engine's
+// locking, lease reclamation and checkpoint journal work unchanged
+// whether trials complete from a local goroutine or a remote worker.
+type Server struct {
+	eng      *core.ConcurrentTuner
+	hash     uint32
+	epoch    int64
+	target   int
+	maxBatch int
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps an engine for serving. The session epoch — stamped
+// into every lease and checked on every report — is drawn from the
+// wall clock at construction, so two server processes over the same
+// checkpoint directory never share an epoch.
+func NewServer(eng *core.ConcurrentTuner, opts ...ServerOption) *Server {
+	names := make([]string, eng.NumAlgorithms())
+	for i := range names {
+		names[i] = eng.AlgorithmName(i)
+	}
+	s := &Server{
+		eng:      eng,
+		hash:     ConfigHash(names),
+		epoch:    time.Now().UnixNano(),
+		maxBatch: DefaultMaxBatch,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Engine returns the served engine (for inspection: Best, Stats, …).
+func (s *Server) Engine() *core.ConcurrentTuner { return s.eng }
+
+// Epoch returns the session epoch of this server process.
+func (s *Server) Epoch() int64 { return s.epoch }
+
+// Hash returns the config hash offered in the handshake.
+func (s *Server) Hash() uint32 { return s.hash }
+
+// Serve accepts connections on ln until Close, handling each on its own
+// goroutine. It returns nil after Close, or the first Accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("tuned: Serve on a closed server")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// the handlers to drain. The engine is left untouched: outstanding
+// leases expire on their own deadlines, and a resumed server picks the
+// run up from the journal.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one connection: handshake, then a request/response loop.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	if !s.handshake(conn) {
+		return
+	}
+	for {
+		typ, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // disconnect, or a frame this protocol can't resync from
+		}
+		if !s.dispatch(conn, typ, payload) {
+			return
+		}
+	}
+}
+
+// handshake validates the client Hello and answers with the server's
+// capabilities, reporting whether the connection may proceed.
+func (s *Server) handshake(conn net.Conn) bool {
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return false
+	}
+	if typ != wire.THello {
+		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: "expected hello"})
+		return false
+	}
+	var h wire.Hello
+	if err := wire.Unmarshal(payload, &h); err != nil {
+		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: err.Error()})
+		return false
+	}
+	if h.Proto != wire.Version {
+		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{
+			Code: wire.CodeBadRequest, Msg: fmt.Sprintf("protocol version %d, server speaks %d", h.Proto, wire.Version)})
+		return false
+	}
+	if h.Hash != 0 && h.Hash != s.hash {
+		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{
+			Code: wire.CodeConfigMismatch,
+			Msg:  fmt.Sprintf("config hash %08x, server runs %08x", h.Hash, s.hash)})
+		return false
+	}
+	names := make([]string, s.eng.NumAlgorithms())
+	for i := range names {
+		names[i] = s.eng.AlgorithmName(i)
+	}
+	ack := wire.HelloAck{
+		Proto:      wire.Version,
+		Hash:       s.hash,
+		Epoch:      s.epoch,
+		Algos:      names,
+		LeaseTTLMS: s.eng.LeaseTimeout().Milliseconds(),
+	}
+	return wire.WriteMsg(conn, wire.THelloAck, ack) == nil
+}
+
+// dispatch serves one request frame, reporting whether the connection
+// should stay open.
+func (s *Server) dispatch(conn net.Conn, typ wire.Type, payload []byte) bool {
+	switch typ {
+	case wire.TLeaseN:
+		var req wire.LeaseNReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return s.badRequest(conn, err)
+		}
+		return s.serveLeaseN(conn, req)
+	case wire.TCompleteN:
+		var req wire.CompleteNReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return s.badRequest(conn, err)
+		}
+		return s.serveCompleteN(conn, req)
+	case wire.TFailN:
+		var req wire.FailNReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return s.badRequest(conn, err)
+		}
+		return s.serveFailN(conn, req)
+	case wire.THeartbeat:
+		var req wire.HeartbeatReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return s.badRequest(conn, err)
+		}
+		return s.serveHeartbeat(conn, req)
+	case wire.TBest:
+		return s.serveBest(conn)
+	case wire.TStats:
+		return s.serveStats(conn)
+	default:
+		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{
+			Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unexpected frame %s", typ)})
+		return false
+	}
+}
+
+func (s *Server) badRequest(conn net.Conn, err error) bool {
+	wire.WriteMsg(conn, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: err.Error()})
+	return false
+}
+
+func (s *Server) serveLeaseN(conn net.Conn, req wire.LeaseNReq) bool {
+	resp := wire.LeaseNResp{Epoch: s.epoch}
+	if s.target > 0 && s.eng.Iterations() >= s.target {
+		resp.Done = true
+		return wire.WriteMsg(conn, wire.TTrials, resp) == nil
+	}
+	n := req.N
+	if n < 1 {
+		n = 1
+	}
+	if n > s.maxBatch {
+		n = s.maxBatch
+	}
+	trials, err := s.eng.LeaseN(n)
+	switch {
+	case errors.Is(err, core.ErrTooManyInFlight):
+		resp.RetryMS = 10
+	case err != nil:
+		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
+		return false
+	}
+	for _, tr := range trials {
+		wt := wire.Trial{
+			ID:          tr.ID,
+			Algo:        tr.Algo,
+			Config:      tr.Config,
+			Speculative: tr.Speculative,
+			Pinned:      tr.Pinned,
+		}
+		if !tr.Deadline.IsZero() {
+			wt.DeadlineMS = tr.Deadline.UnixMilli()
+		}
+		resp.Trials = append(resp.Trials, wt)
+	}
+	return wire.WriteMsg(conn, wire.TTrials, resp) == nil
+}
+
+// serveCompleteN applies a completion batch. Reports from another epoch
+// (leases issued by a dead server process, possibly colliding with
+// re-issued trial IDs) are dropped wholesale — acknowledged, never
+// applied.
+func (s *Server) serveCompleteN(conn net.Conn, req wire.CompleteNReq) bool {
+	var ack wire.AckResp
+	if req.Epoch != s.epoch {
+		for _, r := range req.Results {
+			ack.Dropped = append(ack.Dropped, r.ID)
+		}
+		return wire.WriteMsg(conn, wire.TAck, ack) == nil
+	}
+	results := make([]core.TrialResult, len(req.Results))
+	for i, r := range req.Results {
+		results[i] = core.TrialResult{ID: r.ID, Value: r.Value}
+	}
+	for i, err := range s.eng.CompleteN(results) {
+		if err == nil {
+			ack.Applied = append(ack.Applied, results[i].ID)
+		} else {
+			ack.Dropped = append(ack.Dropped, results[i].ID)
+		}
+	}
+	return wire.WriteMsg(conn, wire.TAck, ack) == nil
+}
+
+func (s *Server) serveFailN(conn net.Conn, req wire.FailNReq) bool {
+	var ack wire.AckResp
+	if req.Epoch != s.epoch {
+		for _, f := range req.Fails {
+			ack.Dropped = append(ack.Dropped, f.ID)
+		}
+		return wire.WriteMsg(conn, wire.TAck, ack) == nil
+	}
+	fails := make([]core.TrialFailure, len(req.Fails))
+	for i, f := range req.Fails {
+		kind, ok := guard.KindFromString(f.Kind)
+		if !ok {
+			kind = guard.Invalid
+		}
+		fails[i] = core.TrialFailure{ID: f.ID, Failure: guard.Failure{
+			Kind:    kind,
+			Err:     errors.New(f.Msg),
+			Penalty: f.Penalty,
+		}}
+	}
+	for i, err := range s.eng.FailN(fails) {
+		if err == nil {
+			ack.Applied = append(ack.Applied, fails[i].ID)
+		} else {
+			ack.Dropped = append(ack.Dropped, fails[i].ID)
+		}
+	}
+	return wire.WriteMsg(conn, wire.TAck, ack) == nil
+}
+
+func (s *Server) serveHeartbeat(conn net.Conn, req wire.HeartbeatReq) bool {
+	var resp wire.HeartbeatResp
+	if req.Epoch == s.epoch {
+		for i, ok := range s.eng.Heartbeat(req.IDs) {
+			if ok {
+				resp.Alive = append(resp.Alive, req.IDs[i])
+			}
+		}
+	}
+	// Another epoch's leases are all dead here by definition: empty Alive.
+	return wire.WriteMsg(conn, wire.THeartbeatAck, resp) == nil
+}
+
+func (s *Server) serveBest(conn net.Conn) bool {
+	algo, cfg, val := s.eng.Best()
+	resp := wire.BestResp{Algo: algo, Iterations: s.eng.Iterations()}
+	if algo >= 0 {
+		// Before any completion val is +Inf, which JSON cannot carry;
+		// Algo == -1 already says "no best yet", so Value stays zero.
+		resp.Name = s.eng.AlgorithmName(algo)
+		resp.Config = cfg
+		resp.Value = val
+	}
+	return wire.WriteMsg(conn, wire.TBestAck, resp) == nil
+}
+
+func (s *Server) serveStats(conn net.Conn) bool {
+	st := s.eng.Stats()
+	resp := wire.StatsResp{
+		Leased:     st.Leased,
+		Completed:  st.Completed,
+		Failed:     st.Failed,
+		Expired:    st.Expired,
+		InFlight:   st.InFlight,
+		Iterations: s.eng.Iterations(),
+		Counts:     s.eng.Counts(),
+		Degraded:   s.eng.Degraded(),
+	}
+	return wire.WriteMsg(conn, wire.TStatsAck, resp) == nil
+}

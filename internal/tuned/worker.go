@@ -1,0 +1,216 @@
+package tuned
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+)
+
+// Worker is the remote evaluation loop: lease a batch, measure every
+// trial, report the batch, repeat. It is the process-boundary analogue
+// of one core.RunPool goroutine — all tuning decisions stay on the
+// server; the worker only runs the measurement function it was deployed
+// with.
+//
+// Failure handling mirrors the in-process guard path: a panicking
+// measurement becomes a FailN entry of kind panic, a non-finite sample
+// one of kind invalid (JSON cannot carry NaN, and the engine would
+// penalize it anyway). If the worker dies instead, its leases expire on
+// the server and are reclaimed as timeouts — the same outcome, decided
+// by the other side.
+type Worker struct {
+	// Client connects to the tuning server. Required.
+	Client *Client
+	// Measure evaluates one trial. Required.
+	Measure core.Measure
+	// Batch is the LeaseN/CompleteN batch size (≤ 0 means 1). Larger
+	// batches amortize the network round trip exactly as LeaseN
+	// amortizes the engine's lock round trip — at the price of staler
+	// proposals within a batch.
+	Batch int
+	// MaxTrials stops the worker after completing this many trials
+	// (0 = run until the server reports Done or ctx is cancelled).
+	MaxTrials int
+	// HeartbeatEvery is the interval at which outstanding leases are
+	// extended while the batch is still measuring. Zero disables
+	// heartbeats: then the lease TTL must exceed the worst-case batch
+	// measurement time, or trials are reclaimed mid-measurement.
+	HeartbeatEvery time.Duration
+}
+
+// Run drives the loop until the server reports Done, MaxTrials is
+// reached, ctx is cancelled, or the client's retry budget is exhausted
+// against an unreachable server. It returns the number of trials
+// reported (applied or dropped).
+//
+// Cancellation is deliberately abrupt: a cancelled worker abandons the
+// batch it holds without completing it, modelling a killed process.
+// The server reclaims those leases at their deadlines.
+func (w *Worker) Run(ctx context.Context) (int, error) {
+	if w.Client == nil || w.Measure == nil {
+		return 0, errors.New("tuned: Worker needs a Client and a Measure")
+	}
+	batch := w.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	completed := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return completed, err
+		}
+		if w.MaxTrials > 0 && completed >= w.MaxTrials {
+			return completed, nil
+		}
+		n := batch
+		if w.MaxTrials > 0 && w.MaxTrials-completed < n {
+			n = w.MaxTrials - completed
+		}
+		lb, err := w.Client.LeaseN(n)
+		if err != nil {
+			return completed, err
+		}
+		if lb.Done {
+			return completed, nil
+		}
+		if len(lb.Trials) == 0 {
+			retry := lb.Retry
+			if retry <= 0 {
+				retry = 2 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return completed, ctx.Err()
+			case <-time.After(retry):
+			}
+			continue
+		}
+		results, fails, abandoned := w.measureBatch(ctx, lb)
+		if abandoned {
+			return completed, ctx.Err()
+		}
+		if len(results) > 0 {
+			if _, _, err := w.Client.CompleteN(lb.Epoch, results); err != nil {
+				return completed, err
+			}
+		}
+		if len(fails) > 0 {
+			if _, _, err := w.Client.FailN(lb.Epoch, fails); err != nil {
+				return completed, err
+			}
+		}
+		completed += len(results) + len(fails)
+	}
+}
+
+// measureBatch runs every trial of a batch, heartbeating the not-yet-
+// measured leases in the background. abandoned reports a cancellation
+// mid-batch: the remaining leases are left to expire server-side.
+func (w *Worker) measureBatch(ctx context.Context, lb LeaseBatch) (results []core.TrialResult, fails []core.TrialFailure, abandoned bool) {
+	var (
+		mu      sync.Mutex // guards outstanding under the heartbeat goroutine
+		outst   = make([]uint64, 0, len(lb.Trials))
+		stopHB  chan struct{}
+		hbWG    sync.WaitGroup
+		dropped map[uint64]bool
+	)
+	for _, tr := range lb.Trials {
+		outst = append(outst, tr.ID)
+	}
+	if w.HeartbeatEvery > 0 {
+		stopHB = make(chan struct{})
+		hbWG.Add(1)
+		go func() {
+			defer hbWG.Done()
+			t := time.NewTicker(w.HeartbeatEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopHB:
+					return
+				case <-t.C:
+					mu.Lock()
+					ids := append([]uint64(nil), outst...)
+					mu.Unlock()
+					if len(ids) == 0 {
+						return
+					}
+					alive, err := w.Client.Heartbeat(lb.Epoch, ids)
+					if err != nil {
+						continue // transient; the next tick retries
+					}
+					live := make(map[uint64]bool, len(alive))
+					for _, id := range alive {
+						live[id] = true
+					}
+					mu.Lock()
+					if dropped == nil {
+						dropped = make(map[uint64]bool)
+					}
+					for _, id := range ids {
+						if !live[id] {
+							dropped[id] = true
+						}
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	for _, tr := range lb.Trials {
+		if ctx.Err() != nil {
+			abandoned = true
+			break
+		}
+		mu.Lock()
+		dead := dropped[tr.ID]
+		mu.Unlock()
+		if dead {
+			// The server reclaimed this lease (e.g. a previous trial of
+			// the batch overran the TTL without heartbeats extending this
+			// one in time); measuring it would be wasted work.
+			continue
+		}
+		value, fail := w.measureOne(tr)
+		mu.Lock()
+		for i, id := range outst {
+			if id == tr.ID {
+				outst = append(outst[:i], outst[i+1:]...)
+				break
+			}
+		}
+		mu.Unlock()
+		if fail != nil {
+			fails = append(fails, core.TrialFailure{ID: tr.ID, Failure: *fail})
+		} else {
+			results = append(results, core.TrialResult{ID: tr.ID, Value: value})
+		}
+	}
+	if stopHB != nil {
+		close(stopHB)
+		hbWG.Wait()
+	}
+	return results, fails, abandoned
+}
+
+// measureOne runs one measurement with panic and non-finite-sample
+// containment.
+func (w *Worker) measureOne(tr core.Trial) (value float64, fail *guard.Failure) {
+	defer func() {
+		if r := recover(); r != nil {
+			fail = &guard.Failure{Kind: guard.Panic, Algo: tr.Algo, Err: fmt.Errorf("tuned: measurement panic: %v", r)}
+		}
+	}()
+	v := w.Measure(tr.Algo, tr.Config)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, &guard.Failure{Kind: guard.Invalid, Algo: tr.Algo, Err: fmt.Errorf("tuned: non-finite measurement %v", v)}
+	}
+	return v, nil
+}

@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at the frame decoder. The
+// contract under fuzzing: never panic, never allocate beyond the
+// validated length prefix, and accept a frame only when every header
+// field is valid and the payload matches its checksum. Accepted frames
+// must re-encode to an equivalent frame (the payload is returned
+// byte-exact).
+func FuzzWireDecode(f *testing.F) {
+	// Seeds: valid frames of several shapes plus classic corruptions.
+	for _, m := range []struct {
+		typ Type
+		v   any
+	}{
+		{THello, Hello{Proto: Version, Hash: 0xdeadbeef, Name: "seed"}},
+		{TTrials, LeaseNResp{Epoch: 42, Trials: []Trial{{ID: 7, Algo: 2, Config: []float64{1, 2.5}, DeadlineMS: 1700000000000}}}},
+		{TCompleteN, CompleteNReq{Epoch: 42, Results: []Result{{ID: 7, Value: 3.25}}}},
+		{TFailN, FailNReq{Fails: []Fail{{ID: 9, Kind: "timeout", Penalty: 100}}}},
+		{TBest, nil},
+		{TError, ErrorResp{Code: CodeConfigMismatch, Msg: "hash mismatch"}},
+	} {
+		frame, err := Encode(m.typ, m.v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)-1]) // truncated payload
+		f.Add(frame[:HeaderSize-3]) // truncated header
+		mut := bytes.Clone(frame)
+		mut[5] = 0xee // unknown type
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize+8))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: the frame must have been internally consistent.
+		if typ <= TInvalid || typ >= numTypes {
+			t.Fatalf("decoder accepted invalid type %d", typ)
+		}
+		if len(payload) > MaxPayload {
+			t.Fatalf("decoder returned %d-byte payload beyond MaxPayload", len(payload))
+		}
+		if len(data) < HeaderSize+len(payload) {
+			t.Fatalf("decoder fabricated %d payload bytes from a %d-byte input", len(payload), len(data))
+		}
+		if got, want := crc32.ChecksumIEEE(payload), bytesToU32(data[12:16]); got != want {
+			t.Fatalf("decoder accepted checksum mismatch: payload %08x, header %08x", got, want)
+		}
+	})
+}
+
+func bytesToU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

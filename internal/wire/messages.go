@@ -1,0 +1,152 @@
+package wire
+
+// Message payloads. Each struct is the JSON body of exactly one frame
+// Type. Fields are additive-only within a protocol version: decoders
+// ignore unknown fields, so new optional fields need no version bump.
+
+// Hello opens every connection (frame THello). The client states its
+// protocol version and, when it already knows it, the config hash of
+// the tuning run it expects to join; a zero hash accepts whatever the
+// server runs (the hash is then learned from the ack and pinned for
+// subsequent reconnects).
+type Hello struct {
+	Proto int    `json:"proto"`
+	Hash  uint32 `json:"hash,omitempty"`
+	Name  string `json:"name,omitempty"`
+}
+
+// HelloAck (frame THelloAck) is the server's capability statement: its
+// config hash (over the algorithm roster), the session epoch stamping
+// every lease this server process issues, the algorithm names (index =
+// wire algorithm index, so a worker can build its measurement table
+// without out-of-band configuration), and the lease TTL workers should
+// heartbeat well inside of.
+type HelloAck struct {
+	Proto      int      `json:"proto"`
+	Hash       uint32   `json:"hash"`
+	Epoch      int64    `json:"epoch"`
+	Algos      []string `json:"algos"`
+	LeaseTTLMS int64    `json:"lease_ttl_ms"`
+}
+
+// LeaseNReq (frame TLeaseN) asks for up to N trials in one round trip.
+type LeaseNReq struct {
+	N int `json:"n"`
+}
+
+// Trial is one leased trial on the wire.
+type Trial struct {
+	ID     uint64    `json:"id"`
+	Algo   int       `json:"algo"`
+	Config []float64 `json:"config,omitempty"`
+	// DeadlineMS is the lease deadline as Unix milliseconds (0 = no
+	// expiry). It is advisory for pacing heartbeats; the server's clock
+	// is authoritative.
+	DeadlineMS  int64 `json:"deadline_ms,omitempty"`
+	Speculative bool  `json:"spec,omitempty"`
+	Pinned      bool  `json:"pinned,omitempty"`
+}
+
+// LeaseNResp (frame TTrials) carries the leased batch. Epoch stamps the
+// server process that issued these leases: completions must echo it, so
+// a lease that survived a server restart can never complete a
+// same-numbered trial of the resumed process. Done tells workers the
+// server's trial target is reached and they should exit; RetryMS is a
+// backoff hint when the batch is empty because the engine's in-flight
+// cap is reached.
+type LeaseNResp struct {
+	Epoch   int64   `json:"epoch"`
+	Trials  []Trial `json:"trials,omitempty"`
+	Done    bool    `json:"done,omitempty"`
+	RetryMS int64   `json:"retry_ms,omitempty"`
+}
+
+// Result is one measured trial in a CompleteN batch.
+type Result struct {
+	ID    uint64  `json:"id"`
+	Value float64 `json:"value"`
+}
+
+// CompleteNReq (frame TCompleteN) reports a batch of measured values.
+type CompleteNReq struct {
+	Epoch   int64    `json:"epoch"`
+	Results []Result `json:"results"`
+}
+
+// Fail is one failed trial in a FailN batch.
+type Fail struct {
+	ID      uint64  `json:"id"`
+	Kind    string  `json:"kind"` // guard.Kind string: "panic", "timeout", "invalid"
+	Penalty float64 `json:"penalty,omitempty"`
+	Msg     string  `json:"msg,omitempty"`
+}
+
+// FailNReq (frame TFailN) reports a batch of measurement failures.
+type FailNReq struct {
+	Epoch int64  `json:"epoch"`
+	Fails []Fail `json:"fails"`
+}
+
+// AckResp (frame TAck) answers CompleteN and FailN: Applied lists trial
+// IDs whose report reached the tuner, Dropped lists IDs acknowledged
+// but discarded — already completed, reclaimed after lease expiry, or
+// from a different epoch. Both outcomes are success for the worker;
+// Dropped only means the engine had already charged the trial.
+type AckResp struct {
+	Applied []uint64 `json:"applied,omitempty"`
+	Dropped []uint64 `json:"dropped,omitempty"`
+}
+
+// HeartbeatReq (frame THeartbeat) extends the leases of the listed
+// trials.
+type HeartbeatReq struct {
+	Epoch int64    `json:"epoch"`
+	IDs   []uint64 `json:"ids"`
+}
+
+// HeartbeatResp (frame THeartbeatAck) lists which of the requested
+// trials are still leased (deadlines now extended). A worker should
+// abandon any trial missing from Alive.
+type HeartbeatResp struct {
+	Alive []uint64 `json:"alive,omitempty"`
+}
+
+// TBest and TStats requests have no body.
+
+// BestResp (frame TBestAck) is the globally best observation so far.
+type BestResp struct {
+	Algo       int       `json:"algo"` // -1 before any completion
+	Name       string    `json:"name,omitempty"`
+	Config     []float64 `json:"config,omitempty"`
+	Value      float64   `json:"value"`
+	Iterations int       `json:"iterations"`
+}
+
+// StatsResp (frame TStatsAck) mirrors core.EngineStats plus the
+// selection counts.
+type StatsResp struct {
+	Leased     uint64 `json:"leased"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Expired    uint64 `json:"expired"`
+	InFlight   int    `json:"in_flight"`
+	Iterations int    `json:"iterations"`
+	Counts     []int  `json:"counts,omitempty"`
+	Degraded   bool   `json:"degraded,omitempty"`
+}
+
+// Error codes carried by ErrorResp.
+const (
+	CodeBadRequest     = 400 // malformed payload or wrong first frame
+	CodeConfigMismatch = 409 // Hello hash does not match the server's run
+	CodeInternal       = 500
+)
+
+// ErrorResp (frame TError) reports a request-level failure. After a
+// handshake failure the server closes the connection; after a
+// bad request on an established connection it does too — a peer that
+// cannot frame requests correctly cannot be trusted to stay in sync.
+type ErrorResp struct {
+	Code int    `json:"code"`
+	Msg  string `json:"msg"`
+}

@@ -1,0 +1,224 @@
+// Package wire is the framed binary protocol of the distributed tuning
+// service: the on-the-wire form of the trial engine's Lease/Complete/
+// Fail lifecycle plus the handshake and introspection messages around
+// it.
+//
+// Every message travels in one frame:
+//
+//	offset  size  field
+//	0       4     magic   0x41545731 ("ATW1"), big-endian
+//	4       1     version (currently 1)
+//	5       1     type    (Type)
+//	6       2     flags   (reserved, must be zero)
+//	8       4     payload length in bytes (≤ MaxPayload)
+//	12      4     IEEE CRC32 of the payload bytes
+//	16      …     payload (JSON encoding of the message struct)
+//
+// The length prefix bounds the read before any allocation, the CRC
+// rejects corruption that TCP's checksum missed (and torn writes when
+// frames are replayed from files), and the version byte lets a future
+// format coexist with this one on the same port. JSON payloads keep the
+// messages debuggable and extensible — unknown fields are ignored on
+// decode, so additive evolution needs no version bump — while the frame
+// around them stays fixed-size and binary. The same decode path is
+// fuzzed (FuzzWireDecode): arbitrary bytes must produce an error, never
+// a panic or an oversized allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame constants.
+const (
+	// Magic leads every frame; anything else is not this protocol.
+	Magic = 0x41545731 // "ATW1"
+	// Version is the current protocol version. A decoder refuses frames
+	// from a future version rather than misinterpreting them.
+	Version = 1
+	// HeaderSize is the fixed frame header length in bytes.
+	HeaderSize = 16
+	// MaxPayload bounds a frame's payload: the decoder rejects larger
+	// length prefixes before allocating, so a corrupt or hostile length
+	// field cannot balloon memory. 4 MiB comfortably fits the largest
+	// legitimate message (a maximal LeaseN response) with two orders of
+	// magnitude to spare.
+	MaxPayload = 4 << 20
+)
+
+// Type identifies a message within a frame.
+type Type uint8
+
+// Message types. Requests and responses are distinct types so a decoder
+// never needs context to interpret a frame.
+const (
+	TInvalid Type = iota
+	THello
+	THelloAck
+	TLeaseN
+	TTrials
+	TCompleteN
+	TFailN
+	TAck
+	THeartbeat
+	THeartbeatAck
+	TBest
+	TBestAck
+	TStats
+	TStatsAck
+	TError
+
+	numTypes
+)
+
+// String names the type for diagnostics.
+func (t Type) String() string {
+	switch t {
+	case THello:
+		return "hello"
+	case THelloAck:
+		return "hello-ack"
+	case TLeaseN:
+		return "lease-n"
+	case TTrials:
+		return "trials"
+	case TCompleteN:
+		return "complete-n"
+	case TFailN:
+		return "fail-n"
+	case TAck:
+		return "ack"
+	case THeartbeat:
+		return "heartbeat"
+	case THeartbeatAck:
+		return "heartbeat-ack"
+	case TBest:
+		return "best"
+	case TBestAck:
+		return "best-ack"
+	case TStats:
+		return "stats"
+	case TStatsAck:
+		return "stats-ack"
+	case TError:
+		return "error"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Frame decoding errors. I/O errors from the underlying reader pass
+// through unwrapped (io.EOF before any header byte means a clean
+// connection close).
+var (
+	ErrBadMagic   = errors.New("wire: bad frame magic")
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	ErrBadType    = errors.New("wire: unknown message type")
+	ErrBadFlags   = errors.New("wire: nonzero reserved flags")
+	ErrOversize   = errors.New("wire: frame exceeds MaxPayload")
+	ErrChecksum   = errors.New("wire: payload checksum mismatch")
+)
+
+// Encode marshals v and wraps it in a frame, returning the full frame
+// bytes. A nil v encodes an empty payload (the bodyless requests TBest
+// and TStats).
+func Encode(typ Type, v any) ([]byte, error) {
+	if typ <= TInvalid || typ >= numTypes {
+		return nil, ErrBadType
+	}
+	var payload []byte
+	if v != nil {
+		var err error
+		payload, err = json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("wire: marshal %s: %w", typ, err)
+		}
+	}
+	if len(payload) > MaxPayload {
+		return nil, ErrOversize
+	}
+	frame := make([]byte, HeaderSize+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], Magic)
+	frame[4] = Version
+	frame[5] = byte(typ)
+	// frame[6:8] flags stay zero.
+	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[12:16], crc32.ChecksumIEEE(payload))
+	copy(frame[HeaderSize:], payload)
+	return frame, nil
+}
+
+// WriteMsg encodes v and writes the frame to w.
+func WriteMsg(w io.Writer, typ Type, v any) error {
+	frame, err := Encode(typ, v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadFrame reads and validates one frame from r, returning the message
+// type and payload bytes. The payload allocation is bounded by the
+// validated length prefix (≤ MaxPayload); every malformed header field
+// is rejected before the payload is read. io.EOF is returned unwrapped
+// only when the stream ends cleanly before the first header byte; a
+// header or payload cut short mid-frame is io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (Type, []byte, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return TInvalid, nil, err // clean EOF at a frame boundary
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return TInvalid, nil, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != Magic {
+		return TInvalid, nil, ErrBadMagic
+	}
+	if v := hdr[4]; v == 0 || v > Version {
+		return TInvalid, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	typ := Type(hdr[5])
+	if typ <= TInvalid || typ >= numTypes {
+		return TInvalid, nil, fmt.Errorf("%w: %d", ErrBadType, hdr[5])
+	}
+	if hdr[6] != 0 || hdr[7] != 0 {
+		return TInvalid, nil, ErrBadFlags
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if n > MaxPayload {
+		return TInvalid, nil, fmt.Errorf("%w: %d bytes", ErrOversize, n)
+	}
+	want := binary.BigEndian.Uint32(hdr[12:16])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return TInvalid, nil, err
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return TInvalid, nil, fmt.Errorf("%w (want %08x, got %08x)", ErrChecksum, want, got)
+	}
+	return typ, payload, nil
+}
+
+// Unmarshal decodes a frame payload into v. An empty payload is an
+// error for every message that expects a body.
+func Unmarshal(payload []byte, v any) error {
+	if len(payload) == 0 {
+		return errors.New("wire: empty payload")
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("wire: payload: %v", err)
+	}
+	return nil
+}

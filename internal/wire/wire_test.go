@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	req := LeaseNReq{N: 16}
+	frame, err := Encode(TLeaseN, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TLeaseN {
+		t.Fatalf("type = %v, want %v", typ, TLeaseN)
+	}
+	var got LeaseNReq
+	if err := Unmarshal(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("roundtrip = %+v, want %+v", got, req)
+	}
+}
+
+func TestRoundTripEmptyPayload(t *testing.T) {
+	frame, err := Encode(TBest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != HeaderSize {
+		t.Fatalf("bodyless frame is %d bytes, want %d", len(frame), HeaderSize)
+	}
+	typ, payload, err := ReadFrame(bytes.NewReader(frame))
+	if err != nil || typ != TBest || len(payload) != 0 {
+		t.Fatalf("ReadFrame = (%v, %d bytes, %v)", typ, len(payload), err)
+	}
+}
+
+func TestStreamedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []struct {
+		typ Type
+		v   any
+	}{
+		{THello, Hello{Proto: Version, Name: "w1"}},
+		{TCompleteN, CompleteNReq{Epoch: 7, Results: []Result{{ID: 1, Value: 2.5}}}},
+		{TStats, nil},
+	}
+	for _, m := range msgs {
+		if err := WriteMsg(&buf, m.typ, m.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, m := range msgs {
+		typ, _, err := ReadFrame(&buf)
+		if err != nil || typ != m.typ {
+			t.Fatalf("frame %d: (%v, %v), want type %v", i, typ, err, m.typ)
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("past the last frame: %v, want io.EOF", err)
+	}
+}
+
+// mutateHeader encodes a valid frame and flips one header field.
+func mutateHeader(t *testing.T, mutate func(frame []byte)) error {
+	t.Helper()
+	frame, err := Encode(THeartbeat, HeartbeatReq{IDs: []uint64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(frame)
+	_, _, err = ReadFrame(bytes.NewReader(frame))
+	return err
+}
+
+func TestRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte)
+		want   error
+	}{
+		{"magic", func(f []byte) { f[0] = 'X' }, ErrBadMagic},
+		{"version-zero", func(f []byte) { f[4] = 0 }, ErrBadVersion},
+		{"version-future", func(f []byte) { f[4] = Version + 1 }, ErrBadVersion},
+		{"type-zero", func(f []byte) { f[5] = 0 }, ErrBadType},
+		{"type-unknown", func(f []byte) { f[5] = byte(numTypes) }, ErrBadType},
+		{"flags", func(f []byte) { f[6] = 1 }, ErrBadFlags},
+		{"oversize", func(f []byte) { binary.BigEndian.PutUint32(f[8:12], MaxPayload+1) }, ErrOversize},
+		{"payload-corrupt", func(f []byte) { f[HeaderSize] ^= 0xff }, ErrChecksum},
+		{"crc-corrupt", func(f []byte) { f[12] ^= 0xff }, ErrChecksum},
+	}
+	for _, c := range cases {
+		if err := mutateHeader(t, c.mutate); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	frame, err := Encode(TTrials, LeaseNResp{Epoch: 1, Trials: []Trial{{ID: 9, Algo: 1, Config: []float64{0.5}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must fail with ErrUnexpectedEOF (or io.EOF for
+	// the empty prefix), never hang or panic.
+	for n := 0; n < len(frame); n++ {
+		_, _, err := ReadFrame(bytes.NewReader(frame[:n]))
+		switch {
+		case n == 0 && err != io.EOF:
+			t.Fatalf("empty stream: %v, want io.EOF", err)
+		case n > 0 && !errors.Is(err, io.ErrUnexpectedEOF):
+			t.Fatalf("prefix of %d bytes: %v, want io.ErrUnexpectedEOF", n, err)
+		}
+	}
+}
+
+func TestEncodeRejectsBadType(t *testing.T) {
+	if _, err := Encode(TInvalid, nil); !errors.Is(err, ErrBadType) {
+		t.Fatalf("Encode(TInvalid) = %v", err)
+	}
+	if _, err := Encode(numTypes, nil); !errors.Is(err, ErrBadType) {
+		t.Fatalf("Encode(numTypes) = %v", err)
+	}
+}
