@@ -1,9 +1,14 @@
 # Tier-1 gate: `make check` must pass before any change lands.
 GO ?= go
 
-.PHONY: check vet build test race bench figures fuzz
+.PHONY: check lint vet build test race bench figures fuzz
 
-check: vet build test race
+check: lint build test race
+
+# gofmt emits the offending files on stdout and exits 0; turn any output
+# into a failure so unformatted code can't land.
+lint: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +38,7 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/atune-bench -out BENCH_trial_engine.json
 	$(GO) run ./cmd/atune-bench -wire -out BENCH_wire.json
+	$(GO) run ./cmd/atune-bench -shards -out BENCH_shard.json
 
 figures:
 	$(GO) run ./cmd/atune-figures

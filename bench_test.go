@@ -381,11 +381,7 @@ func BenchmarkTrialEngineLeaseComplete(b *testing.B) {
 		{Name: "plain"},
 		{Name: "tuned", Space: param.NewSpace(param.NewInterval("x", 0, 10))},
 	}
-	tuner, err := core.New(algos, nominal.NewEpsilonGreedy(0.10), nil, 42)
-	if err != nil {
-		b.Fatal(err)
-	}
-	ct, err := core.NewConcurrentTuner(tuner)
+	ct, err := core.NewConcurrentTuner(algos, nominal.NewEpsilonGreedy(0.10), nil, 42)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 //
 //	atune-bench [-out file] [-trials N] [-sleep d] [-workers list]
 //	atune-bench -wire [-out file] [-trials N] [-workers list] [-batches list]
+//	atune-bench -shards [-out file] [-trials N] [-workers list] [-shard-counts list]
 //
 // The default mode benchmarks the in-process engine: every trial costs
 // a fixed -sleep of wall clock and nothing else, so the numbers isolate
@@ -17,6 +18,11 @@
 // counts and LeaseN/CompleteN batch sizes. Here the measurement is
 // free, so leases/sec is purely protocol round-trip overhead — the
 // batch-size columns show what wire batching buys.
+//
+// -shards benchmarks sharded selection: the in-process engine swept
+// over (workers × shards) with a free measurement, so leases/sec is
+// pure decision overhead and the shard columns show what moving
+// per-trial work off the global decision mutex buys.
 package main
 
 import (
@@ -56,6 +62,19 @@ type wireResult struct {
 	Timestamp    string      `json:"timestamp"`
 }
 
+// shardResult is the -shards document: one row per worker count, one
+// leases/sec column per shard count, plus the headline ratio of the
+// last shard column over the first, per row.
+type shardResult struct {
+	Name         string      `json:"name"`
+	Workers      []int       `json:"workers"`
+	Shards       []int       `json:"shard_counts"`
+	LeasesPerSec [][]float64 `json:"leases_per_sec"`
+	ShardSpeedup []float64   `json:"shard_speedup"`
+	Trials       int         `json:"trials_per_run"`
+	Timestamp    string      `json:"timestamp"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("atune-bench: ")
@@ -66,11 +85,28 @@ func main() {
 		workers = flag.String("workers", "1,4,16", "comma-separated worker counts")
 		wire    = flag.Bool("wire", false, "benchmark the loopback TCP wire path instead of the in-process engine")
 		batches = flag.String("batches", "1,16", "comma-separated LeaseN batch sizes (with -wire)")
+		shards  = flag.Bool("shards", false, "benchmark sharded selection across shard counts")
+		shardCs = flag.String("shard-counts", "1,4,8", "comma-separated shard counts (with -shards)")
 	)
 	flag.Parse()
 
+	if *shards && *workers == "1,4,16" {
+		*workers = "1,4,16,64"
+	}
 	counts := parseInts("-workers", *workers)
 
+	if *shards {
+		if *out == "" {
+			*out = "BENCH_shard.json"
+		}
+		if *trials <= 0 {
+			// The free-measurement cells run past a million leases/sec;
+			// anything much smaller measures scheduler noise.
+			*trials = 100000
+		}
+		runShards(*out, *trials, counts, parseInts("-shard-counts", *shardCs))
+		return
+	}
 	if *wire {
 		if *out == "" {
 			*out = "BENCH_wire.json"
@@ -131,6 +167,36 @@ func runWire(out string, trials int, counts, batches []int) {
 			fmt.Printf("workers=%-3d batch=%-3d  %9.0f leases/sec\n", w, b, lps[wi][bi])
 		}
 		fmt.Printf("workers=%-3d batch=%d/%d speedup %.1fx\n", w, batches[len(batches)-1], batches[0], speedup)
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeDoc(out, append(buf, '\n'))
+}
+
+// runShards sweeps the sharded engine over (workers × shards) and
+// writes BENCH_shard.json. The measurement is free, so the columns
+// isolate decision-path overhead: 1 shard is the unsharded engine
+// (every trial under the global mutex), N shards fold only every
+// mergeEvery completions.
+func runShards(out string, trials int, counts, shardCounts []int) {
+	lps := exp.ShardedThroughput(counts, shardCounts, trials, 0)
+	res := shardResult{
+		Name:         "sharded_selection_throughput",
+		Workers:      counts,
+		Shards:       shardCounts,
+		LeasesPerSec: lps,
+		Trials:       trials,
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}
+	for wi, w := range counts {
+		speedup := lps[wi][len(shardCounts)-1] / lps[wi][0]
+		res.ShardSpeedup = append(res.ShardSpeedup, speedup)
+		for si, s := range shardCounts {
+			fmt.Printf("workers=%-3d shards=%-2d  %9.0f leases/sec\n", w, s, lps[wi][si])
+		}
+		fmt.Printf("workers=%-3d shards=%d/%d speedup %.1fx\n", w, shardCounts[len(shardCounts)-1], shardCounts[0], speedup)
 	}
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -158,7 +158,7 @@ func main() {
 			// ResumeConcurrent enables checkpointing on the directory
 			// itself and replays interleaved trial IDs; it also accepts a
 			// journal written by the sequential loop.
-			ct, err = core.ResumeConcurrent(*ckptDir, *snapEach, algos, sel, nil, *seed, opts)
+			ct, err = core.ResumeConcurrent(*ckptDir, *snapEach, algos, sel, nil, *seed, opts...)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -167,11 +167,7 @@ func main() {
 			if *ckptDir != "" {
 				opts = append(opts, core.WithCheckpoint(*ckptDir, *snapEach))
 			}
-			tuner, err := core.New(algos, sel, nil, *seed, opts...)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if ct, err = core.NewConcurrentTuner(tuner); err != nil {
+			if ct, err = core.NewConcurrentTuner(algos, sel, nil, *seed, opts...); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -198,7 +194,7 @@ func main() {
 		if *ckptDir != "" {
 			opts = append(opts, core.WithCheckpoint(*ckptDir, *snapEach))
 		}
-		tuner, err := core.New(algos, sel, nil, *seed, opts...)
+		tuner, err := core.NewTuner(algos, sel, nil, *seed, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}

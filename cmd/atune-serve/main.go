@@ -7,7 +7,7 @@
 //
 //	atune-serve [-addr host:port] [-workload strmatch|sleep] [-seed S]
 //	            [-epsilon PCT] [-target N] [-checkpoint dir] [-every N]
-//	            [-lease-timeout D] [-max-inflight N] [-stats D]
+//	            [-lease-timeout D] [-max-inflight N] [-shards N] [-stats D]
 //
 // The workload flag selects the algorithm roster the service tunes
 // over; workers must be started with the same workload so their
@@ -58,40 +58,37 @@ func main() {
 		every    = flag.Int("every", 100, "snapshot interval in trials (with -checkpoint)")
 		leaseTTL = flag.Duration("lease-timeout", 30*time.Second, "lease TTL; a worker silent this long forfeits its trials")
 		maxInFl  = flag.Int("max-inflight", 64, "maximum concurrently leased trials")
+		shards   = flag.Int("shards", 1, "selector shards; each worker session is pinned to one (1 = unsharded)")
 		statsIvl = flag.Duration("stats", 5*time.Second, "progress log interval (0 = quiet)")
 	)
 	flag.Parse()
 
 	algos := roster(*workload)
 	selector := nominal.NewEpsilonGreedy(*epsilon / 100)
-	eopts := []core.EngineOption{
+	opts := []core.Option{
 		core.WithLeaseTimeout(*leaseTTL),
 		core.WithMaxInFlight(*maxInFl),
+		core.WithShards(*shards),
 	}
 
 	var (
-		eng *core.ConcurrentTuner
+		eng *core.ShardedEngine
 		err error
 	)
 	if *ckptDir != "" && len(checkpoint.Generations(*ckptDir)) > 0 {
 		// A previous incarnation left a session behind: resume it. The
 		// new process gets a fresh epoch, so stale reports from leases
 		// the old process issued are dropped, not misapplied.
-		eng, err = core.ResumeConcurrent(*ckptDir, *every, algos, selector, nil, *seed, nil, eopts...)
+		eng, err = core.ResumeSharded(*ckptDir, *every, algos, selector, nil, *seed, opts...)
 		if err != nil {
 			log.Fatalf("resume from %s: %v", *ckptDir, err)
 		}
 		log.Printf("resumed session from %s at trial %d", *ckptDir, eng.Iterations())
 	} else {
-		var opts []core.Option
 		if *ckptDir != "" {
 			opts = append(opts, core.WithCheckpoint(*ckptDir, *every))
 		}
-		tn, err := core.New(algos, selector, nil, *seed, opts...)
-		if err != nil {
-			log.Fatalf("tuner: %v", err)
-		}
-		eng, err = core.NewConcurrentTuner(tn, eopts...)
+		eng, err = core.NewShardedEngine(algos, selector, nil, *seed, opts...)
 		if err != nil {
 			log.Fatalf("engine: %v", err)
 		}

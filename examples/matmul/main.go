@@ -157,7 +157,7 @@ func main() {
 		}
 	}
 
-	tuner, err := core.New(algos, nominal.NewEpsilonGreedy(0.10), nil, 3)
+	tuner, err := core.NewTuner(algos, nominal.NewEpsilonGreedy(0.10), nil, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -70,7 +70,7 @@ func main() {
 
 	// Phase two: ε-Greedy algorithm selection. Phase one (per-algorithm)
 	// defaults to Nelder-Mead, the paper's choice.
-	tuner, err := core.New(algorithms, nominal.NewEpsilonGreedy(0.10), nil, 42)
+	tuner, err := core.NewTuner(algorithms, nominal.NewEpsilonGreedy(0.10), nil, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

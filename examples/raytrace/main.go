@@ -67,7 +67,7 @@ func main() {
 		space, init := exp.BuilderSpace(n)
 		algos[i] = core.Algorithm{Name: n, Space: space, Init: init}
 	}
-	tuner, err := core.New(algos, sel, core.DefaultFactory, 11)
+	tuner, err := core.NewTuner(algos, sel, core.DefaultFactory, 11)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -130,7 +130,7 @@ func main() {
 
 	for _, reg := range regimes() {
 		r := rand.New(rand.NewSource(99))
-		tuner, err := core.New(algos, nominal.NewEpsilonGreedy(0.10), nil, 5)
+		tuner, err := core.NewTuner(algos, nominal.NewEpsilonGreedy(0.10), nil, 5)
 		if err != nil {
 			log.Fatal(err)
 		}

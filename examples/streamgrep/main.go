@@ -55,7 +55,7 @@ func main() {
 		matchers[i] = m
 		algos[i] = core.Algorithm{Name: n}
 	}
-	tuner, err := core.New(algos, sel, nil, 21)
+	tuner, err := core.NewTuner(algos, sel, nil, 21)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -55,7 +55,7 @@ func main() {
 		algos[i] = core.Algorithm{Name: n}
 	}
 
-	tuner, err := core.New(algos, sel, nil, 7)
+	tuner, err := core.NewTuner(algos, sel, nil, 7)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -56,13 +56,32 @@ func OpenJournal(dir string, iter int) (*Journal, error) {
 // Append writes one record and fsyncs, so an iteration acknowledged to
 // the journal survives an immediate crash.
 func (j *Journal) Append(rec Record) error {
+	if err := j.AppendBuffered(rec); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// AppendBuffered writes one record without fsyncing. Batch writers — the
+// sharded engine folds a whole observation delta at once — append every
+// record of the batch this way and then call Sync once, paying a single
+// fsync per fold instead of one per trial. A crash between the write and
+// the Sync loses at most the unsynced tail of the batch; the line CRC
+// keeps a torn final record detectable either way.
+func (j *Journal) AppendBuffered(rec Record) error {
 	body, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
 	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(body), body)
-	if _, err := j.f.WriteString(line); err != nil {
-		return err
+	_, err = j.f.WriteString(line)
+	return err
+}
+
+// Sync flushes previously buffered appends to stable storage.
+func (j *Journal) Sync() error {
+	if j == nil || j.f == nil {
+		return nil
 	}
 	return j.f.Sync()
 }
@@ -161,4 +180,25 @@ func ReadJournalsSince(dir string, iter int) []Record {
 		}
 	}
 	return out
+}
+
+// MaxJournalTrial scans every journal generation in dir for the highest
+// trial ID ever journaled — including records already folded into a
+// snapshot, which ReadJournalsSince filters out. Resume paths use it to
+// keep fresh trial IDs disjoint from everything a previous incarnation
+// issued.
+func MaxJournalTrial(dir string) uint64 {
+	var max uint64
+	for _, g := range JournalGenerations(dir) {
+		rs, err := ReadJournal(WalPath(dir, g))
+		if err != nil {
+			continue
+		}
+		for _, r := range rs {
+			if r.Trial > max {
+				max = r.Trial
+			}
+		}
+	}
+	return max
 }

@@ -25,10 +25,10 @@ import (
 // Checkpoint I/O failures after construction never interrupt tuning;
 // they are recorded and exposed through CheckpointErr.
 func WithCheckpoint(dir string, every int) Option {
-	return func(t *Tuner) {
+	return tunerOption("WithCheckpoint", func(t *Tuner) {
 		t.ckptDir = dir
 		t.ckptEvery = every
-	}
+	})
 }
 
 // CheckpointErr returns the most recent checkpoint I/O error, or nil.
@@ -309,7 +309,15 @@ func (t *Tuner) checkpointObserve(iter int, c completion) {
 	if c.fail != nil {
 		rec.FailKind = c.fail.Kind.String()
 	}
-	if err := t.journal.Append(rec); err != nil {
+	var err error
+	if t.journalBatch {
+		// Batch writers (the sharded engine's fold) append the whole
+		// delta unsynced and fsync once via journalSync.
+		err = t.journal.AppendBuffered(rec)
+	} else {
+		err = t.journal.Append(rec)
+	}
+	if err != nil {
 		t.ckptErr = err
 		return
 	}
@@ -322,6 +330,18 @@ func (t *Tuner) checkpointObserve(iter int, c completion) {
 		// appends can "succeed" against an unlinked file long after the
 		// checkpoint directory is gone.
 		t.ckptErr = nil
+	}
+}
+
+// journalSync flushes journal appends buffered while journalBatch was
+// set. No-op without an open journal (including right after a snapshot
+// rotated generations, which fsyncs through WriteSnapshot anyway).
+func (t *Tuner) journalSync() {
+	if t.journal == nil {
+		return
+	}
+	if err := t.journal.Sync(); err != nil {
+		t.ckptErr = err
 	}
 }
 
@@ -407,16 +427,20 @@ func Resume(dir string, every int, algos []Algorithm, selector nominal.Selector,
 // completions bypass phase one. Trials leased but never completed before
 // the crash are lost by design: they were never journaled.
 //
-// opts configure the underlying Tuner exactly as in New; eopts configure
-// the engine. The returned engine has checkpointing enabled on dir with
-// the given cadence, has written a fresh snapshot, and issues trial IDs
-// above every journaled one.
-func ResumeConcurrent(dir string, every int, algos []Algorithm, selector nominal.Selector, factory search.Factory, seed int64, opts []Option, eopts ...EngineOption) (*ConcurrentTuner, error) {
+// opts mixes tuner-scope and engine-scope options, exactly as in
+// NewConcurrentTuner. The returned engine has checkpointing enabled on
+// dir with the given cadence, has written a fresh snapshot, and issues
+// trial IDs above every journaled one.
+func ResumeConcurrent(dir string, every int, algos []Algorithm, selector nominal.Selector, factory search.Factory, seed int64, opts ...Option) (*ConcurrentTuner, error) {
+	tunerOpts, engineOpts, err := splitEngineOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	payload, snapIter, err := checkpoint.LoadLatest(dir)
 	if err != nil {
 		return nil, fmt.Errorf("core: resume from %s: %w", dir, err)
 	}
-	t, err := New(algos, selector, factory, seed, opts...)
+	t, err := NewTuner(algos, selector, factory, seed, tunerOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -465,9 +489,16 @@ func ResumeConcurrent(dir string, every int, algos []Algorithm, selector nominal
 	t.replaying = false
 	t.ckptDir = dir
 	t.ckptEvery = every
-	ct, err := NewConcurrentTuner(t, eopts...)
+	ct, err := wrapEngine(t, engineOpts)
 	if err != nil {
 		return nil, err
+	}
+	// maxTrial only covers the records replayed above; older generations
+	// already folded into the snapshot may hold higher IDs (a sharded
+	// incarnation snapshotted right before dying). Scan them all so fresh
+	// IDs never collide with anything journaled.
+	if all := checkpoint.MaxJournalTrial(dir); all > maxTrial {
+		maxTrial = all
 	}
 	ct.nextID = maxTrial
 	if err := t.snapshotNow(); err != nil {

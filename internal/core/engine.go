@@ -128,27 +128,28 @@ type ConcurrentTuner struct {
 	iters  atomic.Uint64
 }
 
-// EngineOption configures a ConcurrentTuner.
-type EngineOption func(*ConcurrentTuner)
-
-// WithLeaseTimeout sets the lease deadline (default DefaultLeaseTimeout).
-// A d ≤ 0 disables expiry entirely: a lost worker then wedges its trial
-// forever, so only disable it when completions are guaranteed.
-func WithLeaseTimeout(d time.Duration) EngineOption {
-	return func(c *ConcurrentTuner) { c.leaseTTL = d }
+// NewConcurrentTuner builds a two-phase tuner over the given algorithms
+// and wraps it in the trial engine, in one step. It accepts both
+// tuner-scope options (WithGuard, WithCheckpoint, ...) and engine-scope
+// options (WithLeaseTimeout, WithMaxInFlight); sharded-scope options are
+// rejected with ErrOptionScope.
+func NewConcurrentTuner(algos []Algorithm, selector nominal.Selector, factory search.Factory, seed int64, opts ...Option) (*ConcurrentTuner, error) {
+	tunerOpts, engineOpts, err := splitEngineOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	t, err := NewTuner(algos, selector, factory, seed, tunerOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return wrapEngine(t, engineOpts)
 }
 
-// WithMaxInFlight bounds the number of simultaneously outstanding
-// leases; Lease returns ErrTooManyInFlight beyond it. Zero (the
-// default) means unlimited.
-func WithMaxInFlight(n int) EngineOption {
-	return func(c *ConcurrentTuner) { c.maxInFlight = n }
-}
-
-// NewConcurrentTuner wraps a freshly built (or resumed) Tuner in the
-// trial engine. The tuner must be at an iteration boundary — no
-// Next/Observe pending — and must not be used directly afterwards.
-func NewConcurrentTuner(t *Tuner, opts ...EngineOption) (*ConcurrentTuner, error) {
+// wrapEngine wraps a freshly built (or resumed) Tuner in the trial
+// engine. The tuner must be at an iteration boundary — no Next/Observe
+// pending — and must not be used directly afterwards. opts must already
+// be filtered to engine scope.
+func wrapEngine(t *Tuner, opts []Option) (*ConcurrentTuner, error) {
 	if t == nil {
 		return nil, errors.New("core: NewConcurrentTuner with nil tuner")
 	}
@@ -170,7 +171,7 @@ func NewConcurrentTuner(t *Tuner, opts ...EngineOption) (*ConcurrentTuner, error
 		c.proposers[i] = search.NewProposer(s, t.algos[i].space(), t.seed^(0x9e3779b9*int64(i+1)))
 	}
 	for _, o := range opts {
-		o(c)
+		o.engine(c)
 	}
 	c.publishLocked()
 	return c, nil

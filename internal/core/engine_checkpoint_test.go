@@ -19,11 +19,7 @@ func TestConcurrentCrashResume(t *testing.T) {
 	algos := engineAlgos()
 	mk := func() nominal.Selector { return nominal.NewEpsilonGreedy(0.10) }
 
-	tn, err := New(algos, mk(), nil, 11, WithCheckpoint(dir, 10))
-	if err != nil {
-		t.Fatal(err)
-	}
-	ct, err := NewConcurrentTuner(tn, WithMaxInFlight(8))
+	ct, err := NewConcurrentTuner(algos, mk(), nil, 11, WithCheckpoint(dir, 10), WithMaxInFlight(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +69,7 @@ func TestConcurrentCrashResume(t *testing.T) {
 		t.Fatalf("sequential Resume on a concurrent journal: err = %v, want a pointer to ResumeConcurrent", err)
 	}
 
-	res, err := ResumeConcurrent(dir, 10, algos, mk(), nil, 11, nil)
+	res, err := ResumeConcurrent(dir, 10, algos, mk(), nil, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +124,7 @@ func TestConcurrentResumeOfSequentialJournal(t *testing.T) {
 	tn.Run(27, engineMeasure)
 	want := tn.Counts()
 
-	res, err := ResumeConcurrent(dir, 8, algos, nominal.NewEpsilonGreedy(0.10), nil, 13, nil)
+	res, err := ResumeConcurrent(dir, 8, algos, nominal.NewEpsilonGreedy(0.10), nil, 13)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,13 +33,9 @@ func engineMeasure(algo int, cfg param.Config) float64 {
 	return v
 }
 
-func newEngine(t *testing.T, seed int64, opts ...EngineOption) *ConcurrentTuner {
+func newEngine(t *testing.T, seed int64, opts ...Option) *ConcurrentTuner {
 	t.Helper()
-	tn, err := New(engineAlgos(), nominal.NewEpsilonGreedy(0.10), nil, seed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ct, err := NewConcurrentTuner(tn, opts...)
+	ct, err := NewConcurrentTuner(engineAlgos(), nominal.NewEpsilonGreedy(0.10), nil, seed, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,11 +266,7 @@ func TestAdapterPanicsMirrorTuner(t *testing.T) {
 // TestEngineStepRunAndGuard exercises Step/Run/RunPool with a guard
 // installed: panicking measurements become failures, never crashes.
 func TestEngineStepRunAndGuard(t *testing.T) {
-	tn, err := New(engineAlgos(), guard.NewQuarantine(nominal.NewEpsilonGreedy(0.10)), nil, 6, WithGuard())
-	if err != nil {
-		t.Fatal(err)
-	}
-	ct, err := NewConcurrentTuner(tn)
+	ct, err := NewConcurrentTuner(engineAlgos(), guard.NewQuarantine(nominal.NewEpsilonGreedy(0.10)), nil, 6, WithGuard())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,12 +300,8 @@ func TestEngineStepRunAndGuard(t *testing.T) {
 // still reach the global best.
 func TestSpeculativeLeasesMarked(t *testing.T) {
 	// Round-robin across 1 tunable algorithm forces same-algo leases.
-	tn, err := New([]Algorithm{{Name: "only", Space: param.NewSpace(param.NewRatio("x", 0, 10))}},
+	ct, err := NewConcurrentTuner([]Algorithm{{Name: "only", Space: param.NewSpace(param.NewRatio("x", 0, 10))}},
 		nominal.NewEpsilonGreedy(0), nil, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ct, err := NewConcurrentTuner(tn)
 	if err != nil {
 		t.Fatal(err)
 	}

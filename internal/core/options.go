@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// ErrOptionScope is returned (wrapped) by a constructor handed an Option
+// that does not apply to what it builds — for example WithMaxInFlight on
+// the sequential NewTuner, or WithShards on NewConcurrentTuner. The old
+// split between Option (tuner) and EngineOption (engine) made such
+// mismatches unrepresentable but forced every caller to juggle two
+// slices; the unified type makes them representable and loud instead of
+// silently no-oping.
+var ErrOptionScope = errors.New("option does not apply to this constructor")
+
+// An Option configures any of the core constructors. One option type
+// serves NewTuner, NewConcurrentTuner, NewShardedEngine and the Resume
+// functions; each option documents its scope, and a constructor outside
+// that scope rejects it with an error wrapping ErrOptionScope.
+type Option struct {
+	name    string
+	tuner   func(*Tuner)
+	engine  func(*ConcurrentTuner)
+	sharded func(*shardConfig)
+}
+
+// EngineOption is the former engine-only option type.
+//
+// Deprecated: Option now covers every constructor; EngineOption is an
+// alias kept so existing []EngineOption call sites compile unchanged.
+type EngineOption = Option
+
+func tunerOption(name string, f func(*Tuner)) Option {
+	return Option{name: name, tuner: f}
+}
+
+func engineOption(name string, f func(*ConcurrentTuner)) Option {
+	return Option{name: name, engine: f}
+}
+
+func shardedOption(name string, f func(*shardConfig)) Option {
+	return Option{name: name, sharded: f}
+}
+
+// splitEngineOptions partitions options for a constructor that builds a
+// Tuner wrapped in a ConcurrentTuner; sharded-only options are out of
+// scope there.
+func splitEngineOptions(opts []Option) (tunerOpts, engineOpts []Option, err error) {
+	for _, o := range opts {
+		switch {
+		case o.tuner != nil:
+			tunerOpts = append(tunerOpts, o)
+		case o.engine != nil:
+			engineOpts = append(engineOpts, o)
+		default:
+			return nil, nil, scopeErr(o)
+		}
+	}
+	return tunerOpts, engineOpts, nil
+}
+
+// splitShardedOptions peels off the sharded-scope options into cfg and
+// returns the rest (tuner + engine scope) for the inner constructors.
+func splitShardedOptions(opts []Option, cfg *shardConfig) (rest []Option) {
+	for _, o := range opts {
+		if o.sharded != nil {
+			o.sharded(cfg)
+			continue
+		}
+		rest = append(rest, o)
+	}
+	return rest
+}
+
+func scopeErr(o Option) error {
+	name := o.name
+	if name == "" {
+		name = "(unnamed option)"
+	}
+	return &optionScopeError{name: name}
+}
+
+type optionScopeError struct{ name string }
+
+func (e *optionScopeError) Error() string {
+	return "core: option " + e.name + ": " + ErrOptionScope.Error()
+}
+
+func (e *optionScopeError) Unwrap() error { return ErrOptionScope }
+
+// WithoutHistory disables per-iteration record keeping (the counts and
+// incumbent are still maintained). Long-running production loops use this
+// to keep memory constant. Scope: every constructor (it configures the
+// underlying Tuner).
+func WithoutHistory() Option {
+	return tunerOption("WithoutHistory", func(t *Tuner) { t.keepHistory = false })
+}
+
+// WithGuard installs a fault-tolerance guard built from the given
+// options (see package guard): Step/Run route every measurement through
+// it, so panics are recovered, deadlines enforced (guard.WithTimeout),
+// and invalid samples rejected — each failure feeding a penalty to both
+// tuning phases instead of crashing or poisoning the loop. Ask/tell
+// callers wrap their measurement with Tuner.Guard().SafeMeasure (or call
+// ObserveFailure directly). Combine with a guard.Quarantine selector to
+// also suspend persistently failing algorithms. Scope: every
+// constructor.
+func WithGuard(opts ...guard.Option) Option {
+	return tunerOption("WithGuard", func(t *Tuner) { t.guard = guard.New(opts...) })
+}
+
+// WithWatchdog tunes the failure-rate watchdog behind the degradation
+// mode: when the failure rate over the last window completed iterations
+// reaches threshold (in (0, 1]), the tuner stops exploring and pins the
+// known-good incumbent until the rate falls back below threshold/2.
+// The default is window 32, threshold 0.5. A window of 0 disables the
+// watchdog entirely. Scope: every constructor.
+func WithWatchdog(window int, threshold float64) Option {
+	return tunerOption("WithWatchdog", func(t *Tuner) {
+		t.watchWindow = window
+		if threshold > 0 && threshold <= 1 {
+			t.degradeAt = threshold
+			t.recoverAt = threshold / 2
+		}
+	})
+}
+
+// WithLeaseTimeout sets the lease deadline (default DefaultLeaseTimeout).
+// A d ≤ 0 disables expiry entirely: a lost worker then wedges its trial
+// forever, so only disable it when completions are guaranteed. Scope:
+// concurrent and sharded constructors.
+func WithLeaseTimeout(d time.Duration) Option {
+	return engineOption("WithLeaseTimeout", func(c *ConcurrentTuner) { c.leaseTTL = d })
+}
+
+// WithMaxInFlight bounds the number of simultaneously outstanding
+// leases; Lease returns ErrTooManyInFlight beyond it. Zero (the default)
+// means unlimited. Scope: concurrent and sharded constructors (a sharded
+// engine divides the cap evenly across shards).
+func WithMaxInFlight(n int) Option {
+	return engineOption("WithMaxInFlight", func(c *ConcurrentTuner) { c.maxInFlight = n })
+}
+
+// WithShards sets the number of selector shards of a ShardedEngine.
+// One shard (the default) disables sharding: the engine delegates
+// directly to the wrapped ConcurrentTuner. Scope: NewShardedEngine /
+// ResumeSharded only.
+func WithShards(n int) Option {
+	return shardedOption("WithShards", func(sc *shardConfig) {
+		if n > 0 {
+			sc.shards = n
+		}
+	})
+}
+
+// WithMergeEvery sets K, the per-shard observation count that triggers a
+// merge of the shard's delta into the authoritative selector (the
+// staleness bound: a replica lags the global state by at most K·shards
+// observations between folds). Best() reads always force a merge first.
+// Scope: NewShardedEngine / ResumeSharded only.
+func WithMergeEvery(k int) Option {
+	return shardedOption("WithMergeEvery", func(sc *shardConfig) {
+		if k > 0 {
+			sc.mergeEvery = k
+		}
+	})
+}

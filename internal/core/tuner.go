@@ -127,61 +127,26 @@ type Tuner struct {
 	pinnedIters int
 
 	// Crash-safe persistence (see WithCheckpoint / Resume).
-	ckptDir   string
-	ckptEvery int
-	ckptGen   int // iteration of the current snapshot generation
-	journal   *checkpoint.Journal
-	ckptErr   error
-	replaying bool
+	ckptDir      string
+	ckptEvery    int
+	ckptGen      int // iteration of the current snapshot generation
+	journal      *checkpoint.Journal
+	ckptErr      error
+	replaying    bool
+	journalBatch bool // buffer journal appends; owner calls journalSync per batch
 }
 
-// Option configures a Tuner.
-type Option func(*Tuner)
-
-// WithoutHistory disables per-iteration record keeping (the counts and
-// incumbent are still maintained). Long-running production loops use this
-// to keep memory constant.
-func WithoutHistory() Option {
-	return func(t *Tuner) { t.keepHistory = false }
-}
-
-// WithGuard installs a fault-tolerance guard built from the given
-// options (see package guard): Step/Run route every measurement through
-// it, so panics are recovered, deadlines enforced (guard.WithTimeout),
-// and invalid samples rejected — each failure feeding a penalty to both
-// tuning phases instead of crashing or poisoning the loop. Ask/tell
-// callers wrap their measurement with Tuner.Guard().SafeMeasure (or call
-// ObserveFailure directly). Combine with a guard.Quarantine selector to
-// also suspend persistently failing algorithms.
-func WithGuard(opts ...guard.Option) Option {
-	return func(t *Tuner) { t.guard = guard.New(opts...) }
-}
-
-// WithWatchdog tunes the failure-rate watchdog behind the degradation
-// mode: when the failure rate over the last window completed iterations
-// reaches threshold (in (0, 1]), the tuner stops exploring and pins the
-// known-good incumbent until the rate falls back below threshold/2.
-// The default is window 32, threshold 0.5. A window of 0 disables the
-// watchdog entirely.
-func WithWatchdog(window int, threshold float64) Option {
-	return func(t *Tuner) {
-		t.watchWindow = window
-		if threshold > 0 && threshold <= 1 {
-			t.degradeAt = threshold
-			t.recoverAt = threshold / 2
-		}
-	}
-}
-
-// New creates a two-phase tuner over the given algorithms.
+// NewTuner creates a two-phase tuner over the given algorithms.
 //
 // The selector is the phase-two strategy choosing among algorithms; the
-// factory builds one independent phase-one strategy per algorithm. New
-// fails when an algorithm's space is not supported by the strategy the
-// factory builds (for example Nelder-Mead on a space with ordinal
-// parameters). The seed determines all stochastic choices; runs with equal
-// seeds and deterministic measurement functions are identical.
-func New(algos []Algorithm, selector nominal.Selector, factory search.Factory, seed int64, opts ...Option) (*Tuner, error) {
+// factory builds one independent phase-one strategy per algorithm.
+// NewTuner fails when an algorithm's space is not supported by the
+// strategy the factory builds (for example Nelder-Mead on a space with
+// ordinal parameters), and when an option outside the sequential tuner's
+// scope is passed (ErrOptionScope). The seed determines all stochastic
+// choices; runs with equal seeds and deterministic measurement functions
+// are identical.
+func NewTuner(algos []Algorithm, selector nominal.Selector, factory search.Factory, seed int64, opts ...Option) (*Tuner, error) {
 	if len(algos) == 0 {
 		return nil, fmt.Errorf("core: no algorithms to tune")
 	}
@@ -209,7 +174,10 @@ func New(algos []Algorithm, selector nominal.Selector, factory search.Factory, s
 		recoverAt:   DefaultDegradeThreshold / 2,
 	}
 	for _, o := range opts {
-		o(t)
+		if o.tuner == nil {
+			return nil, scopeErr(o)
+		}
+		o.tuner(t)
 	}
 	for i, a := range algos {
 		s := factory()
@@ -233,6 +201,15 @@ func New(algos []Algorithm, selector nominal.Selector, factory search.Factory, s
 		}
 	}
 	return t, nil
+}
+
+// New creates a two-phase tuner.
+//
+// Deprecated: New is the original name of NewTuner, kept as an alias for
+// existing callers; use NewTuner for symmetry with NewConcurrentTuner
+// and NewShardedEngine.
+func New(algos []Algorithm, selector nominal.Selector, factory search.Factory, seed int64, opts ...Option) (*Tuner, error) {
+	return NewTuner(algos, selector, factory, seed, opts...)
 }
 
 // Watchdog defaults (see WithWatchdog).

@@ -105,11 +105,8 @@ func RunConcurrentTuning(cfg Config, iters int) *ConcurrentTuning {
 
 	res.WinnersAgree = true
 	for _, w := range res.Workers {
-		tuner, err := core.New(matcherAlgorithms(), nominal.NewEpsilonGreedy(0.10), nil, cfg.Seed)
-		if err != nil {
-			panic(err)
-		}
-		ct, err := core.NewConcurrentTuner(tuner, core.WithMaxInFlight(2*w))
+		ct, err := core.NewConcurrentTuner(matcherAlgorithms(), nominal.NewEpsilonGreedy(0.10), nil, cfg.Seed,
+			core.WithMaxInFlight(2*w))
 		if err != nil {
 			panic(err)
 		}
@@ -148,11 +145,8 @@ func TrialEngineThroughput(workers []int, total int, sleep time.Duration) []floa
 	}
 	out := make([]float64, len(workers))
 	for i, w := range workers {
-		tuner, err := core.New(algos, nominal.NewEpsilonGreedy(0.10), nil, 1)
-		if err != nil {
-			panic(err)
-		}
-		ct, err := core.NewConcurrentTuner(tuner, core.WithMaxInFlight(2*w))
+		ct, err := core.NewConcurrentTuner(algos, nominal.NewEpsilonGreedy(0.10), nil, 1,
+			core.WithMaxInFlight(2*w))
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,164 @@
+package nominal
+
+// Sharded selection support: a Mergeable selector can be forked into
+// per-shard replicas that select locally, while the authoritative copy
+// periodically absorbs each shard's observation delta. The merge algebra
+// is deliberately the selector's own Report path — an observation folded
+// via Merge is indistinguishable from one reported live — so a fork that
+// merges the exact delta its parent saw reproduces the parent's
+// exportable state bit for bit (merge_test.go pins this per selector).
+
+// Observation is one completed measurement, the unit of shard deltas.
+// Failed observations carry the tuner's penalty as Value, mirroring how
+// failures reach Report in the live path.
+type Observation struct {
+	Arm    int
+	Value  float64
+	Failed bool
+}
+
+// Mergeable is the optional interface for selectors whose state can be
+// replicated across shards and reconciled by replaying observation
+// deltas. Fork returns a deep, independent copy (with the same bounded
+// per-arm sample tail a checkpoint would keep); Merge folds a delta of
+// observations into the receiver in order. All selectors in this package
+// implement Mergeable.
+type Mergeable interface {
+	Selector
+	Stateful
+	// NumArms reports the arm count the selector was Init'ed with.
+	NumArms() int
+	// Fork returns an independent deep copy of the selector.
+	Fork() Selector
+	// Merge folds the observations into the selector, in slice order.
+	Merge(delta []Observation)
+}
+
+// NumArms reports the arm count; selectors inherit it from the embedded
+// history.
+func (h *history) NumArms() int { return len(h.arms) }
+
+// cloneTail returns a deep copy of the history, keeping only the last
+// historyTail samples per arm — the same bound checkpoints use, and more
+// than any selector's window looks back — so forking stays O(arms) no
+// matter how long the parent has been running.
+func (h *history) cloneTail() history {
+	c := history{
+		arms: make([][]sample, len(h.arms)),
+		seen: append([]int(nil), h.seen...),
+		iter: h.iter,
+		best: append([]float64(nil), h.best...),
+		maxW: h.maxW,
+	}
+	for i, arm := range h.arms {
+		tail := arm
+		if len(tail) > historyTail {
+			tail = tail[len(tail)-historyTail:]
+		}
+		c.arms[i] = append([]sample(nil), tail...)
+	}
+	return c
+}
+
+// replayObservations is the shared Merge implementation: every
+// observation goes through the selector's own Report method, so
+// type-specific bookkeeping (UCB1 sums, windowed weights) stays in one
+// place. Failures have already been converted to penalty values by the
+// engine, exactly as in the live Report path.
+func replayObservations(s Selector, delta []Observation) {
+	for _, o := range delta {
+		s.Report(o.Arm, o.Value)
+	}
+}
+
+// Fork returns an independent deep copy.
+func (e *EpsilonGreedy) Fork() Selector {
+	c := *e
+	c.history = e.history.cloneTail()
+	return &c
+}
+
+// Merge folds a shard delta into the selector.
+func (e *EpsilonGreedy) Merge(delta []Observation) { replayObservations(e, delta) }
+
+// Fork returns an independent deep copy.
+func (g *GradientWeighted) Fork() Selector {
+	c := *g
+	c.history = g.history.cloneTail()
+	return &c
+}
+
+// Merge folds a shard delta into the selector.
+func (g *GradientWeighted) Merge(delta []Observation) { replayObservations(g, delta) }
+
+// Fork returns an independent deep copy.
+func (o *OptimumWeighted) Fork() Selector {
+	c := *o
+	c.history = o.history.cloneTail()
+	return &c
+}
+
+// Merge folds a shard delta into the selector.
+func (o *OptimumWeighted) Merge(delta []Observation) { replayObservations(o, delta) }
+
+// Fork returns an independent deep copy.
+func (s *SlidingWindowAUC) Fork() Selector {
+	c := *s
+	c.history = s.history.cloneTail()
+	return &c
+}
+
+// Merge folds a shard delta into the selector.
+func (s *SlidingWindowAUC) Merge(delta []Observation) { replayObservations(s, delta) }
+
+// Fork returns an independent deep copy.
+func (u *UniformRandom) Fork() Selector {
+	c := *u
+	c.history = u.history.cloneTail()
+	return &c
+}
+
+// Merge folds a shard delta into the selector.
+func (u *UniformRandom) Merge(delta []Observation) { replayObservations(u, delta) }
+
+// Fork returns an independent deep copy, including the cyclic cursor.
+func (rr *RoundRobin) Fork() Selector {
+	c := *rr
+	c.history = rr.history.cloneTail()
+	return &c
+}
+
+// Merge folds a shard delta into the selector.
+func (rr *RoundRobin) Merge(delta []Observation) { replayObservations(rr, delta) }
+
+// Fork returns an independent deep copy.
+func (s *Softmax) Fork() Selector {
+	c := *s
+	c.history = s.history.cloneTail()
+	return &c
+}
+
+// Merge folds a shard delta into the selector.
+func (s *Softmax) Merge(delta []Observation) { replayObservations(s, delta) }
+
+// Fork returns an independent deep copy, including the reward sums.
+func (u *UCB1) Fork() Selector {
+	c := *u
+	c.history = u.history.cloneTail()
+	c.sums = append([]float64(nil), u.sums...)
+	return &c
+}
+
+// Merge folds a shard delta into the selector; Report keeps the reward
+// sums consistent.
+func (u *UCB1) Merge(delta []Observation) { replayObservations(u, delta) }
+
+// Fork returns an independent deep copy.
+func (g *GreedyGradient) Fork() Selector {
+	c := *g
+	c.history = g.history.cloneTail()
+	return &c
+}
+
+// Merge folds a shard delta into the selector.
+func (g *GreedyGradient) Merge(delta []Observation) { replayObservations(g, delta) }

@@ -1,0 +1,110 @@
+package nominal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// mergeRoster builds one instance of every selector in the package.
+func mergeRoster() []Selector {
+	return []Selector{
+		NewEpsilonGreedy(0.10),
+		NewGradientWeighted(),
+		NewOptimumWeighted(),
+		NewSlidingWindowAUC(),
+		NewUniformRandom(),
+		NewRoundRobin(),
+		NewSoftmax(0.1),
+		NewUCB1(),
+		NewGreedyGradient(0.10),
+	}
+}
+
+// TestForkMergeReproducesDirectReports pins the merge algebra: for every
+// selector, forking and then merging the same observation delta the
+// parent receives live must yield an identical exportable state.
+func TestForkMergeReproducesDirectReports(t *testing.T) {
+	const arms = 4
+	for _, sel := range mergeRoster() {
+		m, ok := sel.(Mergeable)
+		if !ok {
+			t.Fatalf("%s does not implement Mergeable", sel.Name())
+		}
+		m.Init(arms)
+		if got := m.NumArms(); got != arms {
+			t.Fatalf("%s: NumArms = %d, want %d", sel.Name(), got, arms)
+		}
+		rng := rand.New(rand.NewSource(7))
+		// Warm the parent with some history before forking.
+		for i := 0; i < 30; i++ {
+			m.Report(rng.Intn(arms), 1+rng.Float64())
+		}
+		fork := m.Fork().(Mergeable)
+
+		// The same delta, applied live to the parent and via Merge to
+		// the fork.
+		var delta []Observation
+		for i := 0; i < 50; i++ {
+			o := Observation{Arm: rng.Intn(arms), Value: 1 + rng.Float64(), Failed: i%9 == 0}
+			delta = append(delta, o)
+			m.Report(o.Arm, o.Value)
+		}
+		fork.Merge(delta)
+
+		a, err := m.(Stateful).Export()
+		if err != nil {
+			t.Fatalf("%s: parent Export: %v", sel.Name(), err)
+		}
+		b, err := fork.(Stateful).Export()
+		if err != nil {
+			t.Fatalf("%s: fork Export: %v", sel.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: fork+merge state diverged from direct reports\nparent: %s\nfork:   %s",
+				sel.Name(), a, b)
+		}
+
+		// After identical state, identical RNG streams must produce
+		// identical selections.
+		r1 := rand.New(rand.NewSource(99))
+		r2 := rand.New(rand.NewSource(99))
+		for i := 0; i < 20; i++ {
+			got, want := fork.Select(r2), m.Select(r1)
+			if got != want {
+				t.Fatalf("%s: post-merge selection diverged at step %d: fork %d, parent %d",
+					sel.Name(), i, got, want)
+			}
+			v := 1 + float64(i)*0.01
+			m.Report(want, v)
+			fork.Report(want, v)
+		}
+	}
+}
+
+// TestForkIsIndependent verifies a fork is a deep copy: reporting into
+// the fork must not change the parent's exportable state.
+func TestForkIsIndependent(t *testing.T) {
+	for _, sel := range mergeRoster() {
+		m := sel.(Mergeable)
+		m.Init(3)
+		for i := 0; i < 9; i++ {
+			m.Report(i%3, float64(1+i))
+		}
+		before, err := m.(Stateful).Export()
+		if err != nil {
+			t.Fatalf("%s: Export: %v", sel.Name(), err)
+		}
+		fork := m.Fork().(Mergeable)
+		for i := 0; i < 20; i++ {
+			fork.Report(i%3, 0.5)
+		}
+		after, err := m.(Stateful).Export()
+		if err != nil {
+			t.Fatalf("%s: Export: %v", sel.Name(), err)
+		}
+		if !bytes.Equal(before, after) {
+			t.Errorf("%s: reporting into the fork mutated the parent", sel.Name())
+		}
+	}
+}

@@ -1,16 +1,5 @@
-// Package nominal implements the paper's four probabilistic strategies for
-// tuning nominal parameters — of which algorithmic choice is the canonical
-// instance — plus the ε-Greedy × Gradient-Weighted combination its
-// conclusion proposes as future work, and the baselines the paper
-// discusses or invites: uniform random, round-robin, the soft-max policy
-// it considers and rejects (§III-A), and UCB1 from the bandit literature.
-//
-// A Selector is a multi-armed-bandit-style chooser over n "arms"
-// (algorithms). Every tuning iteration the two-phase tuner asks the
-// selector for an arm, runs that algorithm (with a phase-one-tuned
-// configuration), and reports the measured time back. Lower reported
-// values are better; the selectors internally interpret "performance" as
-// the inverse of the measured time, following Section III of the paper.
+// Package documentation lives in doc.go, together with the Selector
+// contract and the compile-time interface-satisfaction checks.
 package nominal
 
 import (
@@ -55,6 +44,7 @@ type history struct {
 	seen []int
 	iter int
 	best []float64 // per-arm minimum value, +Inf when unvisited
+	maxW int       // largest window any caller has requested (see window)
 }
 
 func (h *history) init(n int) {
@@ -82,12 +72,37 @@ func (h *history) report(arm int, v float64) {
 	if v < h.best[arm] {
 		h.best[arm] = v
 	}
+	// Amortized compaction: no selector looks further back than the
+	// largest window it has ever requested (visit counts and the per-arm
+	// minimum live in seen/best, checkpoints export at most historyTail
+	// samples), so once an arm holds twice the needed tail the older half
+	// is dropped in place. Memory stays constant over unbounded runs and
+	// appends reuse the compacted array's spare capacity.
+	if need := h.tailNeed(); len(h.arms[arm]) > 2*need {
+		s := h.arms[arm]
+		copy(s, s[len(s)-need:])
+		h.arms[arm] = s[:need]
+	}
+}
+
+// tailNeed returns how many trailing samples per arm must be retained:
+// the largest window ever requested, floored at the checkpoint tail.
+func (h *history) tailNeed() int {
+	if h.maxW > historyTail {
+		return h.maxW
+	}
+	return historyTail
 }
 
 func (h *history) visits(arm int) int { return h.seen[arm] }
 
-// window returns the last w samples of an arm.
+// window returns the last w samples of an arm. The largest w ever
+// requested is remembered so report's compaction never discards samples
+// a selector still looks back at.
 func (h *history) window(arm, w int) []sample {
+	if w > h.maxW {
+		h.maxW = w
+	}
 	s := h.arms[arm]
 	if len(s) > w {
 		s = s[len(s)-w:]

@@ -156,30 +156,86 @@ func (p *Proposer) base() param.Config {
 	return cfg
 }
 
-// speculate fabricates a configuration near the incumbent: a Gaussian
-// perturbation of SpeculativeSigma × range per metric dimension, a
-// uniform redraw of nominal dimensions with a small probability, and —
-// with probability SpeculativeRandomFrac — a fully random point.
+// speculate fabricates a configuration near the incumbent (see perturb).
 func (p *Proposer) speculate() param.Config {
-	if p.space.Dim() == 0 {
+	return perturb(p.rng, p.space, p.base())
+}
+
+// perturb is the shared speculative-proposal generator: a Gaussian
+// perturbation of SpeculativeSigma × range of base per metric dimension,
+// a uniform redraw of nominal dimensions with a small probability, and —
+// with probability SpeculativeRandomFrac — a fully random point. The
+// random draws happen in a fixed order, so equal RNG states yield equal
+// proposals.
+func perturb(rng *rand.Rand, space *param.Space, base param.Config) param.Config {
+	if space.Dim() == 0 {
 		return param.Config{}
 	}
-	if p.rng.Float64() < SpeculativeRandomFrac {
-		return p.space.Random(p.rng)
+	if rng.Float64() < SpeculativeRandomFrac {
+		return space.Random(rng)
 	}
-	out := p.base().Clone()
-	for i := 0; i < p.space.Dim(); i++ {
-		prm := p.space.Param(i)
+	out := base.Clone()
+	for i := 0; i < space.Dim(); i++ {
+		prm := space.Param(i)
 		lo, hi := prm.Lo(), prm.Hi()
 		if prm.Class() == param.Nominal {
-			if p.rng.Float64() < speculativeNominalRedraw {
-				out[i] = prm.Clamp(lo + p.rng.Float64()*(hi-lo))
+			if rng.Float64() < speculativeNominalRedraw {
+				out[i] = prm.Clamp(lo + rng.Float64()*(hi-lo))
 			}
 			continue
 		}
 		if span := hi - lo; span > 0 {
-			out[i] += p.rng.NormFloat64() * SpeculativeSigma * span
+			out[i] += rng.NormFloat64() * SpeculativeSigma * span
 		}
 	}
-	return p.space.Clamp(out)
+	return space.Clamp(out)
+}
+
+// A Speculator generates speculative configurations detached from any
+// strategy: the sharded trial engine gives each shard one per algorithm,
+// so shards propose configurations without touching the authoritative
+// phase-one state between merges. The base it perturbs is the best
+// configuration it has been told about — SetBase rebroadcasts the
+// authoritative incumbent at each merge, Observe adopts better local
+// completions in between — falling back to the space center before any.
+type Speculator struct {
+	space   *param.Space
+	rng     *rand.Rand
+	base    param.Config
+	baseVal float64
+}
+
+// NewSpeculator creates a speculator over the space (nil means empty).
+func NewSpeculator(space *param.Space, seed int64) *Speculator {
+	if space == nil {
+		space = param.NewSpace()
+	}
+	return &Speculator{space: space, rng: newRand(seed), baseVal: math.Inf(1)}
+}
+
+// SetBase overwrites the incumbent with the authoritative one.
+func (s *Speculator) SetBase(cfg param.Config, val float64) {
+	if cfg == nil {
+		return
+	}
+	s.base = cfg.Clone()
+	s.baseVal = val
+}
+
+// Observe offers a locally completed configuration; it becomes the base
+// when it beats the current one.
+func (s *Speculator) Observe(cfg param.Config, val float64) {
+	if val < s.baseVal {
+		s.base = cfg.Clone()
+		s.baseVal = val
+	}
+}
+
+// Next fabricates the next speculative configuration.
+func (s *Speculator) Next() param.Config {
+	base := s.base
+	if base == nil {
+		base = s.space.Center()
+	}
+	return perturb(s.rng, s.space, base)
 }

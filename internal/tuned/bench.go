@@ -46,11 +46,7 @@ func benchAlgos() []core.Algorithm {
 }
 
 func loopbackCell(workers, batch, total int) (float64, error) {
-	tn, err := core.New(benchAlgos(), nominal.NewEpsilonGreedy(0.10), nil, 1)
-	if err != nil {
-		return 0, err
-	}
-	eng, err := core.NewConcurrentTuner(tn)
+	eng, err := core.NewConcurrentTuner(benchAlgos(), nominal.NewEpsilonGreedy(0.10), nil, 1)
 	if err != nil {
 		return 0, err
 	}

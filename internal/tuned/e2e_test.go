@@ -102,11 +102,7 @@ func TestLoopbackE2EKillAndRestart(t *testing.T) {
 	}
 
 	// Reference 2: the in-process worker pool on the same bank.
-	poolTn, err := core.New(algos, nominal.NewEpsilonGreedy(0.10), nil, seed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pool, err := core.NewConcurrentTuner(poolTn)
+	pool, err := core.NewConcurrentTuner(algos, nominal.NewEpsilonGreedy(0.10), nil, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,12 +111,8 @@ func TestLoopbackE2EKillAndRestart(t *testing.T) {
 
 	// The distributed session, checkpointed for the mid-run restart.
 	dir := t.TempDir()
-	tn, err := core.New(algos, nominal.NewEpsilonGreedy(0.10), nil, seed,
-		core.WithCheckpoint(dir, 200))
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng, err := core.NewConcurrentTuner(tn, core.WithLeaseTimeout(leaseTTL))
+	eng, err := core.NewConcurrentTuner(algos, nominal.NewEpsilonGreedy(0.10), nil, seed,
+		core.WithCheckpoint(dir, 200), core.WithLeaseTimeout(leaseTTL))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +164,7 @@ func TestLoopbackE2EKillAndRestart(t *testing.T) {
 		// session from its snapshot + journal on the same address.
 		srv.Close()
 		eng2, err := core.ResumeConcurrent(dir, 200, algos, nominal.NewEpsilonGreedy(0.10), nil, seed,
-			nil, core.WithLeaseTimeout(leaseTTL))
+			core.WithLeaseTimeout(leaseTTL))
 		if err != nil {
 			errs <- err
 			close(restarted)

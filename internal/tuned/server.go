@@ -1,7 +1,7 @@
 // Package tuned is the distributed tuning service: a TCP front-end over
-// the lease-based trial engine (core.ConcurrentTuner), so trials can be
-// evaluated by worker processes on other machines while one server owns
-// the decision state.
+// the lease-based trial engine (core.ConcurrentTuner, or its sharded
+// variant core.ShardedEngine), so trials can be evaluated by worker
+// processes on other machines while one server owns the decision state.
 //
 // The division of labour mirrors the in-process engine exactly. The
 // server runs both tuning phases and the crash-safe journal; workers
@@ -26,12 +26,42 @@ import (
 	"hash/crc32"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/guard"
+	"repro/internal/param"
 	"repro/internal/wire"
 )
+
+// Engine is the trial-engine surface the server needs: leasing,
+// reporting, and the read-side summary calls. Both core.ConcurrentTuner
+// and core.ShardedEngine satisfy it.
+type Engine interface {
+	LeaseN(n int) ([]core.Trial, error)
+	CompleteN(results []core.TrialResult) []error
+	FailN(fails []core.TrialFailure) []error
+	Heartbeat(ids []uint64) []bool
+	Best() (algo int, cfg param.Config, value float64)
+	Iterations() int
+	Counts() []int
+	Stats() core.EngineStats
+	FailureStats() core.FailureStats
+	Degraded() bool
+	NumAlgorithms() int
+	AlgorithmName(i int) string
+	LeaseTimeout() time.Duration
+}
+
+// shardedEngine is the optional extension a sharded engine provides:
+// the server pins each worker session to one shard at the handshake, so
+// a session's leases stay on one selector replica and one lease table.
+type shardedEngine interface {
+	Engine
+	Shards() int
+	LeaseNOn(shard, n int) ([]core.Trial, error)
+}
 
 // DefaultMaxBatch caps the batch size a single LeaseN request may ask
 // for; larger requests are clamped, not rejected.
@@ -75,16 +105,19 @@ func WithConfigHash(h uint32) ServerOption {
 	return func(s *Server) { s.hash = h }
 }
 
-// Server serves one ConcurrentTuner over TCP. It owns no tuning state
+// Server serves one trial engine over TCP. It owns no tuning state
 // itself: every request maps onto one engine call, so the engine's
 // locking, lease reclamation and checkpoint journal work unchanged
 // whether trials complete from a local goroutine or a remote worker.
 type Server struct {
-	eng      *core.ConcurrentTuner
+	eng      Engine
+	sharded  shardedEngine // non-nil when eng has more than one shard
 	hash     uint32
 	epoch    int64
 	target   int
 	maxBatch int
+
+	nextShard atomic.Uint64 // round-robin session → shard assignment
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -97,7 +130,7 @@ type Server struct {
 // into every lease and checked on every report — is drawn from the
 // wall clock at construction, so two server processes over the same
 // checkpoint directory never share an epoch.
-func NewServer(eng *core.ConcurrentTuner, opts ...ServerOption) *Server {
+func NewServer(eng Engine, opts ...ServerOption) *Server {
 	names := make([]string, eng.NumAlgorithms())
 	for i := range names {
 		names[i] = eng.AlgorithmName(i)
@@ -109,6 +142,9 @@ func NewServer(eng *core.ConcurrentTuner, opts ...ServerOption) *Server {
 		maxBatch: DefaultMaxBatch,
 		conns:    make(map[net.Conn]struct{}),
 	}
+	if se, ok := eng.(shardedEngine); ok && se.Shards() > 1 {
+		s.sharded = se
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -116,7 +152,7 @@ func NewServer(eng *core.ConcurrentTuner, opts ...ServerOption) *Server {
 }
 
 // Engine returns the served engine (for inspection: Best, Stats, …).
-func (s *Server) Engine() *core.ConcurrentTuner { return s.eng }
+func (s *Server) Engine() Engine { return s.eng }
 
 // Epoch returns the session epoch of this server process.
 func (s *Server) Epoch() int64 { return s.epoch }
@@ -199,17 +235,24 @@ func (s *Server) Close() error {
 }
 
 // handle runs one connection: handshake, then a request/response loop.
+// On a sharded engine the session is pinned to one shard, assigned
+// round-robin across connections, so all its leases come from one
+// selector replica.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	if !s.handshake(conn) {
 		return
+	}
+	shard := 0
+	if s.sharded != nil {
+		shard = int((s.nextShard.Add(1) - 1) % uint64(s.sharded.Shards()))
 	}
 	for {
 		typ, payload, err := wire.ReadFrame(conn)
 		if err != nil {
 			return // disconnect, or a frame this protocol can't resync from
 		}
-		if !s.dispatch(conn, typ, payload) {
+		if !s.dispatch(conn, shard, typ, payload) {
 			return
 		}
 	}
@@ -258,14 +301,14 @@ func (s *Server) handshake(conn net.Conn) bool {
 
 // dispatch serves one request frame, reporting whether the connection
 // should stay open.
-func (s *Server) dispatch(conn net.Conn, typ wire.Type, payload []byte) bool {
+func (s *Server) dispatch(conn net.Conn, shard int, typ wire.Type, payload []byte) bool {
 	switch typ {
 	case wire.TLeaseN:
 		var req wire.LeaseNReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return s.badRequest(conn, err)
 		}
-		return s.serveLeaseN(conn, req)
+		return s.serveLeaseN(conn, shard, req)
 	case wire.TCompleteN:
 		var req wire.CompleteNReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
@@ -300,7 +343,7 @@ func (s *Server) badRequest(conn net.Conn, err error) bool {
 	return false
 }
 
-func (s *Server) serveLeaseN(conn net.Conn, req wire.LeaseNReq) bool {
+func (s *Server) serveLeaseN(conn net.Conn, shard int, req wire.LeaseNReq) bool {
 	resp := wire.LeaseNResp{Epoch: s.epoch}
 	if s.target > 0 && s.eng.Iterations() >= s.target {
 		resp.Done = true
@@ -313,7 +356,13 @@ func (s *Server) serveLeaseN(conn net.Conn, req wire.LeaseNReq) bool {
 	if n > s.maxBatch {
 		n = s.maxBatch
 	}
-	trials, err := s.eng.LeaseN(n)
+	var trials []core.Trial
+	var err error
+	if s.sharded != nil {
+		trials, err = s.sharded.LeaseNOn(shard, n)
+	} else {
+		trials, err = s.eng.LeaseN(n)
+	}
 	switch {
 	case errors.Is(err, core.ErrTooManyInFlight):
 		resp.RetryMS = 10

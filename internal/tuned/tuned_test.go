@@ -35,11 +35,7 @@ func testMeasure(algo int, cfg param.Config) float64 {
 // returns them with the address and a cleanup.
 func startServer(t *testing.T, opts []core.EngineOption, sopts ...ServerOption) (*Server, string) {
 	t.Helper()
-	tn, err := core.New(testAlgos(), nominal.NewEpsilonGreedy(0.10), nil, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng, err := core.NewConcurrentTuner(tn, opts...)
+	eng, err := core.NewConcurrentTuner(testAlgos(), nominal.NewEpsilonGreedy(0.10), nil, 1, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,11 +247,7 @@ func TestWorkerPanicBecomesFailN(t *testing.T) {
 // TestClientReconnectAcrossRestart: a server restart inside the retry
 // budget is invisible to the caller except through the changed epoch.
 func TestClientReconnectAcrossRestart(t *testing.T) {
-	tn, err := core.New(testAlgos(), nominal.NewEpsilonGreedy(0.10), nil, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng, err := core.NewConcurrentTuner(tn)
+	eng, err := core.NewConcurrentTuner(testAlgos(), nominal.NewEpsilonGreedy(0.10), nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,11 +273,7 @@ func TestClientReconnectAcrossRestart(t *testing.T) {
 	srv1.Close()
 	// Restart on the same address after a gap the backoff must ride out.
 	time.Sleep(50 * time.Millisecond)
-	tn2, err := core.New(testAlgos(), nominal.NewEpsilonGreedy(0.10), nil, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng2, err := core.NewConcurrentTuner(tn2)
+	eng2, err := core.NewConcurrentTuner(testAlgos(), nominal.NewEpsilonGreedy(0.10), nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
