@@ -1,7 +1,7 @@
 # Tier-1 gate: `make check` must pass before any change lands.
 GO ?= go
 
-.PHONY: check lint vet build test race bench figures fuzz
+.PHONY: check lint vet build test race bench figures fuzz chaos
 
 check: lint build test race
 
@@ -24,6 +24,16 @@ test:
 # commands and the top-level benchmark package included.
 race:
 	$(GO) test -race ./...
+
+# Short chaos soak (CI-viable, well under a minute): the fault-injection
+# layer's own tests, the partition/reconnect and loopback soak of the
+# distributed service, and the A14 ablation — all under -race. The full
+# tier-1 `race` target runs these too; this target is the quick loop for
+# iterating on the failure semantics alone.
+chaos:
+	$(GO) test -race ./internal/chaos
+	$(GO) test -race -run 'TestChaos|TestDegradedMode|TestDrain|TestAbsorb|TestSessionCap|TestGlobalCap' \
+		./internal/tuned ./internal/exp
 
 # Fuzz the two frame decoders: arbitrary bytes must never panic them or
 # slip a payload past the checksum — neither from a snapshot file nor

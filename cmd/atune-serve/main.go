@@ -8,6 +8,7 @@
 //	atune-serve [-addr host:port] [-workload strmatch|sleep] [-seed S]
 //	            [-epsilon PCT] [-target N] [-checkpoint dir] [-every N]
 //	            [-lease-timeout D] [-max-inflight N] [-shards N] [-stats D]
+//	            [-session-cap N] [-global-cap N] [-drain D] [-chaos spec]
 //
 // The workload flag selects the algorithm roster the service tunes
 // over; workers must be started with the same workload so their
@@ -24,19 +25,28 @@
 // dropped (see DESIGN.md, "distributed tuning").
 //
 // The server stops leasing once -target trials have been decided
-// (0 = run forever); SIGINT/SIGTERM close it gracefully either way,
-// printing the final best.
+// (0 = run forever). SIGTERM drains gracefully: leasing stops, workers
+// get a Draining busy response, in-flight trials are waited out up to
+// -drain, and a final checkpoint is written before the listener closes.
+// SIGINT closes abruptly (outstanding leases die with the epoch).
+// -session-cap and -global-cap bound lease hoarding per worker session
+// and server-wide; over-cap requests get an empty busy response whose
+// RetryMS hint grows with load. -chaos routes every connection through
+// the fault-injection layer (see internal/chaos.ParseSpec) for soak
+// testing the service against its own failure semantics.
 package main
 
 import (
 	"flag"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/nominal"
@@ -60,6 +70,10 @@ func main() {
 		maxInFl  = flag.Int("max-inflight", 64, "maximum concurrently leased trials")
 		shards   = flag.Int("shards", 1, "selector shards; each worker session is pinned to one (1 = unsharded)")
 		statsIvl = flag.Duration("stats", 5*time.Second, "progress log interval (0 = quiet)")
+		sessCap  = flag.Int("session-cap", 0, "max leases one worker session may hold (0 = unbounded)")
+		globCap  = flag.Int("global-cap", 0, "max in-flight leases across all sessions (0 = unbounded)")
+		drainTO  = flag.Duration("drain", 10*time.Second, "graceful drain deadline on SIGTERM")
+		chaosFlg = flag.String("chaos", "", "fault-injection spec, e.g. latency=2ms,reset=0.01,blackhole=10s/1s (empty = off)")
 	)
 	flag.Parse()
 
@@ -94,14 +108,24 @@ func main() {
 		}
 	}
 
-	srv := tuned.NewServer(eng, tuned.WithTrialTarget(*target))
+	srv := tuned.NewServer(eng, tuned.WithTrialTarget(*target),
+		tuned.WithSessionCap(*sessCap), tuned.WithGlobalCap(*globCap))
 	log.Printf("workload %s (%d algorithms, hash %08x), listening on %s",
 		*workload, len(algos), srv.Hash(), *addr)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sig
+		s := <-sig
+		if s == syscall.SIGTERM {
+			// Graceful: stop leasing, wait out in-flight trials, write a
+			// final checkpoint, then close.
+			log.Printf("draining (deadline %v)", *drainTO)
+			if err := srv.Drain(*drainTO); err != nil {
+				log.Printf("drain: %v", err)
+			}
+			return
+		}
 		log.Printf("shutting down")
 		srv.Close()
 	}()
@@ -124,7 +148,23 @@ func main() {
 		}()
 	}
 
-	if err := srv.ListenAndServe(*addr); err != nil {
+	var ln net.Listener
+	if *chaosFlg != "" {
+		ccfg, err := chaos.ParseSpec(*chaosFlg)
+		if err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		if ln, _, err = chaos.Listen("tcp", *addr, ccfg); err != nil {
+			log.Fatalf("listen %s: %v", *addr, err)
+		}
+		log.Printf("fault injection active: %s", *chaosFlg)
+	} else {
+		var err error
+		if ln, err = net.Listen("tcp", *addr); err != nil {
+			log.Fatalf("listen %s: %v", *addr, err)
+		}
+	}
+	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
 

@@ -10,7 +10,8 @@
 //	atune-worker [-addr host:port] [-workload strmatch|sleep]
 //	             [-batch N] [-heartbeat D] [-max-trials N]
 //	             [-corpus BYTES] [-pattern STR] [-threads N]
-//	             [-sleep D] [-seed S]
+//	             [-sleep D] [-seed S] [-fallback] [-probe D]
+//	             [-idle-retry D] [-chaos spec]
 //
 // The workload must match the server's: the handshake carries a hash
 // of the algorithm roster and a mismatch is rejected before any trial
@@ -21,6 +22,13 @@
 // -batch > 1 amortizes the network round trip over several trials per
 // lease (see BENCH_wire.json for the effect); -heartbeat keeps long
 // measurements alive past the server's lease TTL.
+//
+// With -fallback (the default) the worker survives partitions: when the
+// client retry budget exhausts it degrades to a local tuner over the
+// handshake roster, keeps measuring, probes the server every -probe,
+// and on reconnect folds the locally learned selector state back into
+// the server before resuming leased operation. -chaos routes the
+// connection through the fault-injection layer for soak testing.
 package main
 
 import (
@@ -33,8 +41,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/nominal"
 	"repro/internal/param"
 	"repro/internal/strmatch"
 	"repro/internal/tuned"
@@ -54,10 +64,23 @@ func main() {
 		threads   = flag.Int("threads", 2, "strmatch search goroutines")
 		sleepFor  = flag.Duration("sleep", time.Millisecond, "sleep workload: simulated measurement time")
 		seed      = flag.Int64("seed", 1, "corpus generation seed")
+		fallback  = flag.Bool("fallback", true, "degrade to local tuning when the server is unreachable; merge back on reconnect")
+		probe     = flag.Duration("probe", 250*time.Millisecond, "server probe interval while degraded")
+		idleRetry = flag.Duration("idle-retry", 2*time.Millisecond, "wait ceiling when an empty lease response carries no retry hint")
+		chaosFlg  = flag.String("chaos", "", "fault-injection spec for this worker's connections (empty = off)")
 	)
 	flag.Parse()
 
-	c, err := tuned.Dial(*addr, tuned.WithClientName(hostname()))
+	copts := []tuned.ClientOption{tuned.WithClientName(hostname())}
+	if *chaosFlg != "" {
+		ccfg, err := chaos.ParseSpec(*chaosFlg)
+		if err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		copts = append(copts, tuned.WithDialer(chaos.New(ccfg).DialTimeout))
+		log.Printf("fault injection active: %s", *chaosFlg)
+	}
+	c, err := tuned.Dial(*addr, copts...)
 	if err != nil {
 		log.Fatalf("dial %s: %v", *addr, err)
 	}
@@ -92,11 +115,24 @@ func main() {
 		Batch:          *batch,
 		MaxTrials:      *maxTrials,
 		HeartbeatEvery: *heartbeat,
+		IdleRetry:      *idleRetry,
+	}
+	if *fallback {
+		w.Fallback = &tuned.Fallback{
+			Selector:   func() nominal.Selector { return nominal.NewEpsilonGreedy(0.10) },
+			Seed:       *seed,
+			ProbeEvery: *probe,
+		}
 	}
 	start := time.Now()
 	n, err := w.Run(ctx)
 	if err != nil && ctx.Err() == nil {
 		log.Fatalf("after %d trials: %v", n, err)
+	}
+	st := w.Stats()
+	if st.Partitions > 0 {
+		log.Printf("degraded mode: %d partitions, %d local trials, %d observations merged back, %d dropped",
+			st.Partitions, st.DegradedTrials, st.Absorbed, st.DroppedObs)
 	}
 	log.Printf("done: %d trials in %v", n, time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,463 @@
+// Package chaos is a deterministic network fault-injection layer for
+// the distributed tuning service: net.Conn/net.Listener wrappers that
+// inject latency, fragmented ("partial") writes, mid-frame connection
+// resets, payload byte corruption, and timed blackhole partitions.
+//
+// Faults are drawn from a per-connection RNG derived from the network
+// seed and the connection's accept/dial ordinal (via internal/xrand),
+// so a given connection makes the same fault decisions at the same
+// operations on every run — the wall-clock timing of those operations
+// varies, but the decision stream does not. Corruption flips payload
+// bytes after framing, which the wire layer's CRC32 must reject: a
+// chaos run can stall or drop requests, but it can never feed a
+// mis-decoded frame into the tuner.
+//
+// A blackhole partition stalls every Read and Write on the network's
+// connections until the window ends or the operation's deadline fires
+// — the same observable behaviour as a switch eating packets: dials
+// still succeed (loopback TCP connects locally) and then the handshake
+// times out. Partitions come from a recurring schedule
+// (Config.BlackholeEvery/BlackholeFor) or on demand via PartitionFor,
+// which tests use to force a partition at a chosen point in a run.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// ErrInjectedReset is returned by operations on a connection the chaos
+// layer reset mid-frame. The underlying connection is closed, so the
+// peer observes an unexpected EOF inside a frame.
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// Config sets the fault rates of a Network. The zero value injects
+// nothing and passes bytes through untouched.
+type Config struct {
+	// Seed derives every per-connection fault stream.
+	Seed int64
+	// LatencyMax adds a uniform [0, LatencyMax) delay to each Read and
+	// Write (0 = none).
+	LatencyMax time.Duration
+	// FragmentProb is the per-Write probability of delivering the
+	// buffer in several smaller writes with delays in between, forcing
+	// the peer to reassemble frames across partial reads.
+	FragmentProb float64
+	// ResetProb is the per-Write probability of writing a random-length
+	// prefix and then closing the connection: a mid-frame reset.
+	ResetProb float64
+	// CorruptProb is the per-Write probability of flipping one payload
+	// byte. The receiver's CRC32 framing must reject the frame.
+	CorruptProb float64
+	// BlackholeEvery/BlackholeFor schedule recurring partitions: within
+	// every BlackholeEvery cycle, the final BlackholeFor window stalls
+	// all traffic. Zero disables the schedule (PartitionFor still works).
+	BlackholeEvery time.Duration
+	BlackholeFor   time.Duration
+}
+
+// Stats counts injected faults across a Network's connections.
+type Stats struct {
+	Conns       int64
+	Resets      int64
+	Corruptions int64
+	Fragments   int64
+	Blackholed  int64 // operations that hit a partition window
+}
+
+// Network owns the fault schedule and stats shared by a set of wrapped
+// connections. It is safe for concurrent use.
+type Network struct {
+	cfg   Config
+	start time.Time
+	seq   atomic.Int64
+
+	mu          sync.Mutex
+	manualUntil time.Time
+
+	conns       atomic.Int64
+	resets      atomic.Int64
+	corruptions atomic.Int64
+	fragments   atomic.Int64
+	blackholed  atomic.Int64
+}
+
+// New builds a Network with the given fault configuration.
+func New(cfg Config) *Network {
+	return &Network{cfg: cfg, start: time.Now()}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Conns:       n.conns.Load(),
+		Resets:      n.resets.Load(),
+		Corruptions: n.corruptions.Load(),
+		Fragments:   n.fragments.Load(),
+		Blackholed:  n.blackholed.Load(),
+	}
+}
+
+// PartitionFor opens (or extends) a manual blackhole window covering
+// the next d on the wall clock. All Reads and Writes on the network's
+// connections stall until it closes or their deadlines fire.
+func (n *Network) PartitionFor(d time.Duration) {
+	until := time.Now().Add(d)
+	n.mu.Lock()
+	if until.After(n.manualUntil) {
+		n.manualUntil = until
+	}
+	n.mu.Unlock()
+}
+
+// Partitioned reports whether a blackhole window (manual or scheduled)
+// is currently open.
+func (n *Network) Partitioned() bool {
+	_, open := n.blackholeUntil()
+	return open
+}
+
+// blackholeUntil returns the end of the currently open partition
+// window, if any.
+func (n *Network) blackholeUntil() (time.Time, bool) {
+	now := time.Now()
+	n.mu.Lock()
+	manual := n.manualUntil
+	n.mu.Unlock()
+	if now.Before(manual) {
+		return manual, true
+	}
+	if n.cfg.BlackholeEvery > 0 && n.cfg.BlackholeFor > 0 {
+		elapsed := now.Sub(n.start) % n.cfg.BlackholeEvery
+		if elapsed >= n.cfg.BlackholeEvery-n.cfg.BlackholeFor {
+			return now.Add(n.cfg.BlackholeEvery - elapsed), true
+		}
+	}
+	return time.Time{}, false
+}
+
+// Wrap returns c with this network's faults injected. Each wrapped
+// connection draws from its own deterministic stream: connection i of a
+// network always makes the same decisions at the same operations.
+func (n *Network) Wrap(c net.Conn) net.Conn {
+	i := n.seq.Add(1)
+	n.conns.Add(1)
+	// Golden-ratio stride decorrelates per-connection streams from the
+	// shared seed and from each other.
+	seed := n.cfg.Seed + i*-0x61c8864680b583eb
+	return &Conn{inner: c, net: n, rng: xrand.New(seed).Rand()}
+}
+
+// Listener wraps ln so every accepted connection is chaos-wrapped.
+func (n *Network) Listener(ln net.Listener) net.Listener {
+	return &listener{inner: ln, net: n}
+}
+
+// Listen listens on the address and wraps the listener.
+func (n *Network) Listen(network, addr string) (net.Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return n.Listener(ln), nil
+}
+
+// Dial connects and wraps the connection.
+func (n *Network) Dial(network, addr string) (net.Conn, error) {
+	return n.DialTimeout(network, addr, 0)
+}
+
+// DialTimeout connects with a dial timeout and wraps the connection.
+// Its signature matches the dialer hook of the tuned client.
+func (n *Network) DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error) {
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return n.Wrap(c), nil
+}
+
+// Listen builds a Network from cfg and returns a wrapped listener on
+// the address, for tests that need a faulty server side in one call.
+func Listen(network, addr string, cfg Config) (net.Listener, *Network, error) {
+	n := New(cfg)
+	ln, err := n.Listen(network, addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ln, n, nil
+}
+
+// Dial builds a Network from cfg and returns a wrapped connection, for
+// tests that need a faulty client side in one call.
+func Dial(network, addr string, cfg Config) (net.Conn, *Network, error) {
+	n := New(cfg)
+	c, err := n.Dial(network, addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, n, nil
+}
+
+// listener wraps Accept.
+type listener struct {
+	inner net.Listener
+	net   *Network
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.net.Wrap(c), nil
+}
+
+func (l *listener) Close() error   { return l.inner.Close() }
+func (l *listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Conn is one chaos-wrapped connection.
+type Conn struct {
+	inner net.Conn
+	net   *Network
+
+	mu  sync.Mutex // guards rng and the deadline mirrors
+	rng *rand.Rand
+	rdl time.Time
+	wdl time.Time
+
+	broken atomic.Bool
+}
+
+// Inner returns the wrapped connection (for tests).
+func (c *Conn) Inner() net.Conn { return c.inner }
+
+// stall blocks while a blackhole partition is open, waking when the
+// window closes or the deadline fires — whichever comes first. The
+// partition end is re-read after every sleep so manual extensions hold.
+func (c *Conn) stall(deadline time.Time) error {
+	hit := false
+	for {
+		end, open := c.net.blackholeUntil()
+		if !open {
+			return nil
+		}
+		if !hit {
+			hit = true
+			c.net.blackholed.Add(1)
+		}
+		wake := end
+		if !deadline.IsZero() && deadline.Before(wake) {
+			wake = deadline
+		}
+		if d := time.Until(wake); d > 0 {
+			time.Sleep(d)
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return os.ErrDeadlineExceeded
+		}
+	}
+}
+
+// Read stalls through partitions, injects latency, and reads from the
+// wrapped connection.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.broken.Load() {
+		return 0, ErrInjectedReset
+	}
+	c.mu.Lock()
+	deadline := c.rdl
+	var lat time.Duration
+	if c.net.cfg.LatencyMax > 0 {
+		lat = time.Duration(c.rng.Int63n(int64(c.net.cfg.LatencyMax)))
+	}
+	c.mu.Unlock()
+	if err := c.stall(deadline); err != nil {
+		return 0, err
+	}
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	return c.inner.Read(p)
+}
+
+// Write stalls through partitions, then draws this operation's faults:
+// at most one of reset, corruption, or fragmentation, plus latency.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.broken.Load() {
+		return 0, ErrInjectedReset
+	}
+	cfg := &c.net.cfg
+	c.mu.Lock()
+	deadline := c.wdl
+	var lat time.Duration
+	if cfg.LatencyMax > 0 {
+		lat = time.Duration(c.rng.Int63n(int64(cfg.LatencyMax)))
+	}
+	reset := cfg.ResetProb > 0 && c.rng.Float64() < cfg.ResetProb
+	corrupt := !reset && cfg.CorruptProb > 0 && c.rng.Float64() < cfg.CorruptProb
+	fragment := !reset && cfg.FragmentProb > 0 && c.rng.Float64() < cfg.FragmentProb
+	var cut, flip, pieces int
+	if len(p) > 0 {
+		if reset {
+			cut = c.rng.Intn(len(p))
+		}
+		if corrupt {
+			flip = c.rng.Intn(len(p))
+		}
+		if fragment {
+			pieces = 2 + c.rng.Intn(3)
+		}
+	}
+	c.mu.Unlock()
+	if err := c.stall(deadline); err != nil {
+		return 0, err
+	}
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if reset {
+		n := 0
+		if cut > 0 {
+			n, _ = c.inner.Write(p[:cut])
+		}
+		c.broken.Store(true)
+		c.inner.Close()
+		c.net.resets.Add(1)
+		return n, ErrInjectedReset
+	}
+	buf := p
+	if corrupt && len(p) > 0 {
+		buf = append([]byte(nil), p...)
+		buf[flip] ^= 0xff
+		c.net.corruptions.Add(1)
+	}
+	if fragment && len(buf) >= pieces && pieces > 1 {
+		c.net.fragments.Add(1)
+		chunk := len(buf) / pieces
+		done := 0
+		for done < len(buf) {
+			end := done + chunk
+			if end > len(buf) || len(buf)-end < chunk {
+				end = len(buf)
+			}
+			k, err := c.inner.Write(buf[done:end])
+			done += k
+			if err != nil {
+				return min(done, len(p)), err
+			}
+			if done < len(buf) {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+		return len(p), nil
+	}
+	n, err := c.inner.Write(buf)
+	if n > len(p) {
+		n = len(p)
+	}
+	return n, err
+}
+
+// Close closes the wrapped connection.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr returns the wrapped connection's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the wrapped connection's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline mirrors the deadline for partition stalls and forwards it.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl, c.wdl = t, t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline mirrors and forwards the read deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline mirrors and forwards the write deadline.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdl = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}
+
+// ParseSpec parses the -chaos flag syntax: a comma-separated key=value
+// list. Keys: seed (int), latency (duration), frag, reset, corrupt
+// (probabilities in [0,1]), and blackhole=EVERY/FOR (two durations).
+// An empty spec is the zero Config.
+//
+//	-chaos "latency=2ms,reset=0.01,corrupt=0.01,blackhole=10s/1s,seed=7"
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos: bad spec entry %q (want key=value)", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "latency":
+			cfg.LatencyMax, err = time.ParseDuration(val)
+		case "frag":
+			cfg.FragmentProb, err = parseProb(val)
+		case "reset":
+			cfg.ResetProb, err = parseProb(val)
+		case "corrupt":
+			cfg.CorruptProb, err = parseProb(val)
+		case "blackhole":
+			every, dur, ok := strings.Cut(val, "/")
+			if !ok {
+				return cfg, fmt.Errorf("chaos: blackhole wants EVERY/FOR, got %q", val)
+			}
+			if cfg.BlackholeEvery, err = time.ParseDuration(every); err == nil {
+				cfg.BlackholeFor, err = time.ParseDuration(dur)
+			}
+			if err == nil && cfg.BlackholeFor > cfg.BlackholeEvery {
+				err = fmt.Errorf("window %v exceeds cycle %v", cfg.BlackholeFor, cfg.BlackholeEvery)
+			}
+		default:
+			return cfg, fmt.Errorf("chaos: unknown spec key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("chaos: bad %s: %v", key, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}

@@ -83,6 +83,9 @@ type EngineStats struct {
 	// Leased counts tickets handed out; Completed, Failed and Expired
 	// count how they ended (Leased − the others = currently in flight).
 	Leased, Completed, Failed, Expired uint64
+	// Absorbed counts external observations folded in via Absorb —
+	// degraded-mode worker measurements, never leased as trials.
+	Absorbed uint64
 	// InFlight is the number of currently outstanding leases.
 	InFlight int
 }
@@ -121,7 +124,7 @@ type ConcurrentTuner struct {
 	maxInFlight int
 	now         func() time.Time // injectable clock for expiry tests
 
-	nLeased, nCompleted, nFailed, nExpired uint64
+	nLeased, nCompleted, nFailed, nExpired, nAbsorbed uint64
 
 	best   atomic.Pointer[bestSnap]
 	counts atomic.Pointer[[]int]
@@ -378,6 +381,96 @@ func (c *ConcurrentTuner) Heartbeat(ids []uint64) []bool {
 	return alive
 }
 
+// Alive reports, aligned with ids, which trials are still leased —
+// like Heartbeat, but without extending any deadline. Overload control
+// uses it to prune a session's lease ledger without keeping abandoned
+// leases alive.
+func (c *ConcurrentTuner) Alive(ids []uint64) []bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked()
+	alive := make([]bool, len(ids))
+	for i, id := range ids {
+		_, alive[i] = c.leases[id]
+	}
+	return alive
+}
+
+// Absorb folds externally-measured observations into phase two and the
+// global best, journaling each under a fresh trial ID. This is the
+// merge half of the nominal.Mergeable algebra applied across a process
+// boundary: a partitioned worker keeps measuring against a local
+// selector and, on reconnect, ships its (arm, value) stream here, where
+// replaying it through Report is indistinguishable from having observed
+// it live (see nominal.Mergeable). Phase one is deliberately untouched
+// — the configurations were proposed by the worker's local tuner, not
+// by this engine's strategies, exactly like speculative completions.
+//
+// Observations with an out-of-range arm or a non-finite value are
+// skipped; failed observations carry the worker's penalty as Value and
+// are charged to the failure counters. Returns the number applied.
+func (c *ConcurrentTuner) Absorb(obs []nominal.Observation) int {
+	if len(obs) == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.absorbLocked(obs)
+}
+
+// absorbLocked applies Absorb under the decision mutex (shared with the
+// sharded engine, which adds replica propagation around it).
+func (c *ConcurrentTuner) absorbLocked(obs []nominal.Observation) int {
+	t := c.t
+	if t.ckptDir != "" {
+		t.journalBatch = true
+	}
+	applied := 0
+	for _, o := range obs {
+		if o.Arm < 0 || o.Arm >= len(t.algos) || math.IsNaN(o.Value) || math.IsInf(o.Value, 0) {
+			continue
+		}
+		c.nextID++
+		var fail *guard.Failure
+		if o.Failed {
+			fail = &guard.Failure{
+				Kind:    guard.Invalid,
+				Algo:    o.Arm,
+				Err:     errors.New("core: absorbed degraded-mode failure"),
+				Penalty: o.Value,
+			}
+		}
+		t.applyCompletion(completion{
+			algo: o.Arm, value: o.Value, fail: fail, trial: c.nextID, spec: true,
+		}, nil)
+		applied++
+	}
+	if t.journalBatch {
+		t.journalBatch = false
+		t.journalSync()
+	}
+	c.nAbsorbed += uint64(applied)
+	c.publishLocked()
+	return applied
+}
+
+// Checkpoint forces a snapshot of the current state, rotating the
+// journal generation — the final durability step of a graceful drain.
+// No-op without WithCheckpoint.
+func (c *ConcurrentTuner) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.t.ckptDir == "" {
+		return nil
+	}
+	if err := c.t.snapshotNow(); err != nil {
+		c.t.ckptErr = err
+		return err
+	}
+	c.t.ckptErr = nil
+	return nil
+}
+
 // LeaseTimeout returns the engine's lease deadline duration (zero when
 // expiry is disabled).
 func (c *ConcurrentTuner) LeaseTimeout() time.Duration {
@@ -502,6 +595,7 @@ func (c *ConcurrentTuner) Stats() EngineStats {
 		Completed: c.nCompleted,
 		Failed:    c.nFailed,
 		Expired:   c.nExpired,
+		Absorbed:  c.nAbsorbed,
 		InFlight:  len(c.leases),
 	}
 }

@@ -102,7 +102,7 @@ type ShardedEngine struct {
 	rr      atomic.Uint64 // round-robin router for shardless Lease calls
 	pending atomic.Int64  // completions recorded in shard deltas, not yet folded
 
-	nLeased, nCompleted, nFailed, nExpired atomic.Uint64
+	nLeased, nCompleted, nFailed, nExpired, nAbsorbed atomic.Uint64
 }
 
 // shard is one selector partition. foldMu serializes folds of this
@@ -576,6 +576,55 @@ func (e *ShardedEngine) Heartbeat(ids []uint64) []bool {
 	return alive
 }
 
+// Alive reports, aligned with ids, which trials are still leased,
+// without extending any deadline (compare Heartbeat).
+func (e *ShardedEngine) Alive(ids []uint64) []bool {
+	if e.n == 1 {
+		return e.inner.Alive(ids)
+	}
+	alive := make([]bool, len(ids))
+	for i, id := range ids {
+		s := e.shardOf(id)
+		if s == nil {
+			continue
+		}
+		s.mu.Lock()
+		_, alive[i] = s.leases[id]
+		s.mu.Unlock()
+	}
+	return alive
+}
+
+// Absorb folds externally-measured observations into the authoritative
+// selector (see ConcurrentTuner.Absorb) and appends them to the engine
+// log under a sentinel shard index, so every shard replica replays them
+// at its next fold — absorbed observations reach the shards exactly
+// like another shard's folded delta.
+func (e *ShardedEngine) Absorb(obs []nominal.Observation) int {
+	if e.n == 1 {
+		return e.inner.Absorb(obs)
+	}
+	c := e.inner
+	c.mu.Lock()
+	applied := c.absorbLocked(obs)
+	for _, o := range obs {
+		if o.Arm < 0 || o.Arm >= len(c.t.algos) || math.IsNaN(o.Value) || math.IsInf(o.Value, 0) {
+			continue
+		}
+		e.log = append(e.log, logObs{arm: int32(o.Arm), shard: -1, value: o.Value})
+	}
+	c.mu.Unlock()
+	e.nAbsorbed.Add(uint64(applied))
+	return applied
+}
+
+// Checkpoint folds every shard delta and forces a snapshot (see
+// ConcurrentTuner.Checkpoint).
+func (e *ShardedEngine) Checkpoint() error {
+	e.Flush()
+	return e.inner.Checkpoint()
+}
+
 // recordLocked feeds one completed observation into the shard's local
 // state and delta. Pinned runs bypass the replica, mirroring
 // applyCompletion's handling at fold time.
@@ -827,6 +876,7 @@ func (e *ShardedEngine) Stats() EngineStats {
 		Completed: e.nCompleted.Load(),
 		Failed:    e.nFailed.Load(),
 		Expired:   e.nExpired.Load(),
+		Absorbed:  e.nAbsorbed.Load(),
 		InFlight:  inFlight,
 	}
 }

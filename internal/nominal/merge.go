@@ -7,6 +7,15 @@ package nominal
 // via Merge is indistinguishable from one reported live — so a fork that
 // merges the exact delta its parent saw reproduces the parent's
 // exportable state bit for bit (merge_test.go pins this per selector).
+//
+// The same algebra carries degraded-mode workers across a process
+// boundary: a worker partitioned from the tuning server keeps measuring
+// against a cold fork (a fresh local selector) and accumulates its
+// Observation stream; on reconnect the stream is replayed into the
+// authoritative selector (core.ConcurrentTuner.Absorb), which is
+// exactly a Merge of the delta the partition hid. Order within one
+// worker's delta is preserved; interleaving across workers is arbitrary
+// — the same relaxation shard folds already accept.
 
 // Observation is one completed measurement, the unit of shard deltas.
 // Failed observations carry the tuner's penalty as Value, mirroring how

@@ -3,11 +3,13 @@ package tuned
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/nominal"
 	"repro/internal/param"
 	"repro/internal/wire"
 )
@@ -61,11 +63,12 @@ func WithRequestTimeout(d time.Duration) ClientOption {
 }
 
 // WithRetry sets the reconnect policy: up to retries additional
-// attempts per request, sleeping an exponentially doubling backoff
-// (base, capped at max) between attempts. Requests are safe to retry by
-// protocol design: completion is idempotent per trial ID, and a LeaseN
-// whose response was lost only costs leases that expire on their
-// deadlines.
+// attempts per request. The sleep before attempt k is drawn uniformly
+// from (0, min(base·2^(k-1), max)] — "full jitter", so N workers whose
+// connections died together (a server restart, a healed partition) do
+// not redial in lockstep. Requests are safe to retry by protocol
+// design: completion is idempotent per trial ID, and a LeaseN whose
+// response was lost only costs leases that expire on their deadlines.
 func WithRetry(retries int, base, max time.Duration) ClientOption {
 	return func(c *Client) {
 		if retries >= 0 {
@@ -92,6 +95,17 @@ func WithClientName(name string) ClientOption {
 	return func(c *Client) { c.name = name }
 }
 
+// WithDialer replaces the TCP dialer, letting tests and soak runs route
+// connections through a fault-injection layer (chaos.Network.DialTimeout
+// has this exact signature).
+func WithDialer(dial func(network, addr string, timeout time.Duration) (net.Conn, error)) ClientOption {
+	return func(c *Client) {
+		if dial != nil {
+			c.dialFn = dial
+		}
+	}
+}
+
 // Client is a connection-pooled client of one tuning server. It is safe
 // for concurrent use; every method retries transient transport failures
 // with exponential backoff and fresh connections, so a server restart
@@ -106,6 +120,7 @@ type Client struct {
 	retries     int
 	backoffBase time.Duration
 	backoffMax  time.Duration
+	dialFn      func(network, addr string, timeout time.Duration) (net.Conn, error)
 
 	pool   chan *clientConn
 	hash   atomic.Uint32 // expected/pinned config hash (0 = unpinned)
@@ -132,6 +147,7 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 		retries:     DefaultRetries,
 		backoffBase: DefaultBackoffBase,
 		backoffMax:  DefaultBackoffMax,
+		dialFn:      net.DialTimeout,
 	}
 	for _, o := range opts {
 		o(c)
@@ -147,7 +163,7 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 
 // dial opens and handshakes one connection.
 func (c *Client) dial() (*clientConn, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	conn, err := c.dialFn("tcp", c.addr, c.timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -256,15 +272,25 @@ func (c *Client) LeaseTTL() time.Duration {
 }
 
 // roundTrip sends one request and reads its response, retrying
-// transport failures on fresh connections with exponential backoff.
-// Server-side errors (wire.TError) are permanent and returned as
-// *RemoteError without retry.
+// transport failures on fresh connections with full-jitter exponential
+// backoff. Server-side errors (wire.TError) are permanent and returned
+// as *RemoteError without retry.
 func (c *Client) roundTrip(reqType wire.Type, req any, respType wire.Type, resp any) error {
+	return c.roundTripRetries(c.retries, reqType, req, respType, resp)
+}
+
+// roundTripRetries is roundTrip with an explicit retry budget; the
+// degraded worker probes reconnection with a budget of zero.
+func (c *Client) roundTripRetries(retries int, reqType wire.Type, req any, respType wire.Type, resp any) error {
 	var lastErr error
 	backoff := c.backoffBase
-	for attempt := 0; attempt <= c.retries; attempt++ {
+	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			// Full jitter: sleep a uniform fraction of the doubling
+			// ceiling rather than the ceiling itself, so a herd of
+			// workers reconnecting after one outage spreads out instead
+			// of hammering the server in lockstep.
+			time.Sleep(time.Duration(rand.Int63n(int64(backoff))) + 1)
 			backoff *= 2
 			if backoff > c.backoffMax {
 				backoff = c.backoffMax
@@ -294,7 +320,7 @@ func (c *Client) roundTrip(reqType wire.Type, req any, respType wire.Type, resp 
 		}
 		lastErr = err
 	}
-	return fmt.Errorf("tuned: %s to %s failed after %d attempts: %w", reqType, c.addr, c.retries+1, lastErr)
+	return fmt.Errorf("tuned: %s to %s failed after %d attempts: %w", reqType, c.addr, retries+1, lastErr)
 }
 
 // attempt performs one request/response exchange on one connection.
@@ -328,10 +354,11 @@ func (c *Client) attempt(cc *clientConn, reqType wire.Type, req any, respType wi
 // server process that issued the trials and must be echoed when they
 // are completed or failed.
 type LeaseBatch struct {
-	Trials []core.Trial
-	Epoch  int64
-	Done   bool
-	Retry  time.Duration // backoff hint when Trials is empty
+	Trials   []core.Trial
+	Epoch    int64
+	Done     bool
+	Retry    time.Duration // backoff hint when Trials is empty
+	Draining bool          // the server is shutting down gracefully
 }
 
 // LeaseN leases up to n trials in one round trip.
@@ -340,7 +367,7 @@ func (c *Client) LeaseN(n int) (LeaseBatch, error) {
 	if err := c.roundTrip(wire.TLeaseN, wire.LeaseNReq{N: n}, wire.TTrials, &resp); err != nil {
 		return LeaseBatch{}, err
 	}
-	lb := LeaseBatch{Epoch: resp.Epoch, Done: resp.Done, Retry: time.Duration(resp.RetryMS) * time.Millisecond}
+	lb := LeaseBatch{Epoch: resp.Epoch, Done: resp.Done, Retry: time.Duration(resp.RetryMS) * time.Millisecond, Draining: resp.Draining}
 	for _, wt := range resp.Trials {
 		tr := core.Trial{
 			ID:          wt.ID,
@@ -400,6 +427,33 @@ func (c *Client) Heartbeat(epoch int64, ids []uint64) ([]uint64, error) {
 		return nil, err
 	}
 	return resp.Alive, nil
+}
+
+// Ping probes reachability with a single attempt — no retries, no
+// backoff — so a degraded worker can poll for a healed partition
+// without burning its retry budget per probe. Any error means "still
+// unreachable".
+func (c *Client) Ping() error {
+	var resp wire.StatsResp
+	return c.roundTripRetries(0, wire.TStats, nil, wire.TStatsAck, &resp)
+}
+
+// Absorb folds a batch of degraded-mode observations into the server's
+// selector. (worker, seq) deduplicate retries: resending a batch whose
+// ack was lost is safe, the server applies each (worker, seq) at most
+// once and answers duplicate=true thereafter. Returns how many
+// observations the server applied (0 with duplicate=true means an
+// earlier attempt already applied them).
+func (c *Client) Absorb(worker, seq uint64, obs []nominal.Observation) (applied int, duplicate bool, err error) {
+	req := wire.AbsorbReq{Worker: worker, Seq: seq, Obs: make([]wire.Obs, len(obs))}
+	for i, o := range obs {
+		req.Obs[i] = wire.Obs{Arm: o.Arm, Value: o.Value, Failed: o.Failed}
+	}
+	var ack wire.AbsorbAck
+	if err := c.roundTrip(wire.TAbsorb, req, wire.TAbsorbAck, &ack); err != nil {
+		return 0, false, err
+	}
+	return ack.Applied, ack.Duplicate, nil
 }
 
 // Best returns the server's globally best observation so far.

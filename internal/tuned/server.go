@@ -31,18 +31,23 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/guard"
+	"repro/internal/nominal"
 	"repro/internal/param"
 	"repro/internal/wire"
 )
 
 // Engine is the trial-engine surface the server needs: leasing,
-// reporting, and the read-side summary calls. Both core.ConcurrentTuner
-// and core.ShardedEngine satisfy it.
+// reporting, degraded-mode absorption, and the read-side summary calls.
+// Both core.ConcurrentTuner and core.ShardedEngine satisfy it.
 type Engine interface {
 	LeaseN(n int) ([]core.Trial, error)
 	CompleteN(results []core.TrialResult) []error
 	FailN(fails []core.TrialFailure) []error
 	Heartbeat(ids []uint64) []bool
+	Alive(ids []uint64) []bool
+	Absorb(obs []nominal.Observation) int
+	ReclaimExpired() int
+	Checkpoint() error
 	Best() (algo int, cfg param.Config, value float64)
 	Iterations() int
 	Counts() []int
@@ -105,25 +110,85 @@ func WithConfigHash(h uint32) ServerOption {
 	return func(s *Server) { s.hash = h }
 }
 
+// WithSessionCap bounds the leases one connection may hold at once.
+// A LeaseN request from a session at its cap gets an empty busy
+// response with a load-derived RetryMS instead of trials. Zero (the
+// default) leaves sessions unbounded.
+func WithSessionCap(n int) ServerOption {
+	return func(s *Server) { s.sessionCap = n }
+}
+
+// WithGlobalCap bounds the total in-flight leases across all sessions,
+// independently of the engine's own MaxInFlight. Requests over the cap
+// get the same busy response. Zero (the default) disables the cap.
+func WithGlobalCap(n int) ServerOption {
+	return func(s *Server) { s.globalCap = n }
+}
+
 // Server serves one trial engine over TCP. It owns no tuning state
 // itself: every request maps onto one engine call, so the engine's
 // locking, lease reclamation and checkpoint journal work unchanged
 // whether trials complete from a local goroutine or a remote worker.
 type Server struct {
-	eng      Engine
-	sharded  shardedEngine // non-nil when eng has more than one shard
-	hash     uint32
-	epoch    int64
-	target   int
-	maxBatch int
+	eng        Engine
+	sharded    shardedEngine // non-nil when eng has more than one shard
+	hash       uint32
+	epoch      int64
+	target     int
+	maxBatch   int
+	sessionCap int // max leases one session may hold; 0 = unbounded
+	globalCap  int // max in-flight leases across sessions; 0 = unbounded
 
 	nextShard atomic.Uint64 // round-robin session → shard assignment
+	draining  atomic.Bool   // set by Drain: answer leases with Draining
+
+	// absorbMu serializes degraded-mode delta application so the
+	// (worker, seq) dedup check and the engine Absorb are atomic: a
+	// retried AbsorbReq can never double-apply its observations.
+	absorbMu  sync.Mutex
+	absorbSeq map[uint64]uint64 // worker ID → highest applied seq
 
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// session is the per-connection lease ledger backing the session cap.
+// The dispatch loop is the only goroutine touching it, so no lock.
+type session struct {
+	leased map[uint64]struct{} // lease IDs issued to this connection
+}
+
+// prune drops ledger entries the engine no longer considers live
+// (completed elsewhere, expired and reclaimed), without extending any
+// deadlines, so a session that abandons leases gets its quota back as
+// the engine reclaims them.
+func (sess *session) prune(eng Engine) {
+	if len(sess.leased) == 0 {
+		return
+	}
+	ids := make([]uint64, 0, len(sess.leased))
+	for id := range sess.leased {
+		ids = append(ids, id)
+	}
+	for i, ok := range eng.Alive(ids) {
+		if !ok {
+			delete(sess.leased, ids[i])
+		}
+	}
+}
+
+// loadRetryMS derives the busy-response retry hint from current load:
+// 5ms when idle, climbing linearly to 50ms at the cap, bounded at
+// 250ms so a momentarily mis-read load never parks workers for long.
+func loadRetryMS(inFlight, capacity int) int64 {
+	if capacity <= 0 {
+		return 10
+	}
+	ms := 5 + 45*int64(inFlight)/int64(capacity)
+	return min(ms, 250)
 }
 
 // NewServer wraps an engine for serving. The session epoch — stamped
@@ -136,11 +201,12 @@ func NewServer(eng Engine, opts ...ServerOption) *Server {
 		names[i] = eng.AlgorithmName(i)
 	}
 	s := &Server{
-		eng:      eng,
-		hash:     ConfigHash(names),
-		epoch:    time.Now().UnixNano(),
-		maxBatch: DefaultMaxBatch,
-		conns:    make(map[net.Conn]struct{}),
+		eng:       eng,
+		hash:      ConfigHash(names),
+		epoch:     time.Now().UnixNano(),
+		maxBatch:  DefaultMaxBatch,
+		conns:     make(map[net.Conn]struct{}),
+		absorbSeq: make(map[uint64]uint64),
 	}
 	if se, ok := eng.(shardedEngine); ok && se.Shards() > 1 {
 		s.sharded = se
@@ -234,6 +300,38 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain performs a graceful shutdown: stop issuing leases (LeaseN
+// answers Draining with a retry hint), wait for in-flight trials to
+// complete — reclaiming expired ones along the way — up to the
+// timeout, write a final engine checkpoint, then Close. Connections
+// stay open through the wait so workers can still report and absorb.
+//
+// Drain returns the checkpoint error if the snapshot failed, else the
+// Close error; a timeout with trials still in flight is not an error —
+// those leases die with the epoch and their reports will be dropped by
+// the next server process.
+func (s *Server) Drain(timeout time.Duration) error {
+	if s.draining.Swap(true) {
+		return nil // second Drain: already under way
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		s.eng.ReclaimExpired()
+		if s.eng.Stats().InFlight == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ckErr := s.eng.Checkpoint()
+	if err := s.Close(); err != nil {
+		return err
+	}
+	return ckErr
+}
+
 // handle runs one connection: handshake, then a request/response loop.
 // On a sharded engine the session is pinned to one shard, assigned
 // round-robin across connections, so all its leases come from one
@@ -247,12 +345,13 @@ func (s *Server) handle(conn net.Conn) {
 	if s.sharded != nil {
 		shard = int((s.nextShard.Add(1) - 1) % uint64(s.sharded.Shards()))
 	}
+	sess := &session{leased: make(map[uint64]struct{})}
 	for {
 		typ, payload, err := wire.ReadFrame(conn)
 		if err != nil {
 			return // disconnect, or a frame this protocol can't resync from
 		}
-		if !s.dispatch(conn, shard, typ, payload) {
+		if !s.dispatch(conn, sess, shard, typ, payload) {
 			return
 		}
 	}
@@ -301,26 +400,32 @@ func (s *Server) handshake(conn net.Conn) bool {
 
 // dispatch serves one request frame, reporting whether the connection
 // should stay open.
-func (s *Server) dispatch(conn net.Conn, shard int, typ wire.Type, payload []byte) bool {
+func (s *Server) dispatch(conn net.Conn, sess *session, shard int, typ wire.Type, payload []byte) bool {
 	switch typ {
 	case wire.TLeaseN:
 		var req wire.LeaseNReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return s.badRequest(conn, err)
 		}
-		return s.serveLeaseN(conn, shard, req)
+		return s.serveLeaseN(conn, sess, shard, req)
 	case wire.TCompleteN:
 		var req wire.CompleteNReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return s.badRequest(conn, err)
 		}
-		return s.serveCompleteN(conn, req)
+		return s.serveCompleteN(conn, sess, req)
 	case wire.TFailN:
 		var req wire.FailNReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			return s.badRequest(conn, err)
 		}
-		return s.serveFailN(conn, req)
+		return s.serveFailN(conn, sess, req)
+	case wire.TAbsorb:
+		var req wire.AbsorbReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return s.badRequest(conn, err)
+		}
+		return s.serveAbsorb(conn, req)
 	case wire.THeartbeat:
 		var req wire.HeartbeatReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
@@ -343,10 +448,17 @@ func (s *Server) badRequest(conn net.Conn, err error) bool {
 	return false
 }
 
-func (s *Server) serveLeaseN(conn net.Conn, shard int, req wire.LeaseNReq) bool {
+func (s *Server) serveLeaseN(conn net.Conn, sess *session, shard int, req wire.LeaseNReq) bool {
 	resp := wire.LeaseNResp{Epoch: s.epoch}
 	if s.target > 0 && s.eng.Iterations() >= s.target {
 		resp.Done = true
+		return wire.WriteMsg(conn, wire.TTrials, resp) == nil
+	}
+	if s.draining.Load() {
+		// Drain in progress: no new leases. Workers should report what
+		// they hold, then back off (or reconnect elsewhere).
+		resp.Draining = true
+		resp.RetryMS = 100
 		return wire.WriteMsg(conn, wire.TTrials, resp) == nil
 	}
 	n := req.N
@@ -355,6 +467,36 @@ func (s *Server) serveLeaseN(conn net.Conn, shard int, req wire.LeaseNReq) bool 
 	}
 	if n > s.maxBatch {
 		n = s.maxBatch
+	}
+	// Overload control. The session cap bounds what one connection may
+	// hoard; the global cap bounds total in-flight across sessions. Both
+	// answer with an empty busy response whose RetryMS grows with load,
+	// so backoff pressure rises before the engine's own hard limit
+	// (core.ErrTooManyInFlight) is ever reached.
+	if s.sessionCap > 0 && len(sess.leased) >= s.sessionCap {
+		sess.prune(s.eng)
+	}
+	inFlight := 0
+	if s.sessionCap > 0 || s.globalCap > 0 {
+		inFlight = s.eng.Stats().InFlight
+	}
+	if s.sessionCap > 0 && len(sess.leased)+n > s.sessionCap {
+		n = s.sessionCap - len(sess.leased)
+	}
+	if s.globalCap > 0 && inFlight+n > s.globalCap {
+		s.eng.ReclaimExpired()
+		inFlight = s.eng.Stats().InFlight
+		n = min(n, s.globalCap-inFlight)
+	}
+	if n <= 0 {
+		capacity, load := s.globalCap, inFlight
+		if capacity == 0 {
+			// Blocked by the session cap alone: scale the hint by how
+			// full this session is, not the whole server.
+			capacity, load = s.sessionCap, len(sess.leased)
+		}
+		resp.RetryMS = loadRetryMS(load, capacity)
+		return wire.WriteMsg(conn, wire.TTrials, resp) == nil
 	}
 	var trials []core.Trial
 	var err error
@@ -365,12 +507,13 @@ func (s *Server) serveLeaseN(conn net.Conn, shard int, req wire.LeaseNReq) bool 
 	}
 	switch {
 	case errors.Is(err, core.ErrTooManyInFlight):
-		resp.RetryMS = 10
+		resp.RetryMS = loadRetryMS(s.eng.Stats().InFlight, s.globalCap)
 	case err != nil:
 		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
 		return false
 	}
 	for _, tr := range trials {
+		sess.leased[tr.ID] = struct{}{}
 		wt := wire.Trial{
 			ID:          tr.ID,
 			Algo:        tr.Algo,
@@ -390,7 +533,7 @@ func (s *Server) serveLeaseN(conn net.Conn, shard int, req wire.LeaseNReq) bool 
 // (leases issued by a dead server process, possibly colliding with
 // re-issued trial IDs) are dropped wholesale — acknowledged, never
 // applied.
-func (s *Server) serveCompleteN(conn net.Conn, req wire.CompleteNReq) bool {
+func (s *Server) serveCompleteN(conn net.Conn, sess *session, req wire.CompleteNReq) bool {
 	var ack wire.AckResp
 	if req.Epoch != s.epoch {
 		for _, r := range req.Results {
@@ -401,6 +544,7 @@ func (s *Server) serveCompleteN(conn net.Conn, req wire.CompleteNReq) bool {
 	results := make([]core.TrialResult, len(req.Results))
 	for i, r := range req.Results {
 		results[i] = core.TrialResult{ID: r.ID, Value: r.Value}
+		delete(sess.leased, r.ID)
 	}
 	for i, err := range s.eng.CompleteN(results) {
 		if err == nil {
@@ -412,7 +556,7 @@ func (s *Server) serveCompleteN(conn net.Conn, req wire.CompleteNReq) bool {
 	return wire.WriteMsg(conn, wire.TAck, ack) == nil
 }
 
-func (s *Server) serveFailN(conn net.Conn, req wire.FailNReq) bool {
+func (s *Server) serveFailN(conn net.Conn, sess *session, req wire.FailNReq) bool {
 	var ack wire.AckResp
 	if req.Epoch != s.epoch {
 		for _, f := range req.Fails {
@@ -422,6 +566,7 @@ func (s *Server) serveFailN(conn net.Conn, req wire.FailNReq) bool {
 	}
 	fails := make([]core.TrialFailure, len(req.Fails))
 	for i, f := range req.Fails {
+		delete(sess.leased, f.ID)
 		kind, ok := guard.KindFromString(f.Kind)
 		if !ok {
 			kind = guard.Invalid
@@ -455,6 +600,30 @@ func (s *Server) serveHeartbeat(conn net.Conn, req wire.HeartbeatReq) bool {
 	return wire.WriteMsg(conn, wire.THeartbeatAck, resp) == nil
 }
 
+// serveAbsorb folds a degraded-mode worker's locally-learned delta into
+// the engine, idempotently per (worker, seq): a retried request whose
+// seq was already applied is acknowledged as a duplicate and dropped,
+// so transport retries can never double-count an observation. Seqs must
+// be strictly increasing per worker; the dedup check and the engine
+// call happen under one lock so concurrent retries serialize.
+func (s *Server) serveAbsorb(conn net.Conn, req wire.AbsorbReq) bool {
+	var ack wire.AbsorbAck
+	s.absorbMu.Lock()
+	last, seen := s.absorbSeq[req.Worker]
+	if seen && req.Seq <= last {
+		ack.Duplicate = true
+	} else {
+		obs := make([]nominal.Observation, len(req.Obs))
+		for i, o := range req.Obs {
+			obs[i] = nominal.Observation{Arm: o.Arm, Value: o.Value, Failed: o.Failed}
+		}
+		ack.Applied = s.eng.Absorb(obs)
+		s.absorbSeq[req.Worker] = req.Seq
+	}
+	s.absorbMu.Unlock()
+	return wire.WriteMsg(conn, wire.TAbsorbAck, ack) == nil
+}
+
 func (s *Server) serveBest(conn net.Conn) bool {
 	algo, cfg, val := s.eng.Best()
 	resp := wire.BestResp{Algo: algo, Iterations: s.eng.Iterations()}
@@ -476,6 +645,7 @@ func (s *Server) serveStats(conn net.Conn) bool {
 		Failed:     st.Failed,
 		Expired:    st.Expired,
 		InFlight:   st.InFlight,
+		Absorbed:   st.Absorbed,
 		Iterations: s.eng.Iterations(),
 		Counts:     s.eng.Counts(),
 		Degraded:   s.eng.Degraded(),

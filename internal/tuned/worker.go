@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/guard"
+	"repro/internal/nominal"
 )
 
 // Worker is the remote evaluation loop: lease a batch, measure every
@@ -42,12 +44,88 @@ type Worker struct {
 	// heartbeats: then the lease TTL must exceed the worst-case batch
 	// measurement time, or trials are reclaimed mid-measurement.
 	HeartbeatEvery time.Duration
+	// IdleRetry is the wait before re-asking a server whose empty or
+	// busy lease response carried no retry hint (≤ 0 means 2ms). The
+	// actual sleep is uniformly jittered in (retry/2, retry] so idle
+	// workers do not re-poll in lockstep.
+	IdleRetry time.Duration
+	// Fallback, when non-nil with a Selector, enables degraded mode:
+	// instead of giving up when the client's retry budget exhausts, the
+	// worker keeps measuring against a local tuner and folds what it
+	// learned back into the server once the partition heals.
+	Fallback *Fallback
+	// ID identifies this worker in Absorb deduplication. Zero (the
+	// default) draws a random ID on first use; set it explicitly when a
+	// restarted worker process must be recognized as its predecessor.
+	ID uint64
+
+	local *core.Tuner           // lazily built degraded-mode tuner
+	seq   uint64                // absorb sequence; advances only on success
+	pend  []nominal.Observation // delta not yet absorbed by the server
+
+	statMu sync.Mutex
+	stats  WorkerStats
+}
+
+// Fallback configures the worker's degraded mode. While the server is
+// unreachable the worker tunes *algorithmic choice only*: a local
+// core.Tuner over the handshake roster with empty parameter spaces, so
+// every algorithm runs at its initial configuration. Parameter search
+// needs the server's phase-two state and does not continue locally; the
+// selector's observation stream does, and is exactly what Merge (via
+// the server's Absorb) can fold back in.
+type Fallback struct {
+	// Selector builds the local nominal selector. Required.
+	Selector func() nominal.Selector
+	// Seed seeds the local tuner.
+	Seed int64
+	// ProbeEvery is how often the degraded worker probes the server for
+	// a healed partition (≤ 0 means 250ms). Probes are single attempts
+	// without retries, so they stay cheap while the partition holds.
+	ProbeEvery time.Duration
+	// MaxBuffer bounds the unflushed observation buffer; beyond it the
+	// oldest observations are dropped and counted in WorkerStats (the
+	// selector itself keeps learning — only the replay delta is capped).
+	// ≤ 0 means 4096.
+	MaxBuffer int
+}
+
+// WorkerStats counts what a worker has done, including degraded-mode
+// activity. Read it via Worker.Stats at any time.
+type WorkerStats struct {
+	// Reported counts trials measured under a server lease and reported
+	// (applied or dropped).
+	Reported int
+	// DegradedTrials counts measurements taken locally while partitioned.
+	DegradedTrials int
+	// Absorbed counts locally-learned observations the server
+	// acknowledged applying after reconnect.
+	Absorbed int
+	// Partitions counts entries into degraded mode.
+	Partitions int
+	// DroppedObs counts buffered observations discarded at MaxBuffer.
+	DroppedObs int
+}
+
+// Stats returns a snapshot of the worker's counters.
+func (w *Worker) Stats() WorkerStats {
+	w.statMu.Lock()
+	defer w.statMu.Unlock()
+	return w.stats
+}
+
+func (w *Worker) bump(f func(*WorkerStats)) {
+	w.statMu.Lock()
+	f(&w.stats)
+	w.statMu.Unlock()
 }
 
 // Run drives the loop until the server reports Done, MaxTrials is
 // reached, ctx is cancelled, or the client's retry budget is exhausted
-// against an unreachable server. It returns the number of trials
-// reported (applied or dropped).
+// against an unreachable server (with Fallback set the worker degrades
+// instead of returning, and only gives up on cancellation or a
+// permanent server error). It returns the number of trials reported
+// under leases; degraded-mode work is accounted in Stats.
 //
 // Cancellation is deliberately abrupt: a cancelled worker abandons the
 // batch it holds without completing it, modelling a killed process.
@@ -74,20 +152,22 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 		}
 		lb, err := w.Client.LeaseN(n)
 		if err != nil {
-			return completed, err
+			if !w.degradable(err) {
+				return completed, err
+			}
+			if derr := w.runDegraded(ctx); derr != nil {
+				return completed, derr
+			}
+			continue
 		}
 		if lb.Done {
 			return completed, nil
 		}
 		if len(lb.Trials) == 0 {
-			retry := lb.Retry
-			if retry <= 0 {
-				retry = 2 * time.Millisecond
-			}
 			select {
 			case <-ctx.Done():
 				return completed, ctx.Err()
-			case <-time.After(retry):
+			case <-time.After(w.idleWait(lb.Retry)):
 			}
 			continue
 		}
@@ -95,18 +175,175 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 		if abandoned {
 			return completed, ctx.Err()
 		}
+		reported := 0
+		err = nil
 		if len(results) > 0 {
-			if _, _, err := w.Client.CompleteN(lb.Epoch, results); err != nil {
-				return completed, err
+			if _, _, err = w.Client.CompleteN(lb.Epoch, results); err == nil {
+				reported += len(results)
+				results = nil
 			}
 		}
-		if len(fails) > 0 {
-			if _, _, err := w.Client.FailN(lb.Epoch, fails); err != nil {
-				return completed, err
+		if err == nil && len(fails) > 0 {
+			if _, _, err = w.Client.FailN(lb.Epoch, fails); err == nil {
+				reported += len(fails)
+				fails = nil
 			}
 		}
-		completed += len(results) + len(fails)
+		completed += reported
+		w.bump(func(s *WorkerStats) { s.Reported += reported })
+		if err != nil {
+			if !w.degradable(err) {
+				return completed, err
+			}
+			// The batch was measured but its report could not be
+			// delivered. Its leases will expire server-side; preserve the
+			// measurements as degraded-mode observations so the work is
+			// not lost, then fall back.
+			w.bufferUnreported(lb, results, fails)
+			if derr := w.runDegraded(ctx); derr != nil {
+				return completed, derr
+			}
+		}
 	}
+}
+
+// idleWait turns an empty-lease retry hint into a jittered sleep: the
+// hint (or IdleRetry, or 2ms) is the ceiling, and the wait is drawn
+// uniformly from its upper half so a fleet of idle workers spreads out.
+func (w *Worker) idleWait(hint time.Duration) time.Duration {
+	retry := hint
+	if retry <= 0 {
+		retry = w.IdleRetry
+	}
+	if retry <= 0 {
+		retry = 2 * time.Millisecond
+	}
+	return retry/2 + time.Duration(rand.Int63n(int64(retry/2)+1))
+}
+
+// degradable reports whether an error should push the worker into
+// degraded mode rather than out of Run: transport exhaustion qualifies;
+// explicit server answers (*RemoteError) and a closed client are
+// permanent.
+func (w *Worker) degradable(err error) bool {
+	if w.Fallback == nil || w.Fallback.Selector == nil {
+		return false
+	}
+	if errors.Is(err, ErrClosed) {
+		return false
+	}
+	var re *RemoteError
+	return !errors.As(err, &re)
+}
+
+// bufferUnreported converts an unreportable measured batch into
+// degraded-mode observations, preserving the algorithm attribution the
+// server would have recorded.
+func (w *Worker) bufferUnreported(lb LeaseBatch, results []core.TrialResult, fails []core.TrialFailure) {
+	algoOf := make(map[uint64]int, len(lb.Trials))
+	for _, tr := range lb.Trials {
+		algoOf[tr.ID] = tr.Algo
+	}
+	for _, r := range results {
+		w.pend = append(w.pend, nominal.Observation{Arm: algoOf[r.ID], Value: r.Value})
+	}
+	for _, f := range fails {
+		w.pend = append(w.pend, nominal.Observation{Arm: algoOf[f.ID], Value: f.Failure.Penalty, Failed: true})
+	}
+}
+
+// workerID returns the stable ID used in Absorb dedup, drawing a random
+// one on first use. Run is single-goroutine, so no lock.
+func (w *Worker) workerID() uint64 {
+	if w.ID == 0 {
+		w.ID = rand.Uint64() | 1
+	}
+	return w.ID
+}
+
+// runDegraded is the partition loop: measure against a local tuner over
+// the handshake roster, probe the server, and on reconnect flush the
+// accumulated observation delta via Absorb. Returns nil once the delta
+// is fully flushed (the caller re-enters leased operation), or the
+// context/permanent error that ended degraded mode.
+func (w *Worker) runDegraded(ctx context.Context) error {
+	fb := w.Fallback
+	if w.local == nil {
+		names := w.Client.Algos()
+		if len(names) == 0 {
+			return errors.New("tuned: degraded mode needs the handshake roster")
+		}
+		algos := make([]core.Algorithm, len(names))
+		for i, name := range names {
+			algos[i] = core.Algorithm{Name: name}
+		}
+		lt, err := core.NewTuner(algos, fb.Selector(), nil, fb.Seed,
+			core.WithGuard(), core.WithoutHistory())
+		if err != nil {
+			return err
+		}
+		w.local = lt
+	}
+	probe := fb.ProbeEvery
+	if probe <= 0 {
+		probe = 250 * time.Millisecond
+	}
+	maxBuf := fb.MaxBuffer
+	if maxBuf <= 0 {
+		maxBuf = 4096
+	}
+	w.bump(func(s *WorkerStats) { s.Partitions++ })
+	lastProbe := time.Now()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rec := w.local.Step(w.Measure)
+		w.pend = append(w.pend, nominal.Observation{Arm: rec.Algo, Value: rec.Value, Failed: rec.Failed})
+		if over := len(w.pend) - maxBuf; over > 0 {
+			w.pend = w.pend[over:]
+			w.bump(func(s *WorkerStats) { s.DroppedObs += over })
+		}
+		w.bump(func(s *WorkerStats) { s.DegradedTrials++ })
+		if time.Since(lastProbe) < probe {
+			continue
+		}
+		lastProbe = time.Now()
+		if w.Client.Ping() != nil {
+			continue // still partitioned
+		}
+		err := w.flushPending()
+		if err == nil {
+			return nil // reconnected, delta folded in; resume leasing
+		}
+		if !w.degradable(err) {
+			return err
+		}
+		// The partition re-appeared mid-flush; whatever was not yet
+		// acknowledged is still in pend. Keep measuring.
+	}
+}
+
+// flushPending absorbs the buffered delta into the server in bounded
+// chunks. Each chunk gets the next sequence number, which only advances
+// after the server acknowledges it — so a retried chunk whose ack was
+// lost is deduplicated server-side, and a transport failure leaves the
+// unacknowledged tail in place for the next flush.
+func (w *Worker) flushPending() error {
+	const chunk = 512
+	for len(w.pend) > 0 {
+		n := min(chunk, len(w.pend))
+		applied, duplicate, err := w.Client.Absorb(w.workerID(), w.seq+1, w.pend[:n])
+		if err != nil {
+			return err
+		}
+		w.seq++
+		w.pend = w.pend[n:]
+		if !duplicate {
+			w.bump(func(s *WorkerStats) { s.Absorbed += applied })
+		}
+	}
+	return nil
 }
 
 // measureBatch runs every trial of a batch, heartbeating the not-yet-

@@ -6,12 +6,14 @@ import (
 	"testing"
 )
 
-// FuzzWireDecode throws arbitrary bytes at the frame decoder. The
+// FuzzWireDecode throws arbitrary bytes at the frame decoder and, for
+// every accepted frame, at the payload decoder of the frame's type. The
 // contract under fuzzing: never panic, never allocate beyond the
 // validated length prefix, and accept a frame only when every header
 // field is valid and the payload matches its checksum. Accepted frames
 // must re-encode to an equivalent frame (the payload is returned
-// byte-exact).
+// byte-exact), and Unmarshal must either decode or error — a payload
+// that passed the CRC is still untrusted JSON.
 func FuzzWireDecode(f *testing.F) {
 	// Seeds: valid frames of several shapes plus classic corruptions.
 	for _, m := range []struct {
@@ -19,11 +21,22 @@ func FuzzWireDecode(f *testing.F) {
 		v   any
 	}{
 		{THello, Hello{Proto: Version, Hash: 0xdeadbeef, Name: "seed"}},
+		{THelloAck, HelloAck{Proto: Version, Hash: 1, Epoch: 99, Algos: []string{"a", "b"}, LeaseTTLMS: 500}},
+		{TLeaseN, LeaseNReq{N: 8}},
 		{TTrials, LeaseNResp{Epoch: 42, Trials: []Trial{{ID: 7, Algo: 2, Config: []float64{1, 2.5}, DeadlineMS: 1700000000000}}}},
+		{TTrials, LeaseNResp{Epoch: 42, RetryMS: 25, Draining: true}},
 		{TCompleteN, CompleteNReq{Epoch: 42, Results: []Result{{ID: 7, Value: 3.25}}}},
 		{TFailN, FailNReq{Fails: []Fail{{ID: 9, Kind: "timeout", Penalty: 100}}}},
+		{TAck, AckResp{Applied: []uint64{1}, Dropped: []uint64{2}}},
+		{THeartbeat, HeartbeatReq{Epoch: 42, IDs: []uint64{1, 2, 3}}},
+		{THeartbeatAck, HeartbeatResp{Alive: []uint64{1, 3}}},
 		{TBest, nil},
+		{TBestAck, BestResp{Algo: 1, Name: "b", Value: 0.5, Iterations: 10}},
+		{TStats, nil},
+		{TStatsAck, StatsResp{Leased: 10, Completed: 8, Absorbed: 3, Counts: []int{4, 4}}},
 		{TError, ErrorResp{Code: CodeConfigMismatch, Msg: "hash mismatch"}},
+		{TAbsorb, AbsorbReq{Worker: 0xfeed, Seq: 3, Obs: []Obs{{Arm: 1, Value: 2.5}, {Arm: 0, Value: 9, Failed: true}}}},
+		{TAbsorbAck, AbsorbAck{Applied: 2}},
 	} {
 		frame, err := Encode(m.typ, m.v)
 		if err != nil {
@@ -35,6 +48,22 @@ func FuzzWireDecode(f *testing.F) {
 		mut := bytes.Clone(frame)
 		mut[5] = 0xee // unknown type
 		f.Add(mut)
+		// The chaos layer's corruption model: one payload byte flipped
+		// after framing, which the CRC must catch (regression corpus for
+		// internal/chaos soaks — the same fault its Write injects).
+		if len(frame) > HeaderSize {
+			flipped := bytes.Clone(frame)
+			flipped[HeaderSize+(len(frame)-HeaderSize)/2] ^= 0xff
+			f.Add(flipped)
+		}
+		// A chaos reset truncates mid-frame at an arbitrary byte.
+		f.Add(frame[:HeaderSize+(len(frame)-HeaderSize)/3])
+		// Payloads that pass the CRC but are not the type's JSON shape.
+		wrongType := bytes.Clone(frame)
+		for t := THello; t < numTypes; t++ {
+			wrongType[5] = byte(t)
+			f.Add(bytes.Clone(wrongType))
+		}
 	}
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize+8))
@@ -57,7 +86,48 @@ func FuzzWireDecode(f *testing.F) {
 		if got, want := crc32.ChecksumIEEE(payload), bytesToU32(data[12:16]); got != want {
 			t.Fatalf("decoder accepted checksum mismatch: payload %08x, header %08x", got, want)
 		}
+		// The payload decoder for the frame's declared type must decode
+		// or error, never panic; TBest and TStats carry no body.
+		if msg := payloadFor(typ); msg != nil {
+			_ = Unmarshal(payload, msg)
+		}
 	})
+}
+
+// payloadFor returns a fresh payload struct for each bodied type.
+func payloadFor(typ Type) any {
+	switch typ {
+	case THello:
+		return &Hello{}
+	case THelloAck:
+		return &HelloAck{}
+	case TLeaseN:
+		return &LeaseNReq{}
+	case TTrials:
+		return &LeaseNResp{}
+	case TCompleteN:
+		return &CompleteNReq{}
+	case TFailN:
+		return &FailNReq{}
+	case TAck:
+		return &AckResp{}
+	case THeartbeat:
+		return &HeartbeatReq{}
+	case THeartbeatAck:
+		return &HeartbeatResp{}
+	case TBestAck:
+		return &BestResp{}
+	case TStatsAck:
+		return &StatsResp{}
+	case TError:
+		return &ErrorResp{}
+	case TAbsorb:
+		return &AbsorbReq{}
+	case TAbsorbAck:
+		return &AbsorbAck{}
+	default:
+		return nil
+	}
 }
 
 func bytesToU32(b []byte) uint32 {

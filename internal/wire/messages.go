@@ -59,6 +59,9 @@ type LeaseNResp struct {
 	Trials  []Trial `json:"trials,omitempty"`
 	Done    bool    `json:"done,omitempty"`
 	RetryMS int64   `json:"retry_ms,omitempty"`
+	// Draining marks an empty batch sent because the server is shutting
+	// down gracefully: no new leases, but reports are still accepted.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // Result is one measured trial in a CompleteN batch.
@@ -111,6 +114,35 @@ type HeartbeatResp struct {
 	Alive []uint64 `json:"alive,omitempty"`
 }
 
+// Obs is one degraded-mode observation: an (arm, value) pair measured
+// by a worker's local fallback tuner while it was partitioned from the
+// server. Failed observations carry the local tuner's penalty as Value,
+// matching nominal.Observation.
+type Obs struct {
+	Arm    int     `json:"arm"`
+	Value  float64 `json:"value"`
+	Failed bool    `json:"failed,omitempty"`
+}
+
+// AbsorbReq (frame TAbsorb) folds a worker's locally-accumulated
+// observations into the server's selector after a partition heals.
+// (Worker, Seq) deduplicate retries: the worker picks a random nonzero
+// Worker ID at startup and numbers its flushes, so a flush whose ack
+// was lost can be resent without the observations being applied twice.
+type AbsorbReq struct {
+	Worker uint64 `json:"worker"`
+	Seq    uint64 `json:"seq"`
+	Obs    []Obs  `json:"obs"`
+}
+
+// AbsorbAck (frame TAbsorbAck) answers AbsorbReq. Duplicate means the
+// sequence number was already applied and the batch was dropped — a
+// success for the worker, exactly like AckResp.Dropped.
+type AbsorbAck struct {
+	Applied   int  `json:"applied"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
 // TBest and TStats requests have no body.
 
 // BestResp (frame TBestAck) is the globally best observation so far.
@@ -133,6 +165,7 @@ type StatsResp struct {
 	Iterations int    `json:"iterations"`
 	Counts     []int  `json:"counts,omitempty"`
 	Degraded   bool   `json:"degraded,omitempty"`
+	Absorbed   uint64 `json:"absorbed,omitempty"`
 }
 
 // Error codes carried by ErrorResp.

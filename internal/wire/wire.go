@@ -72,6 +72,8 @@ const (
 	TStats
 	TStatsAck
 	TError
+	TAbsorb
+	TAbsorbAck
 
 	numTypes
 )
@@ -107,6 +109,10 @@ func (t Type) String() string {
 		return "stats-ack"
 	case TError:
 		return "error"
+	case TAbsorb:
+		return "absorb"
+	case TAbsorbAck:
+		return "absorb-ack"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
