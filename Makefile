@@ -35,12 +35,14 @@ chaos:
 	$(GO) test -race -run 'TestChaos|TestDegradedMode|TestDrain|TestAbsorb|TestSessionCap|TestGlobalCap' \
 		./internal/tuned ./internal/exp
 
-# Fuzz the two frame decoders: arbitrary bytes must never panic them or
-# slip a payload past the checksum — neither from a snapshot file nor
-# from the network.
+# Fuzz the two frame decoders — arbitrary bytes must never panic them or
+# slip a payload past the checksum, neither from a snapshot file nor
+# from the network — and the drift detectors, which must stay finite and
+# panic-free on any cost stream.
 fuzz:
 	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/checkpoint
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzDriftUpdate -fuzztime=10s ./internal/stats
 
 # Micro-benchmarks plus the trial-engine and wire throughput sweeps;
 # the sweeps land in BENCH_*.json for trend tracking.

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -39,8 +40,27 @@ import (
 	"repro/internal/tuned"
 )
 
+// runMeta records the environment a benchmark ran in, so the trend
+// ingester can separate a regression from a toolchain or machine swap.
+type runMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func meta() runMeta {
+	return runMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
 type result struct {
 	Name         string    `json:"name"`
+	Meta         runMeta   `json:"meta"`
 	Workers      []int     `json:"workers"`
 	LeasesPerSec []float64 `json:"leases_per_sec"`
 	Speedup      []float64 `json:"speedup"`
@@ -54,6 +74,7 @@ type result struct {
 // last batch column over the first, per row.
 type wireResult struct {
 	Name         string      `json:"name"`
+	Meta         runMeta     `json:"meta"`
 	Workers      []int       `json:"workers"`
 	Batches      []int       `json:"batch_sizes"`
 	LeasesPerSec [][]float64 `json:"leases_per_sec"`
@@ -67,6 +88,7 @@ type wireResult struct {
 // last shard column over the first, per row.
 type shardResult struct {
 	Name         string      `json:"name"`
+	Meta         runMeta     `json:"meta"`
 	Workers      []int       `json:"workers"`
 	Shards       []int       `json:"shard_counts"`
 	LeasesPerSec [][]float64 `json:"leases_per_sec"`
@@ -127,6 +149,7 @@ func main() {
 	lps := exp.TrialEngineThroughput(counts, *trials, *sleep)
 	res := result{
 		Name:    "trial_engine_throughput",
+		Meta:    meta(),
 		Workers: counts,
 		Trials:  *trials,
 		SleepMS: float64(sleep.Nanoseconds()) / 1e6,
@@ -154,6 +177,7 @@ func runWire(out string, trials int, counts, batches []int) {
 	}
 	res := wireResult{
 		Name:         "wire_loopback_throughput",
+		Meta:         meta(),
 		Workers:      counts,
 		Batches:      batches,
 		LeasesPerSec: lps,
@@ -184,6 +208,7 @@ func runShards(out string, trials int, counts, shardCounts []int) {
 	lps := exp.ShardedThroughput(counts, shardCounts, trials, 0)
 	res := shardResult{
 		Name:         "sharded_selection_throughput",
+		Meta:         meta(),
 		Workers:      counts,
 		Shards:       shardCounts,
 		LeasesPerSec: lps,

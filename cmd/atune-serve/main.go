@@ -9,6 +9,7 @@
 //	            [-epsilon PCT] [-target N] [-checkpoint dir] [-every N]
 //	            [-lease-timeout D] [-max-inflight N] [-shards N] [-stats D]
 //	            [-session-cap N] [-global-cap N] [-drain D] [-chaos spec]
+//	            [-drift] [-ref-algo N]
 //
 // The workload flag selects the algorithm roster the service tunes
 // over; workers must be started with the same workload so their
@@ -34,6 +35,14 @@
 // RetryMS hint grows with load. -chaos routes every connection through
 // the fault-injection layer (see internal/chaos.ParseSpec) for soak
 // testing the service against its own failure semantics.
+//
+// -drift arms the drift watchdog: per-algorithm change-point detectors
+// watch the cost streams and, on a detected input change, soften the
+// selector's record and schedule fresh probes so the incumbent is
+// re-elected on post-change evidence (see DESIGN.md, "drift"). -ref-algo
+// names the roster slot workers measure as their calibration reference
+// (workers opt in with -calibrate); reported costs are divided by each
+// worker's speed factor relative to the fleet's fastest member.
 package main
 
 import (
@@ -74,15 +83,49 @@ func main() {
 		globCap  = flag.Int("global-cap", 0, "max in-flight leases across all sessions (0 = unbounded)")
 		drainTO  = flag.Duration("drain", 10*time.Second, "graceful drain deadline on SIGTERM")
 		chaosFlg = flag.String("chaos", "", "fault-injection spec, e.g. latency=2ms,reset=0.01,blackhole=10s/1s (empty = off)")
+		driftFlg = flag.Bool("drift", false, "arm the drift watchdog (change-point detection + adaptive selector reset)")
+		refAlgo  = flag.Int("ref-algo", 0, "roster slot workers measure as their calibration reference")
 	)
 	flag.Parse()
 
 	algos := roster(*workload)
+	// Reject malformed flag values up front — a typo like -epsilon 1000
+	// or -shards 0 should die at startup, not skew a week-long session.
+	if *epsilon <= 0 || *epsilon > 100 {
+		log.Fatalf("-epsilon %g out of range (0, 100]", *epsilon)
+	}
+	if *target < 0 {
+		log.Fatalf("-target %d must be >= 0", *target)
+	}
+	if *every <= 0 {
+		log.Fatalf("-every %d must be > 0", *every)
+	}
+	if *leaseTTL <= 0 {
+		log.Fatalf("-lease-timeout %v must be > 0", *leaseTTL)
+	}
+	if *maxInFl <= 0 {
+		log.Fatalf("-max-inflight %d must be > 0", *maxInFl)
+	}
+	if *shards <= 0 {
+		log.Fatalf("-shards %d must be > 0", *shards)
+	}
+	if *sessCap < 0 || *globCap < 0 {
+		log.Fatalf("-session-cap %d and -global-cap %d must be >= 0", *sessCap, *globCap)
+	}
+	if *drainTO <= 0 {
+		log.Fatalf("-drain %v must be > 0", *drainTO)
+	}
+	if *refAlgo < 0 || *refAlgo >= len(algos) {
+		log.Fatalf("-ref-algo %d out of range [0, %d) for workload %s", *refAlgo, len(algos), *workload)
+	}
 	selector := nominal.NewEpsilonGreedy(*epsilon / 100)
 	opts := []core.Option{
 		core.WithLeaseTimeout(*leaseTTL),
 		core.WithMaxInFlight(*maxInFl),
 		core.WithShards(*shards),
+	}
+	if *driftFlg {
+		opts = append(opts, core.WithDriftWatchdog(core.DefaultDriftConfig()))
 	}
 
 	var (
@@ -109,7 +152,8 @@ func main() {
 	}
 
 	srv := tuned.NewServer(eng, tuned.WithTrialTarget(*target),
-		tuned.WithSessionCap(*sessCap), tuned.WithGlobalCap(*globCap))
+		tuned.WithSessionCap(*sessCap), tuned.WithGlobalCap(*globCap),
+		tuned.WithRefAlgo(*refAlgo))
 	log.Printf("workload %s (%d algorithms, hash %08x), listening on %s",
 		*workload, len(algos), srv.Hash(), *addr)
 
@@ -144,6 +188,11 @@ func main() {
 				}
 				log.Printf("trials=%d inflight=%d completed=%d failed=%d expired=%d best=%s (%.4g)",
 					eng.Iterations(), st.InFlight, st.Completed, st.Failed, st.Expired, name, val)
+				if ds := eng.DriftStats(); ds.Events > 0 || ds.PendingProbes > 0 {
+					log.Printf("drift: events=%d decays=%d reforks=%d probes=%d pending=%d stale=%d outliers=%d",
+						ds.Events, ds.Decays, ds.Reforks, ds.ProbesScheduled, ds.PendingProbes,
+						ds.StaleDropped, ds.Outliers)
+				}
 			}
 		}()
 	}
@@ -169,6 +218,11 @@ func main() {
 	}
 
 	// Closed (signal or caller): report the session's verdict.
+	if ds := eng.DriftStats(); *driftFlg || ds.Events > 0 {
+		log.Printf("drift summary: events=%d decays=%d reforks=%d probes=%d stale=%d outliers=%d reprobes=%d",
+			ds.Events, ds.Decays, ds.Reforks, ds.ProbesScheduled, ds.StaleDropped,
+			ds.Outliers, ds.QuarantineReprobes)
+	}
 	algo, cfg, val := eng.Best()
 	if algo < 0 {
 		log.Printf("no trials completed")

@@ -11,7 +11,7 @@
 //	             [-batch N] [-heartbeat D] [-max-trials N]
 //	             [-corpus BYTES] [-pattern STR] [-threads N]
 //	             [-sleep D] [-seed S] [-fallback] [-probe D]
-//	             [-idle-retry D] [-chaos spec]
+//	             [-idle-retry D] [-chaos spec] [-calibrate N]
 //
 // The workload must match the server's: the handshake carries a hash
 // of the algorithm roster and a mismatch is rejected before any trial
@@ -29,6 +29,12 @@
 // and on reconnect folds the locally learned selector state back into
 // the server before resuming leased operation. -chaos routes the
 // connection through the fault-injection layer for soak testing.
+//
+// -calibrate N makes the worker measure the server's reference
+// algorithm before its first lease and again every N reported trials,
+// so the server can normalize this machine's costs by its speed factor
+// relative to the fleet's fastest member (see atune-serve -ref-algo).
+// Periodic re-calibration tracks thermal and load changes.
 package main
 
 import (
@@ -68,8 +74,32 @@ func main() {
 		probe     = flag.Duration("probe", 250*time.Millisecond, "server probe interval while degraded")
 		idleRetry = flag.Duration("idle-retry", 2*time.Millisecond, "wait ceiling when an empty lease response carries no retry hint")
 		chaosFlg  = flag.String("chaos", "", "fault-injection spec for this worker's connections (empty = off)")
+		calEvery  = flag.Int("calibrate", 0, "re-run the reference probe every N reported trials (0 = no calibration)")
 	)
 	flag.Parse()
+
+	// Fail malformed flag values at startup rather than measuring with them.
+	if *batch < 1 {
+		log.Fatalf("-batch %d must be >= 1", *batch)
+	}
+	if *maxTrials < 0 {
+		log.Fatalf("-max-trials %d must be >= 0", *maxTrials)
+	}
+	if *corpusSz <= 0 {
+		log.Fatalf("-corpus %d must be > 0", *corpusSz)
+	}
+	if *threads < 1 {
+		log.Fatalf("-threads %d must be >= 1", *threads)
+	}
+	if *heartbeat < 0 || *sleepFor < 0 || *idleRetry < 0 {
+		log.Fatalf("-heartbeat, -sleep and -idle-retry must be >= 0")
+	}
+	if *probe <= 0 {
+		log.Fatalf("-probe %v must be > 0", *probe)
+	}
+	if *calEvery < 0 {
+		log.Fatalf("-calibrate %d must be >= 0", *calEvery)
+	}
 
 	copts := []tuned.ClientOption{tuned.WithClientName(hostname())}
 	if *chaosFlg != "" {
@@ -116,6 +146,7 @@ func main() {
 		MaxTrials:      *maxTrials,
 		HeartbeatEvery: *heartbeat,
 		IdleRetry:      *idleRetry,
+		CalibrateEvery: *calEvery,
 	}
 	if *fallback {
 		w.Fallback = &tuned.Fallback{
@@ -130,6 +161,9 @@ func main() {
 		log.Fatalf("after %d trials: %v", n, err)
 	}
 	st := w.Stats()
+	if st.Calibrations > 0 {
+		log.Printf("calibrated %d times, speed factor %.2f", st.Calibrations, st.Factor)
+	}
 	if st.Partitions > 0 {
 		log.Printf("degraded mode: %d partitions, %d local trials, %d observations merged back, %d dropped",
 			st.Partitions, st.DegradedTrials, st.Absorbed, st.DroppedObs)

@@ -21,6 +21,16 @@ import (
 // strategy, and Pinned marks a degradation-mode incumbent run that
 // bypassed both phases. All three decode as zero values from version-1
 // journals, which is exactly their sequential meaning.
+// Drift sentinels (format version 3): a record with a non-empty Drift
+// is not an observation but a journaled selector reset by core's drift
+// watchdog — Algo and Config are empty, and Iter is the iteration count
+// at the moment the reset fired. DriftSeq is the tuner's monotonic
+// reset sequence number, which makes replay idempotent (a reset already
+// inside the snapshot, or re-fired deterministically by the replayed
+// stream, is skipped); DriftArm, DriftKeep, DriftProbes and DriftP1
+// carry the reset parameters so replay re-applies it verbatim. Version
+// ≤ 2 readers never see these fields; version-3 readers see them as
+// zero values on old journals, i.e. "no drift".
 type Record struct {
 	Iter     int    `json:"iter"`
 	Algo     string `json:"algo"`
@@ -30,7 +40,20 @@ type Record struct {
 	Trial    uint64 `json:"trial,omitempty"`
 	Spec     bool   `json:"spec,omitempty"`
 	Pinned   bool   `json:"pinned,omitempty"`
+
+	Drift       string `json:"drift,omitempty"`
+	DriftSeq    uint64 `json:"dseq,omitempty"`
+	DriftArm    int    `json:"darm,omitempty"`
+	DriftKeep   F      `json:"dkeep,omitempty"`
+	DriftProbes int    `json:"dprobes,omitempty"`
+	DriftP1     bool   `json:"dp1,omitempty"`
 }
+
+// Drift sentinel kinds (Record.Drift).
+const (
+	DriftDecay  = "decay"
+	DriftRefork = "refork"
+)
 
 // Journal is an append-only, fsync-per-append record of iterations
 // completed since the last snapshot. Each line is
@@ -170,10 +193,17 @@ func ReadJournalsSince(dir string, iter int) []Record {
 	}
 	// Defensive: records must be strictly increasing in Iter across the
 	// chain; clip anything out of order (overlapping generations after
-	// a partial prune).
+	// a partial prune). Drift sentinels are exempt — they share their
+	// Iter with the observation that triggered them (and with the first
+	// observation of a fresh generation), so the strict-monotonic rule
+	// would silently drop them.
 	out := recs[:0]
 	last := iter - 1
 	for _, r := range recs {
+		if r.Drift != "" {
+			out = append(out, r)
+			continue
+		}
 		if r.Iter > last {
 			out = append(out, r)
 			last = r.Iter

@@ -78,6 +78,26 @@ type tunerState struct {
 	PinnedIters int    `json:"pinned_iters"`
 
 	HistoryTail []recState `json:"history_tail,omitempty"`
+
+	Drift *driftState `json:"drift,omitempty"`
+}
+
+// driftState is the drift watchdog's snapshot payload: the reset
+// sequence number, the still-pending re-probe queue, and the counters.
+// Detector internals (Page–Hinkley sums, ADWIN buckets) are advisory
+// warm-up state and deliberately not persisted; a resumed watchdog
+// starts its detectors cold and relies on journaled sentinels for any
+// reset in the replayed tail.
+type driftState struct {
+	Seq             uint64 `json:"seq,omitempty"`
+	ProbeQ          []int  `json:"probe_q,omitempty"`
+	Cooldown        int    `json:"cooldown,omitempty"`
+	Events          uint64 `json:"events,omitempty"`
+	Decays          uint64 `json:"decays,omitempty"`
+	Reforks         uint64 `json:"reforks,omitempty"`
+	ProbesScheduled uint64 `json:"probes_scheduled,omitempty"`
+	Outliers        uint64 `json:"outliers,omitempty"`
+	Stale           uint64 `json:"stale,omitempty"`
 }
 
 type recState struct {
@@ -151,6 +171,20 @@ func (t *Tuner) ExportState() ([]byte, error) {
 			return nil, fmt.Errorf("core: exporting guard: %w", err)
 		}
 		st.Guard = raw
+	}
+	if t.driftSeq > 0 || t.drift != nil {
+		ds := &driftState{Seq: t.driftSeq}
+		if d := t.drift; d != nil {
+			ds.ProbeQ = append([]int(nil), d.probeQ...)
+			ds.Cooldown = d.cooldown
+			ds.Events = d.events
+			ds.Decays = d.decays
+			ds.Reforks = d.reforks
+			ds.ProbesScheduled = d.probesScheduled
+			ds.Outliers = d.outliers
+			ds.Stale = d.staleDrops
+		}
+		st.Drift = ds
 	}
 	tail := t.history
 	if len(tail) > stateHistoryTail {
@@ -243,6 +277,19 @@ func (t *Tuner) RestoreState(payload []byte) error {
 		t.degraded = st.Degraded && st.RecentFill > 0
 	}
 	t.pinnedIters = st.PinnedIters
+	if ds := st.Drift; ds != nil {
+		t.driftSeq = ds.Seq
+		if d := t.drift; d != nil {
+			d.probeQ = append(d.probeQ[:0], ds.ProbeQ...)
+			d.cooldown = ds.Cooldown
+			d.events = ds.Events
+			d.decays = ds.Decays
+			d.reforks = ds.Reforks
+			d.probesScheduled = ds.ProbesScheduled
+			d.outliers = ds.Outliers
+			d.staleDrops = ds.Stale
+		}
+	}
 	if t.keepHistory {
 		t.history = t.history[:0]
 		for _, r := range st.HistoryTail {
@@ -377,6 +424,16 @@ func Resume(dir string, every int, algos []Algorithm, selector nominal.Selector,
 	}
 	t.replaying = true
 	for _, rec := range records {
+		if rec.Drift != "" {
+			// A journaled selector reset. Detection never fires during
+			// replay (snapshots do not persist detector state, so a
+			// differently-warmed detector could diverge the replay);
+			// the sentinel is the authoritative record of the reset,
+			// and the sequence guard skips any reset already inside
+			// the snapshot.
+			t.applyDriftRecord(rec)
+			continue
+		}
 		if rec.Iter < t.Iterations() {
 			continue // already inside the snapshot
 		}
@@ -451,6 +508,13 @@ func ResumeConcurrent(dir string, every int, algos []Algorithm, selector nominal
 	var maxTrial uint64
 	t.replaying = true
 	for _, rec := range records {
+		if rec.Drift != "" {
+			// Journaled selector reset: re-apply it in stream position
+			// (see Resume). The engine path never restarts strategies,
+			// which rec.DriftP1 = false preserves on replay.
+			t.applyDriftRecord(rec)
+			continue
+		}
 		if rec.Trial > maxTrial {
 			maxTrial = rec.Trial
 		}

@@ -65,10 +65,15 @@ type TrialFailure struct {
 }
 
 // lease is the engine's record of an outstanding trial. trial.Config is
-// the engine's private copy (the caller got its own clone).
+// the engine's private copy (the caller got its own clone). epoch is the
+// tuner's drift sequence number at lease time: a completion arriving
+// after a drift reset is evidence about the regime whose records the
+// reset just dropped, and is discarded instead of applied (see
+// finishLocked).
 type lease struct {
 	trial Trial
 	prop  search.Proposal
+	epoch uint64
 }
 
 // bestSnap is the copy-on-write snapshot behind the lock-free Best.
@@ -159,6 +164,9 @@ func wrapEngine(t *Tuner, opts []Option) (*ConcurrentTuner, error) {
 	if t.pending {
 		return nil, errors.New("core: NewConcurrentTuner with an observation pending")
 	}
+	// The engine owns the tuner from here: drift resets must not restart
+	// the strategies beneath the proposers' outstanding proposals.
+	t.engineOwned = true
 	c := &ConcurrentTuner{
 		t:         t,
 		proposers: make([]*search.Proposer, len(t.strategies)),
@@ -211,7 +219,13 @@ func (c *ConcurrentTuner) leaseOneLocked() (Trial, error) {
 		tr.Config = t.bestCfg.Clone()
 		tr.Pinned = true
 	} else {
-		tr.Algo = c.selectLocked()
+		if p, ok := t.takeProbe(); ok {
+			// Drift-reset re-probe: the arm is forced, phase one
+			// proposes normally.
+			tr.Algo = p
+		} else {
+			tr.Algo = c.selectLocked()
+		}
 		prop = c.proposers[tr.Algo].Propose()
 		tr.Config = prop.Config.Clone()
 		tr.Speculative = !prop.Primary
@@ -221,7 +235,7 @@ func (c *ConcurrentTuner) leaseOneLocked() (Trial, error) {
 	}
 	stored := tr
 	stored.Config = tr.Config.Clone() // callers may mutate their copy
-	c.leases[tr.ID] = &lease{trial: stored, prop: prop}
+	c.leases[tr.ID] = &lease{trial: stored, prop: prop, epoch: t.driftSeq}
 	c.inFlight[tr.Algo]++
 	c.nLeased++
 	return tr, nil
@@ -526,8 +540,23 @@ func (c *ConcurrentTuner) ReclaimExpired() int {
 }
 
 // finishLocked routes one taken lease through the shared completion
-// path and refreshes the lock-free snapshots.
+// path and refreshes the lock-free snapshots. A lease older than the
+// current drift epoch is discarded instead: its measurement belongs to
+// the regime whose evidence the reset dropped, and folding it in would
+// re-poison the decayed selector (a single stale best-value record
+// re-enthrones the dethroned incumbent). Phase one is still unblocked —
+// the proposer's ask/tell alternation must not wedge on a dropped
+// result.
 func (c *ConcurrentTuner) finishLocked(l *lease, value float64, fail *guard.Failure) {
+	if l.epoch != c.t.driftSeq {
+		if !l.trial.Pinned {
+			c.proposers[l.trial.Algo].Report(l.prop, value)
+		}
+		if d := c.t.drift; d != nil {
+			d.staleDrops++
+		}
+		return
+	}
 	var report func(param.Config, float64)
 	if !l.trial.Pinned {
 		algo, prop := l.trial.Algo, l.prop

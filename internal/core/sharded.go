@@ -136,6 +136,17 @@ type shard struct {
 	pinnedAlgo int // degradation-mode incumbent to pin; -1 when healthy
 	pinnedCfg  param.Config
 	penalty    float64
+
+	// Drift propagation: driftSeen is the authoritative drift sequence
+	// number this shard's replica reflects (advanced only while folding
+	// under both foldMu and mu; leases read it under mu to epoch-stamp
+	// themselves); a fold observing a newer sequence re-forks the
+	// replica — the authoritative selector was reset, so replaying the
+	// lag into the stale replica would resurrect exactly the evidence
+	// the reset dropped. probeQ (guarded by mu) holds this shard's
+	// share of the reset's forced re-probes.
+	driftSeen uint64
+	probeQ    []int
 }
 
 // logObs is one folded observation in the engine's catch-up log.
@@ -156,10 +167,14 @@ const logCompactAt = 1024
 // one whose workers starved for a long stretch — re-forks instead.
 const replicaReforkAt = 512
 
+// shardLease records an outstanding trial. epoch is the shard's drift
+// sequence at lease time; a completion folding in after a drift reset
+// is discarded (see flushShard).
 type shardLease struct {
 	trial   Trial
 	prop    search.Proposal
 	primary bool
+	epoch   uint64
 }
 
 // shardObs is one completed trial awaiting its fold: everything
@@ -174,6 +189,7 @@ type shardObs struct {
 	pinned   bool
 	prop     search.Proposal
 	primary  bool
+	epoch    uint64 // lease-time drift sequence (see shardLease)
 }
 
 // NewShardedEngine builds a tuner, wraps it in the trial engine, and
@@ -234,6 +250,7 @@ func newShardedOver(c *ConcurrentTuner, cfg shardConfig) (*ShardedEngine, error)
 	pen := t.penalty()
 	pinAlgo, pinCfg := degradedPinLocked(t)
 	bases, baseVals := proposerBestsLocked(c)
+	driftSeq := t.driftSeq
 	c.mu.Unlock()
 
 	e.shards = make([]*shard, e.n)
@@ -249,6 +266,7 @@ func newShardedOver(c *ConcurrentTuner, cfg shardConfig) (*ShardedEngine, error)
 			spare:      make([]shardObs, 0, cfg.mergeEvery+8),
 			pinnedAlgo: pinAlgo,
 			penalty:    pen,
+			driftSeen:  driftSeq,
 		}
 		if pinCfg != nil {
 			s.pinnedCfg = pinCfg.Clone()
@@ -417,7 +435,12 @@ func (s *shard) leaseOneLocked(e *ShardedEngine) Trial {
 		// in place, so the lease can share it.
 		stored = s.pinnedCfg
 	} else {
-		if ia, ok := s.replica.(nominal.InFlightAware); ok {
+		if len(s.probeQ) > 0 {
+			// Drift-reset re-probe handed to this shard at its last
+			// fold: the arm is forced, phase one proposes normally.
+			tr.Algo = s.probeQ[0]
+			s.probeQ = s.probeQ[:copy(s.probeQ, s.probeQ[1:])]
+		} else if ia, ok := s.replica.(nominal.InFlightAware); ok {
 			tr.Algo = ia.SelectInFlight(s.rng, s.inFlight)
 		} else {
 			tr.Algo = s.replica.Select(s.rng)
@@ -440,7 +463,7 @@ func (s *shard) leaseOneLocked(e *ShardedEngine) Trial {
 	}
 	st := tr
 	st.Config = stored
-	s.leases[id] = &shardLease{trial: st, prop: prop, primary: primary}
+	s.leases[id] = &shardLease{trial: st, prop: prop, primary: primary, epoch: s.driftSeen}
 	s.inFlight[tr.Algo]++
 	return tr
 }
@@ -468,6 +491,7 @@ func (e *ShardedEngine) Complete(id uint64, value float64) error {
 	obs := shardObs{
 		id: id, algo: l.trial.Algo, cfg: l.trial.Config,
 		prop: l.prop, primary: l.primary, pinned: l.trial.Pinned,
+		epoch: l.epoch,
 	}
 	if math.IsNaN(value) || math.IsInf(value, 0) {
 		obs.failed = true
@@ -513,6 +537,7 @@ func (e *ShardedEngine) Fail(id uint64, f guard.Failure) error {
 		id: id, algo: l.trial.Algo, cfg: l.trial.Config, value: p,
 		failed: true, failKind: f.Kind,
 		prop: l.prop, primary: l.primary, pinned: l.trial.Pinned,
+		epoch: l.epoch,
 	})
 	flush := len(s.delta) >= e.mergeEvery
 	s.mu.Unlock()
@@ -656,6 +681,7 @@ func (s *shard) sweepLocked(e *ShardedEngine) int {
 				id: id, algo: l.trial.Algo, cfg: l.trial.Config, value: s.penalty,
 				failed: true, failKind: guard.Timeout,
 				prop: l.prop, primary: l.primary, pinned: l.trial.Pinned,
+				epoch: l.epoch,
 			})
 			n++
 		}
@@ -694,6 +720,22 @@ func (e *ShardedEngine) flushShard(s *shard) {
 	}
 	for i := range batch {
 		o := &batch[i]
+		if o.epoch != t.driftSeq {
+			// Leased before a drift reset (possibly one fired earlier in
+			// this very batch): the measurement is stale-regime evidence,
+			// and folding it in would resurrect exactly the records the
+			// reset dropped — one stale best value re-enthrones the
+			// dethroned incumbent. Unblock phase one and discard; the
+			// observation is never journaled, so resume replays the same
+			// stream the selector actually saw.
+			if o.primary {
+				c.proposers[o.algo].Report(o.prop, o.value)
+			}
+			if t.drift != nil {
+				t.drift.staleDrops++
+			}
+			continue
+		}
 		var fail *guard.Failure
 		if o.failed {
 			fail = &guard.Failure{
@@ -730,10 +772,22 @@ func (e *ShardedEngine) flushShard(s *shard) {
 	// Snapshot the merged state for the rebroadcast: copy the catch-up
 	// slice out (compaction may shift the live log), advance the synced
 	// mark, and compact the fully replayed prefix away. A shard too far
-	// behind re-forks the whole selector instead of replaying the lag.
+	// behind re-forks the whole selector instead of replaying the lag,
+	// and so does a shard whose replica predates a drift reset — the
+	// authoritative selector dropped evidence the lag replay would
+	// resurrect.
+	driftSeq := t.driftSeq
+	driftReset := s.driftSeen != driftSeq
+	var probeShare []int
+	if t.drift != nil && len(t.drift.probeQ) > 0 {
+		// Forced re-probes drain on every fold, not just the re-forking
+		// one: the ceil division leaves a remainder behind once each
+		// shard has taken its share, and any shard can run it.
+		probeShare = t.drift.takeProbes((len(t.drift.probeQ) + e.n - 1) / e.n)
+	}
 	s.lagBuf = s.lagBuf[:0]
 	var fork nominal.Selector
-	if len(e.log)-(s.synced-e.logBase) > replicaReforkAt {
+	if driftReset || len(e.log)-(s.synced-e.logBase) > replicaReforkAt {
 		fork = t.selector.(nominal.Mergeable).Fork()
 	} else {
 		for _, o := range e.log[s.synced-e.logBase:] {
@@ -769,6 +823,10 @@ func (e *ShardedEngine) flushShard(s *shard) {
 	}
 	for _, o := range s.lagBuf {
 		s.replica.Report(int(o.arm), o.value)
+	}
+	s.driftSeen = driftSeq
+	if len(probeShare) > 0 {
+		s.probeQ = append(s.probeQ, probeShare...)
 	}
 	s.penalty = pen
 	s.pinnedAlgo = pinAlgo

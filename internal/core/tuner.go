@@ -126,6 +126,14 @@ type Tuner struct {
 	pinned      bool // the pending observation is a pinned (degraded) run
 	pinnedIters int
 
+	// Drift resilience (see WithDriftWatchdog). driftSeq is maintained
+	// even without the watchdog so journaled sentinels replay
+	// idempotently; engineOwned marks a tuner wrapped by a trial engine,
+	// whose strategies must never be restarted beneath the proposers.
+	drift       *driftWatchdog
+	driftSeq    uint64
+	engineOwned bool
+
 	// Crash-safe persistence (see WithCheckpoint / Resume).
 	ckptDir      string
 	ckptEvery    int
@@ -194,6 +202,9 @@ func NewTuner(algos []Algorithm, selector nominal.Selector, factory search.Facto
 		t.strategies[i] = s
 	}
 	selector.Init(len(algos))
+	if t.drift != nil {
+		t.drift.init(len(algos))
+	}
 	t.perAlgoHistory = make([][]float64, len(algos))
 	if t.ckptDir != "" {
 		if err := t.initCheckpoint(); err != nil {
@@ -265,7 +276,14 @@ func (t *Tuner) Next() (algo int, cfg param.Config) {
 		t.pendingCfg = t.bestCfg.Clone()
 		return t.bestAlgo, t.bestCfg.Clone()
 	}
-	algo = t.selector.Select(t.rng)
+	if p, ok := t.takeProbe(); ok {
+		// A drift reset scheduled this arm for a forced re-probe: the
+		// dethroned regime's evidence is being rebuilt, so the probe
+		// overrides phase two (phase one proposes normally).
+		algo = p
+	} else {
+		algo = t.selector.Select(t.rng)
+	}
 	cfg = t.strategies[algo].Propose()
 	t.pending = true
 	t.pendingAlgo = algo
@@ -401,6 +419,11 @@ func (t *Tuner) applyCompletion(c completion, reportPhase1 func(param.Config, fl
 	t.watch(failed)
 	if t.ckptDir != "" && !t.replaying {
 		t.checkpointObserve(iter, c)
+	}
+	if t.drift != nil {
+		// After checkpointObserve: a reset's journal sentinel must
+		// follow the observation that triggered it.
+		t.driftObserve(c)
 	}
 	return iter
 }

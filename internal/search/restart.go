@@ -108,6 +108,20 @@ func (r *Restarting) restart() {
 	r.fromBest = !r.fromBest
 }
 
+// Restart forces an immediate restart of the inner strategy without
+// waiting for convergence. core's drift watchdog calls this when a
+// change-point is detected: the converged numeric configuration of the
+// old context is a local optimum of a landscape that no longer exists,
+// so the next restart probes fresh ground. The global best is kept (it
+// still seeds the next local-refinement restart), and the alternating
+// restart style advances exactly as for a convergence-triggered restart.
+func (r *Restarting) Restart() {
+	r.mustStarted("Restarting.Restart")
+	if r.space.Dim() > 0 {
+		r.restart()
+	}
+}
+
 // Report forwards the measurement and tracks the global best.
 func (r *Restarting) Report(c param.Config, v float64) {
 	r.mustStarted("Restarting.Report")

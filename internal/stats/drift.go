@@ -1,0 +1,357 @@
+package stats
+
+import "math"
+
+// Online change-point detection over per-arm cost streams. Three
+// complementary pieces, composed by core's drift watchdog:
+//
+//   - PageHinkley: a two-sided Page–Hinkley test, the classic sequential
+//     CUSUM variant for detecting a sustained shift of the mean. Cheap
+//     (O(1) per observation), sensitive to slow drifts, but needs its
+//     magnitude (Delta) and threshold (Lambda) chosen for the stream's
+//     scale — feeding log-costs makes both relative.
+//   - AdaptiveWindow: an ADWIN-style adaptive sliding window backed by an
+//     exponential histogram. It keeps a window of recent observations
+//     and cuts its oldest portion whenever two sub-windows have means
+//     that differ beyond a variance-aware Hoeffding bound — detecting
+//     abrupt shifts without a tuned magnitude parameter, at O(log n)
+//     memory.
+//   - MADWindow: a robust outlier screen (median absolute deviation over
+//     a short window) that distinguishes isolated spikes — which should
+//     not feed the detectors at all — from genuine level shifts, which
+//     arrive as *runs* of "outliers" and must pass through.
+//
+// All three are plain value types driven by Add; none is safe for
+// concurrent use (core serializes observations per arm under its
+// decision lock).
+
+// PageHinkley is a two-sided Page–Hinkley change detector. It tracks the
+// running mean of the stream and accumulates deviations from it; when
+// the cumulative deviation departs more than Lambda from its historical
+// extremum in either direction, a change is signalled.
+//
+// Delta is the half-width of the indifference band: shifts smaller than
+// Delta (per observation, in the stream's unit) are ignored. Lambda is
+// the detection threshold — larger values trade detection delay for
+// fewer false alarms.
+type PageHinkley struct {
+	// Delta is the magnitude tolerance (indifference half-width).
+	Delta float64
+	// Lambda is the detection threshold.
+	Lambda float64
+	// MinObs is the minimum number of observations before the test may
+	// fire (the running mean is meaningless on the first few samples).
+	MinObs int
+
+	n       int
+	mean    float64
+	incSum  float64 // cumulative (x - mean - delta): grows on an upward shift
+	incMin  float64 // historical minimum of incSum
+	incMinN int     // n at which incMin was last lowered
+	decSum  float64 // cumulative (x - mean + delta): shrinks on a downward shift
+	decMax  float64 // historical maximum of decSum
+	decMaxN int     // n at which decMax was last raised
+	postLen int     // post-change length estimate set at the last firing Add
+}
+
+// NewPageHinkley returns a detector with the given tolerance, threshold
+// and warmup length.
+func NewPageHinkley(delta, lambda float64, minObs int) *PageHinkley {
+	return &PageHinkley{Delta: delta, Lambda: lambda, MinObs: minObs}
+}
+
+// Add feeds one observation and reports whether a change was detected.
+// After a detection the caller decides whether to Reset; without a reset
+// the test keeps firing while the excursion persists. Non-finite inputs
+// are ignored (the guard layer upstream penalizes them separately).
+func (p *PageHinkley) Add(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return false
+	}
+	p.n++
+	// Running mean BEFORE the deviation terms, per the standard
+	// formulation: the first observation contributes zero deviation.
+	p.mean += (x - p.mean) / float64(p.n)
+	p.incSum += x - p.mean - p.Delta
+	if p.incSum < p.incMin {
+		p.incMin = p.incSum
+		p.incMinN = p.n
+	}
+	p.decSum += x - p.mean + p.Delta
+	if p.decSum > p.decMax {
+		p.decMax = p.decSum
+		p.decMaxN = p.n
+	}
+	if p.n < p.MinObs {
+		return false
+	}
+	switch {
+	case p.incSum-p.incMin > p.Lambda:
+		p.postLen = p.n - p.incMinN
+	case p.decMax-p.decSum > p.Lambda:
+		p.postLen = p.n - p.decMaxN
+	default:
+		return false
+	}
+	return true
+}
+
+// PostShiftLen estimates, after a firing Add, how many of the stream's
+// most recent observations lie past the change-point: the cumulative
+// statistic reaches its extremum right before the shift starts pushing
+// it away, so the extremum's position localizes the change. Change-point
+// consumers (core's drift watchdog) use this to size how much history
+// survives a reset. Zero before any detection.
+func (p *PageHinkley) PostShiftLen() int { return p.postLen }
+
+// Reset forgets all state (called after a detection is acted upon).
+func (p *PageHinkley) Reset() {
+	p.n, p.mean = 0, 0
+	p.incSum, p.incMin, p.incMinN = 0, 0, 0
+	p.decSum, p.decMax, p.decMaxN = 0, 0, 0
+	p.postLen = 0
+}
+
+// N returns the number of observations since the last reset.
+func (p *PageHinkley) N() int { return p.n }
+
+// Mean returns the running mean since the last reset (0 before any
+// observation).
+func (p *PageHinkley) Mean() float64 { return p.mean }
+
+// adwinBucket is one exponential-histogram bucket: the sum and sum of
+// squares of 2^level consecutive observations.
+type adwinBucket struct {
+	sum   float64
+	sumSq float64
+	count int
+}
+
+// AdaptiveWindow is an ADWIN-style adaptive window. Observations enter
+// as singleton buckets; same-size buckets merge pairwise once more than
+// MaxBuckets of a size accumulate, so memory is O(MaxBuckets·log n).
+// After every insertion the window is cut from the old end while any
+// old/new split has sub-window means differing beyond a variance-aware
+// Hoeffding bound at confidence Delta.
+type AdaptiveWindow struct {
+	// Delta is the cut confidence: smaller values cut more reluctantly.
+	Delta float64
+	// MaxBuckets bounds how many buckets of each size are kept before a
+	// pairwise merge (ADWIN's M parameter).
+	MaxBuckets int
+
+	buckets []adwinBucket // oldest first
+	total   adwinBucket
+}
+
+// NewAdaptiveWindow returns a window with the given cut confidence and
+// the conventional per-level capacity of 5.
+func NewAdaptiveWindow(delta float64) *AdaptiveWindow {
+	return &AdaptiveWindow{Delta: delta, MaxBuckets: 5}
+}
+
+// Add feeds one observation and reports whether the window was cut — a
+// cut is a detected distribution change, with the window already shrunk
+// to the post-change suffix. Non-finite inputs are ignored.
+func (w *AdaptiveWindow) Add(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return false
+	}
+	w.buckets = append(w.buckets, adwinBucket{sum: x, sumSq: x * x, count: 1})
+	w.total.sum += x
+	w.total.sumSq += x * x
+	w.total.count++
+	w.compress()
+	return w.cut()
+}
+
+// compress merges the two oldest buckets of any size that exceeds
+// MaxBuckets occupancy, cascading upward.
+func (w *AdaptiveWindow) compress() {
+	m := w.MaxBuckets
+	if m < 2 {
+		m = 2
+	}
+	for size := 1; ; size *= 2 {
+		first, n := -1, 0
+		for i, b := range w.buckets {
+			if b.count == size {
+				if first < 0 {
+					first = i
+				}
+				n++
+			}
+		}
+		if n <= m {
+			if n == 0 {
+				return
+			}
+			continue
+		}
+		// Merge the two oldest buckets of this size. Same-size buckets
+		// are contiguous (sizes are non-increasing from old to new).
+		a, b := w.buckets[first], w.buckets[first+1]
+		merged := adwinBucket{sum: a.sum + b.sum, sumSq: a.sumSq + b.sumSq, count: a.count + b.count}
+		w.buckets[first] = merged
+		w.buckets = append(w.buckets[:first+1], w.buckets[first+2:]...)
+	}
+}
+
+// cut drops old buckets while some old/new split fails the Hoeffding
+// test, returning whether anything was dropped.
+func (w *AdaptiveWindow) cut() bool {
+	dropped := false
+	for len(w.buckets) >= 2 && w.total.count >= 8 {
+		// Scan split points from the old end: old = buckets[:i+1],
+		// new = the rest.
+		var old adwinBucket
+		cutAt := -1
+		for i := 0; i < len(w.buckets)-1; i++ {
+			old.sum += w.buckets[i].sum
+			old.sumSq += w.buckets[i].sumSq
+			old.count += w.buckets[i].count
+			n0, n1 := float64(old.count), float64(w.total.count-old.count)
+			if n0 < 2 || n1 < 2 {
+				continue
+			}
+			mu0 := old.sum / n0
+			mu1 := (w.total.sum - old.sum) / n1
+			if w.exceeds(mu0, mu1, n0, n1) {
+				cutAt = i
+				break
+			}
+		}
+		if cutAt < 0 {
+			return dropped
+		}
+		// Drop the oldest bucket and re-test: shrinking one bucket at a
+		// time keeps the window's exponential structure intact.
+		b := w.buckets[0]
+		w.total.sum -= b.sum
+		w.total.sumSq -= b.sumSq
+		w.total.count -= b.count
+		w.buckets = w.buckets[1:]
+		dropped = true
+	}
+	return dropped
+}
+
+// exceeds is the variance-aware Hoeffding cut condition of ADWIN.
+func (w *AdaptiveWindow) exceeds(mu0, mu1, n0, n1 float64) bool {
+	n := float64(w.total.count)
+	variance := w.Variance()
+	if variance < 0 {
+		variance = 0
+	}
+	// Union bound over the n possible split points.
+	deltaPrime := w.Delta / n
+	if deltaPrime <= 0 {
+		deltaPrime = 1e-12
+	}
+	m := 1 / (1/n0 + 1/n1) // harmonic mean / 2
+	lg := math.Log(2 / deltaPrime)
+	eps := math.Sqrt(2/m*variance*lg) + 2/(3*m)*lg
+	return math.Abs(mu0-mu1) > eps
+}
+
+// Len returns the current window length.
+func (w *AdaptiveWindow) Len() int { return w.total.count }
+
+// Mean returns the window mean (0 on an empty window).
+func (w *AdaptiveWindow) Mean() float64 {
+	if w.total.count == 0 {
+		return 0
+	}
+	return w.total.sum / float64(w.total.count)
+}
+
+// Variance returns the window's population variance (0 for fewer than
+// two observations).
+func (w *AdaptiveWindow) Variance() float64 {
+	n := float64(w.total.count)
+	if n < 2 {
+		return 0
+	}
+	mu := w.total.sum / n
+	v := w.total.sumSq/n - mu*mu
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Reset empties the window.
+func (w *AdaptiveWindow) Reset() {
+	w.buckets = nil
+	w.total = adwinBucket{}
+}
+
+// madConsistency scales MAD to the standard deviation of a normal
+// distribution.
+const madConsistency = 1.4826
+
+// MADWindow is a robust outlier screen over a short sliding window: an
+// observation farther than K robust standard deviations
+// (K · 1.4826 · MAD) from the window median is an outlier. A floored
+// MAD keeps a constant-valued window from flagging everything.
+type MADWindow struct {
+	// K is the outlier threshold in robust standard deviations.
+	K float64
+
+	buf  []float64
+	next int
+	n    int
+}
+
+// NewMADWindow returns a screen over the last w observations.
+func NewMADWindow(w int, k float64) *MADWindow {
+	if w < 4 {
+		w = 4
+	}
+	return &MADWindow{K: k, buf: make([]float64, w)}
+}
+
+// Outlier reports whether x lies beyond K robust standard deviations of
+// the current window. With fewer than 4 observations there is no robust
+// scale estimate and nothing is flagged.
+func (m *MADWindow) Outlier(x float64) bool {
+	if m.n < 4 || math.IsNaN(x) {
+		return math.IsNaN(x) || math.IsInf(x, 0)
+	}
+	if math.IsInf(x, 0) {
+		return true
+	}
+	window := append([]float64(nil), m.buf[:m.n]...)
+	med := Median(window)
+	devs := window
+	for i, v := range devs {
+		devs[i] = math.Abs(v - med)
+	}
+	mad := Median(devs) * madConsistency
+	// Floor the scale so a near-constant window (MAD 0) only flags
+	// genuinely distant points, relative to the median's magnitude.
+	floor := 1e-9 + 1e-3*math.Abs(med)
+	if mad < floor {
+		mad = floor
+	}
+	return math.Abs(x-med) > m.K*mad
+}
+
+// Add inserts x into the window (oldest observation evicted when full).
+// Non-finite inputs are dropped — they would poison the median.
+func (m *MADWindow) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	m.buf[m.next] = x
+	m.next = (m.next + 1) % len(m.buf)
+	if m.n < len(m.buf) {
+		m.n++
+	}
+}
+
+// Len returns the number of buffered observations.
+func (m *MADWindow) Len() int { return m.n }
+
+// Reset empties the window.
+func (m *MADWindow) Reset() { m.next, m.n = 0, 0 }

@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPageHinkleyDetectsUpwardShift(t *testing.T) {
+	ph := NewPageHinkley(0.05, 2.0, 8)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		if ph.Add(1.0 + 0.05*r.NormFloat64()) {
+			t.Fatalf("false alarm on stationary stream at %d", i)
+		}
+	}
+	fired := -1
+	for i := 0; i < 200; i++ {
+		if ph.Add(2.0 + 0.05*r.NormFloat64()) {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("upward mean shift never detected")
+	}
+	if fired > 40 {
+		t.Fatalf("detection delay %d too long for a 1.0 shift", fired)
+	}
+}
+
+func TestPageHinkleyDetectsDownwardShift(t *testing.T) {
+	ph := NewPageHinkley(0.05, 2.0, 8)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		ph.Add(2.0 + 0.05*r.NormFloat64())
+	}
+	fired := false
+	for i := 0; i < 200; i++ {
+		if ph.Add(1.0 + 0.05*r.NormFloat64()) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("downward mean shift never detected")
+	}
+}
+
+func TestPageHinkleyWarmupAndReset(t *testing.T) {
+	ph := NewPageHinkley(0, 0.01, 10)
+	// A violent shift inside the warmup must not fire.
+	for i := 0; i < 9; i++ {
+		x := 0.0
+		if i > 4 {
+			x = 100
+		}
+		if ph.Add(x) {
+			t.Fatalf("fired at n=%d, inside MinObs=%d warmup", ph.N(), ph.MinObs)
+		}
+	}
+	ph.Reset()
+	if ph.N() != 0 || ph.Mean() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestPageHinkleyIgnoresNonFinite(t *testing.T) {
+	ph := NewPageHinkley(0.005, 0.5, 4)
+	for i := 0; i < 50; i++ {
+		ph.Add(1)
+	}
+	n := ph.N()
+	if ph.Add(math.NaN()) || ph.Add(math.Inf(1)) || ph.Add(math.Inf(-1)) {
+		t.Fatal("non-finite input fired the detector")
+	}
+	if ph.N() != n {
+		t.Fatal("non-finite input was counted")
+	}
+}
+
+func TestAdaptiveWindowCutsOnShift(t *testing.T) {
+	w := NewAdaptiveWindow(0.002)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		if w.Add(1.0+0.05*r.NormFloat64()) && i > 16 {
+			t.Fatalf("false cut on stationary stream at %d (len %d)", i, w.Len())
+		}
+	}
+	preLen := w.Len()
+	cutAt := -1
+	for i := 0; i < 300; i++ {
+		if w.Add(3.0 + 0.05*r.NormFloat64()) {
+			cutAt = i
+			break
+		}
+	}
+	if cutAt < 0 {
+		t.Fatal("mean shift never cut the window")
+	}
+	if w.Len() >= preLen+cutAt {
+		t.Fatalf("cut did not shrink the window: len %d after %d+%d adds", w.Len(), preLen, cutAt)
+	}
+	// The surviving window should reflect the new regime.
+	for i := 0; i < 100; i++ {
+		w.Add(3.0 + 0.05*r.NormFloat64())
+	}
+	if m := w.Mean(); math.Abs(m-3.0) > 0.5 {
+		t.Fatalf("post-cut window mean %.3f still anchored to the old regime", m)
+	}
+}
+
+func TestAdaptiveWindowBoundedMemory(t *testing.T) {
+	w := NewAdaptiveWindow(0.002)
+	for i := 0; i < 100000; i++ {
+		w.Add(1)
+	}
+	// Exponential histogram: ~MaxBuckets buckets per power-of-two level.
+	if n := len(w.buckets); n > w.MaxBuckets*20 {
+		t.Fatalf("bucket count %d not logarithmic in window length %d", n, w.Len())
+	}
+	if w.Len() != 100000 {
+		t.Fatalf("stationary stream should keep the whole window, got %d", w.Len())
+	}
+	if math.Abs(w.Mean()-1) > 1e-9 || w.Variance() > 1e-9 {
+		t.Fatalf("constant stream: mean %.6f var %.6f", w.Mean(), w.Variance())
+	}
+}
+
+func TestAdaptiveWindowReset(t *testing.T) {
+	w := NewAdaptiveWindow(0.002)
+	for i := 0; i < 100; i++ {
+		w.Add(float64(i % 7))
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Mean() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestMADWindowScreensSpikes(t *testing.T) {
+	m := NewMADWindow(16, 6)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 16; i++ {
+		m.Add(10 + 0.2*r.NormFloat64())
+	}
+	if m.Outlier(10.3) {
+		t.Fatal("in-band value flagged")
+	}
+	if !m.Outlier(40) {
+		t.Fatal("4x spike not flagged")
+	}
+	if !m.Outlier(math.Inf(1)) || !m.Outlier(math.NaN()) {
+		t.Fatal("non-finite value not flagged")
+	}
+}
+
+func TestMADWindowConstantStream(t *testing.T) {
+	m := NewMADWindow(8, 6)
+	for i := 0; i < 8; i++ {
+		m.Add(5)
+	}
+	// MAD is zero; the floored scale must keep equal values in-band and
+	// still flag a distant one.
+	if m.Outlier(5) {
+		t.Fatal("constant window flagged its own value")
+	}
+	if !m.Outlier(6) {
+		t.Fatal("constant window missed a clear departure")
+	}
+}
+
+func TestMADWindowWarmup(t *testing.T) {
+	m := NewMADWindow(16, 6)
+	m.Add(1)
+	m.Add(100)
+	if m.Outlier(50) {
+		t.Fatal("flagged with no robust scale estimate")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+// FuzzDriftUpdate drives all three detectors with an arbitrary byte
+// stream decoded as float64s. The contract: never panic, never corrupt
+// the window invariants (non-negative lengths, finite aggregates on
+// finite input), regardless of input order, magnitude, or non-finite
+// values.
+func FuzzDriftUpdate(f *testing.F) {
+	seed := make([]byte, 0, 64)
+	for _, v := range []float64{0, 1, -1, 1e300, -1e300, 1e-300, math.Inf(1), math.Inf(-1), math.NaN(), 3.14} {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(v))
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ph := NewPageHinkley(0.05, 2.0, 8)
+		aw := NewAdaptiveWindow(0.002)
+		mad := NewMADWindow(16, 6)
+		added := 0
+		for len(data) >= 8 {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+			data = data[8:]
+			mad.Outlier(x)
+			mad.Add(x)
+			ph.Add(x)
+			aw.Add(x)
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				added++
+			}
+			if ph.N() != added {
+				t.Fatalf("PageHinkley counted %d of %d finite inputs", ph.N(), added)
+			}
+			if aw.Len() < 0 || aw.Len() > added {
+				t.Fatalf("AdaptiveWindow len %d after %d finite inputs", aw.Len(), added)
+			}
+			if mad.Len() < 0 || mad.Len() > 16 {
+				t.Fatalf("MADWindow len %d beyond capacity", mad.Len())
+			}
+			if aw.Variance() < 0 {
+				t.Fatalf("negative window variance %g", aw.Variance())
+			}
+		}
+	})
+}

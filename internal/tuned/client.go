@@ -122,12 +122,14 @@ type Client struct {
 	backoffMax  time.Duration
 	dialFn      func(network, addr string, timeout time.Duration) (net.Conn, error)
 
-	pool   chan *clientConn
-	hash   atomic.Uint32 // expected/pinned config hash (0 = unpinned)
-	epoch  atomic.Int64  // most recent epoch seen in a handshake
-	algos  atomic.Pointer[[]string]
-	ttlMS  atomic.Int64
-	closed atomic.Bool
+	pool    chan *clientConn
+	hash    atomic.Uint32 // expected/pinned config hash (0 = unpinned)
+	epoch   atomic.Int64  // most recent epoch seen in a handshake
+	algos   atomic.Pointer[[]string]
+	ttlMS   atomic.Int64
+	refAlgo atomic.Int64  // calibration reference algorithm (handshake)
+	worker  atomic.Uint64 // worker identity stamped into reports
+	closed  atomic.Bool
 }
 
 // clientConn is one pooled connection with its handshake result.
@@ -207,6 +209,7 @@ func (c *Client) dial() (*clientConn, error) {
 	c.algos.Store(&algos)
 	c.epoch.Store(ack.Epoch)
 	c.ttlMS.Store(ack.LeaseTTLMS)
+	c.refAlgo.Store(int64(ack.RefAlgo))
 	return &clientConn{conn: conn, epoch: ack.Epoch}, nil
 }
 
@@ -270,6 +273,15 @@ func (c *Client) Algos() []string {
 func (c *Client) LeaseTTL() time.Duration {
 	return time.Duration(c.ttlMS.Load()) * time.Millisecond
 }
+
+// RefAlgo returns the server's calibration reference algorithm index
+// from the most recent handshake.
+func (c *Client) RefAlgo() int { return int(c.refAlgo.Load()) }
+
+// SetWorker stamps subsequent CompleteN reports with a worker identity,
+// so the server can apply that worker's calibrated speed factor. Zero
+// (the default) reports anonymously with factor 1.
+func (c *Client) SetWorker(id uint64) { c.worker.Store(id) }
 
 // roundTrip sends one request and reads its response, retrying
 // transport failures on fresh connections with full-jitter exponential
@@ -389,7 +401,7 @@ func (c *Client) LeaseN(n int) (LeaseBatch, error) {
 // not failures: the engine had already charged those trials (expired
 // lease, duplicate report, or older epoch).
 func (c *Client) CompleteN(epoch int64, results []core.TrialResult) (applied, dropped []uint64, err error) {
-	req := wire.CompleteNReq{Epoch: epoch, Results: make([]wire.Result, len(results))}
+	req := wire.CompleteNReq{Epoch: epoch, Worker: c.worker.Load(), Results: make([]wire.Result, len(results))}
 	for i, r := range results {
 		req.Results[i] = wire.Result{ID: r.ID, Value: r.Value}
 	}
@@ -454,6 +466,18 @@ func (c *Client) Absorb(worker, seq uint64, obs []nominal.Observation) (applied 
 		return 0, false, err
 	}
 	return ack.Applied, ack.Duplicate, nil
+}
+
+// Calibrate reports a worker's reference-probe time (the wall time of
+// measuring the server's RefAlgo at its initial configuration) and
+// returns the speed factor the server will now divide this worker's
+// costs by, plus the fleet baseline the factor is relative to.
+func (c *Client) Calibrate(worker uint64, ref float64) (factor, baseline float64, err error) {
+	var ack wire.CalibrateAck
+	if err := c.roundTrip(wire.TCalibrate, wire.CalibrateReq{Worker: worker, Ref: ref}, wire.TCalibrateAck, &ack); err != nil {
+		return 0, 0, err
+	}
+	return ack.Factor, ack.Baseline, nil
 }
 
 // Best returns the server's globally best observation so far.

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,7 @@ type Engine interface {
 	Counts() []int
 	Stats() core.EngineStats
 	FailureStats() core.FailureStats
+	DriftStats() core.DriftStats
 	Degraded() bool
 	NumAlgorithms() int
 	AlgorithmName(i int) string
@@ -125,6 +127,17 @@ func WithGlobalCap(n int) ServerOption {
 	return func(s *Server) { s.globalCap = n }
 }
 
+// WithRefAlgo sets the algorithm index workers probe when calibrating
+// their speed factor (default 0, the first algorithm). Indices outside
+// the roster are ignored.
+func WithRefAlgo(i int) ServerOption {
+	return func(s *Server) {
+		if i >= 0 && i < s.eng.NumAlgorithms() {
+			s.refAlgo = i
+		}
+	}
+}
+
 // Server serves one trial engine over TCP. It owns no tuning state
 // itself: every request maps onto one engine call, so the engine's
 // locking, lease reclamation and checkpoint journal work unchanged
@@ -138,6 +151,7 @@ type Server struct {
 	maxBatch   int
 	sessionCap int // max leases one session may hold; 0 = unbounded
 	globalCap  int // max in-flight leases across sessions; 0 = unbounded
+	refAlgo    int // calibration reference algorithm index
 
 	nextShard atomic.Uint64 // round-robin session → shard assignment
 	draining  atomic.Bool   // set by Drain: answer leases with Draining
@@ -147,6 +161,14 @@ type Server struct {
 	// retried AbsorbReq can never double-apply its observations.
 	absorbMu  sync.Mutex
 	absorbSeq map[uint64]uint64 // worker ID → highest applied seq
+
+	// calMu guards the worker-bias calibration table. refs holds each
+	// worker's latest reference-probe time; baseline is the fleet
+	// minimum, so the fastest calibrated worker has factor 1 and every
+	// slower one a factor > 1 that its reported costs are divided by.
+	calMu    sync.Mutex
+	refs     map[uint64]float64
+	baseline float64
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -207,6 +229,7 @@ func NewServer(eng Engine, opts ...ServerOption) *Server {
 		maxBatch:  DefaultMaxBatch,
 		conns:     make(map[net.Conn]struct{}),
 		absorbSeq: make(map[uint64]uint64),
+		refs:      make(map[uint64]float64),
 	}
 	if se, ok := eng.(shardedEngine); ok && se.Shards() > 1 {
 		s.sharded = se
@@ -394,6 +417,7 @@ func (s *Server) handshake(conn net.Conn) bool {
 		Epoch:      s.epoch,
 		Algos:      names,
 		LeaseTTLMS: s.eng.LeaseTimeout().Milliseconds(),
+		RefAlgo:    s.refAlgo,
 	}
 	return wire.WriteMsg(conn, wire.THelloAck, ack) == nil
 }
@@ -426,6 +450,12 @@ func (s *Server) dispatch(conn net.Conn, sess *session, shard int, typ wire.Type
 			return s.badRequest(conn, err)
 		}
 		return s.serveAbsorb(conn, req)
+	case wire.TCalibrate:
+		var req wire.CalibrateReq
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return s.badRequest(conn, err)
+		}
+		return s.serveCalibrate(conn, req)
 	case wire.THeartbeat:
 		var req wire.HeartbeatReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
@@ -541,9 +571,10 @@ func (s *Server) serveCompleteN(conn net.Conn, sess *session, req wire.CompleteN
 		}
 		return wire.WriteMsg(conn, wire.TAck, ack) == nil
 	}
+	factor := s.factorFor(req.Worker)
 	results := make([]core.TrialResult, len(req.Results))
 	for i, r := range req.Results {
-		results[i] = core.TrialResult{ID: r.ID, Value: r.Value}
+		results[i] = core.TrialResult{ID: r.ID, Value: r.Value / factor}
 		delete(sess.leased, r.ID)
 	}
 	for i, err := range s.eng.CompleteN(results) {
@@ -613,15 +644,64 @@ func (s *Server) serveAbsorb(conn net.Conn, req wire.AbsorbReq) bool {
 	if seen && req.Seq <= last {
 		ack.Duplicate = true
 	} else {
+		factor := s.factorFor(req.Worker)
 		obs := make([]nominal.Observation, len(req.Obs))
 		for i, o := range req.Obs {
-			obs[i] = nominal.Observation{Arm: o.Arm, Value: o.Value, Failed: o.Failed}
+			v := o.Value
+			if !o.Failed {
+				// Failure penalties are policy constants, not measured
+				// times — normalizing them would understate slow workers'
+				// failures.
+				v /= factor
+			}
+			obs[i] = nominal.Observation{Arm: o.Arm, Value: v, Failed: o.Failed}
 		}
 		ack.Applied = s.eng.Absorb(obs)
 		s.absorbSeq[req.Worker] = req.Seq
 	}
 	s.absorbMu.Unlock()
 	return wire.WriteMsg(conn, wire.TAbsorbAck, ack) == nil
+}
+
+// serveCalibrate registers a worker's reference-probe time and answers
+// with the speed factor now dividing that worker's reported costs. The
+// baseline is the fleet minimum reference, so factors only ever
+// normalize toward the fastest machine; re-calibrating (the worker
+// probes periodically) tracks thermal or load changes, and a new
+// fastest worker lowers the baseline, raising everyone else's factor on
+// their next report.
+func (s *Server) serveCalibrate(conn net.Conn, req wire.CalibrateReq) bool {
+	if req.Worker == 0 || req.Ref <= 0 || math.IsInf(req.Ref, 0) || math.IsNaN(req.Ref) {
+		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{
+			Code: wire.CodeBadRequest, Msg: "calibrate needs a nonzero worker and a positive finite reference"})
+		return false
+	}
+	s.calMu.Lock()
+	s.refs[req.Worker] = req.Ref
+	s.baseline = 0
+	for _, r := range s.refs {
+		if s.baseline == 0 || r < s.baseline {
+			s.baseline = r
+		}
+	}
+	ack := wire.CalibrateAck{Factor: req.Ref / s.baseline, Baseline: s.baseline}
+	s.calMu.Unlock()
+	return wire.WriteMsg(conn, wire.TCalibrateAck, ack) == nil
+}
+
+// factorFor returns the speed factor dividing a worker's reported
+// costs: 1 for the fleet-fastest, uncalibrated, or anonymous workers.
+func (s *Server) factorFor(worker uint64) float64 {
+	if worker == 0 {
+		return 1
+	}
+	s.calMu.Lock()
+	defer s.calMu.Unlock()
+	ref, ok := s.refs[worker]
+	if !ok || s.baseline <= 0 {
+		return 1
+	}
+	return ref / s.baseline
 }
 
 func (s *Server) serveBest(conn net.Conn) bool {
@@ -639,6 +719,10 @@ func (s *Server) serveBest(conn net.Conn) bool {
 
 func (s *Server) serveStats(conn net.Conn) bool {
 	st := s.eng.Stats()
+	ds := s.eng.DriftStats()
+	s.calMu.Lock()
+	calibrated := len(s.refs)
+	s.calMu.Unlock()
 	resp := wire.StatsResp{
 		Leased:     st.Leased,
 		Completed:  st.Completed,
@@ -649,6 +733,17 @@ func (s *Server) serveStats(conn net.Conn) bool {
 		Iterations: s.eng.Iterations(),
 		Counts:     s.eng.Counts(),
 		Degraded:   s.eng.Degraded(),
+
+		DriftEvents:        ds.Events,
+		DriftDecays:        ds.Decays,
+		DriftReforks:       ds.Reforks,
+		DriftStale:         ds.StaleDropped,
+		DriftOutliers:      ds.Outliers,
+		PendingProbes:      ds.PendingProbes,
+		ProbesScheduled:    ds.ProbesScheduled,
+		QuarantineReprobes: ds.QuarantineReprobes,
+
+		Calibrated: calibrated,
 	}
 	return wire.WriteMsg(conn, wire.TStatsAck, resp) == nil
 }

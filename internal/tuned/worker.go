@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sync"
 	"time"
 
@@ -54,10 +55,25 @@ type Worker struct {
 	// worker keeps measuring against a local tuner and folds what it
 	// learned back into the server once the partition heals.
 	Fallback *Fallback
-	// ID identifies this worker in Absorb deduplication. Zero (the
-	// default) draws a random ID on first use; set it explicitly when a
-	// restarted worker process must be recognized as its predecessor.
+	// ID identifies this worker in Absorb deduplication and calibration.
+	// Zero (the default) draws a random ID on first use; set it
+	// explicitly when a restarted worker process must be recognized as
+	// its predecessor.
 	ID uint64
+	// CalibrateEvery enables worker-bias calibration: before the first
+	// lease and again every CalibrateEvery reported trials the worker
+	// measures the server's reference algorithm (HelloAck.RefAlgo, at a
+	// nil config — Measure must tolerate that when calibration is on)
+	// three times and reports the median, so the server can divide this
+	// worker's costs by its speed factor relative to the fleet's fastest
+	// member. Zero disables calibration.
+	CalibrateEvery int
+	// RefMeasure, when set, replaces Measure for the calibration probe.
+	// The reference must be a fixed workload: if the probe ran the live
+	// (possibly drifting) input instead, a worker calibrating after an
+	// input change would report an inflated reference and every later
+	// cost it sends would be deflated below the fleet's true floor.
+	RefMeasure func() float64
 
 	local *core.Tuner           // lazily built degraded-mode tuner
 	seq   uint64                // absorb sequence; advances only on success
@@ -105,6 +121,10 @@ type WorkerStats struct {
 	Partitions int
 	// DroppedObs counts buffered observations discarded at MaxBuffer.
 	DroppedObs int
+	// Calibrations counts acknowledged reference-probe reports; Factor
+	// is the speed factor from the latest one (0 until calibrated).
+	Calibrations int
+	Factor       float64
 }
 
 // Stats returns a snapshot of the worker's counters.
@@ -138,13 +158,21 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 	if batch < 1 {
 		batch = 1
 	}
+	if w.CalibrateEvery > 0 {
+		w.Client.SetWorker(w.workerID())
+	}
 	completed := 0
+	nextCal := 0 // calibrate before the first lease, then on the interval
 	for {
 		if err := ctx.Err(); err != nil {
 			return completed, err
 		}
 		if w.MaxTrials > 0 && completed >= w.MaxTrials {
 			return completed, nil
+		}
+		if w.CalibrateEvery > 0 && completed >= nextCal {
+			w.calibrate()
+			nextCal = completed + w.CalibrateEvery
 		}
 		n := batch
 		if w.MaxTrials > 0 && w.MaxTrials-completed < n {
@@ -250,6 +278,36 @@ func (w *Worker) bufferUnreported(lb LeaseBatch, results []core.TrialResult, fai
 	for _, f := range fails {
 		w.pend = append(w.pend, nominal.Observation{Arm: algoOf[f.ID], Value: f.Failure.Penalty, Failed: true})
 	}
+}
+
+// calibrate runs the reference probe — three measurements of the
+// server's reference algorithm, median-filtered so one scheduling
+// hiccup cannot masquerade as a 3× slowdown — and reports it. Errors
+// are swallowed: a failed probe or an unreachable server just leaves
+// the previous factor in place until the next interval.
+func (w *Worker) calibrate() {
+	ref := core.Trial{Algo: w.Client.RefAlgo()}
+	probe := func() (float64, *guard.Failure) { return w.measureOne(ref) }
+	if w.RefMeasure != nil {
+		probe = w.refOne
+	}
+	samples := make([]float64, 0, 3)
+	for i := 0; i < 3; i++ {
+		v, fail := probe()
+		if fail != nil {
+			return
+		}
+		samples = append(samples, v)
+	}
+	slices.Sort(samples)
+	factor, _, err := w.Client.Calibrate(w.workerID(), samples[1])
+	if err != nil {
+		return
+	}
+	w.bump(func(s *WorkerStats) {
+		s.Calibrations++
+		s.Factor = factor
+	})
 }
 
 // workerID returns the stable ID used in Absorb dedup, drawing a random
@@ -435,6 +493,21 @@ func (w *Worker) measureBatch(ctx context.Context, lb LeaseBatch) (results []cor
 		hbWG.Wait()
 	}
 	return results, fails, abandoned
+}
+
+// refOne runs one reference-probe measurement with the same panic and
+// non-finite containment as measureOne.
+func (w *Worker) refOne() (value float64, fail *guard.Failure) {
+	defer func() {
+		if r := recover(); r != nil {
+			fail = &guard.Failure{Kind: guard.Panic, Err: fmt.Errorf("tuned: reference probe panic: %v", r)}
+		}
+	}()
+	v := w.RefMeasure()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, &guard.Failure{Kind: guard.Invalid, Err: fmt.Errorf("tuned: non-finite reference %v", v)}
+	}
+	return v, nil
 }
 
 // measureOne runs one measurement with panic and non-finite-sample

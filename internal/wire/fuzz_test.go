@@ -37,6 +37,9 @@ func FuzzWireDecode(f *testing.F) {
 		{TError, ErrorResp{Code: CodeConfigMismatch, Msg: "hash mismatch"}},
 		{TAbsorb, AbsorbReq{Worker: 0xfeed, Seq: 3, Obs: []Obs{{Arm: 1, Value: 2.5}, {Arm: 0, Value: 9, Failed: true}}}},
 		{TAbsorbAck, AbsorbAck{Applied: 2}},
+		{TCalibrate, CalibrateReq{Worker: 0xfeed, Ref: 4.5}},
+		{TCalibrateAck, CalibrateAck{Factor: 4.0, Baseline: 1.125}},
+		{TStatsAck, StatsResp{DriftEvents: 2, DriftDecays: 1, DriftReforks: 1, DriftStale: 3, PendingProbes: 4, Calibrated: 2}},
 	} {
 		frame, err := Encode(m.typ, m.v)
 		if err != nil {
@@ -125,6 +128,10 @@ func payloadFor(typ Type) any {
 		return &AbsorbReq{}
 	case TAbsorbAck:
 		return &AbsorbAck{}
+	case TCalibrate:
+		return &CalibrateReq{}
+	case TCalibrateAck:
+		return &CalibrateAck{}
 	default:
 		return nil
 	}

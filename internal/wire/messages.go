@@ -27,6 +27,12 @@ type HelloAck struct {
 	Epoch      int64    `json:"epoch"`
 	Algos      []string `json:"algos"`
 	LeaseTTLMS int64    `json:"lease_ttl_ms"`
+	// RefAlgo is the algorithm index workers should use as the speed
+	// reference when calibrating (see CalibrateReq). Optional — servers
+	// that do not calibrate omit it, and 0 (the first algorithm) is a
+	// valid reference, so workers gate calibration on their own flag, not
+	// on this field.
+	RefAlgo int `json:"ref_algo,omitempty"`
 }
 
 // LeaseNReq (frame TLeaseN) asks for up to N trials in one round trip.
@@ -71,8 +77,12 @@ type Result struct {
 }
 
 // CompleteNReq (frame TCompleteN) reports a batch of measured values.
+// Worker, when nonzero, identifies the reporting worker so the server
+// can divide the values by that worker's calibrated speed factor (see
+// CalibrateReq); zero reports raw costs.
 type CompleteNReq struct {
 	Epoch   int64    `json:"epoch"`
+	Worker  uint64   `json:"worker,omitempty"`
 	Results []Result `json:"results"`
 }
 
@@ -143,6 +153,27 @@ type AbsorbAck struct {
 	Duplicate bool `json:"duplicate,omitempty"`
 }
 
+// CalibrateReq (frame TCalibrate) reports a worker's reference-probe
+// time: the worker measured HelloAck.RefAlgo at its initial
+// configuration and sends the (median-filtered) wall time. The server
+// keeps the latest reference per worker and derives a speed factor
+// relative to the fastest fleet member, which then normalizes every
+// cost that worker reports — so a 4×-slower machine's measurements
+// compare against the fleet on equal footing instead of biasing the
+// selector toward whatever the fast machines happened to run.
+type CalibrateReq struct {
+	Worker uint64  `json:"worker"`
+	Ref    float64 `json:"ref"`
+}
+
+// CalibrateAck (frame TCalibrateAck) answers CalibrateReq with the
+// factor now applied to this worker's reports (1 = fleet-fastest) and
+// the fleet baseline reference the factor is relative to.
+type CalibrateAck struct {
+	Factor   float64 `json:"factor"`
+	Baseline float64 `json:"baseline"`
+}
+
 // TBest and TStats requests have no body.
 
 // BestResp (frame TBestAck) is the globally best observation so far.
@@ -155,7 +186,9 @@ type BestResp struct {
 }
 
 // StatsResp (frame TStatsAck) mirrors core.EngineStats plus the
-// selection counts.
+// selection counts, the drift watchdog's counters (core.DriftStats)
+// and the calibration state — one stats read covers the engine, the
+// change-point machinery and the fleet normalization.
 type StatsResp struct {
 	Leased     uint64 `json:"leased"`
 	Completed  uint64 `json:"completed"`
@@ -166,6 +199,19 @@ type StatsResp struct {
 	Counts     []int  `json:"counts,omitempty"`
 	Degraded   bool   `json:"degraded,omitempty"`
 	Absorbed   uint64 `json:"absorbed,omitempty"`
+
+	// Drift watchdog counters (zero when no watchdog is configured).
+	DriftEvents        uint64 `json:"drift_events,omitempty"`
+	DriftDecays        uint64 `json:"drift_decays,omitempty"`
+	DriftReforks       uint64 `json:"drift_reforks,omitempty"`
+	DriftStale         uint64 `json:"drift_stale,omitempty"`
+	DriftOutliers      uint64 `json:"drift_outliers,omitempty"`
+	PendingProbes      int    `json:"pending_probes,omitempty"`
+	ProbesScheduled    uint64 `json:"probes_scheduled,omitempty"`
+	QuarantineReprobes int    `json:"quarantine_reprobes,omitempty"`
+
+	// Calibrated counts workers with a registered reference probe.
+	Calibrated int `json:"calibrated,omitempty"`
 }
 
 // Error codes carried by ErrorResp.

@@ -74,6 +74,8 @@ const (
 	TError
 	TAbsorb
 	TAbsorbAck
+	TCalibrate
+	TCalibrateAck
 
 	numTypes
 )
@@ -113,6 +115,10 @@ func (t Type) String() string {
 		return "absorb"
 	case TAbsorbAck:
 		return "absorb-ack"
+	case TCalibrate:
+		return "calibrate"
+	case TCalibrateAck:
+		return "calibrate-ack"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
