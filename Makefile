@@ -51,6 +51,7 @@ bench:
 	$(GO) run ./cmd/atune-bench -out BENCH_trial_engine.json
 	$(GO) run ./cmd/atune-bench -wire -out BENCH_wire.json
 	$(GO) run ./cmd/atune-bench -shards -out BENCH_shard.json
+	$(GO) run ./cmd/atune-bench -tenants 4 -tenant-workers 4 -out BENCH_tenant.json
 
 figures:
 	$(GO) run ./cmd/atune-figures

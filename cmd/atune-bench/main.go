@@ -7,6 +7,7 @@
 //	atune-bench [-out file] [-trials N] [-sleep d] [-workers list]
 //	atune-bench -wire [-out file] [-trials N] [-workers list] [-batches list]
 //	atune-bench -shards [-out file] [-trials N] [-workers list] [-shard-counts list]
+//	atune-bench -tenants N [-out file] [-trials N] [-tenant-workers M] [-batch B]
 //
 // The default mode benchmarks the in-process engine: every trial costs
 // a fixed -sleep of wall clock and nothing else, so the numbers isolate
@@ -23,6 +24,12 @@
 // over (workers × shards) with a free measurement, so leases/sec is
 // pure decision overhead and the shard columns show what moving
 // per-trial work off the global decision mutex buys.
+//
+// -tenants N benchmarks the multi-tenant server: N tenants × M workers
+// each on one loopback server, all measurements free. The document
+// records the aggregate leases/sec (how much tenancy itself costs over
+// the single-tenant wire path at the same total worker count) and the
+// max/min per-tenant throughput fairness ratio (1.0 = perfectly fair).
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -83,6 +91,23 @@ type wireResult struct {
 	Timestamp    string      `json:"timestamp"`
 }
 
+// tenantResult is the -tenants document: aggregate leases/sec over the
+// whole multi-tenant run (comparable against the -wire document at the
+// same total worker count) plus the per-tenant rates and their max/min
+// fairness ratio.
+type tenantResult struct {
+	Name             string                   `json:"name"`
+	Meta             runMeta                  `json:"meta"`
+	Tenants          int                      `json:"tenants"`
+	WorkersPerTenant int                      `json:"workers_per_tenant"`
+	Batch            int                      `json:"batch_size"`
+	LeasesPerSec     float64                  `json:"leases_per_sec"`
+	PerTenant        []tuned.TenantThroughput `json:"per_tenant"`
+	FairnessRatio    float64                  `json:"fairness_ratio"`
+	Trials           int                      `json:"trials_per_tenant"`
+	Timestamp        string                   `json:"timestamp"`
+}
+
 // shardResult is the -shards document: one row per worker count, one
 // leases/sec column per shard count, plus the headline ratio of the
 // last shard column over the first, per row.
@@ -101,14 +126,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("atune-bench: ")
 	var (
-		out     = flag.String("out", "", "output file (- for stdout; default depends on mode)")
-		trials  = flag.Int("trials", 0, "trials completed per run (default depends on mode)")
-		sleep   = flag.Duration("sleep", 2*time.Millisecond, "fixed wall-clock cost per trial")
-		workers = flag.String("workers", "1,4,16", "comma-separated worker counts")
-		wire    = flag.Bool("wire", false, "benchmark the loopback TCP wire path instead of the in-process engine")
-		batches = flag.String("batches", "1,16", "comma-separated LeaseN batch sizes (with -wire)")
-		shards  = flag.Bool("shards", false, "benchmark sharded selection across shard counts")
-		shardCs = flag.String("shard-counts", "1,4,8", "comma-separated shard counts (with -shards)")
+		out      = flag.String("out", "", "output file (- for stdout; default depends on mode)")
+		trials   = flag.Int("trials", 0, "trials completed per run (default depends on mode)")
+		sleep    = flag.Duration("sleep", 2*time.Millisecond, "fixed wall-clock cost per trial")
+		workers  = flag.String("workers", "1,4,16", "comma-separated worker counts")
+		wire     = flag.Bool("wire", false, "benchmark the loopback TCP wire path instead of the in-process engine")
+		batches  = flag.String("batches", "1,16", "comma-separated LeaseN batch sizes (with -wire)")
+		shards   = flag.Bool("shards", false, "benchmark sharded selection across shard counts")
+		shardCs  = flag.String("shard-counts", "1,4,8", "comma-separated shard counts (with -shards)")
+		tenants  = flag.Int("tenants", 0, "benchmark a multi-tenant server with this many tenants")
+		tWorkers = flag.Int("tenant-workers", 4, "workers per tenant (with -tenants)")
+		batch    = flag.Int("batch", 16, "LeaseN batch size (with -tenants)")
 	)
 	flag.Parse()
 
@@ -117,6 +145,19 @@ func main() {
 	}
 	counts := parseInts("-workers", *workers)
 
+	if *tenants > 0 {
+		if *out == "" {
+			*out = "BENCH_tenant.json"
+		}
+		if *trials <= 0 {
+			*trials = 2000
+		}
+		if *tWorkers <= 0 || *batch <= 0 {
+			log.Fatal("-tenant-workers and -batch must be positive")
+		}
+		runTenants(*out, *tenants, *tWorkers, *batch, *trials)
+		return
+	}
 	if *shards {
 		if *out == "" {
 			*out = "BENCH_shard.json"
@@ -223,6 +264,44 @@ func runShards(out string, trials int, counts, shardCounts []int) {
 		}
 		fmt.Printf("workers=%-3d shards=%d/%d speedup %.1fx\n", w, shardCounts[len(shardCounts)-1], shardCounts[0], speedup)
 	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeDoc(out, append(buf, '\n'))
+}
+
+// runTenants drives tenants × workersPerTenant clients against one
+// multi-tenant server and writes BENCH_tenant.json. Aggregate
+// leases/sec compares against BENCH_wire.json at the same total worker
+// count; the fairness ratio is max/min of the per-tenant rates.
+func runTenants(out string, tenants, workersPerTenant, batch, trials int) {
+	aggregate, perTenant, err := tuned.MultiTenantThroughput(tenants, workersPerTenant, batch, trials)
+	if err != nil {
+		log.Fatal(err)
+	}
+	minRate, maxRate := perTenant[0].PerSec, perTenant[0].PerSec
+	for _, tt := range perTenant[1:] {
+		minRate = math.Min(minRate, tt.PerSec)
+		maxRate = math.Max(maxRate, tt.PerSec)
+	}
+	res := tenantResult{
+		Name:             "tenant_loopback_throughput",
+		Meta:             meta(),
+		Tenants:          tenants,
+		WorkersPerTenant: workersPerTenant,
+		Batch:            batch,
+		LeasesPerSec:     aggregate,
+		PerTenant:        perTenant,
+		FairnessRatio:    maxRate / minRate,
+		Trials:           trials,
+		Timestamp:        time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, tt := range perTenant {
+		fmt.Printf("tenant=%s  %9.0f leases/sec  (%d trials)\n", tt.Name, tt.PerSec, tt.Iterations)
+	}
+	fmt.Printf("tenants=%d workers/tenant=%d batch=%d  aggregate %9.0f leases/sec  fairness %.2fx\n",
+		tenants, workersPerTenant, batch, aggregate, res.FairnessRatio)
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		log.Fatal(err)

@@ -10,6 +10,7 @@
 //	            [-lease-timeout D] [-max-inflight N] [-shards N] [-stats D]
 //	            [-session-cap N] [-global-cap N] [-drain D] [-chaos spec]
 //	            [-drift] [-ref-algo N]
+//	            [-tenants spec] [-max-resident N]
 //
 // The workload flag selects the algorithm roster the service tunes
 // over; workers must be started with the same workload so their
@@ -43,15 +44,35 @@
 // names the roster slot workers measure as their calibration reference
 // (workers opt in with -calibrate); reported costs are divided by each
 // worker's speed factor relative to the fleet's fastest member.
+//
+// -tenants switches the process into multi-tenant mode: one server,
+// many independent tuning problems, each with its own engine, epoch,
+// and (under -checkpoint) its own journal directory. The spec is either
+// a comma-separated flag list
+//
+//	name=workload[/selector[/shards]]
+//
+// (e.g. -tenants 'teamA=strmatch,teamB=sleep/egreedy:5/4'), or
+// @file.json holding a JSON array of tenant specs. Workers pick their
+// tenant with atune-worker -tenant; workers that predate tenancy land
+// on the "default" tenant, which is always registered from the base
+// flags unless the spec names one explicitly. -max-resident bounds how
+// many tenant engines stay live at once (requires -checkpoint): the
+// least-recently-used idle tenant is checkpointed and released, and
+// warm-restarts on its next lease.
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +82,7 @@ import (
 	"repro/internal/nominal"
 	"repro/internal/param"
 	"repro/internal/strmatch"
+	"repro/internal/tenant"
 	"repro/internal/tuned"
 )
 
@@ -85,6 +107,8 @@ func main() {
 		chaosFlg = flag.String("chaos", "", "fault-injection spec, e.g. latency=2ms,reset=0.01,blackhole=10s/1s (empty = off)")
 		driftFlg = flag.Bool("drift", false, "arm the drift watchdog (change-point detection + adaptive selector reset)")
 		refAlgo  = flag.Int("ref-algo", 0, "roster slot workers measure as their calibration reference")
+		tenFlg   = flag.String("tenants", "", "multi-tenant mode: name=workload[/selector[/shards]],... or @specs.json (empty = single-tenant)")
+		maxRes   = flag.Int("max-resident", 0, "max live tenant engines, LRU spills the rest to checkpoint (0 = unbounded; needs -checkpoint)")
 	)
 	flag.Parse()
 
@@ -118,6 +142,28 @@ func main() {
 	if *refAlgo < 0 || *refAlgo >= len(algos) {
 		log.Fatalf("-ref-algo %d out of range [0, %d) for workload %s", *refAlgo, len(algos), *workload)
 	}
+	if *maxRes < 0 {
+		log.Fatalf("-max-resident %d must be >= 0", *maxRes)
+	}
+	if *maxRes > 0 && *tenFlg == "" {
+		log.Fatal("-max-resident only applies with -tenants")
+	}
+	if *maxRes > 0 && *ckptDir == "" {
+		log.Fatal("-max-resident needs -checkpoint: spilling a tenant without a checkpoint root would lose its state")
+	}
+
+	if *tenFlg != "" {
+		runTenants(tenantMode{
+			addr: *addr, spec: *tenFlg, workload: *workload, ckptDir: *ckptDir,
+			chaosSpec: *chaosFlg, selector: fmt.Sprintf("egreedy:%g", *epsilon),
+			seed: *seed, target: *target, every: *every, maxInFl: *maxInFl,
+			shards: *shards, sessCap: *sessCap, globCap: *globCap, refAlgo: *refAlgo,
+			maxResident: *maxRes, leaseTTL: *leaseTTL, statsIvl: *statsIvl,
+			drainTO: *drainTO, drift: *driftFlg,
+		})
+		return
+	}
+
 	selector := nominal.NewEpsilonGreedy(*epsilon / 100)
 	opts := []core.Option{
 		core.WithLeaseTimeout(*leaseTTL),
@@ -197,23 +243,7 @@ func main() {
 		}()
 	}
 
-	var ln net.Listener
-	if *chaosFlg != "" {
-		ccfg, err := chaos.ParseSpec(*chaosFlg)
-		if err != nil {
-			log.Fatalf("chaos: %v", err)
-		}
-		if ln, _, err = chaos.Listen("tcp", *addr, ccfg); err != nil {
-			log.Fatalf("listen %s: %v", *addr, err)
-		}
-		log.Printf("fault injection active: %s", *chaosFlg)
-	} else {
-		var err error
-		if ln, err = net.Listen("tcp", *addr); err != nil {
-			log.Fatalf("listen %s: %v", *addr, err)
-		}
-	}
-	if err := srv.Serve(ln); err != nil {
+	if err := srv.Serve(listen(*addr, *chaosFlg)); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
 
@@ -242,6 +272,194 @@ func main() {
 	for _, p := range picks {
 		log.Printf("  %-20s %6d trials", p.name, p.n)
 	}
+}
+
+// listen opens the service listener, optionally behind the chaos
+// fault-injection layer.
+func listen(addr, chaosSpec string) net.Listener {
+	if chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(chaosSpec)
+		if err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		ln, _, err := chaos.Listen("tcp", addr, ccfg)
+		if err != nil {
+			log.Fatalf("listen %s: %v", addr, err)
+		}
+		log.Printf("fault injection active: %s", chaosSpec)
+		return ln
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", addr, err)
+	}
+	return ln
+}
+
+// tenantMode carries the resolved flag values into multi-tenant serving.
+type tenantMode struct {
+	addr, spec, workload, ckptDir, chaosSpec, selector string
+
+	seed                                             int64
+	target, every, maxInFl, shards, sessCap, globCap int
+	refAlgo, maxResident                             int
+	leaseTTL, statsIvl, drainTO                      time.Duration
+	drift                                            bool
+}
+
+// runTenants is the -tenants serving path: a tenant registry instead of
+// one engine, every tenant persisted under its own subdirectory of
+// -checkpoint, and per-tenant lines in the stats log and the shutdown
+// summary.
+func runTenants(cfg tenantMode) {
+	base := core.EngineSpec{
+		Seed: cfg.seed, Shards: cfg.shards, LeaseTimeoutMS: cfg.leaseTTL.Milliseconds(),
+		MaxInFlight: cfg.maxInFl, Drift: cfg.drift, SnapshotEvery: cfg.every,
+	}
+	specs := parseTenantSpecs(cfg.spec, cfg.selector, base)
+	hasDefault := false
+	for _, s := range specs {
+		if s.Name == tenant.DefaultName {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		// Workers that predate tenancy send no tenant name; they must
+		// always find a "default" tenant, built from the base flags.
+		specs = append(specs, tenant.Spec{
+			Name: tenant.DefaultName, Workload: cfg.workload, Selector: cfg.selector, Engine: base,
+		})
+	}
+
+	reg, err := tenant.NewRegistry(tenant.Config{
+		Root: cfg.ckptDir, MaxResident: cfg.maxResident, Roster: tenant.BuiltinRoster,
+	})
+	if err != nil {
+		log.Fatalf("registry: %v", err)
+	}
+	if resumed := reg.Names(); len(resumed) > 0 {
+		log.Printf("rediscovered %d tenant(s) from %s: %v", len(resumed), cfg.ckptDir, resumed)
+	}
+	for _, s := range specs {
+		// Re-registering a rediscovered tenant with an identical spec is
+		// a no-op; a changed spec is a configuration error and dies here.
+		if err := reg.Register(s); err != nil {
+			log.Fatalf("tenant %s: %v", s.Name, err)
+		}
+	}
+
+	srv := tuned.NewTenantServer(reg, tuned.WithTrialTarget(cfg.target),
+		tuned.WithSessionCap(cfg.sessCap), tuned.WithGlobalCap(cfg.globCap),
+		tuned.WithRefAlgo(cfg.refAlgo))
+	log.Printf("%d tenants %v, listening on %s", len(reg.Names()), reg.Names(), cfg.addr)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		if s == syscall.SIGTERM {
+			log.Printf("draining (deadline %v)", cfg.drainTO)
+			if err := srv.Drain(cfg.drainTO); err != nil {
+				log.Printf("drain: %v", err)
+			}
+			return
+		}
+		log.Printf("shutting down")
+		srv.Close()
+	}()
+
+	if cfg.statsIvl > 0 {
+		go func() {
+			t := time.NewTicker(cfg.statsIvl)
+			defer t.Stop()
+			for range t.C {
+				reg.ReclaimExpired()
+				logTenantRows(reg)
+			}
+		}()
+	}
+
+	if err := srv.Serve(listen(cfg.addr, cfg.chaosSpec)); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Closed (signal or caller): the per-tenant verdicts.
+	log.Printf("final state:")
+	logTenantRows(reg)
+}
+
+// logTenantRows prints one line per tenant plus an aggregate line, the
+// multi-tenant analogue of the single-engine stats log.
+func logTenantRows(reg *tenant.Registry) {
+	var sumIter, sumInFl, resident int
+	for _, in := range reg.Snapshot() {
+		state := "spilled"
+		if in.Resident {
+			state = "resident"
+			resident++
+		}
+		best := "(none)"
+		if in.BestAlgo >= 0 {
+			best = fmt.Sprintf("%s (%.4g)", in.BestName, in.BestValue)
+		}
+		log.Printf("tenant %-16s %s trials=%d inflight=%d best=%s spills=%d restarts=%d",
+			in.Name, state, in.Iterations, in.InFlight, best, in.Spills, in.Restarts)
+		sumIter += in.Iterations
+		sumInFl += in.InFlight
+	}
+	log.Printf("aggregate: tenants=%d resident=%d trials=%d inflight=%d",
+		len(reg.Names()), resident, sumIter, sumInFl)
+}
+
+// parseTenantSpecs parses the -tenants value: @file.json holding a JSON
+// array of tenant specs (authoritative as written), or a comma-separated
+// name=workload[/selector[/shards]] list whose entries inherit the base
+// flags for everything they do not override.
+func parseTenantSpecs(arg, defaultSelector string, base core.EngineSpec) []tenant.Spec {
+	if strings.HasPrefix(arg, "@") {
+		buf, err := os.ReadFile(strings.TrimPrefix(arg, "@"))
+		if err != nil {
+			log.Fatalf("-tenants: %v", err)
+		}
+		var specs []tenant.Spec
+		if err := json.Unmarshal(buf, &specs); err != nil {
+			log.Fatalf("-tenants %s: %v", arg, err)
+		}
+		if len(specs) == 0 {
+			log.Fatalf("-tenants %s: empty spec list", arg)
+		}
+		return specs
+	}
+	var specs []tenant.Spec
+	seen := map[string]bool{}
+	for _, entry := range strings.Split(arg, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || name == "" || rest == "" {
+			log.Fatalf("-tenants entry %q: want name=workload[/selector[/shards]]", entry)
+		}
+		if seen[name] {
+			log.Fatalf("-tenants names %q twice", name)
+		}
+		seen[name] = true
+		s := tenant.Spec{Name: name, Selector: defaultSelector, Engine: base}
+		parts := strings.Split(rest, "/")
+		if len(parts) > 3 {
+			log.Fatalf("-tenants entry %q: want name=workload[/selector[/shards]]", entry)
+		}
+		s.Workload = parts[0]
+		if len(parts) > 1 && parts[1] != "" {
+			s.Selector = parts[1]
+		}
+		if len(parts) > 2 {
+			n, err := strconv.Atoi(parts[2])
+			if err != nil || n <= 0 {
+				log.Fatalf("-tenants entry %q: bad shard count %q", entry, parts[2])
+			}
+			s.Engine.Shards = n
+		}
+		specs = append(specs, s)
+	}
+	return specs
 }
 
 // roster builds the algorithm set for a named workload. atune-worker

@@ -75,6 +75,7 @@ func main() {
 		idleRetry = flag.Duration("idle-retry", 2*time.Millisecond, "wait ceiling when an empty lease response carries no retry hint")
 		chaosFlg  = flag.String("chaos", "", "fault-injection spec for this worker's connections (empty = off)")
 		calEvery  = flag.Int("calibrate", 0, "re-run the reference probe every N reported trials (0 = no calibration)")
+		tenantFlg = flag.String("tenant", "", "tenant to tune for on a multi-tenant server (empty = the default tenant)")
 	)
 	flag.Parse()
 
@@ -102,6 +103,9 @@ func main() {
 	}
 
 	copts := []tuned.ClientOption{tuned.WithClientName(hostname())}
+	if *tenantFlg != "" {
+		copts = append(copts, tuned.WithTenant(*tenantFlg))
+	}
 	if *chaosFlg != "" {
 		ccfg, err := chaos.ParseSpec(*chaosFlg)
 		if err != nil {
@@ -116,7 +120,11 @@ func main() {
 	}
 	defer c.Close()
 	names := c.Algos()
-	log.Printf("connected to %s: %d algorithms, lease TTL %v", *addr, len(names), c.LeaseTTL())
+	if *tenantFlg != "" {
+		log.Printf("connected to %s tenant %s: %d algorithms, lease TTL %v", *addr, *tenantFlg, len(names), c.LeaseTTL())
+	} else {
+		log.Printf("connected to %s: %d algorithms, lease TTL %v", *addr, len(names), c.LeaseTTL())
+	}
 
 	measure, err := buildMeasure(*workload, names, measureConfig{
 		corpusSize: *corpusSz,

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/nominal"
+	"repro/internal/search"
+)
+
+// EngineSpec is the serialized form of an engine's option set: everything
+// NewShardedEngine takes through []Option that a service must be able to
+// store, compare and reconstruct per tuning problem. A multi-tenant
+// server keeps one EngineSpec per tenant on disk next to the tenant's
+// checkpoints; Build and Resume turn it back into a live engine, and
+// Hash pins the configuration so a resumed tenant cannot silently come
+// back with different tuning semantics.
+//
+// The spec covers the engine-scope and sharded-scope knobs. What it
+// deliberately does not serialize: the algorithm roster (a []Algorithm
+// with live measurement spaces — callers pass it to Build/Resume, and
+// Hash folds the names in), the selector (an interface value — callers
+// construct it, typically via nominal.NewByName), and the search
+// factory. Those are code, not configuration.
+type EngineSpec struct {
+	// Seed seeds the tuner's RNG.
+	Seed int64 `json:"seed"`
+	// Shards is the selector shard count (see WithShards); 0 and 1 both
+	// mean unsharded.
+	Shards int `json:"shards,omitempty"`
+	// MergeEvery is the per-shard fold cadence (see WithMergeEvery);
+	// 0 means DefaultMergeEvery.
+	MergeEvery int `json:"merge_every,omitempty"`
+	// LeaseTimeoutMS is the lease TTL in milliseconds; 0 means
+	// DefaultLeaseTimeout. Negative disables expiry (WithLeaseTimeout
+	// of a non-positive duration).
+	LeaseTimeoutMS int64 `json:"lease_timeout_ms,omitempty"`
+	// MaxInFlight bounds outstanding leases (see WithMaxInFlight);
+	// 0 means unlimited.
+	MaxInFlight int `json:"max_inflight,omitempty"`
+	// Drift arms the drift watchdog with DefaultDriftConfig.
+	Drift bool `json:"drift,omitempty"`
+	// SnapshotEvery is the checkpoint cadence in completed trials when
+	// Build/Resume are given a checkpoint directory; 0 means 100.
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+}
+
+// withDefaults returns the spec with zero fields resolved to their
+// effective values, so Hash treats an explicit default and an omitted
+// field identically.
+func (s EngineSpec) withDefaults() EngineSpec {
+	if s.Shards <= 0 {
+		s.Shards = 1
+	}
+	if s.MergeEvery <= 0 {
+		s.MergeEvery = DefaultMergeEvery
+	}
+	if s.LeaseTimeoutMS == 0 {
+		s.LeaseTimeoutMS = DefaultLeaseTimeout.Milliseconds()
+	}
+	if s.LeaseTimeoutMS < 0 {
+		s.LeaseTimeoutMS = -1
+	}
+	if s.MaxInFlight < 0 {
+		s.MaxInFlight = 0
+	}
+	if s.SnapshotEvery <= 0 {
+		s.SnapshotEvery = 100
+	}
+	return s
+}
+
+// Options expands the spec into the option slice the constructors take.
+// ckptDir, when non-empty, adds WithCheckpoint at the spec's cadence
+// (Resume paths pass "" — resuming re-enables checkpointing itself).
+func (s EngineSpec) Options(ckptDir string) []Option {
+	s = s.withDefaults()
+	ttl := time.Duration(s.LeaseTimeoutMS) * time.Millisecond
+	if s.LeaseTimeoutMS < 0 {
+		ttl = 0
+	}
+	opts := []Option{
+		WithLeaseTimeout(ttl),
+		WithShards(s.Shards),
+		WithMergeEvery(s.MergeEvery),
+	}
+	if s.MaxInFlight > 0 {
+		opts = append(opts, WithMaxInFlight(s.MaxInFlight))
+	}
+	if s.Drift {
+		opts = append(opts, WithDriftWatchdog(DefaultDriftConfig()))
+	}
+	if ckptDir != "" {
+		opts = append(opts, WithCheckpoint(ckptDir, s.SnapshotEvery))
+	}
+	return opts
+}
+
+// Hash fingerprints the spec together with an algorithm roster and a
+// selector name: two engines agree on it exactly when they would make
+// the same tuning decisions over the same trial stream. It is the
+// persistence-side sibling of the wire handshake's roster hash — a
+// tenant directory whose stored hash differs was written by a different
+// configuration and must not be resumed into this one.
+func (s EngineSpec) Hash(algos []string, selector string) uint32 {
+	canon, _ := json.Marshal(s.withDefaults()) // struct of scalars: cannot fail
+	h := crc32.NewIEEE()
+	h.Write(canon)
+	h.Write([]byte{0})
+	h.Write([]byte(selector))
+	for _, a := range algos {
+		h.Write([]byte{0})
+		h.Write([]byte(a))
+	}
+	return h.Sum32()
+}
+
+// Build constructs a fresh sharded engine from the spec. A non-empty
+// ckptDir makes the engine durable there at the spec's snapshot cadence.
+func (s EngineSpec) Build(algos []Algorithm, selector nominal.Selector, factory search.Factory, ckptDir string) (*ShardedEngine, error) {
+	eng, err := NewShardedEngine(algos, selector, factory, s.Seed, s.Options(ckptDir)...)
+	if err != nil {
+		return nil, fmt.Errorf("core: build from spec: %w", err)
+	}
+	return eng, nil
+}
+
+// Resume reconstructs a checkpointed engine from the spec and its
+// directory (see ResumeSharded). It is an error to Resume a directory
+// without generations; use HasCheckpoint to pick between Build and
+// Resume.
+func (s EngineSpec) Resume(algos []Algorithm, selector nominal.Selector, factory search.Factory, ckptDir string) (*ShardedEngine, error) {
+	d := s.withDefaults()
+	eng, err := ResumeSharded(ckptDir, d.SnapshotEvery, algos, selector, factory, s.Seed, s.Options("")...)
+	if err != nil {
+		return nil, fmt.Errorf("core: resume from spec: %w", err)
+	}
+	return eng, nil
+}
+
+// HasCheckpoint reports whether dir holds at least one snapshot
+// generation a Resume could start from.
+func HasCheckpoint(dir string) bool {
+	return len(checkpoint.Generations(dir)) > 0
+}

@@ -1,0 +1,107 @@
+// Package tenant turns "one process = one engine" into a registry of
+// named tuning problems. Each tenant is a serialized option set
+// (core.EngineSpec plus a workload roster and a selector name) with its
+// own checkpoint directory, session epoch, and drift/calibration state;
+// the registry owns the engine lifecycle — create, lazy warm-restart
+// from checkpoint, LRU spill when too many tenants are resident, and
+// checkpoint-all on drain. The server in internal/tuned routes each
+// connection to a tenant by the name in its Hello handshake and
+// otherwise works exactly as before: every request is one engine call,
+// now against the session's tenant.
+package tenant
+
+import (
+	"fmt"
+	"regexp"
+
+	"repro/internal/core"
+	"repro/internal/nominal"
+	"repro/internal/param"
+	"repro/internal/strmatch"
+)
+
+// DefaultName is the tenant a session with no Hello.Tenant lands on —
+// in particular every protocol-1 client, which predates the field.
+const DefaultName = "default"
+
+// DefaultSelector is the selector spec a tenant with none gets.
+const DefaultSelector = "egreedy:10" // ε = 10%, the paper's default exploration rate
+
+// nameRE bounds tenant names to path-safe tokens: each tenant owns a
+// directory named after it, so separators, dots-only names and empty
+// strings must never reach the filesystem.
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9_][a-zA-Z0-9._-]{0,63}$`)
+
+// ValidName reports whether name is usable as a tenant name (and hence
+// as its directory name under the registry root).
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
+// Spec is one tenant's full serialized configuration: everything needed
+// to rebuild its engine in a fresh process. Workload names the
+// algorithm roster (resolved through the registry's RosterFunc),
+// Selector is a nominal.NewByName spec, and Engine carries the
+// engine-level option set. The registry persists the Spec as spec.json
+// in the tenant's directory, next to its checkpoints, so a restarted
+// server rediscovers its tenants from disk alone.
+type Spec struct {
+	Name     string          `json:"name"`
+	Workload string          `json:"workload"`
+	Selector string          `json:"selector,omitempty"` // "" = DefaultSelector
+	Engine   core.EngineSpec `json:"engine"`
+}
+
+func (s Spec) selector() string {
+	if s.Selector == "" {
+		return DefaultSelector
+	}
+	return s.Selector
+}
+
+// validate resolves the spec against a roster function, returning the
+// roster it names. Every failure here is a configuration error the
+// operator must fix; nothing is deferred to first lease.
+func (s Spec) validate(roster RosterFunc) ([]core.Algorithm, error) {
+	if !ValidName(s.Name) {
+		return nil, fmt.Errorf("tenant: invalid name %q", s.Name)
+	}
+	algos, err := roster(s.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: %w", s.Name, err)
+	}
+	if len(algos) == 0 {
+		return nil, fmt.Errorf("tenant %s: workload %q has an empty roster", s.Name, s.Workload)
+	}
+	if _, err := nominal.NewByName(s.selector()); err != nil {
+		return nil, fmt.Errorf("tenant %s: %w", s.Name, err)
+	}
+	return algos, nil
+}
+
+// RosterFunc resolves a workload name to its algorithm roster. The
+// roster is code (measurement spaces, not data), which is why specs
+// carry the name and the registry carries the resolver.
+type RosterFunc func(workload string) ([]core.Algorithm, error)
+
+// BuiltinRoster resolves the two workloads the commands ship: the
+// paper's parallel string-matching roster and the synthetic sleep
+// roster used by smoke tests and benchmarks. atune-worker builds its
+// measurement table from the same names, delivered in the handshake.
+func BuiltinRoster(workload string) ([]core.Algorithm, error) {
+	switch workload {
+	case "strmatch":
+		names := strmatch.Names()
+		algos := make([]core.Algorithm, len(names))
+		for i, n := range names {
+			algos[i] = core.Algorithm{Name: n}
+		}
+		return algos, nil
+	case "sleep":
+		return []core.Algorithm{
+			{Name: "sleep-steady"},
+			{Name: "sleep-tuned", Space: param.NewSpace(param.NewRatio("alpha", 1, 10))},
+			{Name: "sleep-laggard"},
+		}, nil
+	default:
+		return nil, fmt.Errorf("tenant: unknown workload %q (want strmatch or sleep)", workload)
+	}
+}

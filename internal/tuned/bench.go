@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/nominal"
 	"repro/internal/param"
+	"repro/internal/tenant"
 )
 
 // LoopbackThroughput measures wire-protocol trial throughput over
@@ -43,6 +44,110 @@ func benchAlgos() []core.Algorithm {
 		{Name: "a"},
 		{Name: "b", Space: param.NewSpace(param.NewRatio("x", 1, 2))},
 	}
+}
+
+// TenantThroughput is the per-tenant outcome of one MultiTenantThroughput
+// run.
+type TenantThroughput struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	PerSec     float64 `json:"per_sec"`
+}
+
+// MultiTenantThroughput measures one multi-tenant server under tenants
+// × workersPerTenant concurrent clients: each tenant's fleet drives its
+// own engine to total trials with the given batch size, all over the
+// same loopback listener. It returns the aggregate completed trials per
+// second (wall clock of the whole run) and the per-tenant breakdown —
+// the max/min of the per-tenant rates is the fairness ratio: 1.0 means
+// the registry serves every tenant equally, large values mean one
+// tenant starves another.
+func MultiTenantThroughput(tenants, workersPerTenant, batch, total int) (float64, []TenantThroughput, error) {
+	reg, err := tenant.NewRegistry(tenant.Config{
+		Roster: func(string) ([]core.Algorithm, error) { return benchAlgos(), nil },
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-%02d", i)
+		spec := tenant.Spec{Name: names[i], Workload: "bench", Engine: core.EngineSpec{Seed: int64(i + 1)}}
+		if err := reg.Register(spec); err != nil {
+			return 0, nil, err
+		}
+	}
+	srv := NewTenantServer(reg, WithTrialTarget(total))
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, nil, err
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+
+	measure := func(algo int, cfg param.Config) float64 {
+		if algo == 0 {
+			return 2
+		}
+		return 1 + cfg[0]
+	}
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	perTenant := make([]time.Duration, tenants)
+	for ti, name := range names {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tStart := time.Now()
+			var tw sync.WaitGroup
+			for i := 0; i < workersPerTenant; i++ {
+				tw.Add(1)
+				go func() {
+					defer tw.Done()
+					c, err := Dial(addr, WithTenant(name))
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+					defer c.Close()
+					w := &Worker{Client: c, Measure: measure, Batch: batch}
+					if _, err := w.Run(context.Background()); err != nil {
+						errOnce.Do(func() { firstErr = err })
+					}
+				}()
+			}
+			tw.Wait()
+			perTenant[ti] = time.Since(tStart)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, nil, firstErr
+	}
+
+	out := make([]TenantThroughput, tenants)
+	aggregate := 0
+	for ti, name := range names {
+		eng, _, release, err := reg.Acquire(name)
+		if err != nil {
+			return 0, nil, err
+		}
+		iter := eng.Iterations()
+		release()
+		if iter < total {
+			return 0, nil, fmt.Errorf("tenant %s finished at %d/%d trials", name, iter, total)
+		}
+		aggregate += iter
+		out[ti] = TenantThroughput{Name: name, Iterations: iter, PerSec: float64(iter) / perTenant[ti].Seconds()}
+	}
+	return float64(aggregate) / elapsed.Seconds(), out, nil
 }
 
 func loopbackCell(workers, batch, total int) (float64, error) {

@@ -95,6 +95,14 @@ func WithClientName(name string) ClientOption {
 	return func(c *Client) { c.name = name }
 }
 
+// WithTenant routes this client's sessions to a named tenant on a
+// multi-tenant server. Empty (the default) is the "default" tenant —
+// the behavior of every client that predates tenancy, and the only
+// tenant a single-engine server runs.
+func WithTenant(name string) ClientOption {
+	return func(c *Client) { c.tenant = name }
+}
+
 // WithDialer replaces the TCP dialer, letting tests and soak runs route
 // connections through a fault-injection layer (chaos.Network.DialTimeout
 // has this exact signature).
@@ -112,8 +120,9 @@ func WithDialer(dial func(network, addr string, timeout time.Duration) (net.Conn
 // within the retry budget is invisible to callers except through the
 // changed epoch.
 type Client struct {
-	addr string
-	name string
+	addr   string
+	name   string
+	tenant string
 
 	poolSize    int
 	timeout     time.Duration
@@ -171,7 +180,7 @@ func (c *Client) dial() (*clientConn, error) {
 	}
 	conn.SetDeadline(time.Now().Add(c.timeout))
 	defer conn.SetDeadline(time.Time{})
-	hello := wire.Hello{Proto: wire.Version, Hash: c.hash.Load(), Name: c.name}
+	hello := wire.Hello{Proto: wire.Version, Hash: c.hash.Load(), Name: c.name, Tenant: c.tenant}
 	if err := wire.WriteMsg(conn, wire.THello, hello); err != nil {
 		conn.Close()
 		return nil, err
@@ -487,9 +496,23 @@ func (c *Client) Best() (wire.BestResp, error) {
 	return resp, err
 }
 
-// Stats returns the server's engine counters and selection counts.
+// Stats returns this client's tenant's engine counters and selection
+// counts.
 func (c *Client) Stats() (wire.StatsResp, error) {
 	var resp wire.StatsResp
 	err := c.roundTrip(wire.TStats, nil, wire.TStatsAck, &resp)
+	return resp, err
+}
+
+// Tenant returns the tenant this client's sessions are routed to ("" =
+// the default tenant).
+func (c *Client) Tenant() string { return c.tenant }
+
+// Tenants returns the server's aggregate view: one row per registered
+// tenant plus fleet totals. Best and Stats stay scoped to this client's
+// own tenant; this is the cross-tenant overview.
+func (c *Client) Tenants() (wire.TenantsResp, error) {
+	var resp wire.TenantsResp
+	err := c.roundTrip(wire.TTenants, nil, wire.TTenantsAck, &resp)
 	return resp, err
 }

@@ -18,12 +18,18 @@
 //     (core.ResumeConcurrent) under a fresh session epoch; reports for
 //     leases issued by the dead process carry the old epoch and are
 //     dropped, never misapplied to a re-issued trial ID.
+//
+// A server carries either one engine (NewServer) or a whole tenant
+// registry (NewTenantServer): many named tuning problems behind one
+// port, each with its own engine, epoch, persistence directory and
+// calibration state. Sessions are routed by the tenant name in their
+// Hello; a client that predates the field lands on the "default"
+// tenant, so single-tenant deployments and old workers never notice.
 package tuned
 
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"math"
 	"net"
 	"sync"
@@ -34,6 +40,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/nominal"
 	"repro/internal/param"
+	"repro/internal/tenant"
 	"repro/internal/wire"
 )
 
@@ -76,22 +83,18 @@ const DefaultMaxBatch = 64
 
 // ConfigHash summarizes a tuning run's algorithm roster for the
 // handshake: workers refuse to feed measurements into a run whose
-// algorithm indices mean something else.
-func ConfigHash(algos []string) uint32 {
-	h := crc32.NewIEEE()
-	for _, a := range algos {
-		h.Write([]byte(a))
-		h.Write([]byte{0})
-	}
-	return h.Sum32()
-}
+// algorithm indices mean something else. It is wire.ConfigHash — the
+// definition moved next to the protocol so the tenant registry computes
+// the same hash without importing this package.
+func ConfigHash(algos []string) uint32 { return wire.ConfigHash(algos) }
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
 
-// WithTrialTarget makes LeaseN responses report Done once the engine
-// has completed n trials, telling workers to exit. Zero (the default)
-// serves leases indefinitely.
+// WithTrialTarget makes LeaseN responses report Done once the session's
+// tenant engine has completed n trials, telling workers to exit. Zero
+// (the default) serves leases indefinitely. On a tenant server the
+// target applies per tenant.
 func WithTrialTarget(n int) ServerOption {
 	return func(s *Server) { s.target = n }
 }
@@ -107,9 +110,10 @@ func WithMaxBatch(n int) ServerOption {
 
 // WithConfigHash overrides the hash derived from the algorithm names,
 // for deployments whose compatibility contract covers more than the
-// roster (corpus version, measurement units, …).
+// roster (corpus version, measurement units, …). Single-engine servers
+// only; a tenant server hashes each tenant's roster.
 func WithConfigHash(h uint32) ServerOption {
-	return func(s *Server) { s.hash = h }
+	return func(s *Server) { s.hashOverride = h }
 }
 
 // WithSessionCap bounds the leases one connection may hold at once.
@@ -120,41 +124,68 @@ func WithSessionCap(n int) ServerOption {
 	return func(s *Server) { s.sessionCap = n }
 }
 
-// WithGlobalCap bounds the total in-flight leases across all sessions,
+// WithGlobalCap bounds the total in-flight leases per engine,
 // independently of the engine's own MaxInFlight. Requests over the cap
-// get the same busy response. Zero (the default) disables the cap.
+// get the same busy response. On a tenant server the cap applies to
+// each tenant's engine separately — it is an engine-protection limit,
+// not a fleet quota. Zero (the default) disables the cap.
 func WithGlobalCap(n int) ServerOption {
 	return func(s *Server) { s.globalCap = n }
 }
 
 // WithRefAlgo sets the algorithm index workers probe when calibrating
 // their speed factor (default 0, the first algorithm). Indices outside
-// the roster are ignored.
+// a tenant's roster fall back to 0 for that tenant.
 func WithRefAlgo(i int) ServerOption {
 	return func(s *Server) {
-		if i >= 0 && i < s.eng.NumAlgorithms() {
+		if i >= 0 {
 			s.refAlgo = i
 		}
 	}
 }
 
-// Server serves one trial engine over TCP. It owns no tuning state
+// Server serves trial engines over TCP. It owns no tuning state
 // itself: every request maps onto one engine call, so the engine's
 // locking, lease reclamation and checkpoint journal work unchanged
 // whether trials complete from a local goroutine or a remote worker.
+// In tenant mode the engine behind a request is the session's tenant's,
+// acquired per request so the registry's LRU can spill idle tenants in
+// between.
 type Server struct {
-	eng        Engine
-	sharded    shardedEngine // non-nil when eng has more than one shard
-	hash       uint32
-	epoch      int64
-	target     int
-	maxBatch   int
-	sessionCap int // max leases one session may hold; 0 = unbounded
-	globalCap  int // max in-flight leases across sessions; 0 = unbounded
-	refAlgo    int // calibration reference algorithm index
+	eng          Engine           // single-engine mode (NewServer); nil in tenant mode
+	reg          *tenant.Registry // tenant mode (NewTenantServer); nil in single mode
+	hashOverride uint32
+	target       int
+	maxBatch     int
+	sessionCap   int // max leases one session may hold; 0 = unbounded
+	globalCap    int // max in-flight leases per engine; 0 = unbounded
+	refAlgo      int // calibration reference algorithm index
+
+	draining atomic.Bool // set by Drain: answer leases with Draining
+
+	// rtMu guards the per-tenant wire-side runtime table. Runtime state
+	// (absorb dedup, calibration) deliberately lives here, not on the
+	// engine: it must survive an engine spill, because a worker's seq
+	// numbering and speed factor outlive any one residency.
+	rtMu sync.Mutex
+	rts  map[string]*tenantRT
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// tenantRT is one tenant's wire-side runtime: everything the protocol
+// layer tracks about a tenant that is not tuning state. It survives the
+// tenant's engine being spilled and warm-restarted.
+type tenantRT struct {
+	name  string
+	epoch int64
+	hash  uint32
 
 	nextShard atomic.Uint64 // round-robin session → shard assignment
-	draining  atomic.Bool   // set by Drain: answer leases with Draining
 
 	// absorbMu serializes degraded-mode delta application so the
 	// (worker, seq) dedup check and the engine Absorb are atomic: a
@@ -170,17 +201,25 @@ type Server struct {
 	refs     map[uint64]float64
 	baseline float64
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	// acquire pins the tenant's engine resident for one request.
+	acquire func() (Engine, func(), error)
 }
 
-// session is the per-connection lease ledger backing the session cap.
-// The dispatch loop is the only goroutine touching it, so no lock.
+// session is the per-connection state: the protocol version its client
+// spoke (every reply frame is stamped with it, so a v1 decoder never
+// sees a frame it refuses), the tenant it was routed to, the shard its
+// leases are pinned to, and the lease ledger backing the session cap.
+// The dispatch loop is the only goroutine touching leased, so no lock.
 type session struct {
+	proto  byte
+	rt     *tenantRT
+	shard  int
 	leased map[uint64]struct{} // lease IDs issued to this connection
+}
+
+// write sends one reply frame at the session's protocol version.
+func (sess *session) write(conn net.Conn, typ wire.Type, v any) error {
+	return wire.WriteMsgV(conn, sess.proto, typ, v)
 }
 
 // prune drops ledger entries the engine no longer considers live
@@ -213,26 +252,43 @@ func loadRetryMS(inFlight, capacity int) int64 {
 	return min(ms, 250)
 }
 
-// NewServer wraps an engine for serving. The session epoch — stamped
-// into every lease and checked on every report — is drawn from the
-// wall clock at construction, so two server processes over the same
-// checkpoint directory never share an epoch.
+// NewServer wraps a single engine for serving, as the sole "default"
+// tenant. The session epoch — stamped into every lease and checked on
+// every report — is drawn from the wall clock at construction, so two
+// server processes over the same checkpoint directory never share an
+// epoch.
 func NewServer(eng Engine, opts ...ServerOption) *Server {
+	s := newServer(opts)
+	s.eng = eng
 	names := make([]string, eng.NumAlgorithms())
 	for i := range names {
 		names[i] = eng.AlgorithmName(i)
 	}
-	s := &Server{
-		eng:       eng,
-		hash:      ConfigHash(names),
-		epoch:     time.Now().UnixNano(),
-		maxBatch:  DefaultMaxBatch,
-		conns:     make(map[net.Conn]struct{}),
-		absorbSeq: make(map[uint64]uint64),
-		refs:      make(map[uint64]float64),
+	hash := wire.ConfigHash(names)
+	if s.hashOverride != 0 {
+		hash = s.hashOverride
 	}
-	if se, ok := eng.(shardedEngine); ok && se.Shards() > 1 {
-		s.sharded = se
+	rt := s.newRT(tenant.DefaultName, time.Now().UnixNano(), hash)
+	rt.acquire = func() (Engine, func(), error) { return s.eng, func() {}, nil }
+	s.rts[tenant.DefaultName] = rt
+	return s
+}
+
+// NewTenantServer serves a whole tenant registry: sessions are routed
+// to the tenant named in their Hello (empty = "default"), each backed
+// by its own engine, epoch and persistence directory. Unknown tenant
+// names are rejected at the handshake.
+func NewTenantServer(reg *tenant.Registry, opts ...ServerOption) *Server {
+	s := newServer(opts)
+	s.reg = reg
+	return s
+}
+
+func newServer(opts []ServerOption) *Server {
+	s := &Server{
+		maxBatch: DefaultMaxBatch,
+		conns:    make(map[net.Conn]struct{}),
+		rts:      make(map[string]*tenantRT),
 	}
 	for _, o := range opts {
 		o(s)
@@ -240,14 +296,75 @@ func NewServer(eng Engine, opts ...ServerOption) *Server {
 	return s
 }
 
-// Engine returns the served engine (for inspection: Best, Stats, …).
+func (s *Server) newRT(name string, epoch int64, hash uint32) *tenantRT {
+	return &tenantRT{
+		name:      name,
+		epoch:     epoch,
+		hash:      hash,
+		absorbSeq: make(map[uint64]uint64),
+		refs:      make(map[uint64]float64),
+	}
+}
+
+// rtFor returns the wire-side runtime for a registered tenant, creating
+// it on first contact (tenant mode only).
+func (s *Server) rtFor(t *tenant.Tenant) *tenantRT {
+	s.rtMu.Lock()
+	defer s.rtMu.Unlock()
+	name := t.Spec().Name
+	rt := s.rts[name]
+	if rt == nil {
+		rt = s.newRT(name, t.Epoch(), t.Hash())
+		rt.acquire = func() (Engine, func(), error) {
+			eng, _, release, err := s.reg.Acquire(name)
+			return eng, release, err
+		}
+		s.rts[name] = rt
+	}
+	return rt
+}
+
+// Engine returns the served engine in single-engine mode (for
+// inspection: Best, Stats, …); nil on a tenant server, whose engines
+// come and go with residency — use Registry instead.
 func (s *Server) Engine() Engine { return s.eng }
 
-// Epoch returns the session epoch of this server process.
-func (s *Server) Epoch() int64 { return s.epoch }
+// Registry returns the tenant registry (nil in single-engine mode).
+func (s *Server) Registry() *tenant.Registry { return s.reg }
 
-// Hash returns the config hash offered in the handshake.
-func (s *Server) Hash() uint32 { return s.hash }
+// Epoch returns the "default" tenant's session epoch (the only epoch in
+// single-engine mode). Tenant epochs are per-tenant; see the HelloAck.
+func (s *Server) Epoch() int64 {
+	if rt := s.lookupRT(tenant.DefaultName); rt != nil {
+		return rt.epoch
+	}
+	if s.reg != nil {
+		if t := s.reg.Tenant(tenant.DefaultName); t != nil {
+			return t.Epoch()
+		}
+	}
+	return 0
+}
+
+// Hash returns the "default" tenant's config hash (the only hash in
+// single-engine mode).
+func (s *Server) Hash() uint32 {
+	if rt := s.lookupRT(tenant.DefaultName); rt != nil {
+		return rt.hash
+	}
+	if s.reg != nil {
+		if t := s.reg.Tenant(tenant.DefaultName); t != nil {
+			return t.Hash()
+		}
+	}
+	return 0
+}
+
+func (s *Server) lookupRT(name string) *tenantRT {
+	s.rtMu.Lock()
+	defer s.rtMu.Unlock()
+	return s.rts[name]
+}
 
 // Serve accepts connections on ln until Close, handling each on its own
 // goroutine. It returns nil after Close, or the first Accept error.
@@ -300,9 +417,9 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Close stops accepting, closes every live connection, and waits for
-// the handlers to drain. The engine is left untouched: outstanding
+// the handlers to drain. The engines are left untouched: outstanding
 // leases expire on their own deadlines, and a resumed server picks the
-// run up from the journal.
+// run up from the journals.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -329,167 +446,243 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Drain performs a graceful shutdown: stop issuing leases (LeaseN
 // answers Draining with a retry hint), wait for in-flight trials to
 // complete — reclaiming expired ones along the way — up to the
-// timeout, write a final engine checkpoint, then Close. Connections
-// stay open through the wait so workers can still report and absorb.
+// timeout, write a final checkpoint for every resident tenant in
+// sorted name order (deterministic, so two drains of the same state
+// touch disk identically), then Close. Connections stay open through
+// the wait so workers can still report and absorb. Spilled tenants
+// were checkpointed when they left residency and need nothing here.
 //
-// Drain returns the checkpoint error if the snapshot failed, else the
-// Close error; a timeout with trials still in flight is not an error —
-// those leases die with the epoch and their reports will be dropped by
-// the next server process.
+// Drain returns the first checkpoint error if any snapshot failed,
+// else the Close error; a timeout with trials still in flight is not an
+// error — those leases die with their epochs and their reports will be
+// dropped by the next server process.
 func (s *Server) Drain(timeout time.Duration) error {
 	if s.draining.Swap(true) {
 		return nil // second Drain: already under way
 	}
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		s.eng.ReclaimExpired()
-		if s.eng.Stats().InFlight == 0 {
+		if s.reclaimAll(); s.inFlightAll() == 0 {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	ckErr := s.eng.Checkpoint()
+	var ckErr error
+	if s.reg != nil {
+		_, ckErr = s.reg.CheckpointAll()
+	} else {
+		ckErr = s.eng.Checkpoint()
+	}
 	if err := s.Close(); err != nil {
 		return err
 	}
 	return ckErr
 }
 
+func (s *Server) reclaimAll() int {
+	if s.reg != nil {
+		return s.reg.ReclaimExpired()
+	}
+	return s.eng.ReclaimExpired()
+}
+
+func (s *Server) inFlightAll() int {
+	if s.reg != nil {
+		return s.reg.InFlight()
+	}
+	return s.eng.Stats().InFlight
+}
+
 // handle runs one connection: handshake, then a request/response loop.
 // On a sharded engine the session is pinned to one shard, assigned
-// round-robin across connections, so all its leases come from one
-// selector replica.
+// round-robin across the tenant's connections, so all its leases come
+// from one selector replica.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	if !s.handshake(conn) {
+	sess := s.handshake(conn)
+	if sess == nil {
 		return
 	}
-	shard := 0
-	if s.sharded != nil {
-		shard = int((s.nextShard.Add(1) - 1) % uint64(s.sharded.Shards()))
-	}
-	sess := &session{leased: make(map[uint64]struct{})}
 	for {
 		typ, payload, err := wire.ReadFrame(conn)
 		if err != nil {
 			return // disconnect, or a frame this protocol can't resync from
 		}
-		if !s.dispatch(conn, sess, shard, typ, payload) {
+		if !s.dispatch(conn, sess, typ, payload) {
 			return
 		}
 	}
 }
 
-// handshake validates the client Hello and answers with the server's
-// capabilities, reporting whether the connection may proceed.
-func (s *Server) handshake(conn net.Conn) bool {
+// handshake validates the client Hello, routes the session to its
+// tenant, and answers with the tenant's capabilities. It returns the
+// established session, or nil when the connection must not proceed.
+// Error frames before the client's version is known are stamped v1 —
+// the one version every decoder accepts.
+func (s *Server) handshake(conn net.Conn) *session {
 	typ, payload, err := wire.ReadFrame(conn)
 	if err != nil {
-		return false
+		return nil
 	}
 	if typ != wire.THello {
-		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: "expected hello"})
-		return false
+		wire.WriteMsgV(conn, 1, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: "expected hello"})
+		return nil
 	}
 	var h wire.Hello
 	if err := wire.Unmarshal(payload, &h); err != nil {
-		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: err.Error()})
-		return false
+		wire.WriteMsgV(conn, 1, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: err.Error()})
+		return nil
 	}
-	if h.Proto != wire.Version {
-		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{
-			Code: wire.CodeBadRequest, Msg: fmt.Sprintf("protocol version %d, server speaks %d", h.Proto, wire.Version)})
-		return false
+	if h.Proto < 1 || h.Proto > wire.Version {
+		wire.WriteMsgV(conn, 1, wire.TError, wire.ErrorResp{
+			Code: wire.CodeBadRequest, Msg: fmt.Sprintf("protocol version %d, server speaks 1..%d", h.Proto, wire.Version)})
+		return nil
 	}
-	if h.Hash != 0 && h.Hash != s.hash {
-		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{
+	sess := &session{proto: byte(h.Proto), leased: make(map[uint64]struct{})}
+	name := h.Tenant
+	if name == "" {
+		// Pre-tenant clients (and tenant-agnostic ones) land here.
+		name = tenant.DefaultName
+	}
+	if s.reg == nil {
+		if name != tenant.DefaultName {
+			sess.write(conn, wire.TError, wire.ErrorResp{
+				Code: wire.CodeUnknownTenant, Msg: fmt.Sprintf("unknown tenant %q (single-tenant server)", name)})
+			return nil
+		}
+		sess.rt = s.lookupRT(tenant.DefaultName)
+	} else {
+		t := s.reg.Tenant(name)
+		if t == nil {
+			sess.write(conn, wire.TError, wire.ErrorResp{
+				Code: wire.CodeUnknownTenant, Msg: fmt.Sprintf("unknown tenant %q", name)})
+			return nil
+		}
+		sess.rt = s.rtFor(t)
+	}
+	if h.Hash != 0 && h.Hash != sess.rt.hash {
+		sess.write(conn, wire.TError, wire.ErrorResp{
 			Code: wire.CodeConfigMismatch,
-			Msg:  fmt.Sprintf("config hash %08x, server runs %08x", h.Hash, s.hash)})
-		return false
+			Msg:  fmt.Sprintf("config hash %08x, tenant %s runs %08x", h.Hash, name, sess.rt.hash)})
+		return nil
 	}
-	names := make([]string, s.eng.NumAlgorithms())
+	eng, release, err := sess.rt.acquire()
+	if err != nil {
+		sess.write(conn, wire.TError, wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
+		return nil
+	}
+	defer release()
+	if se, ok := eng.(shardedEngine); ok && se.Shards() > 1 {
+		sess.shard = int((sess.rt.nextShard.Add(1) - 1) % uint64(se.Shards()))
+	}
+	names := make([]string, eng.NumAlgorithms())
 	for i := range names {
-		names[i] = s.eng.AlgorithmName(i)
+		names[i] = eng.AlgorithmName(i)
 	}
 	ack := wire.HelloAck{
-		Proto:      wire.Version,
-		Hash:       s.hash,
-		Epoch:      s.epoch,
+		Proto:      h.Proto,
+		Hash:       sess.rt.hash,
+		Epoch:      sess.rt.epoch,
 		Algos:      names,
-		LeaseTTLMS: s.eng.LeaseTimeout().Milliseconds(),
-		RefAlgo:    s.refAlgo,
+		LeaseTTLMS: eng.LeaseTimeout().Milliseconds(),
+		RefAlgo:    s.refAlgoFor(eng),
+		Tenant:     name,
 	}
-	return wire.WriteMsg(conn, wire.THelloAck, ack) == nil
+	if sess.write(conn, wire.THelloAck, ack) != nil {
+		return nil
+	}
+	return sess
 }
 
-// dispatch serves one request frame, reporting whether the connection
-// should stay open.
-func (s *Server) dispatch(conn net.Conn, sess *session, shard int, typ wire.Type, payload []byte) bool {
+// refAlgoFor clamps the configured calibration reference into the
+// engine's roster (a tenant with a shorter roster falls back to 0).
+func (s *Server) refAlgoFor(eng Engine) int {
+	if s.refAlgo >= 0 && s.refAlgo < eng.NumAlgorithms() {
+		return s.refAlgo
+	}
+	return 0
+}
+
+// dispatch serves one request frame against the session's tenant
+// engine — acquired per request, so the registry may spill the tenant
+// between requests — reporting whether the connection should stay open.
+func (s *Server) dispatch(conn net.Conn, sess *session, typ wire.Type, payload []byte) bool {
+	if typ == wire.TTenants {
+		// The aggregate view needs no engine (and must not force one
+		// resident).
+		return s.serveTenants(conn, sess)
+	}
+	eng, release, err := sess.rt.acquire()
+	if err != nil {
+		sess.write(conn, wire.TError, wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
+		return false
+	}
+	defer release()
 	switch typ {
 	case wire.TLeaseN:
 		var req wire.LeaseNReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, err)
+			return s.badRequest(conn, sess, err)
 		}
-		return s.serveLeaseN(conn, sess, shard, req)
+		return s.serveLeaseN(conn, sess, eng, req)
 	case wire.TCompleteN:
 		var req wire.CompleteNReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, err)
+			return s.badRequest(conn, sess, err)
 		}
-		return s.serveCompleteN(conn, sess, req)
+		return s.serveCompleteN(conn, sess, eng, req)
 	case wire.TFailN:
 		var req wire.FailNReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, err)
+			return s.badRequest(conn, sess, err)
 		}
-		return s.serveFailN(conn, sess, req)
+		return s.serveFailN(conn, sess, eng, req)
 	case wire.TAbsorb:
 		var req wire.AbsorbReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, err)
+			return s.badRequest(conn, sess, err)
 		}
-		return s.serveAbsorb(conn, req)
+		return s.serveAbsorb(conn, sess, eng, req)
 	case wire.TCalibrate:
 		var req wire.CalibrateReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, err)
+			return s.badRequest(conn, sess, err)
 		}
-		return s.serveCalibrate(conn, req)
+		return s.serveCalibrate(conn, sess, req)
 	case wire.THeartbeat:
 		var req wire.HeartbeatReq
 		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, err)
+			return s.badRequest(conn, sess, err)
 		}
-		return s.serveHeartbeat(conn, req)
+		return s.serveHeartbeat(conn, sess, eng, req)
 	case wire.TBest:
-		return s.serveBest(conn)
+		return s.serveBest(conn, sess, eng)
 	case wire.TStats:
-		return s.serveStats(conn)
+		return s.serveStats(conn, sess, eng)
 	default:
-		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{
+		sess.write(conn, wire.TError, wire.ErrorResp{
 			Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unexpected frame %s", typ)})
 		return false
 	}
 }
 
-func (s *Server) badRequest(conn net.Conn, err error) bool {
-	wire.WriteMsg(conn, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: err.Error()})
+func (s *Server) badRequest(conn net.Conn, sess *session, err error) bool {
+	sess.write(conn, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: err.Error()})
 	return false
 }
 
-func (s *Server) serveLeaseN(conn net.Conn, sess *session, shard int, req wire.LeaseNReq) bool {
-	resp := wire.LeaseNResp{Epoch: s.epoch}
-	if s.target > 0 && s.eng.Iterations() >= s.target {
+func (s *Server) serveLeaseN(conn net.Conn, sess *session, eng Engine, req wire.LeaseNReq) bool {
+	resp := wire.LeaseNResp{Epoch: sess.rt.epoch}
+	if s.target > 0 && eng.Iterations() >= s.target {
 		resp.Done = true
-		return wire.WriteMsg(conn, wire.TTrials, resp) == nil
+		return sess.write(conn, wire.TTrials, resp) == nil
 	}
 	if s.draining.Load() {
 		// Drain in progress: no new leases. Workers should report what
 		// they hold, then back off (or reconnect elsewhere).
 		resp.Draining = true
 		resp.RetryMS = 100
-		return wire.WriteMsg(conn, wire.TTrials, resp) == nil
+		return sess.write(conn, wire.TTrials, resp) == nil
 	}
 	n := req.N
 	if n < 1 {
@@ -499,23 +692,23 @@ func (s *Server) serveLeaseN(conn net.Conn, sess *session, shard int, req wire.L
 		n = s.maxBatch
 	}
 	// Overload control. The session cap bounds what one connection may
-	// hoard; the global cap bounds total in-flight across sessions. Both
+	// hoard; the global cap bounds total in-flight on this engine. Both
 	// answer with an empty busy response whose RetryMS grows with load,
 	// so backoff pressure rises before the engine's own hard limit
 	// (core.ErrTooManyInFlight) is ever reached.
 	if s.sessionCap > 0 && len(sess.leased) >= s.sessionCap {
-		sess.prune(s.eng)
+		sess.prune(eng)
 	}
 	inFlight := 0
 	if s.sessionCap > 0 || s.globalCap > 0 {
-		inFlight = s.eng.Stats().InFlight
+		inFlight = eng.Stats().InFlight
 	}
 	if s.sessionCap > 0 && len(sess.leased)+n > s.sessionCap {
 		n = s.sessionCap - len(sess.leased)
 	}
 	if s.globalCap > 0 && inFlight+n > s.globalCap {
-		s.eng.ReclaimExpired()
-		inFlight = s.eng.Stats().InFlight
+		eng.ReclaimExpired()
+		inFlight = eng.Stats().InFlight
 		n = min(n, s.globalCap-inFlight)
 	}
 	if n <= 0 {
@@ -526,20 +719,20 @@ func (s *Server) serveLeaseN(conn net.Conn, sess *session, shard int, req wire.L
 			capacity, load = s.sessionCap, len(sess.leased)
 		}
 		resp.RetryMS = loadRetryMS(load, capacity)
-		return wire.WriteMsg(conn, wire.TTrials, resp) == nil
+		return sess.write(conn, wire.TTrials, resp) == nil
 	}
 	var trials []core.Trial
 	var err error
-	if s.sharded != nil {
-		trials, err = s.sharded.LeaseNOn(shard, n)
+	if se, ok := eng.(shardedEngine); ok && se.Shards() > 1 {
+		trials, err = se.LeaseNOn(sess.shard%se.Shards(), n)
 	} else {
-		trials, err = s.eng.LeaseN(n)
+		trials, err = eng.LeaseN(n)
 	}
 	switch {
 	case errors.Is(err, core.ErrTooManyInFlight):
-		resp.RetryMS = loadRetryMS(s.eng.Stats().InFlight, s.globalCap)
+		resp.RetryMS = loadRetryMS(eng.Stats().InFlight, s.globalCap)
 	case err != nil:
-		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
+		sess.write(conn, wire.TError, wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
 		return false
 	}
 	for _, tr := range trials {
@@ -556,44 +749,45 @@ func (s *Server) serveLeaseN(conn net.Conn, sess *session, shard int, req wire.L
 		}
 		resp.Trials = append(resp.Trials, wt)
 	}
-	return wire.WriteMsg(conn, wire.TTrials, resp) == nil
+	return sess.write(conn, wire.TTrials, resp) == nil
 }
 
 // serveCompleteN applies a completion batch. Reports from another epoch
-// (leases issued by a dead server process, possibly colliding with
-// re-issued trial IDs) are dropped wholesale — acknowledged, never
-// applied.
-func (s *Server) serveCompleteN(conn net.Conn, sess *session, req wire.CompleteNReq) bool {
+// (leases issued by a dead server process, or by a different tenant,
+// possibly colliding with re-issued trial IDs) are dropped wholesale —
+// acknowledged, never applied. Tenant epochs are unique within a
+// process, so a report carried across tenants always fails this check.
+func (s *Server) serveCompleteN(conn net.Conn, sess *session, eng Engine, req wire.CompleteNReq) bool {
 	var ack wire.AckResp
-	if req.Epoch != s.epoch {
+	if req.Epoch != sess.rt.epoch {
 		for _, r := range req.Results {
 			ack.Dropped = append(ack.Dropped, r.ID)
 		}
-		return wire.WriteMsg(conn, wire.TAck, ack) == nil
+		return sess.write(conn, wire.TAck, ack) == nil
 	}
-	factor := s.factorFor(req.Worker)
+	factor := sess.rt.factorFor(req.Worker)
 	results := make([]core.TrialResult, len(req.Results))
 	for i, r := range req.Results {
 		results[i] = core.TrialResult{ID: r.ID, Value: r.Value / factor}
 		delete(sess.leased, r.ID)
 	}
-	for i, err := range s.eng.CompleteN(results) {
+	for i, err := range eng.CompleteN(results) {
 		if err == nil {
 			ack.Applied = append(ack.Applied, results[i].ID)
 		} else {
 			ack.Dropped = append(ack.Dropped, results[i].ID)
 		}
 	}
-	return wire.WriteMsg(conn, wire.TAck, ack) == nil
+	return sess.write(conn, wire.TAck, ack) == nil
 }
 
-func (s *Server) serveFailN(conn net.Conn, sess *session, req wire.FailNReq) bool {
+func (s *Server) serveFailN(conn net.Conn, sess *session, eng Engine, req wire.FailNReq) bool {
 	var ack wire.AckResp
-	if req.Epoch != s.epoch {
+	if req.Epoch != sess.rt.epoch {
 		for _, f := range req.Fails {
 			ack.Dropped = append(ack.Dropped, f.ID)
 		}
-		return wire.WriteMsg(conn, wire.TAck, ack) == nil
+		return sess.write(conn, wire.TAck, ack) == nil
 	}
 	fails := make([]core.TrialFailure, len(req.Fails))
 	for i, f := range req.Fails {
@@ -608,43 +802,44 @@ func (s *Server) serveFailN(conn net.Conn, sess *session, req wire.FailNReq) boo
 			Penalty: f.Penalty,
 		}}
 	}
-	for i, err := range s.eng.FailN(fails) {
+	for i, err := range eng.FailN(fails) {
 		if err == nil {
 			ack.Applied = append(ack.Applied, fails[i].ID)
 		} else {
 			ack.Dropped = append(ack.Dropped, fails[i].ID)
 		}
 	}
-	return wire.WriteMsg(conn, wire.TAck, ack) == nil
+	return sess.write(conn, wire.TAck, ack) == nil
 }
 
-func (s *Server) serveHeartbeat(conn net.Conn, req wire.HeartbeatReq) bool {
+func (s *Server) serveHeartbeat(conn net.Conn, sess *session, eng Engine, req wire.HeartbeatReq) bool {
 	var resp wire.HeartbeatResp
-	if req.Epoch == s.epoch {
-		for i, ok := range s.eng.Heartbeat(req.IDs) {
+	if req.Epoch == sess.rt.epoch {
+		for i, ok := range eng.Heartbeat(req.IDs) {
 			if ok {
 				resp.Alive = append(resp.Alive, req.IDs[i])
 			}
 		}
 	}
 	// Another epoch's leases are all dead here by definition: empty Alive.
-	return wire.WriteMsg(conn, wire.THeartbeatAck, resp) == nil
+	return sess.write(conn, wire.THeartbeatAck, resp) == nil
 }
 
 // serveAbsorb folds a degraded-mode worker's locally-learned delta into
-// the engine, idempotently per (worker, seq): a retried request whose
-// seq was already applied is acknowledged as a duplicate and dropped,
-// so transport retries can never double-count an observation. Seqs must
-// be strictly increasing per worker; the dedup check and the engine
-// call happen under one lock so concurrent retries serialize.
-func (s *Server) serveAbsorb(conn net.Conn, req wire.AbsorbReq) bool {
+// the tenant's engine, idempotently per (worker, seq): a retried request
+// whose seq was already applied is acknowledged as a duplicate and
+// dropped, so transport retries can never double-count an observation.
+// Seqs must be strictly increasing per worker; the dedup check and the
+// engine call happen under one lock so concurrent retries serialize.
+func (s *Server) serveAbsorb(conn net.Conn, sess *session, eng Engine, req wire.AbsorbReq) bool {
+	rt := sess.rt
 	var ack wire.AbsorbAck
-	s.absorbMu.Lock()
-	last, seen := s.absorbSeq[req.Worker]
+	rt.absorbMu.Lock()
+	last, seen := rt.absorbSeq[req.Worker]
 	if seen && req.Seq <= last {
 		ack.Duplicate = true
 	} else {
-		factor := s.factorFor(req.Worker)
+		factor := rt.factorFor(req.Worker)
 		obs := make([]nominal.Observation, len(req.Obs))
 		for i, o := range req.Obs {
 			v := o.Value
@@ -656,73 +851,76 @@ func (s *Server) serveAbsorb(conn net.Conn, req wire.AbsorbReq) bool {
 			}
 			obs[i] = nominal.Observation{Arm: o.Arm, Value: v, Failed: o.Failed}
 		}
-		ack.Applied = s.eng.Absorb(obs)
-		s.absorbSeq[req.Worker] = req.Seq
+		ack.Applied = eng.Absorb(obs)
+		rt.absorbSeq[req.Worker] = req.Seq
 	}
-	s.absorbMu.Unlock()
-	return wire.WriteMsg(conn, wire.TAbsorbAck, ack) == nil
+	rt.absorbMu.Unlock()
+	return sess.write(conn, wire.TAbsorbAck, ack) == nil
 }
 
 // serveCalibrate registers a worker's reference-probe time and answers
 // with the speed factor now dividing that worker's reported costs. The
-// baseline is the fleet minimum reference, so factors only ever
-// normalize toward the fastest machine; re-calibrating (the worker
-// probes periodically) tracks thermal or load changes, and a new
-// fastest worker lowers the baseline, raising everyone else's factor on
-// their next report.
-func (s *Server) serveCalibrate(conn net.Conn, req wire.CalibrateReq) bool {
+// baseline is the minimum reference across the tenant's fleet, so
+// factors only ever normalize toward the fastest machine; re-calibrating
+// (the worker probes periodically) tracks thermal or load changes, and a
+// new fastest worker lowers the baseline, raising everyone else's factor
+// on their next report. Calibration is per tenant: fleets serving
+// different tenants may not even overlap.
+func (s *Server) serveCalibrate(conn net.Conn, sess *session, req wire.CalibrateReq) bool {
+	rt := sess.rt
 	if req.Worker == 0 || req.Ref <= 0 || math.IsInf(req.Ref, 0) || math.IsNaN(req.Ref) {
-		wire.WriteMsg(conn, wire.TError, wire.ErrorResp{
+		sess.write(conn, wire.TError, wire.ErrorResp{
 			Code: wire.CodeBadRequest, Msg: "calibrate needs a nonzero worker and a positive finite reference"})
 		return false
 	}
-	s.calMu.Lock()
-	s.refs[req.Worker] = req.Ref
-	s.baseline = 0
-	for _, r := range s.refs {
-		if s.baseline == 0 || r < s.baseline {
-			s.baseline = r
+	rt.calMu.Lock()
+	rt.refs[req.Worker] = req.Ref
+	rt.baseline = 0
+	for _, r := range rt.refs {
+		if rt.baseline == 0 || r < rt.baseline {
+			rt.baseline = r
 		}
 	}
-	ack := wire.CalibrateAck{Factor: req.Ref / s.baseline, Baseline: s.baseline}
-	s.calMu.Unlock()
-	return wire.WriteMsg(conn, wire.TCalibrateAck, ack) == nil
+	ack := wire.CalibrateAck{Factor: req.Ref / rt.baseline, Baseline: rt.baseline}
+	rt.calMu.Unlock()
+	return sess.write(conn, wire.TCalibrateAck, ack) == nil
 }
 
 // factorFor returns the speed factor dividing a worker's reported
 // costs: 1 for the fleet-fastest, uncalibrated, or anonymous workers.
-func (s *Server) factorFor(worker uint64) float64 {
+func (rt *tenantRT) factorFor(worker uint64) float64 {
 	if worker == 0 {
 		return 1
 	}
-	s.calMu.Lock()
-	defer s.calMu.Unlock()
-	ref, ok := s.refs[worker]
-	if !ok || s.baseline <= 0 {
+	rt.calMu.Lock()
+	defer rt.calMu.Unlock()
+	ref, ok := rt.refs[worker]
+	if !ok || rt.baseline <= 0 {
 		return 1
 	}
-	return ref / s.baseline
+	return ref / rt.baseline
 }
 
-func (s *Server) serveBest(conn net.Conn) bool {
-	algo, cfg, val := s.eng.Best()
-	resp := wire.BestResp{Algo: algo, Iterations: s.eng.Iterations()}
+func (s *Server) serveBest(conn net.Conn, sess *session, eng Engine) bool {
+	algo, cfg, val := eng.Best()
+	resp := wire.BestResp{Algo: algo, Iterations: eng.Iterations()}
 	if algo >= 0 {
 		// Before any completion val is +Inf, which JSON cannot carry;
 		// Algo == -1 already says "no best yet", so Value stays zero.
-		resp.Name = s.eng.AlgorithmName(algo)
+		resp.Name = eng.AlgorithmName(algo)
 		resp.Config = cfg
 		resp.Value = val
 	}
-	return wire.WriteMsg(conn, wire.TBestAck, resp) == nil
+	return sess.write(conn, wire.TBestAck, resp) == nil
 }
 
-func (s *Server) serveStats(conn net.Conn) bool {
-	st := s.eng.Stats()
-	ds := s.eng.DriftStats()
-	s.calMu.Lock()
-	calibrated := len(s.refs)
-	s.calMu.Unlock()
+func (s *Server) serveStats(conn net.Conn, sess *session, eng Engine) bool {
+	st := eng.Stats()
+	ds := eng.DriftStats()
+	rt := sess.rt
+	rt.calMu.Lock()
+	calibrated := len(rt.refs)
+	rt.calMu.Unlock()
 	resp := wire.StatsResp{
 		Leased:     st.Leased,
 		Completed:  st.Completed,
@@ -730,9 +928,9 @@ func (s *Server) serveStats(conn net.Conn) bool {
 		Expired:    st.Expired,
 		InFlight:   st.InFlight,
 		Absorbed:   st.Absorbed,
-		Iterations: s.eng.Iterations(),
-		Counts:     s.eng.Counts(),
-		Degraded:   s.eng.Degraded(),
+		Iterations: eng.Iterations(),
+		Counts:     eng.Counts(),
+		Degraded:   eng.Degraded(),
 
 		DriftEvents:        ds.Events,
 		DriftDecays:        ds.Decays,
@@ -745,5 +943,56 @@ func (s *Server) serveStats(conn net.Conn) bool {
 
 		Calibrated: calibrated,
 	}
-	return wire.WriteMsg(conn, wire.TStatsAck, resp) == nil
+	return sess.write(conn, wire.TStatsAck, resp) == nil
+}
+
+// serveTenants answers the aggregate view: one row per registered
+// tenant (resident or spilled; listing never forces a warm restart)
+// plus fleet totals. A single-engine server reports its one tenant.
+func (s *Server) serveTenants(conn net.Conn, sess *session) bool {
+	var resp wire.TenantsResp
+	if s.reg != nil {
+		for _, in := range s.reg.Snapshot() {
+			resp.Tenants = append(resp.Tenants, wire.TenantStat{
+				Name:       in.Name,
+				Resident:   in.Resident,
+				Epoch:      in.Epoch,
+				Iterations: in.Iterations,
+				InFlight:   in.InFlight,
+				Completed:  in.Completed,
+				BestAlgo:   in.BestAlgo,
+				BestName:   in.BestName,
+				BestValue:  in.BestValue,
+				Spills:     in.Spills,
+				Restarts:   in.Restarts,
+			})
+			if in.Resident {
+				resp.Resident++
+				resp.InFlight += in.InFlight
+			}
+			resp.Iterations += in.Iterations
+		}
+	} else {
+		eng := s.eng
+		st := eng.Stats()
+		ts := wire.TenantStat{
+			Name:       tenant.DefaultName,
+			Resident:   true,
+			Epoch:      sess.rt.epoch,
+			Iterations: eng.Iterations(),
+			InFlight:   st.InFlight,
+			Completed:  st.Completed,
+			BestAlgo:   -1,
+		}
+		if algo, _, val := eng.Best(); algo >= 0 {
+			ts.BestAlgo = algo
+			ts.BestName = eng.AlgorithmName(algo)
+			ts.BestValue = val
+		}
+		resp.Tenants = []wire.TenantStat{ts}
+		resp.Resident = 1
+		resp.Iterations = ts.Iterations
+		resp.InFlight = ts.InFlight
+	}
+	return sess.write(conn, wire.TTenantsAck, resp) == nil
 }

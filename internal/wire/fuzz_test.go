@@ -21,7 +21,14 @@ func FuzzWireDecode(f *testing.F) {
 		v   any
 	}{
 		{THello, Hello{Proto: Version, Hash: 0xdeadbeef, Name: "seed"}},
+		{THello, Hello{Proto: Version, Hash: 0xdeadbeef, Name: "seed", Tenant: "team-a"}},
 		{THelloAck, HelloAck{Proto: Version, Hash: 1, Epoch: 99, Algos: []string{"a", "b"}, LeaseTTLMS: 500}},
+		{THelloAck, HelloAck{Proto: Version, Hash: 1, Epoch: 99, Algos: []string{"a"}, Tenant: "team-a"}},
+		{TTenants, nil},
+		{TTenantsAck, TenantsResp{Resident: 1, Iterations: 12, InFlight: 3, Tenants: []TenantStat{
+			{Name: "default", Resident: true, Epoch: 7, Iterations: 12, InFlight: 3, BestAlgo: 1, BestName: "b", BestValue: 0.5},
+			{Name: "team-a", Resident: false, Iterations: 40, BestAlgo: -1, Spills: 2, Restarts: 1},
+		}}},
 		{TLeaseN, LeaseNReq{N: 8}},
 		{TTrials, LeaseNResp{Epoch: 42, Trials: []Trial{{ID: 7, Algo: 2, Config: []float64{1, 2.5}, DeadlineMS: 1700000000000}}}},
 		{TTrials, LeaseNResp{Epoch: 42, RetryMS: 25, Draining: true}},
@@ -67,6 +74,33 @@ func FuzzWireDecode(f *testing.F) {
 			wrongType[5] = byte(t)
 			f.Add(bytes.Clone(wrongType))
 		}
+	}
+	// Backward decode: a v-prev (version 1) client's frames — a Hello
+	// with no tenant field among them — must stay accepted by the
+	// current decoder, since v1 workers keep connecting to v2 servers.
+	for _, m := range []struct {
+		typ Type
+		v   any
+	}{
+		{THello, Hello{Proto: 1, Hash: 0xdeadbeef, Name: "v1-worker"}},
+		{TLeaseN, LeaseNReq{N: 4}},
+		{TStats, nil},
+	} {
+		frame, err := EncodeV(1, m.typ, m.v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	// A future version must be refused, not misread.
+	{
+		frame, err := Encode(THello, Hello{Proto: Version})
+		if err != nil {
+			f.Fatal(err)
+		}
+		next := bytes.Clone(frame)
+		next[4] = Version + 1
+		f.Add(next)
 	}
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize+8))
@@ -132,6 +166,8 @@ func payloadFor(typ Type) any {
 		return &CalibrateReq{}
 	case TCalibrateAck:
 		return &CalibrateAck{}
+	case TTenantsAck:
+		return &TenantsResp{}
 	default:
 		return nil
 	}

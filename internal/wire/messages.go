@@ -1,8 +1,24 @@
 package wire
 
+import "hash/crc32"
+
 // Message payloads. Each struct is the JSON body of exactly one frame
 // Type. Fields are additive-only within a protocol version: decoders
 // ignore unknown fields, so new optional fields need no version bump.
+
+// ConfigHash summarizes an algorithm roster for the handshake: workers
+// refuse to feed measurements into a run whose algorithm indices mean
+// something else. It lives with the protocol because both sides of the
+// wire — and the tenant registry keying handshakes — must compute it
+// identically.
+func ConfigHash(algos []string) uint32 {
+	h := crc32.NewIEEE()
+	for _, a := range algos {
+		h.Write([]byte(a))
+		h.Write([]byte{0})
+	}
+	return h.Sum32()
+}
 
 // Hello opens every connection (frame THello). The client states its
 // protocol version and, when it already knows it, the config hash of
@@ -13,6 +29,11 @@ type Hello struct {
 	Proto int    `json:"proto"`
 	Hash  uint32 `json:"hash,omitempty"`
 	Name  string `json:"name,omitempty"`
+	// Tenant names the tuning problem this session joins on a
+	// multi-tenant server (proto ≥ 2). Empty — including every proto-1
+	// client, which predates the field — means the "default" tenant, so
+	// old workers keep tuning against a multi-tenant server unchanged.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // HelloAck (frame THelloAck) is the server's capability statement: its
@@ -33,6 +54,10 @@ type HelloAck struct {
 	// valid reference, so workers gate calibration on their own flag, not
 	// on this field.
 	RefAlgo int `json:"ref_algo,omitempty"`
+	// Tenant echoes the tenant this session was routed to, which for an
+	// empty Hello.Tenant is "default" — the one field a client needs to
+	// learn where it actually landed.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // LeaseNReq (frame TLeaseN) asks for up to N trials in one round trip.
@@ -174,7 +199,37 @@ type CalibrateAck struct {
 	Baseline float64 `json:"baseline"`
 }
 
-// TBest and TStats requests have no body.
+// TBest, TStats and TTenants requests have no body.
+
+// TenantStat is one tenant's line in a TenantsResp: identity, residency
+// (a spilled tenant is checkpointed to disk, not live in memory), and
+// the read-side summary of its engine. For a spilled tenant the summary
+// is the state captured at spill time — listing tenants never forces a
+// warm restart.
+type TenantStat struct {
+	Name       string  `json:"name"`
+	Resident   bool    `json:"resident"`
+	Epoch      int64   `json:"epoch,omitempty"`
+	Iterations int     `json:"iterations"`
+	InFlight   int     `json:"in_flight,omitempty"`
+	Completed  uint64  `json:"completed,omitempty"`
+	BestAlgo   int     `json:"best_algo"` // -1 before any completion
+	BestName   string  `json:"best_name,omitempty"`
+	BestValue  float64 `json:"best_value,omitempty"`
+	Spills     uint64  `json:"spills,omitempty"`
+	Restarts   uint64  `json:"restarts,omitempty"`
+}
+
+// TenantsResp (frame TTenantsAck) is the aggregate view over every
+// registered tenant, resident or spilled, plus fleet totals. Per-tenant
+// Best/Stats stay on the session's own tenant; this is the operator's
+// one-call overview.
+type TenantsResp struct {
+	Tenants    []TenantStat `json:"tenants"`
+	Resident   int          `json:"resident"`
+	Iterations int          `json:"iterations"` // summed across tenants
+	InFlight   int          `json:"in_flight"`  // summed across resident tenants
+}
 
 // BestResp (frame TBestAck) is the globally best observation so far.
 type BestResp struct {
@@ -217,6 +272,7 @@ type StatsResp struct {
 // Error codes carried by ErrorResp.
 const (
 	CodeBadRequest     = 400 // malformed payload or wrong first frame
+	CodeUnknownTenant  = 404 // Hello names a tenant the server doesn't run
 	CodeConfigMismatch = 409 // Hello hash does not match the server's run
 	CodeInternal       = 500
 )

@@ -7,7 +7,7 @@
 //
 //	offset  size  field
 //	0       4     magic   0x41545731 ("ATW1"), big-endian
-//	4       1     version (currently 1)
+//	4       1     version (currently 2; 1 still decoded)
 //	5       1     type    (Type)
 //	6       2     flags   (reserved, must be zero)
 //	8       4     payload length in bytes (≤ MaxPayload)
@@ -39,8 +39,18 @@ const (
 	// Magic leads every frame; anything else is not this protocol.
 	Magic = 0x41545731 // "ATW1"
 	// Version is the current protocol version. A decoder refuses frames
-	// from a future version rather than misinterpreting them.
-	Version = 1
+	// from a future version rather than misinterpreting them, and accepts
+	// every version back to 1 — frames only ever grow by optional JSON
+	// fields, so an old payload decodes fine under a new version.
+	//
+	// Version history:
+	//
+	//	1  initial protocol (PR 4); Absorb/Calibrate added additively
+	//	2  multi-tenancy: Hello.Tenant routes the session to a named
+	//	   tenant, TTenants/TTenantsAck list all tenants. A v1 client
+	//	   omits Tenant and lands on the "default" tenant; servers
+	//	   answer a v1 session with v1-stamped frames.
+	Version = 2
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 16
 	// MaxPayload bounds a frame's payload: the decoder rejects larger
@@ -76,6 +86,8 @@ const (
 	TAbsorbAck
 	TCalibrate
 	TCalibrateAck
+	TTenants
+	TTenantsAck
 
 	numTypes
 )
@@ -119,6 +131,10 @@ func (t Type) String() string {
 		return "calibrate"
 	case TCalibrateAck:
 		return "calibrate-ack"
+	case TTenants:
+		return "tenants"
+	case TTenantsAck:
+		return "tenants-ack"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -136,10 +152,22 @@ var (
 	ErrChecksum   = errors.New("wire: payload checksum mismatch")
 )
 
-// Encode marshals v and wraps it in a frame, returning the full frame
-// bytes. A nil v encodes an empty payload (the bodyless requests TBest
-// and TStats).
+// Encode marshals v and wraps it in a frame stamped with the current
+// Version, returning the full frame bytes. A nil v encodes an empty
+// payload (the bodyless requests TBest, TStats and TTenants).
 func Encode(typ Type, v any) ([]byte, error) {
+	return EncodeV(Version, typ, v)
+}
+
+// EncodeV is Encode with an explicit frame version stamp, for answering
+// an old client in frames its decoder accepts (a v1 ReadFrame refuses
+// anything newer than v1) and for building backward-compat test
+// corpora. The version must be in [1, Version]; the payload encoding is
+// identical across versions — only optional fields were ever added.
+func EncodeV(version byte, typ Type, v any) ([]byte, error) {
+	if version == 0 || version > Version {
+		return nil, ErrBadVersion
+	}
 	if typ <= TInvalid || typ >= numTypes {
 		return nil, ErrBadType
 	}
@@ -156,7 +184,7 @@ func Encode(typ Type, v any) ([]byte, error) {
 	}
 	frame := make([]byte, HeaderSize+len(payload))
 	binary.BigEndian.PutUint32(frame[0:4], Magic)
-	frame[4] = Version
+	frame[4] = version
 	frame[5] = byte(typ)
 	// frame[6:8] flags stay zero.
 	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
@@ -167,7 +195,14 @@ func Encode(typ Type, v any) ([]byte, error) {
 
 // WriteMsg encodes v and writes the frame to w.
 func WriteMsg(w io.Writer, typ Type, v any) error {
-	frame, err := Encode(typ, v)
+	return WriteMsgV(w, Version, typ, v)
+}
+
+// WriteMsgV is WriteMsg with an explicit frame version stamp (see
+// EncodeV): a server holds each session at the version its client's
+// Hello arrived under, so old decoders never see frames they refuse.
+func WriteMsgV(w io.Writer, version byte, typ Type, v any) error {
+	frame, err := EncodeV(version, typ, v)
 	if err != nil {
 		return err
 	}
