@@ -37,12 +37,15 @@ chaos:
 
 # Fuzz the two frame decoders — arbitrary bytes must never panic them or
 # slip a payload past the checksum, neither from a snapshot file nor
-# from the network — and the drift detectors, which must stay finite and
-# panic-free on any cost stream.
+# from the network — the drift detectors, which must stay finite and
+# panic-free on any cost stream, and the context partitioner, whose
+# routing must stay stable and replayable under arbitrary feature
+# streams and hostile restore blobs.
 fuzz:
 	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/checkpoint
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire
 	$(GO) test -fuzz=FuzzDriftUpdate -fuzztime=10s ./internal/stats
+	$(GO) test -fuzz=FuzzPartitioner -fuzztime=10s ./internal/ctxtune
 
 # Micro-benchmarks plus the trial-engine and wire throughput sweeps;
 # the sweeps land in BENCH_*.json for trend tracking.
@@ -52,6 +55,7 @@ bench:
 	$(GO) run ./cmd/atune-bench -wire -out BENCH_wire.json
 	$(GO) run ./cmd/atune-bench -shards -out BENCH_shard.json
 	$(GO) run ./cmd/atune-bench -tenants 4 -tenant-workers 4 -out BENCH_tenant.json
+	$(GO) run ./cmd/atune-bench -contextual -out BENCH_context.json
 
 figures:
 	$(GO) run ./cmd/atune-figures

@@ -8,6 +8,7 @@
 //	atune-bench -wire [-out file] [-trials N] [-workers list] [-batches list]
 //	atune-bench -shards [-out file] [-trials N] [-workers list] [-shard-counts list]
 //	atune-bench -tenants N [-out file] [-trials N] [-tenant-workers M] [-batch B]
+//	atune-bench -contextual [-out file] [-trials N] [-ctx-workers N] [-batch B]
 //
 // The default mode benchmarks the in-process engine: every trial costs
 // a fixed -sleep of wall clock and nothing else, so the numbers isolate
@@ -30,6 +31,13 @@
 // records the aggregate leases/sec (how much tenancy itself costs over
 // the single-tenant wire path at the same total worker count) and the
 // max/min per-tenant throughput fairness ratio (1.0 = perfectly fair).
+//
+// -contextual benchmarks feature-routed leasing: the same loopback
+// fleet runs once against a plain engine and once against a contextual
+// engine with every lease carrying a feature vector (two workload
+// classes, so the partitioner splits mid-run). The document records
+// both rates and their ratio — the cost of per-context routing, which
+// the bench gates at within 10% of the plain path.
 package main
 
 import (
@@ -108,6 +116,23 @@ type tenantResult struct {
 	Timestamp        string                   `json:"timestamp"`
 }
 
+// contextResult is the -contextual document: feature-routed leases/sec
+// against the plain-engine baseline at the same fleet size, their
+// ratio, and how many contexts the partitioner discovered during the
+// run.
+type contextResult struct {
+	Name         string  `json:"name"`
+	Meta         runMeta `json:"meta"`
+	Workers      int     `json:"workers"`
+	Batch        int     `json:"batch_size"`
+	LeasesPerSec float64 `json:"leases_per_sec"`
+	BaselinePS   float64 `json:"baseline_leases_per_sec"`
+	Overhead     float64 `json:"overhead_ratio"`
+	Contexts     int     `json:"contexts_discovered"`
+	Trials       int     `json:"trials_per_run"`
+	Timestamp    string  `json:"timestamp"`
+}
+
 // shardResult is the -shards document: one row per worker count, one
 // leases/sec column per shard count, plus the headline ratio of the
 // last shard column over the first, per row.
@@ -136,7 +161,9 @@ func main() {
 		shardCs  = flag.String("shard-counts", "1,4,8", "comma-separated shard counts (with -shards)")
 		tenants  = flag.Int("tenants", 0, "benchmark a multi-tenant server with this many tenants")
 		tWorkers = flag.Int("tenant-workers", 4, "workers per tenant (with -tenants)")
-		batch    = flag.Int("batch", 16, "LeaseN batch size (with -tenants)")
+		batch    = flag.Int("batch", 16, "LeaseN batch size (with -tenants or -contextual)")
+		ctx      = flag.Bool("contextual", false, "benchmark feature-routed leasing against the plain wire path")
+		ctxW     = flag.Int("ctx-workers", 16, "worker count (with -contextual)")
 	)
 	flag.Parse()
 
@@ -156,6 +183,23 @@ func main() {
 			log.Fatal("-tenant-workers and -batch must be positive")
 		}
 		runTenants(*out, *tenants, *tWorkers, *batch, *trials)
+		return
+	}
+	if *ctx {
+		if *out == "" {
+			*out = "BENCH_context.json"
+		}
+		if *trials <= 0 {
+			// Larger cells than the other wire modes: the overhead ratio
+			// divides two independently-measured rates, so each cell must
+			// run long enough (~150ms) that startup and convergence noise
+			// don't dominate the quotient.
+			*trials = 20000
+		}
+		if *ctxW <= 0 || *batch <= 0 {
+			log.Fatal("-ctx-workers and -batch must be positive")
+		}
+		runContextual(*out, *ctxW, *batch, *trials)
 		return
 	}
 	if *shards {
@@ -302,6 +346,36 @@ func runTenants(out string, tenants, workersPerTenant, batch, trials int) {
 	}
 	fmt.Printf("tenants=%d workers/tenant=%d batch=%d  aggregate %9.0f leases/sec  fairness %.2fx\n",
 		tenants, workersPerTenant, batch, aggregate, res.FairnessRatio)
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeDoc(out, append(buf, '\n'))
+}
+
+// runContextual compares feature-routed leasing against the plain wire
+// path at the same fleet size and writes BENCH_context.json. The
+// overhead ratio is contextual/baseline leases per second.
+func runContextual(out string, workers, batch, trials int) {
+	contextual, baseline, contexts, err := tuned.ContextualThroughput(workers, batch, trials)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := contextResult{
+		Name:         "contextual_loopback_throughput",
+		Meta:         meta(),
+		Workers:      workers,
+		Batch:        batch,
+		LeasesPerSec: contextual,
+		BaselinePS:   baseline,
+		Overhead:     contextual / baseline,
+		Contexts:     contexts,
+		Trials:       trials,
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Printf("workers=%-3d batch=%-3d  plain      %9.0f leases/sec\n", workers, batch, baseline)
+	fmt.Printf("workers=%-3d batch=%-3d  contextual %9.0f leases/sec  (%.2fx, %d contexts)\n",
+		workers, batch, contextual, res.Overhead, contexts)
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		log.Fatal(err)

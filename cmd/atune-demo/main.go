@@ -7,6 +7,7 @@
 //
 //	atune-demo [-strategy name] [-iters N] [-seed S] [-faults] [-guard]
 //	           [-checkpoint dir] [-snap-every N] [-resume] [-workers N]
+//	           [-contextual]
 //
 // Strategy names: egreedy:5, egreedy:10, egreedy:20, gradient, optimum,
 // auc, random, roundrobin, softmax:<temp>.
@@ -31,6 +32,17 @@
 // suppressed — completions have no single order to print them in). All
 // other flags compose; -resume with -workers replays the journal through
 // the concurrent path.
+//
+// -contextual demonstrates feature-vector routing: the same three
+// algorithms, but the right answer now depends on the request. Two
+// request classes alternate — "small" inputs (feature vector {1}) where
+// the tunable algorithm wins, and "large" inputs ({100}) where every
+// cost but the size-oblivious streaming algorithm's scales up and
+// fast-but-fixed wins. The contextual engine's split tree must discover
+// that the feature separates two cost regimes and elect each class's own
+// winner in its own selector replica. Self-contained: composes only with
+// -iters and -seed (every replica uses a windowed ε-greedy, so -strategy
+// does not apply either).
 package main
 
 import (
@@ -43,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ctxtune"
 	"repro/internal/guard"
 	"repro/internal/nominal"
 	"repro/internal/param"
@@ -61,29 +74,30 @@ func main() {
 		snapEach = flag.Int("snap-every", 20, "snapshot cadence in iterations (with -checkpoint)")
 		resume   = flag.Bool("resume", false, "warm-restart from the -checkpoint directory instead of starting fresh")
 		workers  = flag.Int("workers", 1, "concurrent measurement workers (>1 uses the lease-based trial engine)")
+		ctxFlg   = flag.Bool("contextual", false, "demo feature-vector routing: two request classes with different winners")
 	)
 	flag.Parse()
+
+	if *ctxFlg {
+		// Self-contained mode: reject any explicitly set flag it ignores
+		// rather than silently dropping it.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "contextual", "iters", "seed":
+			default:
+				log.Fatalf("-%s does not apply with -contextual (only -iters and -seed compose)", f.Name)
+			}
+		})
+		runContextual(*iters, *seed)
+		return
+	}
 
 	sel, err := nominal.NewByName(*strategy)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	algos := []core.Algorithm{
-		{Name: "fast-but-fixed"},
-		{
-			Name: "tunable-winner",
-			Space: param.NewSpace(
-				param.NewInterval("alpha", 0, 10),
-				param.NewRatioInt("block", 1, 64),
-			),
-			// A hand-crafted starting configuration (as in the paper's
-			// raytracing case study): competitive from the start, and the
-			// Nelder-Mead phase tunes it to the clear winner.
-			Init: param.Config{5, 32},
-		},
-		{Name: "plainly-bad"},
-	}
+	algos := demoAlgos()
 	measure := func(algo int, cfg param.Config) float64 {
 		switch algo {
 		case 0:
@@ -231,6 +245,121 @@ func main() {
 	}
 	if best != 1 {
 		fmt.Fprintln(os.Stderr, "note: the tunable algorithm was not identified as best; try more iterations")
+		os.Exit(1)
+	}
+}
+
+// demoAlgos is the demo's synthetic roster, shared by the global and
+// contextual modes.
+func demoAlgos() []core.Algorithm {
+	return []core.Algorithm{
+		{Name: "fast-but-fixed"},
+		{
+			Name: "tunable-winner",
+			Space: param.NewSpace(
+				param.NewInterval("alpha", 0, 10),
+				param.NewRatioInt("block", 1, 64),
+			),
+			// A hand-crafted starting configuration (as in the paper's
+			// raytracing case study): competitive from the start, and the
+			// Nelder-Mead phase tunes it to the clear winner.
+			Init: param.Config{5, 32},
+		},
+		{Name: "plainly-bad"},
+	}
+}
+
+// runContextual is the -contextual demo: two request classes alternate
+// through one contextual engine, and each must converge on its own
+// winner — the tunable algorithm on small inputs, the size-oblivious
+// streaming one on large.
+func runContextual(iters int, seed int64) {
+	algos := demoAlgos()
+	classes := []struct {
+		name  string
+		feats ctxtune.Features
+	}{
+		{"small", ctxtune.Features{1}},
+		{"large", ctxtune.Features{100}},
+	}
+	winner := []int{1, 0}
+	measure := func(class, algo int, cfg param.Config) float64 {
+		switch algo {
+		case 0:
+			// Streaming and size-oblivious: barely cares about the class.
+			return 10 + 2*float64(class)
+		case 1:
+			da := cfg[0] - 6.5
+			db := (cfg[1] - 48) / 16
+			v := 4 + da*da + db*db
+			if class == 1 {
+				v *= 8
+			}
+			return v
+		default:
+			return 35 * float64(1+7*class)
+		}
+	}
+	eng, err := ctxtune.New(ctxtune.Config{
+		Algos: algos,
+		// Windowed min: each replica is warm-started from the global
+		// fold, and the imported evidence — the other class's landscape —
+		// must be able to age out.
+		Selector: func() nominal.Selector {
+			return &nominal.EpsilonGreedy{Eps: 0.10, RecencyWindow: 25}
+		},
+		Seed:        seed,
+		Partitioner: ctxtune.NewTree(1, 24, 1.5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	fmt.Printf("contextual-autotuning %d algorithms across %d request classes\n\n",
+		len(algos), len(classes))
+	tallies := make([][]int, len(classes))
+	for c := range tallies {
+		tallies[c] = make([]int, len(algos))
+	}
+	tail := iters / 2
+	for i := 0; i < iters; i++ {
+		class := i % len(classes)
+		trials, err := eng.LeaseNFor(classes[class].feats, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := trials[0]
+		v := measure(class, tr.Algo, tr.Config)
+		if e := eng.CompleteN([]core.TrialResult{{ID: tr.ID, Value: v}})[0]; e != nil {
+			log.Fatal(e)
+		}
+		if i >= tail {
+			tallies[class][tr.Algo]++
+		}
+		if i < 10 || i%10 == 0 {
+			fmt.Printf("iter %3d  %-5s ran %-15s cost %6.2f\n",
+				i, classes[class].name, algos[tr.Algo].Name, v)
+		}
+	}
+
+	fmt.Printf("\ncontexts discovered: %d\n", eng.ContextCount())
+	ok := eng.ContextCount() >= 2
+	for c, cl := range classes {
+		best, bestN := 0, -1
+		for a, n := range tallies[c] {
+			if n > bestN {
+				best, bestN = a, n
+			}
+		}
+		fmt.Printf("%-5s class pick  : %s (%d of last %d)\n",
+			cl.name, algos[best].Name, bestN, (iters-tail+1)/len(classes))
+		if best != winner[c] {
+			ok = false
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "note: contextual routing did not separate the classes; try more iterations")
 		os.Exit(1)
 	}
 }

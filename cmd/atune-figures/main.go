@@ -5,7 +5,7 @@
 //
 //	atune-figures [-only id[,id...]] [-paper] [-seed S]
 //
-// Ids: t1 t2 f1 f2 f3 f4 f5 f6 f7 f8 a1 a2 a3 a4 a5 a6 a7 a8 a9 a10 a11 a12 a13 a14 a15 x1 x2 x3 x4 x5. The default runs
+// Ids: t1 t2 f1 f2 f3 f4 f5 f6 f7 f8 a1 a2 a3 a4 a5 a6 a7 a8 a9 a10 a11 a12 a13 a14 a15 a16 x1 x2 x3 x4 x5. The default runs
 // everything at quick scale; -paper switches to the paper-scale
 // configuration.
 package main
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		only  = flag.String("only", "", "comma-separated artefact ids (t1..a15, x1..x5); empty = all")
+		only  = flag.String("only", "", "comma-separated artefact ids (t1..a16, x1..x5); empty = all")
 		paper = flag.Bool("paper", false, "use the paper-scale configuration")
 		seed  = flag.Int64("seed", 1, "master seed")
 	)
@@ -175,6 +175,10 @@ func main() {
 	}
 	if sel("a15") {
 		exp.RunDriftResilience(cfg, 0).RenderFigureA15(out)
+		fmt.Fprintln(out)
+	}
+	if sel("a16") {
+		exp.RunContextualTuning(cfg, 0).RenderFigureA16(out)
 		fmt.Fprintln(out)
 	}
 }

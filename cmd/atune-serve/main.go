@@ -10,6 +10,7 @@
 //	            [-lease-timeout D] [-max-inflight N] [-shards N] [-stats D]
 //	            [-session-cap N] [-global-cap N] [-drain D] [-chaos spec]
 //	            [-drift] [-ref-algo N]
+//	            [-contextual] [-buckets N] [-split-min N]
 //	            [-tenants spec] [-max-resident N]
 //
 // The workload flag selects the algorithm roster the service tunes
@@ -45,6 +46,17 @@
 // (workers opt in with -calibrate); reported costs are divided by each
 // worker's speed factor relative to the fleet's fastest member.
 //
+// -contextual serves a contextual engine instead of the flat one:
+// leases carrying a feature vector (atune-worker -features) are routed
+// to a per-context selector replica, contexts are discovered online by
+// hashing quantized features into -buckets and splitting a bucket when
+// its cost distribution turns bimodal across a feature threshold after
+// -split-min samples (see DESIGN.md, "contextual routing"). Feature-less
+// workers — v1 binaries included — keep tuning the global context
+// unchanged. Under -checkpoint the partitioner's split journal and every
+// context's selector ride along, so a restart rediscovers all contexts.
+// -contextual is exclusive with -tenants and -shards > 1.
+//
 // -tenants switches the process into multi-tenant mode: one server,
 // many independent tuning problems, each with its own engine, epoch,
 // and (under -checkpoint) its own journal directory. The spec is either
@@ -79,6 +91,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/ctxtune"
 	"repro/internal/nominal"
 	"repro/internal/param"
 	"repro/internal/strmatch"
@@ -109,6 +122,9 @@ func main() {
 		refAlgo  = flag.Int("ref-algo", 0, "roster slot workers measure as their calibration reference")
 		tenFlg   = flag.String("tenants", "", "multi-tenant mode: name=workload[/selector[/shards]],... or @specs.json (empty = single-tenant)")
 		maxRes   = flag.Int("max-resident", 0, "max live tenant engines, LRU spills the rest to checkpoint (0 = unbounded; needs -checkpoint)")
+		ctxFlg   = flag.Bool("contextual", false, "route feature-bearing leases to per-context selector replicas")
+		buckets  = flag.Int("buckets", ctxtune.DefaultBuckets, "initial feature-hash buckets (with -contextual)")
+		splitMin = flag.Int("split-min", ctxtune.DefaultMinSamples, "samples a context needs before it may split (with -contextual)")
 	)
 	flag.Parse()
 
@@ -151,6 +167,21 @@ func main() {
 	if *maxRes > 0 && *ckptDir == "" {
 		log.Fatal("-max-resident needs -checkpoint: spilling a tenant without a checkpoint root would lose its state")
 	}
+	if *buckets <= 0 {
+		log.Fatalf("-buckets %d must be > 0", *buckets)
+	}
+	if *splitMin <= 0 {
+		log.Fatalf("-split-min %d must be > 0", *splitMin)
+	}
+	if *ctxFlg && *tenFlg != "" {
+		log.Fatal("-contextual is exclusive with -tenants: contexts partition one tuning problem, tenants are separate problems")
+	}
+	if *ctxFlg && *shards > 1 {
+		log.Fatalf("-contextual is exclusive with -shards %d: each context already has its own selector replica", *shards)
+	}
+	if !*ctxFlg && (*buckets != ctxtune.DefaultBuckets || *splitMin != ctxtune.DefaultMinSamples) {
+		log.Fatal("-buckets and -split-min only apply with -contextual")
+	}
 
 	if *tenFlg != "" {
 		runTenants(tenantMode{
@@ -164,37 +195,74 @@ func main() {
 		return
 	}
 
-	selector := nominal.NewEpsilonGreedy(*epsilon / 100)
-	opts := []core.Option{
-		core.WithLeaseTimeout(*leaseTTL),
-		core.WithMaxInFlight(*maxInFl),
-		core.WithShards(*shards),
-	}
-	if *driftFlg {
-		opts = append(opts, core.WithDriftWatchdog(core.DefaultDriftConfig()))
-	}
-
 	var (
-		eng *core.ShardedEngine
-		err error
+		eng  tuned.Engine
+		ceng *ctxtune.Engine
 	)
-	if *ckptDir != "" && len(checkpoint.Generations(*ckptDir)) > 0 {
-		// A previous incarnation left a session behind: resume it. The
-		// new process gets a fresh epoch, so stale reports from leases
-		// the old process issued are dropped, not misapplied.
-		eng, err = core.ResumeSharded(*ckptDir, *every, algos, selector, nil, *seed, opts...)
-		if err != nil {
-			log.Fatalf("resume from %s: %v", *ckptDir, err)
+	if *ctxFlg {
+		copts := []core.Option{
+			core.WithLeaseTimeout(*leaseTTL),
+			core.WithMaxInFlight(*maxInFl),
 		}
-		log.Printf("resumed session from %s at trial %d", *ckptDir, eng.Iterations())
+		if *driftFlg {
+			copts = append(copts, core.WithDriftWatchdog(core.DefaultDriftConfig()))
+		}
+		var err error
+		ceng, err = ctxtune.New(ctxtune.Config{
+			Algos: algos,
+			// Windowed ε-greedy: a cold context is warm-started from the
+			// global fold, and when the context disagrees with it the
+			// imported evidence must be able to age out of the window.
+			Selector: func() nominal.Selector {
+				return &nominal.EpsilonGreedy{Eps: *epsilon / 100, RecencyWindow: 25}
+			},
+			Seed:        *seed,
+			Partitioner: ctxtune.NewTree(*buckets, *splitMin, 0),
+			Dir:         *ckptDir,
+			Every:       *every,
+			Opts:        copts,
+		})
+		if err != nil {
+			log.Fatalf("contextual engine: %v", err)
+		}
+		defer ceng.Close()
+		if n := ceng.ContextCount(); n > 0 {
+			log.Printf("resumed %d context(s) from %s at trial %d", n, *ckptDir, ceng.Iterations())
+		}
+		eng = ceng
 	} else {
-		if *ckptDir != "" {
-			opts = append(opts, core.WithCheckpoint(*ckptDir, *every))
+		selector := nominal.NewEpsilonGreedy(*epsilon / 100)
+		opts := []core.Option{
+			core.WithLeaseTimeout(*leaseTTL),
+			core.WithMaxInFlight(*maxInFl),
+			core.WithShards(*shards),
 		}
-		eng, err = core.NewShardedEngine(algos, selector, nil, *seed, opts...)
-		if err != nil {
-			log.Fatalf("engine: %v", err)
+		if *driftFlg {
+			opts = append(opts, core.WithDriftWatchdog(core.DefaultDriftConfig()))
 		}
+		var (
+			seng *core.ShardedEngine
+			err  error
+		)
+		if *ckptDir != "" && len(checkpoint.Generations(*ckptDir)) > 0 {
+			// A previous incarnation left a session behind: resume it. The
+			// new process gets a fresh epoch, so stale reports from leases
+			// the old process issued are dropped, not misapplied.
+			seng, err = core.ResumeSharded(*ckptDir, *every, algos, selector, nil, *seed, opts...)
+			if err != nil {
+				log.Fatalf("resume from %s: %v", *ckptDir, err)
+			}
+			log.Printf("resumed session from %s at trial %d", *ckptDir, seng.Iterations())
+		} else {
+			if *ckptDir != "" {
+				opts = append(opts, core.WithCheckpoint(*ckptDir, *every))
+			}
+			seng, err = core.NewShardedEngine(algos, selector, nil, *seed, opts...)
+			if err != nil {
+				log.Fatalf("engine: %v", err)
+			}
+		}
+		eng = seng
 	}
 
 	srv := tuned.NewServer(eng, tuned.WithTrialTarget(*target),
@@ -234,6 +302,9 @@ func main() {
 				}
 				log.Printf("trials=%d inflight=%d completed=%d failed=%d expired=%d best=%s (%.4g)",
 					eng.Iterations(), st.InFlight, st.Completed, st.Failed, st.Expired, name, val)
+				if ceng != nil {
+					log.Printf("contexts: %d live replica(s)", ceng.ContextCount())
+				}
 				if ds := eng.DriftStats(); ds.Events > 0 || ds.PendingProbes > 0 {
 					log.Printf("drift: events=%d decays=%d reforks=%d probes=%d pending=%d stale=%d outliers=%d",
 						ds.Events, ds.Decays, ds.Reforks, ds.ProbesScheduled, ds.PendingProbes,

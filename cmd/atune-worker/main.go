@@ -12,6 +12,7 @@
 //	             [-corpus BYTES] [-pattern STR] [-threads N]
 //	             [-sleep D] [-seed S] [-fallback] [-probe D]
 //	             [-idle-retry D] [-chaos spec] [-calibrate N]
+//	             [-features F1,F2,...]
 //
 // The workload must match the server's: the handshake carries a hash
 // of the algorithm roster and a mismatch is rejected before any trial
@@ -30,6 +31,13 @@
 // the server before resuming leased operation. -chaos routes the
 // connection through the fault-injection layer for soak testing.
 //
+// -features attaches a feature vector describing this worker's workload
+// to every lease and report — e.g. the corpus alphabet size, 27 for
+// English text and 4 for DNA. Against a contextual server (atune-serve
+// -contextual) the vector routes this worker's trials to the selector
+// replica of its workload class; plain servers ignore it. Empty (the
+// default) tunes the global context.
+//
 // -calibrate N makes the worker measure the server's reference
 // algorithm before its first lease and again every N reported trials,
 // so the server can normalize this machine's costs by its speed factor
@@ -40,10 +48,13 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"math"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,6 +87,7 @@ func main() {
 		chaosFlg  = flag.String("chaos", "", "fault-injection spec for this worker's connections (empty = off)")
 		calEvery  = flag.Int("calibrate", 0, "re-run the reference probe every N reported trials (0 = no calibration)")
 		tenantFlg = flag.String("tenant", "", "tenant to tune for on a multi-tenant server (empty = the default tenant)")
+		featFlg   = flag.String("features", "", "comma-separated feature vector attached to every lease, e.g. 4 for a DNA corpus (empty = global context)")
 	)
 	flag.Parse()
 
@@ -101,8 +113,16 @@ func main() {
 	if *calEvery < 0 {
 		log.Fatalf("-calibrate %d must be >= 0", *calEvery)
 	}
+	feats, err := parseFeatures(*featFlg)
+	if err != nil {
+		log.Fatalf("-features %q: %v", *featFlg, err)
+	}
 
 	copts := []tuned.ClientOption{tuned.WithClientName(hostname())}
+	if len(feats) > 0 {
+		copts = append(copts, tuned.WithFeatures(feats))
+		log.Printf("feature vector %v attached to every lease", feats)
+	}
 	if *tenantFlg != "" {
 		copts = append(copts, tuned.WithTenant(*tenantFlg))
 	}
@@ -241,6 +261,26 @@ type unknownWorkload struct{ name string }
 
 func (e *unknownWorkload) Error() string {
 	return "unknown workload \"" + e.name + "\" (want strmatch or sleep)"
+}
+
+// parseFeatures decodes the -features value: a comma-separated list of
+// finite floats, empty meaning no vector at all.
+func parseFeatures(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, field := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad feature %q", field)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("feature %q must be finite", field)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func hostname() string {

@@ -468,6 +468,54 @@ func (c *ConcurrentTuner) absorbLocked(obs []nominal.Observation) int {
 	return applied
 }
 
+// ExportSelectorState serializes the phase-two selector's state under
+// the engine mutex — the fold contextual replicas warm-start from. It
+// fails when the selector does not implement nominal.Stateful (all
+// built-in selectors do).
+func (c *ConcurrentTuner) ExportSelectorState() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sel, ok := c.t.selector.(nominal.Stateful)
+	if !ok {
+		return nil, fmt.Errorf("core: selector %T does not export state", c.t.selector)
+	}
+	return sel.Export()
+}
+
+// RestoreSelectorState replaces the phase-two selector's state with a
+// previously exported one, under the engine mutex. The selector must be
+// the same type the state was exported from (the caller pairs factories,
+// as contextual replicas do with the global engine's selector).
+func (c *ConcurrentTuner) RestoreSelectorState(data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sel, ok := c.t.selector.(nominal.Stateful)
+	if !ok {
+		return fmt.Errorf("core: selector %T does not restore state", c.t.selector)
+	}
+	if err := sel.Restore(data); err != nil {
+		return err
+	}
+	c.publishLocked()
+	return nil
+}
+
+// DecaySelector discounts the phase-two selector's accumulated history
+// (see nominal.Decayable), keeping roughly a keep-fraction of each arm's
+// evidence. Contextual replicas use it to soften a warm start imported
+// from another engine's fold: the imported record biases early choices
+// but weakly-evidenced arms return to the unvisited state and are
+// re-probed against local, honestly-scaled measurements. No-op for
+// selectors that do not implement Decayable.
+func (c *ConcurrentTuner) DecaySelector(keep float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.t.selector.(nominal.Decayable); ok {
+		d.Decay(keep)
+	}
+	c.publishLocked()
+}
+
 // Checkpoint forces a snapshot of the current state, rotating the
 // journal generation — the final durability step of a graceful drain.
 // No-op without WithCheckpoint.

@@ -1,0 +1,332 @@
+package ctxtune
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nominal"
+	"repro/internal/wisdom"
+)
+
+// Two-regime model for engine tests: features [1] are the "cheap" class
+// where algorithm 0 wins (cost 1 vs 3), features [100] the "expensive"
+// class where algorithm 1 wins (cost 9 vs 30). The class means differ by
+// far more than the split tree's lift gate, and the per-class winners
+// are opposite, so a correct engine must both split the shared bucket
+// and learn a different incumbent on each side.
+var (
+	cheapF = Features{1}
+	dearF  = Features{100}
+)
+
+func classCost(f Features, algo int) float64 {
+	if f[0] < 50 {
+		if algo == 0 {
+			return 1
+		}
+		return 3
+	}
+	if algo == 1 {
+		return 9
+	}
+	return 30
+}
+
+func testConfig(t *testing.T, dir string) Config {
+	t.Helper()
+	return Config{
+		Algos: []core.Algorithm{{Name: "a"}, {Name: "b"}},
+		// Windowed ε-greedy: contexts here disagree with the global
+		// fold's winner, so the imported warm start must age out (see
+		// warmStartKeep).
+		Selector: func() nominal.Selector {
+			return &nominal.EpsilonGreedy{Eps: 0.10, RecencyWindow: 25}
+		},
+		Seed:        7,
+		Partitioner: NewTree(1, 32, 1.5),
+		Dir:         dir,
+		Every:       50,
+	}
+}
+
+// drive runs n lease/complete rounds of the two-class stream.
+func drive(t *testing.T, e *Engine, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		f := cheapF
+		if i%2 == 1 {
+			f = dearF
+		}
+		trials, err := e.LeaseNFor(f, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range trials {
+			errs := e.CompleteN([]core.TrialResult{{ID: tr.ID, Value: classCost(f, tr.Algo)}})
+			if errs[0] != nil {
+				t.Fatalf("complete trial %d: %v", tr.ID, errs[0])
+			}
+		}
+	}
+}
+
+func TestEngineSplitsAndLearnsPerContext(t *testing.T) {
+	e, err := New(testConfig(t, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, e, 600)
+
+	if cheap, dear := e.part.Context(cheapF), e.part.Context(dearF); cheap == dear {
+		t.Fatalf("engine never split the shared bucket: both classes in %q", cheap)
+	}
+	if a, _, _ := e.BestFor(cheapF); a != 0 {
+		t.Errorf("cheap-class winner %d, want 0", a)
+	}
+	if a, _, _ := e.BestFor(dearF); a != 1 {
+		t.Errorf("dear-class winner %d, want 1", a)
+	}
+	if n := e.ContextCount(); n < 2 {
+		t.Errorf("ContextCount = %d, want >= 2", n)
+	}
+	if it := e.Iterations(); it != 600 {
+		t.Errorf("Iterations = %d, want 600", it)
+	}
+	// Contextual completions fold into the global selector.
+	if st := e.global.Stats(); st.Absorbed == 0 {
+		t.Error("no contextual completions absorbed into the global engine")
+	}
+}
+
+func TestEngineGlobalPassthrough(t *testing.T) {
+	e, err := New(testConfig(t, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials, err := e.LeaseNFor(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trials {
+		if tr.ID >= extIDBase {
+			t.Errorf("feature-less trial got contextual ID %d", tr.ID)
+		}
+	}
+	results := make([]core.TrialResult, len(trials))
+	for i, tr := range trials {
+		results[i] = core.TrialResult{ID: tr.ID, Value: 2}
+	}
+	for i, err := range e.CompleteN(results) {
+		if err != nil {
+			t.Errorf("global completion %d: %v", i, err)
+		}
+	}
+	if it := e.global.Iterations(); it != len(trials) {
+		t.Errorf("global iterations = %d, want %d", it, len(trials))
+	}
+}
+
+func TestEngineMixedBatchAndUnknownIDs(t *testing.T) {
+	e, err := New(testConfig(t, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := e.LeaseNFor(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.LeaseNFor(cheapF, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0].ID < extIDBase {
+		t.Fatalf("contextual trial got global ID %d", c[0].ID)
+	}
+	errs := e.CompleteN([]core.TrialResult{
+		{ID: g[0].ID, Value: 1},
+		{ID: c[0].ID, Value: 1},
+		{ID: extIDBase + 999999, Value: 1}, // never leased
+	})
+	if errs[0] != nil || errs[1] != nil {
+		t.Errorf("valid completions errored: %v %v", errs[0], errs[1])
+	}
+	if errs[2] == nil {
+		t.Error("unknown contextual ID accepted")
+	}
+	// Idempotency: re-completing is acknowledged as unknown, not applied.
+	errs = e.CompleteN([]core.TrialResult{{ID: c[0].ID, Value: 1}})
+	if errs[0] == nil {
+		t.Error("duplicate contextual completion accepted")
+	}
+}
+
+func TestEngineHeartbeatAliveRouting(t *testing.T) {
+	e, err := New(testConfig(t, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := e.LeaseNFor(nil, 1)
+	c, _ := e.LeaseNFor(cheapF, 1)
+	ids := []uint64{g[0].ID, c[0].ID, extIDBase + 424242}
+	for i, want := range []bool{true, true, false} {
+		if got := e.Heartbeat(ids)[i]; got != want {
+			t.Errorf("Heartbeat[%d] = %v, want %v", i, got, want)
+		}
+		if got := e.Alive(ids)[i]; got != want {
+			t.Errorf("Alive[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestEngineCheckpointRestartRediscoversContexts(t *testing.T) {
+	dir := t.TempDir()
+	e, err := New(testConfig(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, e, 600)
+	wantContexts := e.Contexts()
+	wantCheap, _, _ := e.BestFor(cheapF)
+	wantDear, _, _ := e.BestFor(dearF)
+	if wantCheap == wantDear {
+		t.Fatalf("setup failed: same winner %d for both classes", wantCheap)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := New(testConfig(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Contexts(); len(got) != len(wantContexts) {
+		t.Fatalf("restart contexts %v, want %v", got, wantContexts)
+	}
+	if r.ContextCount() < 2 {
+		t.Errorf("restart replicas = %d, want >= 2", r.ContextCount())
+	}
+	// The restored selectors must still route each class to its winner:
+	// lease a handful per class and check the majority pick.
+	for _, tc := range []struct {
+		f    Features
+		want int
+	}{{cheapF, wantCheap}, {dearF, wantDear}} {
+		picks := make(map[int]int)
+		for i := 0; i < 20; i++ {
+			trials, err := r.LeaseNFor(tc.f, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			picks[trials[0].Algo]++
+			r.CompleteN([]core.TrialResult{{ID: trials[0].ID, Value: classCost(tc.f, trials[0].Algo)}})
+		}
+		if picks[tc.want] <= picks[1-tc.want] {
+			t.Errorf("class %v picks after restart = %v, want majority on %d", tc.f, picks, tc.want)
+		}
+	}
+}
+
+func TestEngineSplitJournalSurvivesKill(t *testing.T) {
+	// Kill case: the process dies after a split but before any
+	// Checkpoint — contexts.json was never written, only splits.jsonl.
+	dir := t.TempDir()
+	e, err := New(testConfig(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, e, 600)
+	cheap, dear := e.part.Context(cheapF), e.part.Context(dearF)
+	if cheap == dear {
+		t.Fatal("setup failed: no split happened")
+	}
+	// No Checkpoint, no Close: simulate a hard kill.
+
+	r, err := New(testConfig(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.part.Context(cheapF); got != cheap {
+		t.Errorf("cheap class routes to %q after kill, want %q", got, cheap)
+	}
+	if got := r.part.Context(dearF); got != dear {
+		t.Errorf("dear class routes to %q after kill, want %q", got, dear)
+	}
+}
+
+func TestEngineWisdomWarmStart(t *testing.T) {
+	w := wisdom.NewStore()
+	cfg := testConfig(t, "")
+	cfg.Wisdom = w
+	cfg.Scope = "test"
+
+	// Learn, checkpoint (records wisdom), throw the engine away.
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, e, 600)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() == 0 {
+		t.Fatal("checkpoint recorded no wisdom")
+	}
+
+	// A brand-new engine (no Dir, no snapshot) with the same wisdom
+	// store must bias each rediscovered context toward its recorded
+	// winner. Replay the stream far shorter than learning would need.
+	cfg2 := testConfig(t, "")
+	cfg2.Wisdom = w
+	cfg2.Scope = "test"
+	f, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, f, 200) // enough to re-split; wisdom then primes the children
+	if a, _, _ := f.BestFor(cheapF); a != 0 {
+		t.Errorf("warm-started cheap winner %d, want 0", a)
+	}
+	if a, _, _ := f.BestFor(dearF); a != 1 {
+		t.Errorf("warm-started dear winner %d, want 1", a)
+	}
+}
+
+func TestEngineChecksConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{Algos: []core.Algorithm{{Name: "a"}}}); err == nil {
+		t.Error("nil selector factory accepted")
+	}
+}
+
+func TestEngineAggregatesAcrossContexts(t *testing.T) {
+	e, err := New(testConfig(t, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, e, 100)
+	g, _ := e.LeaseNFor(nil, 2)
+	for _, tr := range g {
+		e.CompleteN([]core.TrialResult{{ID: tr.ID, Value: 5}})
+	}
+	if it := e.Iterations(); it != 102 {
+		t.Errorf("Iterations = %d, want 102", it)
+	}
+	sum := 0
+	for _, n := range e.Counts() {
+		sum += n
+	}
+	if sum != 102 {
+		t.Errorf("Counts sum = %d, want 102", sum)
+	}
+	st := e.Stats()
+	if st.Completed != 102 || st.InFlight != 0 {
+		t.Errorf("Stats = %+v, want 102 completed, 0 in flight", st)
+	}
+}

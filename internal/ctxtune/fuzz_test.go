@@ -1,0 +1,90 @@
+package ctxtune
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzPartitioner drives the split tree with an arbitrary observation
+// stream and checks the invariants that the routing layer depends on:
+// Context never panics and never returns empty for non-empty features,
+// routing is stable between observations of the same vector (absent a
+// split), Export/Restore reproduces the routing exactly, Replay of the
+// split journal alone reproduces the topology, and Restore of arbitrary
+// bytes errors instead of panicking.
+func FuzzPartitioner(f *testing.F) {
+	// Seed: the canonical bimodal stream — features [1] cheap, [100]
+	// dear — that must provoke a split, encoded as (feature, cost)
+	// float64 pairs.
+	seed := make([]byte, 0, 200*32)
+	for i := 0; i < 100; i++ {
+		for _, pair := range [][2]float64{{1, 1}, {100, 10}} {
+			var b [16]byte
+			binary.LittleEndian.PutUint64(b[:8], math.Float64bits(pair[0]))
+			binary.LittleEndian.PutUint64(b[8:], math.Float64bits(pair[1]))
+			seed = append(seed, b[:]...)
+		}
+	}
+	f.Add(uint8(1), uint8(16), seed)
+	f.Add(uint8(4), uint8(64), []byte{})
+	f.Add(uint8(0), uint8(0), []byte("not floats at all, just garbage bytes"))
+
+	f.Fuzz(func(t *testing.T, buckets, minSamples uint8, data []byte) {
+		tr := NewTree(int(buckets), int(minSamples), 1.2)
+
+		// Arbitrary bytes must never panic Restore. Start the streaming
+		// checks from a fresh tree either way, so its config is known.
+		_ = tr.Restore(data)
+		tr = NewTree(int(buckets), int(minSamples), 1.2)
+
+		// Decode the data as a stream of float64s: the first byte picks
+		// the feature dimensionality, then each group of dim+1 floats is
+		// one (features, cost) observation — raw bits, so NaN and ±Inf
+		// flow through routinely.
+		dim := 1
+		if len(data) > 0 {
+			dim = 1 + int(data[0])%3
+		}
+		floats := make([]float64, 0, len(data)/8)
+		for off := 1; off+8 <= len(data); off += 8 {
+			floats = append(floats, math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
+		}
+		var vecs []Features
+		for i := 0; i+dim+1 <= len(floats); i += dim + 1 {
+			fv := Features(floats[i : i+dim])
+			before := tr.Context(fv)
+			if before == "" || before == GlobalContext {
+				t.Fatalf("Context(%v) = %q for non-empty features", fv, before)
+			}
+			splits := len(tr.Splits())
+			tr.Observe(fv, floats[i+dim])
+			if got := tr.Context(fv); got != before && len(tr.Splits()) == splits {
+				t.Fatalf("Context(%v) moved %q -> %q without a split", fv, before, got)
+			}
+			vecs = append(vecs, fv)
+		}
+
+		// Export/Restore must reproduce the routing of every vector seen.
+		blob, err := tr.Export()
+		if err != nil {
+			t.Fatalf("Export: %v", err)
+		}
+		restored := NewTree(0, 0, 0)
+		if err := restored.Restore(blob); err != nil {
+			t.Fatalf("Restore of own Export: %v", err)
+		}
+		// Replay of the journal alone must reproduce the topology.
+		replayed := NewTree(int(buckets), int(minSamples), 1.2)
+		replayed.Replay(tr.Splits())
+		for _, fv := range vecs {
+			want := tr.Context(fv)
+			if got := restored.Context(fv); got != want {
+				t.Fatalf("restored tree routes %v to %q, original to %q", fv, got, want)
+			}
+			if got := replayed.Context(fv); got != want {
+				t.Fatalf("replayed tree routes %v to %q, original to %q", fv, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package ctxtune
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// The split journal is an append-only JSON-lines file of Split records.
+// Splits are rare (each one needs MinSamples observations and a bimodal
+// distribution), so every append is fsynced — the journal is always
+// complete up to the last split the process committed to, and replaying
+// it on resume reconstructs the exact tree topology even when the
+// process died between two partitioner snapshots.
+
+const splitJournalName = "splits.jsonl"
+
+// splitJournal appends Split records durably to dir/splits.jsonl.
+type splitJournal struct {
+	f *os.File
+}
+
+// openSplitJournal opens (creating if needed) the split journal for
+// appending.
+func openSplitJournal(dir string) (*splitJournal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, splitJournalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &splitJournal{f: f}, nil
+}
+
+// append writes one split record and fsyncs.
+func (j *splitJournal) append(s Split) error {
+	buf, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(buf, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *splitJournal) close() error { return j.f.Close() }
+
+// readSplits loads the journaled splits from dir, in append order. A
+// missing file yields nil; a torn or corrupt trailing line (the crash
+// case) ends the read at the last intact record instead of failing the
+// resume.
+func readSplits(dir string) []Split {
+	f, err := os.Open(filepath.Join(dir, splitJournalName))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var out []Split
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var s Split
+		if json.Unmarshal(sc.Bytes(), &s) != nil || s.Node == "" {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}

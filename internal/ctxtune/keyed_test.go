@@ -1,18 +1,19 @@
-package core
+package ctxtune
 
 import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/nominal"
 	"repro/internal/param"
 )
 
-// contextualModel: two contexts with opposite winners. Algorithm 0 costs
-// 5 in context "small" but 20 in "large"; algorithm 1 the reverse.
-func contextualModel() ([]Algorithm, func(context string) Measure) {
-	algos := []Algorithm{{Name: "a"}, {Name: "b"}}
-	m := func(context string) Measure {
+// keyedModel: two contexts with opposite winners. Algorithm 0 costs 5 in
+// context "small" but 20 in "large"; algorithm 1 the reverse.
+func keyedModel() ([]core.Algorithm, func(context string) core.Measure) {
+	algos := []core.Algorithm{{Name: "a"}, {Name: "b"}}
+	m := func(context string) core.Measure {
 		return func(algo int, _ param.Config) float64 {
 			if (context == "small") == (algo == 0) {
 				return 5
@@ -23,9 +24,9 @@ func contextualModel() ([]Algorithm, func(context string) Measure) {
 	return algos, m
 }
 
-func TestContextualLearnsPerContext(t *testing.T) {
-	algos, model := contextualModel()
-	c := NewContextual(algos, func() nominal.Selector { return nominal.NewEpsilonGreedy(0.1) }, nil, 1)
+func TestKeyedLearnsPerContext(t *testing.T) {
+	algos, model := keyedModel()
+	c := NewKeyed(algos, func() nominal.Selector { return nominal.NewEpsilonGreedy(0.1) }, nil, 1)
 	// Interleave contexts, as a real input stream would.
 	for i := 0; i < 200; i++ {
 		ctx := "small"
@@ -62,13 +63,13 @@ func TestContextualLearnsPerContext(t *testing.T) {
 	}
 }
 
-func TestContextualBeatsGlobalUnderAlternation(t *testing.T) {
+func TestKeyedBeatsGlobalUnderAlternation(t *testing.T) {
 	// A single global tuner on an alternating stream can at best commit
-	// to one algorithm (mean cost ≥ 12.5 = (5+20)/2); the contextual
-	// family converges to ~5 in each context.
-	algos, model := contextualModel()
+	// to one algorithm (mean cost ≥ 12.5 = (5+20)/2); the keyed family
+	// converges to ~5 in each context.
+	algos, model := keyedModel()
 
-	global, err := New(algos, nominal.NewEpsilonGreedy(0.1), nil, 1)
+	global, err := core.New(algos, nominal.NewEpsilonGreedy(0.1), nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestContextualBeatsGlobalUnderAlternation(t *testing.T) {
 		globalTotal += global.Step(model(ctxOf(i))).Value
 	}
 
-	c := NewContextual(algos, func() nominal.Selector { return nominal.NewEpsilonGreedy(0.1) }, nil, 1)
+	c := NewKeyed(algos, func() nominal.Selector { return nominal.NewEpsilonGreedy(0.1) }, nil, 1)
 	ctxTotal := 0.0
 	for i := 0; i < 300; i++ {
 		rec, err := c.Step(ctxOf(i), model(ctxOf(i)))
@@ -93,14 +94,14 @@ func TestContextualBeatsGlobalUnderAlternation(t *testing.T) {
 		ctxTotal += rec.Value
 	}
 	if !(ctxTotal < globalTotal*0.75) {
-		t.Errorf("contextual total %g not clearly below global %g", ctxTotal, globalTotal)
+		t.Errorf("keyed total %g not clearly below global %g", ctxTotal, globalTotal)
 	}
 }
 
-func TestContextualDeterministicAcrossArrivalOrder(t *testing.T) {
-	algos, model := contextualModel()
+func TestKeyedDeterministicAcrossArrivalOrder(t *testing.T) {
+	algos, model := keyedModel()
 	run := func(order []string) []int {
-		c := NewContextual(algos, func() nominal.Selector { return nominal.NewEpsilonGreedy(0.1) }, nil, 9)
+		c := NewKeyed(algos, func() nominal.Selector { return nominal.NewEpsilonGreedy(0.1) }, nil, 9)
 		for _, ctx := range order {
 			for i := 0; i < 30; i++ {
 				if _, err := c.Step(ctx, model(ctx)); err != nil {
@@ -120,11 +121,11 @@ func TestContextualDeterministicAcrossArrivalOrder(t *testing.T) {
 	}
 }
 
-func TestContextualConcurrentFor(t *testing.T) {
-	algos, _ := contextualModel()
-	c := NewContextual(algos, func() nominal.Selector { return nominal.NewRoundRobin() }, nil, 4)
+func TestKeyedConcurrentFor(t *testing.T) {
+	algos, _ := keyedModel()
+	c := NewKeyed(algos, func() nominal.Selector { return nominal.NewRoundRobin() }, nil, 4)
 	var wg sync.WaitGroup
-	tuners := make([]*Tuner, 16)
+	tuners := make([]*core.Tuner, 16)
 	for g := range tuners {
 		wg.Add(1)
 		go func(g int) {
@@ -143,8 +144,8 @@ func TestContextualConcurrentFor(t *testing.T) {
 	}
 }
 
-func TestContextualPropagatesConstructionError(t *testing.T) {
-	c := NewContextual(nil, func() nominal.Selector { return nominal.NewRoundRobin() }, nil, 1)
+func TestKeyedPropagatesConstructionError(t *testing.T) {
+	c := NewKeyed(nil, func() nominal.Selector { return nominal.NewRoundRobin() }, nil, 1)
 	if _, err := c.For("x"); err == nil {
 		t.Error("empty algorithm set did not error")
 	}

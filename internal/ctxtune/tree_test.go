@@ -1,0 +1,191 @@
+package ctxtune
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestTreeEmptyFeaturesRouteGlobal(t *testing.T) {
+	tr := NewTree(0, 0, 0)
+	if got := tr.Context(nil); got != GlobalContext {
+		t.Errorf("Context(nil) = %q, want %q", got, GlobalContext)
+	}
+	if got := tr.Context(Features{}); got != GlobalContext {
+		t.Errorf("Context(empty) = %q, want %q", got, GlobalContext)
+	}
+}
+
+func TestTreeRoutingIsDeterministic(t *testing.T) {
+	tr := NewTree(4, 0, 0)
+	vecs := []Features{{1}, {100}, {1, 2}, {-5, 0.5}, {math.NaN()}, {math.Inf(1), 3}}
+	for _, f := range vecs {
+		a, b := tr.Context(f), tr.Context(f)
+		if a != b {
+			t.Errorf("Context(%v) unstable: %q then %q", f, a, b)
+		}
+		if a == GlobalContext {
+			t.Errorf("Context(%v) = global, want a bucket", f)
+		}
+	}
+}
+
+// driveBimodal feeds a two-regime stream: features [1] cost cheap,
+// features [100] cost expensive — the canonical case the split tree must
+// separate.
+func driveBimodal(tr *Tree, n int, interleaved bool) {
+	feed := func(f Features, cost float64, k int) {
+		for i := 0; i < k; i++ {
+			tr.Observe(f, cost)
+		}
+	}
+	if interleaved {
+		for i := 0; i < n; i++ {
+			tr.Observe(Features{1}, 1.0)
+			tr.Observe(Features{100}, 10.0)
+		}
+		return
+	}
+	feed(Features{1}, 1.0, n)
+	feed(Features{100}, 10.0, n)
+}
+
+func TestTreeSplitsBimodalBucket(t *testing.T) {
+	tr := NewTree(1, 64, 1.5) // one bucket: both regimes collide
+	if a, b := tr.Context(Features{1}), tr.Context(Features{100}); a != b {
+		t.Fatalf("single bucket routed %q and %q", a, b)
+	}
+	driveBimodal(tr, 100, true)
+	splits := tr.Splits()
+	if len(splits) != 1 {
+		t.Fatalf("splits = %v, want exactly one", splits)
+	}
+	if splits[0].Dim != 0 {
+		t.Errorf("split on dim %d, want 0", splits[0].Dim)
+	}
+	lo, hi := tr.Context(Features{1}), tr.Context(Features{100})
+	if lo == hi {
+		t.Errorf("post-split routing did not separate the regimes: both %q", lo)
+	}
+}
+
+func TestTreeDeterministicAcrossArrivalOrder(t *testing.T) {
+	mk := func() *Tree { return NewTree(1, 64, 1.5) }
+	a, b := mk(), mk()
+	driveBimodal(a, 100, true)
+	driveBimodal(b, 100, false)
+	if !reflect.DeepEqual(a.Splits(), b.Splits()) {
+		t.Errorf("arrival order changed splits: %v vs %v", a.Splits(), b.Splits())
+	}
+	if !reflect.DeepEqual(a.Contexts(), b.Contexts()) {
+		t.Errorf("arrival order changed contexts: %v vs %v", a.Contexts(), b.Contexts())
+	}
+}
+
+func TestTreeUnimodalNeverSplits(t *testing.T) {
+	tr := NewTree(1, 16, 1.5)
+	for i := 0; i < 500; i++ {
+		// Two feature bins, same cost regime: no lift, no split.
+		tr.Observe(Features{1}, 5.0)
+		tr.Observe(Features{100}, 5.0)
+	}
+	if s := tr.Splits(); len(s) != 0 {
+		t.Errorf("unimodal stream split anyway: %v", s)
+	}
+}
+
+func TestTreeReplayRebuildsTopology(t *testing.T) {
+	tr := NewTree(1, 64, 1.5)
+	driveBimodal(tr, 100, true)
+	if len(tr.Splits()) == 0 {
+		t.Fatal("no split to replay")
+	}
+	fresh := NewTree(1, 64, 1.5)
+	fresh.Replay(tr.Splits())
+	if !reflect.DeepEqual(fresh.Contexts(), tr.Contexts()) {
+		t.Errorf("replay contexts %v, want %v", fresh.Contexts(), tr.Contexts())
+	}
+	for _, f := range []Features{{1}, {100}} {
+		if got, want := fresh.Context(f), tr.Context(f); got != want {
+			t.Errorf("replayed tree routes %v to %q, original to %q", f, got, want)
+		}
+	}
+	// Replay is idempotent: applying the same journal twice is a no-op.
+	fresh.Replay(tr.Splits())
+	if !reflect.DeepEqual(fresh.Contexts(), tr.Contexts()) {
+		t.Errorf("double replay diverged: %v", fresh.Contexts())
+	}
+}
+
+func TestTreeExportRestoreRoundTrip(t *testing.T) {
+	tr := NewTree(2, 64, 1.5)
+	driveBimodal(tr, 100, true)
+	tr.Observe(Features{3, 4}, 2.0) // some un-split leaf statistics too
+	blob, err := tr.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewTree(0, 0, 0)
+	if err := fresh.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Contexts(), tr.Contexts()) {
+		t.Errorf("restored contexts %v, want %v", fresh.Contexts(), tr.Contexts())
+	}
+	for _, f := range []Features{{1}, {100}, {3, 4}, {7}} {
+		if got, want := fresh.Context(f), tr.Context(f); got != want {
+			t.Errorf("restored tree routes %v to %q, original to %q", f, got, want)
+		}
+	}
+	blob2, err := fresh.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Error("export/restore/export not stable")
+	}
+}
+
+func TestTreeRestoreRejectsGarbage(t *testing.T) {
+	tr := NewTree(0, 0, 0)
+	for _, bad := range []string{"", "{", `{"buckets":0}`, `{"buckets":4,"min_samples":-1}`} {
+		if err := tr.Restore([]byte(bad)); err == nil {
+			t.Errorf("Restore(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTreeHostileInputs(t *testing.T) {
+	tr := NewTree(2, 4, 1.2)
+	hostile := []Features{
+		{math.NaN()}, {math.Inf(1)}, {math.Inf(-1)},
+		{math.NaN(), math.Inf(1), -0.0},
+		{1e308, -1e308},
+	}
+	for _, f := range hostile {
+		id := tr.Context(f)
+		if id == "" {
+			t.Errorf("Context(%v) empty", f)
+		}
+		tr.Observe(f, 1.0)
+		tr.Observe(f, math.NaN()) // ignored, must not poison stats
+		if got := tr.Context(f); got != id {
+			t.Errorf("Context(%v) moved from %q to %q without a split", f, id, got)
+		}
+	}
+}
+
+func TestQbin(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {1, 1}, {3, 2}, {100, 6}, {-3, -2},
+		{math.NaN(), 0}, {math.Inf(1), 0}, {math.Inf(-1), 0},
+	}
+	for _, c := range cases {
+		if got := qbin(c.v); got != c.want {
+			t.Errorf("qbin(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

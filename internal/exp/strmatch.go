@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/ctxtune"
 	"repro/internal/nominal"
 	"repro/internal/param"
 	"repro/internal/report"
@@ -359,7 +360,7 @@ func (p *PatternSweep) RenderFigureX2(w io.Writer) *report.Table {
 // The input stream alternates between a short and a long query pattern —
 // X2 showed their winners differ — and two treatments compete: a single
 // global tuner (which can only commit to one algorithm) and a
-// core.Contextual family keyed by the pattern class. Reported per
+// ctxtune.Keyed family keyed by the pattern class. Reported per
 // treatment: total time spent and the most-chosen matcher per context.
 type ContextualSweep struct {
 	GlobalTotalMS, ContextualTotalMS float64
@@ -413,7 +414,7 @@ func RunContextualSweep(cfg Config) *ContextualSweep {
 	}
 	res.GlobalChoice = names[gBest]
 
-	ctxFamily := core.NewContextual(matcherAlgorithms(),
+	ctxFamily := ctxtune.NewKeyed(matcherAlgorithms(),
 		func() nominal.Selector { return nominal.NewEpsilonGreedy(0.10) }, nil, cfg.Seed)
 	for i := 0; i < iters; i++ {
 		ctx := contexts[i%2]

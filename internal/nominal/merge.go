@@ -69,6 +69,12 @@ func (h *history) cloneTail() history {
 	return c
 }
 
+// Replay folds observations into any selector through its own Report
+// path — the Merge algebra applied from outside the package. Contextual
+// warm starts use it to bias a freshly forked replica toward a
+// previously recorded per-context winner.
+func Replay(s Selector, delta []Observation) { replayObservations(s, delta) }
+
 // replayObservations is the shared Merge implementation: every
 // observation goes through the selector's own Report method, so
 // type-specific bookkeeping (UCB1 sums, windowed weights) stays in one

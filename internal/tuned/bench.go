@@ -3,11 +3,13 @@ package tuned
 import (
 	"context"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ctxtune"
 	"repro/internal/nominal"
 	"repro/internal/param"
 	"repro/internal/tenant"
@@ -150,8 +152,119 @@ func MultiTenantThroughput(tenants, workersPerTenant, batch, total int) (float64
 	return float64(aggregate) / elapsed.Seconds(), out, nil
 }
 
+// ContextualThroughput measures feature-routed wire throughput against
+// the plain-engine baseline: the same worker count, batch size and
+// trial budget run over loopback TCP — once against a bare
+// ConcurrentTuner, once against a ctxtune.Engine with every lease
+// carrying a feature vector (half the fleet in a cheap class, half in a
+// dear class whose costs are 8× larger, so the partitioner actually
+// splits mid-run). Returns both rates in trials per second plus the
+// number of contexts the engine discovered; the ratio is the routing
+// overhead the bench gates on. Each cell is the best of five
+// interleaved runs: a single short loopback cell is scheduler-noise
+// dominated (a ±20% swing run to run is normal on a loaded box), and
+// the best-of estimates each path's capacity, which is what the
+// overhead ratio compares — interleaving the pairs keeps slow drift in
+// machine load from charging one path and not the other.
+func ContextualThroughput(workers, batch, total int) (contextual, baseline float64, contexts int, err error) {
+	const reps = 5
+	for r := 0; r < reps; r++ {
+		// The baseline runs the same windowed selector as the contextual
+		// replicas: the ratio isolates the cost of routing, not of the
+		// selector the contextual engine happens to need for warm starts.
+		// Both cells drop per-iteration history — a throughput run has no
+		// reader for it, and the contextual engine would pay the append
+		// twice (replica and global fold), skewing the quotient with pure
+		// bookkeeping.
+		b, err := loopbackCellSel(workers, batch, total,
+			&nominal.EpsilonGreedy{Eps: 0.10, RecencyWindow: 64},
+			core.WithoutHistory())
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("tuned: contextual bench baseline: %w", err)
+		}
+		baseline = math.Max(baseline, b)
+		c, n, err := contextualCell(workers, batch, total)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("tuned: contextual bench: %w", err)
+		}
+		if c > contextual {
+			contextual, contexts = c, n
+		}
+	}
+	return contextual, baseline, contexts, nil
+}
+
+func contextualCell(workers, batch, total int) (float64, int, error) {
+	eng, err := ctxtune.New(ctxtune.Config{
+		Algos: benchAlgos(),
+		Selector: func() nominal.Selector {
+			return &nominal.EpsilonGreedy{Eps: 0.10, RecencyWindow: 64}
+		},
+		Seed:        1,
+		Partitioner: ctxtune.NewTree(1, 64, 1.5),
+		Opts:        []core.Option{core.WithoutHistory()},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	srv := NewServer(eng, WithTrialTarget(total))
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	for i := 0; i < workers; i++ {
+		feats, scale := []float64{1}, 1.0
+		if i%2 == 1 {
+			feats, scale = []float64{100}, 8.0
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr, WithFeatures(feats))
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			defer c.Close()
+			measure := func(algo int, cfg param.Config) float64 {
+				if algo == 0 {
+					return 2 * scale
+				}
+				return (1 + cfg[0]) * scale
+			}
+			w := &Worker{Client: c, Measure: measure, Batch: batch}
+			if _, err := w.Run(context.Background()); err != nil {
+				errOnce.Do(func() { firstErr = err })
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	if got := eng.Iterations(); got < total {
+		return 0, 0, fmt.Errorf("finished at %d/%d trials", got, total)
+	}
+	return float64(eng.Iterations()) / elapsed.Seconds(), eng.ContextCount(), nil
+}
+
 func loopbackCell(workers, batch, total int) (float64, error) {
-	eng, err := core.NewConcurrentTuner(benchAlgos(), nominal.NewEpsilonGreedy(0.10), nil, 1)
+	return loopbackCellSel(workers, batch, total, nominal.NewEpsilonGreedy(0.10))
+}
+
+func loopbackCellSel(workers, batch, total int, sel nominal.Selector, opts ...core.Option) (float64, error) {
+	eng, err := core.NewConcurrentTuner(benchAlgos(), sel, nil, 1, opts...)
 	if err != nil {
 		return 0, err
 	}

@@ -103,6 +103,16 @@ func WithTenant(name string) ClientOption {
 	return func(c *Client) { c.tenant = name }
 }
 
+// WithFeatures sets the client's sticky feature vector: LeaseN attaches
+// it to every lease request, so a contextual server routes this
+// client's trials to the matching per-context selector (completions
+// route by trial ID — no echo needed). Nil (the default) leaves
+// requests feature-less — the global context. Servers without
+// contextual routing ignore the field entirely.
+func WithFeatures(f []float64) ClientOption {
+	return func(c *Client) { c.SetFeatures(f) }
+}
+
 // WithDialer replaces the TCP dialer, letting tests and soak runs route
 // connections through a fault-injection layer (chaos.Network.DialTimeout
 // has this exact signature).
@@ -138,6 +148,7 @@ type Client struct {
 	ttlMS   atomic.Int64
 	refAlgo atomic.Int64  // calibration reference algorithm (handshake)
 	worker  atomic.Uint64 // worker identity stamped into reports
+	feats   atomic.Pointer[[]float64]
 	closed  atomic.Bool
 }
 
@@ -292,6 +303,30 @@ func (c *Client) RefAlgo() int { return int(c.refAlgo.Load()) }
 // (the default) reports anonymously with factor 1.
 func (c *Client) SetWorker(id uint64) { c.worker.Store(id) }
 
+// SetFeatures replaces the client's sticky feature vector (see
+// WithFeatures); nil reverts to feature-less global requests. Safe to
+// call concurrently with requests — a worker whose workload shifts
+// mid-run just calls this and subsequent leases route to the new
+// context.
+func (c *Client) SetFeatures(f []float64) {
+	if f == nil {
+		c.feats.Store(nil)
+		return
+	}
+	cp := append([]float64(nil), f...)
+	c.feats.Store(&cp)
+}
+
+// Features returns a copy of the sticky feature vector (nil when
+// unset).
+func (c *Client) Features() []float64 {
+	p := c.feats.Load()
+	if p == nil {
+		return nil
+	}
+	return append([]float64(nil), (*p)...)
+}
+
 // roundTrip sends one request and reads its response, retrying
 // transport failures on fresh connections with full-jitter exponential
 // backoff. Server-side errors (wire.TError) are permanent and returned
@@ -382,10 +417,18 @@ type LeaseBatch struct {
 	Draining bool          // the server is shutting down gracefully
 }
 
-// LeaseN leases up to n trials in one round trip.
+// LeaseN leases up to n trials in one round trip, attaching the sticky
+// feature vector (if any) so a contextual server can route the lease.
 func (c *Client) LeaseN(n int) (LeaseBatch, error) {
+	return c.LeaseNFor(c.Features(), n)
+}
+
+// LeaseNFor leases up to n trials under an explicit feature vector,
+// overriding the sticky one for this request. Nil features ask for the
+// global context.
+func (c *Client) LeaseNFor(features []float64, n int) (LeaseBatch, error) {
 	var resp wire.LeaseNResp
-	if err := c.roundTrip(wire.TLeaseN, wire.LeaseNReq{N: n}, wire.TTrials, &resp); err != nil {
+	if err := c.roundTrip(wire.TLeaseN, wire.LeaseNReq{N: n, Features: features}, wire.TTrials, &resp); err != nil {
 		return LeaseBatch{}, err
 	}
 	lb := LeaseBatch{Epoch: resp.Epoch, Done: resp.Done, Retry: time.Duration(resp.RetryMS) * time.Millisecond, Draining: resp.Draining}
@@ -410,6 +453,9 @@ func (c *Client) LeaseN(n int) (LeaseBatch, error) {
 // not failures: the engine had already charged those trials (expired
 // lease, duplicate report, or older epoch).
 func (c *Client) CompleteN(epoch int64, results []core.TrialResult) (applied, dropped []uint64, err error) {
+	// No feature vector on results: a contextual server routes
+	// completions by trial ID through its route table, so echoing the
+	// sticky vector here would only fatten the hottest wire message.
 	req := wire.CompleteNReq{Epoch: epoch, Worker: c.worker.Load(), Results: make([]wire.Result, len(results))}
 	for i, r := range results {
 		req.Results[i] = wire.Result{ID: r.ID, Value: r.Value}

@@ -77,6 +77,19 @@ type shardedEngine interface {
 	LeaseNOn(shard, n int) ([]core.Trial, error)
 }
 
+// contextualEngine is the optional extension a contextual engine
+// provides (ctxtune.Engine): feature-bearing LeaseN requests route to a
+// per-context selector replica, and the engine refines its partitioner
+// from the completions that flow back (it remembers each contextual
+// trial's feature vector itself, so CompleteN needs no extra plumbing).
+// Declared structurally — with plain []float64, not a ctxtune type — so
+// any engine can opt in without this package importing the subsystem.
+type contextualEngine interface {
+	Engine
+	LeaseNFor(features []float64, n int) ([]core.Trial, error)
+	ContextCount() int
+}
+
 // DefaultMaxBatch caps the batch size a single LeaseN request may ask
 // for; larger requests are clamped, not rejected.
 const DefaultMaxBatch = 64
@@ -723,7 +736,9 @@ func (s *Server) serveLeaseN(conn net.Conn, sess *session, eng Engine, req wire.
 	}
 	var trials []core.Trial
 	var err error
-	if se, ok := eng.(shardedEngine); ok && se.Shards() > 1 {
+	if ce, ok := eng.(contextualEngine); ok && len(req.Features) > 0 {
+		trials, err = ce.LeaseNFor(req.Features, n)
+	} else if se, ok := eng.(shardedEngine); ok && se.Shards() > 1 {
 		trials, err = se.LeaseNOn(sess.shard%se.Shards(), n)
 	} else {
 		trials, err = eng.LeaseN(n)
@@ -942,6 +957,9 @@ func (s *Server) serveStats(conn net.Conn, sess *session, eng Engine) bool {
 		QuarantineReprobes: ds.QuarantineReprobes,
 
 		Calibrated: calibrated,
+	}
+	if ce, ok := eng.(contextualEngine); ok {
+		resp.Contexts = ce.ContextCount()
 	}
 	return sess.write(conn, wire.TStatsAck, resp) == nil
 }

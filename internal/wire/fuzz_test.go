@@ -30,9 +30,11 @@ func FuzzWireDecode(f *testing.F) {
 			{Name: "team-a", Resident: false, Iterations: 40, BestAlgo: -1, Spills: 2, Restarts: 1},
 		}}},
 		{TLeaseN, LeaseNReq{N: 8}},
+		{TLeaseN, LeaseNReq{N: 8, Features: []float64{1, 100.5, -3}}},
 		{TTrials, LeaseNResp{Epoch: 42, Trials: []Trial{{ID: 7, Algo: 2, Config: []float64{1, 2.5}, DeadlineMS: 1700000000000}}}},
 		{TTrials, LeaseNResp{Epoch: 42, RetryMS: 25, Draining: true}},
 		{TCompleteN, CompleteNReq{Epoch: 42, Results: []Result{{ID: 7, Value: 3.25}}}},
+		{TCompleteN, CompleteNReq{Epoch: 42, Results: []Result{{ID: 1 << 48, Value: 3.25, Features: []float64{100}}}}},
 		{TFailN, FailNReq{Fails: []Fail{{ID: 9, Kind: "timeout", Penalty: 100}}}},
 		{TAck, AckResp{Applied: []uint64{1}, Dropped: []uint64{2}}},
 		{THeartbeat, HeartbeatReq{Epoch: 42, IDs: []uint64{1, 2, 3}}},
@@ -47,6 +49,7 @@ func FuzzWireDecode(f *testing.F) {
 		{TCalibrate, CalibrateReq{Worker: 0xfeed, Ref: 4.5}},
 		{TCalibrateAck, CalibrateAck{Factor: 4.0, Baseline: 1.125}},
 		{TStatsAck, StatsResp{DriftEvents: 2, DriftDecays: 1, DriftReforks: 1, DriftStale: 3, PendingProbes: 4, Calibrated: 2}},
+		{TStatsAck, StatsResp{Leased: 10, Completed: 8, Contexts: 3}},
 	} {
 		frame, err := Encode(m.typ, m.v)
 		if err != nil {

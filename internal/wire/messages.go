@@ -63,6 +63,13 @@ type HelloAck struct {
 // LeaseNReq (frame TLeaseN) asks for up to N trials in one round trip.
 type LeaseNReq struct {
 	N int `json:"n"`
+	// Features, when present, describes the input the worker is about
+	// to measure (input size, corpus class, ...). A contextual server
+	// routes the lease to the matching per-context engine; servers
+	// without contextual routing — and all v1 servers — ignore the
+	// field (additive, no version bump). Absent features mean the
+	// global context.
+	Features []float64 `json:"features,omitempty"`
 }
 
 // Trial is one leased trial on the wire.
@@ -99,6 +106,14 @@ type LeaseNResp struct {
 type Result struct {
 	ID    uint64  `json:"id"`
 	Value float64 `json:"value"`
+	// Features optionally names the feature vector the trial was
+	// measured under. A contextual server does not need it — it routes
+	// completions by trial ID through its route table, which remembers
+	// the lease's vector — so the reference client leaves it empty to
+	// keep the hottest message lean; the field exists for third-party
+	// clients that want the report to be self-describing. Additive:
+	// plain servers ignore it.
+	Features []float64 `json:"features,omitempty"`
 }
 
 // CompleteNReq (frame TCompleteN) reports a batch of measured values.
@@ -267,6 +282,10 @@ type StatsResp struct {
 
 	// Calibrated counts workers with a registered reference probe.
 	Calibrated int `json:"calibrated,omitempty"`
+
+	// Contexts counts live per-context engines on a contextual server
+	// (0 on a non-contextual one).
+	Contexts int `json:"contexts,omitempty"`
 }
 
 // Error codes carried by ErrorResp.

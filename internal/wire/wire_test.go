@@ -5,11 +5,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
 )
 
 func TestRoundTrip(t *testing.T) {
-	req := LeaseNReq{N: 16}
+	req := LeaseNReq{N: 16, Features: []float64{27, 0.5}}
 	frame, err := Encode(TLeaseN, req)
 	if err != nil {
 		t.Fatal(err)
@@ -25,7 +26,7 @@ func TestRoundTrip(t *testing.T) {
 	if err := Unmarshal(payload, &got); err != nil {
 		t.Fatal(err)
 	}
-	if got != req {
+	if !reflect.DeepEqual(got, req) {
 		t.Fatalf("roundtrip = %+v, want %+v", got, req)
 	}
 }

@@ -54,10 +54,48 @@ func NewStore() *Store {
 // machine signature (GOOS/GOARCH/GOMAXPROCS) so wisdom learned on one
 // machine is not silently applied to another — the paper's context
 // K = (K_A, K_S) made concrete.
+//
+// Parts are free-form: a part containing the `|` separator (or a
+// backslash) is escaped before joining, so Key("a|b") and Key("a", "b")
+// produce distinct keys. KeyParts inverts the encoding.
 func Key(parts ...string) string {
-	all := append([]string{}, parts...)
+	all := make([]string, 0, len(parts)+1)
+	for _, p := range parts {
+		all = append(all, escapePart(p))
+	}
 	all = append(all, fmt.Sprintf("%s/%s/p%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)))
 	return strings.Join(all, "|")
+}
+
+// escapePart makes a free-form part safe to join with `|`: backslashes
+// double, separators gain a backslash.
+func escapePart(p string) string {
+	p = strings.ReplaceAll(p, `\`, `\\`)
+	return strings.ReplaceAll(p, "|", `\|`)
+}
+
+// KeyParts splits a key built by Key back into its parts, undoing the
+// escaping. The trailing machine-signature part is included; it never
+// contains escapes. Round-trip: KeyParts(Key(parts...)) == parts + sig.
+func KeyParts(key string) []string {
+	var parts []string
+	var cur strings.Builder
+	escaped := false
+	for _, r := range key {
+		switch {
+		case escaped:
+			cur.WriteRune(r)
+			escaped = false
+		case r == '\\':
+			escaped = true
+		case r == '|':
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	return append(parts, cur.String())
 }
 
 // Lookup returns the entry for a context key.

@@ -20,6 +20,45 @@ func TestKeyIncludesMachineSignature(t *testing.T) {
 	}
 }
 
+func TestKeyEscapesSeparators(t *testing.T) {
+	// The collision hazard: before escaping, Key("a|b") and Key("a", "b")
+	// built the same string, silently cross-pollinating wisdom between
+	// unrelated contexts.
+	if Key("a|b") == Key("a", "b") {
+		t.Fatalf("Key(%q) collides with Key(%q, %q): %q", "a|b", "a", "b", Key("a|b"))
+	}
+	if Key(`a\`, "b") == Key(`a\|b`) {
+		t.Fatalf("backslash part collides: %q", Key(`a\`, "b"))
+	}
+}
+
+func TestKeyPartsRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{"matmul", "n=1024"},
+		{"a|b", "c"},
+		{`back\slash`, `mix\|ed`},
+		{""},
+		{"", "|", `\`},
+		{"ctx", "b0.lo", "scope|with|pipes"},
+	}
+	for _, parts := range cases {
+		got := KeyParts(Key(parts...))
+		// Key appends the machine signature as a trailing part.
+		if len(got) != len(parts)+1 {
+			t.Errorf("KeyParts(Key(%q)) = %q, want %d parts + signature", parts, got, len(parts))
+			continue
+		}
+		for i, p := range parts {
+			if got[i] != p {
+				t.Errorf("part %d of %q round-tripped to %q", i, parts, got[i])
+			}
+		}
+		if !strings.Contains(got[len(got)-1], "/p") {
+			t.Errorf("trailing part %q is not the machine signature", got[len(got)-1])
+		}
+	}
+}
+
 func TestRecordKeepsOnlyImprovements(t *testing.T) {
 	s := NewStore()
 	if !s.Record("k", "a", param.Config{1}, 10) {
