@@ -5,7 +5,7 @@
 // Usage:
 //
 //	atune-bench [-out file] [-trials N] [-sleep d] [-workers list]
-//	atune-bench -wire [-out file] [-trials N] [-workers list] [-batches list]
+//	atune-bench -wire [-pipeline] [-gate] [-out file] [-trials N] [-workers list] [-batches list]
 //	atune-bench -shards [-out file] [-trials N] [-workers list] [-shard-counts list]
 //	atune-bench -tenants N [-out file] [-trials N] [-tenant-workers M] [-batch B]
 //	atune-bench -contextual [-out file] [-trials N] [-ctx-workers N] [-batch B]
@@ -19,7 +19,12 @@
 // loopback TCP driven by remote worker clients, swept over worker
 // counts and LeaseN/CompleteN batch sizes. Here the measurement is
 // free, so leases/sec is purely protocol round-trip overhead — the
-// batch-size columns show what wire batching buys.
+// batch-size columns show what wire batching buys. -pipeline (the
+// default) runs the v3 hot path — packed trial frames multiplexed over
+// one pipelined connection per client; -pipeline=false measures the
+// lockstep pooled path for comparison. -gate reads the committed
+// document at -out before overwriting it and fails the run when
+// batch=16 throughput regressed more than 20% against it.
 //
 // -shards benchmarks sharded selection: the in-process engine swept
 // over (workers × shards) with a free measurement, so leases/sec is
@@ -91,6 +96,7 @@ type result struct {
 type wireResult struct {
 	Name         string      `json:"name"`
 	Meta         runMeta     `json:"meta"`
+	Pipelined    bool        `json:"pipelined"`
 	Workers      []int       `json:"workers"`
 	Batches      []int       `json:"batch_sizes"`
 	LeasesPerSec [][]float64 `json:"leases_per_sec"`
@@ -156,6 +162,8 @@ func main() {
 		sleep    = flag.Duration("sleep", 2*time.Millisecond, "fixed wall-clock cost per trial")
 		workers  = flag.String("workers", "1,4,16", "comma-separated worker counts")
 		wire     = flag.Bool("wire", false, "benchmark the loopback TCP wire path instead of the in-process engine")
+		pipeline = flag.Bool("pipeline", true, "use the v3 hot path: packed frames over pipelined connections (with -wire)")
+		gate     = flag.Bool("gate", false, "fail if batch=16 throughput regresses >20% vs the committed -out document")
 		batches  = flag.String("batches", "1,16", "comma-separated LeaseN batch sizes (with -wire)")
 		shards   = flag.Bool("shards", false, "benchmark sharded selection across shard counts")
 		shardCs  = flag.String("shard-counts", "1,4,8", "comma-separated shard counts (with -shards)")
@@ -221,7 +229,7 @@ func main() {
 		if *trials <= 0 {
 			*trials = 2000
 		}
-		runWire(*out, *trials, counts, parseInts("-batches", *batches))
+		runWire(*out, *trials, counts, parseInts("-batches", *batches), *pipeline, *gate)
 		return
 	}
 	if *out == "" {
@@ -254,15 +262,22 @@ func main() {
 	writeDoc(*out, append(buf, '\n'))
 }
 
-// runWire sweeps the loopback wire benchmark and writes BENCH_wire.json.
-func runWire(out string, trials int, counts, batches []int) {
-	lps, err := tuned.LoopbackThroughput(counts, batches, trials)
+// runWire sweeps the loopback wire benchmark and writes BENCH_wire.json,
+// optionally gating against the previously committed document.
+func runWire(out string, trials int, counts, batches []int, pipelined, gate bool) {
+	baseline := readWireBaseline(out, gate)
+	sweep := tuned.LoopbackThroughput
+	if pipelined {
+		sweep = tuned.LoopbackThroughputPipelined
+	}
+	lps, err := sweep(counts, batches, trials)
 	if err != nil {
 		log.Fatal(err)
 	}
 	res := wireResult{
 		Name:         "wire_loopback_throughput",
 		Meta:         meta(),
+		Pipelined:    pipelined,
 		Workers:      counts,
 		Batches:      batches,
 		LeasesPerSec: lps,
@@ -282,6 +297,73 @@ func runWire(out string, trials int, counts, batches []int) {
 		log.Fatal(err)
 	}
 	writeDoc(out, append(buf, '\n'))
+	gateWire(baseline, &res)
+}
+
+// gateBatch is the batch-size column the regression gate compares, and
+// gateHeadroom the fraction of the committed baseline the new run must
+// reach.
+const (
+	gateBatch    = 16
+	gateHeadroom = 0.80
+)
+
+// readWireBaseline loads the committed document the gate compares
+// against; missing or unreadable baselines disable the gate (a fresh
+// checkout has nothing to regress from).
+func readWireBaseline(path string, gate bool) *wireResult {
+	if !gate || path == "-" {
+		return nil
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		log.Printf("gate: no committed baseline at %s, skipping (%v)", path, err)
+		return nil
+	}
+	var res wireResult
+	if err := json.Unmarshal(buf, &res); err != nil {
+		log.Printf("gate: unreadable baseline at %s, skipping (%v)", path, err)
+		return nil
+	}
+	return &res
+}
+
+// bestAtBatch returns the best leases/sec a document records in the
+// given batch-size column (0 when the column is absent).
+func bestAtBatch(res *wireResult, batch int) float64 {
+	best := 0.0
+	for bi, b := range res.Batches {
+		if b != batch {
+			continue
+		}
+		for _, row := range res.LeasesPerSec {
+			if bi < len(row) {
+				best = math.Max(best, row[bi])
+			}
+		}
+	}
+	return best
+}
+
+// gateWire fails the run when the fresh sweep's batch=16 throughput
+// fell below gateHeadroom of the committed baseline. The new document
+// is already on disk at this point, so a failing run still leaves its
+// evidence for the trend dashboard.
+func gateWire(baseline, fresh *wireResult) {
+	if baseline == nil {
+		return
+	}
+	was, now := bestAtBatch(baseline, gateBatch), bestAtBatch(fresh, gateBatch)
+	if was <= 0 || now <= 0 {
+		log.Printf("gate: no batch=%d column on both sides, skipping", gateBatch)
+		return
+	}
+	if now < gateHeadroom*was {
+		log.Fatalf("gate: batch=%d throughput regressed %.0f%%: %.0f → %.0f leases/sec (floor %.0f)",
+			gateBatch, 100*(1-now/was), was, now, gateHeadroom*was)
+	}
+	fmt.Printf("gate: batch=%d throughput %.0f vs committed %.0f leases/sec (%.2fx) — ok\n",
+		gateBatch, now, was, now/was)
 }
 
 // runShards sweeps the sharded engine over (workers × shards) and

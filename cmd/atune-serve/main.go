@@ -302,6 +302,9 @@ func main() {
 				}
 				log.Printf("trials=%d inflight=%d completed=%d failed=%d expired=%d best=%s (%.4g)",
 					eng.Iterations(), st.InFlight, st.Completed, st.Failed, st.Expired, name, val)
+				if n := srv.Rebalanced(); n > 0 {
+					log.Printf("rebalanced: %d lease grant(s) clamped to fair share", n)
+				}
 				if ceng != nil {
 					log.Printf("contexts: %d live replica(s)", ceng.ContextCount())
 				}

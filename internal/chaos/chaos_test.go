@@ -68,7 +68,7 @@ func TestCorruptionRejectedByFraming(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	frame, err := wire.Encode(wire.THello, wire.Hello{Proto: wire.Version, Name: "victim"})
+	frame, err := wire.Encode(wire.THello, &wire.Hello{Proto: wire.Version, Name: "victim"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestFragmentedWritesReassemble(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	frame, err := wire.Encode(wire.TTrials, wire.LeaseNResp{Epoch: 9, Trials: []wire.Trial{{ID: 1, Algo: 2}}})
+	frame, err := wire.Encode(wire.TTrials, &wire.LeaseNResp{Epoch: 9, Trials: []wire.Trial{{ID: 1, Algo: 2}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestFragmentedWritesReassemble(t *testing.T) {
 		t.Fatalf("fragmented frame failed to reassemble: %v", err)
 	}
 	var resp wire.LeaseNResp
-	if err := wire.Unmarshal(payload, &resp); err != nil || typ != wire.TTrials || resp.Epoch != 9 {
+	if err := resp.DecodeFrom(payload); err != nil || typ != wire.TTrials || resp.Epoch != 9 {
 		t.Fatalf("decoded %s %+v (err %v), want the original message", typ, resp, err)
 	}
 	if nw.Stats().Fragments == 0 {

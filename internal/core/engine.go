@@ -127,6 +127,7 @@ type ConcurrentTuner struct {
 
 	leaseTTL    time.Duration
 	maxInFlight int
+	sweepAt     time.Time        // earliest outstanding deadline; no sweep can reclaim before it
 	now         func() time.Time // injectable clock for expiry tests
 
 	nLeased, nCompleted, nFailed, nExpired, nAbsorbed uint64
@@ -232,6 +233,9 @@ func (c *ConcurrentTuner) leaseOneLocked() (Trial, error) {
 	}
 	if c.leaseTTL > 0 {
 		tr.Deadline = c.now().Add(c.leaseTTL)
+		if c.sweepAt.IsZero() || tr.Deadline.Before(c.sweepAt) {
+			c.sweepAt = tr.Deadline
+		}
 	}
 	stored := tr
 	stored.Config = tr.Config.Clone() // callers may mutate their copy
@@ -560,6 +564,9 @@ func (c *ConcurrentTuner) reclaimLocked() {
 		return
 	}
 	now := c.now()
+	if !c.sweepAt.IsZero() && now.Before(c.sweepAt) {
+		return // nothing can have expired yet; skip the map scan
+	}
 	for id, l := range c.leases {
 		if !l.trial.Deadline.IsZero() && now.After(l.trial.Deadline) {
 			delete(c.leases, id)
@@ -574,6 +581,17 @@ func (c *ConcurrentTuner) reclaimLocked() {
 			c.finishLocked(l, f.Penalty, f)
 		}
 	}
+	// Recompute the watermark from the survivors so the next scan waits
+	// for the new earliest deadline. Completions may leave it stale
+	// (pointing at a reported lease), which costs at most one extra
+	// scan per TTL window, never a missed expiry.
+	c.sweepAt = time.Time{}
+	for _, l := range c.leases {
+		d := l.trial.Deadline
+		if !d.IsZero() && (c.sweepAt.IsZero() || d.Before(c.sweepAt)) {
+			c.sweepAt = d
+		}
+	}
 }
 
 // ReclaimExpired sweeps expired leases immediately (the sweep otherwise
@@ -583,6 +601,7 @@ func (c *ConcurrentTuner) ReclaimExpired() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	before := c.nExpired
+	c.sweepAt = time.Time{} // explicit call: force the scan past the watermark
 	c.reclaimLocked()
 	return int(c.nExpired - before)
 }

@@ -23,12 +23,28 @@ import (
 // measurement function costs nothing, so the numbers isolate the
 // protocol round trips — exactly the overhead batching is meant to
 // amortize. Cells are [len(workerCounts)][len(batchSizes)].
+//
+// The clients run the lockstep JSON-era shape: pooled connections, one
+// request in flight each. LoopbackThroughputPipelined is the v3 hot
+// path.
 func LoopbackThroughput(workerCounts, batchSizes []int, total int) ([][]float64, error) {
+	return loopbackSweep(workerCounts, batchSizes, total, false)
+}
+
+// LoopbackThroughputPipelined is LoopbackThroughput over the v3 hot
+// path: every client multiplexes packed trial frames over one
+// pipelined connection, and every worker overlaps its next lease with
+// the current batch's measurement.
+func LoopbackThroughputPipelined(workerCounts, batchSizes []int, total int) ([][]float64, error) {
+	return loopbackSweep(workerCounts, batchSizes, total, true)
+}
+
+func loopbackSweep(workerCounts, batchSizes []int, total int, pipelined bool) ([][]float64, error) {
 	out := make([][]float64, len(workerCounts))
 	for wi, workers := range workerCounts {
 		out[wi] = make([]float64, len(batchSizes))
 		for bi, batch := range batchSizes {
-			lps, err := loopbackCell(workers, batch, total)
+			lps, err := loopbackCell(workers, batch, total, pipelined)
 			if err != nil {
 				return nil, fmt.Errorf("tuned: bench cell workers=%d batch=%d: %w", workers, batch, err)
 			}
@@ -176,7 +192,7 @@ func ContextualThroughput(workers, batch, total int) (contextual, baseline float
 		// reader for it, and the contextual engine would pay the append
 		// twice (replica and global fold), skewing the quotient with pure
 		// bookkeeping.
-		b, err := loopbackCellSel(workers, batch, total,
+		b, err := loopbackCellSel(workers, batch, total, false,
 			&nominal.EpsilonGreedy{Eps: 0.10, RecencyWindow: 64},
 			core.WithoutHistory())
 		if err != nil {
@@ -259,11 +275,14 @@ func contextualCell(workers, batch, total int) (float64, int, error) {
 	return float64(eng.Iterations()) / elapsed.Seconds(), eng.ContextCount(), nil
 }
 
-func loopbackCell(workers, batch, total int) (float64, error) {
-	return loopbackCellSel(workers, batch, total, nominal.NewEpsilonGreedy(0.10))
+func loopbackCell(workers, batch, total int, pipelined bool) (float64, error) {
+	return loopbackCellSel(workers, batch, total, pipelined, nominal.NewEpsilonGreedy(0.10))
 }
 
-func loopbackCellSel(workers, batch, total int, sel nominal.Selector, opts ...core.Option) (float64, error) {
+func loopbackCellSel(workers, batch, total int, pipelined bool, sel nominal.Selector, opts ...core.Option) (float64, error) {
+	// The cell measures wire throughput; a full per-trial history would
+	// make the engine the allocator hot spot instead.
+	opts = append([]core.Option{core.WithoutHistory()}, opts...)
 	eng, err := core.NewConcurrentTuner(benchAlgos(), sel, nil, 1, opts...)
 	if err != nil {
 		return 0, err
@@ -290,17 +309,34 @@ func loopbackCellSel(workers, batch, total int, sel nominal.Selector, opts ...co
 		firstErr error
 		errOnce  sync.Once
 	)
+	// Pipelined workers share one connection — that is the point of the
+	// windowed pipe: many in-flight requests interleave on a single
+	// stream and both ends coalesce bursts into single syscalls.
+	// Lockstep workers keep a connection each.
+	var shared *Client
+	if pipelined {
+		c, err := Dial(addr, WithPipeline(0))
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		shared = c
+	}
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := Dial(addr)
-			if err != nil {
-				errOnce.Do(func() { firstErr = err })
-				return
+			c := shared
+			if c == nil {
+				cc, err := Dial(addr)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				defer cc.Close()
+				c = cc
 			}
-			defer c.Close()
-			w := &Worker{Client: c, Measure: measure, Batch: batch}
+			w := &Worker{Client: c, Measure: measure, Batch: batch, Pipeline: pipelined}
 			if _, err := w.Run(context.Background()); err != nil {
 				errOnce.Do(func() { firstErr = err })
 			}

@@ -1,14 +1,17 @@
 package tuned
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/nominal"
 	"repro/internal/param"
 	"repro/internal/wire"
@@ -21,10 +24,20 @@ const (
 	DefaultRetries        = 6
 	DefaultBackoffBase    = 25 * time.Millisecond
 	DefaultBackoffMax     = time.Second
+
+	// DefaultPipelineWindow is the in-flight request window WithPipeline
+	// uses when given a non-positive value. It matches the server's own
+	// pipelineWindow so one client can saturate its connection without
+	// tripping the server's protection limit.
+	DefaultPipelineWindow = 32
 )
 
 // ErrClosed is returned by requests on a closed client.
 var ErrClosed = errors.New("tuned: client closed")
+
+// errPipeTimeout fails a pipelined connection whose response did not
+// arrive within the request timeout.
+var errPipeTimeout = errors.New("tuned: pipelined request timed out")
 
 // RemoteError is a request-level error the server answered explicitly
 // (wire.ErrorResp). Config mismatches and bad requests are permanent:
@@ -44,11 +57,28 @@ type ClientOption func(*Client)
 // WithPoolSize bounds the number of idle pooled connections (default
 // DefaultPoolSize). Concurrent requests beyond the pool dial extra
 // connections that are closed instead of pooled when they return.
+// Ignored while pipelining is on: a pipelined client multiplexes every
+// request over one connection.
 func WithPoolSize(n int) ClientOption {
 	return func(c *Client) {
 		if n > 0 {
 			c.poolSize = n
 		}
+	}
+}
+
+// WithPipeline multiplexes all requests over a single connection with
+// up to window of them in flight at once, matched to their responses by
+// correlation ID, so a request no longer waits for its predecessor's
+// round trip. window ≤ 0 means DefaultPipelineWindow. Requires a v3
+// server; against an older handshake the client silently falls back to
+// pooled lockstep connections.
+func WithPipeline(window int) ClientOption {
+	return func(c *Client) {
+		if window <= 0 {
+			window = DefaultPipelineWindow
+		}
+		c.pwindow = window
 	}
 }
 
@@ -103,6 +133,13 @@ func WithTenant(name string) ClientOption {
 	return func(c *Client) { c.tenant = name }
 }
 
+// WithWorker stamps completion reports with a worker identity, so the
+// server can apply that worker's calibrated speed factor. Zero (the
+// default) reports anonymously with factor 1.
+func WithWorker(id uint64) ClientOption {
+	return func(c *Client) { c.worker.Store(id) }
+}
+
 // WithFeatures sets the client's sticky feature vector: LeaseN attaches
 // it to every lease request, so a contextual server routes this
 // client's trials to the matching per-context selector (completions
@@ -124,17 +161,23 @@ func WithDialer(dial func(network, addr string, timeout time.Duration) (net.Conn
 	}
 }
 
-// Client is a connection-pooled client of one tuning server. It is safe
-// for concurrent use; every method retries transient transport failures
-// with exponential backoff and fresh connections, so a server restart
-// within the retry budget is invisible to callers except through the
-// changed epoch.
+// Client is a client of one tuning server. It is safe for concurrent
+// use; every method retries transient transport failures with
+// exponential backoff and fresh connections, so a server restart within
+// the retry budget is invisible to callers except through the changed
+// epoch.
+//
+// By default each request occupies one pooled connection for its full
+// round trip. With WithPipeline, all requests share one connection and
+// overlap on the wire — the mode the hot path (LeaseN/CompleteN/FailN)
+// is designed for.
 type Client struct {
 	addr   string
 	name   string
 	tenant string
 
 	poolSize    int
+	pwindow     int // 0 = lockstep pool; >0 = pipelined window
 	timeout     time.Duration
 	retries     int
 	backoffBase time.Duration
@@ -142,6 +185,9 @@ type Client struct {
 	dialFn      func(network, addr string, timeout time.Duration) (net.Conn, error)
 
 	pool    chan *clientConn
+	pmu     sync.Mutex  // guards pconn
+	pconn   *clientConn // the shared pipelined connection
+	proto   atomic.Uint32
 	hash    atomic.Uint32 // expected/pinned config hash (0 = unpinned)
 	epoch   atomic.Int64  // most recent epoch seen in a handshake
 	algos   atomic.Pointer[[]string]
@@ -152,10 +198,14 @@ type Client struct {
 	closed  atomic.Bool
 }
 
-// clientConn is one pooled connection with its handshake result.
+// clientConn is one connection with its handshake result.
 type clientConn struct {
 	conn  net.Conn
+	br    *bufio.Reader
+	rbuf  []byte // frame read buffer, reused across lockstep requests
 	epoch int64
+	proto byte
+	pipe  *pipe // non-nil on the shared pipelined connection
 }
 
 // Dial connects to a tuning server, performing an eager handshake so a
@@ -179,7 +229,12 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.put(cc)
+	if c.pipelined() {
+		cc.pipe = newPipe(cc, c.pwindow)
+		c.pconn = cc
+	} else {
+		c.put(cc)
+	}
 	return c, nil
 }
 
@@ -191,12 +246,13 @@ func (c *Client) dial() (*clientConn, error) {
 	}
 	conn.SetDeadline(time.Now().Add(c.timeout))
 	defer conn.SetDeadline(time.Time{})
+	br := bufio.NewReaderSize(conn, 64<<10)
 	hello := wire.Hello{Proto: wire.Version, Hash: c.hash.Load(), Name: c.name, Tenant: c.tenant}
-	if err := wire.WriteMsg(conn, wire.THello, hello); err != nil {
+	if err := wire.WriteMsg(conn, wire.THello, &hello); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	typ, payload, err := wire.ReadFrame(conn)
+	typ, payload, err := wire.ReadFrame(br)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -204,7 +260,7 @@ func (c *Client) dial() (*clientConn, error) {
 	if typ == wire.TError {
 		defer conn.Close()
 		var e wire.ErrorResp
-		if err := wire.Unmarshal(payload, &e); err != nil {
+		if err := e.DecodeFrom(payload); err != nil {
 			return nil, err
 		}
 		return nil, &RemoteError{Code: e.Code, Msg: e.Msg}
@@ -214,7 +270,7 @@ func (c *Client) dial() (*clientConn, error) {
 		return nil, fmt.Errorf("tuned: handshake answered with %s", typ)
 	}
 	var ack wire.HelloAck
-	if err := wire.Unmarshal(payload, &ack); err != nil {
+	if err := ack.DecodeFrom(payload); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -225,12 +281,29 @@ func (c *Client) dial() (*clientConn, error) {
 		return nil, &RemoteError{Code: wire.CodeConfigMismatch,
 			Msg: fmt.Sprintf("server now runs config %08x, client pinned %08x", ack.Hash, c.hash.Load())}
 	}
+	proto := byte(min(ack.Proto, wire.Version))
+	if proto < 1 {
+		proto = 1
+	}
 	algos := append([]string(nil), ack.Algos...)
 	c.algos.Store(&algos)
 	c.epoch.Store(ack.Epoch)
 	c.ttlMS.Store(ack.LeaseTTLMS)
 	c.refAlgo.Store(int64(ack.RefAlgo))
-	return &clientConn{conn: conn, epoch: ack.Epoch}, nil
+	c.proto.Store(uint32(proto))
+	return &clientConn{conn: conn, br: br, epoch: ack.Epoch, proto: proto}, nil
+}
+
+// protoByte is the protocol version negotiated in the most recent
+// handshake (0 before first contact — Dial handshakes eagerly, so
+// callers never see that).
+func (c *Client) protoByte() byte { return byte(c.proto.Load()) }
+
+// pipelined reports whether requests go through the shared pipelined
+// connection. It requires both the option and a v3 handshake; against
+// an older server the client falls back to pooled lockstep.
+func (c *Client) pipelined() bool {
+	return c.pwindow > 0 && c.protoByte() >= 3
 }
 
 // get returns a pooled connection or dials a new one.
@@ -257,13 +330,19 @@ func (c *Client) put(cc *clientConn) {
 	}
 }
 
-// Close closes the client and its pooled connections. In-flight
-// requests on borrowed connections finish; their connections are closed
-// on return.
+// Close closes the client, its pooled connections, and the pipelined
+// connection if any. In-flight requests on borrowed connections finish;
+// their connections are closed on return.
 func (c *Client) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	c.pmu.Lock()
+	if c.pconn != nil {
+		c.pconn.pipe.fail(ErrClosed)
+		c.pconn = nil
+	}
+	c.pmu.Unlock()
 	for {
 		select {
 		case cc := <-c.pool:
@@ -298,16 +377,19 @@ func (c *Client) LeaseTTL() time.Duration {
 // from the most recent handshake.
 func (c *Client) RefAlgo() int { return int(c.refAlgo.Load()) }
 
-// SetWorker stamps subsequent CompleteN reports with a worker identity,
-// so the server can apply that worker's calibrated speed factor. Zero
-// (the default) reports anonymously with factor 1.
+// SetWorker stamps subsequent CompleteN reports with a worker identity.
+//
+// Deprecated: mutating a shared client mid-flight races with its other
+// users. Configure the identity at construction with WithWorker, or
+// take a per-worker view with Session(SessionWorker(id)).
 func (c *Client) SetWorker(id uint64) { c.worker.Store(id) }
 
 // SetFeatures replaces the client's sticky feature vector (see
-// WithFeatures); nil reverts to feature-less global requests. Safe to
-// call concurrently with requests — a worker whose workload shifts
-// mid-run just calls this and subsequent leases route to the new
-// context.
+// WithFeatures); nil reverts to feature-less global requests.
+//
+// Deprecated: mutating a shared client mid-flight races with its other
+// users. Configure the vector at construction with WithFeatures, or
+// take a per-context view with Session(SessionFeatures(f)).
 func (c *Client) SetFeatures(f []float64) {
 	if f == nil {
 		c.feats.Store(nil)
@@ -319,6 +401,8 @@ func (c *Client) SetFeatures(f []float64) {
 
 // Features returns a copy of the sticky feature vector (nil when
 // unset).
+//
+// Deprecated: read the vector off a Session handle instead.
 func (c *Client) Features() []float64 {
 	p := c.feats.Load()
 	if p == nil {
@@ -327,17 +411,89 @@ func (c *Client) Features() []float64 {
 	return append([]float64(nil), (*p)...)
 }
 
+// Session is an immutable per-worker view of a Client: a worker
+// identity and a feature vector fixed at construction, sharing the
+// client's connections, retry policy and handshake state. Two sessions
+// of one client never race each other's identity the way the deprecated
+// SetWorker/SetFeatures mutators could.
+type Session struct {
+	c      *Client
+	worker uint64
+	feats  []float64
+}
+
+// SessionOption configures a Session at construction.
+type SessionOption func(*Session)
+
+// SessionWorker sets the worker identity stamped into the session's
+// completion reports.
+func SessionWorker(id uint64) SessionOption {
+	return func(s *Session) { s.worker = id }
+}
+
+// SessionFeatures sets the feature vector attached to the session's
+// lease requests (nil = the global context).
+func SessionFeatures(f []float64) SessionOption {
+	return func(s *Session) { s.feats = append([]float64(nil), f...) }
+}
+
+// Session derives an immutable per-worker handle. Without options it
+// snapshots the client's current worker identity and feature vector.
+func (c *Client) Session(opts ...SessionOption) *Session {
+	s := &Session{c: c, worker: c.worker.Load()}
+	if p := c.feats.Load(); p != nil {
+		s.feats = append([]float64(nil), (*p)...)
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Client returns the client this session is a view of.
+func (s *Session) Client() *Client { return s.c }
+
+// Worker returns the session's worker identity.
+func (s *Session) Worker() uint64 { return s.worker }
+
+// Features returns a copy of the session's feature vector (nil when
+// unset).
+func (s *Session) Features() []float64 {
+	return append([]float64(nil), s.feats...)
+}
+
+// LeaseN leases up to n trials under the session's feature vector.
+func (s *Session) LeaseN(n int) (LeaseBatch, error) {
+	return s.c.leaseN(s.feats, n)
+}
+
+// CompleteN reports measured values under the session's worker
+// identity; see Client.CompleteN.
+func (s *Session) CompleteN(epoch int64, results []core.TrialResult) (applied, dropped []uint64, err error) {
+	return s.c.completeN(s.worker, epoch, results)
+}
+
+// FailN reports measurement failures; see Client.FailN.
+func (s *Session) FailN(epoch int64, fails []core.TrialFailure) (applied, dropped []uint64, err error) {
+	return s.c.FailN(epoch, fails)
+}
+
+// Heartbeat extends the session's leases; see Client.Heartbeat.
+func (s *Session) Heartbeat(epoch int64, ids []uint64) ([]uint64, error) {
+	return s.c.Heartbeat(epoch, ids)
+}
+
 // roundTrip sends one request and reads its response, retrying
 // transport failures on fresh connections with full-jitter exponential
 // backoff. Server-side errors (wire.TError) are permanent and returned
 // as *RemoteError without retry.
-func (c *Client) roundTrip(reqType wire.Type, req any, respType wire.Type, resp any) error {
+func (c *Client) roundTrip(reqType wire.Type, req wire.Payload, respType wire.Type, resp wire.Payload) error {
 	return c.roundTripRetries(c.retries, reqType, req, respType, resp)
 }
 
 // roundTripRetries is roundTrip with an explicit retry budget; the
 // degraded worker probes reconnection with a budget of zero.
-func (c *Client) roundTripRetries(retries int, reqType wire.Type, req any, respType wire.Type, resp any) error {
+func (c *Client) roundTripRetries(retries int, reqType wire.Type, req wire.Payload, respType wire.Type, resp wire.Payload) error {
 	var lastErr error
 	backoff := c.backoffBase
 	for attempt := 0; attempt <= retries; attempt++ {
@@ -355,23 +511,20 @@ func (c *Client) roundTripRetries(retries int, reqType wire.Type, req any, respT
 		if c.closed.Load() {
 			return ErrClosed
 		}
-		cc, err := c.get()
-		if err != nil {
-			var re *RemoteError
-			if errors.As(err, &re) {
-				return err
-			}
-			lastErr = err
-			continue
+		var err error
+		if c.pipelined() {
+			err = c.pipeDo(reqType, req, respType, resp)
+		} else {
+			err = c.poolDo(reqType, req, respType, resp)
 		}
-		err = c.attempt(cc, reqType, req, respType, resp)
 		if err == nil {
-			c.put(cc)
 			return nil
 		}
-		cc.conn.Close()
 		var re *RemoteError
 		if errors.As(err, &re) {
+			return err
+		}
+		if errors.Is(err, ErrClosed) {
 			return err
 		}
 		lastErr = err
@@ -379,31 +532,252 @@ func (c *Client) roundTripRetries(retries int, reqType wire.Type, req any, respT
 	return fmt.Errorf("tuned: %s to %s failed after %d attempts: %w", reqType, c.addr, retries+1, lastErr)
 }
 
-// attempt performs one request/response exchange on one connection.
-func (c *Client) attempt(cc *clientConn, reqType wire.Type, req any, respType wire.Type, resp any) error {
-	cc.conn.SetDeadline(time.Now().Add(c.timeout))
-	defer cc.conn.SetDeadline(time.Time{})
-	if err := wire.WriteMsg(cc.conn, reqType, req); err != nil {
-		return err
-	}
-	typ, payload, err := wire.ReadFrame(cc.conn)
+// poolDo runs one lockstep exchange on a pooled connection.
+func (c *Client) poolDo(reqType wire.Type, req wire.Payload, respType wire.Type, resp wire.Payload) error {
+	cc, err := c.get()
 	if err != nil {
 		return err
 	}
+	err = c.attempt(cc, reqType, req, respType, resp)
+	if err == nil {
+		c.put(cc)
+		return nil
+	}
+	cc.conn.Close()
+	return err
+}
+
+// attempt performs one request/response exchange on one connection.
+func (c *Client) attempt(cc *clientConn, reqType wire.Type, req wire.Payload, respType wire.Type, resp wire.Payload) error {
+	cc.conn.SetDeadline(time.Now().Add(c.timeout))
+	defer cc.conn.SetDeadline(time.Time{})
+	if err := wire.WriteFrame(cc.conn, cc.proto, reqType, 0, req); err != nil {
+		return err
+	}
+	typ, _, payload, rbuf, err := wire.ReadFrameBuf(cc.br, cc.rbuf)
+	cc.rbuf = rbuf
+	if err != nil {
+		return err
+	}
+	return decodeResp(typ, payload, respType, resp)
+}
+
+// decodeResp interprets one response frame against the expected type,
+// turning TError answers into *RemoteError.
+func decodeResp(typ wire.Type, payload []byte, respType wire.Type, resp wire.Payload) error {
 	if typ == wire.TError {
 		var e wire.ErrorResp
-		if err := wire.Unmarshal(payload, &e); err != nil {
+		if err := e.DecodeFrom(payload); err != nil {
 			return err
 		}
 		return &RemoteError{Code: e.Code, Msg: e.Msg}
 	}
 	if typ != respType {
-		return fmt.Errorf("tuned: %s answered with %s, want %s", reqType, typ, respType)
+		return fmt.Errorf("tuned: answered with %s, want %s", typ, respType)
 	}
 	if resp == nil {
 		return nil
 	}
-	return wire.Unmarshal(payload, resp)
+	return resp.DecodeFrom(payload)
+}
+
+// pipeDo runs one exchange over the shared pipelined connection,
+// dropping the connection on transport failure so the next attempt
+// redials.
+func (c *Client) pipeDo(reqType wire.Type, req wire.Payload, respType wire.Type, resp wire.Payload) error {
+	p, err := c.getPipe()
+	if err != nil {
+		return err
+	}
+	err = p.do(c.timeout, reqType, req, respType, resp)
+	if err != nil {
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			c.dropPipe(p)
+		}
+	}
+	return err
+}
+
+// getPipe returns the live pipelined connection, dialing one when none
+// exists or the previous one failed.
+func (c *Client) getPipe() (*pipe, error) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.pconn != nil && c.pconn.pipe.alive() {
+		return c.pconn.pipe, nil
+	}
+	cc, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	cc.pipe = newPipe(cc, c.pwindow)
+	c.pconn = cc
+	return cc.pipe, nil
+}
+
+// dropPipe discards a failed pipelined connection (unless a concurrent
+// request already replaced it).
+func (c *Client) dropPipe(p *pipe) {
+	c.pmu.Lock()
+	if c.pconn != nil && c.pconn.pipe == p {
+		c.pconn = nil
+	}
+	c.pmu.Unlock()
+	p.fail(errors.New("tuned: pipelined connection dropped"))
+}
+
+// pipe multiplexes concurrent requests over one connection. Each
+// request takes a window slot, registers its response struct under a
+// fresh correlation ID, writes its frame, and waits; a single reader
+// goroutine decodes responses straight into the registered structs in
+// whatever order the server answers. Any transport error fails every
+// in-flight request at once — the callers' retry loops redial.
+type pipe struct {
+	cc     *clientConn
+	window chan struct{}
+
+	wmu   sync.Mutex    // serializes frame writes
+	bw    *bufio.Writer // request buffer over the connection
+	wpend atomic.Int32  // writers committed to entering wmu
+
+	mu      sync.Mutex
+	corr    uint16
+	pending map[uint16]*pcall
+	err     error // sticky; set once by fail
+
+	done chan struct{} // closed by fail
+}
+
+// pcall is one in-flight pipelined request.
+type pcall struct {
+	respType wire.Type
+	resp     wire.Payload
+	ch       chan error // buffered; receives exactly one result
+}
+
+func newPipe(cc *clientConn, window int) *pipe {
+	p := &pipe{
+		cc:      cc,
+		window:  make(chan struct{}, window),
+		bw:      bufio.NewWriterSize(cc.conn, 64<<10),
+		pending: make(map[uint16]*pcall),
+		done:    make(chan struct{}),
+	}
+	go p.readLoop()
+	return p
+}
+
+// alive reports whether the pipe can still take requests.
+func (p *pipe) alive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err == nil
+}
+
+// do runs one exchange: slot, register, write, wait.
+func (p *pipe) do(timeout time.Duration, reqType wire.Type, req wire.Payload, respType wire.Type, resp wire.Payload) error {
+	select {
+	case p.window <- struct{}{}:
+	case <-p.done:
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.err
+	}
+	defer func() { <-p.window }()
+
+	call := &pcall{respType: respType, resp: resp, ch: make(chan error, 1)}
+	p.mu.Lock()
+	if p.err != nil {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	// Correlation IDs cycle through 1..65535; 0 stays reserved for
+	// unsolicited frames. The window is far smaller than the ID space,
+	// so a live ID can never be reissued before its response lands.
+	p.corr++
+	if p.corr == 0 {
+		p.corr = 1
+	}
+	corr := p.corr
+	p.pending[corr] = call
+	p.mu.Unlock()
+
+	// Coalesced write: frames buffer under the mutex and flush only
+	// when no other writer is committed to entering it, so overlapping
+	// requests (a report racing the next lease) share one syscall.
+	p.wpend.Add(1)
+	p.wmu.Lock()
+	p.cc.conn.SetWriteDeadline(time.Now().Add(timeout))
+	err := wire.WriteFrame(p.bw, p.cc.proto, reqType, corr, req)
+	if p.wpend.Add(-1) <= 0 {
+		if ferr := p.bw.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	p.wmu.Unlock()
+	if err != nil {
+		p.fail(err)
+		return err
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-call.ch:
+		return err
+	case <-timer.C:
+		// Failing the whole pipe on one timeout is deliberate: responses
+		// arrive in server order, so a stuck request means everything
+		// behind it is stuck too.
+		p.fail(errPipeTimeout)
+		return errPipeTimeout
+	}
+}
+
+// readLoop decodes responses into their registered structs until the
+// connection dies.
+func (p *pipe) readLoop() {
+	var buf []byte
+	for {
+		typ, corr, payload, nbuf, err := wire.ReadFrameBuf(p.cc.br, buf)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		buf = nbuf
+		p.mu.Lock()
+		call := p.pending[corr]
+		delete(p.pending, corr)
+		p.mu.Unlock()
+		if call == nil {
+			p.fail(fmt.Errorf("tuned: response with unknown correlation ID %d", corr))
+			return
+		}
+		// Decode on this goroutine: payload aliases the reused frame
+		// buffer and must not outlive this iteration.
+		call.ch <- decodeResp(typ, payload, call.respType, call.resp)
+	}
+}
+
+// fail closes the connection and delivers err to every in-flight
+// request. Idempotent; only the first error sticks.
+func (p *pipe) fail(err error) {
+	p.mu.Lock()
+	if p.err != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.err = err
+	calls := p.pending
+	p.pending = make(map[uint16]*pcall)
+	close(p.done)
+	p.mu.Unlock()
+	p.cc.conn.Close()
+	for _, call := range calls {
+		call.ch <- err
+	}
 }
 
 // LeaseBatch is the result of one LeaseN round trip. Epoch stamps the
@@ -415,23 +789,70 @@ type LeaseBatch struct {
 	Done     bool
 	Retry    time.Duration // backoff hint when Trials is empty
 	Draining bool          // the server is shutting down gracefully
+	// SuggestMax, when nonzero, is the server's advisory batch ceiling:
+	// peers are starving behind this session's holdings, and capping
+	// the next lease request at this size restores fairness sooner than
+	// waiting for the server to clamp it.
+	SuggestMax int
 }
 
 // LeaseN leases up to n trials in one round trip, attaching the sticky
 // feature vector (if any) so a contextual server can route the lease.
 func (c *Client) LeaseN(n int) (LeaseBatch, error) {
-	return c.LeaseNFor(c.Features(), n)
+	return c.leaseN(c.Features(), n)
 }
 
 // LeaseNFor leases up to n trials under an explicit feature vector,
 // overriding the sticky one for this request. Nil features ask for the
 // global context.
 func (c *Client) LeaseNFor(features []float64, n int) (LeaseBatch, error) {
+	return c.leaseN(features, n)
+}
+
+// leaseN is the shared lease path: packed frames against a v3 server,
+// the JSON family otherwise.
+func (c *Client) leaseN(features []float64, n int) (LeaseBatch, error) {
+	if c.protoByte() >= 3 {
+		var resp wire.PackedTrials
+		if err := c.roundTrip(wire.TLeaseP, &wire.PackedLeaseReq{N: n, Features: features}, wire.TTrialsP, &resp); err != nil {
+			return LeaseBatch{}, err
+		}
+		lb := LeaseBatch{
+			Epoch:      resp.Epoch,
+			Done:       resp.Done,
+			Draining:   resp.Draining,
+			Retry:      time.Duration(resp.RetryMS) * time.Millisecond,
+			SuggestMax: resp.SuggestMax,
+		}
+		if len(resp.Trials) > 0 {
+			lb.Trials = make([]core.Trial, 0, len(resp.Trials))
+		}
+		for _, wt := range resp.Trials {
+			tr := core.Trial{
+				ID:          wt.ID,
+				Algo:        wt.Algo,
+				Config:      param.Config(wt.Config),
+				Speculative: wt.Speculative,
+				Pinned:      wt.Pinned,
+			}
+			if wt.DeadlineMS != 0 {
+				tr.Deadline = time.UnixMilli(wt.DeadlineMS)
+			}
+			lb.Trials = append(lb.Trials, tr)
+		}
+		return lb, nil
+	}
 	var resp wire.LeaseNResp
-	if err := c.roundTrip(wire.TLeaseN, wire.LeaseNReq{N: n, Features: features}, wire.TTrials, &resp); err != nil {
+	if err := c.roundTrip(wire.TLeaseN, &wire.LeaseNReq{N: n, Features: features}, wire.TTrials, &resp); err != nil {
 		return LeaseBatch{}, err
 	}
-	lb := LeaseBatch{Epoch: resp.Epoch, Done: resp.Done, Retry: time.Duration(resp.RetryMS) * time.Millisecond, Draining: resp.Draining}
+	lb := LeaseBatch{
+		Epoch:      resp.Epoch,
+		Done:       resp.Done,
+		Retry:      time.Duration(resp.RetryMS) * time.Millisecond,
+		Draining:   resp.Draining,
+		SuggestMax: resp.SuggestMax,
+	}
 	for _, wt := range resp.Trials {
 		tr := core.Trial{
 			ID:          wt.ID,
@@ -453,23 +874,67 @@ func (c *Client) LeaseNFor(features []float64, n int) (LeaseBatch, error) {
 // not failures: the engine had already charged those trials (expired
 // lease, duplicate report, or older epoch).
 func (c *Client) CompleteN(epoch int64, results []core.TrialResult) (applied, dropped []uint64, err error) {
+	return c.completeN(c.worker.Load(), epoch, results)
+}
+
+func (c *Client) completeN(worker uint64, epoch int64, results []core.TrialResult) (applied, dropped []uint64, err error) {
 	// No feature vector on results: a contextual server routes
 	// completions by trial ID through its route table, so echoing the
 	// sticky vector here would only fatten the hottest wire message.
-	req := wire.CompleteNReq{Epoch: epoch, Worker: c.worker.Load(), Results: make([]wire.Result, len(results))}
+	if c.protoByte() >= 3 {
+		req := wire.PackedCompleteReq{Epoch: epoch, Worker: worker, Results: make([]wire.PackedResult, len(results))}
+		for i, r := range results {
+			req.Results[i] = wire.PackedResult{ID: r.ID, Value: r.Value}
+		}
+		var ack wire.PackedAck
+		if err := c.roundTrip(wire.TCompleteP, &req, wire.TAckP, &ack); err != nil {
+			return nil, nil, err
+		}
+		return ack.Applied, ack.Dropped, nil
+	}
+	req := wire.CompleteNReq{Epoch: epoch, Worker: worker, Results: make([]wire.Result, len(results))}
 	for i, r := range results {
 		req.Results[i] = wire.Result{ID: r.ID, Value: r.Value}
 	}
 	var ack wire.AckResp
-	if err := c.roundTrip(wire.TCompleteN, req, wire.TAck, &ack); err != nil {
+	if err := c.roundTrip(wire.TCompleteN, &req, wire.TAck, &ack); err != nil {
 		return nil, nil, err
 	}
 	return ack.Applied, ack.Dropped, nil
 }
 
+// wireFailKind maps a guard failure kind to its packed wire code.
+func wireFailKind(k guard.Kind) uint8 {
+	switch k {
+	case guard.Panic:
+		return wire.FailPanic
+	case guard.Timeout:
+		return wire.FailTimeout
+	case guard.Invalid:
+		return wire.FailInvalid
+	default:
+		return wire.FailOther
+	}
+}
+
 // FailN reports a batch of measurement failures for trials leased under
 // epoch.
 func (c *Client) FailN(epoch int64, fails []core.TrialFailure) (applied, dropped []uint64, err error) {
+	if c.protoByte() >= 3 {
+		req := wire.PackedFailReq{Epoch: epoch, Fails: make([]wire.PackedFail, len(fails))}
+		for i, f := range fails {
+			wf := wire.PackedFail{ID: f.ID, Kind: wireFailKind(f.Failure.Kind), Penalty: f.Failure.Penalty}
+			if f.Failure.Err != nil {
+				wf.Msg = f.Failure.Err.Error()
+			}
+			req.Fails[i] = wf
+		}
+		var ack wire.PackedAck
+		if err := c.roundTrip(wire.TFailP, &req, wire.TAckP, &ack); err != nil {
+			return nil, nil, err
+		}
+		return ack.Applied, ack.Dropped, nil
+	}
 	req := wire.FailNReq{Epoch: epoch, Fails: make([]wire.Fail, len(fails))}
 	for i, f := range fails {
 		wf := wire.Fail{ID: f.ID, Kind: f.Failure.Kind.String(), Penalty: f.Failure.Penalty}
@@ -479,7 +944,7 @@ func (c *Client) FailN(epoch int64, fails []core.TrialFailure) (applied, dropped
 		req.Fails[i] = wf
 	}
 	var ack wire.AckResp
-	if err := c.roundTrip(wire.TFailN, req, wire.TAck, &ack); err != nil {
+	if err := c.roundTrip(wire.TFailN, &req, wire.TAck, &ack); err != nil {
 		return nil, nil, err
 	}
 	return ack.Applied, ack.Dropped, nil
@@ -490,7 +955,7 @@ func (c *Client) FailN(epoch int64, fails []core.TrialFailure) (applied, dropped
 // belong to a dead epoch) and should be abandoned.
 func (c *Client) Heartbeat(epoch int64, ids []uint64) ([]uint64, error) {
 	var resp wire.HeartbeatResp
-	if err := c.roundTrip(wire.THeartbeat, wire.HeartbeatReq{Epoch: epoch, IDs: ids}, wire.THeartbeatAck, &resp); err != nil {
+	if err := c.roundTrip(wire.THeartbeat, &wire.HeartbeatReq{Epoch: epoch, IDs: ids}, wire.THeartbeatAck, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Alive, nil
@@ -517,7 +982,7 @@ func (c *Client) Absorb(worker, seq uint64, obs []nominal.Observation) (applied 
 		req.Obs[i] = wire.Obs{Arm: o.Arm, Value: o.Value, Failed: o.Failed}
 	}
 	var ack wire.AbsorbAck
-	if err := c.roundTrip(wire.TAbsorb, req, wire.TAbsorbAck, &ack); err != nil {
+	if err := c.roundTrip(wire.TAbsorb, &req, wire.TAbsorbAck, &ack); err != nil {
 		return 0, false, err
 	}
 	return ack.Applied, ack.Duplicate, nil
@@ -529,7 +994,7 @@ func (c *Client) Absorb(worker, seq uint64, obs []nominal.Observation) (applied 
 // costs by, plus the fleet baseline the factor is relative to.
 func (c *Client) Calibrate(worker uint64, ref float64) (factor, baseline float64, err error) {
 	var ack wire.CalibrateAck
-	if err := c.roundTrip(wire.TCalibrate, wire.CalibrateReq{Worker: worker, Ref: ref}, wire.TCalibrateAck, &ack); err != nil {
+	if err := c.roundTrip(wire.TCalibrate, &wire.CalibrateReq{Worker: worker, Ref: ref}, wire.TCalibrateAck, &ack); err != nil {
 		return 0, 0, err
 	}
 	return ack.Factor, ack.Baseline, nil

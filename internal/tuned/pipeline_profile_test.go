@@ -1,0 +1,21 @@
+package tuned
+
+import (
+	"os"
+	"testing"
+)
+
+// TestProfilePipelinedCell is a profiling harness, not a regression
+// test: it runs one pipelined loopback cell so `go test -cpuprofile`
+// can see where the hot path spends its time. Skipped unless
+// ATUNE_PROFILE=1.
+func TestProfilePipelinedCell(t *testing.T) {
+	if os.Getenv("ATUNE_PROFILE") != "1" {
+		t.Skip("set ATUNE_PROFILE=1 to run the profiling cell")
+	}
+	lps, err := loopbackCell(4, 16, 400000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%.0f leases/sec", lps)
+}

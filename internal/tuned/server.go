@@ -28,6 +28,7 @@
 package tuned
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"math"
@@ -200,6 +201,15 @@ type tenantRT struct {
 
 	nextShard atomic.Uint64 // round-robin session → shard assignment
 
+	// Rebalancing state. sessions counts live connections on this
+	// tenant; starved accumulates lease requests the caps answered with
+	// an empty batch while peers held capacity, and drains as hoarding
+	// sessions get clamped to their fair share. rebalanced counts those
+	// clamps for the stats view.
+	sessions   atomic.Int64
+	starved    atomic.Int64
+	rebalanced atomic.Uint64
+
 	// absorbMu serializes degraded-mode delta application so the
 	// (worker, seq) dedup check and the engine Absorb are atomic: a
 	// retried AbsorbReq can never double-apply its observations.
@@ -222,17 +232,68 @@ type tenantRT struct {
 // spoke (every reply frame is stamped with it, so a v1 decoder never
 // sees a frame it refuses), the tenant it was routed to, the shard its
 // leases are pinned to, and the lease ledger backing the session cap.
-// The dispatch loop is the only goroutine touching leased, so no lock.
+// A v3 session serves pipelined requests on concurrent goroutines, so
+// the ledger is locked and reply writes echo each request's correlation
+// ID; pre-v3 sessions run strict lockstep with corr 0 throughout.
 type session struct {
-	proto  byte
-	rt     *tenantRT
-	shard  int
+	proto byte
+	rt    *tenantRT
+	shard int
+
+	wmu         sync.Mutex    // serializes buffered reply writes
+	bw          *bufio.Writer // reply buffer over the connection
+	outstanding atomic.Int32  // requests dispatched but not yet replied
+
+	mu     sync.Mutex
 	leased map[uint64]struct{} // lease IDs issued to this connection
 }
 
-// write sends one reply frame at the session's protocol version.
-func (sess *session) write(conn net.Conn, typ wire.Type, v any) error {
-	return wire.WriteMsgV(conn, sess.proto, typ, v)
+// reply buffers one reply frame at the session's protocol version,
+// echoing the request's correlation ID, and flushes only when no other
+// dispatched request remains unanswered — so a burst of pipelined
+// requests costs one write syscall, not one per reply. The write mutex
+// keeps pipelined replies from interleaving mid-frame.
+func (sess *session) reply(conn net.Conn, typ wire.Type, corr uint16, p wire.Payload) error {
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	err := wire.WriteFrame(sess.bw, sess.proto, typ, corr, p)
+	if sess.outstanding.Add(-1) > 0 {
+		return err
+	}
+	if ferr := sess.bw.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// write is reply for frames outside the request/reply ledger — the
+// handshake and abort paths — balancing the counter itself so the
+// frame flushes immediately.
+func (sess *session) write(conn net.Conn, typ wire.Type, corr uint16, p wire.Payload) error {
+	sess.outstanding.Add(1)
+	return sess.reply(conn, typ, corr, p)
+}
+
+// holdCount returns the size of the session's lease ledger.
+func (sess *session) holdCount() int {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return len(sess.leased)
+}
+
+// track records issued leases; untrack clears reported ones.
+func (sess *session) track(ids []core.Trial) {
+	sess.mu.Lock()
+	for _, tr := range ids {
+		sess.leased[tr.ID] = struct{}{}
+	}
+	sess.mu.Unlock()
+}
+
+func (sess *session) untrack(id uint64) {
+	sess.mu.Lock()
+	delete(sess.leased, id)
+	sess.mu.Unlock()
 }
 
 // prune drops ledger entries the engine no longer considers live
@@ -240,18 +301,24 @@ func (sess *session) write(conn net.Conn, typ wire.Type, v any) error {
 // deadlines, so a session that abandons leases gets its quota back as
 // the engine reclaims them.
 func (sess *session) prune(eng Engine) {
+	sess.mu.Lock()
 	if len(sess.leased) == 0 {
+		sess.mu.Unlock()
 		return
 	}
 	ids := make([]uint64, 0, len(sess.leased))
 	for id := range sess.leased {
 		ids = append(ids, id)
 	}
-	for i, ok := range eng.Alive(ids) {
+	sess.mu.Unlock()
+	alive := eng.Alive(ids)
+	sess.mu.Lock()
+	for i, ok := range alive {
 		if !ok {
 			delete(sess.leased, ids[i])
 		}
 	}
+	sess.mu.Unlock()
 }
 
 // loadRetryMS derives the busy-response retry hint from current load:
@@ -371,6 +438,19 @@ func (s *Server) Hash() uint32 {
 		}
 	}
 	return 0
+}
+
+// Rebalanced returns the total number of lease grants the server has
+// shrunk to a fair share because a peer session was starving, summed
+// across tenants.
+func (s *Server) Rebalanced() uint64 {
+	s.rtMu.Lock()
+	defer s.rtMu.Unlock()
+	var n uint64
+	for _, rt := range s.rts {
+		n += rt.rebalanced.Load()
+	}
+	return n
 }
 
 func (s *Server) lookupRT(name string) *tenantRT {
@@ -506,25 +586,103 @@ func (s *Server) inFlightAll() int {
 	return s.eng.Stats().InFlight
 }
 
-// handle runs one connection: handshake, then a request/response loop.
-// On a sharded engine the session is pinned to one shard, assigned
+// pipelineWindow bounds the requests one v3 connection may have in
+// service concurrently. It is a server-protection limit, not a promise:
+// the client's own window is what paces the wire.
+const pipelineWindow = 64
+
+// handle runs one connection: handshake, then the request loop. On a
+// sharded engine the session is pinned to one shard, assigned
 // round-robin across the tenant's connections, so all its leases come
 // from one selector replica.
+//
+// Pre-v3 sessions run request/response lockstep on this goroutine. A
+// v3 session pipelines: the loop decodes each request synchronously
+// (the frame buffer is reused, so payload bytes never outlive one
+// iteration) and serves it on its own goroutine, replies stamped with
+// the request's correlation ID in whatever order the engine finishes.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	sess := s.handshake(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	sess := s.handshake(conn, br)
 	if sess == nil {
 		return
 	}
+	sess.rt.sessions.Add(1)
+	defer sess.rt.sessions.Add(-1)
+	var (
+		buf []byte
+		sem chan struct{}
+		wg  sync.WaitGroup
+	)
+	if sess.proto >= 3 {
+		sem = make(chan struct{}, pipelineWindow)
+		defer wg.Wait()
+	}
 	for {
-		typ, payload, err := wire.ReadFrame(conn)
+		typ, corr, payload, nbuf, err := wire.ReadFrameBuf(br, buf)
 		if err != nil {
 			return // disconnect, or a frame this protocol can't resync from
 		}
-		if !s.dispatch(conn, sess, typ, payload) {
+		buf = nbuf
+		req, err := decodeReq(typ, payload)
+		if err != nil {
+			sess.write(conn, wire.TError, corr, &wire.ErrorResp{Code: wire.CodeBadRequest, Msg: err.Error()})
 			return
 		}
+		sess.outstanding.Add(1)
+		if sem == nil {
+			if !s.serveReq(conn, sess, typ, corr, req) {
+				return
+			}
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if !s.serveReq(conn, sess, typ, corr, req) {
+				// The request loop notices the close on its next read.
+				conn.Close()
+			}
+		}()
 	}
+}
+
+// decodeReq parses a request frame's payload into its typed message.
+// Decoding happens on the read loop — the payload aliases a reused
+// frame buffer, so it must not escape to a service goroutine. Bodyless
+// requests and unknown types return (nil, nil); serveReq rejects the
+// latter.
+func decodeReq(typ wire.Type, payload []byte) (wire.Payload, error) {
+	var req wire.Payload
+	switch typ {
+	case wire.TLeaseN:
+		req = &wire.LeaseNReq{}
+	case wire.TLeaseP:
+		req = &wire.PackedLeaseReq{}
+	case wire.TCompleteN:
+		req = &wire.CompleteNReq{}
+	case wire.TCompleteP:
+		req = &wire.PackedCompleteReq{}
+	case wire.TFailN:
+		req = &wire.FailNReq{}
+	case wire.TFailP:
+		req = &wire.PackedFailReq{}
+	case wire.TAbsorb:
+		req = &wire.AbsorbReq{}
+	case wire.TCalibrate:
+		req = &wire.CalibrateReq{}
+	case wire.THeartbeat:
+		req = &wire.HeartbeatReq{}
+	default:
+		return nil, nil
+	}
+	if err := req.DecodeFrom(payload); err != nil {
+		return nil, err
+	}
+	return req, nil
 }
 
 // handshake validates the client Hello, routes the session to its
@@ -532,26 +690,30 @@ func (s *Server) handle(conn net.Conn) {
 // established session, or nil when the connection must not proceed.
 // Error frames before the client's version is known are stamped v1 —
 // the one version every decoder accepts.
-func (s *Server) handshake(conn net.Conn) *session {
-	typ, payload, err := wire.ReadFrame(conn)
+func (s *Server) handshake(conn net.Conn, br *bufio.Reader) *session {
+	typ, payload, err := wire.ReadFrame(br)
 	if err != nil {
 		return nil
 	}
 	if typ != wire.THello {
-		wire.WriteMsgV(conn, 1, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: "expected hello"})
+		wire.WriteMsgV(conn, 1, wire.TError, &wire.ErrorResp{Code: wire.CodeBadRequest, Msg: "expected hello"})
 		return nil
 	}
 	var h wire.Hello
-	if err := wire.Unmarshal(payload, &h); err != nil {
-		wire.WriteMsgV(conn, 1, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: err.Error()})
+	if err := h.DecodeFrom(payload); err != nil {
+		wire.WriteMsgV(conn, 1, wire.TError, &wire.ErrorResp{Code: wire.CodeBadRequest, Msg: err.Error()})
 		return nil
 	}
 	if h.Proto < 1 || h.Proto > wire.Version {
-		wire.WriteMsgV(conn, 1, wire.TError, wire.ErrorResp{
+		wire.WriteMsgV(conn, 1, wire.TError, &wire.ErrorResp{
 			Code: wire.CodeBadRequest, Msg: fmt.Sprintf("protocol version %d, server speaks 1..%d", h.Proto, wire.Version)})
 		return nil
 	}
-	sess := &session{proto: byte(h.Proto), leased: make(map[uint64]struct{})}
+	sess := &session{
+		proto:  byte(h.Proto),
+		bw:     bufio.NewWriterSize(conn, 64<<10),
+		leased: make(map[uint64]struct{}),
+	}
 	name := h.Tenant
 	if name == "" {
 		// Pre-tenant clients (and tenant-agnostic ones) land here.
@@ -559,7 +721,7 @@ func (s *Server) handshake(conn net.Conn) *session {
 	}
 	if s.reg == nil {
 		if name != tenant.DefaultName {
-			sess.write(conn, wire.TError, wire.ErrorResp{
+			sess.write(conn, wire.TError, 0, &wire.ErrorResp{
 				Code: wire.CodeUnknownTenant, Msg: fmt.Sprintf("unknown tenant %q (single-tenant server)", name)})
 			return nil
 		}
@@ -567,21 +729,21 @@ func (s *Server) handshake(conn net.Conn) *session {
 	} else {
 		t := s.reg.Tenant(name)
 		if t == nil {
-			sess.write(conn, wire.TError, wire.ErrorResp{
+			sess.write(conn, wire.TError, 0, &wire.ErrorResp{
 				Code: wire.CodeUnknownTenant, Msg: fmt.Sprintf("unknown tenant %q", name)})
 			return nil
 		}
 		sess.rt = s.rtFor(t)
 	}
 	if h.Hash != 0 && h.Hash != sess.rt.hash {
-		sess.write(conn, wire.TError, wire.ErrorResp{
+		sess.write(conn, wire.TError, 0, &wire.ErrorResp{
 			Code: wire.CodeConfigMismatch,
 			Msg:  fmt.Sprintf("config hash %08x, tenant %s runs %08x", h.Hash, name, sess.rt.hash)})
 		return nil
 	}
 	eng, release, err := sess.rt.acquire()
 	if err != nil {
-		sess.write(conn, wire.TError, wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
+		sess.write(conn, wire.TError, 0, &wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
 		return nil
 	}
 	defer release()
@@ -601,7 +763,7 @@ func (s *Server) handshake(conn net.Conn) *session {
 		RefAlgo:    s.refAlgoFor(eng),
 		Tenant:     name,
 	}
-	if sess.write(conn, wire.THelloAck, ack) != nil {
+	if sess.write(conn, wire.THelloAck, 0, &ack) != nil {
 		return nil
 	}
 	return sess
@@ -616,88 +778,79 @@ func (s *Server) refAlgoFor(eng Engine) int {
 	return 0
 }
 
-// dispatch serves one request frame against the session's tenant
+// serveReq serves one decoded request against the session's tenant
 // engine — acquired per request, so the registry may spill the tenant
 // between requests — reporting whether the connection should stay open.
-func (s *Server) dispatch(conn net.Conn, sess *session, typ wire.Type, payload []byte) bool {
+// On a v3 session it runs on a per-request goroutine with corr echoing
+// the request frame; pre-v3 it runs lockstep on the read loop (corr 0).
+func (s *Server) serveReq(conn net.Conn, sess *session, typ wire.Type, corr uint16, req wire.Payload) bool {
 	if typ == wire.TTenants {
 		// The aggregate view needs no engine (and must not force one
 		// resident).
-		return s.serveTenants(conn, sess)
+		return s.serveTenants(conn, sess, corr)
 	}
 	eng, release, err := sess.rt.acquire()
 	if err != nil {
-		sess.write(conn, wire.TError, wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
+		sess.reply(conn, wire.TError, corr, &wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
 		return false
 	}
 	defer release()
 	switch typ {
 	case wire.TLeaseN:
-		var req wire.LeaseNReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, sess, err)
-		}
-		return s.serveLeaseN(conn, sess, eng, req)
+		return s.serveLeaseN(conn, sess, eng, corr, req.(*wire.LeaseNReq))
+	case wire.TLeaseP:
+		return s.serveLeaseP(conn, sess, eng, corr, req.(*wire.PackedLeaseReq))
 	case wire.TCompleteN:
-		var req wire.CompleteNReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, sess, err)
-		}
-		return s.serveCompleteN(conn, sess, eng, req)
+		return s.serveCompleteN(conn, sess, eng, corr, req.(*wire.CompleteNReq))
+	case wire.TCompleteP:
+		return s.serveCompleteP(conn, sess, eng, corr, req.(*wire.PackedCompleteReq))
 	case wire.TFailN:
-		var req wire.FailNReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, sess, err)
-		}
-		return s.serveFailN(conn, sess, eng, req)
+		return s.serveFailN(conn, sess, eng, corr, req.(*wire.FailNReq))
+	case wire.TFailP:
+		return s.serveFailP(conn, sess, eng, corr, req.(*wire.PackedFailReq))
 	case wire.TAbsorb:
-		var req wire.AbsorbReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, sess, err)
-		}
-		return s.serveAbsorb(conn, sess, eng, req)
+		return s.serveAbsorb(conn, sess, eng, corr, req.(*wire.AbsorbReq))
 	case wire.TCalibrate:
-		var req wire.CalibrateReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, sess, err)
-		}
-		return s.serveCalibrate(conn, sess, req)
+		return s.serveCalibrate(conn, sess, corr, req.(*wire.CalibrateReq))
 	case wire.THeartbeat:
-		var req wire.HeartbeatReq
-		if err := wire.Unmarshal(payload, &req); err != nil {
-			return s.badRequest(conn, sess, err)
-		}
-		return s.serveHeartbeat(conn, sess, eng, req)
+		return s.serveHeartbeat(conn, sess, eng, corr, req.(*wire.HeartbeatReq))
 	case wire.TBest:
-		return s.serveBest(conn, sess, eng)
+		return s.serveBest(conn, sess, eng, corr)
 	case wire.TStats:
-		return s.serveStats(conn, sess, eng)
+		return s.serveStats(conn, sess, eng, corr)
 	default:
-		sess.write(conn, wire.TError, wire.ErrorResp{
+		sess.reply(conn, wire.TError, corr, &wire.ErrorResp{
 			Code: wire.CodeBadRequest, Msg: fmt.Sprintf("unexpected frame %s", typ)})
 		return false
 	}
 }
 
-func (s *Server) badRequest(conn net.Conn, sess *session, err error) bool {
-	sess.write(conn, wire.TError, wire.ErrorResp{Code: wire.CodeBadRequest, Msg: err.Error()})
-	return false
+// leaseOut is the transport-agnostic result of one lease request; the
+// JSON and packed handlers render it into their response shapes.
+type leaseOut struct {
+	done       bool
+	draining   bool
+	retryMS    int64
+	suggestMax int
+	trials     []core.Trial
 }
 
-func (s *Server) serveLeaseN(conn net.Conn, sess *session, eng Engine, req wire.LeaseNReq) bool {
-	resp := wire.LeaseNResp{Epoch: sess.rt.epoch}
+// lease runs the shared lease logic: target/drain checks, overload
+// control, fair-share rebalancing, then the engine call. A nil error
+// with empty trials is a busy answer carrying retryMS.
+func (s *Server) lease(sess *session, eng Engine, n int, features []float64) (leaseOut, error) {
+	var out leaseOut
 	if s.target > 0 && eng.Iterations() >= s.target {
-		resp.Done = true
-		return sess.write(conn, wire.TTrials, resp) == nil
+		out.done = true
+		return out, nil
 	}
 	if s.draining.Load() {
 		// Drain in progress: no new leases. Workers should report what
 		// they hold, then back off (or reconnect elsewhere).
-		resp.Draining = true
-		resp.RetryMS = 100
-		return sess.write(conn, wire.TTrials, resp) == nil
+		out.draining = true
+		out.retryMS = 100
+		return out, nil
 	}
-	n := req.N
 	if n < 1 {
 		n = 1
 	}
@@ -709,35 +862,57 @@ func (s *Server) serveLeaseN(conn net.Conn, sess *session, eng Engine, req wire.
 	// answer with an empty busy response whose RetryMS grows with load,
 	// so backoff pressure rises before the engine's own hard limit
 	// (core.ErrTooManyInFlight) is ever reached.
-	if s.sessionCap > 0 && len(sess.leased) >= s.sessionCap {
+	held := sess.holdCount()
+	if s.sessionCap > 0 && held >= s.sessionCap {
 		sess.prune(eng)
+		held = sess.holdCount()
 	}
 	inFlight := 0
 	if s.sessionCap > 0 || s.globalCap > 0 {
 		inFlight = eng.Stats().InFlight
 	}
-	if s.sessionCap > 0 && len(sess.leased)+n > s.sessionCap {
-		n = s.sessionCap - len(sess.leased)
+	if s.sessionCap > 0 && held+n > s.sessionCap {
+		n = s.sessionCap - held
 	}
 	if s.globalCap > 0 && inFlight+n > s.globalCap {
 		eng.ReclaimExpired()
 		inFlight = eng.Stats().InFlight
 		n = min(n, s.globalCap-inFlight)
 	}
+	// Server-push rebalancing: when this tenant has starving peers —
+	// sessions whose lease requests the global cap answered empty —
+	// clamp any session holding more than its fair share of the cap to
+	// that share and advertise the share as SuggestMax, so the hoarder
+	// shrinks its batches and freed capacity drains to the starved.
+	if s.globalCap > 0 {
+		if active := sess.rt.sessions.Load(); active > 1 && sess.rt.starved.Load() > 0 {
+			fair := max(s.globalCap/int(active), 1)
+			if held+n > fair {
+				n = fair - held
+				out.suggestMax = fair
+				sess.rt.rebalanced.Add(1)
+				sess.rt.starved.Add(-1)
+			}
+		}
+	}
 	if n <= 0 {
 		capacity, load := s.globalCap, inFlight
 		if capacity == 0 {
 			// Blocked by the session cap alone: scale the hint by how
 			// full this session is, not the whole server.
-			capacity, load = s.sessionCap, len(sess.leased)
+			capacity, load = s.sessionCap, held
+		} else if out.suggestMax == 0 {
+			// Starved by the global cap while peers hold leases: note it
+			// so their next grants get clamped to the fair share.
+			sess.rt.starved.Add(1)
 		}
-		resp.RetryMS = loadRetryMS(load, capacity)
-		return sess.write(conn, wire.TTrials, resp) == nil
+		out.retryMS = loadRetryMS(load, capacity)
+		return out, nil
 	}
 	var trials []core.Trial
 	var err error
-	if ce, ok := eng.(contextualEngine); ok && len(req.Features) > 0 {
-		trials, err = ce.LeaseNFor(req.Features, n)
+	if ce, ok := eng.(contextualEngine); ok && len(features) > 0 {
+		trials, err = ce.LeaseNFor(features, n)
 	} else if se, ok := eng.(shardedEngine); ok && se.Shards() > 1 {
 		trials, err = se.LeaseNOn(sess.shard%se.Shards(), n)
 	} else {
@@ -745,13 +920,29 @@ func (s *Server) serveLeaseN(conn net.Conn, sess *session, eng Engine, req wire.
 	}
 	switch {
 	case errors.Is(err, core.ErrTooManyInFlight):
-		resp.RetryMS = loadRetryMS(eng.Stats().InFlight, s.globalCap)
+		out.retryMS = loadRetryMS(eng.Stats().InFlight, s.globalCap)
 	case err != nil:
-		sess.write(conn, wire.TError, wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
+		return out, err
+	}
+	sess.track(trials)
+	out.trials = trials
+	return out, nil
+}
+
+func (s *Server) serveLeaseN(conn net.Conn, sess *session, eng Engine, corr uint16, req *wire.LeaseNReq) bool {
+	out, err := s.lease(sess, eng, req.N, req.Features)
+	if err != nil {
+		sess.reply(conn, wire.TError, corr, &wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
 		return false
 	}
-	for _, tr := range trials {
-		sess.leased[tr.ID] = struct{}{}
+	resp := wire.LeaseNResp{
+		Epoch:      sess.rt.epoch,
+		Done:       out.done,
+		Draining:   out.draining,
+		RetryMS:    out.retryMS,
+		SuggestMax: out.suggestMax,
+	}
+	for _, tr := range out.trials {
 		wt := wire.Trial{
 			ID:          tr.ID,
 			Algo:        tr.Algo,
@@ -764,7 +955,37 @@ func (s *Server) serveLeaseN(conn net.Conn, sess *session, eng Engine, req wire.
 		}
 		resp.Trials = append(resp.Trials, wt)
 	}
-	return sess.write(conn, wire.TTrials, resp) == nil
+	return sess.reply(conn, wire.TTrials, corr, &resp) == nil
+}
+
+func (s *Server) serveLeaseP(conn net.Conn, sess *session, eng Engine, corr uint16, req *wire.PackedLeaseReq) bool {
+	out, err := s.lease(sess, eng, req.N, req.Features)
+	if err != nil {
+		sess.reply(conn, wire.TError, corr, &wire.ErrorResp{Code: wire.CodeInternal, Msg: err.Error()})
+		return false
+	}
+	resp := wire.PackedTrials{
+		Epoch:      sess.rt.epoch,
+		Done:       out.done,
+		Draining:   out.draining,
+		RetryMS:    out.retryMS,
+		SuggestMax: out.suggestMax,
+		Trials:     make([]wire.PackedTrial, len(out.trials)),
+	}
+	for i, tr := range out.trials {
+		pt := wire.PackedTrial{
+			ID:          tr.ID,
+			Algo:        tr.Algo,
+			Speculative: tr.Speculative,
+			Pinned:      tr.Pinned,
+			Config:      tr.Config,
+		}
+		if !tr.Deadline.IsZero() {
+			pt.DeadlineMS = tr.Deadline.UnixMilli()
+		}
+		resp.Trials[i] = pt
+	}
+	return sess.reply(conn, wire.TTrialsP, corr, &resp) == nil
 }
 
 // serveCompleteN applies a completion batch. Reports from another epoch
@@ -772,19 +993,19 @@ func (s *Server) serveLeaseN(conn net.Conn, sess *session, eng Engine, req wire.
 // possibly colliding with re-issued trial IDs) are dropped wholesale —
 // acknowledged, never applied. Tenant epochs are unique within a
 // process, so a report carried across tenants always fails this check.
-func (s *Server) serveCompleteN(conn net.Conn, sess *session, eng Engine, req wire.CompleteNReq) bool {
+func (s *Server) serveCompleteN(conn net.Conn, sess *session, eng Engine, corr uint16, req *wire.CompleteNReq) bool {
 	var ack wire.AckResp
 	if req.Epoch != sess.rt.epoch {
 		for _, r := range req.Results {
 			ack.Dropped = append(ack.Dropped, r.ID)
 		}
-		return sess.write(conn, wire.TAck, ack) == nil
+		return sess.reply(conn, wire.TAck, corr, &ack) == nil
 	}
 	factor := sess.rt.factorFor(req.Worker)
 	results := make([]core.TrialResult, len(req.Results))
 	for i, r := range req.Results {
 		results[i] = core.TrialResult{ID: r.ID, Value: r.Value / factor}
-		delete(sess.leased, r.ID)
+		sess.untrack(r.ID)
 	}
 	for i, err := range eng.CompleteN(results) {
 		if err == nil {
@@ -793,20 +1014,61 @@ func (s *Server) serveCompleteN(conn net.Conn, sess *session, eng Engine, req wi
 			ack.Dropped = append(ack.Dropped, results[i].ID)
 		}
 	}
-	return sess.write(conn, wire.TAck, ack) == nil
+	return sess.reply(conn, wire.TAck, corr, &ack) == nil
 }
 
-func (s *Server) serveFailN(conn net.Conn, sess *session, eng Engine, req wire.FailNReq) bool {
+// serveCompleteP is serveCompleteN over the packed hot-path encoding:
+// same epoch gate, calibration factor and idempotent engine semantics,
+// answered with a packed ack.
+func (s *Server) serveCompleteP(conn net.Conn, sess *session, eng Engine, corr uint16, req *wire.PackedCompleteReq) bool {
+	var ack wire.PackedAck
+	if req.Epoch != sess.rt.epoch {
+		for _, r := range req.Results {
+			ack.Dropped = append(ack.Dropped, r.ID)
+		}
+		return sess.reply(conn, wire.TAckP, corr, &ack) == nil
+	}
+	factor := sess.rt.factorFor(req.Worker)
+	results := make([]core.TrialResult, len(req.Results))
+	for i, r := range req.Results {
+		results[i] = core.TrialResult{ID: r.ID, Value: r.Value / factor}
+		sess.untrack(r.ID)
+	}
+	for i, err := range eng.CompleteN(results) {
+		if err == nil {
+			ack.Applied = append(ack.Applied, results[i].ID)
+		} else {
+			ack.Dropped = append(ack.Dropped, results[i].ID)
+		}
+	}
+	return sess.reply(conn, wire.TAckP, corr, &ack) == nil
+}
+
+// failKindOf maps a packed failure kind byte onto guard's taxonomy;
+// unknown bytes become Invalid, mirroring the JSON path's treatment of
+// unknown kind strings.
+func failKindOf(kind uint8) guard.Kind {
+	switch kind {
+	case wire.FailPanic:
+		return guard.Panic
+	case wire.FailTimeout:
+		return guard.Timeout
+	default:
+		return guard.Invalid
+	}
+}
+
+func (s *Server) serveFailN(conn net.Conn, sess *session, eng Engine, corr uint16, req *wire.FailNReq) bool {
 	var ack wire.AckResp
 	if req.Epoch != sess.rt.epoch {
 		for _, f := range req.Fails {
 			ack.Dropped = append(ack.Dropped, f.ID)
 		}
-		return sess.write(conn, wire.TAck, ack) == nil
+		return sess.reply(conn, wire.TAck, corr, &ack) == nil
 	}
 	fails := make([]core.TrialFailure, len(req.Fails))
 	for i, f := range req.Fails {
-		delete(sess.leased, f.ID)
+		sess.untrack(f.ID)
 		kind, ok := guard.KindFromString(f.Kind)
 		if !ok {
 			kind = guard.Invalid
@@ -824,10 +1086,37 @@ func (s *Server) serveFailN(conn net.Conn, sess *session, eng Engine, req wire.F
 			ack.Dropped = append(ack.Dropped, fails[i].ID)
 		}
 	}
-	return sess.write(conn, wire.TAck, ack) == nil
+	return sess.reply(conn, wire.TAck, corr, &ack) == nil
 }
 
-func (s *Server) serveHeartbeat(conn net.Conn, sess *session, eng Engine, req wire.HeartbeatReq) bool {
+func (s *Server) serveFailP(conn net.Conn, sess *session, eng Engine, corr uint16, req *wire.PackedFailReq) bool {
+	var ack wire.PackedAck
+	if req.Epoch != sess.rt.epoch {
+		for _, f := range req.Fails {
+			ack.Dropped = append(ack.Dropped, f.ID)
+		}
+		return sess.reply(conn, wire.TAckP, corr, &ack) == nil
+	}
+	fails := make([]core.TrialFailure, len(req.Fails))
+	for i, f := range req.Fails {
+		sess.untrack(f.ID)
+		fails[i] = core.TrialFailure{ID: f.ID, Failure: guard.Failure{
+			Kind:    failKindOf(f.Kind),
+			Err:     errors.New(f.Msg),
+			Penalty: f.Penalty,
+		}}
+	}
+	for i, err := range eng.FailN(fails) {
+		if err == nil {
+			ack.Applied = append(ack.Applied, fails[i].ID)
+		} else {
+			ack.Dropped = append(ack.Dropped, fails[i].ID)
+		}
+	}
+	return sess.reply(conn, wire.TAckP, corr, &ack) == nil
+}
+
+func (s *Server) serveHeartbeat(conn net.Conn, sess *session, eng Engine, corr uint16, req *wire.HeartbeatReq) bool {
 	var resp wire.HeartbeatResp
 	if req.Epoch == sess.rt.epoch {
 		for i, ok := range eng.Heartbeat(req.IDs) {
@@ -837,7 +1126,7 @@ func (s *Server) serveHeartbeat(conn net.Conn, sess *session, eng Engine, req wi
 		}
 	}
 	// Another epoch's leases are all dead here by definition: empty Alive.
-	return sess.write(conn, wire.THeartbeatAck, resp) == nil
+	return sess.reply(conn, wire.THeartbeatAck, corr, &resp) == nil
 }
 
 // serveAbsorb folds a degraded-mode worker's locally-learned delta into
@@ -846,7 +1135,7 @@ func (s *Server) serveHeartbeat(conn net.Conn, sess *session, eng Engine, req wi
 // dropped, so transport retries can never double-count an observation.
 // Seqs must be strictly increasing per worker; the dedup check and the
 // engine call happen under one lock so concurrent retries serialize.
-func (s *Server) serveAbsorb(conn net.Conn, sess *session, eng Engine, req wire.AbsorbReq) bool {
+func (s *Server) serveAbsorb(conn net.Conn, sess *session, eng Engine, corr uint16, req *wire.AbsorbReq) bool {
 	rt := sess.rt
 	var ack wire.AbsorbAck
 	rt.absorbMu.Lock()
@@ -870,7 +1159,7 @@ func (s *Server) serveAbsorb(conn net.Conn, sess *session, eng Engine, req wire.
 		rt.absorbSeq[req.Worker] = req.Seq
 	}
 	rt.absorbMu.Unlock()
-	return sess.write(conn, wire.TAbsorbAck, ack) == nil
+	return sess.reply(conn, wire.TAbsorbAck, corr, &ack) == nil
 }
 
 // serveCalibrate registers a worker's reference-probe time and answers
@@ -881,10 +1170,10 @@ func (s *Server) serveAbsorb(conn net.Conn, sess *session, eng Engine, req wire.
 // new fastest worker lowers the baseline, raising everyone else's factor
 // on their next report. Calibration is per tenant: fleets serving
 // different tenants may not even overlap.
-func (s *Server) serveCalibrate(conn net.Conn, sess *session, req wire.CalibrateReq) bool {
+func (s *Server) serveCalibrate(conn net.Conn, sess *session, corr uint16, req *wire.CalibrateReq) bool {
 	rt := sess.rt
 	if req.Worker == 0 || req.Ref <= 0 || math.IsInf(req.Ref, 0) || math.IsNaN(req.Ref) {
-		sess.write(conn, wire.TError, wire.ErrorResp{
+		sess.reply(conn, wire.TError, corr, &wire.ErrorResp{
 			Code: wire.CodeBadRequest, Msg: "calibrate needs a nonzero worker and a positive finite reference"})
 		return false
 	}
@@ -898,7 +1187,7 @@ func (s *Server) serveCalibrate(conn net.Conn, sess *session, req wire.Calibrate
 	}
 	ack := wire.CalibrateAck{Factor: req.Ref / rt.baseline, Baseline: rt.baseline}
 	rt.calMu.Unlock()
-	return sess.write(conn, wire.TCalibrateAck, ack) == nil
+	return sess.reply(conn, wire.TCalibrateAck, corr, &ack) == nil
 }
 
 // factorFor returns the speed factor dividing a worker's reported
@@ -916,7 +1205,7 @@ func (rt *tenantRT) factorFor(worker uint64) float64 {
 	return ref / rt.baseline
 }
 
-func (s *Server) serveBest(conn net.Conn, sess *session, eng Engine) bool {
+func (s *Server) serveBest(conn net.Conn, sess *session, eng Engine, corr uint16) bool {
 	algo, cfg, val := eng.Best()
 	resp := wire.BestResp{Algo: algo, Iterations: eng.Iterations()}
 	if algo >= 0 {
@@ -926,10 +1215,10 @@ func (s *Server) serveBest(conn net.Conn, sess *session, eng Engine) bool {
 		resp.Config = cfg
 		resp.Value = val
 	}
-	return sess.write(conn, wire.TBestAck, resp) == nil
+	return sess.reply(conn, wire.TBestAck, corr, &resp) == nil
 }
 
-func (s *Server) serveStats(conn net.Conn, sess *session, eng Engine) bool {
+func (s *Server) serveStats(conn net.Conn, sess *session, eng Engine, corr uint16) bool {
 	st := eng.Stats()
 	ds := eng.DriftStats()
 	rt := sess.rt
@@ -957,17 +1246,18 @@ func (s *Server) serveStats(conn net.Conn, sess *session, eng Engine) bool {
 		QuarantineReprobes: ds.QuarantineReprobes,
 
 		Calibrated: calibrated,
+		Rebalanced: sess.rt.rebalanced.Load(),
 	}
 	if ce, ok := eng.(contextualEngine); ok {
 		resp.Contexts = ce.ContextCount()
 	}
-	return sess.write(conn, wire.TStatsAck, resp) == nil
+	return sess.reply(conn, wire.TStatsAck, corr, &resp) == nil
 }
 
 // serveTenants answers the aggregate view: one row per registered
 // tenant (resident or spilled; listing never forces a warm restart)
 // plus fleet totals. A single-engine server reports its one tenant.
-func (s *Server) serveTenants(conn net.Conn, sess *session) bool {
+func (s *Server) serveTenants(conn net.Conn, sess *session, corr uint16) bool {
 	var resp wire.TenantsResp
 	if s.reg != nil {
 		for _, in := range s.reg.Snapshot() {
@@ -1012,5 +1302,5 @@ func (s *Server) serveTenants(conn net.Conn, sess *session) bool {
 		resp.Iterations = ts.Iterations
 		resp.InFlight = ts.InFlight
 	}
-	return sess.write(conn, wire.TTenantsAck, resp) == nil
+	return sess.reply(conn, wire.TTenantsAck, corr, &resp) == nil
 }

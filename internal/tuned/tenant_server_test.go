@@ -221,7 +221,7 @@ func dialV1(t *testing.T, addr string) *v1Client {
 
 func (c *v1Client) close() { c.conn.Close() }
 
-func (c *v1Client) write(typ wire.Type, v any) {
+func (c *v1Client) write(typ wire.Type, v wire.Payload) {
 	c.t.Helper()
 	frame, err := wire.EncodeV(1, typ, v)
 	if err != nil {
@@ -252,14 +252,14 @@ func (c *v1Client) read() (wire.Type, []byte) {
 	return wire.Type(hdr[5]), payload
 }
 
-func (c *v1Client) roundTrip(reqType wire.Type, req any, respType wire.Type, resp any) {
+func (c *v1Client) roundTrip(reqType wire.Type, req wire.Payload, respType wire.Type, resp wire.Payload) {
 	c.t.Helper()
 	c.write(reqType, req)
 	typ, payload := c.read()
 	if typ != respType {
 		c.t.Fatalf("%s answered with %s, want %s", reqType, typ, respType)
 	}
-	if err := wire.Unmarshal(payload, resp); err != nil {
+	if err := resp.DecodeFrom(payload); err != nil {
 		c.t.Fatal(err)
 	}
 }
@@ -267,21 +267,21 @@ func (c *v1Client) roundTrip(reqType wire.Type, req any, respType wire.Type, res
 func (c *v1Client) hello(h wire.Hello) wire.HelloAck {
 	c.t.Helper()
 	var ack wire.HelloAck
-	c.roundTrip(wire.THello, h, wire.THelloAck, &ack)
+	c.roundTrip(wire.THello, &h, wire.THelloAck, &ack)
 	return ack
 }
 
 func (c *v1Client) leaseN(n int) wire.LeaseNResp {
 	c.t.Helper()
 	var resp wire.LeaseNResp
-	c.roundTrip(wire.TLeaseN, wire.LeaseNReq{N: n}, wire.TTrials, &resp)
+	c.roundTrip(wire.TLeaseN, &wire.LeaseNReq{N: n}, wire.TTrials, &resp)
 	return resp
 }
 
 func (c *v1Client) completeN(req wire.CompleteNReq) wire.AckResp {
 	c.t.Helper()
 	var ack wire.AckResp
-	c.roundTrip(wire.TCompleteN, req, wire.TAck, &ack)
+	c.roundTrip(wire.TCompleteN, &req, wire.TAck, &ack)
 	return ack
 }
 

@@ -68,6 +68,14 @@ type Worker struct {
 	// worker's costs by its speed factor relative to the fleet's fastest
 	// member. Zero disables calibration.
 	CalibrateEvery int
+	// Pipeline overlaps the wire with the measurement: the next lease
+	// request is already in flight while the current batch measures, and
+	// completion reports are sent asynchronously instead of blocking the
+	// loop on their acks. Pair it with a Client dialed WithPipeline so
+	// the overlapping requests multiplex one connection; it also works
+	// (less efficiently) over a pooled client. Degraded-mode fallback
+	// behaves exactly as in the lockstep loop.
+	Pipeline bool
 	// RefMeasure, when set, replaces Measure for the calibration probe.
 	// The reference must be a fixed workload: if the probe ran the live
 	// (possibly drifting) input instead, a worker calibrating after an
@@ -161,6 +169,9 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 	if w.CalibrateEvery > 0 {
 		w.Client.SetWorker(w.workerID())
 	}
+	if w.Pipeline {
+		return w.runPipelined(ctx, batch)
+	}
 	completed := 0
 	nextCal := 0 // calibrate before the first lease, then on the interval
 	for {
@@ -232,6 +243,205 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 				return completed, derr
 			}
 		}
+	}
+}
+
+// pipelineReports bounds the completion acks a pipelined worker leaves
+// outstanding before it blocks for the oldest one: enough to ride out
+// ack latency, small enough that a failing server is noticed within a
+// few batches.
+const pipelineReports = 4
+
+// runPipelined is the overlapped loop behind Worker.Pipeline: the next
+// lease request is on the wire while the current batch measures, and
+// completion reports settle asynchronously (at most pipelineReports
+// outstanding). Accounting matches the lockstep loop — completed counts
+// acked reports only — and a failed report is converted to
+// degraded-mode observations exactly as there.
+func (w *Worker) runPipelined(ctx context.Context, batch int) (int, error) {
+	type leaseRes struct {
+		lb  LeaseBatch
+		err error
+	}
+	type ackRes struct {
+		n       int // trials acked (applied or dropped)
+		err     error
+		lb      LeaseBatch
+		results []core.TrialResult // unacked remainder on error
+		fails   []core.TrialFailure
+	}
+	var (
+		completed       = 0
+		nextCal         = 0
+		pendingReported = 0 // trials handed to in-flight reports
+		measuring       = 0 // trials of the batch currently measuring
+		inflight        []chan ackRes
+		pendingLease    chan leaseRes
+		firstErr        error
+	)
+
+	report := func(lb LeaseBatch, results []core.TrialResult, fails []core.TrialFailure) {
+		ch := make(chan ackRes, 1)
+		pendingReported += len(results) + len(fails)
+		go func() {
+			res := ackRes{lb: lb, results: results, fails: fails}
+			if len(results) > 0 {
+				if _, _, err := w.Client.CompleteN(lb.Epoch, results); err != nil {
+					res.err = err
+					ch <- res
+					return
+				}
+				res.n += len(results)
+				res.results = nil
+			}
+			if len(fails) > 0 {
+				if _, _, err := w.Client.FailN(lb.Epoch, fails); err != nil {
+					res.err = err
+					ch <- res
+					return
+				}
+				res.n += len(fails)
+				res.fails = nil
+			}
+			ch <- res
+		}()
+		inflight = append(inflight, ch)
+	}
+
+	// drain settles outstanding reports down to limit, folding acked
+	// counts into completed; a failed report's unacked remainder becomes
+	// degraded-mode observations (when a Fallback exists to replay them).
+	drain := func(limit int) {
+		for len(inflight) > limit {
+			res := <-inflight[0]
+			inflight = inflight[1:]
+			pendingReported -= res.n + len(res.results) + len(res.fails)
+			completed += res.n
+			if res.n > 0 {
+				w.bump(func(s *WorkerStats) { s.Reported += res.n })
+			}
+			if res.err != nil {
+				if firstErr == nil {
+					firstErr = res.err
+				}
+				if w.degradable(res.err) {
+					w.bufferUnreported(res.lb, res.results, res.fails)
+				}
+			}
+		}
+	}
+
+	// startLease fires the next lease request, capped by what MaxTrials
+	// still has room for counting everything not yet acked; false means
+	// no room until reports settle.
+	startLease := func() bool {
+		n := batch
+		if w.MaxTrials > 0 {
+			if room := w.MaxTrials - completed - pendingReported - measuring; room < n {
+				n = room
+			}
+		}
+		if n < 1 {
+			return false
+		}
+		ch := make(chan leaseRes, 1)
+		go func() {
+			lb, err := w.Client.LeaseN(n)
+			ch <- leaseRes{lb, err}
+		}()
+		pendingLease = ch
+		return true
+	}
+
+	// handleErr routes one failure like the lockstep loop: degrade when
+	// a Fallback allows it, return otherwise.
+	handleErr := func(err error) (resume bool, fatal error) {
+		if !w.degradable(err) {
+			return false, err
+		}
+		if derr := w.runDegraded(ctx); derr != nil {
+			return false, derr
+		}
+		return true, nil
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			drain(0)
+			return completed, err
+		}
+		drain(pipelineReports)
+		if firstErr != nil {
+			err := firstErr
+			firstErr = nil
+			if resume, fatal := handleErr(err); !resume {
+				drain(0)
+				return completed, fatal
+			}
+			continue
+		}
+		if w.MaxTrials > 0 && completed+pendingReported >= w.MaxTrials {
+			drain(0)
+			if firstErr != nil {
+				continue // failed reports freed budget; decide again
+			}
+			if completed >= w.MaxTrials {
+				return completed, nil
+			}
+			continue
+		}
+		if w.CalibrateEvery > 0 && completed >= nextCal {
+			w.calibrate()
+			nextCal = completed + w.CalibrateEvery
+		}
+		if pendingLease == nil && !startLease() {
+			drain(0) // no lease room until the outstanding acks settle
+			continue
+		}
+		var res leaseRes
+		select {
+		case <-ctx.Done():
+			drain(0)
+			return completed, ctx.Err()
+		case res = <-pendingLease:
+		}
+		pendingLease = nil
+		if res.err != nil {
+			if resume, fatal := handleErr(res.err); !resume {
+				drain(0)
+				return completed, fatal
+			}
+			continue
+		}
+		lb := res.lb
+		if lb.Done {
+			drain(0)
+			return completed, nil
+		}
+		if lb.SuggestMax > 0 && lb.SuggestMax < batch {
+			// The server is rebalancing: peers starve behind this
+			// worker's holdings, so shrink the ask instead of making the
+			// server clamp every request.
+			batch = lb.SuggestMax
+		}
+		if len(lb.Trials) == 0 {
+			select {
+			case <-ctx.Done():
+				drain(0)
+				return completed, ctx.Err()
+			case <-time.After(w.idleWait(lb.Retry)):
+			}
+			continue
+		}
+		measuring = len(lb.Trials)
+		startLease() // prefetch: the next batch flies while this one measures
+		results, fails, abandoned := w.measureBatch(ctx, lb)
+		measuring = 0
+		if abandoned {
+			drain(0)
+			return completed, ctx.Err()
+		}
+		report(lb, results, fails)
 	}
 }
 

@@ -2,9 +2,12 @@ package wire
 
 import "hash/crc32"
 
-// Message payloads. Each struct is the JSON body of exactly one frame
-// Type. Fields are additive-only within a protocol version: decoders
-// ignore unknown fields, so new optional fields need no version bump.
+// Message payloads. Each struct here is the JSON body of exactly one
+// frame Type (the packed binary bodies live in packed.go). Fields are
+// additive-only within a protocol version: decoders ignore unknown
+// fields, so new optional fields need no version bump. Every payload
+// implements the Payload codec interface; for this family the two
+// methods are the shared JSON helpers.
 
 // ConfigHash summarizes an algorithm roster for the handshake: workers
 // refuse to feed measurements into a run whose algorithm indices mean
@@ -100,6 +103,12 @@ type LeaseNResp struct {
 	// Draining marks an empty batch sent because the server is shutting
 	// down gracefully: no new leases, but reports are still accepted.
 	Draining bool `json:"draining,omitempty"`
+	// SuggestMax is the server's rebalancing push: when nonzero, this
+	// session is at or above its fair share of the engine's in-flight
+	// capacity while other sessions starve, and the client should cap
+	// its next lease asks at this size until the hint changes. Purely
+	// advisory — the server enforces the shrink on its side regardless.
+	SuggestMax int `json:"suggest_max,omitempty"`
 }
 
 // Result is one measured trial in a CompleteN batch.
@@ -283,6 +292,11 @@ type StatsResp struct {
 	// Calibrated counts workers with a registered reference probe.
 	Calibrated int `json:"calibrated,omitempty"`
 
+	// Rebalanced counts lease grants the server shrank because the
+	// session sat at its fair share of in-flight capacity while peer
+	// sessions starved (see LeaseNResp.SuggestMax).
+	Rebalanced uint64 `json:"rebalanced,omitempty"`
+
 	// Contexts counts live per-context engines on a contextual server
 	// (0 on a non-contextual one).
 	Contexts int `json:"contexts,omitempty"`
@@ -304,3 +318,45 @@ type ErrorResp struct {
 	Code int    `json:"code"`
 	Msg  string `json:"msg"`
 }
+
+// Payload implementations for the JSON family. Each is the shared
+// helper pair; the concrete receiver only picks the struct shape.
+
+func (m *Hello) AppendEncode(buf []byte) []byte    { return appendJSON(buf, m) }
+func (m *Hello) DecodeFrom(buf []byte) error       { return decodeJSON(buf, m) }
+func (m *HelloAck) AppendEncode(buf []byte) []byte { return appendJSON(buf, m) }
+func (m *HelloAck) DecodeFrom(buf []byte) error    { return decodeJSON(buf, m) }
+
+func (m *LeaseNReq) AppendEncode(buf []byte) []byte    { return appendJSON(buf, m) }
+func (m *LeaseNReq) DecodeFrom(buf []byte) error       { return decodeJSON(buf, m) }
+func (m *LeaseNResp) AppendEncode(buf []byte) []byte   { return appendJSON(buf, m) }
+func (m *LeaseNResp) DecodeFrom(buf []byte) error      { return decodeJSON(buf, m) }
+func (m *CompleteNReq) AppendEncode(buf []byte) []byte { return appendJSON(buf, m) }
+func (m *CompleteNReq) DecodeFrom(buf []byte) error    { return decodeJSON(buf, m) }
+func (m *FailNReq) AppendEncode(buf []byte) []byte     { return appendJSON(buf, m) }
+func (m *FailNReq) DecodeFrom(buf []byte) error        { return decodeJSON(buf, m) }
+func (m *AckResp) AppendEncode(buf []byte) []byte      { return appendJSON(buf, m) }
+func (m *AckResp) DecodeFrom(buf []byte) error         { return decodeJSON(buf, m) }
+
+func (m *HeartbeatReq) AppendEncode(buf []byte) []byte  { return appendJSON(buf, m) }
+func (m *HeartbeatReq) DecodeFrom(buf []byte) error     { return decodeJSON(buf, m) }
+func (m *HeartbeatResp) AppendEncode(buf []byte) []byte { return appendJSON(buf, m) }
+func (m *HeartbeatResp) DecodeFrom(buf []byte) error    { return decodeJSON(buf, m) }
+
+func (m *AbsorbReq) AppendEncode(buf []byte) []byte    { return appendJSON(buf, m) }
+func (m *AbsorbReq) DecodeFrom(buf []byte) error       { return decodeJSON(buf, m) }
+func (m *AbsorbAck) AppendEncode(buf []byte) []byte    { return appendJSON(buf, m) }
+func (m *AbsorbAck) DecodeFrom(buf []byte) error       { return decodeJSON(buf, m) }
+func (m *CalibrateReq) AppendEncode(buf []byte) []byte { return appendJSON(buf, m) }
+func (m *CalibrateReq) DecodeFrom(buf []byte) error    { return decodeJSON(buf, m) }
+func (m *CalibrateAck) AppendEncode(buf []byte) []byte { return appendJSON(buf, m) }
+func (m *CalibrateAck) DecodeFrom(buf []byte) error    { return decodeJSON(buf, m) }
+
+func (m *TenantsResp) AppendEncode(buf []byte) []byte { return appendJSON(buf, m) }
+func (m *TenantsResp) DecodeFrom(buf []byte) error    { return decodeJSON(buf, m) }
+func (m *BestResp) AppendEncode(buf []byte) []byte    { return appendJSON(buf, m) }
+func (m *BestResp) DecodeFrom(buf []byte) error       { return decodeJSON(buf, m) }
+func (m *StatsResp) AppendEncode(buf []byte) []byte   { return appendJSON(buf, m) }
+func (m *StatsResp) DecodeFrom(buf []byte) error      { return decodeJSON(buf, m) }
+func (m *ErrorResp) AppendEncode(buf []byte) []byte   { return appendJSON(buf, m) }
+func (m *ErrorResp) DecodeFrom(buf []byte) error      { return decodeJSON(buf, m) }

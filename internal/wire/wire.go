@@ -7,22 +7,35 @@
 //
 //	offset  size  field
 //	0       4     magic   0x41545731 ("ATW1"), big-endian
-//	4       1     version (currently 2; 1 still decoded)
+//	4       1     version (currently 3; 1 and 2 still decoded)
 //	5       1     type    (Type)
-//	6       2     flags   (reserved, must be zero)
+//	6       2     flags   — correlation ID on v3 frames (see below);
+//	              reserved-zero on v1/v2 frames
 //	8       4     payload length in bytes (≤ MaxPayload)
 //	12      4     IEEE CRC32 of the payload bytes
-//	16      …     payload (JSON encoding of the message struct)
+//	16      …     payload (Payload encoding of the message struct)
 //
 // The length prefix bounds the read before any allocation, the CRC
 // rejects corruption that TCP's checksum missed (and torn writes when
-// frames are replayed from files), and the version byte lets a future
-// format coexist with this one on the same port. JSON payloads keep the
-// messages debuggable and extensible — unknown fields are ignored on
-// decode, so additive evolution needs no version bump — while the frame
-// around them stays fixed-size and binary. The same decode path is
-// fuzzed (FuzzWireDecode): arbitrary bytes must produce an error, never
-// a panic or an oversized allocation.
+// frames are replayed from files), and the version byte lets formats
+// coexist on the same port.
+//
+// Payload encodings come in two families. The handshake and
+// introspection messages are JSON: debuggable and extensible — unknown
+// fields are ignored on decode, so additive evolution needs no version
+// bump. The trial hot path (v3) is packed binary instead: fixed-width
+// value fields, varint indices and counts, no per-trial allocation on
+// either side (see packed.go). Both families implement the one Payload
+// interface, so the frame layer never cares which it is carrying.
+//
+// v3 frames repurpose the previously reserved-zero flags field as a
+// correlation ID: a pipelined peer stamps each request with a nonzero
+// ID and the responder echoes it, so responses may return out of order
+// on one connection. v1/v2 decoders reject nonzero flags, which is
+// exactly right — they speak strict request/response lockstep.
+//
+// The same decode path is fuzzed (FuzzWireDecode): arbitrary bytes must
+// produce an error, never a panic or an oversized allocation.
 package wire
 
 import (
@@ -32,6 +45,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 )
 
 // Frame constants.
@@ -40,8 +54,8 @@ const (
 	Magic = 0x41545731 // "ATW1"
 	// Version is the current protocol version. A decoder refuses frames
 	// from a future version rather than misinterpreting them, and accepts
-	// every version back to 1 — frames only ever grow by optional JSON
-	// fields, so an old payload decodes fine under a new version.
+	// every version back to 1 — old payloads only ever grew by optional
+	// JSON fields, so they decode fine under a new version.
 	//
 	// Version history:
 	//
@@ -50,7 +64,12 @@ const (
 	//	   tenant, TTenants/TTenantsAck list all tenants. A v1 client
 	//	   omits Tenant and lands on the "default" tenant; servers
 	//	   answer a v1 session with v1-stamped frames.
-	Version = 2
+	//	3  hot path: packed binary trial payloads (TLeaseP/TTrialsP/
+	//	   TCompleteP/TFailP/TAckP), and the frame flags field becomes a
+	//	   correlation ID so requests pipeline per connection and
+	//	   responses return out of order. v1/v2 sessions keep JSON
+	//	   payloads, zero flags and lockstep, stamped at their version.
+	Version = 3
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 16
 	// MaxPayload bounds a frame's payload: the decoder rejects larger
@@ -60,6 +79,50 @@ const (
 	// magnitude to spare.
 	MaxPayload = 4 << 20
 )
+
+// Payload is the one codec surface every message implements.
+// AppendEncode appends the payload's encoding to buf and returns the
+// extended slice — append-style, so encoders compose into pooled
+// buffers without intermediate allocation. DecodeFrom parses the
+// payload from buf, reusing the receiver's internal slices where it can
+// (hot-path packed types decode with zero steady-state allocations);
+// the receiver must not retain buf beyond the call. Encoding a payload
+// our own structs produce cannot fail, so AppendEncode returns no
+// error; DecodeFrom must reject, never panic on, arbitrary bytes.
+type Payload interface {
+	AppendEncode(buf []byte) []byte
+	DecodeFrom(buf []byte) error
+}
+
+// encodeFailure carries an AppendEncode marshal failure across the
+// panic boundary (the Payload interface has no error return);
+// AppendFrame converts it back into an ordinary error.
+type encodeFailure struct{ err error }
+
+// appendJSON is the AppendEncode body shared by the JSON payload
+// family. Marshalling plain exported data structs fails only on
+// unencodable values — a NaN or Inf a caller smuggled into a float
+// field — so the failure panics with encodeFailure rather than forcing
+// an error return through every encoder; AppendFrame recovers it.
+func appendJSON(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(encodeFailure{fmt.Errorf("wire: marshal %T: %v", v, err)})
+	}
+	return append(buf, b...)
+}
+
+// decodeJSON is the DecodeFrom body shared by the JSON payload family.
+// An empty payload is an error for every message that expects a body.
+func decodeJSON(buf []byte, v any) error {
+	if len(buf) == 0 {
+		return errors.New("wire: empty payload")
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("wire: payload: %v", err)
+	}
+	return nil
+}
 
 // Type identifies a message within a frame.
 type Type uint8
@@ -89,8 +152,19 @@ const (
 	TTenants
 	TTenantsAck
 
+	// Packed hot-path types (v3): binary payloads, see packed.go.
+	TLeaseP
+	TTrialsP
+	TCompleteP
+	TFailP
+	TAckP
+
 	numTypes
 )
+
+// Packed reports whether a type carries a packed binary payload, which
+// only v3 frames may do.
+func (t Type) Packed() bool { return t >= TLeaseP && t <= TAckP }
 
 // String names the type for diagnostics.
 func (t Type) String() string {
@@ -135,6 +209,16 @@ func (t Type) String() string {
 		return "tenants"
 	case TTenantsAck:
 		return "tenants-ack"
+	case TLeaseP:
+		return "lease-p"
+	case TTrialsP:
+		return "trials-p"
+	case TCompleteP:
+		return "complete-p"
+	case TFailP:
+		return "fail-p"
+	case TAckP:
+		return "ack-p"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -150,122 +234,198 @@ var (
 	ErrBadFlags   = errors.New("wire: nonzero reserved flags")
 	ErrOversize   = errors.New("wire: frame exceeds MaxPayload")
 	ErrChecksum   = errors.New("wire: payload checksum mismatch")
+	ErrShort      = errors.New("wire: truncated payload")
 )
 
-// Encode marshals v and wraps it in a frame stamped with the current
-// Version, returning the full frame bytes. A nil v encodes an empty
-// payload (the bodyless requests TBest, TStats and TTenants).
-func Encode(typ Type, v any) ([]byte, error) {
-	return EncodeV(Version, typ, v)
+// bufPool recycles frame buffers across encodes and reads, so the hot
+// path neither allocates a frame per message nor holds peak-sized
+// buffers forever. Buffers start at 4 KiB; ones grown past 64 KiB are
+// dropped instead of pooled, keeping a single jumbo frame from pinning
+// memory.
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// GetBuf borrows a zero-length frame buffer from the codec pool.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns a buffer borrowed with GetBuf. Oversized buffers are
+// dropped.
+func PutBuf(b *[]byte) {
+	if cap(*b) > 64<<10 {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// AppendFrame appends one whole frame — header and encoded payload — to
+// dst and returns the extended slice. corr is the v3 correlation ID;
+// it must be zero when version < 3 (those decoders reject nonzero
+// flags), and packed payload types are refused below v3. A nil p
+// encodes an empty payload (the bodyless requests TBest, TStats and
+// TTenants). This is the zero-allocation encode path: with a pooled
+// dst it allocates nothing in steady state.
+func AppendFrame(dst []byte, version byte, typ Type, corr uint16, p Payload) (out []byte, err error) {
+	if version == 0 || version > Version {
+		return dst, ErrBadVersion
+	}
+	start := len(dst)
+	defer func() {
+		if r := recover(); r != nil {
+			ef, ok := r.(encodeFailure)
+			if !ok {
+				panic(r)
+			}
+			out, err = dst[:start], ef.err
+		}
+	}()
+	if typ <= TInvalid || typ >= numTypes {
+		return dst, ErrBadType
+	}
+	if version < 3 {
+		if corr != 0 {
+			return dst, ErrBadFlags
+		}
+		if typ.Packed() {
+			return dst, fmt.Errorf("%w: packed %s frame needs version 3", ErrBadVersion, typ)
+		}
+	}
+	dst = append(dst, make([]byte, HeaderSize)...)
+	if p != nil {
+		dst = p.AppendEncode(dst)
+	}
+	payload := dst[start+HeaderSize:]
+	if len(payload) > MaxPayload {
+		return dst[:start], ErrOversize
+	}
+	hdr := dst[start : start+HeaderSize]
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	hdr[4] = version
+	hdr[5] = byte(typ)
+	binary.BigEndian.PutUint16(hdr[6:8], corr)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+	return dst, nil
+}
+
+// Encode marshals p and wraps it in a frame stamped with the current
+// Version, returning the full frame bytes.
+func Encode(typ Type, p Payload) ([]byte, error) {
+	return EncodeV(Version, typ, p)
 }
 
 // EncodeV is Encode with an explicit frame version stamp, for answering
 // an old client in frames its decoder accepts (a v1 ReadFrame refuses
 // anything newer than v1) and for building backward-compat test
-// corpora. The version must be in [1, Version]; the payload encoding is
-// identical across versions — only optional fields were ever added.
-func EncodeV(version byte, typ Type, v any) ([]byte, error) {
-	if version == 0 || version > Version {
-		return nil, ErrBadVersion
-	}
-	if typ <= TInvalid || typ >= numTypes {
-		return nil, ErrBadType
-	}
-	var payload []byte
-	if v != nil {
-		var err error
-		payload, err = json.Marshal(v)
-		if err != nil {
-			return nil, fmt.Errorf("wire: marshal %s: %w", typ, err)
-		}
-	}
-	if len(payload) > MaxPayload {
-		return nil, ErrOversize
-	}
-	frame := make([]byte, HeaderSize+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], Magic)
-	frame[4] = version
-	frame[5] = byte(typ)
-	// frame[6:8] flags stay zero.
-	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
-	binary.BigEndian.PutUint32(frame[12:16], crc32.ChecksumIEEE(payload))
-	copy(frame[HeaderSize:], payload)
-	return frame, nil
+// corpora. The version must be in [1, Version]; the JSON payload
+// encoding is identical across versions — only optional fields were
+// ever added — while packed payloads exist from v3 on.
+func EncodeV(version byte, typ Type, p Payload) ([]byte, error) {
+	return AppendFrame(nil, version, typ, 0, p)
 }
 
-// WriteMsg encodes v and writes the frame to w.
-func WriteMsg(w io.Writer, typ Type, v any) error {
-	return WriteMsgV(w, Version, typ, v)
+// WriteMsg encodes p and writes the frame to w.
+func WriteMsg(w io.Writer, typ Type, p Payload) error {
+	return WriteMsgV(w, Version, typ, p)
 }
 
 // WriteMsgV is WriteMsg with an explicit frame version stamp (see
 // EncodeV): a server holds each session at the version its client's
 // Hello arrived under, so old decoders never see frames they refuse.
-func WriteMsgV(w io.Writer, version byte, typ Type, v any) error {
-	frame, err := EncodeV(version, typ, v)
+// The frame buffer is pooled — one Write, no steady-state allocation.
+func WriteMsgV(w io.Writer, version byte, typ Type, p Payload) error {
+	return WriteFrame(w, version, typ, 0, p)
+}
+
+// WriteFrame encodes p with a correlation ID and writes the frame to w
+// in a single Write call, using a pooled buffer.
+func WriteFrame(w io.Writer, version byte, typ Type, corr uint16, p Payload) error {
+	bp := GetBuf()
+	frame, err := AppendFrame(*bp, version, typ, corr, p)
 	if err != nil {
+		PutBuf(bp)
 		return err
 	}
 	_, err = w.Write(frame)
+	*bp = frame[:0]
+	PutBuf(bp)
 	return err
 }
 
 // ReadFrame reads and validates one frame from r, returning the message
-// type and payload bytes. The payload allocation is bounded by the
-// validated length prefix (≤ MaxPayload); every malformed header field
-// is rejected before the payload is read. io.EOF is returned unwrapped
-// only when the stream ends cleanly before the first header byte; a
-// header or payload cut short mid-frame is io.ErrUnexpectedEOF.
+// type and payload bytes. The payload is freshly allocated; the
+// correlation ID is validated but discarded — pipelined readers use
+// ReadFrameBuf.
 func ReadFrame(r io.Reader) (Type, []byte, error) {
-	var hdr [HeaderSize]byte
+	typ, _, payload, _, err := ReadFrameBuf(r, nil)
+	return typ, payload, err
+}
+
+// ReadFrameBuf reads and validates one frame from r into buf, growing
+// it as needed, and returns the message type, the correlation ID, the
+// payload (a sub-slice of the returned buffer — valid only until the
+// buffer's next use) and the buffer for reuse. Passing the returned
+// buffer back in makes steady-state reads allocation-free.
+//
+// The payload read is bounded by the validated length prefix
+// (≤ MaxPayload); every malformed header field is rejected before the
+// payload is read. Nonzero flags are accepted only on v3 frames, where
+// they are the correlation ID. io.EOF is returned unwrapped only when
+// the stream ends cleanly before the first header byte; a header or
+// payload cut short mid-frame is io.ErrUnexpectedEOF.
+func ReadFrameBuf(r io.Reader, buf []byte) (typ Type, corr uint16, payload, nbuf []byte, err error) {
+	// The header is read into the reusable buffer too — a stack array
+	// would escape through the io.Reader interface and cost an
+	// allocation per frame.
+	if cap(buf) < HeaderSize {
+		buf = make([]byte, 0, 4096)
+	}
+	hdr := buf[:HeaderSize]
 	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
-		return TInvalid, nil, err // clean EOF at a frame boundary
+		return TInvalid, 0, nil, buf, err // clean EOF at a frame boundary
 	}
 	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return TInvalid, nil, err
+		return TInvalid, 0, nil, buf, err
 	}
 	if binary.BigEndian.Uint32(hdr[0:4]) != Magic {
-		return TInvalid, nil, ErrBadMagic
+		return TInvalid, 0, nil, buf, ErrBadMagic
 	}
-	if v := hdr[4]; v == 0 || v > Version {
-		return TInvalid, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	version := hdr[4]
+	if version == 0 || version > Version {
+		return TInvalid, 0, nil, buf, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
-	typ := Type(hdr[5])
+	typ = Type(hdr[5])
 	if typ <= TInvalid || typ >= numTypes {
-		return TInvalid, nil, fmt.Errorf("%w: %d", ErrBadType, hdr[5])
+		return TInvalid, 0, nil, buf, fmt.Errorf("%w: %d", ErrBadType, hdr[5])
 	}
-	if hdr[6] != 0 || hdr[7] != 0 {
-		return TInvalid, nil, ErrBadFlags
+	corr = binary.BigEndian.Uint16(hdr[6:8])
+	if corr != 0 && version < 3 {
+		return TInvalid, 0, nil, buf, ErrBadFlags
+	}
+	if typ.Packed() && version < 3 {
+		return TInvalid, 0, nil, buf, fmt.Errorf("%w: packed %s frame stamped v%d", ErrBadVersion, typ, version)
 	}
 	n := binary.BigEndian.Uint32(hdr[8:12])
 	if n > MaxPayload {
-		return TInvalid, nil, fmt.Errorf("%w: %d bytes", ErrOversize, n)
+		return TInvalid, 0, nil, buf, fmt.Errorf("%w: %d bytes", ErrOversize, n)
 	}
 	want := binary.BigEndian.Uint32(hdr[12:16])
-	payload := make([]byte, n)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return TInvalid, nil, err
+		return TInvalid, 0, nil, buf, err
 	}
 	if got := crc32.ChecksumIEEE(payload); got != want {
-		return TInvalid, nil, fmt.Errorf("%w (want %08x, got %08x)", ErrChecksum, want, got)
+		return TInvalid, 0, nil, buf, fmt.Errorf("%w (want %08x, got %08x)", ErrChecksum, want, got)
 	}
-	return typ, payload, nil
-}
-
-// Unmarshal decodes a frame payload into v. An empty payload is an
-// error for every message that expects a body.
-func Unmarshal(payload []byte, v any) error {
-	if len(payload) == 0 {
-		return errors.New("wire: empty payload")
-	}
-	if err := json.Unmarshal(payload, v); err != nil {
-		return fmt.Errorf("wire: payload: %v", err)
-	}
-	return nil
+	return typ, corr, payload, buf[:cap(buf)], nil
 }

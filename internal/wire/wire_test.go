@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"io"
 	"reflect"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestRoundTrip(t *testing.T) {
-	req := LeaseNReq{N: 16, Features: []float64{27, 0.5}}
+	req := &LeaseNReq{N: 16, Features: []float64{27, 0.5}}
 	frame, err := Encode(TLeaseN, req)
 	if err != nil {
 		t.Fatal(err)
@@ -23,10 +24,10 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatalf("type = %v, want %v", typ, TLeaseN)
 	}
 	var got LeaseNReq
-	if err := Unmarshal(payload, &got); err != nil {
+	if err := got.DecodeFrom(payload); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, req) {
+	if !reflect.DeepEqual(&got, req) {
 		t.Fatalf("roundtrip = %+v, want %+v", got, req)
 	}
 }
@@ -49,10 +50,10 @@ func TestStreamedFrames(t *testing.T) {
 	var buf bytes.Buffer
 	msgs := []struct {
 		typ Type
-		v   any
+		v   Payload
 	}{
-		{THello, Hello{Proto: Version, Name: "w1"}},
-		{TCompleteN, CompleteNReq{Epoch: 7, Results: []Result{{ID: 1, Value: 2.5}}}},
+		{THello, &Hello{Proto: Version, Name: "w1"}},
+		{TCompleteN, &CompleteNReq{Epoch: 7, Results: []Result{{ID: 1, Value: 2.5}}}},
 		{TStats, nil},
 	}
 	for _, m := range msgs {
@@ -71,10 +72,126 @@ func TestStreamedFrames(t *testing.T) {
 	}
 }
 
+// TestCorrelationID proves the v3 flag field carries the correlation ID
+// round trip, and that pre-v3 frames still reject nonzero flags in both
+// directions.
+func TestCorrelationID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Version, THeartbeat, 0xBEEF, &HeartbeatReq{Epoch: 1, IDs: []uint64{4}}); err != nil {
+		t.Fatal(err)
+	}
+	typ, corr, payload, _, err := ReadFrameBuf(&buf, nil)
+	if err != nil || typ != THeartbeat || corr != 0xBEEF {
+		t.Fatalf("ReadFrameBuf = (%v, %04x, %v), want heartbeat corr beef", typ, corr, err)
+	}
+	var req HeartbeatReq
+	if err := req.DecodeFrom(payload); err != nil || req.IDs[0] != 4 {
+		t.Fatalf("payload decode: %+v, %v", req, err)
+	}
+	// Encoding a correlation ID into a pre-v3 frame must be refused…
+	if _, err := AppendFrame(nil, 2, THeartbeat, 1, &HeartbeatReq{}); !errors.Is(err, ErrBadFlags) {
+		t.Fatalf("v2 frame with corr: %v, want ErrBadFlags", err)
+	}
+	// …and a pre-v3 frame arriving with nonzero flags is corrupt.
+	frame, err := EncodeV(2, THeartbeat, &HeartbeatReq{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[6] = 1
+	if _, _, err := ReadFrame(bytes.NewReader(frame)); !errors.Is(err, ErrBadFlags) {
+		t.Fatalf("v2 frame with flags: %v, want ErrBadFlags", err)
+	}
+}
+
+// TestPackedNeedsV3 pins the version gate on the packed types: they
+// cannot be stamped into pre-v3 frames, and a pre-v3 frame claiming a
+// packed type is rejected on read.
+func TestPackedNeedsV3(t *testing.T) {
+	if _, err := EncodeV(2, TCompleteP, &PackedCompleteReq{Epoch: 1}); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("EncodeV(2, packed) = %v, want ErrBadVersion", err)
+	}
+	frame, err := Encode(TCompleteP, &PackedCompleteReq{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := bytes.Clone(frame)
+	mut[4] = 2
+	if _, _, err := ReadFrame(bytes.NewReader(mut)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("v2-stamped packed frame: %v, want ErrBadVersion", err)
+	}
+}
+
+// TestReadFrameBufReuse proves the read buffer round-trips: the second
+// read reuses the first read's buffer when it is large enough.
+func TestReadFrameBufReuse(t *testing.T) {
+	var stream bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteMsg(&stream, TAck, &AckResp{Applied: []uint64{uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf []byte
+	var lastCap int
+	for i := 0; i < 3; i++ {
+		var typ Type
+		var payload []byte
+		var err error
+		typ, _, payload, buf, err = ReadFrameBuf(&stream, buf)
+		if err != nil || typ != TAck {
+			t.Fatalf("read %d: (%v, %v)", i, typ, err)
+		}
+		var ack AckResp
+		if err := ack.DecodeFrom(payload); err != nil || ack.Applied[0] != uint64(i) {
+			t.Fatalf("read %d: %+v, %v", i, ack, err)
+		}
+		if i > 0 && cap(buf) != lastCap {
+			t.Fatalf("read %d reallocated the buffer (cap %d → %d)", i, lastCap, cap(buf))
+		}
+		lastCap = cap(buf)
+	}
+}
+
+// TestJSONByteCompat pins the v1/v2 byte contract: the JSON payload
+// family still encodes as plain JSON a pre-redesign decoder would
+// parse, and the frame bytes around it are identical across version
+// stamps except for the version byte itself.
+func TestJSONByteCompat(t *testing.T) {
+	req := &CompleteNReq{Epoch: 42, Worker: 7, Results: []Result{{ID: 9, Value: 1.5}}}
+	frame, err := EncodeV(2, TCompleteN, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy struct {
+		Epoch   int64  `json:"epoch"`
+		Worker  uint64 `json:"worker"`
+		Results []struct {
+			ID    uint64  `json:"id"`
+			Value float64 `json:"value"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(frame[HeaderSize:], &legacy); err != nil {
+		t.Fatalf("payload is not plain JSON: %v", err)
+	}
+	if legacy.Epoch != 42 || legacy.Worker != 7 || len(legacy.Results) != 1 || legacy.Results[0].ID != 9 {
+		t.Fatalf("legacy decode = %+v", legacy)
+	}
+	v1, err := EncodeV(1, TCompleteN, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1[4] != 1 || frame[4] != 2 {
+		t.Fatalf("version stamps = %d, %d", v1[4], frame[4])
+	}
+	v1[4] = 2
+	if !bytes.Equal(v1, frame) {
+		t.Fatal("v1 and v2 frames differ beyond the version byte")
+	}
+}
+
 // mutateHeader encodes a valid frame and flips one header field.
 func mutateHeader(t *testing.T, mutate func(frame []byte)) error {
 	t.Helper()
-	frame, err := Encode(THeartbeat, HeartbeatReq{IDs: []uint64{1, 2, 3}})
+	frame, err := Encode(THeartbeat, &HeartbeatReq{IDs: []uint64{1, 2, 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +211,7 @@ func TestRejects(t *testing.T) {
 		{"version-future", func(f []byte) { f[4] = Version + 1 }, ErrBadVersion},
 		{"type-zero", func(f []byte) { f[5] = 0 }, ErrBadType},
 		{"type-unknown", func(f []byte) { f[5] = byte(numTypes) }, ErrBadType},
-		{"flags", func(f []byte) { f[6] = 1 }, ErrBadFlags},
+		{"flags-pre-v3", func(f []byte) { f[4] = 2; f[6] = 1 }, ErrBadFlags},
 		{"oversize", func(f []byte) { binary.BigEndian.PutUint32(f[8:12], MaxPayload+1) }, ErrOversize},
 		{"payload-corrupt", func(f []byte) { f[HeaderSize] ^= 0xff }, ErrChecksum},
 		{"crc-corrupt", func(f []byte) { f[12] ^= 0xff }, ErrChecksum},
@@ -107,7 +224,7 @@ func TestRejects(t *testing.T) {
 }
 
 func TestTruncated(t *testing.T) {
-	frame, err := Encode(TTrials, LeaseNResp{Epoch: 1, Trials: []Trial{{ID: 9, Algo: 1, Config: []float64{0.5}}}})
+	frame, err := Encode(TTrials, &LeaseNResp{Epoch: 1, Trials: []Trial{{ID: 9, Algo: 1, Config: []float64{0.5}}}})
 	if err != nil {
 		t.Fatal(err)
 	}
